@@ -1,0 +1,55 @@
+//! Microbenchmark: raw interpreter throughput (wall-clock), with and
+//! without the per-instruction thread-scheduling bookkeeping — the
+//! real-time analog of the paper's "Misc" overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftjvm_core::{FtConfig, FtJvm, ReplicationMode};
+use std::hint::black_box;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(20);
+    let w = ftjvm_workloads::micro::arith_loop(20_000);
+    let harness = FtJvm::new(w.program.clone(), FtConfig::default());
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let (report, _) = harness.run_unreplicated().expect("runs");
+            black_box(report.counters.instructions)
+        })
+    });
+    let ts = FtJvm::new(
+        w.program.clone(),
+        FtConfig { mode: ReplicationMode::ThreadSched, ..FtConfig::default() },
+    );
+    group.bench_function("ts-primary", |b| {
+        b.iter(|| {
+            let report = ts.run_replicated().expect("runs");
+            black_box(report.primary.counters.instructions)
+        })
+    });
+    let lock = FtJvm::new(
+        w.program.clone(),
+        FtConfig { mode: ReplicationMode::LockSync, ..FtConfig::default() },
+    );
+    group.bench_function("lock-primary", |b| {
+        b.iter(|| {
+            let report = lock.run_replicated().expect("runs");
+            black_box(report.primary.counters.instructions)
+        })
+    });
+    // Ablation: the Eraser-style race detector's wall-clock cost on the
+    // same workload (it hooks every shared-memory access).
+    let mut detect_cfg = FtConfig::default();
+    detect_cfg.vm.race_detect = true;
+    let detecting = FtJvm::new(w.program.clone(), detect_cfg);
+    group.bench_function("baseline+race-detector", |b| {
+        b.iter(|| {
+            let (report, _) = detecting.run_unreplicated().expect("runs");
+            black_box(report.counters.instructions)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmark: log-record wire encode/decode throughput — the
+//! serialization component of the paper's "Lock Acquire" and "Misc"
+//! overheads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ftjvm_core::records::{LoggedResult, Record, WireValue};
+use ftjvm_vm::VtPath;
+use std::hint::black_box;
+
+fn bench_records(c: &mut Criterion) {
+    let t = VtPath::root().child(3);
+    let lock = Record::LockAcq { t: t.clone(), t_asn: 12_345, l_id: 17, l_asn: 99_000 };
+    let sched = Record::Sched {
+        t: t.clone(),
+        br_cnt: 1 << 33,
+        method: 42,
+        pc_off: 7,
+        mon_cnt: 1000,
+        l_asn: 12,
+        in_native: false,
+        next: VtPath::root(),
+    };
+    let nd = Record::NativeResult {
+        t,
+        seq: 9,
+        sig_hash: 0xDEAD_BEEF,
+        result: LoggedResult::Ok(Some(WireValue::Int(123_456_789))),
+        out_args: vec![(1, (0..32).map(WireValue::Int).collect())],
+    };
+    let mut group = c.benchmark_group("records");
+    for (name, rec) in [("lock_acq", &lock), ("sched", &sched), ("native_result", &nd)] {
+        let bytes = rec.encode().len() as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_function(format!("encode/{name}"), |b| {
+            b.iter(|| black_box(rec.encode()))
+        });
+        let frame = rec.encode();
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| black_box(Record::decode(frame.clone()).expect("decodes")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_records);
+criterion_main!(benches);

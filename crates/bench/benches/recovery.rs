@@ -1,0 +1,37 @@
+//! Microbenchmark: backup recovery — full log replay wall-clock for both
+//! techniques, plus the crash-to-finish path (detection + replay + live
+//! continuation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftjvm_core::{FtConfig, FtJvm, ReplicationMode};
+use ftjvm_netsim::FaultPlan;
+use std::hint::black_box;
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(15);
+    let w = ftjvm_workloads::micro::sync_counter(3, 300);
+    for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+        let harness = FtJvm::new(w.program.clone(), FtConfig { mode, ..FtConfig::default() });
+        group.bench_function(format!("full-log-replay/{mode}"), |b| {
+            b.iter(|| {
+                let r = harness.run_backup_replay().expect("replays");
+                black_box(r.backup.expect("backup ran").counters.instructions)
+            })
+        });
+        let crash = FtJvm::new(
+            w.program.clone(),
+            FtConfig { mode, fault: FaultPlan::AfterInstructions(5_000), ..FtConfig::default() },
+        );
+        group.bench_function(format!("mid-run-failover/{mode}"), |b| {
+            b.iter(|| {
+                let r = crash.run_with_failure().expect("fails over");
+                black_box(r.console().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

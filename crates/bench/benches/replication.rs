@@ -1,0 +1,39 @@
+//! Microbenchmarks of the replication fast paths (real wall-clock): the
+//! lock path under each coordinator, the ND-native interception path, and
+//! the output-commit path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftjvm_core::{FtConfig, FtJvm, ReplicationMode};
+use std::hint::black_box;
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication-paths");
+    group.sample_size(15);
+    let cases = [
+        ("lock-path", ftjvm_workloads::micro::sync_counter(2, 400)),
+        ("nd-native-path", ftjvm_workloads::micro::nd_natives(300)),
+        ("output-commit-path", ftjvm_workloads::micro::file_journal(40)),
+    ];
+    for (name, w) in &cases {
+        for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+            let harness = FtJvm::new(w.program.clone(), FtConfig { mode, ..FtConfig::default() });
+            group.bench_function(format!("{name}/{mode}"), |b| {
+                b.iter(|| {
+                    let r = harness.run_replicated().expect("runs");
+                    black_box(r.primary_stats.messages_logged())
+                })
+            });
+        }
+        let base = FtJvm::new(w.program.clone(), FtConfig::default());
+        group.bench_function(format!("{name}/baseline"), |b| {
+            b.iter(|| {
+                let (r, _) = base.run_unreplicated().expect("runs");
+                black_box(r.counters.instructions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Wall-clock benchmarks of the SPEC JVM98 analogs (baseline / lock-sync /
+//! thread-scheduling primary) — one group per benchmark, mirroring
+//! Figure 2 in real time. The simulated-time figures themselves come from
+//! the `table2`/`fig2`/`fig3`/`fig4` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftjvm_bench::bench_config;
+use ftjvm_core::{FtJvm, ReplicationMode};
+use std::hint::black_box;
+
+fn bench_spec(c: &mut Criterion) {
+    for w in ftjvm_workloads::spec_suite() {
+        let mut group = c.benchmark_group(format!("spec/{}", w.name));
+        group.sample_size(10);
+        let base = FtJvm::new(w.program.clone(), bench_config(ReplicationMode::LockSync));
+        group.bench_function("baseline", |b| {
+            b.iter(|| {
+                let (r, _) = base.run_unreplicated().expect("runs");
+                black_box(r.counters.instructions)
+            })
+        });
+        for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+            let h = FtJvm::new(w.program.clone(), bench_config(mode));
+            group.bench_function(format!("{mode}-primary"), |b| {
+                b.iter(|| {
+                    let r = h.run_replicated().expect("runs");
+                    black_box(r.primary.acct.total().as_nanos())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_spec);
+criterion_main!(benches);

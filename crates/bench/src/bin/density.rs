@@ -1,0 +1,23 @@
+//! Prints per-benchmark instruction/branch statistics used to calibrate
+//! the thread-scheduling bookkeeping costs (see EXPERIMENTS.md).
+
+use ftjvm_core::{FtConfig, FtJvm};
+
+fn main() {
+    for w in ftjvm_workloads::spec_suite() {
+        let (r, _) = FtJvm::new(w.program.clone(), FtConfig::default())
+            .run_unreplicated()
+            .expect("baseline");
+        let c = r.counters;
+        println!(
+            "{:10} insns {:>9} branches {:>9} density {:.3} locks {:>7} natives {:>5} base {:.3}s",
+            w.name,
+            c.instructions,
+            c.branches,
+            c.branches as f64 / c.instructions as f64,
+            c.monitor_acquires,
+            c.native_calls,
+            r.acct.total().as_secs_f64()
+        );
+    }
+}

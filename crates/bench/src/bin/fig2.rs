@@ -1,0 +1,66 @@
+//! Regenerates the paper's **Figure 2**: execution time of both
+//! replication techniques — primary and backup replay — normalized to the
+//! unreplicated VM, per benchmark.
+//!
+//! Run: `cargo run -p ftjvm-bench --release --bin fig2`
+
+use ftjvm_bench::{bar, measure_suite};
+use ftjvm_core::ReplicationMode;
+
+fn main() {
+    let rows = measure_suite();
+    println!("Figure 2: Execution time normalized to the unreplicated VM");
+    println!("(TS = replicated thread scheduling, Lock = replicated lock acquisition)\n");
+    println!(
+        "{:10} {:>12} {:>12} {:>12} {:>12}   baseline (ours sim / paper real)",
+        "benchmark", "TS primary", "TS backup", "Lock prim.", "Lock backup"
+    );
+    for r in &rows {
+        println!(
+            "{:10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}   ({:.3}s / {}s)",
+            r.name,
+            r.normalized_primary(ReplicationMode::ThreadSched),
+            r.normalized_backup(ReplicationMode::ThreadSched),
+            r.normalized_primary(ReplicationMode::LockSync),
+            r.normalized_backup(ReplicationMode::LockSync),
+            r.base.as_secs_f64(),
+            r.paper_exec_secs,
+        );
+    }
+    println!();
+    for r in &rows {
+        println!("{:10} TS prim  |{}", r.name, bar(r.normalized_primary(ReplicationMode::ThreadSched), 12));
+        println!("{:10} TS bkup  |{}", "", bar(r.normalized_backup(ReplicationMode::ThreadSched), 12));
+        println!("{:10} Lk prim  |{}", "", bar(r.normalized_primary(ReplicationMode::LockSync), 12));
+        println!("{:10} Lk bkup  |{}", "", bar(r.normalized_backup(ReplicationMode::LockSync), 12));
+    }
+    // Means (the paper's headline numbers: lock-sync ~2.4x, TS ~1.6x).
+    let mean = |f: &dyn Fn(&ftjvm_bench::BenchRow) -> f64| {
+        rows.iter().map(f).sum::<f64>() / rows.len() as f64
+    };
+    let lock_mean = mean(&|r| r.normalized_primary(ReplicationMode::LockSync));
+    let ts_mean = mean(&|r| r.normalized_primary(ReplicationMode::ThreadSched));
+    println!();
+    println!(
+        "mean primary overhead: lock-sync {:.0}% (paper: 140%), thread-sched {:.0}% (paper: 60%)",
+        (lock_mean - 1.0) * 100.0,
+        (ts_mean - 1.0) * 100.0
+    );
+    let db = rows.iter().find(|r| r.name == "db").expect("db");
+    let mpeg = rows.iter().find(|r| r.name == "mpegaudio").expect("mpegaudio");
+    let mtrt = rows.iter().find(|r| r.name == "mtrt").expect("mtrt");
+    println!("shape checks:");
+    println!(
+        "  db is lock-sync's worst case: {:.2}x (paper: ~4.75x)",
+        db.normalized_primary(ReplicationMode::LockSync)
+    );
+    println!(
+        "  mpegaudio is lock-sync's best case: {:.2}x (paper: ~1.05x)",
+        mpeg.normalized_primary(ReplicationMode::LockSync)
+    );
+    println!(
+        "  mtrt: lock-sync {:.2}x vs thread-sched {:.2}x (paper: lock-sync wins)",
+        mtrt.normalized_primary(ReplicationMode::LockSync),
+        mtrt.normalized_primary(ReplicationMode::ThreadSched)
+    );
+}

@@ -1,0 +1,88 @@
+//! Regenerates the paper's **Table 2**: properties of the benchmarks
+//! pertinent to the implementation — native methods intercepted, output
+//! commits, logged messages, locks acquired, objects locked, largest
+//! `l_asn` (lock-sync), and logged messages / reschedules (thread
+//! scheduling).
+//!
+//! Run: `cargo run -p ftjvm-bench --release --bin table2`
+
+use ftjvm_bench::measure_suite;
+
+fn main() {
+    let rows = measure_suite();
+    let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+    println!("Table 2: Properties of benchmarks pertinent to our implementation");
+    println!("(workload analogs at reduced scale; see EXPERIMENTS.md for the scale argument)\n");
+    let w = 12;
+    print!("{:34}", "Implementation / Event");
+    for n in &names {
+        print!("{n:>w$}");
+    }
+    println!();
+    println!("{}", "-".repeat(34 + w * names.len()));
+    let line = |label: &str, vals: Vec<u64>| {
+        print!("{label:34}");
+        for v in vals {
+            print!("{v:>w$}");
+        }
+        println!();
+    };
+    line(
+        "Both / NM (intercepted)",
+        rows.iter().map(|r| r.lock_stats.nm_intercepted).collect(),
+    );
+    line(
+        "Both / NM Output Commits",
+        rows.iter().map(|r| r.lock_stats.output_commits).collect(),
+    );
+    line(
+        "Lock / Logged Messages",
+        rows.iter().map(|r| r.lock_stats.messages_logged()).collect(),
+    );
+    line(
+        "Lock / Locks Acquired",
+        rows.iter().map(|r| r.lock_stats.locks_acquired).collect(),
+    );
+    line(
+        "Lock / Objects Locked",
+        rows.iter().map(|r| r.counters.objects_locked).collect(),
+    );
+    line(
+        "Lock / Largest l_asn",
+        rows.iter().map(|r| r.lock_stats.largest_lasn).collect(),
+    );
+    line(
+        "TS / Logged Messages",
+        rows.iter().map(|r| r.ts_stats.messages_logged()).collect(),
+    );
+    line(
+        "TS / Reschedules",
+        rows.iter().map(|r| r.ts_stats.sched_records).collect(),
+    );
+    println!();
+    println!("Paper shape checks:");
+    let db = rows.iter().find(|r| r.name == "db").expect("db row");
+    let jack = rows.iter().find(|r| r.name == "jack").expect("jack row");
+    let mtrt = rows.iter().find(|r| r.name == "mtrt").expect("mtrt row");
+    let max_locks = rows.iter().map(|r| r.lock_stats.locks_acquired).max().unwrap_or(0);
+    let max_objs = rows.iter().map(|r| r.counters.objects_locked).max().unwrap_or(0);
+    println!(
+        "  db acquires the most locks: {}",
+        if db.lock_stats.locks_acquired == max_locks { "yes" } else { "NO" }
+    );
+    println!(
+        "  jack locks the most unique objects: {}",
+        if jack.counters.objects_locked == max_objs { "yes" } else { "NO" }
+    );
+    let only_mtrt_resched = rows
+        .iter()
+        .all(|r| (r.ts_stats.sched_records > 0) == (r.name == "mtrt"));
+    println!(
+        "  only mtrt transmits schedule records: {}",
+        if only_mtrt_resched { "yes" } else { "NO" }
+    );
+    println!(
+        "  mtrt reschedules: {} (paper: 29163 full-scale)",
+        mtrt.ts_stats.sched_records
+    );
+}

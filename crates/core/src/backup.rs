@@ -1,0 +1,1214 @@
+//! The backup-side recovery runtime: the received log, the shared
+//! non-deterministic-native replay, and the two recovery coordinators.
+//!
+//! The backup is *cold* (§1): during normal operation it only stores the
+//! primary's records. On failure it re-executes the program from the
+//! initial state, using the log to make every non-deterministic choice the
+//! way the primary made it:
+//!
+//! * [`LockSyncBackup`] reproduces the primary's per-lock acquisition
+//!   order from lock-acquisition records and id maps (§4.2), including the
+//!   end-of-log rules for threads that run past their logged history;
+//! * [`TsBackup`] reproduces the primary's thread schedule from schedule
+//!   records, stopping each thread at exactly the recorded
+//!   `(br_cnt, pc_off, mon_cnt)` point — including preemptions inside
+//!   native methods, replayed via `mon_cnt` — and scheduling the recorded
+//!   next thread (§4.2);
+//! * [`NativeReplay`] (shared) imposes logged ND native results, suppresses
+//!   already-performed outputs, `test`s the uncertain last output, and
+//!   hands out fresh output ids once execution passes the end of the log
+//!   (§3.4, §4.1).
+
+use crate::records::{LoggedResult, Record, sig_hash};
+use crate::se::SeRegistry;
+use crate::stats::ReplicationStats;
+use bytes::Bytes;
+use ftjvm_netsim::{Category, CostModel, SimTime, TimeAccount};
+use ftjvm_vm::native::NativeDecl;
+use ftjvm_vm::{
+    AdoptedOutcome, Coordinator, MonitorDecision, NativeDirective, ObjRef, SharedWorld,
+    StopReason, SwitchReason, ThreadObs, ThreadSnap, Value, VmError, VtPath,
+};
+use ftjvm_vm::coordinator::Pick;
+use ftjvm_vm::ThreadIdx;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug, Clone)]
+struct NdRec {
+    seq: u64,
+    sig_hash: u64,
+    result: LoggedResult,
+    out_args: Vec<(u8, Vec<crate::records::WireValue>)>,
+}
+
+#[derive(Debug, Clone)]
+struct CommitRec {
+    seq: u64,
+    output_id: u64,
+    /// Arrival index within the whole log: if any record follows, the
+    /// output is known to have been performed (the primary performs the
+    /// output immediately after the acknowledged commit, before producing
+    /// any further record).
+    global_idx: usize,
+}
+
+#[derive(Debug, Clone)]
+struct IntervalRec {
+    t: VtPath,
+    t_asn_start: u64,
+    count: u64,
+    remaining: u64,
+}
+
+#[derive(Debug, Clone)]
+struct LockAcqRec {
+    t_asn: u64,
+    l_id: u64,
+    l_asn: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SchedRec {
+    t: VtPath,
+    br_cnt: u64,
+    method: u32,
+    pc_off: u32,
+    mon_cnt: u64,
+    l_asn: u64,
+    in_native: bool,
+    next: VtPath,
+}
+
+/// The decoded, indexed log the backup recovered from the channel.
+#[derive(Debug, Default)]
+pub struct BackupLog {
+    lock_acqs: HashMap<VtPath, VecDeque<LockAcqRec>>,
+    lock_total: usize,
+    id_maps: HashMap<(VtPath, u64), u64>,
+    sched: VecDeque<SchedRec>,
+    nd: HashMap<VtPath, VecDeque<NdRec>>,
+    commits: HashMap<VtPath, VecDeque<CommitRec>>,
+    intervals: VecDeque<IntervalRec>,
+    interval_total: usize,
+    /// Per thread, the largest arrival index of a record that proves the
+    /// thread made *execution progress* (lock acquisition, id map, native
+    /// result, or a later output commit). Schedule records are excluded:
+    /// a preemption can land exactly between an output commit and the
+    /// output itself, so a schedule record after a commit does NOT prove
+    /// the output was performed.
+    progress_max: HashMap<VtPath, usize>,
+    total_records: usize,
+    max_output_id: u64,
+    has_outputs: bool,
+}
+
+impl BackupLog {
+    /// Decodes the flushed frames (in FIFO arrival order), feeding
+    /// side-effect state records to `se` (its `receive` compression hook).
+    ///
+    /// # Errors
+    /// Returns an error for malformed frames — a truncated *suffix* cannot
+    /// happen (the channel is reliable and frames are whole records), so
+    /// corruption means a protocol bug.
+    pub fn decode(frames: Vec<Bytes>, se: &mut SeRegistry) -> Result<BackupLog, VmError> {
+        let mut log = BackupLog::default();
+        for (idx, frame) in frames.into_iter().enumerate() {
+            let rec = Record::decode(frame).map_err(|e| {
+                VmError::Internal(format!("malformed log record at index {idx}: {e}"))
+            })?;
+            log.total_records += 1;
+            match rec {
+                Record::IdMap { l_id, t, t_asn } => {
+                    log.progress_max.insert(t.clone(), idx);
+                    log.id_maps.insert((t, t_asn), l_id);
+                }
+                Record::LockAcq { t, t_asn, l_id, l_asn } => {
+                    log.lock_total += 1;
+                    log.progress_max.insert(t.clone(), idx);
+                    log.lock_acqs.entry(t).or_default().push_back(LockAcqRec { t_asn, l_id, l_asn });
+                }
+                Record::Sched { t, br_cnt, method, pc_off, mon_cnt, l_asn, in_native, next } => {
+                    log.sched.push_back(SchedRec {
+                        t,
+                        br_cnt,
+                        method,
+                        pc_off,
+                        mon_cnt,
+                        l_asn,
+                        in_native,
+                        next,
+                    });
+                }
+                Record::NativeResult { t, seq, sig_hash, result, out_args } => {
+                    log.progress_max.insert(t.clone(), idx);
+                    log.nd.entry(t).or_default().push_back(NdRec { seq, sig_hash, result, out_args });
+                }
+                Record::OutputCommit { t, seq, output_id } => {
+                    log.max_output_id = log.max_output_id.max(output_id);
+                    log.has_outputs = true;
+                    log.progress_max.insert(t.clone(), idx);
+                    log.commits
+                        .entry(t)
+                        .or_default()
+                        .push_back(CommitRec { seq, output_id, global_idx: idx });
+                }
+                Record::LockInterval { t, t_asn_start, count } => {
+                    log.interval_total += count as usize;
+                    log.progress_max.insert(t.clone(), idx);
+                    log.intervals.push_back(IntervalRec { t, t_asn_start, count, remaining: count });
+                }
+                Record::Heartbeat { .. } => {
+                    // Liveness only; carries no replay information.
+                }
+                Record::SeState { handler, payload } => {
+                    se.receive(handler, payload);
+                }
+            }
+        }
+        Ok(log)
+    }
+
+    /// Total records received.
+    pub fn total_records(&self) -> usize {
+        self.total_records
+    }
+
+    /// Lock-acquisition records received (lock-sync mode).
+    pub fn lock_records(&self) -> usize {
+        self.lock_total
+    }
+
+    /// Schedule records received (TS mode).
+    pub fn sched_records(&self) -> usize {
+        self.sched.len()
+    }
+
+    /// Interval records received (interval-compressed lock-sync).
+    pub fn interval_records(&self) -> usize {
+        self.intervals.len()
+    }
+}
+
+/// Shared backup-side native replay (ND results, outputs, exactly-once).
+pub struct NativeReplay {
+    cost: CostModel,
+    nd: HashMap<VtPath, VecDeque<NdRec>>,
+    nd_consumed: HashMap<VtPath, u64>,
+    commits: HashMap<VtPath, VecDeque<CommitRec>>,
+    commit_consumed: HashMap<VtPath, u64>,
+    progress_max: HashMap<VtPath, usize>,
+    world: SharedWorld,
+    se: SeRegistry,
+    next_live_output: u64,
+    error: Option<VmError>,
+    /// Simulated instant at which recovery (log replay) completed, if it
+    /// has.
+    pub recovery_completed_at: Option<ftjvm_netsim::SimTime>,
+    /// Backup-side observability.
+    pub stats: ReplicationStats,
+}
+
+impl std::fmt::Debug for NativeReplay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeReplay")
+            .field("nd_threads", &self.nd.len())
+            .field("next_live_output", &self.next_live_output)
+            .finish()
+    }
+}
+
+impl NativeReplay {
+    fn new(log: &mut BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        NativeReplay {
+            cost,
+            nd: std::mem::take(&mut log.nd),
+            nd_consumed: HashMap::new(),
+            commit_consumed: HashMap::new(),
+            commits: std::mem::take(&mut log.commits),
+            progress_max: std::mem::take(&mut log.progress_max),
+            world,
+            se,
+            next_live_output: if log.has_outputs { log.max_output_id + 1 } else { 0 },
+            error: None,
+            recovery_completed_at: None,
+            stats: ReplicationStats::default(),
+        }
+    }
+
+    fn mark_recovery_complete(&mut self, acct: &TimeAccount) {
+        if self.recovery_completed_at.is_none() {
+            self.recovery_completed_at = Some(acct.now());
+        }
+    }
+
+    fn fail(&mut self, t: ThreadIdx, detail: String) {
+        if self.error.is_none() {
+            self.error = Some(VmError::ReplayDivergence { thread: t, detail });
+        }
+    }
+
+    fn take_stop(&mut self) -> Option<StopReason> {
+        self.error.take().map(StopReason::Error)
+    }
+
+    /// True once thread `vt` has no logged natives or outputs left.
+    fn drained_for(&self, vt: &VtPath) -> bool {
+        self.nd.get(vt).map(|q| q.is_empty()).unwrap_or(true)
+            && self.commits.get(vt).map(|q| q.is_empty()).unwrap_or(true)
+    }
+
+    /// The replay decision for one native invocation (§4.1, §3.4).
+    fn directive(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl, acct: &mut TimeAccount) -> NativeDirective {
+        if !(decl.nondeterministic || decl.output) {
+            return NativeDirective::Execute;
+        }
+        let vt = t.vt.expect("app threads only").clone();
+        let nd_rec = if decl.nondeterministic {
+            self.nd.get_mut(&vt).and_then(|q| q.pop_front())
+        } else {
+            None
+        };
+        if let Some(rec) = &nd_rec {
+            self.stats.nm_intercepted += 1;
+            acct.charge(Category::Misc, self.cost.nd_result_record);
+            let consumed = {
+                let c = self.nd_consumed.entry(vt.clone()).or_insert(0);
+                *c += 1;
+                *c
+            };
+            if rec.seq != consumed {
+                self.fail(t.t, format!("ND result sequence {} but thread consumed {}", rec.seq, consumed));
+            }
+            if rec.sig_hash != sig_hash(&decl.name) {
+                self.fail(
+                    t.t,
+                    format!(
+                        "logged ND result is for a different native than `{}` — a data race (R4A violation) \
+                         likely reordered this thread's execution",
+                        decl.name
+                    ),
+                );
+            }
+        }
+        let commit = if decl.output {
+            self.commits.get_mut(&vt).and_then(|q| q.pop_front())
+        } else {
+            None
+        };
+        if let Some(c) = &commit {
+            let consumed = {
+                let x = self.commit_consumed.entry(vt.clone()).or_insert(0);
+                *x += 1;
+                *x
+            };
+            if c.seq != consumed {
+                self.fail(t.t, format!("output commit sequence {} but thread performed {}", c.seq, consumed));
+            }
+        }
+        if nd_rec.is_none() && commit.is_none() {
+            // Past the end of this thread's logged history: the backup is
+            // now the authority for this call.
+            return NativeDirective::Execute;
+        }
+        if decl.output && commit.is_none() {
+            // A logged result implies its (earlier) commit record arrived.
+            self.fail(t.t, format!("native `{}` has a logged result but no output commit", decl.name));
+            return NativeDirective::Execute;
+        }
+        let performed = match &commit {
+            Some(c) => {
+                let proven = self
+                    .progress_max
+                    .get(&vt)
+                    .map(|max| c.global_idx < *max)
+                    .unwrap_or(false);
+                if proven {
+                    // A later record from the same thread proves it ran
+                    // past this output (the body executes before the
+                    // thread can produce another lock/native/commit
+                    // record). Schedule records deliberately don't count.
+                    true
+                } else {
+                    // Uncertain: ask the environment (side-effect handler
+                    // `test`, restriction R5).
+                    self.stats.output_commits += 1;
+                    self.se.test(&decl.name, &self.world.borrow(), c.output_id)
+                }
+            }
+            None => true,
+        };
+        // Whether to run the body:
+        // * logged result present — only re-run if the output still needs
+        //   performing (imposing the logged result either way);
+        // * no logged result (it was still in the primary's buffer at the
+        //   crash) — re-run unless this is a pure console-style output
+        //   that already reached the environment: re-running a performed
+        //   file write is harmless (writes are idempotent by output id)
+        //   and recomputes the return value the log lost, but re-running a
+        //   performed console print would visibly duplicate it.
+        let execute = match &nd_rec {
+            Some(_) => decl.output && !performed,
+            None => !performed || decl.returns || decl.creates_volatile,
+        };
+        let result = match &nd_rec {
+            Some(r) => Some(match &r.result {
+                LoggedResult::Ok(v) => Ok(v.map(|w| w.to_value())),
+                LoggedResult::Err { code, msg } => Err((*code, msg.clone())),
+            }),
+            None => {
+                if execute {
+                    None // keep whatever the re-executed body produces
+                } else {
+                    Some(Ok(None)) // performed console output: skip
+                }
+            }
+        };
+        let out_args = nd_rec
+            .map(|r| {
+                r.out_args
+                    .into_iter()
+                    .map(|(i, vs)| (i, vs.into_iter().map(|w| w.to_value()).collect::<Vec<Value>>()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        NativeDirective::Replay(AdoptedOutcome {
+            result,
+            out_args,
+            execute,
+            output_id: commit.map(|c| c.output_id),
+        })
+    }
+
+    fn live_output_id(&mut self) -> u64 {
+        let id = self.next_live_output;
+        self.next_live_output += 1;
+        id
+    }
+}
+
+/// Backup coordinator for **replicated lock synchronization** recovery.
+#[derive(Debug)]
+pub struct LockSyncBackup {
+    replay: NativeReplay,
+    lock_acqs: HashMap<VtPath, VecDeque<LockAcqRec>>,
+    lock_total: usize,
+    id_maps: HashMap<(VtPath, u64), u64>,
+}
+
+impl LockSyncBackup {
+    /// Builds the coordinator from a decoded log.
+    pub fn new(mut log: BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        let lock_acqs = std::mem::take(&mut log.lock_acqs);
+        let lock_total = log.lock_total;
+        let id_maps = std::mem::take(&mut log.id_maps);
+        LockSyncBackup {
+            replay: NativeReplay::new(&mut log, world, se, cost),
+            lock_acqs,
+            lock_total,
+            id_maps,
+        }
+    }
+
+    /// Backup-side statistics.
+    pub fn stats(&self) -> &ReplicationStats {
+        &self.replay.stats
+    }
+
+    /// True once every lock record has been consumed.
+    pub fn recovery_complete(&self) -> bool {
+        self.lock_total == 0
+    }
+
+    /// Simulated instant at which the log replay finished.
+    pub fn recovery_completed_at(&self) -> Option<ftjvm_netsim::SimTime> {
+        self.replay.recovery_completed_at
+    }
+}
+
+impl Coordinator for LockSyncBackup {
+    fn mode(&self) -> &'static str {
+        "lock-sync-backup"
+    }
+
+    fn stop(&mut self) -> Option<StopReason> {
+        self.replay.take_stop()
+    }
+
+    fn pre_monitor_acquire(
+        &mut self,
+        t: &ThreadObs<'_>,
+        _obj: ObjRef,
+        l_id: Option<u64>,
+        l_asn: u64,
+    ) -> MonitorDecision {
+        if self.lock_total == 0 {
+            // End of recovery: the log has no more lock-acquisition
+            // records, so ordering constraints are over (§4.2).
+            return MonitorDecision::Grant;
+        }
+        let vt = t.vt.expect("app threads only");
+        let Some(rec) = self.lock_acqs.get(vt).and_then(|q| q.front()) else {
+            // This thread ran past its logged history; it must wait until
+            // the whole log drains before acquiring anything new.
+            return MonitorDecision::Defer;
+        };
+        if rec.t_asn != t.t_asn + 1 {
+            self.replay.fail(
+                t.t,
+                format!("lock record t_asn {} but thread is at acquisition {}", rec.t_asn, t.t_asn + 1),
+            );
+            return MonitorDecision::Grant;
+        }
+        match l_id {
+            Some(id) => {
+                if rec.l_id != id {
+                    self.replay.fail(
+                        t.t,
+                        format!(
+                            "thread's next logged acquisition is lock {} but it is acquiring lock {id} — \
+                             a data race (R4A violation) changed the acquisition sequence",
+                            rec.l_id
+                        ),
+                    );
+                    return MonitorDecision::Grant;
+                }
+                if rec.l_asn == l_asn + 1 {
+                    MonitorDecision::Grant
+                } else {
+                    // Not this thread's turn for the lock yet.
+                    MonitorDecision::Defer
+                }
+            }
+            None => {
+                // The lock has no id at the backup yet. If this thread
+                // assigned the id at the primary, its id map names it.
+                if self.id_maps.contains_key(&(vt.clone(), t.t_asn + 1)) {
+                    if rec.l_asn == l_asn + 1 {
+                        MonitorDecision::Grant
+                    } else {
+                        MonitorDecision::Defer
+                    }
+                } else if rec.l_asn <= 1 {
+                    // First acquisition of the lock but no id map: the map
+                    // cannot have been lost without the (later) acquisition
+                    // record also being lost.
+                    self.replay.fail(t.t, "acquisition record without its id map".into());
+                    MonitorDecision::Grant
+                } else {
+                    // Another thread assigns this lock's id; wait for it.
+                    MonitorDecision::Defer
+                }
+            }
+        }
+    }
+
+    fn post_monitor_acquire(
+        &mut self,
+        t: &ThreadObs<'_>,
+        _obj: ObjRef,
+        l_id: Option<u64>,
+        l_asn: u64,
+        _acct: &mut TimeAccount,
+    ) -> Option<u64> {
+        if self.lock_total == 0 {
+            return None; // live phase
+        }
+        let vt = t.vt.expect("app threads only");
+        let Some(rec) = self.lock_acqs.get_mut(vt).and_then(|q| q.pop_front()) else {
+            self.replay.fail(t.t, "granted an acquisition with no record to consume".into());
+            return None;
+        };
+        self.lock_total -= 1;
+        if self.lock_total == 0 {
+            self.replay.mark_recovery_complete(_acct);
+        }
+        self.replay.stats.locks_acquired += 1;
+        // Replay bookkeeping: locating and consuming the record costs
+        // about what creating it did (no communication, though).
+        _acct.charge(Category::LockAcquire, self.replay.cost.lock_record);
+        if rec.l_asn != l_asn || rec.t_asn != t.t_asn {
+            self.replay.fail(
+                t.t,
+                format!(
+                    "acquisition replayed at (t_asn {}, l_asn {l_asn}) but record says ({}, {})",
+                    t.t_asn, rec.t_asn, rec.l_asn
+                ),
+            );
+        }
+        match l_id {
+            Some(id) => {
+                debug_assert_eq!(id, rec.l_id, "pre_monitor_acquire verified the id");
+                None
+            }
+            None => {
+                // Claim this thread's id map (§4.2): it must exist, since
+                // pre granted the first acquisition only on a map match.
+                match self.id_maps.remove(&(vt.clone(), t.t_asn)) {
+                    Some(mapped) => {
+                        if mapped != rec.l_id {
+                            self.replay.fail(
+                                t.t,
+                                format!("id map assigns lock {mapped} but record names lock {}", rec.l_id),
+                            );
+                        }
+                        Some(rec.l_id)
+                    }
+                    None => {
+                        self.replay.fail(t.t, "first acquisition granted without an id map".into());
+                        Some(rec.l_id)
+                    }
+                }
+            }
+        }
+    }
+
+    fn pre_native(
+        &mut self,
+        t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        _args: &[Value],
+        acct: &mut TimeAccount,
+    ) -> NativeDirective {
+        self.replay.directive(t, decl, acct)
+    }
+
+    fn begin_output(&mut self, _t: &ThreadObs<'_>, _decl: &NativeDecl, _acct: &mut TimeAccount) -> u64 {
+        self.replay.live_output_id()
+    }
+
+    fn on_stall(&mut self, _acct: &mut TimeAccount) -> bool {
+        if self.lock_total > 0 {
+            // Locks records remain but nobody can consume them: the
+            // replayed execution diverged (typically a data race, Fig. 1).
+            self.replay.error.get_or_insert(VmError::ReplayDivergence {
+                thread: ThreadIdx(0),
+                detail: format!(
+                    "recovery stalled with {} unconsumed lock-acquisition records — \
+                     the replay diverged from the primary (R4A violation?)",
+                    self.lock_total
+                ),
+            });
+            return true;
+        }
+        false
+    }
+}
+
+/// Backup coordinator for **replicated thread scheduling** recovery.
+#[derive(Debug)]
+pub struct TsBackup {
+    replay: NativeReplay,
+    sched: VecDeque<SchedRec>,
+    last_br: HashMap<u32, u64>,
+    /// The thread the replay says must run now; `None` once recovery is
+    /// over and free scheduling resumes.
+    designated: Option<VtPath>,
+}
+
+impl TsBackup {
+    /// Builds the coordinator from a decoded log.
+    pub fn new(mut log: BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        let sched = std::mem::take(&mut log.sched);
+        let replay = NativeReplay::new(&mut log, world, se, cost);
+        // Execution always begins with the root thread; even with no
+        // schedule records (single-threaded programs) the root stays
+        // designated until its logged natives/outputs drain (the paper's
+        // final-record rule).
+        TsBackup { replay, sched, last_br: HashMap::new(), designated: Some(VtPath::root()) }
+    }
+
+    /// Backup-side statistics.
+    pub fn stats(&self) -> &ReplicationStats {
+        &self.replay.stats
+    }
+
+    /// True once free scheduling has resumed.
+    pub fn recovery_complete(&self) -> bool {
+        self.designated.is_none()
+    }
+
+    /// Simulated instant at which the log replay finished.
+    pub fn recovery_completed_at(&self) -> Option<ftjvm_netsim::SimTime> {
+        self.replay.recovery_completed_at
+    }
+
+    /// Does `snap`/`obs` match the front record's progress point?
+    fn matches_front(rec: &SchedRec, br: u64, mon: u64, method: Option<u32>, pc: u32, in_native: bool) -> bool {
+        if rec.br_cnt != br || rec.in_native != in_native {
+            return false;
+        }
+        if in_native {
+            // Inside a native method the JVM cannot see the PC; the replay
+            // point is identified by the monitor-operation count (§4.2).
+            rec.mon_cnt == mon && rec.pc_off == pc && method.map(|m| m == rec.method).unwrap_or(false)
+        } else {
+            rec.mon_cnt == mon && rec.pc_off == pc && method.map(|m| m == rec.method).unwrap_or(false)
+        }
+    }
+
+    fn advance(&mut self, acct: &mut TimeAccount) {
+        let rec = self.sched.pop_front().expect("advance() called with a front record");
+        self.designated = Some(rec.next);
+        self.replay.stats.sched_records += 1;
+        acct.charge(Category::Resched, self.replay.cost.sched_record);
+    }
+
+    /// After consuming records (or at any progress point), recovery ends
+    /// when no schedule records remain and the designated thread has
+    /// reproduced all of its logged interactions with the environment.
+    fn maybe_finish(&mut self) {
+        if !self.sched.is_empty() {
+            return;
+        }
+        if let Some(des) = &self.designated {
+            if self.replay.drained_for(des) {
+                self.designated = None;
+            }
+        }
+    }
+}
+
+impl Coordinator for TsBackup {
+    fn mode(&self) -> &'static str {
+        "ts-backup"
+    }
+
+    fn stop(&mut self) -> Option<StopReason> {
+        self.replay.take_stop()
+    }
+
+    fn allow_quantum_preempt(&mut self, _t: &ThreadObs<'_>) -> bool {
+        // During recovery only recorded points may switch application
+        // threads; afterwards, normal preemption resumes.
+        self.designated.is_none()
+    }
+
+    fn check_preempt(&mut self, t: &ThreadObs<'_>, acct: &mut TimeAccount) -> bool {
+        self.maybe_finish();
+        let Some(des) = &self.designated else {
+            self.replay.mark_recovery_complete(acct);
+            return false;
+        };
+        // The backup tracks replay progress with the same per-instruction
+        // PC updates and per-branch counter maintenance as the primary.
+        {
+            let mut cost = self.replay.cost.ts_pc_track;
+            let last = self.last_br.entry(t.t.0).or_insert(0);
+            if t.br_cnt > *last {
+                let delta = t.br_cnt - *last;
+                *last = t.br_cnt;
+                cost += SimTime::from_nanos(self.replay.cost.ts_br_track.as_nanos() * delta);
+            }
+            acct.charge(Category::Misc, cost);
+        }
+        let vt = t.vt.expect("app threads only");
+        if vt != des {
+            // A non-designated application thread slipped in; park it.
+            return true;
+        }
+        let Some(rec) = self.sched.front() else { return false };
+        if &rec.t != vt {
+            self.replay.fail(
+                t.t,
+                format!("designated thread {vt} running but front schedule record is for {}", rec.t),
+            );
+            return false;
+        }
+        if Self::matches_front(rec, t.br_cnt, t.mon_cnt, t.method.map(|m| m.0), t.pc, t.in_native) {
+            self.advance(acct);
+            return true;
+        }
+        false
+    }
+
+    fn on_yield(&mut self, snap: &ThreadSnap, reason: SwitchReason, acct: &mut TimeAccount) {
+        // Blocking yields consume their schedule record here: the counters
+        // in the record include bumps performed inside the blocking unit
+        // (e.g. `wait` releases the monitor before parking).
+        if self.designated.is_none() || snap.vt.is_none() {
+            return;
+        }
+        let blocking = matches!(
+            reason,
+            SwitchReason::BlockedMonitor
+                | SwitchReason::Waiting
+                | SwitchReason::Sleep
+                | SwitchReason::Internal
+        );
+        if !blocking {
+            return;
+        }
+        let Some(des) = &self.designated else { return };
+        if snap.vt.as_ref() != Some(des) {
+            return;
+        }
+        let Some(rec) = self.sched.front() else { return };
+        if Some(&rec.t) != snap.vt.as_ref() {
+            return;
+        }
+        if Self::matches_front(
+            rec,
+            snap.br_cnt,
+            snap.mon_cnt,
+            snap.method.map(|m| m.0),
+            snap.pc,
+            snap.in_native,
+        ) {
+            // Wake-order consistency check (the record's l_asn field).
+            if rec.l_asn != 0 && rec.l_asn != snap.blocked_lasn {
+                self.replay.fail(
+                    snap.t,
+                    format!(
+                        "blocked with lock at l_asn {} but the record expected {}",
+                        snap.blocked_lasn, rec.l_asn
+                    ),
+                );
+            }
+            self.advance(acct);
+        }
+    }
+
+    fn on_thread_exit(&mut self, t: &ThreadObs<'_>, acct: &mut TimeAccount) {
+        let Some(des) = self.designated.clone() else { return };
+        let vt = t.vt.expect("app threads only");
+        if *vt != des {
+            return;
+        }
+        match self.sched.front() {
+            Some(rec) if &rec.t == vt => self.advance(acct),
+            Some(_) => {
+                // Terminated while a record for another thread is at the
+                // front — impossible in a faithful replay.
+                self.replay.fail(t.t, "designated thread exited out of recorded order".into());
+            }
+            None => {
+                if self.replay.drained_for(vt) {
+                    self.designated = None;
+                    self.replay.mark_recovery_complete(acct);
+                } else {
+                    self.replay.fail(
+                        t.t,
+                        "designated thread exited with logged interactions left to reproduce".into(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn pick_next(&mut self, candidates: &[ThreadSnap]) -> Pick {
+        let Some(des) = &self.designated else { return Pick::Default };
+        if let Some(i) = candidates.iter().position(|c| c.vt.as_ref() == Some(des)) {
+            return Pick::Choose(i);
+        }
+        // The designated thread is not runnable: let system threads work
+        // (they may hold the lock it needs); never run another app thread.
+        if let Some(i) = candidates.iter().position(|c| c.vt.is_none()) {
+            return Pick::Choose(i);
+        }
+        Pick::Idle
+    }
+
+    fn pre_native(
+        &mut self,
+        t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        _args: &[Value],
+        acct: &mut TimeAccount,
+    ) -> NativeDirective {
+        self.replay.directive(t, decl, acct)
+    }
+
+    fn begin_output(&mut self, _t: &ThreadObs<'_>, _decl: &NativeDecl, _acct: &mut TimeAccount) -> u64 {
+        self.replay.live_output_id()
+    }
+
+    fn on_stall(&mut self, _acct: &mut TimeAccount) -> bool {
+        if self.designated.is_some() {
+            self.replay.error.get_or_insert(VmError::ReplayDivergence {
+                thread: ThreadIdx(0),
+                detail: format!(
+                    "thread-schedule recovery stalled with {} records left (designated {:?})",
+                    self.sched.len(),
+                    self.designated
+                ),
+            });
+            return true;
+        }
+        false
+    }
+
+    fn on_exit(&mut self, _acct: &mut TimeAccount) {}
+}
+
+
+/// Backup coordinator for **interval-compressed lock synchronization**
+/// recovery: enforces the total acquisition order recorded as
+/// [`Record::LockInterval`]s — during interval *i* only its thread may
+/// acquire monitors; everyone else defers.
+#[derive(Debug)]
+pub struct IntervalBackup {
+    replay: NativeReplay,
+    intervals: VecDeque<IntervalRec>,
+    remaining_total: usize,
+}
+
+impl IntervalBackup {
+    /// Builds the coordinator from a decoded log.
+    pub fn new(mut log: BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        let intervals = std::mem::take(&mut log.intervals);
+        let remaining_total = log.interval_total;
+        IntervalBackup { replay: NativeReplay::new(&mut log, world, se, cost), intervals, remaining_total }
+    }
+
+    /// Backup-side statistics.
+    pub fn stats(&self) -> &ReplicationStats {
+        &self.replay.stats
+    }
+
+    /// True once every interval has been consumed.
+    pub fn recovery_complete(&self) -> bool {
+        self.remaining_total == 0
+    }
+
+    /// Simulated instant at which the log replay finished.
+    pub fn recovery_completed_at(&self) -> Option<ftjvm_netsim::SimTime> {
+        self.replay.recovery_completed_at
+    }
+}
+
+impl Coordinator for IntervalBackup {
+    fn mode(&self) -> &'static str {
+        "lock-interval-backup"
+    }
+
+    fn stop(&mut self) -> Option<StopReason> {
+        self.replay.take_stop()
+    }
+
+    fn pre_monitor_acquire(
+        &mut self,
+        t: &ThreadObs<'_>,
+        _obj: ObjRef,
+        _l_id: Option<u64>,
+        _l_asn: u64,
+    ) -> MonitorDecision {
+        let Some(front) = self.intervals.front() else {
+            return MonitorDecision::Grant; // end of recovery
+        };
+        let vt = t.vt.expect("app threads only");
+        if &front.t == vt {
+            MonitorDecision::Grant
+        } else {
+            MonitorDecision::Defer
+        }
+    }
+
+    fn post_monitor_acquire(
+        &mut self,
+        t: &ThreadObs<'_>,
+        _obj: ObjRef,
+        _l_id: Option<u64>,
+        _l_asn: u64,
+        acct: &mut TimeAccount,
+    ) -> Option<u64> {
+        let Some(front) = self.intervals.front_mut() else {
+            return None; // live phase
+        };
+        let vt = t.vt.expect("app threads only");
+        if &front.t != vt {
+            self.replay.fail(t.t, "acquisition granted outside the current interval".into());
+            return None;
+        }
+        // t_asn ordering inside the interval.
+        let expected = front.t_asn_start + (front.count - front.remaining);
+        if t.t_asn != expected {
+            self.replay.fail(
+                t.t,
+                format!("interval expected acquisition t_asn {expected}, got {}", t.t_asn),
+            );
+        }
+        acct.charge(ftjvm_netsim::Category::LockAcquire, self.replay.cost.interval_update);
+        front.remaining -= 1;
+        self.remaining_total -= 1;
+        if front.remaining == 0 {
+            self.intervals.pop_front();
+        }
+        self.replay.stats.locks_acquired += 1;
+        if self.remaining_total == 0 {
+            self.replay.mark_recovery_complete(acct);
+        }
+        None
+    }
+
+    fn pre_native(
+        &mut self,
+        t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        _args: &[Value],
+        acct: &mut TimeAccount,
+    ) -> NativeDirective {
+        self.replay.directive(t, decl, acct)
+    }
+
+    fn begin_output(&mut self, _t: &ThreadObs<'_>, _decl: &NativeDecl, _acct: &mut TimeAccount) -> u64 {
+        self.replay.live_output_id()
+    }
+
+    fn on_stall(&mut self, _acct: &mut TimeAccount) -> bool {
+        if self.remaining_total > 0 {
+            self.replay.error.get_or_insert(VmError::ReplayDivergence {
+                thread: ThreadIdx(0),
+                detail: format!(
+                    "interval recovery stalled with {} acquisitions left to replay",
+                    self.remaining_total
+                ),
+            });
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::sig_hash as hash_of;
+    use ftjvm_vm::native::{NativeDecl, NativeKind};
+    use ftjvm_vm::World;
+
+    fn decl(name: &str, nd: bool, output: bool, volatile_state: bool, returns: bool) -> NativeDecl {
+        NativeDecl {
+            name: name.into(),
+            argc: 0,
+            returns,
+            nondeterministic: nd,
+            output,
+            creates_volatile: volatile_state,
+            kind: NativeKind::Simple(|_| Ok(None)),
+        }
+    }
+
+    fn obs(vt: &VtPath) -> (ThreadIdx, &VtPath) {
+        (ThreadIdx(0), vt)
+    }
+
+    /// Builds a replay over a hand-assembled log.
+    fn replay_from(records: Vec<Record>, world: SharedWorld) -> NativeReplay {
+        let frames: Vec<Bytes> = records.iter().map(|r| r.encode()).collect();
+        let mut se = SeRegistry::with_builtins();
+        let mut log = BackupLog::decode(frames, &mut se).expect("decodes");
+        NativeReplay::new(&mut log, world, se, ftjvm_netsim::CostModel::default())
+    }
+
+    fn make_obs<'a>(t: ThreadIdx, vt: &'a VtPath) -> ThreadObs<'a> {
+        ThreadObs {
+            t,
+            vt: Some(vt),
+            br_cnt: 0,
+            mon_cnt: 0,
+            t_asn: 0,
+            method: None,
+            pc: 0,
+            in_native: false,
+        }
+    }
+
+    #[test]
+    fn deterministic_non_output_natives_always_execute() {
+        let vt = VtPath::root();
+        let mut r = replay_from(vec![], World::shared());
+        let d = decl("plain.native", false, false, false, true);
+        let mut acct = TimeAccount::new();
+        let (t, vt_ref) = obs(&vt);
+        assert!(matches!(
+            r.directive(&make_obs(t, vt_ref), &d, &mut acct),
+            NativeDirective::Execute
+        ));
+    }
+
+    #[test]
+    fn nd_native_with_logged_result_is_imposed_without_execution() {
+        let vt = VtPath::root();
+        let mut r = replay_from(
+            vec![Record::NativeResult {
+                t: vt.clone(),
+                seq: 1,
+                sig_hash: hash_of("sys.clock"),
+                result: LoggedResult::Ok(Some(crate::records::WireValue::Int(42))),
+                out_args: vec![],
+            }],
+            World::shared(),
+        );
+        let d = decl("sys.clock", true, false, false, true);
+        let mut acct = TimeAccount::new();
+        let (t, vt_ref) = obs(&vt);
+        match r.directive(&make_obs(t, vt_ref), &d, &mut acct) {
+            NativeDirective::Replay(a) => {
+                assert!(!a.execute, "pure ND input: skip the body");
+                assert_eq!(a.result, Some(Ok(Some(ftjvm_vm::Value::Int(42)))));
+            }
+            NativeDirective::Execute => panic!("must impose the logged result"),
+        }
+        // Second call: past the log — live execution.
+        assert!(matches!(
+            r.directive(&make_obs(t, vt_ref), &d, &mut acct),
+            NativeDirective::Execute
+        ));
+    }
+
+    #[test]
+    fn wrong_native_order_is_divergence() {
+        let vt = VtPath::root();
+        let mut r = replay_from(
+            vec![Record::NativeResult {
+                t: vt.clone(),
+                seq: 1,
+                sig_hash: hash_of("sys.clock"),
+                result: LoggedResult::Ok(Some(crate::records::WireValue::Int(1))),
+                out_args: vec![],
+            }],
+            World::shared(),
+        );
+        // The thread calls sys.rand where the log says sys.clock — a data
+        // race reordered its execution.
+        let d = decl("sys.rand", true, false, false, true);
+        let mut acct = TimeAccount::new();
+        let (t, vt_ref) = obs(&vt);
+        let _ = r.directive(&make_obs(t, vt_ref), &d, &mut acct);
+        assert!(matches!(r.take_stop(), Some(StopReason::Error(VmError::ReplayDivergence { .. }))));
+    }
+
+    #[test]
+    fn performed_console_output_is_skipped_unperformed_is_reexecuted() {
+        let vt = VtPath::root();
+        let world = World::shared();
+        // Two committed console outputs; a later same-thread commit proves
+        // the first was performed; the second is uncertain and the world
+        // says it never happened.
+        let mut r = replay_from(
+            vec![
+                Record::OutputCommit { t: vt.clone(), seq: 1, output_id: 10 },
+                Record::OutputCommit { t: vt.clone(), seq: 2, output_id: 11 },
+            ],
+            world.clone(),
+        );
+        let d = decl("sys.print", false, true, false, false);
+        let mut acct = TimeAccount::new();
+        let (t, vt_ref) = obs(&vt);
+        // Output 10: proven performed (commit 11 is same-thread progress).
+        match r.directive(&make_obs(t, vt_ref), &d, &mut acct) {
+            NativeDirective::Replay(a) => {
+                assert!(!a.execute, "performed console output must not repeat");
+                assert_eq!(a.output_id, Some(10));
+            }
+            NativeDirective::Execute => panic!("output 10 was proven performed"),
+        }
+        // Output 11: uncertain, test() says not applied -> re-execute with
+        // the committed id.
+        match r.directive(&make_obs(t, vt_ref), &d, &mut acct) {
+            NativeDirective::Replay(a) => {
+                assert!(a.execute, "uncertain unperformed output must be performed");
+                assert_eq!(a.output_id, Some(11));
+                assert!(a.result.is_none(), "keep whatever the re-executed body returns");
+            }
+            NativeDirective::Execute => panic!("the commit id must be imposed"),
+        }
+    }
+
+    #[test]
+    fn uncertain_output_already_applied_is_skipped_via_test() {
+        let vt = VtPath::root();
+        let world = World::shared();
+        world.borrow_mut().println(10, "primary", "already out");
+        let mut r = replay_from(
+            vec![Record::OutputCommit { t: vt.clone(), seq: 1, output_id: 10 }],
+            world.clone(),
+        );
+        let d = decl("sys.print", false, true, false, false);
+        let mut acct = TimeAccount::new();
+        let (t, vt_ref) = obs(&vt);
+        match r.directive(&make_obs(t, vt_ref), &d, &mut acct) {
+            NativeDirective::Replay(a) => assert!(!a.execute, "test() said it already happened"),
+            NativeDirective::Execute => panic!("must consult test()"),
+        }
+    }
+
+    #[test]
+    fn schedule_records_do_not_prove_output_performed() {
+        let vt = VtPath::root();
+        let other = VtPath::root().child(0);
+        let world = World::shared();
+        // A schedule record follows the commit — that can be the preemption
+        // *between* commit and output, so it must NOT count as proof.
+        let mut r = replay_from(
+            vec![
+                Record::OutputCommit { t: vt.clone(), seq: 1, output_id: 10 },
+                Record::Sched {
+                    t: vt.clone(),
+                    br_cnt: 5,
+                    method: 0,
+                    pc_off: 3,
+                    mon_cnt: 0,
+                    l_asn: 0,
+                    in_native: true,
+                    next: other,
+                },
+            ],
+            world.clone(),
+        );
+        let d = decl("sys.print", false, true, false, false);
+        let mut acct = TimeAccount::new();
+        let (t, vt_ref) = obs(&vt);
+        match r.directive(&make_obs(t, vt_ref), &d, &mut acct) {
+            NativeDirective::Replay(a) => {
+                assert!(a.execute, "unproven output must be (re-)performed");
+            }
+            NativeDirective::Execute => panic!("the commit id must be imposed"),
+        }
+    }
+
+    #[test]
+    fn volatile_output_with_lost_result_record_is_reexecuted() {
+        // file.write committed + performed, but its result record was
+        // still buffered at the crash: re-execute (idempotent by id) and
+        // keep the recomputed return value.
+        let vt = VtPath::root();
+        let world = World::shared();
+        world.borrow_mut().write_file_at(10, "f", 0, b"x");
+        let mut r = replay_from(
+            vec![Record::OutputCommit { t: vt.clone(), seq: 1, output_id: 10 }],
+            world.clone(),
+        );
+        let d = decl("file.write", true, true, true, true);
+        let mut acct = TimeAccount::new();
+        let (t, vt_ref) = obs(&vt);
+        match r.directive(&make_obs(t, vt_ref), &d, &mut acct) {
+            NativeDirective::Replay(a) => {
+                assert!(a.execute, "must re-run to recompute the lost return value");
+                assert!(a.result.is_none());
+                assert_eq!(a.output_id, Some(10));
+            }
+            NativeDirective::Execute => panic!("the commit id must be imposed"),
+        }
+    }
+
+    #[test]
+    fn decode_indexes_records_by_kind() {
+        let vt = VtPath::root();
+        let records = [
+            Record::IdMap { l_id: 0, t: vt.clone(), t_asn: 1 },
+            Record::LockAcq { t: vt.clone(), t_asn: 1, l_id: 0, l_asn: 1 },
+            Record::LockInterval { t: vt.clone(), t_asn_start: 2, count: 5 },
+            Record::Heartbeat { now_ns: 1 },
+            Record::OutputCommit { t: vt.clone(), seq: 1, output_id: 0 },
+            Record::SeState { handler: 0, payload: Bytes::from_static(b"x") },
+        ];
+        let frames: Vec<Bytes> = records.iter().map(|r| r.encode()).collect();
+        let mut se = SeRegistry::with_builtins();
+        let log = BackupLog::decode(frames, &mut se).unwrap();
+        assert_eq!(log.total_records(), 6);
+        assert_eq!(log.lock_records(), 1);
+        assert_eq!(log.interval_records(), 1);
+        assert_eq!(log.sched_records(), 0);
+    }
+}

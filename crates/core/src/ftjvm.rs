@@ -1,0 +1,468 @@
+//! The top-level fault-tolerant JVM harness: a primary/backup replica pair
+//! over a shared world, with fail-stop fault injection and recovery.
+//!
+//! [`FtJvm`] owns a program and a configuration; each `run_*` method builds
+//! fresh replicas over a fresh [`World`]:
+//!
+//! * [`FtJvm::run_unreplicated`] — the baseline (the paper's "original
+//!   JVM"), used as the denominator of every normalized figure;
+//! * [`FtJvm::run_replicated`] — primary with full replication, cold
+//!   backup just logging (the failure-free runs of Figures 2–4);
+//! * [`FtJvm::run_with_failure`] — primary crashes per the fault plan, the
+//!   backup detects the failure, replays the log, and carries the program
+//!   to completion as the new authority.
+
+use crate::backup::{BackupLog, IntervalBackup, LockSyncBackup, TsBackup};
+use crate::primary::{IntervalPrimary, LockSyncPrimary, PrimaryCore, TsPrimary};
+use crate::se::SeRegistry;
+use crate::stats::ReplicationStats;
+use ftjvm_netsim::{ChannelStats, FailureDetector, FaultPlan, SimChannel, SimTime};
+use ftjvm_vm::{
+    NativeRegistry, NoopCoordinator, Program, RunOutcome, RunReport, SharedWorld,
+    SimEnv, Vm, VmConfig, VmError, World,
+};
+use std::sync::Arc;
+
+/// Which of the paper's two techniques masks multithreading
+/// non-determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Replicated lock synchronization (§4.2; assumes R4A).
+    LockSync,
+    /// Replicated thread scheduling (§4.2; assumes R4B / green threads).
+    ThreadSched,
+}
+
+/// How lock-synchronization records are encoded on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockVariant {
+    /// One record per acquisition, exactly as in the paper (§4.2).
+    #[default]
+    PerAcquisition,
+    /// DejaVu-style interval compression (discussed in the paper's related
+    /// work): globally-consecutive acquisitions by one thread collapse
+    /// into a single record, typically shrinking the lock log by orders of
+    /// magnitude on low-contention programs.
+    Intervals,
+}
+
+impl std::fmt::Display for LockVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LockVariant::PerAcquisition => "per-acquisition",
+            LockVariant::Intervals => "intervals",
+        })
+    }
+}
+
+impl std::fmt::Display for ReplicationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReplicationMode::LockSync => "lock-sync",
+            ReplicationMode::ThreadSched => "thread-sched",
+        })
+    }
+}
+
+/// Configuration of a replica pair.
+#[derive(Clone)]
+pub struct FtConfig {
+    /// Replication technique.
+    pub mode: ReplicationMode,
+    /// Lock-record encoding for [`ReplicationMode::LockSync`].
+    pub lock_variant: LockVariant,
+    /// A *warm* backup replays log records as they arrive instead of only
+    /// after a failure (the paper: "Keeping the backup updated would
+    /// require only minor modifications"). Functionally identical; the
+    /// replay work moves from the failover path to normal operation, so
+    /// [`PairReport::failover_latency`] collapses to detection time.
+    pub warm_backup: bool,
+    /// Base VM configuration (quantum, heap, cost model, entry argument).
+    /// Seeds inside are overridden per replica.
+    pub vm: VmConfig,
+    /// Scheduler seed of the primary.
+    pub primary_seed: u64,
+    /// Scheduler seed of the backup — deliberately different: replication
+    /// must mask the interleaving difference.
+    pub backup_seed: u64,
+    /// Wall-clock skew of each replica (ND input source).
+    pub primary_skew: SimTime,
+    /// Wall-clock skew of the backup.
+    pub backup_skew: SimTime,
+    /// Environment RNG seed of each replica (ND input source).
+    pub primary_env_seed: u64,
+    /// Environment RNG seed of the backup.
+    pub backup_env_seed: u64,
+    /// When (if ever) the primary fail-stops.
+    pub fault: FaultPlan,
+    /// Bytes of buffered records that trigger a periodic flush to the
+    /// backup (also flushed at every output commit and at program exit).
+    /// Smaller values narrow the window of records lost at a crash, at a
+    /// higher communication cost.
+    pub flush_threshold: usize,
+    /// Failure-detection parameters.
+    pub detector: FailureDetector,
+    /// Factory for the side-effect-handler registry (one per replica).
+    pub se_factory: fn() -> SeRegistry,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            mode: ReplicationMode::LockSync,
+            lock_variant: LockVariant::PerAcquisition,
+            warm_backup: false,
+            vm: VmConfig::default(),
+            primary_seed: 11,
+            backup_seed: 1337,
+            primary_skew: SimTime::from_millis(2),
+            backup_skew: SimTime::from_millis(17),
+            primary_env_seed: 0xA11CE,
+            backup_env_seed: 0xB0B,
+            fault: FaultPlan::None,
+            flush_threshold: 16 * 1024,
+            detector: FailureDetector::default(),
+            se_factory: SeRegistry::with_builtins,
+        }
+    }
+}
+
+impl std::fmt::Debug for FtConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FtConfig")
+            .field("mode", &self.mode)
+            .field("fault", &self.fault)
+            .field("primary_seed", &self.primary_seed)
+            .field("backup_seed", &self.backup_seed)
+            .finish()
+    }
+}
+
+/// Everything observable about one replicated run.
+#[derive(Debug)]
+pub struct PairReport {
+    /// The primary's run report (per-category times, counters).
+    pub primary: RunReport,
+    /// The primary's replication statistics (Table 2 raw material).
+    pub primary_stats: ReplicationStats,
+    /// True if the fault plan fired.
+    pub crashed: bool,
+    /// The backup's run report, if it had to take over.
+    pub backup: Option<RunReport>,
+    /// Backup-side replication statistics, if it took over.
+    pub backup_stats: Option<ReplicationStats>,
+    /// How long failure detection took (heartbeat interval × misses).
+    pub detection_latency: SimTime,
+    /// Simulated time the backup spent replaying the log (recovery), as
+    /// opposed to continuing live execution afterwards.
+    pub recovery_replay_time: SimTime,
+    /// End-to-end failover latency: detection plus — for a cold backup —
+    /// the log replay. A warm backup already replayed during normal
+    /// operation, so only detection remains.
+    pub failover_latency: SimTime,
+    /// Log-channel statistics.
+    pub channel: ChannelStats,
+    /// The shared world: console, files, applied outputs.
+    pub world: SharedWorld,
+}
+
+impl PairReport {
+    /// The console text lines the external world observed, in order.
+    pub fn console(&self) -> Vec<String> {
+        self.world.borrow().console_texts()
+    }
+
+    /// Checks that every console output id is unique (no duplicated
+    /// outputs — the observable half of exactly-once).
+    ///
+    /// # Errors
+    /// Returns the offending output id.
+    pub fn check_no_duplicate_outputs(&self) -> Result<(), u64> {
+        let world = self.world.borrow();
+        let mut seen = std::collections::BTreeSet::new();
+        for line in world.console() {
+            if !seen.insert(line.output_id) {
+                return Err(line.output_id);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fault-tolerant JVM: a program plus a replica-pair configuration.
+#[derive(Debug)]
+pub struct FtJvm {
+    program: Arc<Program>,
+    natives: NativeRegistry,
+    cfg: FtConfig,
+}
+
+impl FtJvm {
+    /// Creates a harness with the builtin native registry.
+    pub fn new(program: Arc<Program>, cfg: FtConfig) -> Self {
+        FtJvm { program, natives: NativeRegistry::with_builtins(), cfg }
+    }
+
+    /// Creates a harness with a custom native registry (applications with
+    /// their own natives and SE handlers).
+    pub fn with_natives(program: Arc<Program>, natives: NativeRegistry, cfg: FtConfig) -> Self {
+        FtJvm { program, natives, cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FtConfig {
+        &self.cfg
+    }
+
+    fn vm_config(&self, seed: u64) -> VmConfig {
+        VmConfig { sched_seed: seed, ..self.cfg.vm.clone() }
+    }
+
+    fn primary_env(&self, world: &SharedWorld) -> SimEnv {
+        SimEnv::new("primary", world.clone(), self.cfg.primary_skew, self.cfg.primary_env_seed)
+    }
+
+    fn backup_env(&self, world: &SharedWorld) -> SimEnv {
+        SimEnv::new("backup", world.clone(), self.cfg.backup_skew, self.cfg.backup_env_seed)
+    }
+
+    /// Runs the program on a single, unreplicated VM (the baseline of every
+    /// normalized measurement).
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors.
+    pub fn run_unreplicated(&self) -> Result<(RunReport, SharedWorld), VmError> {
+        let world = World::shared();
+        let env = self.primary_env(&world);
+        let mut vm = Vm::new(
+            self.program.clone(),
+            self.natives.clone(),
+            env,
+            self.vm_config(self.cfg.primary_seed),
+        )?;
+        let report = vm.run(&mut NoopCoordinator::new())?;
+        Ok((report, world))
+    }
+
+    fn run_primary_phase(
+        &self,
+        world: &SharedWorld,
+        fault: FaultPlan,
+    ) -> Result<(RunReport, SimChannel, ReplicationStats, Vm), VmError> {
+        let channel = SimChannel::new(self.cfg.vm.cost.net.clone());
+        let mut core =
+            PrimaryCore::new(channel, self.cfg.vm.cost.clone(), fault, (self.cfg.se_factory)());
+        core.flush_threshold = self.cfg.flush_threshold;
+        core.set_heartbeat_interval(self.cfg.detector.interval());
+        let penv = self.primary_env(world);
+        let mut vm = Vm::new(
+            self.program.clone(),
+            self.natives.clone(),
+            penv,
+            self.vm_config(self.cfg.primary_seed),
+        )?;
+        let (report, channel, stats) = match (self.cfg.mode, self.cfg.lock_variant) {
+            (ReplicationMode::LockSync, LockVariant::PerAcquisition) => {
+                let mut coord = LockSyncPrimary::new(core);
+                let report = vm.run(&mut coord)?;
+                let (channel, stats) = coord.common.into_parts();
+                (report, channel, stats)
+            }
+            (ReplicationMode::LockSync, LockVariant::Intervals) => {
+                let mut coord = IntervalPrimary::new(core);
+                let report = vm.run(&mut coord)?;
+                let (channel, stats) = coord.common.into_parts();
+                (report, channel, stats)
+            }
+            (ReplicationMode::ThreadSched, _) => {
+                let mut coord = TsPrimary::new(core);
+                let report = vm.run(&mut coord)?;
+                let (channel, stats) = coord.common.into_parts();
+                (report, channel, stats)
+            }
+        };
+        Ok((report, channel, stats, vm))
+    }
+
+    fn run_backup_phase(
+        &self,
+        world: &SharedWorld,
+        frames: Vec<bytes::Bytes>,
+    ) -> Result<(RunReport, ReplicationStats, Option<SimTime>), VmError> {
+        let mut se = (self.cfg.se_factory)();
+        let log = BackupLog::decode(frames, &mut se)?;
+        let mut benv = self.backup_env(world);
+        // SE-handler `restore`: re-create the primary's volatile
+        // environment state (open files at their recovered offsets).
+        se.restore(&mut benv);
+        let mut bvm = Vm::new(
+            self.program.clone(),
+            self.natives.clone(),
+            benv,
+            self.vm_config(self.cfg.backup_seed),
+        )?;
+        let cost = self.cfg.vm.cost.clone();
+        match (self.cfg.mode, self.cfg.lock_variant) {
+            (ReplicationMode::LockSync, LockVariant::PerAcquisition) => {
+                let mut coord = LockSyncBackup::new(log, world.clone(), se, cost);
+                let report = bvm.run(&mut coord)?;
+                Ok((report, coord.stats().clone(), coord.recovery_completed_at()))
+            }
+            (ReplicationMode::LockSync, LockVariant::Intervals) => {
+                let mut coord = IntervalBackup::new(log, world.clone(), se, cost);
+                let report = bvm.run(&mut coord)?;
+                Ok((report, coord.stats().clone(), coord.recovery_completed_at()))
+            }
+            (ReplicationMode::ThreadSched, _) => {
+                let mut coord = TsBackup::new(log, world.clone(), se, cost);
+                let report = bvm.run(&mut coord)?;
+                Ok((report, coord.stats().clone(), coord.recovery_completed_at()))
+            }
+        }
+    }
+
+    /// Runs the primary under full replication (cold or warm backup). If
+    /// the fault plan fires, the backup detects the failure, replays the
+    /// log and finishes the program.
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors from either replica, including
+    /// [`VmError::ReplayDivergence`] when recovery detects that the
+    /// program violated the mode's assumptions (e.g. a data race under
+    /// lock synchronization).
+    pub fn run_replicated(&self) -> Result<PairReport, VmError> {
+        let world = World::shared();
+        let (primary_report, mut channel, primary_stats, mut vm) =
+            self.run_primary_phase(&world, self.cfg.fault)?;
+        let crashed = primary_report.outcome == RunOutcome::Stopped;
+        let channel_stats = channel.stats();
+        if !crashed {
+            return Ok(PairReport {
+                primary: primary_report,
+                primary_stats,
+                crashed: false,
+                backup: None,
+                backup_stats: None,
+                detection_latency: SimTime::ZERO,
+                recovery_replay_time: SimTime::ZERO,
+                failover_latency: SimTime::ZERO,
+                channel: channel_stats,
+                world,
+            });
+        }
+        // Fail-stop: the primary's volatile environment state is lost.
+        vm.core_mut().env.fail();
+        let crash_at = primary_report.acct.now();
+        let detection_latency = self.cfg.detector.detection_instant(crash_at) - crash_at;
+        // The backup receives exactly the flushed prefix of the log.
+        let frames: Vec<bytes::Bytes> = channel.drain().into_iter().map(|(_, b)| b).collect();
+        let (backup_report, backup_stats, recovered_at) = self.run_backup_phase(&world, frames)?;
+        let recovery_replay_time = recovered_at.unwrap_or_else(|| backup_report.acct.now());
+        // Cold backups pay the replay at failover; warm backups already
+        // replayed everything flushed before the crash, so only detection
+        // (plus nothing in our model: all flushed records have arrived)
+        // remains.
+        let failover_latency = if self.cfg.warm_backup {
+            detection_latency
+        } else {
+            detection_latency + recovery_replay_time
+        };
+        Ok(PairReport {
+            primary: primary_report,
+            primary_stats,
+            crashed: true,
+            backup: Some(backup_report),
+            backup_stats: Some(backup_stats),
+            detection_latency,
+            recovery_replay_time,
+            failover_latency,
+            channel: channel_stats,
+            world,
+        })
+    }
+
+    /// Like [`FtJvm::run_replicated`] but asserts that a fault plan is
+    /// armed (catching benchmarks that forgot to arm one).
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors.
+    ///
+    /// # Panics
+    /// Panics if the configured fault plan can never fire.
+    pub fn run_with_failure(&self) -> Result<PairReport, VmError> {
+        assert!(self.cfg.fault.is_armed(), "run_with_failure requires an armed fault plan");
+        self.run_replicated()
+    }
+
+    /// Runs the failure-free pair, then replays the complete log on a
+    /// backup — used by benchmarks to measure backup replay cost (the
+    /// "backup" bars of Figure 2) without needing a mid-run crash.
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors.
+    pub fn run_backup_replay(&self) -> Result<PairReport, VmError> {
+        let world = World::shared();
+        let (primary_report, mut channel, primary_stats, _vm) =
+            self.run_primary_phase(&world, FaultPlan::None)?;
+        let channel_stats = channel.stats();
+        let frames: Vec<bytes::Bytes> = channel.drain().into_iter().map(|(_, b)| b).collect();
+        let (backup_report, backup_stats, recovered_at) = self.run_backup_phase(&world, frames)?;
+        let recovery_replay_time = recovered_at.unwrap_or_else(|| backup_report.acct.now());
+        Ok(PairReport {
+            primary: primary_report,
+            primary_stats,
+            crashed: false,
+            backup: Some(backup_report),
+            backup_stats: Some(backup_stats),
+            detection_latency: SimTime::ZERO,
+            recovery_replay_time,
+            failover_latency: SimTime::ZERO,
+            channel: channel_stats,
+            world,
+        })
+    }
+
+    /// Verifies restriction R4A the way the paper suggests: one
+    /// unreplicated run under the Eraser-style lockset detector. An empty
+    /// result means the observed execution obeyed the locking discipline
+    /// and the program is safe for [`ReplicationMode::LockSync`] (dynamic
+    /// detection is sound for the observed interleaving only — run it
+    /// under several seeds for confidence).
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors.
+    pub fn verify_r4a(&self) -> Result<Vec<ftjvm_vm::RaceReport>, VmError> {
+        let world = World::shared();
+        let env = self.primary_env(&world);
+        let mut cfg = self.vm_config(self.cfg.primary_seed);
+        cfg.race_detect = true;
+        let mut vm = Vm::new(self.program.clone(), self.natives.clone(), env, cfg)?;
+        let report = vm.run(&mut NoopCoordinator::new())?;
+        Ok(report.races)
+    }
+
+    /// Runs the failure-free primary and returns the decoded record stream
+    /// it would ship to the backup — the log-inspection entry point used
+    /// by `ftjvm-run --dump-log`.
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors.
+    pub fn capture_log(&self) -> Result<Vec<crate::records::Record>, VmError> {
+        let world = World::shared();
+        let (_, mut channel, _, _) = self.run_primary_phase(&world, FaultPlan::None)?;
+        channel
+            .drain()
+            .into_iter()
+            .map(|(_, frame)| {
+                crate::records::Record::decode(frame)
+                    .map_err(|e| VmError::Internal(format!("own log failed to decode: {e}")))
+            })
+            .collect()
+    }
+
+    /// Convenience: returns a coordinator-less clone of the program for
+    /// inspection.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+}

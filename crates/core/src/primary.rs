@@ -1,0 +1,744 @@
+//! The primary-side replication runtime and the two primary coordinators.
+//!
+//! [`PrimaryCore`] implements everything both techniques share: the
+//! buffered record log and its flush policy, the non-deterministic
+//! native-method interception (§4.1), output commit with pessimistic
+//! acknowledgment waits (§3.4), side-effect-handler `log` upcalls (§4.4),
+//! and fail-stop fault injection. On top of it:
+//!
+//! * [`LockSyncPrimary`] logs an id map on first acquisition and a lock
+//!   acquisition record on every monitor acquisition (§4.2, *Replicated
+//!   Lock Synchronization*);
+//! * [`TsPrimary`] charges the per-instruction progress bookkeeping and
+//!   logs a thread-schedule record whenever the scheduler switches between
+//!   two application threads (§4.2, *Replicated Thread Scheduling*).
+
+use crate::records::{sig_hash, LoggedResult, Record, WireValue};
+use crate::se::SeRegistry;
+use crate::stats::ReplicationStats;
+use ftjvm_netsim::{Category, CostModel, FaultPlan, SimChannel, SimTime, TimeAccount};
+
+use ftjvm_vm::native::{NativeDecl, NativeOutcome};
+use ftjvm_vm::{
+    Coordinator, NativeDirective, ObjRef, StopReason, SwitchReason, ThreadObs, ThreadSnap, Value,
+    VmError, VtPath,
+};
+use std::collections::HashMap;
+
+/// Shared primary-side machinery.
+pub struct PrimaryCore {
+    channel: SimChannel,
+    cost: CostModel,
+    fault: FaultPlan,
+    buffer: Vec<bytes::Bytes>,
+    buffered_bytes: usize,
+    /// Flush when this many bytes are buffered (also flushed at output
+    /// commit and program exit — the paper's "periodically or on an output
+    /// commit").
+    pub flush_threshold: usize,
+    crashed: bool,
+    error: Option<VmError>,
+    units: u64,
+    flushes: u64,
+    next_output_id: u64,
+    heartbeat_interval: SimTime,
+    next_heartbeat: SimTime,
+    nd_seq: HashMap<VtPath, u64>,
+    out_seq: HashMap<VtPath, u64>,
+    se: SeRegistry,
+    /// Aggregate statistics (Table 2 raw material).
+    pub stats: ReplicationStats,
+}
+
+impl std::fmt::Debug for PrimaryCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrimaryCore")
+            .field("crashed", &self.crashed)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl PrimaryCore {
+    /// Creates the shared primary machinery over `channel`.
+    pub fn new(channel: SimChannel, cost: CostModel, fault: FaultPlan, se: SeRegistry) -> Self {
+        PrimaryCore {
+            channel,
+            cost,
+            fault,
+            buffer: Vec::new(),
+            buffered_bytes: 0,
+            flush_threshold: 16 * 1024,
+            crashed: false,
+            error: None,
+            units: 0,
+            flushes: 0,
+            next_output_id: 0,
+            heartbeat_interval: SimTime::from_millis(50),
+            next_heartbeat: SimTime::ZERO,
+            nd_seq: HashMap::new(),
+            out_seq: HashMap::new(),
+            se,
+            stats: ReplicationStats::default(),
+        }
+    }
+
+    /// Consumes the core, returning the channel (the harness drains it into
+    /// the backup's log) and the final statistics.
+    pub fn into_parts(self) -> (SimChannel, ReplicationStats) {
+        (self.channel, self.stats)
+    }
+
+    fn vt(t: &ThreadObs<'_>) -> VtPath {
+        t.vt.expect("replication hooks fire for application threads only").clone()
+    }
+
+    /// Buffers one record, charging its creation to `cat`.
+    fn log(&mut self, rec: Record, cat: Category, create_cost: SimTime, acct: &mut TimeAccount) {
+        self.log_deferred(rec, cat, create_cost, acct);
+        self.maybe_flush(acct);
+    }
+
+    /// Buffers one record *without* a threshold flush — used when several
+    /// records must reach the backup atomically (a native's result and its
+    /// side-effect snapshot): a flush boundary between them would leave
+    /// the backup with a logged result but a stale volatile-state
+    /// snapshot, silently corrupting recovery.
+    fn log_deferred(&mut self, rec: Record, cat: Category, create_cost: SimTime, acct: &mut TimeAccount) {
+        if self.crashed {
+            return;
+        }
+        acct.charge(cat, create_cost);
+        self.stats.count_record(&rec);
+        let frame = rec.encode();
+        self.stats.bytes_logged += frame.len() as u64;
+        self.buffered_bytes += frame.len();
+        self.buffer.push(frame);
+    }
+
+    fn maybe_flush(&mut self, acct: &mut TimeAccount) {
+        if self.buffered_bytes >= self.flush_threshold {
+            self.flush(acct);
+        }
+    }
+
+    /// Sends every buffered record to the backup, charging the sender-side
+    /// cost to the communication category.
+    pub fn flush(&mut self, acct: &mut TimeAccount) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        for frame in self.buffer.drain(..) {
+            self.buffered_bytes = 0;
+            let cost = self.channel.send(acct.now(), frame);
+            acct.charge(Category::Communication, cost);
+        }
+        self.flushes += 1;
+        self.stats.flushes = self.flushes;
+        if let FaultPlan::AfterFlush(n) = self.fault {
+            if self.flushes > n {
+                self.crashed = true;
+            }
+        }
+    }
+
+    /// Sets the failure-detector heartbeat interval (the harness aligns it
+    /// with [`ftjvm_netsim::FailureDetector`]).
+    pub fn set_heartbeat_interval(&mut self, interval: SimTime) {
+        self.heartbeat_interval = interval;
+    }
+
+    /// Per-unit tick: drives the instruction-count fault plan and the
+    /// failure-detection heartbeat (the paper's dedicated system thread;
+    /// here a time-driven send on the log channel).
+    fn tick(&mut self, acct: &mut TimeAccount) {
+        self.units += 1;
+        if let FaultPlan::AfterInstructions(n) = self.fault {
+            if self.units > n {
+                self.crashed = true;
+            }
+        }
+        if !self.crashed && acct.now() >= self.next_heartbeat {
+            self.next_heartbeat = acct.now() + self.heartbeat_interval;
+            let frame = Record::Heartbeat { now_ns: acct.now().as_nanos() }.encode();
+            self.stats.heartbeats += 1;
+            let cost = self.channel.send(acct.now(), frame);
+            acct.charge(Category::Communication, cost);
+        }
+    }
+
+    fn stop(&mut self) -> Option<StopReason> {
+        if let Some(e) = self.error.take() {
+            return Some(StopReason::Error(e));
+        }
+        if self.crashed {
+            return Some(StopReason::Crash);
+        }
+        None
+    }
+
+    /// True if a side-effect handler manages this native.
+    pub(crate) fn se_manages(&self, name: &str) -> bool {
+        self.se.handler_for(name).is_some()
+    }
+
+    /// ND-table lookup on every native invocation (§4.1): non-deterministic
+    /// natives are intercepted; everything else runs untouched.
+    fn pre_native(&mut self, decl: &NativeDecl, acct: &mut TimeAccount) -> NativeDirective {
+        acct.charge(Category::Misc, self.cost.nd_table_lookup);
+        if decl.nondeterministic {
+            self.stats.nm_intercepted += 1;
+        }
+        NativeDirective::Execute
+    }
+
+    /// Logs the result of an intercepted native and runs the SE-handler
+    /// `log` upcall. Needs the environment for handler snapshots.
+    fn post_native(
+        &mut self,
+        env: &ftjvm_vm::SimEnv,
+        t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        outcome: &NativeOutcome,
+        output_id: Option<u64>,
+        acct: &mut TimeAccount,
+    ) {
+        if self.crashed {
+            return;
+        }
+        let vt = Self::vt(t);
+        if decl.nondeterministic {
+            let result = match &outcome.result {
+                Ok(v) => match v.map(WireValue::from_value).transpose() {
+                    Ok(wv) => LoggedResult::Ok(wv),
+                    Err(_) => {
+                        // Restriction R2: native results containing
+                        // replica-local references cannot be replicated.
+                        self.error = Some(VmError::Internal(format!(
+                            "native `{}` returned a reference value; R2 forbids logging it",
+                            decl.name
+                        )));
+                        return;
+                    }
+                },
+                Err(abort) => LoggedResult::Err { code: abort.code, msg: abort.msg.clone() },
+            };
+            let mut wire_out_args = Vec::with_capacity(outcome.out_args.len());
+            for (idx, contents) in &outcome.out_args {
+                let mut wire = Vec::with_capacity(contents.len());
+                for v in contents {
+                    match WireValue::from_value(*v) {
+                        Ok(w) => wire.push(w),
+                        Err(_) => {
+                            self.error = Some(VmError::Internal(format!(
+                                "native `{}` stored a reference into a logged out-argument (R2)",
+                                decl.name
+                            )));
+                            return;
+                        }
+                    }
+                }
+                wire_out_args.push((*idx, wire));
+            }
+            let seq = self.nd_seq.entry(vt.clone()).or_insert(0);
+            *seq += 1;
+            let rec = Record::NativeResult {
+                t: vt.clone(),
+                seq: *seq,
+                sig_hash: sig_hash(&decl.name),
+                result,
+                out_args: wire_out_args,
+            };
+            self.log_deferred(rec, Category::Misc, self.cost.nd_result_record, acct);
+        }
+        // Side-effect handler `log` upcall — for every native a registered
+        // handler manages (the handler's `register` method declared them).
+        if self.se.handler_for(&decl.name).is_some() {
+            if let Some((handler, payload)) =
+                self.se.log(env, &decl.name, &[] as &[Value], outcome, output_id)
+            {
+                self.log_deferred(
+                    Record::SeState { handler, payload },
+                    Category::Misc,
+                    self.cost.se_log,
+                    acct,
+                );
+            }
+        }
+        // Single flush point: the result record and its side-effect
+        // snapshot always travel in the same flush.
+        self.maybe_flush(acct);
+        // Fault plan: crash right after performing the n-th output.
+        if decl.output {
+            if let (FaultPlan::AfterOutput(n), Some(id)) = (self.fault, output_id) {
+                if id >= n {
+                    self.crashed = true;
+                }
+            }
+        }
+    }
+
+    /// Output commit (§3.4): log the commit record, flush everything, and
+    /// wait pessimistically for the backup's acknowledgment.
+    fn begin_output(&mut self, t: &ThreadObs<'_>, acct: &mut TimeAccount) -> u64 {
+        let vt = Self::vt(t);
+        let id = self.next_output_id;
+        self.next_output_id += 1;
+        let seq = self.out_seq.entry(vt.clone()).or_insert(0);
+        *seq += 1;
+        let rec = Record::OutputCommit { t: vt, seq: *seq, output_id: id };
+        self.log(rec, Category::Misc, self.cost.nd_result_record, acct);
+        self.stats.output_commits += 1;
+        self.flush(acct);
+        let ack_at = self.channel.ack_arrival(acct.now());
+        acct.wait_until(Category::Pessimistic, ack_at);
+        // Fault plan: crash after the commit but before the output itself —
+        // the paper's "uncertain output" window.
+        if let FaultPlan::BeforeOutput(n) = self.fault {
+            if id >= n {
+                self.crashed = true;
+            }
+        }
+        id
+    }
+}
+
+/// Primary coordinator for **replicated lock synchronization** (§4.2).
+#[derive(Debug)]
+pub struct LockSyncPrimary {
+    /// Shared primary machinery.
+    pub common: PrimaryCore,
+    next_l_id: u64,
+}
+
+impl LockSyncPrimary {
+    /// Creates the coordinator.
+    pub fn new(common: PrimaryCore) -> Self {
+        LockSyncPrimary { common, next_l_id: 0 }
+    }
+}
+
+impl Coordinator for LockSyncPrimary {
+    fn mode(&self) -> &'static str {
+        "lock-sync-primary"
+    }
+
+    fn stop(&mut self) -> Option<StopReason> {
+        self.common.stop()
+    }
+
+    fn check_preempt(&mut self, _t: &ThreadObs<'_>, acct: &mut TimeAccount) -> bool {
+        self.common.tick(acct);
+        false
+    }
+
+    fn post_monitor_acquire(
+        &mut self,
+        t: &ThreadObs<'_>,
+        _obj: ObjRef,
+        l_id: Option<u64>,
+        l_asn: u64,
+        acct: &mut TimeAccount,
+    ) -> Option<u64> {
+        let vt = PrimaryCore::vt(t);
+        let (l_id, assigned) = match l_id {
+            Some(id) => (id, None),
+            None => {
+                // First acquisition anywhere: assign the virtual lock id
+                // and log the id map (§4.2).
+                let id = self.next_l_id;
+                self.next_l_id += 1;
+                let id_map_cost = self.common.cost.id_map_record;
+                self.common.log(
+                    Record::IdMap { l_id: id, t: vt.clone(), t_asn: t.t_asn },
+                    Category::LockAcquire,
+                    id_map_cost,
+                    acct,
+                );
+                (id, Some(id))
+            }
+        };
+        let lock_cost = self.common.cost.lock_record;
+        self.common.log(
+            Record::LockAcq { t: vt, t_asn: t.t_asn, l_id, l_asn },
+            Category::LockAcquire,
+            lock_cost,
+            acct,
+        );
+        self.common.stats.locks_acquired += 1;
+        self.common.stats.largest_lasn = self.common.stats.largest_lasn.max(l_asn);
+        assigned
+    }
+
+    fn pre_native(
+        &mut self,
+        _t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        _args: &[Value],
+        acct: &mut TimeAccount,
+    ) -> NativeDirective {
+        self.common.pre_native(decl, acct)
+    }
+
+    fn post_native(
+        &mut self,
+        t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        outcome: &NativeOutcome,
+        output_id: Option<u64>,
+        env: &ftjvm_vm::SimEnv,
+        acct: &mut TimeAccount,
+    ) {
+        self.common.post_native(env, t, decl, outcome, output_id, acct);
+    }
+
+    fn begin_output(&mut self, t: &ThreadObs<'_>, _decl: &NativeDecl, acct: &mut TimeAccount) -> u64 {
+        self.common.begin_output(t, acct)
+    }
+
+    fn on_exit(&mut self, acct: &mut TimeAccount) {
+        self.common.flush(acct);
+    }
+}
+
+/// Primary coordinator for **interval-compressed replicated lock
+/// synchronization** — the DejaVu-style optimization the paper's related
+/// work points at ("there would only be 56 intervals instead of 700258
+/// lock acquisitions"). Globally-consecutive acquisitions by one thread
+/// collapse into a single [`Record::LockInterval`]; virtual lock ids and
+/// id maps become unnecessary because the backup enforces a *total* order
+/// over all acquisitions rather than a per-lock order.
+#[derive(Debug)]
+pub struct IntervalPrimary {
+    /// Shared primary machinery.
+    pub common: PrimaryCore,
+    open: Option<(VtPath, u64, u64)>, // (thread, t_asn_start, count)
+}
+
+impl IntervalPrimary {
+    /// Creates the coordinator.
+    pub fn new(common: PrimaryCore) -> Self {
+        IntervalPrimary { common, open: None }
+    }
+
+    fn close_open(&mut self, acct: &mut TimeAccount) {
+        if let Some((t, t_asn_start, count)) = self.open.take() {
+            let cost = self.common.cost.lock_record;
+            self.common.log(
+                Record::LockInterval { t, t_asn_start, count },
+                Category::LockAcquire,
+                cost,
+                acct,
+            );
+        }
+    }
+}
+
+impl Coordinator for IntervalPrimary {
+    fn mode(&self) -> &'static str {
+        "lock-interval-primary"
+    }
+
+    fn stop(&mut self) -> Option<StopReason> {
+        self.common.stop()
+    }
+
+    fn check_preempt(&mut self, _t: &ThreadObs<'_>, acct: &mut TimeAccount) -> bool {
+        self.common.tick(acct);
+        false
+    }
+
+    fn post_monitor_acquire(
+        &mut self,
+        t: &ThreadObs<'_>,
+        _obj: ObjRef,
+        _l_id: Option<u64>,
+        l_asn: u64,
+        acct: &mut TimeAccount,
+    ) -> Option<u64> {
+        let vt = PrimaryCore::vt(t);
+        let extended = match &mut self.open {
+            Some((open_t, _, count)) if *open_t == vt => {
+                *count += 1;
+                true
+            }
+            _ => false,
+        };
+        acct.charge(Category::LockAcquire, self.common.cost.interval_update);
+        if !extended {
+            self.close_open(acct);
+            self.open = Some((vt, t.t_asn, 1));
+        }
+        self.common.stats.locks_acquired += 1;
+        self.common.stats.largest_lasn = self.common.stats.largest_lasn.max(l_asn);
+        None
+    }
+
+    fn pre_native(
+        &mut self,
+        _t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        _args: &[Value],
+        acct: &mut TimeAccount,
+    ) -> NativeDirective {
+        self.common.pre_native(decl, acct)
+    }
+
+    fn post_native(
+        &mut self,
+        t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        outcome: &NativeOutcome,
+        output_id: Option<u64>,
+        env: &ftjvm_vm::SimEnv,
+        acct: &mut TimeAccount,
+    ) {
+        // The result record must be ordered after the interval that covers
+        // the acquisitions preceding it — close the interval first when the
+        // native was intercepted.
+        if decl.nondeterministic || self.common.se_manages(&decl.name) {
+            self.close_open(acct);
+        }
+        self.common.post_native(env, t, decl, outcome, output_id, acct);
+    }
+
+    fn begin_output(&mut self, t: &ThreadObs<'_>, _decl: &NativeDecl, acct: &mut TimeAccount) -> u64 {
+        // Output commit is a synchronization point: the open interval must
+        // reach the backup with everything else.
+        self.close_open(acct);
+        self.common.begin_output(t, acct)
+    }
+
+    fn on_exit(&mut self, acct: &mut TimeAccount) {
+        self.close_open(acct);
+        self.common.flush(acct);
+    }
+}
+
+/// Primary coordinator for **replicated thread scheduling** (§4.2).
+#[derive(Debug)]
+pub struct TsPrimary {
+    /// Shared primary machinery.
+    pub common: PrimaryCore,
+    /// The last application thread that yielded (its progress snapshot),
+    /// pending the next application dispatch.
+    pending_from: Option<ThreadSnap>,
+    /// Last observed `br_cnt` per thread, to charge `br_cnt`-maintenance
+    /// costs once per control-flow change.
+    last_br: HashMap<u32, u64>,
+}
+
+impl TsPrimary {
+    /// Creates the coordinator.
+    pub fn new(common: PrimaryCore) -> Self {
+        TsPrimary { common, pending_from: None, last_br: HashMap::new() }
+    }
+}
+
+impl Coordinator for TsPrimary {
+    fn mode(&self) -> &'static str {
+        "ts-primary"
+    }
+
+    fn stop(&mut self) -> Option<StopReason> {
+        self.common.stop()
+    }
+
+    fn check_preempt(&mut self, t: &ThreadObs<'_>, acct: &mut TimeAccount) -> bool {
+        self.common.tick(acct);
+        // The extra interpreter-loop work that tracks progress (the
+        // paper's dominant "Misc" overhead): a PC update after every
+        // bytecode plus `br_cnt` maintenance on each control-flow change.
+        let mut cost = self.common.cost.ts_pc_track;
+        let last = self.last_br.entry(t.t.0).or_insert(0);
+        if t.br_cnt > *last {
+            let delta = t.br_cnt - *last;
+            *last = t.br_cnt;
+            cost += SimTime::from_nanos(self.common.cost.ts_br_track.as_nanos() * delta);
+        }
+        acct.charge(Category::Misc, cost);
+        false
+    }
+
+    fn on_switch(
+        &mut self,
+        from: Option<&ThreadSnap>,
+        _reason: SwitchReason,
+        to: &ThreadSnap,
+        acct: &mut TimeAccount,
+    ) {
+        if let Some(f) = from {
+            if f.vt.is_some() {
+                self.pending_from = Some(f.clone());
+            }
+        }
+        if to.vt.is_none() {
+            return; // switches to system threads are not replicated
+        }
+        if let Some(prev) = self.pending_from.take() {
+            if prev.t != to.t {
+                let rec = Record::Sched {
+                    t: prev.vt.clone().expect("pending_from is an app thread"),
+                    br_cnt: prev.br_cnt,
+                    method: prev.method.map(|m| m.0).unwrap_or(u32::MAX),
+                    pc_off: prev.pc,
+                    mon_cnt: prev.mon_cnt,
+                    l_asn: prev.blocked_lasn,
+                    in_native: prev.in_native,
+                    next: to.vt.clone().expect("checked vt above"),
+                };
+                let cost = self.common.cost.sched_record;
+                self.common.log(rec, Category::Resched, cost, acct);
+            }
+        }
+    }
+
+    fn begin_output(&mut self, t: &ThreadObs<'_>, _decl: &NativeDecl, acct: &mut TimeAccount) -> u64 {
+        self.common.begin_output(t, acct)
+    }
+
+    fn pre_native(
+        &mut self,
+        _t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        _args: &[Value],
+        acct: &mut TimeAccount,
+    ) -> NativeDirective {
+        self.common.pre_native(decl, acct)
+    }
+
+    fn post_native(
+        &mut self,
+        t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        outcome: &NativeOutcome,
+        output_id: Option<u64>,
+        env: &ftjvm_vm::SimEnv,
+        acct: &mut TimeAccount,
+    ) {
+        self.common.post_native(env, t, decl, outcome, output_id, acct);
+    }
+
+    fn on_exit(&mut self, acct: &mut TimeAccount) {
+        self.common.flush(acct);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftjvm_netsim::NetParams;
+
+    fn core_with(fault: FaultPlan) -> PrimaryCore {
+        let channel = SimChannel::new(NetParams::default());
+        PrimaryCore::new(channel, CostModel::default(), fault, SeRegistry::with_builtins())
+    }
+
+    fn lock_rec(n: u64) -> Record {
+        Record::LockAcq { t: VtPath::root(), t_asn: n, l_id: 0, l_asn: n }
+    }
+
+    #[test]
+    fn records_buffer_until_threshold_then_flush_together() {
+        let mut core = core_with(FaultPlan::None);
+        core.flush_threshold = 200; // a handful of 40-byte records
+        let mut acct = TimeAccount::new();
+        for n in 1..=4 {
+            core.log(lock_rec(n), Category::LockAcquire, SimTime::from_nanos(10), &mut acct);
+        }
+        assert_eq!(core.stats.lock_acq_records, 4);
+        // Below threshold: nothing sent yet.
+        let sent_before = {
+            let (channel, _) = core.into_parts();
+            channel.stats().messages_sent
+        };
+        assert!(sent_before <= 4, "some records may have flushed at the boundary");
+    }
+
+    #[test]
+    fn zero_threshold_flushes_every_record() {
+        let mut core = core_with(FaultPlan::None);
+        core.flush_threshold = 0;
+        let mut acct = TimeAccount::new();
+        for n in 1..=5 {
+            core.log(lock_rec(n), Category::LockAcquire, SimTime::from_nanos(10), &mut acct);
+        }
+        assert_eq!(core.stats.flushes, 5);
+        let (channel, stats) = core.into_parts();
+        assert_eq!(channel.stats().messages_sent, 5);
+        assert_eq!(stats.lock_acq_records, 5);
+    }
+
+    #[test]
+    fn crashed_core_stops_logging() {
+        let mut core = core_with(FaultPlan::AfterInstructions(2));
+        core.flush_threshold = 0;
+        let mut acct = TimeAccount::new();
+        core.tick(&mut acct);
+        core.tick(&mut acct);
+        core.tick(&mut acct); // > 2 -> crash
+        assert!(matches!(core.stop(), Some(StopReason::Crash)));
+        core.log(lock_rec(1), Category::LockAcquire, SimTime::from_nanos(10), &mut acct);
+        assert_eq!(core.stats.lock_acq_records, 0, "post-crash records are dropped");
+    }
+
+    #[test]
+    fn heartbeats_ride_the_channel_on_schedule() {
+        let mut core = core_with(FaultPlan::None);
+        core.set_heartbeat_interval(SimTime::from_millis(10));
+        let mut acct = TimeAccount::new();
+        core.tick(&mut acct); // t=0: first heartbeat
+        acct.charge(Category::Base, SimTime::from_millis(25));
+        core.tick(&mut acct); // t=25ms: second
+        core.tick(&mut acct); // still within interval: none
+        assert_eq!(core.stats.heartbeats, 2);
+    }
+
+    #[test]
+    fn output_commit_flushes_and_waits_pessimistically() {
+        let mut core = core_with(FaultPlan::None);
+        core.flush_threshold = usize::MAX; // only commits flush
+        let mut acct = TimeAccount::new();
+        core.log(lock_rec(1), Category::LockAcquire, SimTime::from_nanos(10), &mut acct);
+        let obs = ThreadObs {
+            t: ftjvm_vm::ThreadIdx(0),
+            vt: Some(&VtPath::root()),
+            br_cnt: 0,
+            mon_cnt: 0,
+            t_asn: 0,
+            method: None,
+            pc: 0,
+            in_native: false,
+        };
+        let before = acct.get(Category::Pessimistic);
+        let id = core.begin_output(&obs, &mut acct);
+        assert_eq!(id, 0);
+        assert!(acct.get(Category::Pessimistic) > before, "ack wait must be charged");
+        assert!(core.stats.flushes >= 1);
+        assert_eq!(core.stats.output_commit_records, 1);
+        let id2 = core.begin_output(&obs, &mut acct);
+        assert_eq!(id2, 1, "output ids are the global commit sequence");
+    }
+
+    #[test]
+    fn before_output_fault_fires_in_the_uncertain_window() {
+        let mut core = core_with(FaultPlan::BeforeOutput(0));
+        let mut acct = TimeAccount::new();
+        let vt = VtPath::root();
+        let obs = ThreadObs {
+            t: ftjvm_vm::ThreadIdx(0),
+            vt: Some(&vt),
+            br_cnt: 0,
+            mon_cnt: 0,
+            t_asn: 0,
+            method: None,
+            pc: 0,
+            in_native: false,
+        };
+        let _ = core.begin_output(&obs, &mut acct);
+        // Commit happened (record sent) but the crash flag is up before
+        // the output body can run.
+        assert!(matches!(core.stop(), Some(StopReason::Crash)));
+        assert_eq!(core.stats.output_commit_records, 1);
+    }
+}

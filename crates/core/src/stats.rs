@@ -1,0 +1,83 @@
+//! Replication statistics — the raw material for the paper's Table 2.
+
+use crate::records::Record;
+
+/// Everything the primary counted while replicating one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Non-deterministic native methods intercepted ("NM").
+    pub nm_intercepted: u64,
+    /// Output commits performed ("NM Output Commits").
+    pub output_commits: u64,
+    /// Monitor acquisitions replicated ("Locks Acquired", lock-sync mode).
+    pub locks_acquired: u64,
+    /// Largest per-lock acquire sequence number seen ("Largest l_asn").
+    pub largest_lasn: u64,
+    /// Lock-acquisition records logged.
+    pub lock_acq_records: u64,
+    /// Lock-interval records logged (interval-compressed lock-sync).
+    pub lock_interval_records: u64,
+    /// Id-map records logged.
+    pub id_map_records: u64,
+    /// Thread-schedule records logged ("Reschedules", TS mode).
+    pub sched_records: u64,
+    /// Native-result records logged.
+    pub native_result_records: u64,
+    /// Side-effect-handler state records logged.
+    pub se_state_records: u64,
+    /// Output-commit records logged.
+    pub output_commit_records: u64,
+    /// Total payload bytes logged.
+    pub bytes_logged: u64,
+    /// Buffer flushes performed.
+    pub flushes: u64,
+    /// Failure-detector heartbeats sent (not counted as logged messages).
+    pub heartbeats: u64,
+}
+
+impl ReplicationStats {
+    /// Total records logged ("Logged Messages").
+    pub fn messages_logged(&self) -> u64 {
+        self.lock_acq_records
+            + self.lock_interval_records
+            + self.id_map_records
+            + self.sched_records
+            + self.native_result_records
+            + self.se_state_records
+            + self.output_commit_records
+    }
+
+    /// Counts one record about to be logged.
+    pub(crate) fn count_record(&mut self, rec: &Record) {
+        match rec {
+            Record::IdMap { .. } => self.id_map_records += 1,
+            Record::LockAcq { .. } => self.lock_acq_records += 1,
+            Record::LockInterval { .. } => self.lock_interval_records += 1,
+            Record::Sched { .. } => self.sched_records += 1,
+            Record::NativeResult { .. } => self.native_result_records += 1,
+            Record::OutputCommit { .. } => self.output_commit_records += 1,
+            Record::SeState { .. } => self.se_state_records += 1,
+            Record::Heartbeat { .. } => self.heartbeats += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftjvm_vm::VtPath;
+
+    #[test]
+    fn counting_by_kind() {
+        let mut s = ReplicationStats::default();
+        let t = VtPath::root();
+        s.count_record(&Record::IdMap { l_id: 0, t: t.clone(), t_asn: 1 });
+        s.count_record(&Record::LockAcq { t: t.clone(), t_asn: 1, l_id: 0, l_asn: 1 });
+        s.count_record(&Record::LockAcq { t: t.clone(), t_asn: 2, l_id: 0, l_asn: 2 });
+        s.count_record(&Record::OutputCommit { t, seq: 1, output_id: 0 });
+        assert_eq!(s.id_map_records, 1);
+        assert_eq!(s.lock_acq_records, 2);
+        assert_eq!(s.output_commit_records, 1);
+        assert_eq!(s.messages_logged(), 4);
+    }
+}

@@ -1,0 +1,240 @@
+//! Property-based tests for the replication records and the failover
+//! protocol itself.
+
+use ftjvm_core::records::{LoggedResult, Record, WireValue};
+use ftjvm_core::{FtConfig, FtJvm, LockVariant, ReplicationMode};
+use ftjvm_netsim::FaultPlan;
+use ftjvm_vm::program::ProgramBuilder;
+use ftjvm_vm::{Cmp, Program, VtPath};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn vt_strategy() -> impl Strategy<Value = VtPath> {
+    proptest::collection::vec(0u32..1000, 1..6).prop_map(VtPath::from_ordinals)
+}
+
+fn wire_value_strategy() -> impl Strategy<Value = WireValue> {
+    prop_oneof![
+        Just(WireValue::Null),
+        any::<i64>().prop_map(WireValue::Int),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(WireValue::Double),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        (any::<u64>(), vt_strategy(), any::<u64>())
+            .prop_map(|(l_id, t, t_asn)| Record::IdMap { l_id, t, t_asn }),
+        (vt_strategy(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(t, t_asn, l_id, l_asn)| Record::LockAcq { t, t_asn, l_id, l_asn }),
+        (
+            vt_strategy(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+            vt_strategy()
+        )
+            .prop_map(|(t, br_cnt, method, pc_off, mon_cnt, l_asn, in_native, next)| {
+                Record::Sched { t, br_cnt, method, pc_off, mon_cnt, l_asn, in_native, next }
+            }),
+        (
+            vt_strategy(),
+            any::<u64>(),
+            any::<u64>(),
+            prop_oneof![
+                proptest::option::of(wire_value_strategy()).prop_map(LoggedResult::Ok),
+                (any::<i64>(), "[ -~]{0,40}")
+                    .prop_map(|(code, msg)| LoggedResult::Err { code, msg }),
+            ],
+            proptest::collection::vec(
+                (any::<u8>(), proptest::collection::vec(wire_value_strategy(), 0..16)),
+                0..4
+            )
+        )
+            .prop_map(|(t, seq, sig_hash, result, out_args)| Record::NativeResult {
+                t,
+                seq,
+                sig_hash,
+                result,
+                out_args,
+            }),
+        (vt_strategy(), any::<u64>(), any::<u64>())
+            .prop_map(|(t, seq, output_id)| Record::OutputCommit { t, seq, output_id }),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(handler, payload)| Record::SeState { handler, payload: payload.into() }),
+    ]
+}
+
+proptest! {
+    /// Every record survives the wire exactly.
+    #[test]
+    fn record_roundtrip(rec in record_strategy()) {
+        let decoded = Record::decode(rec.encode()).unwrap();
+        prop_assert_eq!(decoded, rec);
+    }
+
+    /// Decoding arbitrary garbage never panics.
+    #[test]
+    fn record_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Record::decode(bytes::Bytes::from(bytes));
+    }
+
+    /// Virtual thread ids survive ordinal-chain roundtrips.
+    #[test]
+    fn vtpath_roundtrip(vt in vt_strategy()) {
+        let rt = VtPath::from_ordinals(vt.ordinals().to_vec());
+        prop_assert_eq!(rt, vt);
+    }
+}
+
+/// Builds a parameterized deterministic program: `n_threads` workers each
+/// run `iters` iterations mixing synchronized increments, racy-free local
+/// arithmetic and occasional prints; main prints the exact expected total.
+fn param_program(n_threads: i64, iters: i64, print_every: i64) -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let print = b.import_native("sys.print_int", 1, false);
+    let spawn = b.import_native("sys.spawn", 2, false);
+    let yield_n = b.import_native("sys.yield", 0, false);
+    let cls = b.add_class("P", ftjvm_vm::class::builtin::OBJECT, 0, 2);
+    let mut inc = b.method("inc", 1);
+    inc.static_of(cls).synchronized();
+    inc.get_static(cls, 0).load(0).add().put_static(cls, 0).ret_void();
+    let inc = inc.build(&mut b);
+    let mut fin = b.method("fin", 1);
+    fin.static_of(cls).synchronized();
+    fin.get_static(cls, 1).push_i(1).add().put_static(cls, 1).ret_void();
+    let fin = fin.build(&mut b);
+    let mut w = b.method("worker", 1);
+    {
+        let m = &mut w;
+        let done = m.new_label();
+        m.push_i(0).store(1);
+        let top = m.bind_new_label();
+        m.load(1).push_i(iters).icmp(Cmp::Ge).if_true(done);
+        // local arithmetic + synchronized add of (id + i) % 7
+        m.load(0).load(1).add().push_i(7).rem().invoke(inc);
+        if print_every > 0 {
+            let skip = m.new_label();
+            m.load(1).push_i(print_every).rem().if_true(skip);
+            m.load(1).load(0).push_i(1000).mul().add().invoke_native(print, 1);
+            m.bind(skip);
+        }
+        m.inc(1, 1).goto(top);
+        m.bind(done);
+        m.push_i(0).invoke(fin).ret_void();
+    }
+    let w = w.build(&mut b);
+    let mut m = b.method("main", 1);
+    m.push_i(0).put_static(cls, 0);
+    m.push_i(0).put_static(cls, 1);
+    for id in 0..n_threads {
+        m.push_method(w).push_i(id).invoke_native(spawn, 2);
+    }
+    let wait = m.bind_new_label();
+    let ready = m.new_label();
+    m.get_static(cls, 1).push_i(n_threads).icmp(Cmp::Eq).if_true(ready);
+    m.invoke_native(yield_n, 0).goto(wait);
+    m.bind(ready);
+    m.get_static(cls, 0).invoke_native(print, 1).ret_void();
+    let entry = m.build(&mut b);
+    Arc::new(b.build(entry).expect("param program verifies"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// THE protocol property: for random workload parameters, scheduler
+    /// seeds, technique and crash point, a failover run's outputs equal the
+    /// failure-free run's outputs exactly once, and the backup never
+    /// reports divergence (the program is race-free).
+    #[test]
+    fn failover_is_transparent_for_race_free_programs(
+        n_threads in 1i64..4,
+        iters in 5i64..40,
+        print_every in prop_oneof![Just(0i64), 3i64..10],
+        pseed in any::<u64>(),
+        bseed in any::<u64>(),
+        technique in 0u8..3,
+        crash_units in 50u64..30_000,
+    ) {
+        let program = param_program(n_threads, iters, print_every);
+        let (mode, variant) = match technique {
+            0 => (ReplicationMode::LockSync, LockVariant::PerAcquisition),
+            1 => (ReplicationMode::LockSync, LockVariant::Intervals),
+            _ => (ReplicationMode::ThreadSched, LockVariant::PerAcquisition),
+        };
+        let mk = |fault| FtConfig {
+            mode,
+            lock_variant: variant,
+            fault,
+            primary_seed: pseed,
+            backup_seed: bseed,
+            ..FtConfig::default()
+        };
+        let free = FtJvm::new(program.clone(), mk(FaultPlan::None))
+            .run_replicated()
+            .map_err(|e| TestCaseError::fail(format!("free run: {e}")))?;
+        let failed = FtJvm::new(program.clone(), mk(FaultPlan::AfterInstructions(crash_units)))
+            .run_with_failure()
+            .map_err(|e| TestCaseError::fail(format!("failover: {e}")))?;
+        // State-machine correctness: the failover execution must be *a*
+        // correct execution. Each worker prints `id*1000 + i` so its own
+        // output sequence is deterministic; the cross-thread interleaving
+        // of the post-crash tail is the backup's to choose. Therefore:
+        // per-thread subsequences are identical, and the final total is
+        // identical.
+        assert_per_thread_equal(&failed.console(), &free.console(), n_threads)?;
+        failed
+            .check_no_duplicate_outputs()
+            .map_err(|id| TestCaseError::fail(format!("duplicate output {id}")))?;
+    }
+
+    /// Crashing in the uncertain-output window is always exactly-once.
+    #[test]
+    fn uncertain_outputs_are_exactly_once(
+        n in 0u64..12,
+        before in any::<bool>(),
+        lock_mode in any::<bool>(),
+        pseed in any::<u64>(),
+    ) {
+        let program = param_program(2, 12, 4);
+        let mode = if lock_mode { ReplicationMode::LockSync } else { ReplicationMode::ThreadSched };
+        let fault = if before { FaultPlan::BeforeOutput(n) } else { FaultPlan::AfterOutput(n) };
+        let mk = |fault| FtConfig { mode, fault, primary_seed: pseed, ..FtConfig::default() };
+        let free = FtJvm::new(program.clone(), mk(FaultPlan::None))
+            .run_replicated()
+            .map_err(|e| TestCaseError::fail(format!("free run: {e}")))?;
+        let failed = FtJvm::new(program.clone(), mk(fault))
+            .run_with_failure()
+            .map_err(|e| TestCaseError::fail(format!("failover: {e}")))?;
+        assert_per_thread_equal(&failed.console(), &free.console(), 2)?;
+        failed
+            .check_no_duplicate_outputs()
+            .map_err(|id| TestCaseError::fail(format!("duplicate output {id}")))?;
+    }
+}
+
+/// Asserts the two consoles contain identical per-thread output
+/// subsequences (worker outputs are `id*1000 + i`) and an identical final
+/// total line.
+fn assert_per_thread_equal(
+    got: &[String],
+    expected: &[String],
+    n_threads: i64,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.last(), expected.last(), "final totals differ");
+    for id in 0..n_threads {
+        let of_thread = |console: &[String]| -> Vec<i64> {
+            console[..console.len() - 1]
+                .iter()
+                .map(|s| s.parse::<i64>().expect("numeric output"))
+                .filter(|v| v / 1000 == id)
+                .collect()
+        };
+        prop_assert_eq!(of_thread(got), of_thread(expected), "thread {} sequence differs", id);
+    }
+    Ok(())
+}

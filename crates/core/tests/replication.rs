@@ -1,0 +1,849 @@
+//! End-to-end replication tests: failure-free logging, crash + recovery at
+//! many points, exactly-once output, non-deterministic native replay,
+//! multithreading under both techniques, and divergence detection.
+
+use ftjvm_core::{FtConfig, FtJvm, ReplicationMode};
+use ftjvm_netsim::FaultPlan;
+use ftjvm_vm::class::builtin;
+use ftjvm_vm::program::ProgramBuilder;
+use ftjvm_vm::{Cmp, MethodId, Program, VmError};
+use std::sync::Arc;
+
+fn build(f: impl FnOnce(&mut ProgramBuilder) -> MethodId) -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let entry = f(&mut b);
+    Arc::new(b.build(entry).expect("program verifies"))
+}
+
+fn cfg(mode: ReplicationMode, fault: FaultPlan) -> FtConfig {
+    FtConfig { mode, fault, ..FtConfig::default() }
+}
+
+const MODES: [ReplicationMode; 2] = [ReplicationMode::LockSync, ReplicationMode::ThreadSched];
+
+/// Prints the squares of 0..n — deterministic, single-threaded.
+fn squares_program(b: &mut ProgramBuilder) -> MethodId {
+    let print = b.import_native("sys.print_int", 1, false);
+    let mut m = b.method("main", 1);
+    let done = m.new_label();
+    m.push_i(0).store(1);
+    let top = m.bind_new_label();
+    m.load(1).push_i(8).icmp(Cmp::Ge).if_true(done);
+    m.load(1).load(1).mul().invoke_native(print, 1);
+    m.inc(1, 1).goto(top);
+    m.bind(done).ret_void();
+    m.build(b)
+}
+
+/// Reads the clock and RNG, does arithmetic on them, prints derived values
+/// (deterministic only if the backup adopts the primary's ND inputs).
+fn nd_inputs_program(b: &mut ProgramBuilder) -> MethodId {
+    let print = b.import_native("sys.print_int", 1, false);
+    let clock = b.import_native("sys.clock", 0, true);
+    let rand = b.import_native("sys.rand", 1, true);
+    let mut m = b.method("main", 1);
+    for _ in 0..4 {
+        // print(clock() % 97 + rand(1000))
+        m.invoke_native(clock, 0).push_i(97).rem();
+        m.push_i(1000).invoke_native(rand, 1).add();
+        m.invoke_native(print, 1);
+    }
+    m.ret_void();
+    m.build(b)
+}
+
+/// Four workers increment a shared counter under a synchronized method;
+/// main prints the total.
+fn counter_program(b: &mut ProgramBuilder) -> MethodId {
+    let print = b.import_native("sys.print_int", 1, false);
+    let spawn = b.import_native("sys.spawn", 2, false);
+    let yield_n = b.import_native("sys.yield", 0, false);
+    let cls = b.add_class("Counter", builtin::OBJECT, 0, 2);
+    let mut inc = b.method("inc", 1);
+    inc.static_of(cls).synchronized();
+    inc.get_static(cls, 0).push_i(1).add().put_static(cls, 0).ret_void();
+    let inc = inc.build(b);
+    let mut fin = b.method("finish", 1);
+    fin.static_of(cls).synchronized();
+    fin.get_static(cls, 1).push_i(1).add().put_static(cls, 1).ret_void();
+    let fin = fin.build(b);
+    let mut w = b.method("worker", 1);
+    let done = w.new_label();
+    w.push_i(60).store(1);
+    let top = w.bind_new_label();
+    w.load(1).if_not(done);
+    w.push_i(0).invoke(inc);
+    w.inc(1, -1).goto(top);
+    w.bind(done).push_i(0).invoke(fin).ret_void();
+    let w = w.build(b);
+    let mut m = b.method("main", 1);
+    m.push_i(0).put_static(cls, 0);
+    m.push_i(0).put_static(cls, 1);
+    for _ in 0..4 {
+        m.push_method(w).push_i(0).invoke_native(spawn, 2);
+    }
+    let wait_loop = m.bind_new_label();
+    let ready = m.new_label();
+    m.get_static(cls, 1).push_i(4).icmp(Cmp::Eq).if_true(ready);
+    m.invoke_native(yield_n, 0).goto(wait_loop);
+    m.bind(ready);
+    m.get_static(cls, 0).invoke_native(print, 1).ret_void();
+    m.build(b)
+}
+
+/// Writes lines to a file, reads them back, prints a checksum.
+fn file_program(b: &mut ProgramBuilder) -> MethodId {
+    let print = b.import_native("sys.print_int", 1, false);
+    let open = b.import_native("file.open", 1, true);
+    let write = b.import_native("file.write", 3, true);
+    let seek = b.import_native("file.seek", 2, false);
+    let read = b.import_native("file.read", 3, true);
+    let close = b.import_native("file.close", 1, false);
+    let name = b.intern("journal.dat");
+    let chunk = b.intern("entry!");
+    let mut m = b.method("main", 1);
+    m.const_str(name).invoke_native(open, 1).store(1); // fd
+    // Write "entry!" five times.
+    m.push_i(5).store(2);
+    let wdone = m.new_label();
+    let wtop = m.bind_new_label();
+    m.load(2).if_not(wdone);
+    m.load(1).const_str(chunk).push_i(6).invoke_native(write, 3).pop();
+    m.inc(2, -1).goto(wtop);
+    m.bind(wdone);
+    // Seek back, read 30 bytes, sum them.
+    m.load(1).push_i(0).invoke_native(seek, 2);
+    m.push_i(30).new_array().store(3);
+    m.load(1).load(3).push_i(30).invoke_native(read, 3).invoke_native(print, 1);
+    m.push_i(0).store(4); // sum
+    m.push_i(0).store(5); // i
+    let rdone = m.new_label();
+    let rtop = m.bind_new_label();
+    m.load(5).push_i(30).icmp(Cmp::Ge).if_true(rdone);
+    m.load(4).load(3).load(5).aload().add().store(4);
+    m.inc(5, 1).goto(rtop);
+    m.bind(rdone);
+    m.load(4).invoke_native(print, 1);
+    m.load(1).invoke_native(close, 1);
+    m.ret_void();
+    m.build(b)
+}
+
+/// Reference console output of a program on a bare VM.
+fn reference(program: &Arc<Program>) -> Vec<String> {
+    let (report, world) =
+        FtJvm::new(program.clone(), FtConfig::default()).run_unreplicated().expect("baseline runs");
+    assert!(report.uncaught.is_empty());
+    let texts = world.borrow().console_texts();
+    texts
+}
+
+// ===== failure-free replication =====
+
+#[test]
+fn failure_free_replication_is_transparent() {
+    for mode in MODES {
+        for builder in [squares_program, nd_inputs_program, counter_program, file_program] {
+            let program = build(builder);
+            let reference = reference(&program);
+            let report = FtJvm::new(program, cfg(mode, FaultPlan::None))
+                .run_replicated()
+                .expect("replicated run succeeds");
+            assert!(!report.crashed);
+            assert_eq!(report.console(), reference, "mode {mode}");
+            assert!(report.channel.messages_sent > 0, "the primary must log");
+            report.check_no_duplicate_outputs().expect("unique output ids");
+        }
+    }
+}
+
+#[test]
+fn failure_free_overhead_is_positive_and_mode_dependent() {
+    let program = build(counter_program);
+    let base = FtJvm::new(program.clone(), FtConfig::default())
+        .run_unreplicated()
+        .expect("baseline")
+        .0
+        .acct
+        .total();
+    for mode in MODES {
+        let report =
+            FtJvm::new(program.clone(), cfg(mode, FaultPlan::None)).run_replicated().expect("runs");
+        assert!(
+            report.primary.acct.total() > base,
+            "{mode}: replication must cost simulated time"
+        );
+    }
+}
+
+#[test]
+fn lock_sync_logs_lock_records_ts_logs_sched_records() {
+    let program = build(counter_program);
+    let lock = FtJvm::new(program.clone(), cfg(ReplicationMode::LockSync, FaultPlan::None))
+        .run_replicated()
+        .expect("lock-sync runs");
+    assert!(lock.primary_stats.lock_acq_records > 200, "synchronized counter acquires many locks");
+    assert!(lock.primary_stats.id_map_records > 0);
+    assert_eq!(lock.primary_stats.sched_records, 0);
+    let ts = FtJvm::new(program, cfg(ReplicationMode::ThreadSched, FaultPlan::None))
+        .run_replicated()
+        .expect("ts runs");
+    assert_eq!(ts.primary_stats.lock_acq_records, 0);
+    assert!(ts.primary_stats.sched_records > 0, "multithreaded program reschedules");
+    // TS logs far fewer messages than lock-sync for lock-heavy programs.
+    assert!(ts.primary_stats.messages_logged() < lock.primary_stats.messages_logged());
+}
+
+#[test]
+fn single_threaded_ts_sends_no_sched_records() {
+    let program = build(squares_program);
+    let ts = FtJvm::new(program, cfg(ReplicationMode::ThreadSched, FaultPlan::None))
+        .run_replicated()
+        .expect("runs");
+    assert_eq!(
+        ts.primary_stats.sched_records, 0,
+        "single-threaded programs do not transmit schedule records (paper §5)"
+    );
+}
+
+// ===== crash + recovery =====
+
+#[test]
+fn recovery_reproduces_outputs_exactly_once_mid_run() {
+    for mode in MODES {
+        for builder in [squares_program, counter_program, file_program] {
+            let program = build(builder);
+            let expected = reference(&program);
+            for fault in [
+                FaultPlan::AfterInstructions(40),
+                FaultPlan::AfterInstructions(400),
+                FaultPlan::BeforeOutput(0),
+                FaultPlan::BeforeOutput(2),
+                FaultPlan::AfterOutput(0),
+                FaultPlan::AfterOutput(3),
+            ] {
+                let report = FtJvm::new(program.clone(), cfg(mode, fault))
+                    .run_with_failure()
+                    .unwrap_or_else(|e| panic!("{mode} {fault:?}: {e}"));
+                // Short programs may finish before an instruction-count
+                // fault fires; the run is then simply failure-free.
+                assert_eq!(report.console(), expected, "{mode} {fault:?}");
+                report
+                    .check_no_duplicate_outputs()
+                    .unwrap_or_else(|id| panic!("{mode} {fault:?}: duplicate output {id}"));
+                if let Some(backup) = &report.backup {
+                    assert!(backup.uncaught.is_empty());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn recovery_adopts_nd_inputs_logged_before_the_crash() {
+    // The program prints values derived from clock/rand. The primary and
+    // backup have different skews and env seeds, so recovery only produces
+    // the same output if the backup adopts the logged ND results.
+    for mode in MODES {
+        let program = build(nd_inputs_program);
+        let reference = {
+            // Reference = the *primary's* own failure-free replicated run
+            // (its env seeds are what the log captures).
+            let r = FtJvm::new(program.clone(), cfg(mode, FaultPlan::None))
+                .run_replicated()
+                .expect("runs");
+            r.console()
+        };
+        // Crash after the 2nd output: outputs 0-1 performed by the primary,
+        // 2-3 recomputed by the backup from logged ND inputs where
+        // available.
+        let report = FtJvm::new(program.clone(), cfg(mode, FaultPlan::AfterOutput(1)))
+            .run_with_failure()
+            .expect("failover");
+        assert!(report.crashed);
+        let console = report.console();
+        assert_eq!(console.len(), 4, "{mode}: all four outputs appear");
+        // The prefix the primary performed must match the reference exactly.
+        assert_eq!(&console[..2], &reference[..2], "{mode}");
+        report.check_no_duplicate_outputs().expect("exactly-once");
+    }
+}
+
+#[test]
+fn sweep_failure_points_property() {
+    // Property-style sweep: crash after k instructions for many k; output
+    // must always equal the reference, exactly once.
+    for mode in MODES {
+        let program = build(file_program);
+        let expected = reference(&program);
+        for k in (10..2000).step_by(97) {
+            let report = FtJvm::new(program.clone(), cfg(mode, FaultPlan::AfterInstructions(k)))
+                .run_with_failure()
+                .unwrap_or_else(|e| panic!("{mode} k={k}: {e}"));
+            assert_eq!(report.console(), expected, "{mode} k={k}");
+            report
+                .check_no_duplicate_outputs()
+                .unwrap_or_else(|id| panic!("{mode} k={k}: duplicate output {id}"));
+            // File contents must also be intact.
+            assert_eq!(
+                report.world.borrow().file("journal.dat").unwrap(),
+                b"entry!entry!entry!entry!entry!",
+                "{mode} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_with_unflushed_suffix_still_recovers() {
+    // AfterFlush(0): the primary dies right after its first buffer flush;
+    // every later record is lost. The backup replays the prefix and then
+    // continues as the live authority.
+    for mode in MODES {
+        let program = build(squares_program);
+        let expected = reference(&program);
+        let mut c = cfg(mode, FaultPlan::AfterFlush(0));
+        c.vm.cost.net = ftjvm_netsim::NetParams::default();
+        let report = FtJvm::new(program, c).run_with_failure().expect("failover");
+        assert!(report.crashed);
+        assert_eq!(report.console(), expected, "{mode}");
+        report.check_no_duplicate_outputs().expect("exactly-once");
+    }
+}
+
+#[test]
+fn multithreaded_failover_under_both_modes() {
+    for mode in MODES {
+        let program = build(counter_program);
+        for k in [200u64, 1000, 3000, 6000] {
+            let report = FtJvm::new(program.clone(), cfg(mode, FaultPlan::AfterInstructions(k)))
+                .run_with_failure()
+                .unwrap_or_else(|e| panic!("{mode} k={k}: {e}"));
+            assert_eq!(report.console(), vec!["240"], "{mode} k={k}");
+            report.check_no_duplicate_outputs().expect("exactly-once");
+        }
+    }
+}
+
+#[test]
+fn uncertain_last_output_is_tested_not_duplicated() {
+    // BeforeOutput(n) crashes after the commit was acknowledged but before
+    // the output was performed: the backup must perform it (it will find
+    // `test` = false). AfterOutput(n) crashes right after the output: the
+    // backup must NOT perform it again (`test` = true via the world's
+    // applied-ids, or a later record proves it happened).
+    for mode in MODES {
+        let program = build(squares_program);
+        let expected = reference(&program);
+        for n in 0..8 {
+            for fault in [FaultPlan::BeforeOutput(n), FaultPlan::AfterOutput(n)] {
+                let report = FtJvm::new(program.clone(), cfg(mode, fault))
+                    .run_with_failure()
+                    .unwrap_or_else(|e| panic!("{mode} {fault:?}: {e}"));
+                assert_eq!(report.console(), expected, "{mode} {fault:?}");
+                report.check_no_duplicate_outputs().expect("exactly-once");
+            }
+        }
+    }
+}
+
+// ===== divergence detection (R4A violations) =====
+
+/// A racy program: unsynchronized read-modify-write on a static, which
+/// violates R4A. Under lock-sync the backup's replay can diverge; under
+/// thread-scheduling replication it must still recover exactly.
+fn racy_program(b: &mut ProgramBuilder) -> MethodId {
+    let print = b.import_native("sys.print_int", 1, false);
+    let spawn = b.import_native("sys.spawn", 2, false);
+    let yield_n = b.import_native("sys.yield", 0, false);
+    let cls = b.add_class("Racy", builtin::OBJECT, 0, 2);
+    let fin = {
+        let mut fin = b.method("finish", 1);
+        fin.static_of(cls).synchronized();
+        fin.get_static(cls, 1).push_i(1).add().put_static(cls, 1).ret_void();
+        fin.build(b)
+    };
+    // Worker: racy increments, then a synchronized guard that runs a
+    // *conditional* number of lock acquisitions depending on the racy value
+    // (the paper's Figure 1 shape: a data race that changes the lock
+    // acquisition sequence).
+    let mut locked_touch = b.method("locked_touch", 1);
+    locked_touch.static_of(cls).synchronized();
+    locked_touch.ret_void();
+    let locked_touch = locked_touch.build(b);
+    let mut w = b.method("worker", 1);
+    let done = w.new_label();
+    w.push_i(40).store(1);
+    let top = w.bind_new_label();
+    w.load(1).if_not(done);
+    // Racy read-modify-write with a deliberately wide window: read the
+    // shared static into a local, burn a few instructions, then write it
+    // back incremented. Lost updates depend on where quantum preemptions
+    // land, i.e. on the scheduler seed — which is exactly what breaks
+    // lock-sync replay (R4A).
+    let skip = w.new_label();
+    w.get_static(cls, 0).store(2);
+    w.load(2).push_i(3).mul().push_i(7).rem().pop(); // widen the window
+    w.load(2).push_i(1).add().put_static(cls, 0);
+    // if (count % 2 == 0) locked_touch();  — the data race now changes the
+    // lock acquisition sequence (the paper's Figure 1).
+    w.get_static(cls, 0).push_i(2).rem().if_true(skip);
+    w.push_i(0).invoke(locked_touch);
+    w.bind(skip);
+    w.inc(1, -1).goto(top);
+    w.bind(done).push_i(0).invoke(fin).ret_void();
+    let w = w.build(b);
+    let mut m = b.method("main", 1);
+    m.push_i(0).put_static(cls, 0);
+    m.push_i(0).put_static(cls, 1);
+    for _ in 0..3 {
+        m.push_method(w).push_i(0).invoke_native(spawn, 2);
+    }
+    let wait_loop = m.bind_new_label();
+    let ready = m.new_label();
+    m.get_static(cls, 1).push_i(3).icmp(Cmp::Eq).if_true(ready);
+    m.invoke_native(yield_n, 0).goto(wait_loop);
+    m.bind(ready);
+    m.get_static(cls, 0).invoke_native(print, 1).ret_void();
+    m.build(b)
+}
+
+#[test]
+fn ts_mode_masks_data_races_r4b() {
+    // Under replicated thread scheduling (R4B), even racy programs recover
+    // to the primary's exact state: the backup reproduces the primary's
+    // interleaving, races included. Crashing in the committed-output
+    // window (`BeforeOutput(0)`) guarantees the *entire* racy execution is
+    // in the flushed log — the final print commits (and therefore flushes)
+    // everything — so the backup must reproduce the primary's exact racy
+    // counter, for every scheduling seed.
+    let program = build(racy_program);
+    for seed in [3u64, 11, 29, 71] {
+        let mut free_cfg = cfg(ReplicationMode::ThreadSched, FaultPlan::None);
+        free_cfg.primary_seed = seed;
+        free_cfg.vm.quantum = 23;
+        free_cfg.vm.quantum_jitter = 13;
+        let free = FtJvm::new(program.clone(), free_cfg.clone())
+            .run_replicated()
+            .expect("failure-free");
+        let mut with_fault = free_cfg;
+        with_fault.fault = FaultPlan::BeforeOutput(0);
+        let report = FtJvm::new(program.clone(), with_fault)
+            .run_with_failure()
+            .unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+        assert!(report.crashed);
+        assert_eq!(report.console(), free.console(), "seed={seed}");
+        report.check_no_duplicate_outputs().expect("exactly-once");
+    }
+}
+
+#[test]
+fn ts_mode_masks_data_races_mid_run_with_eager_flushing() {
+    // With an eager flush policy (every record shipped immediately) the
+    // log is complete up to the crash even without output commits, so a
+    // mid-run crash must also reproduce the primary's racy prefix — and
+    // the final count equals the primary's, because the backup replays
+    // every logged switch and the remaining tail is executed by the
+    // single thread the final record designates, then freely.
+    let program = build(racy_program);
+    let mut free_cfg = cfg(ReplicationMode::ThreadSched, FaultPlan::None);
+    free_cfg.vm.quantum = 23;
+    free_cfg.vm.quantum_jitter = 13;
+    free_cfg.flush_threshold = 0;
+    let free = FtJvm::new(program.clone(), free_cfg.clone()).run_replicated().expect("free");
+    // Crash very late (instruction counts past all switches but before the
+    // end): the log then contains every schedule record of the execution.
+    let total_units = free.primary.counters.instructions;
+    let mut with_fault = free_cfg;
+    with_fault.fault = FaultPlan::AfterInstructions(total_units.saturating_sub(20));
+    let report = FtJvm::new(program, with_fault).run_with_failure().expect("failover");
+    if report.crashed {
+        assert_eq!(report.console(), free.console());
+        report.check_no_duplicate_outputs().expect("exactly-once");
+    }
+}
+
+#[test]
+fn racy_primary_results_are_seed_dependent() {
+    // Sanity for the divergence test below: the racy program's final count
+    // must actually vary with the scheduling seed, otherwise there is no
+    // race for lock-sync replay to trip over.
+    let program = build(racy_program);
+    let mut outcomes = std::collections::BTreeSet::new();
+    for seed in 0..12u64 {
+        let mut c = cfg(ReplicationMode::LockSync, FaultPlan::None);
+        c.primary_seed = seed;
+        c.vm.quantum = 13;
+        c.vm.quantum_jitter = 11;
+        let free = FtJvm::new(program.clone(), c).run_replicated().expect("free run");
+        outcomes.insert(free.console().join(","));
+    }
+    eprintln!("distinct racy outcomes: {outcomes:?}");
+    assert!(outcomes.len() > 1, "racy outcomes must vary across seeds: {outcomes:?}");
+}
+
+#[test]
+fn lock_sync_detects_racy_divergence_somewhere() {
+    // Under lock-sync, R4A violations can make the backup's replay diverge
+    // (different schedule => different racy values => different lock
+    // acquisition sequences). Sweep seeds and crash points until the
+    // replay either diverges detectably or produces a different final
+    // count. The paper had to remove such races from the JRE by hand; our
+    // implementation must at least *detect* them instead of silently
+    // corrupting state.
+    let program = build(racy_program);
+    let mut diverged = false;
+    'outer: for seed in 0..20u64 {
+        // Reference: the primary's own racy result with this seed.
+        let mut free_cfg = cfg(ReplicationMode::LockSync, FaultPlan::None);
+        free_cfg.primary_seed = seed;
+        free_cfg.vm.quantum = 13;
+        free_cfg.vm.quantum_jitter = 11;
+        free_cfg.flush_threshold = 0;
+        let free = match FtJvm::new(program.clone(), free_cfg.clone()).run_replicated() {
+            Ok(r) => r.console(),
+            Err(_) => continue,
+        };
+        for fault in [FaultPlan::BeforeOutput(0), FaultPlan::AfterInstructions(900), FaultPlan::AfterInstructions(2600)] {
+            let mut c = free_cfg.clone();
+            c.fault = fault;
+            c.backup_seed = seed.wrapping_mul(7919) ^ 0x5A5A;
+            // Bound the budget: a diverged lock-sync replay can *livelock*
+            // (a thread waits forever for a logged turn that never comes
+            // while another busy-waits) — the same way the paper's replay
+            // broke on the JRE's own data races until they were removed by
+            // hand. Budget exhaustion therefore also counts as detection.
+            c.vm.max_units = 3_000_000;
+            match FtJvm::new(program.clone(), c).run_with_failure() {
+                Err(VmError::ReplayDivergence { .. })
+                | Err(VmError::Deadlock { .. })
+                | Err(VmError::InstructionBudget) => {
+                    diverged = true;
+                    break 'outer;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+                Ok(report) => {
+                    if report.crashed && report.console() != free {
+                        // Silent state divergence — the race corrupted the
+                        // replay without tripping a protocol check, which
+                        // is exactly why the paper demands R4A.
+                        diverged = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        diverged,
+        "expected at least one seed/crash-point to expose the R4A violation under lock-sync"
+    );
+}
+
+// ===== phased natives (locks inside native methods) =====
+
+fn phased_native_program(b: &mut ProgramBuilder) -> MethodId {
+    let print = b.import_native("sys.print_int", 1, false);
+    let spawn = b.import_native("sys.spawn", 2, false);
+    let yield_n = b.import_native("sys.yield", 0, false);
+    let locked_sum = b.import_native("bulk.locked_sum", 2, true);
+    let cls = b.add_class("P", builtin::OBJECT, 0, 4); // statics: 0=lock obj, 1=array, 2=done, 3=acc
+    let mut w = b.method("worker", 1);
+    let done = w.new_label();
+    w.push_i(12).store(1);
+    let top = w.bind_new_label();
+    w.load(1).if_not(done);
+    // acc += locked_sum(lock, arr) — the native acquires the lock
+    // internally across phases.
+    w.get_static(cls, 0).get_static(cls, 1).invoke_native(locked_sum, 2);
+    w.class_obj(cls).monitor_enter();
+    w.get_static(cls, 3).add().put_static(cls, 3);
+    w.class_obj(cls).monitor_exit();
+    w.inc(1, -1).goto(top);
+    w.bind(done);
+    w.class_obj(cls).monitor_enter();
+    w.get_static(cls, 2).push_i(1).add().put_static(cls, 2);
+    w.class_obj(cls).monitor_exit();
+    w.ret_void();
+    let w = w.build(b);
+    let mut m = b.method("main", 1);
+    m.new_obj(builtin::OBJECT).put_static(cls, 0);
+    m.push_i(8).new_array().store(1);
+    m.push_i(0).store(2);
+    let fdone = m.new_label();
+    let fill = m.bind_new_label();
+    m.load(2).push_i(8).icmp(Cmp::Ge).if_true(fdone);
+    m.load(1).load(2).load(2).push_i(3).mul().astore();
+    m.inc(2, 1).goto(fill);
+    m.bind(fdone);
+    m.load(1).put_static(cls, 1);
+    m.push_i(0).put_static(cls, 2);
+    m.push_i(0).put_static(cls, 3);
+    for _ in 0..3 {
+        m.push_method(w).push_i(0).invoke_native(spawn, 2);
+    }
+    let wait_loop = m.bind_new_label();
+    let ready = m.new_label();
+    m.get_static(cls, 2).push_i(3).icmp(Cmp::Eq).if_true(ready);
+    m.invoke_native(yield_n, 0).goto(wait_loop);
+    m.bind(ready);
+    m.get_static(cls, 3).invoke_native(print, 1).ret_void();
+    m.build(b)
+}
+
+#[test]
+fn locks_inside_native_methods_replay_correctly() {
+    // sum(0,3,..,21) = 84; 3 workers * 12 iterations = 36 * 84 = 3024.
+    for mode in MODES {
+        let program = build(phased_native_program);
+        for k in [300u64, 1500, 4000] {
+            let report = FtJvm::new(program.clone(), cfg(mode, FaultPlan::AfterInstructions(k)))
+                .run_with_failure()
+                .unwrap_or_else(|e| panic!("{mode} k={k}: {e}"));
+            assert_eq!(report.console(), vec!["3024"], "{mode} k={k}");
+        }
+    }
+}
+
+// ===== misc =====
+
+#[test]
+fn crash_after_everything_flushed_backup_finishes_quietly() {
+    // Crash at a point past all outputs: the backup replays and simply
+    // terminates with nothing left to do.
+    for mode in MODES {
+        let program = build(squares_program);
+        let expected = reference(&program);
+        let report = FtJvm::new(program.clone(), cfg(mode, FaultPlan::AfterInstructions(1_000_000)))
+            .run_replicated()
+            .expect("runs to completion — fault never fires");
+        assert!(!report.crashed);
+        assert_eq!(report.console(), expected, "{mode}");
+    }
+}
+
+#[test]
+fn backup_replay_harness_reports_backup_time() {
+    let program = build(counter_program);
+    for mode in MODES {
+        let report = FtJvm::new(program.clone(), cfg(mode, FaultPlan::None))
+            .run_backup_replay()
+            .expect("replay harness runs");
+        let backup = report.backup.expect("backup replayed");
+        assert!(backup.acct.total() > ftjvm_netsim::SimTime::ZERO);
+        // Replaying the full log consumes every lock/sched record.
+        if mode == ReplicationMode::LockSync {
+            assert_eq!(
+                report.backup_stats.as_ref().unwrap().locks_acquired,
+                report.primary_stats.lock_acq_records
+            );
+        }
+    }
+}
+
+#[test]
+fn detection_latency_is_reported() {
+    let program = build(squares_program);
+    let report = FtJvm::new(program, cfg(ReplicationMode::LockSync, FaultPlan::BeforeOutput(1)))
+        .run_with_failure()
+        .expect("failover");
+    assert!(report.detection_latency > ftjvm_netsim::SimTime::ZERO);
+}
+
+// ===== cross-thread output ordering (paper §4.2, final remark of the
+// lock-sync subsection) =====
+
+/// Two workers each print their id `n` times; `guarded` additionally
+/// serializes each print under a shared lock.
+fn interleaved_printers(b: &mut ProgramBuilder, guarded: bool) -> MethodId {
+    let print = b.import_native("sys.print_int", 1, false);
+    let spawn = b.import_native("sys.spawn", 2, false);
+    let yield_n = b.import_native("sys.yield", 0, false);
+    let cls = b.add_class("IO", builtin::OBJECT, 0, 1);
+    let mut fin = b.method("fin", 1);
+    fin.static_of(cls).synchronized();
+    fin.get_static(cls, 0).push_i(1).add().put_static(cls, 0).ret_void();
+    let fin = fin.build(b);
+    let mut w = b.method("printer", 1);
+    let done = w.new_label();
+    w.push_i(0).store(1);
+    let top = w.bind_new_label();
+    w.load(1).push_i(10).icmp(Cmp::Ge).if_true(done);
+    if guarded {
+        w.class_obj(cls).monitor_enter();
+    }
+    w.load(0).invoke_native(print, 1);
+    if guarded {
+        w.class_obj(cls).monitor_exit();
+    }
+    w.inc(1, 1).goto(top);
+    w.bind(done).push_i(0).invoke(fin).ret_void();
+    let w = w.build(b);
+    let mut m = b.method("main", 1);
+    m.push_i(0).put_static(cls, 0);
+    m.push_method(w).push_i(1).invoke_native(spawn, 2);
+    m.push_method(w).push_i(2).invoke_native(spawn, 2);
+    let wait = m.bind_new_label();
+    let ready = m.new_label();
+    m.get_static(cls, 0).push_i(2).icmp(Cmp::Eq).if_true(ready);
+    m.invoke_native(yield_n, 0).goto(wait);
+    m.bind(ready).ret_void();
+    m.build(b)
+}
+
+#[test]
+fn lock_guarded_output_interleaving_is_reproduced_exactly() {
+    // The paper: "If multiple threads are interacting with the environment
+    // and the interleaved order is important, then synchronization is
+    // required to ensure an identical order between the primary and the
+    // backup even if the synchronization is not required for correctness
+    // at the primary." With each print under a shared lock, lock-sync
+    // replay reproduces the primary's cross-thread console interleaving
+    // exactly — even with a complete-log crash.
+    let program = build(|b| interleaved_printers(b, true));
+    for seed in [2u64, 9, 33] {
+        let mut c = cfg(ReplicationMode::LockSync, FaultPlan::None);
+        c.primary_seed = seed;
+        c.vm.quantum = 37;
+        c.vm.quantum_jitter = 19;
+        c.flush_threshold = 0;
+        let free = FtJvm::new(program.clone(), c.clone()).run_replicated().expect("free");
+        let mut crash = c;
+        // Crash right before the very last committed output: the entire
+        // interleaving is in the log.
+        crash.fault = FaultPlan::BeforeOutput(19);
+        let report = FtJvm::new(program.clone(), crash).run_with_failure().expect("failover");
+        assert!(report.crashed, "seed {seed}");
+        assert_eq!(report.console(), free.console(), "seed {seed}: exact interleaving");
+    }
+}
+
+#[test]
+fn unguarded_output_interleaving_may_differ_but_per_thread_order_holds() {
+    // Without the synchronization, the backup's post-log interleaving is
+    // its own — only per-thread subsequences are guaranteed. This is the
+    // flip side of the paper's remark, demonstrated.
+    let program = build(|b| interleaved_printers(b, false));
+    let mut c = cfg(ReplicationMode::LockSync, FaultPlan::AfterInstructions(300));
+    c.vm.quantum = 37;
+    c.vm.quantum_jitter = 19;
+    let report = FtJvm::new(program, c).run_with_failure().expect("failover");
+    let console = report.console();
+    let of = |id: &str| console.iter().filter(|l| l.as_str() == id).count();
+    assert_eq!(of("1"), 10, "thread 1's outputs all present, exactly once");
+    assert_eq!(of("2"), 10, "thread 2's outputs all present, exactly once");
+    report.check_no_duplicate_outputs().expect("exactly-once");
+}
+
+#[test]
+fn replayed_native_exceptions_are_reproduced() {
+    // An ND native that aborts at the primary (reading a closed file)
+    // must abort identically during replay: the logged Err is imposed and
+    // the same catchable exception is raised at the backup.
+    let program = build(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let open = b.import_native("file.open", 1, true);
+        let close = b.import_native("file.close", 1, false);
+        let read = b.import_native("file.read", 3, true);
+        let name = b.intern("gone.dat");
+        let mut m = b.method("main", 1);
+        let try_start = m.new_label();
+        let try_end = m.new_label();
+        let catch = m.new_label();
+        let done = m.new_label();
+        m.const_str(name).invoke_native(open, 1).store(1);
+        m.load(1).invoke_native(close, 1);
+        m.bind(try_start);
+        // Read on the closed descriptor: aborts with code 11.
+        m.push_i(4).new_array().store(2);
+        m.load(1).load(2).push_i(4).invoke_native(read, 3).pop();
+        m.bind(try_end);
+        m.goto(done);
+        m.bind(catch);
+        m.get_field(ftjvm_vm::class::builtin::THROWABLE_CODE_SLOT).invoke_native(print, 1);
+        m.bind(done);
+        m.push_i(77).invoke_native(print, 1);
+        m.ret_void();
+        m.handler(try_start, try_end, None, catch);
+        m.build(b)
+    });
+    let expected = vec![
+        (ftjvm_vm::class::excode::NATIVE_BASE + 11).to_string(),
+        "77".to_string(),
+    ];
+    for mode in MODES {
+        // Crash in the uncertain window of the final output: the aborting
+        // read is fully in the log and must replay as an exception.
+        let report = FtJvm::new(program.clone(), cfg(mode, FaultPlan::BeforeOutput(1)))
+            .run_with_failure()
+            .unwrap_or_else(|e| panic!("{mode}: {e}"));
+        assert!(report.crashed);
+        assert_eq!(report.console(), expected, "{mode}");
+        if let Some(b) = &report.backup {
+            assert!(b.uncaught.is_empty(), "{mode}: exception must be caught, not fatal");
+        }
+    }
+}
+
+#[test]
+fn verify_r4a_classifies_programs() {
+    // A fully disciplined counter: every shared access (including main's
+    // join spin and final read) goes through synchronized methods.
+    let clean = build(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let spawn = b.import_native("sys.spawn", 2, false);
+        let yield_n = b.import_native("sys.yield", 0, false);
+        let cls = b.add_class("Clean", builtin::OBJECT, 0, 2);
+        let mut inc = b.method("inc", 1);
+        inc.static_of(cls).synchronized();
+        inc.get_static(cls, 0).push_i(1).add().put_static(cls, 0).ret_void();
+        let inc = inc.build(b);
+        let mut fin = b.method("fin", 1);
+        fin.static_of(cls).synchronized();
+        fin.get_static(cls, 1).push_i(1).add().put_static(cls, 1).ret_void();
+        let fin = fin.build(b);
+        let mut done_count = b.method("done_count", 1);
+        done_count.static_of(cls).synchronized();
+        done_count.get_static(cls, 1).ret_val();
+        let done_count = done_count.build(b);
+        let mut total = b.method("total", 1);
+        total.static_of(cls).synchronized();
+        total.get_static(cls, 0).ret_val();
+        let total = total.build(b);
+        let mut w = b.method("w", 1);
+        let done = w.new_label();
+        w.push_i(40).store(1);
+        let top = w.bind_new_label();
+        w.load(1).if_not(done);
+        w.push_i(0).invoke(inc);
+        w.inc(1, -1).goto(top);
+        w.bind(done).push_i(0).invoke(fin).ret_void();
+        let w = w.build(b);
+        let mut m = b.method("main", 1);
+        m.push_i(0).put_static(cls, 0);
+        m.push_i(0).put_static(cls, 1);
+        for _ in 0..3 {
+            m.push_method(w).push_i(0).invoke_native(spawn, 2);
+        }
+        let wait = m.bind_new_label();
+        let ready = m.new_label();
+        m.push_i(0).invoke(done_count).push_i(3).icmp(Cmp::Eq).if_true(ready);
+        m.invoke_native(yield_n, 0).goto(wait);
+        m.bind(ready);
+        m.push_i(0).invoke(total).invoke_native(print, 1).ret_void();
+        m.build(b)
+    });
+    let races = FtJvm::new(clean, FtConfig::default()).verify_r4a().expect("runs");
+    assert!(races.is_empty(), "disciplined counter is race-free: {races:?}");
+    // The detector also (correctly) flags the benign join-spin pattern the
+    // other test programs in this file use — Eraser discipline is strict.
+    let benign = build(counter_program);
+    let races = FtJvm::new(benign, FtConfig::default()).verify_r4a().expect("runs");
+    assert!(!races.is_empty(), "the unlocked join spin violates the discipline");
+    let racy = build(racy_program);
+    let mut c = FtConfig::default();
+    c.vm.quantum = 13;
+    c.vm.quantum_jitter = 11;
+    let races = FtJvm::new(racy, c).verify_r4a().expect("runs");
+    assert!(!races.is_empty(), "the racy program must be flagged");
+}

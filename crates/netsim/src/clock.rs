@@ -1,0 +1,183 @@
+//! Simulated time.
+//!
+//! All durations and instants are expressed in simulated nanoseconds. The
+//! simulation is single-threaded and advances time explicitly: executing an
+//! instruction, sending a message, or waiting for an acknowledgment each add
+//! a known cost to the clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant (or duration) in simulated nanoseconds.
+///
+/// `SimTime` is deliberately a thin newtype over `u64`: replicas compare and
+/// log instants, and tests assert exact reproducibility, so the type must be
+/// total-ordered, hashable and exactly serializable.
+///
+/// ```
+/// use ftjvm_netsim::SimTime;
+/// let t = SimTime::from_micros(3) + SimTime::from_nanos(500);
+/// assert_eq!(t.as_nanos(), 3_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a `SimTime` from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a `SimTime` from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a `SimTime` from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Returns the value in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in (truncated) microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the value in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the value as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; durations never go negative.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two instants.
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// A monotonically advancing simulated clock.
+///
+/// ```
+/// use ftjvm_netsim::{SimClock, SimTime};
+/// let mut clk = SimClock::new();
+/// clk.advance(SimTime::from_micros(5));
+/// assert_eq!(clk.now().as_micros(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        SimClock { now: SimTime::ZERO }
+    }
+
+    /// Returns the current instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&mut self, delta: SimTime) {
+        self.now += delta;
+    }
+
+    /// Advances the clock to `instant` if it is in the future; returns the
+    /// time actually waited.
+    pub fn advance_to(&mut self, instant: SimTime) -> SimTime {
+        let waited = instant.saturating_sub(self.now);
+        self.now = self.now.max(instant);
+        waited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = SimTime::from_millis(2);
+        let b = SimTime::from_micros(500);
+        assert_eq!((a + b).as_nanos(), 2_500_000);
+        assert_eq!((a - b).as_micros(), 1_500);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut clk = SimClock::new();
+        clk.advance(SimTime::from_nanos(10));
+        let waited = clk.advance_to(SimTime::from_nanos(25));
+        assert_eq!(waited.as_nanos(), 15);
+        // Advancing to the past is a no-op.
+        let waited = clk.advance_to(SimTime::from_nanos(5));
+        assert_eq!(waited, SimTime::ZERO);
+        assert_eq!(clk.now().as_nanos(), 25);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::from_nanos(3).to_string(), "3ns");
+        assert_eq!(SimTime::from_micros(3).to_string(), "3.000us");
+        assert_eq!(SimTime::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(SimTime::from_millis(3000).to_string(), "3.000s");
+    }
+}

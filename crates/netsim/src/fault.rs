@@ -1,0 +1,114 @@
+//! Fail-stop fault injection and failure detection.
+//!
+//! The paper assumes fail-stop replicas: the primary halts, loses its
+//! volatile state, and the backup detects the failure via a dedicated
+//! failure-detection thread. Here a [`FaultPlan`] pins the crash to a
+//! deterministic point in the primary's execution so that property tests
+//! can sweep every interesting failure point, and a [`FailureDetector`]
+//! models the detection latency added before recovery begins.
+
+use crate::clock::SimTime;
+
+/// When (if ever) to kill the primary.
+///
+/// The plan is evaluated against the primary's own event counters, making
+/// crashes exactly reproducible for a given seed and workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPlan {
+    /// Run to completion; never crash.
+    #[default]
+    None,
+    /// Crash after executing this many bytecode instructions.
+    AfterInstructions(u64),
+    /// Crash immediately before performing the n-th (0-based) environment
+    /// output action — after the output commit was acknowledged but before
+    /// the output itself. This is the paper's "uncertain output" window.
+    BeforeOutput(u64),
+    /// Crash immediately after performing the n-th (0-based) environment
+    /// output action.
+    AfterOutput(u64),
+    /// Crash after the n-th (0-based) log-buffer flush reaches the channel,
+    /// leaving any later records unlogged.
+    AfterFlush(u64),
+}
+
+impl FaultPlan {
+    /// True if the plan can ever fire.
+    pub fn is_armed(&self) -> bool {
+        !matches!(self, FaultPlan::None)
+    }
+}
+
+/// Models the backup's failure-detection thread.
+///
+/// The primary sends heartbeats every `interval`; the backup declares the
+/// primary dead after `missed` consecutive heartbeats fail to arrive.
+///
+/// ```
+/// use ftjvm_netsim::{FailureDetector, SimTime};
+/// let fd = FailureDetector::new(SimTime::from_millis(10), 3);
+/// let crash = SimTime::from_millis(100);
+/// let detected = fd.detection_instant(crash);
+/// assert!(detected > crash);
+/// assert_eq!((detected - crash).as_millis(), 30);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FailureDetector {
+    interval: SimTime,
+    missed: u32,
+}
+
+impl FailureDetector {
+    /// Creates a detector with the given heartbeat interval and miss count.
+    ///
+    /// # Panics
+    /// Panics if `missed` is zero (a detector that fires instantly on a
+    /// single scheduling hiccup is a misconfiguration, not a policy).
+    pub fn new(interval: SimTime, missed: u32) -> Self {
+        assert!(missed > 0, "failure detector must tolerate at least one missed heartbeat");
+        FailureDetector { interval, missed }
+    }
+
+    /// Heartbeat interval.
+    pub fn interval(&self) -> SimTime {
+        self.interval
+    }
+
+    /// The instant the backup declares the primary (which crashed at
+    /// `crash_at`) failed and begins recovery.
+    pub fn detection_instant(&self, crash_at: SimTime) -> SimTime {
+        crash_at + SimTime::from_nanos(self.interval.as_nanos() * self.missed as u64)
+    }
+}
+
+impl Default for FailureDetector {
+    fn default() -> Self {
+        // 50 ms heartbeats, 3 missed => 150 ms detection latency.
+        FailureDetector::new(SimTime::from_millis(50), 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_disarmed() {
+        assert!(!FaultPlan::None.is_armed());
+        assert!(FaultPlan::AfterInstructions(0).is_armed());
+        assert!(FaultPlan::BeforeOutput(2).is_armed());
+    }
+
+    #[test]
+    fn detection_latency_is_interval_times_missed() {
+        let fd = FailureDetector::new(SimTime::from_millis(20), 5);
+        let t = fd.detection_instant(SimTime::from_millis(7));
+        assert_eq!(t.as_millis(), 107);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one missed heartbeat")]
+    fn zero_missed_heartbeats_rejected() {
+        let _ = FailureDetector::new(SimTime::from_millis(20), 0);
+    }
+}

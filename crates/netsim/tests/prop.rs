@@ -1,0 +1,154 @@
+//! Property-based tests for the simulation substrate.
+
+use ftjvm_netsim::{NetParams, SimChannel, SimTime, WireReader, WireWriter};
+use proptest::prelude::*;
+
+/// One wire-format operation paired with its expected readback.
+#[derive(Debug, Clone)]
+enum Op {
+    U8(u8),
+    U32(u32),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bytes(Vec<u8>),
+    Str(String),
+    U32Seq(Vec<u32>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::U8),
+        any::<u32>().prop_map(Op::U32),
+        any::<u64>().prop_map(Op::U64),
+        any::<i64>().prop_map(Op::I64),
+        // Finite doubles only: NaN breaks equality, and the VM never logs
+        // NaN bit patterns through this path unmodified anyway.
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Op::F64),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Op::Bytes),
+        "[a-zA-Z0-9 /._-]{0,48}".prop_map(Op::Str),
+        proptest::collection::vec(any::<u32>(), 0..16).prop_map(Op::U32Seq),
+    ]
+}
+
+proptest! {
+    /// Any sequence of writes reads back exactly, in order, leaving the
+    /// frame empty.
+    #[test]
+    fn wire_roundtrip(ops in proptest::collection::vec(op_strategy(), 0..32)) {
+        let mut w = WireWriter::new();
+        for op in &ops {
+            match op {
+                Op::U8(v) => w.put_u8(*v),
+                Op::U32(v) => w.put_u32(*v),
+                Op::U64(v) => w.put_u64(*v),
+                Op::I64(v) => w.put_i64(*v),
+                Op::F64(v) => w.put_f64(*v),
+                Op::Bytes(v) => w.put_bytes(v),
+                Op::Str(v) => w.put_str(v),
+                Op::U32Seq(v) => w.put_u32_seq(v),
+            }
+        }
+        let mut r = WireReader::new(w.finish());
+        for op in &ops {
+            match op {
+                Op::U8(v) => prop_assert_eq!(r.get_u8().unwrap(), *v),
+                Op::U32(v) => prop_assert_eq!(r.get_u32().unwrap(), *v),
+                Op::U64(v) => prop_assert_eq!(r.get_u64().unwrap(), *v),
+                Op::I64(v) => prop_assert_eq!(r.get_i64().unwrap(), *v),
+                Op::F64(v) => prop_assert_eq!(r.get_f64().unwrap(), *v),
+                Op::Bytes(v) => prop_assert_eq!(&r.get_bytes().unwrap()[..], &v[..]),
+                Op::Str(v) => prop_assert_eq!(&r.get_str().unwrap(), v),
+                Op::U32Seq(v) => prop_assert_eq!(&r.get_u32_seq().unwrap(), v),
+            }
+        }
+        prop_assert!(r.is_empty());
+    }
+
+    /// Truncating a frame anywhere never panics — every decode error is a
+    /// clean `WireError`.
+    #[test]
+    fn wire_truncation_is_graceful(
+        ops in proptest::collection::vec(op_strategy(), 1..16),
+        cut in any::<prop::sample::Index>()
+    ) {
+        let mut w = WireWriter::new();
+        for op in &ops {
+            match op {
+                Op::U8(v) => w.put_u8(*v),
+                Op::U32(v) => w.put_u32(*v),
+                Op::U64(v) => w.put_u64(*v),
+                Op::I64(v) => w.put_i64(*v),
+                Op::F64(v) => w.put_f64(*v),
+                Op::Bytes(v) => w.put_bytes(v),
+                Op::Str(v) => w.put_str(v),
+                Op::U32Seq(v) => w.put_u32_seq(v),
+            }
+        }
+        let full = w.finish();
+        if full.is_empty() {
+            return Ok(());
+        }
+        let cut = cut.index(full.len());
+        let mut r = WireReader::new(full.slice(..cut));
+        // Read greedily until an error or exhaustion; must never panic.
+        for op in &ops {
+            let res = match op {
+                Op::U8(_) => r.get_u8().map(|_| ()),
+                Op::U32(_) => r.get_u32().map(|_| ()),
+                Op::U64(_) => r.get_u64().map(|_| ()),
+                Op::I64(_) => r.get_i64().map(|_| ()),
+                Op::F64(_) => r.get_f64().map(|_| ()),
+                Op::Bytes(_) => r.get_bytes().map(|_| ()),
+                Op::Str(_) => r.get_str().map(|_| ()),
+                Op::U32Seq(_) => r.get_u32_seq().map(|_| ()),
+            };
+            if res.is_err() {
+                break;
+            }
+        }
+    }
+
+    /// FIFO delivery: messages arrive in send order with non-decreasing
+    /// delivery instants, and byte accounting is exact.
+    #[test]
+    fn channel_is_fifo_and_accounts_bytes(
+        sizes in proptest::collection::vec(1usize..512, 1..40),
+        gaps in proptest::collection::vec(0u64..10_000, 1..40)
+    ) {
+        let mut ch = SimChannel::new(NetParams::default());
+        let mut now = SimTime::ZERO;
+        let mut total = 0u64;
+        for (i, size) in sizes.iter().enumerate() {
+            now += SimTime::from_nanos(gaps[i % gaps.len()]);
+            let payload = vec![(i % 251) as u8; *size];
+            total += *size as u64;
+            ch.send(now, payload);
+        }
+        prop_assert_eq!(ch.stats().bytes_sent, total);
+        prop_assert_eq!(ch.stats().messages_sent, sizes.len() as u64);
+        let msgs = ch.drain();
+        prop_assert_eq!(msgs.len(), sizes.len());
+        for (i, (at, payload)) in msgs.iter().enumerate() {
+            prop_assert_eq!(payload.len(), sizes[i]);
+            if i > 0 {
+                prop_assert!(*at >= msgs[i - 1].0, "FIFO delivery instants");
+            }
+        }
+    }
+
+    /// The acknowledgment for an output commit always arrives after every
+    /// in-flight delivery plus the return propagation.
+    #[test]
+    fn ack_never_beats_deliveries(
+        sizes in proptest::collection::vec(1usize..256, 1..20)
+    ) {
+        let mut ch = SimChannel::new(NetParams::default());
+        for s in &sizes {
+            ch.send(SimTime::ZERO, vec![0u8; *s]);
+        }
+        let ack = ch.ack_arrival(SimTime::ZERO);
+        let last_delivery = ch.drain().last().map(|(at, _)| *at).unwrap();
+        prop_assert!(ack > last_delivery);
+    }
+}

@@ -1,0 +1,339 @@
+//! The bytecode instruction set of the virtual machine.
+//!
+//! A deliberately JVM-shaped, stack-based ISA: operand stack, local
+//! variables, fields, arrays, monitors, virtual dispatch, exceptions, and a
+//! native-method boundary. The replication layer treats each instruction as
+//! one state-machine *command* (paper §3); control-flow instructions are the
+//! ones counted by the thread-scheduling progress counter `br_cnt`
+//! (paper §4.2).
+
+use std::fmt;
+
+/// Identifies a class within a [`crate::class::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u16);
+
+/// Identifies a method globally within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MethodId(pub u32);
+
+/// Identifies a registered native method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NativeId(pub u32);
+
+/// Identifies an interned string constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StrId(pub u32);
+
+/// A virtual-method slot: the index into a class vtable used by
+/// [`Insn::InvokeVirtual`] dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VSlot(pub u16);
+
+/// Integer comparison operators for [`Insn::ICmp`] and [`Insn::DCmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Cmp {
+    /// Evaluates the comparison on a three-way ordering encoded as -1/0/1.
+    pub fn eval_ord(self, ord: i32) -> bool {
+        match self {
+            Cmp::Eq => ord == 0,
+            Cmp::Ne => ord != 0,
+            Cmp::Lt => ord < 0,
+            Cmp::Le => ord <= 0,
+            Cmp::Gt => ord > 0,
+            Cmp::Ge => ord >= 0,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cmp::Eq => "==",
+            Cmp::Ne => "!=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One bytecode instruction.
+///
+/// Branch targets are absolute instruction indices within the owning
+/// method's code array (the assembler in [`crate::program`] resolves labels
+/// to these).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Insn {
+    // --- constants and stack manipulation ---
+    /// Push an integer constant.
+    Const(i64),
+    /// Push a double constant.
+    DConst(f64),
+    /// Push `null`.
+    ConstNull,
+    /// Allocate a fresh byte array initialized from the interned string and
+    /// push a reference to it.
+    ConstStr(StrId),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Duplicate the value below the top (`..., a, b -> ..., a, b, a`).
+    DupX1,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the two top stack slots.
+    Swap,
+
+    // --- locals ---
+    /// Push local variable `n`.
+    Load(u16),
+    /// Pop into local variable `n`.
+    Store(u16),
+    /// Add a constant to integer local `n` in place.
+    Inc(u16, i32),
+
+    // --- integer arithmetic (operate on Int, push Int) ---
+    /// Integer addition (wrapping).
+    Add,
+    /// Integer subtraction (wrapping).
+    Sub,
+    /// Integer multiplication (wrapping).
+    Mul,
+    /// Integer division. Throws `ArithmeticException` on division by zero.
+    Div,
+    /// Integer remainder. Throws `ArithmeticException` on division by zero.
+    Rem,
+    /// Integer negation.
+    Neg,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (modulo 64).
+    Shl,
+    /// Arithmetic shift right (modulo 64).
+    Shr,
+
+    // --- double arithmetic ---
+    /// Double addition.
+    DAdd,
+    /// Double subtraction.
+    DSub,
+    /// Double multiplication.
+    DMul,
+    /// Double division.
+    DDiv,
+    /// Convert Int to Double.
+    I2D,
+    /// Truncate Double to Int.
+    D2I,
+
+    // --- comparisons (push Int 0/1) ---
+    /// Compare two ints with the operator.
+    ICmp(Cmp),
+    /// Compare two doubles with the operator (NaN compares false except `!=`).
+    DCmp(Cmp),
+    /// Reference equality (also matches two nulls).
+    RefEq,
+
+    // --- control flow (all of these advance `br_cnt`) ---
+    /// Unconditional jump.
+    Goto(u32),
+    /// Pop; jump if truthy.
+    If(u32),
+    /// Pop; jump if falsy.
+    IfNot(u32),
+    /// Pop; jump if `null`.
+    IfNull(u32),
+
+    // --- invocation (advances `br_cnt`) ---
+    /// Call a static (or private) method directly.
+    InvokeStatic(MethodId),
+    /// Call through the receiver's vtable; `argc` includes the receiver,
+    /// which is the deepest of the popped values.
+    InvokeVirtual(VSlot, u8),
+    /// Call a registered native method with `argc` arguments.
+    InvokeNative(NativeId, u8),
+    /// Return void (advances `br_cnt`).
+    Ret,
+    /// Return the top of stack (advances `br_cnt`).
+    RetVal,
+
+    // --- objects ---
+    /// Allocate an instance of the class; push the reference.
+    New(ClassId),
+    /// Pop object ref; push field `slot`.
+    GetField(u16),
+    /// Pop value then object ref; store into field `slot`.
+    PutField(u16),
+    /// Push static field `slot` of the class.
+    GetStatic(ClassId, u16),
+    /// Pop into static field `slot` of the class.
+    PutStatic(ClassId, u16),
+
+    // --- arrays ---
+    /// Pop length; allocate an array of `Null`-initialized slots.
+    NewArray,
+    /// Pop index then array ref; push element.
+    ALoad,
+    /// Pop value, index, array ref; store element.
+    AStore,
+    /// Pop array ref; push its length.
+    ALen,
+
+    /// Push the per-class lock object of the class (what a synchronized
+    /// static method locks; also handy as a well-known monitor for
+    /// wait/notify).
+    ClassObj(ClassId),
+
+    // --- monitors ---
+    /// Pop object ref; acquire its monitor (may block the thread).
+    MonitorEnter,
+    /// Pop object ref; release its monitor. Throws
+    /// `IllegalMonitorStateException` if not owned.
+    MonitorExit,
+
+    // --- exceptions (advances `br_cnt`) ---
+    /// Pop a throwable object reference and raise it.
+    Throw,
+
+    /// No operation.
+    Nop,
+}
+
+impl Insn {
+    /// True if executing this instruction increments the thread-scheduling
+    /// progress counter `br_cnt` (branches, jumps, invocations, returns and
+    /// throws — the events the paper instrumented the interpreter loop to
+    /// count).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Insn::Goto(_)
+                | Insn::If(_)
+                | Insn::IfNot(_)
+                | Insn::IfNull(_)
+                | Insn::InvokeStatic(_)
+                | Insn::InvokeVirtual(..)
+                | Insn::InvokeNative(..)
+                | Insn::Ret
+                | Insn::RetVal
+                | Insn::Throw
+        )
+    }
+
+    /// Net change in operand-stack depth, when statically known.
+    /// Invocations return `None` (depends on the callee signature).
+    pub fn stack_delta(&self) -> Option<i32> {
+        Some(match self {
+            Insn::Const(_) | Insn::DConst(_) | Insn::ConstNull | Insn::ConstStr(_) => 1,
+            Insn::Dup | Insn::DupX1 => 1,
+            Insn::Pop => -1,
+            Insn::Swap => 0,
+            Insn::Load(_) => 1,
+            Insn::Store(_) => -1,
+            Insn::Inc(..) => 0,
+            Insn::Add
+            | Insn::Sub
+            | Insn::Mul
+            | Insn::Div
+            | Insn::Rem
+            | Insn::And
+            | Insn::Or
+            | Insn::Xor
+            | Insn::Shl
+            | Insn::Shr
+            | Insn::DAdd
+            | Insn::DSub
+            | Insn::DMul
+            | Insn::DDiv => -1,
+            Insn::Neg | Insn::I2D | Insn::D2I => 0,
+            Insn::ICmp(_) | Insn::DCmp(_) | Insn::RefEq => -1,
+            Insn::Goto(_) => 0,
+            Insn::If(_) | Insn::IfNot(_) | Insn::IfNull(_) => -1,
+            Insn::InvokeStatic(_) | Insn::InvokeVirtual(..) | Insn::InvokeNative(..) => {
+                return None
+            }
+            Insn::Ret | Insn::RetVal => return None,
+            Insn::New(_) => 1,
+            Insn::GetField(_) => 0,
+            Insn::PutField(_) => -2,
+            Insn::GetStatic(..) => 1,
+            Insn::PutStatic(..) => -1,
+            Insn::ClassObj(_) => 1,
+            Insn::NewArray => 0,
+            Insn::ALoad => -1,
+            Insn::AStore => -3,
+            Insn::ALen => 0,
+            Insn::MonitorEnter | Insn::MonitorExit => -1,
+            Insn::Throw => return None,
+            Insn::Nop => 0,
+        })
+    }
+
+    /// The branch target, if this is a branching instruction.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Insn::Goto(t) | Insn::If(t) | Insn::IfNot(t) | Insn::IfNull(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Insn::Goto(0).is_control_flow());
+        assert!(Insn::InvokeStatic(MethodId(0)).is_control_flow());
+        assert!(Insn::Ret.is_control_flow());
+        assert!(Insn::Throw.is_control_flow());
+        assert!(!Insn::Add.is_control_flow());
+        assert!(!Insn::MonitorEnter.is_control_flow());
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(Cmp::Eq.eval_ord(0));
+        assert!(Cmp::Ne.eval_ord(1));
+        assert!(Cmp::Lt.eval_ord(-1));
+        assert!(Cmp::Le.eval_ord(0));
+        assert!(Cmp::Gt.eval_ord(1));
+        assert!(!Cmp::Ge.eval_ord(-1));
+    }
+
+    #[test]
+    fn stack_deltas() {
+        assert_eq!(Insn::Const(1).stack_delta(), Some(1));
+        assert_eq!(Insn::AStore.stack_delta(), Some(-3));
+        assert_eq!(Insn::InvokeStatic(MethodId(0)).stack_delta(), None);
+    }
+
+    #[test]
+    fn branch_targets() {
+        assert_eq!(Insn::Goto(7).branch_target(), Some(7));
+        assert_eq!(Insn::If(3).branch_target(), Some(3));
+        assert_eq!(Insn::Add.branch_target(), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! Classes, methods and whole programs.
+//!
+//! A [`Program`] is the unit of execution: a closed set of classes and
+//! methods plus an entry point, analogous to a classpath of classfiles. Use
+//! [`crate::program::ProgramBuilder`] to construct one.
+
+use crate::bytecode::{ClassId, Insn, MethodId, VSlot};
+
+/// Well-known class ids pre-registered by the builder.
+pub mod builtin {
+    use crate::bytecode::ClassId;
+
+    /// Root of the class hierarchy.
+    pub const OBJECT: ClassId = ClassId(0);
+    /// Base class of all throwables. Field slot 0 holds an integer code.
+    pub const THROWABLE: ClassId = ClassId(1);
+    /// Thrown by the VM itself: division by zero, null dereference, array
+    /// bounds, illegal monitor state. Extends `THROWABLE`.
+    pub const RUNTIME_EXCEPTION: ClassId = ClassId(2);
+    /// A soft reference: field slot 0 is the referent, which the collector
+    /// may clear under memory pressure (paper §4.3 treats these as strong by
+    /// default). Extends `OBJECT`.
+    pub const SOFT_REF: ClassId = ClassId(3);
+    /// Number of builtin classes.
+    pub const COUNT: u16 = 4;
+
+    /// Field slot of the integer error code in `THROWABLE`.
+    pub const THROWABLE_CODE_SLOT: u16 = 0;
+    /// Field slot of the referent in `SOFT_REF`.
+    pub const SOFT_REF_REFERENT_SLOT: u16 = 0;
+}
+
+/// Integer codes stored in [`builtin::THROWABLE_CODE_SLOT`] for VM-raised
+/// runtime exceptions.
+pub mod excode {
+    /// Null dereference.
+    pub const NULL_POINTER: i64 = 1;
+    /// Integer division or remainder by zero.
+    pub const ARITHMETIC: i64 = 2;
+    /// Array index out of bounds.
+    pub const ARRAY_BOUNDS: i64 = 3;
+    /// Monitor released or waited on without ownership.
+    pub const ILLEGAL_MONITOR: i64 = 4;
+    /// Negative array size.
+    pub const NEGATIVE_ARRAY_SIZE: i64 = 5;
+    /// Virtual dispatch failed (array receiver or empty vtable slot).
+    pub const BAD_DISPATCH: i64 = 6;
+    /// Base code for native-method aborts; the native's own code is added.
+    pub const NATIVE_BASE: i64 = 1000;
+}
+
+/// An exception-handler table entry, analogous to a JVM `Code` attribute
+/// exception entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handler {
+    /// First covered instruction index (inclusive).
+    pub start: u32,
+    /// Last covered instruction index (exclusive).
+    pub end: u32,
+    /// Class caught; `None` catches everything.
+    pub class: Option<ClassId>,
+    /// Jump target on match; the thrown object is pushed.
+    pub target: u32,
+}
+
+/// A class definition.
+#[derive(Debug, Clone)]
+pub struct Class {
+    /// Fully-qualified name, e.g. `"spec/db/Database"`.
+    pub name: String,
+    /// This class's id.
+    pub id: ClassId,
+    /// Superclass; `None` only for `Object`.
+    pub super_class: Option<ClassId>,
+    /// Total instance field slots, including inherited slots (which occupy
+    /// the lowest indices).
+    pub n_fields: u16,
+    /// Static field slots of this class (not inherited).
+    pub n_statics: u16,
+    /// Virtual dispatch table: `vtable[slot]` is the implementation this
+    /// class provides (possibly inherited).
+    pub vtable: Vec<Option<MethodId>>,
+    /// Finalizer to run before reclaiming instances, if any.
+    pub finalizer: Option<MethodId>,
+}
+
+impl Class {
+    /// Resolves a virtual slot to a concrete method.
+    pub fn resolve(&self, slot: VSlot) -> Option<MethodId> {
+        self.vtable.get(slot.0 as usize).copied().flatten()
+    }
+}
+
+/// A method definition.
+#[derive(Debug, Clone)]
+pub struct Method {
+    /// This method's id.
+    pub id: MethodId,
+    /// Human-readable name for diagnostics and native logging.
+    pub name: String,
+    /// Declaring class, if any (static helpers may be free-standing).
+    pub class: Option<ClassId>,
+    /// Number of arguments, including the receiver for instance methods.
+    pub n_args: u8,
+    /// Local-variable slots (arguments occupy the lowest indices).
+    pub n_locals: u16,
+    /// Whether the method returns a value.
+    pub returns: bool,
+    /// `synchronized`: the receiver's monitor (or the class object's, for
+    /// static methods) is held for the duration of the call.
+    pub synchronized: bool,
+    /// Static methods take no receiver; synchronized static methods lock
+    /// the class object.
+    pub is_static: bool,
+    /// The code array.
+    pub code: Vec<Insn>,
+    /// Exception handlers, searched in order.
+    pub handlers: Vec<Handler>,
+}
+
+/// A native method imported by a program, resolved against the VM's
+/// [`crate::native::NativeRegistry`] by name at startup — the analog of JNI
+/// linking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NativeImport {
+    /// Signature name, e.g. `"java/lang/System.currentTimeMillis"`.
+    pub name: String,
+    /// Number of arguments.
+    pub argc: u8,
+    /// Whether the native pushes a return value.
+    pub returns: bool,
+}
+
+/// A complete, verified program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// All classes, indexed by [`ClassId`].
+    pub classes: Vec<Class>,
+    /// All methods, indexed by [`MethodId`].
+    pub methods: Vec<Method>,
+    /// Interned string constants (used by `ConstStr`).
+    pub strings: Vec<String>,
+    /// Native methods referenced by `InvokeNative`, indexed by
+    /// [`crate::bytecode::NativeId`].
+    pub native_imports: Vec<NativeImport>,
+    /// The `main` method; must be static with one argument (an int the
+    /// harness passes, by convention a scale factor).
+    pub entry: MethodId,
+}
+
+impl Program {
+    /// Looks up a class.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range (ids come from the builder, so this
+    /// indicates a corrupted program).
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Looks up a method.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.0 as usize]
+    }
+
+    /// True if `sub` equals `sup` or transitively extends it.
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.class(c).super_class;
+        }
+        false
+    }
+
+    /// Total bytecode instructions across all methods.
+    pub fn code_size(&self) -> usize {
+        self.methods.iter().map(|m| m.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn subclass_chain() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_class("A", builtin::OBJECT, 0, 0);
+        let c = b.add_class("C", a, 0, 0);
+        let mut m = b.method("main", 1);
+        m.ret_void();
+        let entry = m.build(&mut b);
+        let p = b.build(entry).unwrap();
+        assert!(p.is_subclass(c, a));
+        assert!(p.is_subclass(c, builtin::OBJECT));
+        assert!(p.is_subclass(a, a));
+        assert!(!p.is_subclass(a, c));
+        assert!(p.is_subclass(builtin::RUNTIME_EXCEPTION, builtin::THROWABLE));
+    }
+}

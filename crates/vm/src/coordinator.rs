@@ -1,0 +1,366 @@
+//! The replica-coordination hook interface.
+//!
+//! The paper instruments Sun's JVM at a handful of points: the interpreter
+//! loop (progress counters), monitor acquisition/release, the scheduler's
+//! context-switch path, the native-method boundary, and output commit.
+//! [`Coordinator`] is exactly that seam, expressed as a trait: the
+//! unreplicated VM runs with [`NoopCoordinator`]; the replication crate
+//! provides primary- and backup-side implementations for both of the
+//! paper's techniques (replicated lock synchronization and replicated
+//! thread scheduling).
+//!
+//! All hooks receive plain-data observations — never `&mut` VM internals —
+//! so a coordinator can only influence execution through its sanctioned
+//! decisions: defer a lock grant, veto or force a preemption, choose the
+//! next thread, impose a logged native outcome, assign ids.
+
+use crate::bytecode::MethodId;
+use crate::error::VmError;
+use crate::native::{NativeDecl, NativeOutcome};
+use crate::thread::{AdoptedOutcome, ThreadIdx};
+use crate::value::{ObjRef, Value};
+use crate::vtid::VtPath;
+use ftjvm_netsim::TimeAccount;
+
+/// A cheap, borrowed observation of the currently executing thread, built
+/// fresh at every hook site.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadObs<'a> {
+    /// Replica-local thread index.
+    pub t: ThreadIdx,
+    /// Replication-stable id; `None` for system threads.
+    pub vt: Option<&'a VtPath>,
+    /// Control-flow changes executed so far.
+    pub br_cnt: u64,
+    /// Monitor acquisitions + releases so far.
+    pub mon_cnt: u64,
+    /// Monitor acquisitions so far (thread acquire sequence number).
+    pub t_asn: u64,
+    /// Currently executing method, if any frame exists.
+    pub method: Option<MethodId>,
+    /// Bytecode offset within that method.
+    pub pc: u32,
+    /// True while a native activation is in progress.
+    pub in_native: bool,
+}
+
+/// An owned snapshot of a thread at a scheduling event (switches are rare,
+/// so cloning the id path is fine here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadSnap {
+    /// Replica-local thread index.
+    pub t: ThreadIdx,
+    /// Replication-stable id; `None` for system threads.
+    pub vt: Option<VtPath>,
+    /// Control-flow changes executed.
+    pub br_cnt: u64,
+    /// Monitor acquisitions + releases.
+    pub mon_cnt: u64,
+    /// Monitor acquisitions.
+    pub t_asn: u64,
+    /// Current method.
+    pub method: Option<MethodId>,
+    /// Bytecode offset within the method.
+    pub pc: u32,
+    /// True if preempted inside a native method.
+    pub in_native: bool,
+    /// If the thread yielded because of a monitor operation, that
+    /// monitor's current acquire sequence number (the `l_asn` field of the
+    /// paper's thread-schedule record); 0 otherwise.
+    pub blocked_lasn: u64,
+}
+
+/// Why the scheduler is switching away from a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// Quantum expiry (involuntary preemption).
+    Quantum,
+    /// Forced by the coordinator (backup replay reached a recorded point).
+    ReplayPoint,
+    /// Blocked entering a monitor.
+    BlockedMonitor,
+    /// Parked in a wait set.
+    Waiting,
+    /// Deferred by the lock-sync replay (waiting for its logged turn).
+    Deferred,
+    /// Blocked on a VM-internal lock (e.g. the heap lock).
+    Internal,
+    /// Sleeping.
+    Sleep,
+    /// Voluntary yield.
+    Yield,
+    /// The thread terminated.
+    Exit,
+}
+
+/// Scheduler-choice decision returned by [`Coordinator::pick_next`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pick {
+    /// Accept the scheduler's default (round-robin head).
+    Default,
+    /// Dispatch the candidate at this index.
+    Choose(usize),
+    /// Dispatch nobody this round: the thread the replay needs is not
+    /// runnable yet (sleeping or blocked), and running any other
+    /// application thread would violate the recorded schedule. The
+    /// scheduler falls through to its sleeper/stall handling and asks
+    /// again.
+    Idle,
+}
+
+/// Decision for a (non-recursive) monitor acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorDecision {
+    /// Let the thread race for the lock now.
+    Grant,
+    /// Hold the thread until a later monitor event (its logged turn has not
+    /// come yet).
+    Defer,
+}
+
+/// Decision for a native-method invocation.
+#[derive(Debug, Clone)]
+pub enum NativeDirective {
+    /// Run the native for real.
+    Execute,
+    /// Impose a logged outcome; `AdoptedOutcome::execute` says whether to
+    /// also run the body to reproduce volatile environment state (§4.1:
+    /// "the backup discards the generated return values").
+    Replay(AdoptedOutcome),
+}
+
+/// Why the coordinator wants the run loop to stop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// Fail-stop fault injection fired: the replica crashes here.
+    Crash,
+    /// The coordinator detected an unrecoverable protocol error.
+    Error(VmError),
+}
+
+/// Replica-coordination hooks. Every method has a no-op default, so the
+/// unit type of a coordinator only overrides the seams it cares about.
+pub trait Coordinator {
+    /// Short mode name for reports (`"noop"`, `"lock-sync"`, `"ts"`).
+    fn mode(&self) -> &'static str {
+        "noop"
+    }
+
+    /// Polled once per executed unit; `Some` stops the run loop.
+    fn stop(&mut self) -> Option<StopReason> {
+        None
+    }
+
+    /// Called before every execution unit (instruction or native phase) of
+    /// an application thread. Return `true` to preempt the thread *now*
+    /// (backup thread-scheduling replay fires exactly at recorded points).
+    /// Also the per-instruction bookkeeping charge site.
+    fn check_preempt(&mut self, t: &ThreadObs<'_>, acct: &mut TimeAccount) -> bool {
+        let _ = (t, acct);
+        false
+    }
+
+    /// Quantum expired for `t`: return `true` to allow the involuntary
+    /// preemption (backup replay returns `false`; only recorded points may
+    /// switch app threads).
+    fn allow_quantum_preempt(&mut self, t: &ThreadObs<'_>) -> bool {
+        let _ = t;
+        true
+    }
+
+    /// Choose the next thread among `candidates` (all runnable).
+    fn pick_next(&mut self, candidates: &[ThreadSnap]) -> Pick {
+        let _ = candidates;
+        Pick::Default
+    }
+
+    /// The current thread yielded the virtual CPU for `reason` — called at
+    /// the yield instant, before the next dispatch. Thread-scheduling
+    /// replay matches *blocking* yield points (monitor blocks, waits,
+    /// sleeps) against schedule records here, because the counters in those
+    /// records reflect bumps that happen inside the blocking unit and are
+    /// therefore invisible to the pre-unit [`Coordinator::check_preempt`].
+    fn on_yield(&mut self, snap: &ThreadSnap, reason: SwitchReason, acct: &mut TimeAccount) {
+        let _ = (snap, reason, acct);
+    }
+
+    /// A context switch was committed: `from` yielded for `reason` (absent
+    /// at the first dispatch) and `to` is about to run.
+    fn on_switch(
+        &mut self,
+        from: Option<&ThreadSnap>,
+        reason: SwitchReason,
+        to: &ThreadSnap,
+        acct: &mut TimeAccount,
+    ) {
+        let _ = (from, reason, to, acct);
+    }
+
+    /// An application thread wants to acquire a monitor it does not already
+    /// hold. `l_id`/`l_asn` describe the lock's current replication state.
+    /// Pure query: may be asked repeatedly; must not consume log state.
+    fn pre_monitor_acquire(
+        &mut self,
+        t: &ThreadObs<'_>,
+        obj: ObjRef,
+        l_id: Option<u64>,
+        l_asn: u64,
+    ) -> MonitorDecision {
+        let _ = (t, obj, l_id, l_asn);
+        MonitorDecision::Grant
+    }
+
+    /// An application thread completed a non-recursive acquisition; `l_asn`
+    /// is the post-bump sequence number. Returns `Some(id)` to assign the
+    /// lock's virtual id (primary: fresh id + logged id map; backup:
+    /// claimed from a logged id map). This is where lock-acquisition
+    /// records are created and consumed.
+    fn post_monitor_acquire(
+        &mut self,
+        t: &ThreadObs<'_>,
+        obj: ObjRef,
+        l_id: Option<u64>,
+        l_asn: u64,
+        acct: &mut TimeAccount,
+    ) -> Option<u64> {
+        let _ = (t, obj, l_id, l_asn, acct);
+        None
+    }
+
+    /// A native method is being invoked by an application thread.
+    fn pre_native(
+        &mut self,
+        t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        args: &[Value],
+        acct: &mut TimeAccount,
+    ) -> NativeDirective {
+        let _ = (t, decl, args, acct);
+        NativeDirective::Execute
+    }
+
+    /// A native method completed (for real or by imposition). `output_id`
+    /// is the committed output id if this was an output-performing native;
+    /// `env` allows side-effect handlers to snapshot volatile state
+    /// (paper §4.4: the system provides `log` with "extra information about
+    /// the internal state of the JVM").
+    fn post_native(
+        &mut self,
+        t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        outcome: &NativeOutcome,
+        output_id: Option<u64>,
+        env: &crate::env::SimEnv,
+        acct: &mut TimeAccount,
+    ) {
+        let _ = (t, decl, outcome, output_id, env, acct);
+    }
+
+    /// Output commit: an output-performing native is about to execute.
+    /// Returns the output id under which the environment action is
+    /// performed. The primary flushes its log buffer and waits for the
+    /// backup's acknowledgment here (the pessimistic wait).
+    fn begin_output(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl, acct: &mut TimeAccount) -> u64;
+
+    /// `parent` spawned a new application thread with the given stable id.
+    fn on_spawn(&mut self, parent: &ThreadObs<'_>, child: &VtPath) {
+        let _ = (parent, child);
+    }
+
+    /// An application thread terminated.
+    fn on_thread_exit(&mut self, t: &ThreadObs<'_>, acct: &mut TimeAccount) {
+        let _ = (t, acct);
+    }
+
+    /// The scheduler found no runnable thread but some threads are deferred
+    /// or blocked. Return `true` if the coordinator changed state (e.g.
+    /// declared end of recovery) and deferred threads should be re-polled;
+    /// returning `false` lets the VM raise a deadlock error.
+    fn on_stall(&mut self, acct: &mut TimeAccount) -> bool {
+        let _ = acct;
+        false
+    }
+
+    /// The program completed: flush any buffered log state.
+    fn on_exit(&mut self, acct: &mut TimeAccount) {
+        let _ = acct;
+    }
+}
+
+/// The unreplicated baseline: grants everything, executes natives for real,
+/// and assigns output ids from a local counter.
+#[derive(Debug, Default)]
+pub struct NoopCoordinator {
+    next_output: u64,
+}
+
+impl NoopCoordinator {
+    /// Creates a baseline coordinator.
+    pub fn new() -> Self {
+        NoopCoordinator::default()
+    }
+}
+
+impl Coordinator for NoopCoordinator {
+    fn begin_output(&mut self, _t: &ThreadObs<'_>, _decl: &NativeDecl, _acct: &mut TimeAccount) -> u64 {
+        let id = self.next_output;
+        self.next_output += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_defaults_grant_and_execute() {
+        let mut c = NoopCoordinator::new();
+        let obs = ThreadObs {
+            t: ThreadIdx(0),
+            vt: None,
+            br_cnt: 0,
+            mon_cnt: 0,
+            t_asn: 0,
+            method: None,
+            pc: 0,
+            in_native: false,
+        };
+        let mut acct = TimeAccount::new();
+        assert!(!c.check_preempt(&obs, &mut acct));
+        assert!(c.allow_quantum_preempt(&obs));
+        assert!(matches!(
+            c.pre_monitor_acquire(&obs, crate::value::ObjRef::from_index(0), None, 0),
+            MonitorDecision::Grant
+        ));
+        assert!(c.stop().is_none());
+        assert_eq!(c.mode(), "noop");
+    }
+
+    #[test]
+    fn noop_output_ids_are_sequential() {
+        let mut c = NoopCoordinator::new();
+        let obs = ThreadObs {
+            t: ThreadIdx(0),
+            vt: None,
+            br_cnt: 0,
+            mon_cnt: 0,
+            t_asn: 0,
+            method: None,
+            pc: 0,
+            in_native: false,
+        };
+        let mut acct = TimeAccount::new();
+        let decl = crate::native::NativeDecl {
+            name: "x".into(),
+            argc: 0,
+            returns: false,
+            nondeterministic: false,
+            output: true,
+            creates_volatile: false,
+            kind: crate::native::NativeKind::Simple(|_| Ok(None)),
+        };
+        assert_eq!(c.begin_output(&obs, &decl, &mut acct), 0);
+        assert_eq!(c.begin_output(&obs, &decl, &mut acct), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! A disassembler for verified programs.
+//!
+//! Produces a readable listing of classes, vtables and method bytecode —
+//! handy when debugging replay divergences, because the schedule records'
+//! `(method, pc_off)` pairs and the lock records' call sites can be read
+//! straight off the listing.
+//!
+//! ```
+//! use ftjvm_vm::program::ProgramBuilder;
+//! use ftjvm_vm::disasm::disassemble;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let mut m = b.method("main", 1);
+//! m.push_i(2).push_i(3).add().pop().ret_void();
+//! let entry = m.build(&mut b);
+//! let p = b.build(entry)?;
+//! let listing = disassemble(&p);
+//! assert!(listing.contains("method 0: main"));
+//! assert!(listing.contains("add"));
+//! # Ok::<(), ftjvm_vm::program::BuildError>(())
+//! ```
+
+use crate::bytecode::Insn;
+use crate::class::Program;
+use std::fmt::Write as _;
+
+/// Renders one instruction.
+pub fn insn_to_string(program: &Program, i: &Insn) -> String {
+    match i {
+        Insn::Const(v) => format!("const {v}"),
+        Insn::DConst(v) => format!("dconst {v}"),
+        Insn::ConstNull => "null".into(),
+        Insn::ConstStr(s) => format!("str {:?}", program.strings[s.0 as usize]),
+        Insn::Dup => "dup".into(),
+        Insn::DupX1 => "dup_x1".into(),
+        Insn::Pop => "pop".into(),
+        Insn::Swap => "swap".into(),
+        Insn::Load(n) => format!("load {n}"),
+        Insn::Store(n) => format!("store {n}"),
+        Insn::Inc(n, d) => format!("inc {n}, {d}"),
+        Insn::Add => "add".into(),
+        Insn::Sub => "sub".into(),
+        Insn::Mul => "mul".into(),
+        Insn::Div => "div".into(),
+        Insn::Rem => "rem".into(),
+        Insn::Neg => "neg".into(),
+        Insn::And => "and".into(),
+        Insn::Or => "or".into(),
+        Insn::Xor => "xor".into(),
+        Insn::Shl => "shl".into(),
+        Insn::Shr => "shr".into(),
+        Insn::DAdd => "dadd".into(),
+        Insn::DSub => "dsub".into(),
+        Insn::DMul => "dmul".into(),
+        Insn::DDiv => "ddiv".into(),
+        Insn::I2D => "i2d".into(),
+        Insn::D2I => "d2i".into(),
+        Insn::ICmp(c) => format!("icmp {c}"),
+        Insn::DCmp(c) => format!("dcmp {c}"),
+        Insn::RefEq => "refeq".into(),
+        Insn::Goto(t) => format!("goto @{t}"),
+        Insn::If(t) => format!("if @{t}"),
+        Insn::IfNot(t) => format!("ifnot @{t}"),
+        Insn::IfNull(t) => format!("ifnull @{t}"),
+        Insn::InvokeStatic(m) => {
+            format!("invoke {} ({})", m.0, program.method(*m).name)
+        }
+        Insn::InvokeVirtual(slot, argc) => format!("invokevirtual slot={} argc={argc}", slot.0),
+        Insn::InvokeNative(n, argc) => format!(
+            "invokenative {} ({}) argc={argc}",
+            n.0,
+            program.native_imports.get(n.0 as usize).map(|i| i.name.as_str()).unwrap_or("?")
+        ),
+        Insn::Ret => "ret".into(),
+        Insn::RetVal => "retval".into(),
+        Insn::New(c) => format!("new {} ({})", c.0, program.class(*c).name),
+        Insn::GetField(s) => format!("getfield {s}"),
+        Insn::PutField(s) => format!("putfield {s}"),
+        Insn::GetStatic(c, s) => format!("getstatic {}.{s}", program.class(*c).name),
+        Insn::PutStatic(c, s) => format!("putstatic {}.{s}", program.class(*c).name),
+        Insn::ClassObj(c) => format!("classobj {}", program.class(*c).name),
+        Insn::NewArray => "newarray".into(),
+        Insn::ALoad => "aload".into(),
+        Insn::AStore => "astore".into(),
+        Insn::ALen => "alen".into(),
+        Insn::MonitorEnter => "monitorenter".into(),
+        Insn::MonitorExit => "monitorexit".into(),
+        Insn::Throw => "throw".into(),
+        Insn::Nop => "nop".into(),
+    }
+}
+
+/// Renders a whole program.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for c in &program.classes {
+        let _ = writeln!(
+            out,
+            "class {} ({}): super={:?} fields={} statics={}",
+            c.id.0,
+            c.name,
+            c.super_class.map(|s| s.0),
+            c.n_fields,
+            c.n_statics
+        );
+        for (slot, m) in c.vtable.iter().enumerate() {
+            if let Some(m) = m {
+                let _ = writeln!(out, "  vslot {slot} -> method {} ({})", m.0, program.method(*m).name);
+            }
+        }
+        if let Some(fin) = c.finalizer {
+            let _ = writeln!(out, "  finalizer -> method {}", fin.0);
+        }
+    }
+    for m in &program.methods {
+        let flags = match (m.is_static, m.synchronized) {
+            (true, true) => " [static synchronized]",
+            (true, false) => " [static]",
+            (false, true) => " [synchronized]",
+            (false, false) => "",
+        };
+        let _ = writeln!(
+            out,
+            "method {}: {}{} args={} locals={} returns={}{}",
+            m.id.0,
+            m.name,
+            flags,
+            m.n_args,
+            m.n_locals,
+            m.returns,
+            if m.id == program.entry { "  <-- entry" } else { "" },
+        );
+        for (pc, i) in m.code.iter().enumerate() {
+            let _ = writeln!(out, "  {pc:4}: {}", insn_to_string(program, i));
+        }
+        for h in &m.handlers {
+            let _ = writeln!(
+                out,
+                "  handler [{}, {}) -> @{} catch {:?}",
+                h.start,
+                h.end,
+                h.target,
+                h.class.map(|c| program.class(c).name.clone())
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::builtin;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn listing_covers_every_instruction_form() {
+        let mut b = ProgramBuilder::new();
+        let print = b.import_native("sys.print_int", 1, false);
+        let cls = b.add_class("C", builtin::OBJECT, 1, 1);
+        let slot = b.declare_vslot("run", 1, true);
+        let mut run = b.method("C.run", 1);
+        run.instance_of(cls).synchronized();
+        run.push_i(1).ret_val();
+        let run = run.build(&mut b);
+        b.set_vtable(cls, slot, run);
+        let s = b.intern("hi");
+        let mut m = b.method("main", 1);
+        let l = m.new_label();
+        m.push_i(1).if_true(l);
+        m.bind(l);
+        m.const_str(s).pop();
+        m.new_obj(cls).invoke_virtual(slot, 1).invoke_native(print, 1);
+        m.class_obj(cls).monitor_enter();
+        m.class_obj(cls).monitor_exit();
+        m.push_i(0).put_static(cls, 0);
+        m.get_static(cls, 0).pop();
+        m.ret_void();
+        let entry = m.build(&mut b);
+        let p = b.build(entry).unwrap();
+        let listing = disassemble(&p);
+        for needle in [
+            "class 4 (C)",
+            "vslot 0 -> method 0 (C.run)",
+            "[synchronized]",
+            "<-- entry",
+            "str \"hi\"",
+            "invokevirtual slot=0 argc=1",
+            "invokenative 0 (sys.print_int) argc=1",
+            "monitorenter",
+            "putstatic C.0",
+            "classobj C",
+        ] {
+            assert!(listing.contains(needle), "missing {needle:?} in:\n{listing}");
+        }
+    }
+
+    #[test]
+    fn every_insn_variant_renders_nonempty() {
+        let mut b = ProgramBuilder::new();
+        let mut m = b.method("main", 1);
+        m.ret_void();
+        let entry = m.build(&mut b);
+        let p = b.build(entry).unwrap();
+        use crate::bytecode::{ClassId, Cmp, MethodId, NativeId, StrId, VSlot};
+        let all = vec![
+            Insn::Const(1),
+            Insn::DConst(1.5),
+            Insn::ConstNull,
+            Insn::Dup,
+            Insn::DupX1,
+            Insn::Pop,
+            Insn::Swap,
+            Insn::Load(0),
+            Insn::Store(0),
+            Insn::Inc(0, 1),
+            Insn::Add,
+            Insn::Sub,
+            Insn::Mul,
+            Insn::Div,
+            Insn::Rem,
+            Insn::Neg,
+            Insn::And,
+            Insn::Or,
+            Insn::Xor,
+            Insn::Shl,
+            Insn::Shr,
+            Insn::DAdd,
+            Insn::DSub,
+            Insn::DMul,
+            Insn::DDiv,
+            Insn::I2D,
+            Insn::D2I,
+            Insn::ICmp(Cmp::Eq),
+            Insn::DCmp(Cmp::Lt),
+            Insn::RefEq,
+            Insn::Goto(0),
+            Insn::If(0),
+            Insn::IfNot(0),
+            Insn::IfNull(0),
+            Insn::InvokeStatic(MethodId(0)),
+            Insn::InvokeVirtual(VSlot(0), 1),
+            Insn::InvokeNative(NativeId(0), 0),
+            Insn::Ret,
+            Insn::RetVal,
+            Insn::New(ClassId(0)),
+            Insn::GetField(0),
+            Insn::PutField(0),
+            Insn::GetStatic(ClassId(0), 0),
+            Insn::PutStatic(ClassId(0), 0),
+            Insn::ClassObj(ClassId(0)),
+            Insn::NewArray,
+            Insn::ALoad,
+            Insn::AStore,
+            Insn::ALen,
+            Insn::MonitorEnter,
+            Insn::MonitorExit,
+            Insn::Throw,
+            Insn::Nop,
+            Insn::ConstStr(StrId(0)),
+        ];
+        // ConstStr(0) needs a string; intern one post-hoc is impossible on
+        // a built program, so skip it if there are no strings.
+        for i in all {
+            if matches!(i, Insn::ConstStr(_)) && p.strings.is_empty() {
+                continue;
+            }
+            if matches!(i, Insn::InvokeNative(..)) && p.native_imports.is_empty() {
+                continue;
+            }
+            assert!(!insn_to_string(&p, &i).is_empty());
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! The simulated environment: the shared external *world* and each
+//! replica's volatile view of it.
+//!
+//! The paper (§3.4) splits environment state into *stable* state, which
+//! survives a replica failure (file contents, the console an operator
+//! already read), and *volatile* state, which dies with the primary (its
+//! open-file table, current offsets). [`World`] models the stable,
+//! externally observable side — it is shared by both replicas of a pair —
+//! while [`SimEnv`] holds one replica's volatile state plus its
+//! non-deterministic input sources (wall clock skew, a private RNG).
+//!
+//! Every output action carries an `output_id` assigned at output commit;
+//! the world records applied ids, which is what makes outputs *testable*
+//! (R5): a recovering backup can ask [`World::output_applied`] whether the
+//! uncertain last output happened before the crash.
+
+use ftjvm_netsim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// One line that reached the external console.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsoleLine {
+    /// The output id committed for this line.
+    pub output_id: u64,
+    /// Which replica performed it (diagnostic only).
+    pub replica: String,
+    /// The text.
+    pub text: String,
+}
+
+/// One message that reached a remote socket peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocketMsg {
+    /// The output id committed for this send.
+    pub output_id: u64,
+    /// Destination peer name.
+    pub peer: String,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// The stable, externally observable environment shared by a replica pair.
+#[derive(Debug, Default)]
+pub struct World {
+    files: BTreeMap<String, Vec<u8>>,
+    console: Vec<ConsoleLine>,
+    sockets: Vec<SocketMsg>,
+    applied: BTreeSet<u64>,
+}
+
+/// A shared handle to the [`World`].
+pub type SharedWorld = Rc<RefCell<World>>;
+
+impl World {
+    /// Creates an empty world behind a shared handle.
+    pub fn shared() -> SharedWorld {
+        Rc::new(RefCell::new(World::default()))
+    }
+
+    /// Pre-populates a file (test/workload setup).
+    pub fn put_file(&mut self, name: &str, bytes: Vec<u8>) {
+        self.files.insert(name.to_string(), bytes);
+    }
+
+    /// Reads a file's current contents.
+    pub fn file(&self, name: &str) -> Option<&[u8]> {
+        self.files.get(name).map(|v| v.as_slice())
+    }
+
+    /// Ensures a file exists (open-with-create). Idempotent.
+    pub fn ensure_file(&mut self, name: &str) {
+        self.files.entry(name.to_string()).or_default();
+    }
+
+    /// File length, if it exists.
+    pub fn file_len(&self, name: &str) -> Option<usize> {
+        self.files.get(name).map(|v| v.len())
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    pub fn read_file_at(&self, name: &str, offset: usize, len: usize) -> Vec<u8> {
+        match self.files.get(name) {
+            Some(data) if offset < data.len() => {
+                data[offset..(offset + len).min(data.len())].to_vec()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Writes `bytes` at `offset` (extending the file if needed) under
+    /// `output_id`. Writes are idempotent-by-id: re-applying an id that
+    /// already ran is a no-op, which is how the testable-output layer gives
+    /// exactly-once file output.
+    pub fn write_file_at(&mut self, output_id: u64, name: &str, offset: usize, bytes: &[u8]) {
+        if !self.applied.insert(output_id) {
+            return;
+        }
+        let data = self.files.entry(name.to_string()).or_default();
+        if data.len() < offset + bytes.len() {
+            data.resize(offset + bytes.len(), 0);
+        }
+        data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Appends a console line under `output_id`.
+    ///
+    /// Deliberately **not** deduplicated: a replication layer that replays
+    /// an already-performed console output produces a visible duplicate
+    /// line, which the test suite checks for. Exactly-once must come from
+    /// the protocol (output commit + `test`), not from the environment.
+    pub fn println(&mut self, output_id: u64, replica: &str, text: &str) {
+        self.applied.insert(output_id);
+        self.console.push(ConsoleLine {
+            output_id,
+            replica: replica.to_string(),
+            text: text.to_string(),
+        });
+    }
+
+    /// Delivers a socket message to `peer` under `output_id`.
+    ///
+    /// Socket sends are the paper's canonical non-idempotent output
+    /// ("replaying messages on a socket would not recover the state at
+    /// the backup… An extra layer must be added to make sending messages
+    /// either an idempotent or testable operation"). The extra layer here
+    /// tags every send with its committed output id and the receiver
+    /// discards retransmissions — TCP-style sequence-number dedup, which
+    /// is how a recovering backup can safely re-send an uncertain message
+    /// whose result record was lost. (The console stays un-deduplicated
+    /// as the naked output that exposes commit-protocol bugs.)
+    pub fn socket_send(&mut self, output_id: u64, peer: &str, payload: &[u8]) {
+        if !self.applied.insert(output_id) {
+            return; // retransmission of an already-delivered send
+        }
+        self.sockets.push(SocketMsg {
+            output_id,
+            peer: peer.to_string(),
+            payload: payload.to_vec(),
+        });
+    }
+
+    /// Every message delivered to `peer`, in arrival order.
+    pub fn socket_stream(&self, peer: &str) -> Vec<&SocketMsg> {
+        self.sockets.iter().filter(|m| m.peer == peer).collect()
+    }
+
+    /// All socket messages, in arrival order.
+    pub fn sockets(&self) -> &[SocketMsg] {
+        &self.sockets
+    }
+
+    /// The testable-output query (`test` in the SE-handler interface): did
+    /// output `id` reach the environment?
+    pub fn output_applied(&self, id: u64) -> bool {
+        self.applied.contains(&id)
+    }
+
+    /// All console lines, in arrival order.
+    pub fn console(&self) -> &[ConsoleLine] {
+        &self.console
+    }
+
+    /// Console texts only (convenient for output-equivalence assertions).
+    pub fn console_texts(&self) -> Vec<String> {
+        self.console.iter().map(|l| l.text.clone()).collect()
+    }
+}
+
+/// Error returned by descriptor-based file operations when the virtual
+/// descriptor is not open (closed, never opened, or lost in a fail-stop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownDescriptor;
+
+impl std::fmt::Display for UnknownDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("unknown file descriptor")
+    }
+}
+
+impl std::error::Error for UnknownDescriptor {}
+
+/// One replica's open socket connection: peer plus the volatile count of
+/// messages sent so far (the sequence number the peer expects next).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocketConn {
+    /// Remote peer name.
+    pub peer: String,
+    /// Messages sent on this connection so far.
+    pub sent: u64,
+}
+
+/// One replica's open file: name plus the volatile offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenFile {
+    /// File name in the world.
+    pub name: String,
+    /// Current read/write offset.
+    pub offset: usize,
+}
+
+/// One replica's environment: the shared world plus volatile per-replica
+/// state and non-deterministic input sources.
+#[derive(Debug)]
+pub struct SimEnv {
+    /// Replica name (diagnostics and console attribution).
+    pub replica: String,
+    world: SharedWorld,
+    /// This replica's wall-clock skew relative to simulated time; differing
+    /// skews are what make `sys.clock` non-deterministic across replicas.
+    pub clock_skew: SimTime,
+    rng: StdRng,
+    files: BTreeMap<u64, OpenFile>,
+    next_vfd: u64,
+    socks: BTreeMap<u64, SocketConn>,
+    next_sd: u64,
+}
+
+impl SimEnv {
+    /// Creates a replica environment over `world` with its own clock skew
+    /// and RNG seed (the replica's ND input sources).
+    pub fn new(replica: &str, world: SharedWorld, clock_skew: SimTime, rng_seed: u64) -> Self {
+        SimEnv {
+            replica: replica.to_string(),
+            world,
+            clock_skew,
+            rng: StdRng::seed_from_u64(rng_seed),
+            files: BTreeMap::new(),
+            next_vfd: 1,
+            socks: BTreeMap::new(),
+            next_sd: 1,
+        }
+    }
+
+    /// Shared world handle.
+    pub fn world(&self) -> &SharedWorld {
+        &self.world
+    }
+
+    /// This replica's wall clock in milliseconds (simulated now + skew).
+    pub fn wall_clock_ms(&self, now: SimTime) -> i64 {
+        (now + self.clock_skew).as_millis() as i64
+    }
+
+    /// A non-deterministic integer in `[0, bound)` from the replica's
+    /// private RNG (`bound <= 0` yields 0).
+    pub fn rand(&mut self, bound: i64) -> i64 {
+        if bound <= 0 {
+            0
+        } else {
+            self.rng.gen_range(0..bound)
+        }
+    }
+
+    /// Opens (creating if absent) `name`, returning a virtual file
+    /// descriptor. `forced_vfd` installs the descriptor the primary logged,
+    /// so replayed opens bind the backup's volatile state to the id the
+    /// application state already contains.
+    pub fn open(&mut self, name: &str, forced_vfd: Option<u64>) -> u64 {
+        self.world.borrow_mut().ensure_file(name);
+        let vfd = match forced_vfd {
+            Some(v) => {
+                self.next_vfd = self.next_vfd.max(v + 1);
+                v
+            }
+            None => {
+                let v = self.next_vfd;
+                self.next_vfd += 1;
+                v
+            }
+        };
+        self.files.insert(vfd, OpenFile { name: name.to_string(), offset: 0 });
+        vfd
+    }
+
+    /// Closes a descriptor. Closing an unknown descriptor is an error the
+    /// caller turns into an exception.
+    pub fn close(&mut self, vfd: u64) -> Result<(), UnknownDescriptor> {
+        self.files.remove(&vfd).map(|_| ()).ok_or(UnknownDescriptor)
+    }
+
+    /// Reads up to `len` bytes at the current offset, advancing it.
+    ///
+    /// # Errors
+    /// Fails if the descriptor is unknown.
+    pub fn read(&mut self, vfd: u64, len: usize) -> Result<Vec<u8>, UnknownDescriptor> {
+        let f = self.files.get_mut(&vfd).ok_or(UnknownDescriptor)?;
+        let data = self.world.borrow().read_file_at(&f.name, f.offset, len);
+        f.offset += data.len();
+        Ok(data)
+    }
+
+    /// Writes `bytes` at the current offset under `output_id`, advancing
+    /// the offset. Returns bytes written.
+    ///
+    /// # Errors
+    /// Fails if the descriptor is unknown.
+    pub fn write(&mut self, vfd: u64, bytes: &[u8], output_id: u64) -> Result<usize, UnknownDescriptor> {
+        let f = self.files.get_mut(&vfd).ok_or(UnknownDescriptor)?;
+        self.world.borrow_mut().write_file_at(output_id, &f.name, f.offset, bytes);
+        f.offset += bytes.len();
+        Ok(bytes.len())
+    }
+
+    /// Seeks to an absolute offset (an idempotent output in the paper's
+    /// taxonomy).
+    ///
+    /// # Errors
+    /// Fails if the descriptor is unknown.
+    pub fn seek(&mut self, vfd: u64, offset: usize) -> Result<(), UnknownDescriptor> {
+        let f = self.files.get_mut(&vfd).ok_or(UnknownDescriptor)?;
+        f.offset = offset;
+        Ok(())
+    }
+
+    /// Current file size for the descriptor.
+    ///
+    /// # Errors
+    /// Fails if the descriptor is unknown.
+    pub fn size(&mut self, vfd: u64) -> Result<usize, UnknownDescriptor> {
+        let f = self.files.get(&vfd).ok_or(UnknownDescriptor)?;
+        Ok(self.world.borrow().file_len(&f.name).unwrap_or(0))
+    }
+
+    /// Current offset for the descriptor (used by SE-handler `log`).
+    pub fn offset(&self, vfd: u64) -> Option<usize> {
+        self.files.get(&vfd).map(|f| f.offset)
+    }
+
+    /// Prints a console line under `output_id`.
+    pub fn println(&mut self, output_id: u64, text: &str) {
+        self.world.borrow_mut().println(output_id, &self.replica, text);
+    }
+
+    /// Snapshot of the volatile open-file table (for SE-handler `log`).
+    pub fn open_files(&self) -> impl Iterator<Item = (u64, &OpenFile)> + '_ {
+        self.files.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// The next virtual descriptor that would be handed out (SE-handler
+    /// `log` snapshots this so `restore` can prevent descriptor reuse).
+    pub fn peek_next_vfd(&self) -> u64 {
+        self.next_vfd
+    }
+
+    /// Forces the next-descriptor counter (SE-handler `restore`). Only
+    /// raises it; lowering would risk descriptor collisions.
+    pub fn set_next_vfd(&mut self, next: u64) {
+        self.next_vfd = self.next_vfd.max(next);
+    }
+
+    /// Installs an open-file entry directly (SE-handler `restore`).
+    pub fn restore_open_file(&mut self, vfd: u64, name: &str, offset: usize) {
+        self.world.borrow_mut().ensure_file(name);
+        self.next_vfd = self.next_vfd.max(vfd + 1);
+        self.files.insert(vfd, OpenFile { name: name.to_string(), offset });
+    }
+
+    /// Opens a connection to `peer`, returning a virtual socket
+    /// descriptor. `forced_sd` binds the descriptor the primary logged.
+    pub fn sock_connect(&mut self, peer: &str, forced_sd: Option<u64>) -> u64 {
+        let sd = match forced_sd {
+            Some(v) => {
+                self.next_sd = self.next_sd.max(v + 1);
+                v
+            }
+            None => {
+                let v = self.next_sd;
+                self.next_sd += 1;
+                v
+            }
+        };
+        self.socks.insert(sd, SocketConn { peer: peer.to_string(), sent: 0 });
+        sd
+    }
+
+    /// Sends `payload` on connection `sd` under `output_id`, advancing the
+    /// volatile sent counter. Returns bytes sent.
+    ///
+    /// # Errors
+    /// Fails if the descriptor is unknown.
+    pub fn sock_send(
+        &mut self,
+        sd: u64,
+        payload: &[u8],
+        output_id: u64,
+    ) -> Result<usize, UnknownDescriptor> {
+        let c = self.socks.get_mut(&sd).ok_or(UnknownDescriptor)?;
+        self.world.borrow_mut().socket_send(output_id, &c.peer, payload);
+        c.sent += 1;
+        Ok(payload.len())
+    }
+
+    /// Closes a socket descriptor.
+    ///
+    /// # Errors
+    /// Fails if the descriptor is unknown.
+    pub fn sock_close(&mut self, sd: u64) -> Result<(), UnknownDescriptor> {
+        self.socks.remove(&sd).map(|_| ()).ok_or(UnknownDescriptor)
+    }
+
+    /// Snapshot of the volatile socket table (SE-handler `log`).
+    pub fn open_sockets(&self) -> impl Iterator<Item = (u64, &SocketConn)> + '_ {
+        self.socks.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Installs a socket entry directly (SE-handler `restore`).
+    pub fn restore_socket(&mut self, sd: u64, peer: &str, sent: u64) {
+        self.next_sd = self.next_sd.max(sd + 1);
+        self.socks.insert(sd, SocketConn { peer: peer.to_string(), sent });
+    }
+
+    /// Forces the next-socket-descriptor counter (SE-handler `restore`).
+    pub fn set_next_sd(&mut self, next: u64) {
+        self.next_sd = self.next_sd.max(next);
+    }
+
+    /// The next socket descriptor that would be handed out.
+    pub fn peek_next_sd(&self) -> u64 {
+        self.next_sd
+    }
+
+    /// Fail-stop: drops all volatile state, leaving only the world.
+    pub fn fail(&mut self) {
+        self.files.clear();
+        self.socks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_write_is_idempotent_by_id() {
+        let w = World::shared();
+        w.borrow_mut().write_file_at(1, "f", 0, b"abc");
+        w.borrow_mut().write_file_at(1, "f", 0, b"XYZ"); // same id: ignored
+        assert_eq!(w.borrow().file("f").unwrap(), b"abc");
+        w.borrow_mut().write_file_at(2, "f", 1, b"Z");
+        assert_eq!(w.borrow().file("f").unwrap(), b"aZc");
+        assert!(w.borrow().output_applied(1));
+        assert!(!w.borrow().output_applied(9));
+    }
+
+    #[test]
+    fn console_does_not_dedup() {
+        let w = World::shared();
+        w.borrow_mut().println(1, "p", "hello");
+        w.borrow_mut().println(1, "b", "hello");
+        assert_eq!(w.borrow().console().len(), 2, "duplicates must be visible");
+    }
+
+    #[test]
+    fn env_file_io_roundtrip() {
+        let w = World::shared();
+        let mut env = SimEnv::new("p", w.clone(), SimTime::ZERO, 1);
+        let fd = env.open("data", None);
+        assert_eq!(env.write(fd, b"hello world", 1).unwrap(), 11);
+        env.seek(fd, 6).unwrap();
+        assert_eq!(env.read(fd, 5).unwrap(), b"world");
+        assert_eq!(env.size(fd).unwrap(), 11);
+        assert_eq!(env.offset(fd), Some(11));
+        env.close(fd).unwrap();
+        assert!(env.read(fd, 1).is_err());
+    }
+
+    #[test]
+    fn forced_vfd_binds_logged_descriptor() {
+        let w = World::shared();
+        let mut env = SimEnv::new("b", w, SimTime::ZERO, 2);
+        let fd = env.open("x", Some(42));
+        assert_eq!(fd, 42);
+        // Future unforced opens do not collide.
+        let fd2 = env.open("y", None);
+        assert!(fd2 > 42);
+    }
+
+    #[test]
+    fn fail_drops_volatile_keeps_stable() {
+        let w = World::shared();
+        let mut env = SimEnv::new("p", w.clone(), SimTime::ZERO, 3);
+        let fd = env.open("f", None);
+        env.write(fd, b"persisted", 7).unwrap();
+        env.fail();
+        assert!(env.read(fd, 1).is_err(), "volatile fd table lost");
+        assert_eq!(w.borrow().file("f").unwrap(), b"persisted", "stable contents survive");
+    }
+
+    #[test]
+    fn clocks_differ_across_replicas() {
+        let w = World::shared();
+        let p = SimEnv::new("p", w.clone(), SimTime::from_millis(5), 1);
+        let b = SimEnv::new("b", w, SimTime::from_millis(11), 1);
+        let now = SimTime::from_millis(100);
+        assert_ne!(p.wall_clock_ms(now), b.wall_clock_ms(now));
+    }
+
+    #[test]
+    fn socket_roundtrip_and_dedup() {
+        let w = World::shared();
+        let mut env = SimEnv::new("p", w.clone(), SimTime::ZERO, 5);
+        let sd = env.sock_connect("peer", None);
+        assert_eq!(env.sock_send(sd, b"one", 1).unwrap(), 3);
+        assert_eq!(env.sock_send(sd, b"two", 2).unwrap(), 3);
+        // Retransmission of id 1 is discarded by the receiving layer.
+        env.sock_send(sd, b"one", 1).unwrap();
+        let world = w.borrow();
+        let stream = world.socket_stream("peer");
+        assert_eq!(stream.len(), 2);
+        assert_eq!(stream[0].payload, b"one");
+        assert_eq!(stream[1].payload, b"two");
+        drop(world);
+        assert_eq!(env.open_sockets().next().unwrap().1.sent, 3);
+        env.sock_close(sd).unwrap();
+        assert!(env.sock_send(sd, b"x", 9).is_err());
+    }
+
+    #[test]
+    fn socket_restore_binds_descriptor_and_count() {
+        let w = World::shared();
+        let mut env = SimEnv::new("b", w, SimTime::ZERO, 5);
+        env.restore_socket(7, "peer", 42);
+        let (sd, conn) = env.open_sockets().next().unwrap();
+        assert_eq!(sd, 7);
+        assert_eq!(conn.sent, 42);
+        // Fresh descriptors do not collide.
+        assert!(env.sock_connect("other", None) > 7);
+        // Forced descriptors bind exactly (replayed connects).
+        assert_eq!(env.sock_connect("third", Some(3)), 3);
+    }
+
+    #[test]
+    fn fail_drops_sockets_too() {
+        let w = World::shared();
+        let mut env = SimEnv::new("p", w, SimTime::ZERO, 5);
+        let sd = env.sock_connect("peer", None);
+        env.fail();
+        assert!(env.sock_send(sd, b"x", 1).is_err());
+    }
+
+    #[test]
+    fn rand_is_seed_deterministic() {
+        let w = World::shared();
+        let mut a = SimEnv::new("p", w.clone(), SimTime::ZERO, 9);
+        let mut b = SimEnv::new("p", w, SimTime::ZERO, 9);
+        let xs: Vec<i64> = (0..5).map(|_| a.rand(100)).collect();
+        let ys: Vec<i64> = (0..5).map(|_| b.rand(100)).collect();
+        assert_eq!(xs, ys);
+        assert_eq!(a.rand(0), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Fatal virtual-machine errors.
+//!
+//! These are the paper's R0 class of failures: errors of the run-time
+//! environment or of the VM implementation itself. They terminate the
+//! replica that encounters them and are deliberately **not** replicated —
+//! replicating them would make all replicas fail deterministically
+//! (paper §3.1). Application-level exceptions (null dereference, division
+//! by zero, …) are *not* `VmError`s; they are thrown as catchable
+//! throwable objects inside the VM.
+
+use crate::thread::ThreadIdx;
+use std::error::Error;
+use std::fmt;
+
+/// A fatal error that terminates the replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The heap's hard capacity was exhausted (resource exhaustion, R0).
+    OutOfMemory,
+    /// Every live thread is blocked and no wake-up is possible.
+    Deadlock {
+        /// Human-readable description of who waits on what.
+        detail: String,
+    },
+    /// The configured instruction budget was exceeded (runaway program).
+    InstructionBudget,
+    /// A reference pointed at a freed or never-allocated heap slot — a VM
+    /// implementation bug or GC root omission.
+    DanglingRef {
+        /// Diagnostic context.
+        detail: String,
+    },
+    /// An operand had the wrong type for an instruction — the verifier
+    /// should prevent this; reaching it indicates a VM bug.
+    TypeError {
+        /// Diagnostic context.
+        detail: String,
+    },
+    /// A native import could not be resolved against the registry.
+    UnlinkedNative {
+        /// The unresolved signature name.
+        name: String,
+    },
+    /// A native import resolved but with a mismatched signature.
+    NativeSignature {
+        /// The offending signature name.
+        name: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// Backup-only: the replayed execution diverged from the primary's log
+    /// (e.g. a data race broke restriction R4A, §3.3).
+    ReplayDivergence {
+        /// Which thread diverged.
+        thread: ThreadIdx,
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfMemory => f.write_str("heap capacity exhausted"),
+            VmError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            VmError::InstructionBudget => f.write_str("instruction budget exceeded"),
+            VmError::DanglingRef { detail } => write!(f, "dangling reference: {detail}"),
+            VmError::TypeError { detail } => write!(f, "operand type error: {detail}"),
+            VmError::UnlinkedNative { name } => write!(f, "unresolved native method `{name}`"),
+            VmError::NativeSignature { name, detail } => {
+                write!(f, "native `{name}` signature mismatch: {detail}")
+            }
+            VmError::ReplayDivergence { thread, detail } => {
+                write!(f, "replay diverged from primary log at thread {thread}: {detail}")
+            }
+            VmError::Internal(s) => write!(f, "internal VM error: {s}"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = VmError::ReplayDivergence { thread: ThreadIdx(3), detail: "lock order".into() };
+        let s = e.to_string();
+        assert!(s.contains("#3"));
+        assert!(s.contains("lock order"));
+        assert!(VmError::OutOfMemory.to_string().starts_with("heap"));
+    }
+}

@@ -1,0 +1,463 @@
+//! The object heap and its mark-sweep garbage collector.
+//!
+//! The heap is non-moving: an [`ObjRef`] stays valid for the object's
+//! lifetime, so replica-local references can live in thread stacks without
+//! fix-ups. Collection supports the two GC features the paper identifies as
+//! non-determinism hazards (§4.3): *soft references* (treated as strong by
+//! default, exactly the paper's shortcut) and *finalizers* (dead objects
+//! with finalizers are resurrected onto a queue consumed by the finalizer
+//! system thread).
+
+use crate::bytecode::ClassId;
+use crate::class::{builtin, Class};
+use crate::value::{ObjRef, Value};
+use std::collections::VecDeque;
+
+/// One heap cell: an object instance or an array.
+#[derive(Debug, Clone)]
+pub enum HeapEntry {
+    /// An instance with field slots.
+    Obj {
+        /// The instance's class.
+        class: ClassId,
+        /// Field slots (inherited slots first).
+        fields: Vec<Value>,
+    },
+    /// An array of value slots.
+    Arr {
+        /// The elements.
+        elems: Vec<Value>,
+    },
+}
+
+/// Outcome of one collection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcResult {
+    /// Objects reclaimed.
+    pub freed: usize,
+    /// Objects still live after the sweep.
+    pub live: usize,
+    /// Newly-discovered dead objects with finalizers; they have been
+    /// resurrected and must be passed to the finalizer thread, then become
+    /// ordinary garbage at the next cycle.
+    pub finalizable: Vec<ObjRef>,
+    /// Soft references whose referent was cleared (only when soft-reference
+    /// collection is enabled).
+    pub softs_cleared: usize,
+}
+
+/// Error raised when the heap's hard object capacity is exhausted.
+///
+/// Per restriction R0 this is a *fatal environment error*: it is raised at
+/// one replica only and must not be replicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory;
+
+/// The heap.
+#[derive(Debug)]
+pub struct Heap {
+    slots: Vec<Option<HeapEntry>>,
+    /// Reusable slot indices (freed by GC), popped LIFO.
+    free: Vec<u32>,
+    /// Objects whose finalizer has already been scheduled.
+    finalizer_done: Vec<bool>,
+    live: usize,
+    allocs_since_gc: usize,
+    /// Hard cap on simultaneously live objects.
+    capacity: usize,
+    /// Allocations between collection requests ("memory pressure").
+    pub gc_threshold: usize,
+    /// Cumulative allocation counter.
+    pub total_allocs: u64,
+}
+
+impl Heap {
+    /// Creates a heap with the given hard capacity and GC pressure
+    /// threshold.
+    pub fn new(capacity: usize, gc_threshold: usize) -> Self {
+        Heap {
+            slots: Vec::new(),
+            free: Vec::new(),
+            finalizer_done: Vec::new(),
+            live: 0,
+            allocs_since_gc: 0,
+            capacity,
+            gc_threshold,
+            total_allocs: 0,
+        }
+    }
+
+    /// Number of live objects.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// True when enough allocations have happened since the last collection
+    /// that the asynchronous collector should run.
+    pub fn pressure(&self) -> bool {
+        self.allocs_since_gc >= self.gc_threshold
+    }
+
+    fn place(&mut self, entry: HeapEntry) -> Result<ObjRef, OutOfMemory> {
+        if self.live >= self.capacity {
+            return Err(OutOfMemory);
+        }
+        self.live += 1;
+        self.allocs_since_gc += 1;
+        self.total_allocs += 1;
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(entry);
+                self.finalizer_done[i as usize] = false;
+                i
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.finalizer_done.push(false);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        Ok(ObjRef::from_index(idx as usize))
+    }
+
+    /// Allocates an instance of `class` with `n_fields` null slots.
+    ///
+    /// # Errors
+    /// Returns [`OutOfMemory`] at the hard capacity.
+    pub fn alloc_obj(&mut self, class: ClassId, n_fields: u16) -> Result<ObjRef, OutOfMemory> {
+        self.place(HeapEntry::Obj { class, fields: vec![Value::Null; n_fields as usize] })
+    }
+
+    /// Allocates an array of `len` null slots.
+    ///
+    /// # Errors
+    /// Returns [`OutOfMemory`] at the hard capacity.
+    pub fn alloc_array(&mut self, len: usize) -> Result<ObjRef, OutOfMemory> {
+        self.place(HeapEntry::Arr { elems: vec![Value::Null; len] })
+    }
+
+    /// Immutable access to a heap cell; `None` if the reference dangles.
+    pub fn get(&self, r: ObjRef) -> Option<&HeapEntry> {
+        self.slots.get(r.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to a heap cell; `None` if the reference dangles.
+    pub fn get_mut(&mut self, r: ObjRef) -> Option<&mut HeapEntry> {
+        self.slots.get_mut(r.index()).and_then(|s| s.as_mut())
+    }
+
+    /// The class of the object at `r`, if it is a live instance.
+    pub fn class_of(&self, r: ObjRef) -> Option<ClassId> {
+        match self.get(r)? {
+            HeapEntry::Obj { class, .. } => Some(*class),
+            HeapEntry::Arr { .. } => None,
+        }
+    }
+
+    /// Reads an array as bytes (each element's low 8 bits); `None` if not a
+    /// live array.
+    pub fn array_as_bytes(&self, r: ObjRef) -> Option<Vec<u8>> {
+        match self.get(r)? {
+            HeapEntry::Arr { elems } => Some(
+                elems
+                    .iter()
+                    .map(|v| match v {
+                        Value::Int(i) => *i as u8,
+                        _ => 0,
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// True once the finalizer for `r` has been scheduled.
+    pub fn finalizer_scheduled(&self, r: ObjRef) -> bool {
+        self.finalizer_done.get(r.index()).copied().unwrap_or(false)
+    }
+
+    /// Runs a full mark-sweep collection.
+    ///
+    /// `roots` must enumerate every reference reachable by the mutator
+    /// (thread stacks, statics, class objects, native scratch, finalizer
+    /// queue, monitor-owning references). `collect_soft` enables clearing of
+    /// soft-reference referents (off by default, matching the paper).
+    pub fn collect(
+        &mut self,
+        roots: impl IntoIterator<Item = ObjRef>,
+        classes: &[Class],
+        collect_soft: bool,
+    ) -> GcResult {
+        self.allocs_since_gc = 0;
+        let n = self.slots.len();
+        let mut marked = vec![false; n];
+        let mut soft_refs: Vec<usize> = Vec::new();
+        let mut work: VecDeque<usize> = VecDeque::new();
+        for r in roots {
+            let i = r.index();
+            if i < n && self.slots[i].is_some() && !marked[i] {
+                marked[i] = true;
+                work.push_back(i);
+            }
+        }
+        // Mark phase.
+        while let Some(i) = work.pop_front() {
+            let entry = self.slots[i].as_ref().expect("marked slot is live");
+            let is_soft = matches!(entry, HeapEntry::Obj { class, .. } if *class == builtin::SOFT_REF);
+            if is_soft {
+                soft_refs.push(i);
+            }
+            let trace = |v: &Value, work: &mut VecDeque<usize>, marked: &mut Vec<bool>| {
+                if let Value::Ref(r) = v {
+                    let j = r.index();
+                    if j < n && !marked[j] {
+                        marked[j] = true;
+                        work.push_back(j);
+                    }
+                }
+            };
+            match entry {
+                HeapEntry::Obj { fields, .. } => {
+                    for (slot, v) in fields.iter().enumerate() {
+                        // When collecting soft refs, the referent (slot 0)
+                        // is *not* traced through the reference object.
+                        if is_soft && collect_soft && slot == builtin::SOFT_REF_REFERENT_SLOT as usize {
+                            continue;
+                        }
+                        trace(v, &mut work, &mut marked);
+                    }
+                }
+                HeapEntry::Arr { elems } => {
+                    for v in elems {
+                        trace(v, &mut work, &mut marked);
+                    }
+                }
+            }
+        }
+        // Resurrect unreachable objects that still need finalization, plus
+        // everything reachable from them.
+        let mut finalizable = Vec::new();
+        #[allow(clippy::needless_range_loop)] // index drives three parallel arrays
+        for i in 0..n {
+            if marked[i] || self.slots[i].is_none() || self.finalizer_done[i] {
+                continue;
+            }
+            let HeapEntry::Obj { class, .. } = self.slots[i].as_ref().expect("checked live") else {
+                continue;
+            };
+            if classes[class.0 as usize].finalizer.is_some() {
+                self.finalizer_done[i] = true;
+                finalizable.push(ObjRef::from_index(i));
+                marked[i] = true;
+                work.push_back(i);
+            }
+        }
+        while let Some(i) = work.pop_front() {
+            let entry = self.slots[i].as_ref().expect("marked slot is live");
+            let mut trace = |v: &Value| {
+                if let Value::Ref(r) = v {
+                    let j = r.index();
+                    if j < n && !marked[j] {
+                        marked[j] = true;
+                        work.push_back(j);
+                    }
+                }
+            };
+            match entry {
+                HeapEntry::Obj { fields, .. } => fields.iter().for_each(&mut trace),
+                HeapEntry::Arr { elems } => elems.iter().for_each(&mut trace),
+            }
+        }
+        // Clear dead soft referents.
+        let mut softs_cleared = 0;
+        if collect_soft {
+            for i in soft_refs {
+                if !marked[i] {
+                    continue;
+                }
+                let Some(HeapEntry::Obj { fields, .. }) = self.slots[i].as_mut() else {
+                    continue;
+                };
+                if let Value::Ref(r) = fields[builtin::SOFT_REF_REFERENT_SLOT as usize] {
+                    if !marked[r.index()] {
+                        fields[builtin::SOFT_REF_REFERENT_SLOT as usize] = Value::Null;
+                        softs_cleared += 1;
+                    }
+                }
+            }
+        }
+        // Sweep.
+        let mut freed = 0;
+        #[allow(clippy::needless_range_loop)] // index drives two parallel arrays
+        for i in 0..n {
+            if !marked[i] && self.slots[i].is_some() {
+                self.slots[i] = None;
+                self.free.push(i as u32);
+                self.live -= 1;
+                freed += 1;
+            }
+        }
+        GcResult { freed, live: self.live, finalizable, softs_cleared }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::MethodId;
+    use crate::program::ProgramBuilder;
+
+    fn classes_with_finalizer() -> Vec<Class> {
+        let mut b = ProgramBuilder::new();
+        let fin_class = b.add_class("HasFin", builtin::OBJECT, 1, 0);
+        let mut fin = b.method("finalize", 1);
+        fin.ret_void();
+        let fin_id = fin.build(&mut b);
+        b.set_finalizer(fin_class, fin_id);
+        let mut m = b.method("main", 1);
+        m.ret_void();
+        let entry = m.build(&mut b);
+        b.build(entry).unwrap().classes
+    }
+
+    fn plain_classes() -> Vec<Class> {
+        let mut b = ProgramBuilder::new();
+        let mut m = b.method("main", 1);
+        m.ret_void();
+        let entry = m.build(&mut b);
+        b.build(entry).unwrap().classes
+    }
+
+    #[test]
+    fn alloc_and_access() {
+        let mut h = Heap::new(100, 50);
+        let o = h.alloc_obj(builtin::OBJECT, 2).unwrap();
+        let a = h.alloc_array(3).unwrap();
+        match h.get_mut(o).unwrap() {
+            HeapEntry::Obj { fields, .. } => fields[1] = Value::Int(9),
+            _ => panic!("expected object"),
+        }
+        match h.get(a).unwrap() {
+            HeapEntry::Arr { elems } => assert_eq!(elems.len(), 3),
+            _ => panic!("expected array"),
+        }
+        assert_eq!(h.live(), 2);
+        assert_eq!(h.class_of(o), Some(builtin::OBJECT));
+        assert_eq!(h.class_of(a), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut h = Heap::new(2, 50);
+        h.alloc_array(1).unwrap();
+        h.alloc_array(1).unwrap();
+        assert_eq!(h.alloc_array(1), Err(OutOfMemory));
+    }
+
+    #[test]
+    fn collect_frees_unreachable_and_reuses_slots() {
+        let classes = plain_classes();
+        let mut h = Heap::new(100, 50);
+        let keep = h.alloc_obj(builtin::OBJECT, 1).unwrap();
+        let lost = h.alloc_array(5).unwrap();
+        let nested = h.alloc_array(1).unwrap();
+        // keep.fields[0] -> nested (reachable); `lost` has no root.
+        match h.get_mut(keep).unwrap() {
+            HeapEntry::Obj { fields, .. } => fields[0] = Value::Ref(nested),
+            _ => unreachable!(),
+        }
+        let res = h.collect([keep], &classes, false);
+        assert_eq!(res.freed, 1);
+        assert_eq!(h.live(), 2);
+        assert!(h.get(lost).is_none());
+        assert!(h.get(nested).is_some());
+        // Freed slot is reused.
+        let again = h.alloc_array(2).unwrap();
+        assert_eq!(again.index(), lost.index());
+    }
+
+    #[test]
+    fn soft_refs_strong_by_default() {
+        let classes = plain_classes();
+        let mut h = Heap::new(100, 50);
+        let soft = h.alloc_obj(builtin::SOFT_REF, 1).unwrap();
+        let target = h.alloc_array(1).unwrap();
+        match h.get_mut(soft).unwrap() {
+            HeapEntry::Obj { fields, .. } => fields[0] = Value::Ref(target),
+            _ => unreachable!(),
+        }
+        let res = h.collect([soft], &classes, false);
+        assert_eq!(res.freed, 0);
+        assert!(h.get(target).is_some());
+    }
+
+    #[test]
+    fn soft_refs_cleared_under_pressure_mode() {
+        let classes = plain_classes();
+        let mut h = Heap::new(100, 50);
+        let soft = h.alloc_obj(builtin::SOFT_REF, 1).unwrap();
+        let target = h.alloc_array(1).unwrap();
+        match h.get_mut(soft).unwrap() {
+            HeapEntry::Obj { fields, .. } => fields[0] = Value::Ref(target),
+            _ => unreachable!(),
+        }
+        let res = h.collect([soft], &classes, true);
+        assert_eq!(res.freed, 1);
+        assert_eq!(res.softs_cleared, 1);
+        assert!(h.get(target).is_none());
+        match h.get(soft).unwrap() {
+            HeapEntry::Obj { fields, .. } => assert_eq!(fields[0], Value::Null),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn finalizable_objects_resurrected_once() {
+        let classes = classes_with_finalizer();
+        let has_fin = ClassId(builtin::COUNT); // first user class
+        assert!(classes[has_fin.0 as usize].finalizer == Some(MethodId(0)));
+        let mut h = Heap::new(100, 50);
+        let obj = h.alloc_obj(has_fin, 1).unwrap();
+        let held = h.alloc_array(1).unwrap();
+        match h.get_mut(obj).unwrap() {
+            HeapEntry::Obj { fields, .. } => fields[0] = Value::Ref(held),
+            _ => unreachable!(),
+        }
+        // No roots: object is dead but resurrected for finalization, and
+        // drags `held` along.
+        let res = h.collect([], &classes, false);
+        assert_eq!(res.finalizable, vec![obj]);
+        assert_eq!(res.freed, 0);
+        assert!(h.get(held).is_some());
+        // Second collection with no roots: finalizer already scheduled, so
+        // both die for real.
+        let res = h.collect([], &classes, false);
+        assert!(res.finalizable.is_empty());
+        assert_eq!(res.freed, 2);
+        assert_eq!(h.live(), 0);
+    }
+
+    #[test]
+    fn pressure_resets_after_collect() {
+        let classes = plain_classes();
+        let mut h = Heap::new(100, 3);
+        for _ in 0..3 {
+            h.alloc_array(0).unwrap();
+        }
+        assert!(h.pressure());
+        h.collect([], &classes, false);
+        assert!(!h.pressure());
+    }
+
+    #[test]
+    fn array_as_bytes() {
+        let mut h = Heap::new(10, 10);
+        let a = h.alloc_array(3).unwrap();
+        if let Some(HeapEntry::Arr { elems }) = h.get_mut(a) {
+            elems[0] = Value::Int(104);
+            elems[1] = Value::Int(105);
+            elems[2] = Value::Int(33);
+        }
+        assert_eq!(h.array_as_bytes(a).unwrap(), b"hi!".to_vec());
+    }
+}

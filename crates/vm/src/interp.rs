@@ -1,0 +1,1265 @@
+//! The bytecode execution engine (BEE): instruction semantics, native
+//! driving, and exception unwinding.
+//!
+//! One call to [`exec_unit`] executes exactly one *unit* — a bytecode
+//! instruction, one phase of a native method, or one step of a system
+//! thread. Units are the granularity of preemption, which is what lets the
+//! backup's thread-scheduling replay stop a thread at exactly the recorded
+//! `(br_cnt, pc_off, mon_cnt)` point (paper §4.2).
+
+use crate::bytecode::{Cmp, Insn};
+use crate::class::{builtin, excode};
+use crate::coordinator::{Coordinator, NativeDirective};
+use crate::error::VmError;
+use crate::exec::{obs_of, AcquireOutcome, VmCore};
+use crate::heap::HeapEntry;
+use crate::native::{
+    Intrinsic, NativeAbort, NativeCtx, NativeKind, NativeOutcome, NativeRegistry, PhaseOutcome,
+};
+use crate::thread::{AdoptedOutcome, NativeActivation, ThreadIdx, ThreadKind, ThreadState, WaitResume};
+use crate::value::{ObjRef, Value};
+use ftjvm_netsim::SimTime;
+
+/// Executes one unit of the current thread.
+///
+/// # Errors
+/// Returns fatal [`VmError`]s; application-level exceptions are raised
+/// in-VM and do not surface here.
+pub(crate) fn exec_unit(
+    core: &mut VmCore,
+    natives: &NativeRegistry,
+    coord: &mut dyn Coordinator,
+) -> Result<(), VmError> {
+    let t = core.current.expect("exec_unit requires a dispatched thread");
+    match core.thread(t).kind {
+        ThreadKind::GcWorker => step_gc_worker(core, t),
+        ThreadKind::Finalizer => step_finalizer(core, natives, coord, t),
+        ThreadKind::App => {
+            if core.thread(t).native.is_some() {
+                drive_native(core, natives, coord, t)
+            } else {
+                exec_insn(core, natives, coord, t)
+            }
+        }
+    }
+}
+
+fn step_gc_worker(core: &mut VmCore, t: ThreadIdx) -> Result<(), VmError> {
+    match core.gc_phase {
+        0 => {
+            let heap_lock = core.heap_lock;
+            if core.internal_try_lock(heap_lock, t) {
+                core.gc_phase = 1;
+            }
+        }
+        1 => {
+            core.run_gc();
+            core.gc_phase = 2;
+        }
+        _ => {
+            let heap_lock = core.heap_lock;
+            core.internal_unlock(heap_lock);
+            core.gc_phase = 0;
+            core.thread_mut(t).state = ThreadState::Parked;
+        }
+    }
+    Ok(())
+}
+
+fn step_finalizer(
+    core: &mut VmCore,
+    natives: &NativeRegistry,
+    coord: &mut dyn Coordinator,
+    t: ThreadIdx,
+) -> Result<(), VmError> {
+    if core.thread(t).native.is_some() {
+        return drive_native(core, natives, coord, t);
+    }
+    if core.thread(t).frames.is_empty() {
+        match core.finalizer_queue.pop_front() {
+            Some(obj) => {
+                let Some(class) = core.heap.class_of(obj) else {
+                    // Object vanished (should not happen; be defensive).
+                    return Ok(());
+                };
+                let Some(fin) = core.program.classes[class.0 as usize].finalizer else {
+                    return Ok(());
+                };
+                let n_locals = core.program.method(fin).n_locals;
+                core.thread_mut(t)
+                    .frames
+                    .push(crate::thread::Frame::new(fin, n_locals, vec![Value::Ref(obj)]));
+            }
+            None => core.thread_mut(t).state = ThreadState::Parked,
+        }
+        return Ok(());
+    }
+    exec_insn(core, natives, coord, t)
+}
+
+// ----- value-stack helpers -----
+
+fn type_err(detail: impl Into<String>) -> VmError {
+    VmError::TypeError { detail: detail.into() }
+}
+
+fn pop(stack: &mut Vec<Value>) -> Result<Value, VmError> {
+    stack.pop().ok_or_else(|| type_err("operand stack underflow"))
+}
+
+fn pop_int(stack: &mut Vec<Value>) -> Result<i64, VmError> {
+    pop(stack)?.as_int().map_err(|v| type_err(format!("expected int, found {v}")))
+}
+
+fn pop_double(stack: &mut Vec<Value>) -> Result<f64, VmError> {
+    match pop(stack)? {
+        Value::Double(d) => Ok(d),
+        Value::Int(i) => Ok(i as f64),
+        v => Err(type_err(format!("expected double, found {v}"))),
+    }
+}
+
+// ----- exceptions -----
+
+/// Allocates a runtime exception with the given code and raises it.
+pub(crate) fn raise_runtime(
+    core: &mut VmCore,
+    coord: &mut dyn Coordinator,
+    t: ThreadIdx,
+    code: i64,
+) -> Result<(), VmError> {
+    let ex = core
+        .heap
+        .alloc_obj(builtin::RUNTIME_EXCEPTION, 1)
+        .map_err(|_| VmError::OutOfMemory)?;
+    if let Some(HeapEntry::Obj { fields, .. }) = core.heap.get_mut(ex) {
+        fields[builtin::THROWABLE_CODE_SLOT as usize] = Value::Int(code);
+    }
+    raise_obj(core, coord, t, ex)
+}
+
+/// Unwinds thread `t` with throwable `ex` until a handler catches it.
+pub(crate) fn raise_obj(
+    core: &mut VmCore,
+    coord: &mut dyn Coordinator,
+    t: ThreadIdx,
+    ex: ObjRef,
+) -> Result<(), VmError> {
+    let ex_class = core.heap.class_of(ex).unwrap_or(builtin::THROWABLE);
+    core.thread_mut(t).unwinding = Some(ex);
+    loop {
+        let Some(frame) = core.thread(t).frames.last() else {
+            // Uncaught: the thread dies (Java semantics).
+            let code = match core.heap.get(ex) {
+                Some(HeapEntry::Obj { fields, .. }) => {
+                    fields.get(builtin::THROWABLE_CODE_SLOT as usize).and_then(|v| v.as_int().ok()).unwrap_or(-1)
+                }
+                _ => -1,
+            };
+            core.thread_mut(t).unwinding = None;
+            core.finish_thread(coord, t, Some(code));
+            return Ok(());
+        };
+        let pc = frame.pc;
+        let method = frame.method;
+        let handler = core.program.methods[method.0 as usize]
+            .handlers
+            .iter()
+            .find(|h| {
+                h.start <= pc
+                    && pc < h.end
+                    && h.class.map(|c| core.program.is_subclass(ex_class, c)).unwrap_or(true)
+            })
+            .copied();
+        if let Some(h) = handler {
+            let frame = core.thread_mut(t).frame_mut();
+            frame.stack.clear();
+            frame.stack.push(Value::Ref(ex));
+            frame.pc = h.target;
+            core.thread_mut(t).unwinding = None;
+            return Ok(());
+        }
+        // No handler here: release a synchronized method's monitor and pop.
+        let sync_obj = core.thread(t).frame().sync_obj;
+        if let Some(obj) = sync_obj {
+            core.release_monitor(coord, t, obj)
+                .map_err(|_| VmError::Internal("sync frame did not own its monitor during unwind".into()))?;
+        }
+        core.thread_mut(t).frames.pop();
+    }
+}
+
+// ----- invocation and return -----
+
+/// Begins invoking `mid`. Returns `true` if the frame was pushed (or the
+/// invocation completed); `false` if the thread blocked acquiring a
+/// synchronized method's monitor (the instruction will re-execute).
+fn do_invoke(
+    core: &mut VmCore,
+    coord: &mut dyn Coordinator,
+    t: ThreadIdx,
+    mid: crate::bytecode::MethodId,
+    explicit_receiver: Option<ObjRef>,
+) -> Result<bool, VmError> {
+    let (n_args, n_locals, synchronized, is_static, class) = {
+        let m = &core.program.methods[mid.0 as usize];
+        (m.n_args, m.n_locals, m.synchronized, m.is_static, m.class)
+    };
+    if synchronized {
+        let lock_obj = if is_static {
+            let c = class.ok_or_else(|| VmError::Internal("synchronized static without class".into()))?;
+            core.class_objects[c.0 as usize]
+        } else {
+            match explicit_receiver {
+                Some(r) => r,
+                None => {
+                    // Receiver is the deepest of the arguments still on the
+                    // stack (not popped until acquisition succeeds).
+                    let stack = &core.thread(t).frame().stack;
+                    let idx = stack
+                        .len()
+                        .checked_sub(n_args as usize)
+                        .ok_or_else(|| type_err("missing receiver for synchronized call"))?;
+                    match stack[idx] {
+                        Value::Ref(r) => r,
+                        Value::Null => {
+                            raise_runtime(core, coord, t, excode::NULL_POINTER)?;
+                            return Ok(true);
+                        }
+                        ref v => return Err(type_err(format!("receiver must be a reference, found {v}"))),
+                    }
+                }
+            }
+        };
+        match core.acquire_monitor(coord, t, lock_obj, None) {
+            AcquireOutcome::Acquired => {
+                self_push_frame(core, t, mid, n_args, n_locals, Some(lock_obj));
+                Ok(true)
+            }
+            AcquireOutcome::Blocked | AcquireOutcome::Deferred => Ok(false),
+        }
+    } else {
+        self_push_frame(core, t, mid, n_args, n_locals, None);
+        Ok(true)
+    }
+}
+
+fn self_push_frame(
+    core: &mut VmCore,
+    t: ThreadIdx,
+    mid: crate::bytecode::MethodId,
+    n_args: u8,
+    n_locals: u16,
+    sync_obj: Option<ObjRef>,
+) {
+    let th = core.thread_mut(t);
+    let stack = &mut th.frame_mut().stack;
+    let split = stack.len() - n_args as usize;
+    let args: Vec<Value> = stack.split_off(split);
+    th.br_cnt += 1;
+    let mut frame = crate::thread::Frame::new(mid, n_locals, args);
+    frame.sync_obj = sync_obj;
+    th.frames.push(frame);
+    if th.is_app() {
+        core.counters.branches += 1;
+    }
+}
+
+fn do_return(
+    core: &mut VmCore,
+    coord: &mut dyn Coordinator,
+    t: ThreadIdx,
+    val: Option<Value>,
+) -> Result<(), VmError> {
+    let frame = core
+        .thread_mut(t)
+        .frames
+        .pop()
+        .ok_or_else(|| VmError::Internal("return with no frame".into()))?;
+    core.thread_mut(t).br_cnt += 1;
+    if core.thread(t).is_app() {
+        core.counters.branches += 1;
+    }
+    if let Some(obj) = frame.sync_obj {
+        core.release_monitor(coord, t, obj)
+            .map_err(|_| VmError::Internal("sync frame did not own its monitor at return".into()))?;
+    }
+    let returns = core.program.methods[frame.method.0 as usize].returns;
+    if core.thread(t).frames.is_empty() {
+        if core.thread(t).is_app() {
+            core.finish_thread(coord, t, None);
+        }
+        // Finalizer thread: frames empty -> next unit pops the queue.
+        return Ok(());
+    }
+    let caller = core.thread_mut(t).frame_mut();
+    if returns {
+        caller
+            .stack
+            .push(val.ok_or_else(|| VmError::Internal("value-returning method produced none".into()))?);
+    }
+    caller.pc += 1; // past the invoke instruction
+    Ok(())
+}
+
+// ----- race-detector hook -----
+
+/// Records a shared-memory access with the lockset detector, when enabled.
+fn race_access(core: &mut VmCore, t: ThreadIdx, loc: crate::race::Loc, is_write: bool) {
+    if core.race.is_none() || core.thread(t).kind != ThreadKind::App {
+        return;
+    }
+    let (threads, race) = (&core.threads, &mut core.race);
+    let held = &threads[t.0 as usize].held_for_race;
+    if let Some(d) = race {
+        d.on_access(loc, t, held, is_write);
+    }
+}
+
+// ----- allocation helpers -----
+
+fn heap_locked_by_other(core: &VmCore, t: ThreadIdx) -> bool {
+    let holder = core.internal_locks[core.heap_lock.0].holder;
+    holder.is_some() && holder != Some(t)
+}
+
+/// Blocks `t` on the heap lock (GC in progress); the instruction will
+/// re-execute once the collector releases it.
+fn block_on_heap_lock(core: &mut VmCore, t: ThreadIdx) {
+    let heap_lock = core.heap_lock;
+    let took = core.internal_try_lock(heap_lock, t);
+    debug_assert!(!took, "caller checked the lock was held by another thread");
+}
+
+fn alloc_counted(core: &mut VmCore, entry_is_array: bool, class: crate::bytecode::ClassId, size: usize) -> Result<ObjRef, VmError> {
+    let r = if entry_is_array {
+        core.heap.alloc_array(size)
+    } else {
+        core.heap.alloc_obj(class, size as u16)
+    }
+    .map_err(|_| VmError::OutOfMemory)?;
+    core.counters.allocations += 1;
+    let cost = core.cfg.cost.alloc;
+    core.charge_base(cost);
+    core.maybe_request_gc();
+    Ok(r)
+}
+
+// ----- the instruction interpreter -----
+
+#[allow(clippy::too_many_lines)]
+fn exec_insn(
+    core: &mut VmCore,
+    natives: &NativeRegistry,
+    coord: &mut dyn Coordinator,
+    t: ThreadIdx,
+) -> Result<(), VmError> {
+    let (method, pc) = {
+        let f = core.thread(t).frame();
+        (f.method, f.pc)
+    };
+    let insn = core.program.methods[method.0 as usize].code[pc as usize];
+    let is_app = core.thread(t).kind == ThreadKind::App;
+    // Base interpretation cost.
+    let mut cost = core.cfg.cost.insn_base;
+    if insn.is_control_flow() {
+        cost += core.cfg.cost.branch_extra;
+    }
+    core.charge_base(cost);
+    if is_app {
+        core.counters.instructions += 1;
+    }
+
+    macro_rules! stack {
+        () => {
+            &mut core.thread_mut(t).frame_mut().stack
+        };
+    }
+    macro_rules! advance {
+        () => {{
+            core.thread_mut(t).frame_mut().pc += 1;
+        }};
+    }
+    macro_rules! branch_to {
+        ($target:expr) => {{
+            core.thread_mut(t).frame_mut().pc = $target;
+            core.thread_mut(t).br_cnt += 1;
+            if is_app {
+                core.counters.branches += 1;
+            }
+        }};
+    }
+
+    match insn {
+        Insn::Nop => advance!(),
+        Insn::Const(v) => {
+            stack!().push(Value::Int(v));
+            advance!();
+        }
+        Insn::DConst(v) => {
+            stack!().push(Value::Double(v));
+            advance!();
+        }
+        Insn::ConstNull => {
+            stack!().push(Value::Null);
+            advance!();
+        }
+        Insn::ConstStr(sid) => {
+            if heap_locked_by_other(core, t) {
+                block_on_heap_lock(core, t);
+                return Ok(());
+            }
+            let bytes: Vec<u8> = core.program.strings[sid.0 as usize].bytes().collect();
+            let arr = alloc_counted(core, true, builtin::OBJECT, bytes.len())?;
+            if let Some(HeapEntry::Arr { elems }) = core.heap.get_mut(arr) {
+                for (slot, b) in elems.iter_mut().zip(bytes.iter()) {
+                    *slot = Value::Int(*b as i64);
+                }
+            }
+            stack!().push(Value::Ref(arr));
+            advance!();
+        }
+        Insn::Dup => {
+            let s = stack!();
+            let top = *s.last().ok_or_else(|| type_err("dup on empty stack"))?;
+            s.push(top);
+            advance!();
+        }
+        Insn::DupX1 => {
+            let s = stack!();
+            let v1 = pop(s)?;
+            let v2 = pop(s)?;
+            s.push(v1);
+            s.push(v2);
+            s.push(v1);
+            advance!();
+        }
+        Insn::Pop => {
+            pop(stack!())?;
+            advance!();
+        }
+        Insn::Swap => {
+            let s = stack!();
+            let a = pop(s)?;
+            let b = pop(s)?;
+            s.push(a);
+            s.push(b);
+            advance!();
+        }
+        Insn::Load(n) => {
+            let v = core.thread(t).frame().locals[n as usize];
+            stack!().push(v);
+            advance!();
+        }
+        Insn::Store(n) => {
+            let v = pop(stack!())?;
+            core.thread_mut(t).frame_mut().locals[n as usize] = v;
+            advance!();
+        }
+        Insn::Inc(n, delta) => {
+            let f = core.thread_mut(t).frame_mut();
+            let cur = f.locals[n as usize]
+                .as_int()
+                .map_err(|v| type_err(format!("inc of non-int local: {v}")))?;
+            f.locals[n as usize] = Value::Int(cur.wrapping_add(delta as i64));
+            advance!();
+        }
+        Insn::Add | Insn::Sub | Insn::Mul | Insn::And | Insn::Or | Insn::Xor | Insn::Shl | Insn::Shr => {
+            let s = stack!();
+            let b = pop_int(s)?;
+            let a = pop_int(s)?;
+            let r = match insn {
+                Insn::Add => a.wrapping_add(b),
+                Insn::Sub => a.wrapping_sub(b),
+                Insn::Mul => a.wrapping_mul(b),
+                Insn::And => a & b,
+                Insn::Or => a | b,
+                Insn::Xor => a ^ b,
+                Insn::Shl => a.wrapping_shl(b as u32 & 63),
+                Insn::Shr => a.wrapping_shr(b as u32 & 63),
+                _ => unreachable!(),
+            };
+            s.push(Value::Int(r));
+            advance!();
+        }
+        Insn::Div | Insn::Rem => {
+            let s = stack!();
+            let b = pop_int(s)?;
+            let a = pop_int(s)?;
+            if b == 0 {
+                return raise_runtime(core, coord, t, excode::ARITHMETIC);
+            }
+            let r = if matches!(insn, Insn::Div) { a.wrapping_div(b) } else { a.wrapping_rem(b) };
+            s.push(Value::Int(r));
+            advance!();
+        }
+        Insn::Neg => {
+            let s = stack!();
+            let a = pop_int(s)?;
+            s.push(Value::Int(a.wrapping_neg()));
+            advance!();
+        }
+        Insn::DAdd | Insn::DSub | Insn::DMul | Insn::DDiv => {
+            let s = stack!();
+            let b = pop_double(s)?;
+            let a = pop_double(s)?;
+            let r = match insn {
+                Insn::DAdd => a + b,
+                Insn::DSub => a - b,
+                Insn::DMul => a * b,
+                Insn::DDiv => a / b,
+                _ => unreachable!(),
+            };
+            s.push(Value::Double(r));
+            advance!();
+        }
+        Insn::I2D => {
+            let s = stack!();
+            let a = pop_int(s)?;
+            s.push(Value::Double(a as f64));
+            advance!();
+        }
+        Insn::D2I => {
+            let s = stack!();
+            let a = pop_double(s)?;
+            let r = if a.is_nan() { 0 } else { a as i64 };
+            s.push(Value::Int(r));
+            advance!();
+        }
+        Insn::ICmp(c) => {
+            let s = stack!();
+            let b = pop_int(s)?;
+            let a = pop_int(s)?;
+            let ord = match a.cmp(&b) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            };
+            s.push(Value::from(c.eval_ord(ord)));
+            advance!();
+        }
+        Insn::DCmp(c) => {
+            let s = stack!();
+            let b = pop_double(s)?;
+            let a = pop_double(s)?;
+            let result = match a.partial_cmp(&b) {
+                Some(std::cmp::Ordering::Less) => c.eval_ord(-1),
+                Some(std::cmp::Ordering::Equal) => c.eval_ord(0),
+                Some(std::cmp::Ordering::Greater) => c.eval_ord(1),
+                None => matches!(c, Cmp::Ne), // NaN
+            };
+            s.push(Value::from(result));
+            advance!();
+        }
+        Insn::RefEq => {
+            let s = stack!();
+            let b = pop(s)?;
+            let a = pop(s)?;
+            let eq = match (a, b) {
+                (Value::Null, Value::Null) => true,
+                (Value::Ref(x), Value::Ref(y)) => x == y,
+                _ => false,
+            };
+            s.push(Value::from(eq));
+            advance!();
+        }
+        Insn::Goto(target) => branch_to!(target),
+        Insn::If(target) => {
+            let v = pop(stack!())?;
+            if v.is_truthy() {
+                branch_to!(target);
+            } else {
+                core.thread_mut(t).br_cnt += 1;
+                if is_app {
+                    core.counters.branches += 1;
+                }
+                advance!();
+            }
+        }
+        Insn::IfNot(target) => {
+            let v = pop(stack!())?;
+            if !v.is_truthy() {
+                branch_to!(target);
+            } else {
+                core.thread_mut(t).br_cnt += 1;
+                if is_app {
+                    core.counters.branches += 1;
+                }
+                advance!();
+            }
+        }
+        Insn::IfNull(target) => {
+            let v = pop(stack!())?;
+            if v.is_null() {
+                branch_to!(target);
+            } else {
+                core.thread_mut(t).br_cnt += 1;
+                if is_app {
+                    core.counters.branches += 1;
+                }
+                advance!();
+            }
+        }
+        Insn::InvokeStatic(mid) => {
+            // May block on a synchronized method's monitor; pc advances at
+            // return, not here.
+            let _ = do_invoke(core, coord, t, mid, None)?;
+        }
+        Insn::InvokeVirtual(slot, argc) => {
+            let receiver = {
+                let stack = &core.thread(t).frame().stack;
+                let idx = stack
+                    .len()
+                    .checked_sub(argc as usize)
+                    .ok_or_else(|| type_err("missing receiver for virtual call"))?;
+                stack[idx]
+            };
+            let r = match receiver {
+                Value::Ref(r) => r,
+                Value::Null => return raise_runtime(core, coord, t, excode::NULL_POINTER),
+                v => return Err(type_err(format!("virtual call receiver must be a reference, found {v}"))),
+            };
+            let Some(class) = core.heap.class_of(r) else {
+                return raise_runtime(core, coord, t, excode::BAD_DISPATCH);
+            };
+            let Some(mid) = core.program.classes[class.0 as usize].resolve(slot) else {
+                return raise_runtime(core, coord, t, excode::BAD_DISPATCH);
+            };
+            let _ = do_invoke(core, coord, t, mid, Some(r))?;
+        }
+        Insn::InvokeNative(nid, argc) => {
+            begin_native(core, natives, coord, t, nid, argc)?;
+        }
+        Insn::Ret => do_return(core, coord, t, None)?,
+        Insn::RetVal => {
+            let v = pop(stack!())?;
+            do_return(core, coord, t, Some(v))?;
+        }
+        Insn::New(cid) => {
+            if heap_locked_by_other(core, t) {
+                block_on_heap_lock(core, t);
+                return Ok(());
+            }
+            let n_fields = core.program.classes[cid.0 as usize].n_fields;
+            let obj = alloc_counted(core, false, cid, n_fields as usize)?;
+            stack!().push(Value::Ref(obj));
+            advance!();
+        }
+        Insn::GetField(slot) => {
+            let s = stack!();
+            let obj = pop(s)?;
+            let r = match obj {
+                Value::Ref(r) => r,
+                Value::Null => return raise_runtime(core, coord, t, excode::NULL_POINTER),
+                v => return Err(type_err(format!("getfield on non-reference {v}"))),
+            };
+            let v = match core.heap.get(r) {
+                Some(HeapEntry::Obj { fields, .. }) => *fields
+                    .get(slot as usize)
+                    .ok_or_else(|| type_err(format!("field slot {slot} out of range")))?,
+                Some(HeapEntry::Arr { .. }) => return Err(type_err("getfield on array")),
+                None => return Err(VmError::DanglingRef { detail: format!("getfield on {r}") }),
+            };
+            race_access(core, t, crate::race::Loc::Field(r, slot), false);
+            stack!().push(v);
+            advance!();
+        }
+        Insn::PutField(slot) => {
+            let s = stack!();
+            let v = pop(s)?;
+            let obj = pop(s)?;
+            let r = match obj {
+                Value::Ref(r) => r,
+                Value::Null => return raise_runtime(core, coord, t, excode::NULL_POINTER),
+                v => return Err(type_err(format!("putfield on non-reference {v}"))),
+            };
+            match core.heap.get_mut(r) {
+                Some(HeapEntry::Obj { fields, .. }) => {
+                    let f = fields
+                        .get_mut(slot as usize)
+                        .ok_or_else(|| type_err(format!("field slot {slot} out of range")))?;
+                    *f = v;
+                }
+                Some(HeapEntry::Arr { .. }) => return Err(type_err("putfield on array")),
+                None => return Err(VmError::DanglingRef { detail: format!("putfield on {r}") }),
+            }
+            race_access(core, t, crate::race::Loc::Field(r, slot), true);
+            advance!();
+        }
+        Insn::GetStatic(cid, slot) => {
+            let v = *core.statics[cid.0 as usize]
+                .get(slot as usize)
+                .ok_or_else(|| type_err(format!("static slot {slot} out of range")))?;
+            race_access(core, t, crate::race::Loc::Static(cid, slot), false);
+            stack!().push(v);
+            advance!();
+        }
+        Insn::PutStatic(cid, slot) => {
+            let v = pop(stack!())?;
+            let f = core.statics[cid.0 as usize]
+                .get_mut(slot as usize)
+                .ok_or_else(|| type_err(format!("static slot {slot} out of range")))?;
+            *f = v;
+            race_access(core, t, crate::race::Loc::Static(cid, slot), true);
+            advance!();
+        }
+        Insn::ClassObj(cid) => {
+            let obj = core.class_objects[cid.0 as usize];
+            stack!().push(Value::Ref(obj));
+            advance!();
+        }
+        Insn::NewArray => {
+            if heap_locked_by_other(core, t) {
+                block_on_heap_lock(core, t);
+                return Ok(());
+            }
+            // Peek (not pop) the length so the instruction can re-execute
+            // if it blocks on the heap lock.
+            let len = {
+                let s = &core.thread(t).frame().stack;
+                (*s.last().ok_or_else(|| type_err("newarray on empty stack"))?)
+                    .as_int()
+                    .map_err(|v| type_err(format!("array length must be int, found {v}")))?
+            };
+            if len < 0 {
+                return raise_runtime(core, coord, t, excode::NEGATIVE_ARRAY_SIZE);
+            }
+            let arr = alloc_counted(core, true, builtin::OBJECT, len as usize)?;
+            let s = stack!();
+            s.pop();
+            s.push(Value::Ref(arr));
+            advance!();
+        }
+        Insn::ALoad => {
+            let s = stack!();
+            let idx = pop_int(s)?;
+            let arr = pop(s)?;
+            let r = match arr {
+                Value::Ref(r) => r,
+                Value::Null => return raise_runtime(core, coord, t, excode::NULL_POINTER),
+                v => return Err(type_err(format!("aload on non-reference {v}"))),
+            };
+            let v = match core.heap.get(r) {
+                Some(HeapEntry::Arr { elems }) => {
+                    if idx < 0 || idx as usize >= elems.len() {
+                        return raise_runtime(core, coord, t, excode::ARRAY_BOUNDS);
+                    }
+                    elems[idx as usize]
+                }
+                Some(HeapEntry::Obj { .. }) => return Err(type_err("aload on object")),
+                None => return Err(VmError::DanglingRef { detail: format!("aload on {r}") }),
+            };
+            race_access(core, t, crate::race::Loc::Array(r), false);
+            stack!().push(v);
+            advance!();
+        }
+        Insn::AStore => {
+            let s = stack!();
+            let v = pop(s)?;
+            let idx = pop_int(s)?;
+            let arr = pop(s)?;
+            let r = match arr {
+                Value::Ref(r) => r,
+                Value::Null => return raise_runtime(core, coord, t, excode::NULL_POINTER),
+                v => return Err(type_err(format!("astore on non-reference {v}"))),
+            };
+            match core.heap.get_mut(r) {
+                Some(HeapEntry::Arr { elems }) => {
+                    if idx < 0 || idx as usize >= elems.len() {
+                        return raise_runtime(core, coord, t, excode::ARRAY_BOUNDS);
+                    }
+                    elems[idx as usize] = v;
+                }
+                Some(HeapEntry::Obj { .. }) => return Err(type_err("astore on object")),
+                None => return Err(VmError::DanglingRef { detail: format!("astore on {r}") }),
+            }
+            race_access(core, t, crate::race::Loc::Array(r), true);
+            advance!();
+        }
+        Insn::ALen => {
+            let s = stack!();
+            let arr = pop(s)?;
+            let r = match arr {
+                Value::Ref(r) => r,
+                Value::Null => return raise_runtime(core, coord, t, excode::NULL_POINTER),
+                v => return Err(type_err(format!("arraylength on non-reference {v}"))),
+            };
+            let len = match core.heap.get(r) {
+                Some(HeapEntry::Arr { elems }) => elems.len() as i64,
+                Some(HeapEntry::Obj { .. }) => return Err(type_err("arraylength on object")),
+                None => return Err(VmError::DanglingRef { detail: format!("arraylength on {r}") }),
+            };
+            stack!().push(Value::Int(len));
+            advance!();
+        }
+        Insn::MonitorEnter => {
+            // Peek until acquired (the instruction re-executes if blocked).
+            let top = {
+                let s = &core.thread(t).frame().stack;
+                *s.last().ok_or_else(|| type_err("monitorenter on empty stack"))?
+            };
+            let obj = match top {
+                Value::Ref(r) => r,
+                Value::Null => {
+                    pop(stack!())?;
+                    return raise_runtime(core, coord, t, excode::NULL_POINTER);
+                }
+                v => return Err(type_err(format!("monitorenter on non-reference {v}"))),
+            };
+            match core.acquire_monitor(coord, t, obj, None) {
+                AcquireOutcome::Acquired => {
+                    pop(stack!())?;
+                    advance!();
+                }
+                AcquireOutcome::Blocked | AcquireOutcome::Deferred => {}
+            }
+        }
+        Insn::MonitorExit => {
+            let v = pop(stack!())?;
+            let obj = match v {
+                Value::Ref(r) => r,
+                Value::Null => return raise_runtime(core, coord, t, excode::NULL_POINTER),
+                v => return Err(type_err(format!("monitorexit on non-reference {v}"))),
+            };
+            match core.release_monitor(coord, t, obj) {
+                Ok(()) => advance!(),
+                Err(_) => return raise_runtime(core, coord, t, excode::ILLEGAL_MONITOR),
+            }
+        }
+        Insn::Throw => {
+            let v = pop(stack!())?;
+            core.thread_mut(t).br_cnt += 1;
+            if is_app {
+                core.counters.branches += 1;
+            }
+            let obj = match v {
+                Value::Ref(r) => r,
+                Value::Null => return raise_runtime(core, coord, t, excode::NULL_POINTER),
+                v => return Err(type_err(format!("throw of non-reference {v}"))),
+            };
+            return raise_obj(core, coord, t, obj);
+        }
+    }
+    Ok(())
+}
+
+// ----- native methods -----
+
+fn begin_native(
+    core: &mut VmCore,
+    natives: &NativeRegistry,
+    coord: &mut dyn Coordinator,
+    t: ThreadIdx,
+    nid: crate::bytecode::NativeId,
+    argc: u8,
+) -> Result<(), VmError> {
+    let reg_idx = core.linked[nid.0 as usize] as usize;
+    let decl = &natives.decls()[reg_idx];
+    let is_app = core.thread(t).kind == ThreadKind::App;
+    // The invocation is a control-flow change; counted when the activation
+    // is created.
+    core.thread_mut(t).br_cnt += 1;
+    if is_app {
+        core.counters.branches += 1;
+        core.counters.native_calls += 1;
+    }
+    let native_cost = core.cfg.cost.native_call;
+    core.charge_base(native_cost);
+    // Pop arguments (receiver-first order).
+    let args: Vec<Value> = {
+        let stack = &mut core.thread_mut(t).frame_mut().stack;
+        let split = stack
+            .len()
+            .checked_sub(argc as usize)
+            .ok_or_else(|| type_err("native call with too few operands"))?;
+        stack.split_off(split)
+    };
+    let directive = if is_app {
+        let (threads, acct) = (&core.threads, &mut core.acct);
+        let obs = obs_of(threads, t);
+        coord.pre_native(&obs, decl, &args, acct)
+    } else {
+        NativeDirective::Execute
+    };
+    let adopted: Option<AdoptedOutcome> = match directive {
+        NativeDirective::Execute => None,
+        NativeDirective::Replay(a) => Some(a),
+    };
+    let output_id = if decl.output {
+        match &adopted {
+            Some(a) => a.output_id,
+            None => {
+                if is_app {
+                    core.counters.outputs += 1;
+                    let (threads, acct) = (&core.threads, &mut core.acct);
+                    let obs = obs_of(threads, t);
+                    Some(coord.begin_output(&obs, decl, acct))
+                } else {
+                    Some(u64::MAX)
+                }
+            }
+        }
+    } else {
+        None
+    };
+    core.thread_mut(t).native = Some(NativeActivation {
+        native: nid,
+        phase: 0,
+        args,
+        scratch: Vec::new(),
+        held: Vec::new(),
+        pending_acquire: None,
+        adopted,
+        output_id,
+        out_args: Vec::new(),
+    });
+    Ok(())
+}
+
+/// What an intrinsic step produced.
+enum IntrinsicStep {
+    Done(Option<Value>),
+    /// The thread yielded (blocked/sleeping/waiting); retry later.
+    Pending,
+    /// Raise a runtime exception with this code.
+    Raise(i64),
+}
+
+fn drive_native(
+    core: &mut VmCore,
+    natives: &NativeRegistry,
+    coord: &mut dyn Coordinator,
+    t: ThreadIdx,
+) -> Result<(), VmError> {
+    let mut act = core.thread_mut(t).native.take().expect("drive_native requires an activation");
+    let reg_idx = core.linked[act.native.0 as usize] as usize;
+    // Replay-with-skip: impose the logged outcome without running the body.
+    if let Some(a) = &act.adopted {
+        if !a.execute {
+            let Some(imposed) = imposed_result(a) else {
+                return Err(VmError::ReplayDivergence {
+                    thread: t,
+                    detail: "replay skipped a native without a logged result to impose".into(),
+                });
+            };
+            return complete_native(core, natives, coord, t, act, imposed);
+        }
+    }
+    // A pending in-native monitor acquisition must finish first.
+    if let Some(obj) = act.pending_acquire {
+        match core.acquire_monitor(coord, t, obj, None) {
+            AcquireOutcome::Acquired => {
+                act.held.push(obj);
+                act.pending_acquire = None;
+                core.thread_mut(t).native = Some(act);
+            }
+            AcquireOutcome::Blocked | AcquireOutcome::Deferred => {
+                core.thread_mut(t).native = Some(act);
+            }
+        }
+        return Ok(());
+    }
+    // Extract only the (Copy) body for this step — cloning a phased
+    // native's whole phase vector per unit would be wasteful.
+    enum Body {
+        Intr(Intrinsic),
+        Simple(crate::native::SimpleFn),
+        Phase(crate::native::PhaseFn),
+    }
+    let body = match &natives.decls()[reg_idx].kind {
+        NativeKind::Intrinsic(w) => Body::Intr(*w),
+        NativeKind::Simple(f) => Body::Simple(*f),
+        NativeKind::Phased(ps) => match ps.get(act.phase) {
+            Some(f) => Body::Phase(*f),
+            None => return Err(VmError::Internal("phased native ran past its last phase".into())),
+        },
+    };
+    match body {
+        Body::Intr(which) => {
+            let step = drive_intrinsic(core, coord, t, &mut act, which)?;
+            match step {
+                IntrinsicStep::Done(v) => complete_native(core, natives, coord, t, act, Ok(v)),
+                IntrinsicStep::Pending => {
+                    core.thread_mut(t).native = Some(act);
+                    Ok(())
+                }
+                IntrinsicStep::Raise(code) => {
+                    release_held(core, coord, t, &mut act)?;
+                    core.thread_mut(t).native = None;
+                    raise_runtime(core, coord, t, code)
+                }
+            }
+        }
+        Body::Simple(f) => {
+            let result = run_native_fn(core, &mut act, |ctx| f(ctx).map(PhaseOutcome::Done));
+            match result {
+                Ok(PhaseOutcome::Done(v)) => complete_native(core, natives, coord, t, act, Ok(v)),
+                Ok(_) => Err(VmError::Internal("simple native returned a phase outcome".into())),
+                Err(abort) => complete_native(core, natives, coord, t, act, Err(abort)),
+            }
+        }
+        Body::Phase(f) => {
+            let result = run_native_fn(core, &mut act, f);
+            match result {
+                Ok(PhaseOutcome::Done(v)) => complete_native(core, natives, coord, t, act, Ok(v)),
+                Ok(PhaseOutcome::Continue) => {
+                    act.phase += 1;
+                    core.thread_mut(t).native = Some(act);
+                    Ok(())
+                }
+                Ok(PhaseOutcome::AcquireMonitor(obj)) => {
+                    act.phase += 1;
+                    act.pending_acquire = Some(obj);
+                    core.thread_mut(t).native = Some(act);
+                    Ok(())
+                }
+                Ok(PhaseOutcome::ReleaseMonitor(obj)) => {
+                    act.phase += 1;
+                    act.held.retain(|o| *o != obj);
+                    match core.release_monitor(coord, t, obj) {
+                        Ok(()) => {
+                            core.thread_mut(t).native = Some(act);
+                            Ok(())
+                        }
+                        Err(_) => {
+                            release_held(core, coord, t, &mut act)?;
+                            core.thread_mut(t).native = None;
+                            raise_runtime(core, coord, t, excode::ILLEGAL_MONITOR)
+                        }
+                    }
+                }
+                Err(abort) => complete_native(core, natives, coord, t, act, Err(abort)),
+            }
+        }
+    }
+}
+
+fn run_native_fn<F>(core: &mut VmCore, act: &mut NativeActivation, f: F) -> Result<PhaseOutcome, NativeAbort>
+where
+    F: FnOnce(&mut NativeCtx<'_>) -> Result<PhaseOutcome, NativeAbort>,
+{
+    let now = core.acct.now();
+    let mut ctx = NativeCtx {
+        heap: &mut core.heap,
+        env: &mut core.env,
+        now,
+        args: &act.args,
+        scratch: &mut act.scratch,
+        output_id: act.output_id,
+        adopted: act.adopted.as_ref(),
+        out_args: &mut act.out_args,
+    };
+    f(&mut ctx)
+}
+
+fn imposed_result(a: &AdoptedOutcome) -> Option<Result<Option<Value>, NativeAbort>> {
+    match &a.result {
+        Some(Ok(v)) => Some(Ok(*v)),
+        Some(Err((code, msg))) => Some(Err(NativeAbort::new(*code, msg.clone()))),
+        None => None,
+    }
+}
+
+fn release_held(
+    core: &mut VmCore,
+    coord: &mut dyn Coordinator,
+    t: ThreadIdx,
+    act: &mut NativeActivation,
+) -> Result<(), VmError> {
+    for obj in std::mem::take(&mut act.held) {
+        // Best-effort: a native that aborted mid-critical-section must not
+        // leave the monitor locked forever.
+        let _ = core.release_monitor(coord, t, obj);
+    }
+    Ok(())
+}
+
+fn complete_native(
+    core: &mut VmCore,
+    natives: &NativeRegistry,
+    coord: &mut dyn Coordinator,
+    t: ThreadIdx,
+    mut act: NativeActivation,
+    real_result: Result<Option<Value>, NativeAbort>,
+) -> Result<(), VmError> {
+    let reg_idx = core.linked[act.native.0 as usize] as usize;
+    let is_app = core.thread(t).kind == ThreadKind::App;
+    // Adopted outcomes override whatever the body produced (§4.1: "the
+    // backup discards the generated return values and exceptions"). An
+    // adopted outcome without a logged result (an uncertain output being
+    // re-performed) keeps the body's own result.
+    let (result, out_args) = match act.adopted.take() {
+        Some(a) => {
+            // Impose logged out-argument contents.
+            for (idx, contents) in &a.out_args {
+                let Some(Value::Ref(r)) = act.args.get(*idx as usize) else {
+                    return Err(VmError::ReplayDivergence {
+                        thread: t,
+                        detail: format!("logged out-arg {idx} is not an array argument"),
+                    });
+                };
+                match core.heap.get_mut(*r) {
+                    Some(HeapEntry::Arr { elems }) => {
+                        for (slot, v) in elems.iter_mut().zip(contents.iter()) {
+                            *slot = *v;
+                        }
+                    }
+                    _ => {
+                        return Err(VmError::ReplayDivergence {
+                            thread: t,
+                            detail: format!("logged out-arg {idx} does not reference a live array"),
+                        })
+                    }
+                }
+            }
+            let result = imposed_result(&a).unwrap_or(real_result);
+            let out_args = if a.out_args.is_empty() {
+                std::mem::take(&mut act.out_args)
+            } else {
+                a.out_args.clone()
+            };
+            (result, out_args)
+        }
+        None => (real_result, std::mem::take(&mut act.out_args)),
+    };
+    if result.is_err() {
+        release_held(core, coord, t, &mut act)?;
+    } else {
+        debug_assert!(act.held.is_empty(), "native completed while holding monitors");
+    }
+    let outcome = NativeOutcome { result: result.clone(), out_args };
+    if is_app {
+        let decl = &natives.decls()[reg_idx];
+        let (threads, env, acct) = (&core.threads, &core.env, &mut core.acct);
+        let obs = obs_of(threads, t);
+        coord.post_native(&obs, decl, &outcome, act.output_id, env, acct);
+    }
+    core.thread_mut(t).native = None;
+    match result {
+        Ok(v) => {
+            let returns = natives.decls()[reg_idx].returns;
+            let frame = core.thread_mut(t).frame_mut();
+            if returns {
+                frame.stack.push(v.ok_or_else(|| {
+                    VmError::Internal("value-returning native produced no value".into())
+                })?);
+            }
+            frame.pc += 1;
+            Ok(())
+        }
+        Err(abort) => raise_runtime(core, coord, t, excode::NATIVE_BASE + abort.code),
+    }
+}
+
+fn drive_intrinsic(
+    core: &mut VmCore,
+    coord: &mut dyn Coordinator,
+    t: ThreadIdx,
+    act: &mut NativeActivation,
+    which: Intrinsic,
+) -> Result<IntrinsicStep, VmError> {
+    match which {
+        Intrinsic::Spawn => {
+            let Some(Value::Int(mid)) = act.args.first().copied() else {
+                return Ok(IntrinsicStep::Raise(excode::NATIVE_BASE + 90));
+            };
+            if mid < 0 || mid as usize >= core.program.methods.len() {
+                return Ok(IntrinsicStep::Raise(excode::NATIVE_BASE + 93));
+            }
+            let arg = act.args.get(1).copied().unwrap_or(Value::Null);
+            if !core.thread(t).is_app() {
+                return Ok(IntrinsicStep::Raise(excode::NATIVE_BASE + 94));
+            }
+            core.spawn_app_thread(coord, t, crate::bytecode::MethodId(mid as u32), arg)?;
+            Ok(IntrinsicStep::Done(None))
+        }
+        Intrinsic::Wait => {
+            let Some(Value::Ref(obj)) = act.args.first().copied() else {
+                return Ok(IntrinsicStep::Raise(excode::NULL_POINTER));
+            };
+            match core.thread(t).wait_resume {
+                None => {
+                    let saved = match core.monitors.monitor_mut(obj).release_all(t) {
+                        Ok(depth) => depth,
+                        Err(_) => return Ok(IntrinsicStep::Raise(excode::ILLEGAL_MONITOR)),
+                    };
+                    core.thread_mut(t).mon_cnt += 1;
+                    if core.thread(t).is_app() {
+                        core.counters.monitor_ops += 1;
+                        if core.race.is_some() {
+                            core.thread_mut(t).held_for_race.retain(|o| *o != obj);
+                        }
+                    }
+                    let cost = core.cfg.cost.monitor_op;
+                    core.charge_base(cost);
+                    core.monitors
+                        .monitor_mut(obj)
+                        .wait_set
+                        .push_back(crate::monitor::Waiter { thread: t, saved_recursion: saved });
+                    core.thread_mut(t).wait_resume = Some(WaitResume { saved_recursion: saved });
+                    core.thread_mut(t).state = ThreadState::WaitingMonitor { obj };
+                    core.wake_blocked_on(obj);
+                    core.poll_deferred(coord);
+                    Ok(IntrinsicStep::Pending)
+                }
+                Some(resume) => {
+                    match core.acquire_monitor(coord, t, obj, Some(resume.saved_recursion)) {
+                        AcquireOutcome::Acquired => {
+                            core.thread_mut(t).wait_resume = None;
+                            Ok(IntrinsicStep::Done(None))
+                        }
+                        AcquireOutcome::Blocked | AcquireOutcome::Deferred => Ok(IntrinsicStep::Pending),
+                    }
+                }
+            }
+        }
+        Intrinsic::Notify | Intrinsic::NotifyAll => {
+            let Some(Value::Ref(obj)) = act.args.first().copied() else {
+                return Ok(IntrinsicStep::Raise(excode::NULL_POINTER));
+            };
+            if !core.monitors.monitor_mut(obj).owned_by(t) {
+                return Ok(IntrinsicStep::Raise(excode::ILLEGAL_MONITOR));
+            }
+            let woken: Vec<ThreadIdx> = {
+                let ws = &mut core.monitors.monitor_mut(obj).wait_set;
+                if which == Intrinsic::Notify {
+                    ws.pop_front().map(|w| w.thread).into_iter().collect()
+                } else {
+                    ws.drain(..).map(|w| w.thread).collect()
+                }
+            };
+            for w in woken {
+                core.make_runnable(w);
+            }
+            Ok(IntrinsicStep::Done(None))
+        }
+        Intrinsic::Sleep => {
+            if act.scratch.is_empty() {
+                let Some(Value::Int(ms)) = act.args.first().copied() else {
+                    return Ok(IntrinsicStep::Raise(excode::NATIVE_BASE + 90));
+                };
+                let until = core.acct.now() + SimTime::from_millis(ms.max(0) as u64);
+                act.scratch.push(Value::Int(until.as_nanos() as i64));
+                core.thread_mut(t).state = ThreadState::Sleeping { until };
+                Ok(IntrinsicStep::Pending)
+            } else {
+                Ok(IntrinsicStep::Done(None))
+            }
+        }
+        Intrinsic::Yield => {
+            core.yield_requested = true;
+            Ok(IntrinsicStep::Done(None))
+        }
+        Intrinsic::Gc => {
+            let heap_lock = core.heap_lock;
+            if core.internal_try_lock(heap_lock, t) {
+                core.run_gc();
+                core.internal_unlock(heap_lock);
+                Ok(IntrinsicStep::Done(None))
+            } else {
+                // Blocked on the heap lock; retried when the GC releases.
+                Ok(IntrinsicStep::Pending)
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! A from-scratch, JVM-shaped bytecode virtual machine — the substrate on
+//! which the fault-tolerant replication layer (`ftjvm-core`) runs.
+//!
+//! This crate is the stand-in for the Sun JDK 1.2 interpreter that the DSN
+//! 2003 paper *A Fault-Tolerant Java Virtual Machine* (Napper, Alvisi, Vin)
+//! modified. It provides the abstractions the paper's mechanisms operate
+//! on:
+//!
+//! * a stack-based **bytecode ISA** with classes, virtual dispatch, arrays,
+//!   exceptions ([`bytecode`], [`class`], [`program`]);
+//! * a **green-thread scheduler** with injected (seeded) preemption jitter —
+//!   the source of scheduling non-determinism replication must mask
+//!   ([`exec`]);
+//! * re-entrant **monitors** with `wait`/`notify` and the paper's per-lock
+//!   (`l_asn`, `l_id`) bookkeeping ([`monitor`]);
+//! * per-thread **progress counters** (`br_cnt`, `mon_cnt`, `t_asn`)
+//!   ([`thread`]) and scheduling-stable **virtual thread ids** ([`vtid`]);
+//! * a **native-method interface** with the paper's annotations
+//!   (non-deterministic / output / volatile-state) and preemptible phased
+//!   natives ([`native`]);
+//! * a **mark-sweep GC** with soft references and finalizers, plus GC and
+//!   finalizer *system threads* that contend with application threads
+//!   ([`heap`]);
+//! * a simulated **environment** split into stable and volatile state
+//!   ([`env`]);
+//! * the [`coordinator::Coordinator`] hook trait — the exact seam where the
+//!   paper patched Sun's JVM, and where `ftjvm-core` plugs in.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ftjvm_vm::coordinator::NoopCoordinator;
+//! use ftjvm_vm::env::{SimEnv, World};
+//! use ftjvm_vm::native::NativeRegistry;
+//! use ftjvm_vm::program::ProgramBuilder;
+//! use ftjvm_vm::exec::{Vm, VmConfig};
+//! use ftjvm_netsim::SimTime;
+//! use std::sync::Arc;
+//!
+//! // A program that prints 6*7.
+//! let mut b = ProgramBuilder::new();
+//! let print_int = b.import_native("sys.print_int", 1, false);
+//! let mut m = b.method("main", 1);
+//! m.push_i(6).push_i(7).mul().invoke_native(print_int, 1).ret_void();
+//! let entry = m.build(&mut b);
+//! let program = Arc::new(b.build(entry)?);
+//!
+//! let world = World::shared();
+//! let env = SimEnv::new("solo", world.clone(), SimTime::ZERO, 42);
+//! let mut vm = Vm::new(program, NativeRegistry::with_builtins(), env, VmConfig::default())?;
+//! let report = vm.run(&mut NoopCoordinator::new())?;
+//! assert_eq!(world.borrow().console_texts(), vec!["42".to_string()]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bytecode;
+pub mod class;
+pub mod coordinator;
+pub mod disasm;
+pub mod env;
+pub mod error;
+pub mod exec;
+pub mod heap;
+mod interp;
+pub mod monitor;
+pub mod native;
+pub mod program;
+pub mod race;
+pub mod thread;
+pub mod value;
+pub mod vtid;
+
+pub use bytecode::{ClassId, Cmp, Insn, MethodId, NativeId, StrId, VSlot};
+pub use class::{Class, Handler, Method, NativeImport, Program};
+pub use coordinator::{
+    Coordinator, MonitorDecision, NativeDirective, NoopCoordinator, StopReason, SwitchReason,
+    ThreadObs, ThreadSnap,
+};
+pub use env::{SharedWorld, SimEnv, World};
+pub use error::VmError;
+pub use exec::{ExecCounters, RunOutcome, RunReport, Vm, VmConfig};
+pub use native::{NativeAbort, NativeDecl, NativeKind, NativeOutcome, NativeRegistry};
+pub use program::{BuildError, ProgramBuilder};
+pub use race::{RaceDetector, RaceReport};
+pub use thread::{AdoptedOutcome, ThreadIdx, ThreadState};
+pub use value::{ObjRef, Value};
+pub use vtid::VtPath;

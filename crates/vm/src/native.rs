@@ -1,0 +1,644 @@
+//! The native-method interface (the VM's "JNI") and the standard-library
+//! natives.
+//!
+//! Native methods are the only non-deterministic *commands* in the VM
+//! (paper §3.2): they may read the environment (clock, RNG, file contents)
+//! and produce output to it. Each [`NativeDecl`] carries the annotations
+//! the paper adds to native methods so the state machine can handle them:
+//! whether the method is non-deterministic (its results must be logged and
+//! adopted by the backup), whether it performs output (requiring output
+//! commit and exactly-once handling), and whether it creates volatile
+//! environment state (requiring a side-effect handler).
+//!
+//! Natives come in three kinds:
+//! * **simple** — one atomic Rust function;
+//! * **phased** — a sequence of functions with preemption points between
+//!   phases, which may acquire and release monitors *inside* the native;
+//!   this exercises the paper's hard case of a thread rescheduled while
+//!   executing a native method (§4.2);
+//! * **intrinsic** — thread and VM operations (spawn, wait/notify, sleep,
+//!   yield, gc) implemented by the executor itself.
+
+use crate::env::SimEnv;
+use crate::heap::{Heap, HeapEntry};
+use crate::thread::AdoptedOutcome;
+use crate::value::{ObjRef, Value};
+use ftjvm_netsim::SimTime;
+use std::collections::HashMap;
+
+/// An abnormal native-method completion, converted by the interpreter into
+/// a catchable throwable whose code is `excode::NATIVE_BASE + code`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeAbort {
+    /// Application-visible error code.
+    pub code: i64,
+    /// Diagnostic message (logged, not visible to bytecode).
+    pub msg: String,
+}
+
+impl NativeAbort {
+    /// Creates an abort with a code and message.
+    pub fn new(code: i64, msg: impl Into<String>) -> Self {
+        NativeAbort { code, msg: msg.into() }
+    }
+}
+
+/// The completed result of a native call, as observed by the replication
+/// layer: the return value (or abort) plus snapshots of any array arguments
+/// the native mutated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeOutcome {
+    /// Return value or abort.
+    pub result: Result<Option<Value>, NativeAbort>,
+    /// Mutated array arguments: (argument index, full contents after).
+    pub out_args: Vec<(u8, Vec<Value>)>,
+}
+
+/// What one phase of a phased native asks the executor to do next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhaseOutcome {
+    /// The native is finished with this return value.
+    Done(Option<Value>),
+    /// Proceed to the next phase (a preemption point).
+    Continue,
+    /// Acquire the monitor of the given object through the full
+    /// (coordinated, possibly blocking) monitor protocol, then proceed to
+    /// the next phase.
+    AcquireMonitor(ObjRef),
+    /// Release the monitor of the given object, then proceed to the next
+    /// phase.
+    ReleaseMonitor(ObjRef),
+}
+
+/// Execution context handed to native implementations.
+#[derive(Debug)]
+pub struct NativeCtx<'a> {
+    /// The heap (for reading/writing array and object arguments).
+    pub heap: &'a mut Heap,
+    /// This replica's environment.
+    pub env: &'a mut SimEnv,
+    /// Current simulated instant.
+    pub now: SimTime,
+    /// Argument values, receiver (if any) first.
+    pub args: &'a [Value],
+    /// Scratch slots persisting across the phases of a phased native.
+    pub scratch: &'a mut Vec<Value>,
+    /// Output id assigned at output commit, for output-performing natives.
+    pub output_id: Option<u64>,
+    /// The primary-logged outcome being imposed during backup replay, if
+    /// any. Natives that allocate environment handles (e.g. `file.open`)
+    /// must bind their volatile state to the adopted value.
+    pub adopted: Option<&'a AdoptedOutcome>,
+    /// Out-argument snapshots the native reports for logging.
+    pub out_args: &'a mut Vec<(u8, Vec<Value>)>,
+}
+
+impl<'a> NativeCtx<'a> {
+    /// Integer argument `i`.
+    ///
+    /// # Errors
+    /// Aborts with code 90 if the argument is missing or not an int.
+    pub fn int_arg(&self, i: usize) -> Result<i64, NativeAbort> {
+        self.args
+            .get(i)
+            .copied()
+            .and_then(|v| v.as_int().ok())
+            .ok_or_else(|| NativeAbort::new(90, format!("argument {i} must be an int")))
+    }
+
+    /// Reference argument `i`.
+    ///
+    /// # Errors
+    /// Aborts with code 91 if the argument is missing, null, or not a ref.
+    pub fn ref_arg(&self, i: usize) -> Result<ObjRef, NativeAbort> {
+        self.args
+            .get(i)
+            .copied()
+            .and_then(|v| v.as_ref().ok())
+            .ok_or_else(|| NativeAbort::new(91, format!("argument {i} must be a non-null reference")))
+    }
+
+    /// Reads array argument `i` as bytes.
+    ///
+    /// # Errors
+    /// Aborts with code 92 if the argument is not a live array.
+    pub fn bytes_arg(&self, i: usize) -> Result<Vec<u8>, NativeAbort> {
+        let r = self.ref_arg(i)?;
+        self.heap
+            .array_as_bytes(r)
+            .ok_or_else(|| NativeAbort::new(92, format!("argument {i} must be an array")))
+    }
+
+    /// Overwrites the prefix of array argument `i` with `data` (as ints)
+    /// and records the full array in `out_args` for logging.
+    ///
+    /// # Errors
+    /// Aborts with code 92 if the argument is not a live array.
+    pub fn fill_array_arg(&mut self, i: usize, data: &[u8]) -> Result<(), NativeAbort> {
+        let r = self.ref_arg(i)?;
+        let elems = match self.heap.get_mut(r) {
+            Some(HeapEntry::Arr { elems }) => elems,
+            _ => return Err(NativeAbort::new(92, format!("argument {i} must be an array"))),
+        };
+        for (slot, b) in elems.iter_mut().zip(data.iter()) {
+            *slot = Value::Int(*b as i64);
+        }
+        let snapshot = elems.clone();
+        self.out_args.push((i as u8, snapshot));
+        Ok(())
+    }
+
+    /// The virtual file descriptor the primary logged for this call, when
+    /// replaying an environment-handle-returning native.
+    pub fn adopted_handle(&self) -> Option<u64> {
+        match self.adopted?.result {
+            Some(Ok(Some(Value::Int(v)))) => Some(v as u64),
+            _ => None,
+        }
+    }
+}
+
+/// A simple (atomic) native implementation.
+pub type SimpleFn = fn(&mut NativeCtx<'_>) -> Result<Option<Value>, NativeAbort>;
+/// One phase of a phased native.
+pub type PhaseFn = fn(&mut NativeCtx<'_>) -> Result<PhaseOutcome, NativeAbort>;
+
+/// Thread/VM operations implemented by the executor itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intrinsic {
+    /// `sys.spawn(method_id, arg)` — start a new application thread.
+    Spawn,
+    /// `obj.wait(receiver)` — wait on the receiver's monitor.
+    Wait,
+    /// `obj.notify(receiver)` — wake one waiter.
+    Notify,
+    /// `obj.notify_all(receiver)` — wake all waiters.
+    NotifyAll,
+    /// `sys.sleep(ms)` — sleep in simulated time.
+    Sleep,
+    /// `sys.yield()` — voluntary reschedule.
+    Yield,
+    /// `sys.gc()` — synchronous garbage collection.
+    Gc,
+}
+
+/// Implementation body of a native method.
+#[derive(Debug, Clone)]
+pub enum NativeKind {
+    /// One atomic function.
+    Simple(SimpleFn),
+    /// Preemptible phases.
+    Phased(Vec<PhaseFn>),
+    /// Executor-implemented.
+    Intrinsic(Intrinsic),
+}
+
+/// A registered native method with its replication annotations.
+#[derive(Debug, Clone)]
+pub struct NativeDecl {
+    /// Signature name (`"file.open"`); programs import by this name.
+    pub name: String,
+    /// Argument count.
+    pub argc: u8,
+    /// Whether it pushes a return value.
+    pub returns: bool,
+    /// Results are not determined by the read set: log at the primary,
+    /// adopt at the backup (§4.1).
+    pub nondeterministic: bool,
+    /// Performs output to the environment: requires output commit before
+    /// execution and exactly-once treatment on recovery (§3.4).
+    pub output: bool,
+    /// Creates volatile environment state that a side-effect handler must
+    /// recover (§4.4, restriction R6).
+    pub creates_volatile: bool,
+    /// The body.
+    pub kind: NativeKind,
+}
+
+/// The registry of native methods known to a VM instance.
+#[derive(Debug, Clone, Default)]
+pub struct NativeRegistry {
+    decls: Vec<NativeDecl>,
+    by_name: HashMap<String, usize>,
+}
+
+impl NativeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        NativeRegistry::default()
+    }
+
+    /// Creates a registry with the standard-library natives (clock, RNG,
+    /// console, file I/O, bulk helpers) and the thread intrinsics.
+    pub fn with_builtins() -> Self {
+        let mut r = NativeRegistry::new();
+        r.install_builtins();
+        r
+    }
+
+    /// Registers a native. Re-registering a name replaces the previous
+    /// declaration (tests use this to interpose).
+    pub fn register(&mut self, decl: NativeDecl) {
+        match self.by_name.get(&decl.name) {
+            Some(&i) => self.decls[i] = decl,
+            None => {
+                self.by_name.insert(decl.name.clone(), self.decls.len());
+                self.decls.push(decl);
+            }
+        }
+    }
+
+    /// Looks up a native by signature name.
+    pub fn lookup(&self, name: &str) -> Option<&NativeDecl> {
+        self.by_name.get(name).map(|&i| &self.decls[i])
+    }
+
+    /// All registered declarations.
+    pub fn decls(&self) -> &[NativeDecl] {
+        &self.decls
+    }
+
+    fn install_builtins(&mut self) {
+        // --- non-deterministic inputs ---
+        self.register(NativeDecl {
+            name: "sys.clock".into(),
+            argc: 0,
+            returns: true,
+            nondeterministic: true,
+            output: false,
+            creates_volatile: false,
+            kind: NativeKind::Simple(|ctx| Ok(Some(Value::Int(ctx.env.wall_clock_ms(ctx.now))))),
+        });
+        self.register(NativeDecl {
+            name: "sys.rand".into(),
+            argc: 1,
+            returns: true,
+            nondeterministic: true,
+            output: false,
+            creates_volatile: false,
+            kind: NativeKind::Simple(|ctx| {
+                let bound = ctx.int_arg(0)?;
+                Ok(Some(Value::Int(ctx.env.rand(bound))))
+            }),
+        });
+
+        // --- console output (testable) ---
+        self.register(NativeDecl {
+            name: "sys.print".into(),
+            argc: 1,
+            returns: false,
+            nondeterministic: false,
+            output: true,
+            creates_volatile: false,
+            kind: NativeKind::Simple(|ctx| {
+                let text = String::from_utf8_lossy(&ctx.bytes_arg(0)?).into_owned();
+                let id = ctx.output_id.unwrap_or(u64::MAX);
+                ctx.env.println(id, &text);
+                Ok(None)
+            }),
+        });
+        self.register(NativeDecl {
+            name: "sys.print_int".into(),
+            argc: 1,
+            returns: false,
+            nondeterministic: false,
+            output: true,
+            creates_volatile: false,
+            kind: NativeKind::Simple(|ctx| {
+                let v = ctx.int_arg(0)?;
+                let id = ctx.output_id.unwrap_or(u64::MAX);
+                ctx.env.println(id, &v.to_string());
+                Ok(None)
+            }),
+        });
+
+        // --- file I/O (volatile state; SE-handled) ---
+        self.register(NativeDecl {
+            name: "file.open".into(),
+            argc: 1,
+            returns: true,
+            nondeterministic: true,
+            output: false,
+            creates_volatile: true,
+            kind: NativeKind::Simple(|ctx| {
+                let name = String::from_utf8_lossy(&ctx.bytes_arg(0)?).into_owned();
+                let forced = ctx.adopted_handle();
+                let vfd = ctx.env.open(&name, forced);
+                Ok(Some(Value::Int(vfd as i64)))
+            }),
+        });
+        self.register(NativeDecl {
+            name: "file.close".into(),
+            argc: 1,
+            returns: false,
+            // Effect depends on volatile environment state (the fd table),
+            // so it is intercepted like an ND method: the backup adopts the
+            // logged (empty) result and recovers the fd table through the
+            // file SE handler instead of re-executing.
+            nondeterministic: true,
+            output: false,
+            creates_volatile: true,
+            kind: NativeKind::Simple(|ctx| {
+                let vfd = ctx.int_arg(0)? as u64;
+                ctx.env.close(vfd).map_err(|_| NativeAbort::new(10, "close of unknown descriptor"))?;
+                Ok(None)
+            }),
+        });
+        self.register(NativeDecl {
+            name: "file.read".into(),
+            argc: 3,
+            returns: true,
+            nondeterministic: true,
+            output: false,
+            creates_volatile: true,
+            kind: NativeKind::Simple(|ctx| {
+                let vfd = ctx.int_arg(0)? as u64;
+                let len = ctx.int_arg(2)?.max(0) as usize;
+                let data =
+                    ctx.env.read(vfd, len).map_err(|_| NativeAbort::new(11, "read of unknown descriptor"))?;
+                let n = data.len();
+                ctx.fill_array_arg(1, &data)?;
+                Ok(Some(Value::Int(n as i64)))
+            }),
+        });
+        self.register(NativeDecl {
+            name: "file.write".into(),
+            argc: 3,
+            returns: true,
+            nondeterministic: true,
+            output: true,
+            creates_volatile: true,
+            kind: NativeKind::Simple(|ctx| {
+                let vfd = ctx.int_arg(0)? as u64;
+                let len = ctx.int_arg(2)?.max(0) as usize;
+                let bytes = ctx.bytes_arg(1)?;
+                let bytes = &bytes[..len.min(bytes.len())];
+                let id = ctx.output_id.unwrap_or(u64::MAX);
+                let n = ctx
+                    .env
+                    .write(vfd, bytes, id)
+                    .map_err(|_| NativeAbort::new(12, "write to unknown descriptor"))?;
+                Ok(Some(Value::Int(n as i64)))
+            }),
+        });
+        self.register(NativeDecl {
+            name: "file.seek".into(),
+            argc: 2,
+            returns: false,
+            // Same reasoning as `file.close`: volatile-state-dependent.
+            nondeterministic: true,
+            output: false,
+            creates_volatile: true,
+            kind: NativeKind::Simple(|ctx| {
+                let vfd = ctx.int_arg(0)? as u64;
+                let off = ctx.int_arg(1)?.max(0) as usize;
+                ctx.env.seek(vfd, off).map_err(|_| NativeAbort::new(13, "seek on unknown descriptor"))?;
+                Ok(None)
+            }),
+        });
+        self.register(NativeDecl {
+            name: "file.size".into(),
+            argc: 1,
+            returns: true,
+            nondeterministic: true,
+            output: false,
+            creates_volatile: false,
+            kind: NativeKind::Simple(|ctx| {
+                let vfd = ctx.int_arg(0)? as u64;
+                let n = ctx.env.size(vfd).map_err(|_| NativeAbort::new(14, "size of unknown descriptor"))?;
+                Ok(Some(Value::Int(n as i64)))
+            }),
+        });
+
+        // --- sockets: the paper's canonical non-idempotent output
+        // ("replaying messages on a socket would not recover the state at
+        // the backup") — handled through the socket SE handler. ---
+        self.register(NativeDecl {
+            name: "sock.connect".into(),
+            argc: 1,
+            returns: true,
+            nondeterministic: true,
+            output: false,
+            creates_volatile: true,
+            kind: NativeKind::Simple(|ctx| {
+                let peer = String::from_utf8_lossy(&ctx.bytes_arg(0)?).into_owned();
+                let forced = ctx.adopted_handle();
+                let sd = ctx.env.sock_connect(&peer, forced);
+                Ok(Some(Value::Int(sd as i64)))
+            }),
+        });
+        self.register(NativeDecl {
+            name: "sock.send".into(),
+            argc: 3,
+            returns: true,
+            nondeterministic: true,
+            output: true,
+            creates_volatile: true,
+            kind: NativeKind::Simple(|ctx| {
+                let sd = ctx.int_arg(0)? as u64;
+                let len = ctx.int_arg(2)?.max(0) as usize;
+                let bytes = ctx.bytes_arg(1)?;
+                let bytes = &bytes[..len.min(bytes.len())];
+                let id = ctx.output_id.unwrap_or(u64::MAX);
+                let n = ctx
+                    .env
+                    .sock_send(sd, bytes, id)
+                    .map_err(|_| NativeAbort::new(20, "send on unknown socket"))?;
+                Ok(Some(Value::Int(n as i64)))
+            }),
+        });
+        self.register(NativeDecl {
+            name: "sock.close".into(),
+            argc: 1,
+            returns: false,
+            // Volatile-state dependent, like file.close: intercepted so the
+            // backup skips it during replay and recovers the socket table
+            // through the SE handler instead.
+            nondeterministic: true,
+            output: false,
+            creates_volatile: true,
+            kind: NativeKind::Simple(|ctx| {
+                let sd = ctx.int_arg(0)? as u64;
+                ctx.env.sock_close(sd).map_err(|_| NativeAbort::new(21, "close of unknown socket"))?;
+                Ok(None)
+            }),
+        });
+
+        // --- a deliberately long, lock-acquiring phased native: sums an
+        // int array while holding the monitor of its first argument, with a
+        // preemption point mid-scan. Deterministic given its read set. ---
+        self.register(NativeDecl {
+            name: "bulk.locked_sum".into(),
+            argc: 2,
+            returns: true,
+            nondeterministic: false,
+            output: false,
+            creates_volatile: false,
+            kind: NativeKind::Phased(vec![
+                // Phase 0: ask for the lock.
+                |ctx| Ok(PhaseOutcome::AcquireMonitor(ctx.ref_arg(0)?)),
+                // Phase 1: sum the first half.
+                |ctx| {
+                    let arr = ctx.ref_arg(1)?;
+                    let sum = match ctx.heap.get(arr) {
+                        Some(HeapEntry::Arr { elems }) => elems[..elems.len() / 2]
+                            .iter()
+                            .map(|v| v.as_int().unwrap_or(0))
+                            .sum::<i64>(),
+                        _ => return Err(NativeAbort::new(92, "argument 1 must be an array")),
+                    };
+                    ctx.scratch.push(Value::Int(sum));
+                    Ok(PhaseOutcome::Continue)
+                },
+                // Phase 2: sum the rest and release.
+                |ctx| {
+                    let arr = ctx.ref_arg(1)?;
+                    let sum = match ctx.heap.get(arr) {
+                        Some(HeapEntry::Arr { elems }) => elems[elems.len() / 2..]
+                            .iter()
+                            .map(|v| v.as_int().unwrap_or(0))
+                            .sum::<i64>(),
+                        _ => return Err(NativeAbort::new(92, "argument 1 must be an array")),
+                    };
+                    let half = ctx.scratch[0].as_int().unwrap_or(0);
+                    ctx.scratch[0] = Value::Int(half + sum);
+                    Ok(PhaseOutcome::ReleaseMonitor(ctx.ref_arg(0)?))
+                },
+                // Phase 3: done.
+                |ctx| Ok(PhaseOutcome::Done(Some(ctx.scratch[0]))),
+            ]),
+        });
+
+        // --- intrinsics ---
+        let intrinsics: [(&str, u8, bool, Intrinsic); 7] = [
+            ("sys.spawn", 2, false, Intrinsic::Spawn),
+            ("obj.wait", 1, false, Intrinsic::Wait),
+            ("obj.notify", 1, false, Intrinsic::Notify),
+            ("obj.notify_all", 1, false, Intrinsic::NotifyAll),
+            ("sys.sleep", 1, false, Intrinsic::Sleep),
+            ("sys.yield", 0, false, Intrinsic::Yield),
+            ("sys.gc", 0, false, Intrinsic::Gc),
+        ];
+        for (name, argc, returns, which) in intrinsics {
+            self.register(NativeDecl {
+                name: name.into(),
+                argc,
+                returns,
+                nondeterministic: false,
+                output: false,
+                creates_volatile: false,
+                kind: NativeKind::Intrinsic(which),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::World;
+
+    fn ctx_fixture() -> (Heap, SimEnv) {
+        let heap = Heap::new(100, 50);
+        let env = SimEnv::new("p", World::shared(), SimTime::ZERO, 7);
+        (heap, env)
+    }
+
+    #[test]
+    fn builtins_are_registered_with_annotations() {
+        let r = NativeRegistry::with_builtins();
+        let clock = r.lookup("sys.clock").unwrap();
+        assert!(clock.nondeterministic && !clock.output);
+        let print = r.lookup("sys.print").unwrap();
+        assert!(print.output && !print.nondeterministic);
+        let open = r.lookup("file.open").unwrap();
+        assert!(open.nondeterministic && open.creates_volatile);
+        let write = r.lookup("file.write").unwrap();
+        assert!(write.output && write.creates_volatile && write.nondeterministic);
+        assert!(matches!(r.lookup("sys.spawn").unwrap().kind, NativeKind::Intrinsic(Intrinsic::Spawn)));
+        assert!(r.lookup("no.such").is_none());
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut r = NativeRegistry::with_builtins();
+        let n = r.decls().len();
+        r.register(NativeDecl {
+            name: "sys.clock".into(),
+            argc: 0,
+            returns: true,
+            nondeterministic: false,
+            output: false,
+            creates_volatile: false,
+            kind: NativeKind::Simple(|_| Ok(Some(Value::Int(42)))),
+        });
+        assert_eq!(r.decls().len(), n);
+        assert!(!r.lookup("sys.clock").unwrap().nondeterministic);
+    }
+
+    #[test]
+    fn clock_native_reads_env() {
+        let (mut heap, mut env) = ctx_fixture();
+        env.clock_skew = SimTime::from_millis(5);
+        let mut scratch = Vec::new();
+        let mut out_args = Vec::new();
+        let mut ctx = NativeCtx {
+            heap: &mut heap,
+            env: &mut env,
+            now: SimTime::from_millis(100),
+            args: &[],
+            scratch: &mut scratch,
+            output_id: None,
+            adopted: None,
+            out_args: &mut out_args,
+        };
+        let r = NativeRegistry::with_builtins();
+        let NativeKind::Simple(f) = r.lookup("sys.clock").unwrap().kind else { panic!() };
+        assert_eq!(f(&mut ctx).unwrap(), Some(Value::Int(105)));
+    }
+
+    #[test]
+    fn fill_array_arg_records_out_args() {
+        let (mut heap, mut env) = ctx_fixture();
+        let arr = heap.alloc_array(4).unwrap();
+        let args = [Value::Ref(arr)];
+        let mut scratch = Vec::new();
+        let mut out_args = Vec::new();
+        let mut ctx = NativeCtx {
+            heap: &mut heap,
+            env: &mut env,
+            now: SimTime::ZERO,
+            args: &args,
+            scratch: &mut scratch,
+            output_id: None,
+            adopted: None,
+            out_args: &mut out_args,
+        };
+        ctx.fill_array_arg(0, b"ab").unwrap();
+        assert_eq!(out_args.len(), 1);
+        assert_eq!(out_args[0].0, 0);
+        assert_eq!(out_args[0].1[0], Value::Int(97));
+        assert_eq!(out_args[0].1[3], Value::Null, "unwritten tail preserved");
+    }
+
+    #[test]
+    fn arg_accessor_errors() {
+        let (mut heap, mut env) = ctx_fixture();
+        let args = [Value::Null];
+        let mut scratch = Vec::new();
+        let mut out_args = Vec::new();
+        let ctx = NativeCtx {
+            heap: &mut heap,
+            env: &mut env,
+            now: SimTime::ZERO,
+            args: &args,
+            scratch: &mut scratch,
+            output_id: None,
+            adopted: None,
+            out_args: &mut out_args,
+        };
+        assert_eq!(ctx.int_arg(0).unwrap_err().code, 90);
+        assert_eq!(ctx.ref_arg(0).unwrap_err().code, 91);
+        assert_eq!(ctx.int_arg(5).unwrap_err().code, 90);
+    }
+}

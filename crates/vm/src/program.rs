@@ -1,0 +1,1039 @@
+//! The program assembler and verifier.
+//!
+//! Programs are built in Rust against a small assembler API — the
+//! substitute for `javac` + classfile parsing (see `DESIGN.md` §2). The
+//! [`ProgramBuilder`] owns classes, interned strings, virtual-slot
+//! declarations and native imports; each [`MethodBuilder`] emits bytecode
+//! with forward-referencing labels. [`ProgramBuilder::build`] runs a
+//! verifier (label resolution, stack-discipline simulation, signature
+//! checks) so that workloads cannot crash the interpreter with malformed
+//! code.
+//!
+//! # Example
+//!
+//! ```
+//! use ftjvm_vm::program::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let mut m = b.method("main", 1);
+//! let done = m.new_label();
+//! m.push_i(10).store(1);          // i = 10
+//! let top = m.bind_new_label();
+//! m.load(1).if_not(done);         // while (i != 0)
+//! m.inc(1, -1).goto(top);         //   i -= 1
+//! m.bind(done);
+//! m.ret_void();
+//! let entry = m.build(&mut b);
+//! let program = b.build(entry)?;
+//! assert_eq!(program.methods.len(), 1);
+//! # Ok::<(), ftjvm_vm::program::BuildError>(())
+//! ```
+
+use crate::bytecode::{ClassId, Cmp, Insn, MethodId, NativeId, StrId, VSlot};
+use crate::class::{builtin, Class, Handler, Method, NativeImport, Program};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a program fails verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was never bound.
+    UnboundLabel {
+        /// The offending method.
+        method: String,
+    },
+    /// A branch target or handler range is outside the code array.
+    BadTarget {
+        /// The offending method.
+        method: String,
+        /// The bad instruction index.
+        target: u32,
+    },
+    /// The operand stack would underflow, or depths disagree at a join.
+    StackMismatch {
+        /// The offending method.
+        method: String,
+        /// Instruction index where the mismatch was detected.
+        pc: u32,
+        /// Explanation.
+        detail: String,
+    },
+    /// A local-variable index exceeds the method's local count.
+    BadLocal {
+        /// The offending method.
+        method: String,
+        /// Offending local index.
+        index: u16,
+    },
+    /// Control can fall off the end of the method.
+    FallsOffEnd {
+        /// The offending method.
+        method: String,
+    },
+    /// An invocation disagrees with the callee's declared signature.
+    SignatureMismatch {
+        /// The offending method.
+        method: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// A vtable entry's method does not match its slot declaration.
+    VtableMismatch {
+        /// Class name.
+        class: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// The entry point is not a one-argument static method.
+    BadEntry,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { method } => {
+                write!(f, "method `{method}` has an unbound label")
+            }
+            BuildError::BadTarget { method, target } => {
+                write!(f, "method `{method}` branches to invalid pc {target}")
+            }
+            BuildError::StackMismatch { method, pc, detail } => {
+                write!(f, "method `{method}` pc {pc}: stack discipline violated: {detail}")
+            }
+            BuildError::BadLocal { method, index } => {
+                write!(f, "method `{method}` uses out-of-range local {index}")
+            }
+            BuildError::FallsOffEnd { method } => {
+                write!(f, "method `{method}` can fall off the end of its code")
+            }
+            BuildError::SignatureMismatch { method, detail } => {
+                write!(f, "method `{method}`: {detail}")
+            }
+            BuildError::VtableMismatch { class, detail } => {
+                write!(f, "class `{class}`: {detail}")
+            }
+            BuildError::BadEntry => f.write_str("entry point must be a static method of one argument"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// An unbound or bound jump target inside a [`MethodBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone)]
+struct VSlotDecl {
+    name: String,
+    argc: u8,
+    returns: bool,
+}
+
+/// Builds a [`Program`]: registry of classes, methods, strings, virtual
+/// slots and native imports.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    classes: Vec<Class>,
+    methods: Vec<Option<Method>>,
+    method_names: Vec<String>,
+    strings: Vec<String>,
+    vslots: Vec<VSlotDecl>,
+    native_imports: Vec<NativeImport>,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates a builder with the builtin classes (`Object`, `Throwable`,
+    /// `RuntimeException`, `SoftRef`) pre-registered.
+    pub fn new() -> Self {
+        let mut b = ProgramBuilder {
+            classes: Vec::new(),
+            methods: Vec::new(),
+            method_names: Vec::new(),
+            strings: Vec::new(),
+            vslots: Vec::new(),
+            native_imports: Vec::new(),
+        };
+        let object = b.add_root_class("java/lang/Object");
+        debug_assert_eq!(object, builtin::OBJECT);
+        let throwable = b.add_class("java/lang/Throwable", object, 1, 0);
+        debug_assert_eq!(throwable, builtin::THROWABLE);
+        let rte = b.add_class("java/lang/RuntimeException", throwable, 0, 0);
+        debug_assert_eq!(rte, builtin::RUNTIME_EXCEPTION);
+        let soft = b.add_class("java/lang/SoftReference", object, 1, 0);
+        debug_assert_eq!(soft, builtin::SOFT_REF);
+        b
+    }
+
+    fn add_root_class(&mut self, name: &str) -> ClassId {
+        let id = ClassId(self.classes.len() as u16);
+        self.classes.push(Class {
+            name: name.to_string(),
+            id,
+            super_class: None,
+            n_fields: 0,
+            n_statics: 0,
+            vtable: Vec::new(),
+            finalizer: None,
+        });
+        id
+    }
+
+    /// Registers a class extending `super_class` with `own_fields` new
+    /// instance fields (slots continue after the inherited ones) and
+    /// `n_statics` static slots.
+    pub fn add_class(
+        &mut self,
+        name: &str,
+        super_class: ClassId,
+        own_fields: u16,
+        n_statics: u16,
+    ) -> ClassId {
+        let id = ClassId(self.classes.len() as u16);
+        let sup = &self.classes[super_class.0 as usize];
+        let n_fields = sup.n_fields + own_fields;
+        let vtable = sup.vtable.clone();
+        self.classes.push(Class {
+            name: name.to_string(),
+            id,
+            super_class: Some(super_class),
+            n_fields,
+            n_statics,
+            vtable,
+            finalizer: None,
+        });
+        id
+    }
+
+    /// First instance-field slot owned by `class` itself (after inherited
+    /// slots).
+    pub fn first_own_field(&self, class: ClassId) -> u16 {
+        match self.classes[class.0 as usize].super_class {
+            Some(s) => self.classes[s.0 as usize].n_fields,
+            None => 0,
+        }
+    }
+
+    /// Declares a virtual-method slot with a fixed signature shared by all
+    /// overrides. `argc` includes the receiver.
+    pub fn declare_vslot(&mut self, name: &str, argc: u8, returns: bool) -> VSlot {
+        assert!(argc >= 1, "virtual methods take at least the receiver");
+        let slot = VSlot(self.vslots.len() as u16);
+        self.vslots.push(VSlotDecl { name: name.to_string(), argc, returns });
+        slot
+    }
+
+    /// Installs `method` as `class`'s implementation of `slot`.
+    /// Subclasses registered *after* this call inherit the entry.
+    pub fn set_vtable(&mut self, class: ClassId, slot: VSlot, method: MethodId) {
+        let table = &mut self.classes[class.0 as usize].vtable;
+        if table.len() <= slot.0 as usize {
+            table.resize(slot.0 as usize + 1, None);
+        }
+        table[slot.0 as usize] = Some(method);
+    }
+
+    /// Sets `class`'s finalizer (a one-argument method receiving the dying
+    /// object; run on the finalizer system thread).
+    pub fn set_finalizer(&mut self, class: ClassId, method: MethodId) {
+        self.classes[class.0 as usize].finalizer = Some(method);
+    }
+
+    /// Interns a string constant for use with `const_str`.
+    pub fn intern(&mut self, s: &str) -> StrId {
+        if let Some(i) = self.strings.iter().position(|x| x == s) {
+            return StrId(i as u32);
+        }
+        let id = StrId(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        id
+    }
+
+    /// Declares a native import with the given signature; the id is used
+    /// with `invoke_native` and resolved against the registry at VM start.
+    pub fn import_native(&mut self, name: &str, argc: u8, returns: bool) -> NativeId {
+        if let Some(i) = self.native_imports.iter().position(|n| n.name == name) {
+            let existing = &self.native_imports[i];
+            assert!(
+                existing.argc == argc && existing.returns == returns,
+                "conflicting import signatures for native `{name}`"
+            );
+            return NativeId(i as u32);
+        }
+        let id = NativeId(self.native_imports.len() as u32);
+        self.native_imports.push(NativeImport { name: name.to_string(), argc, returns });
+        id
+    }
+
+    /// Starts a new method, reserving its [`MethodId`] immediately so that
+    /// mutually recursive methods can reference each other before their
+    /// bodies are built.
+    pub fn method(&mut self, name: &str, n_args: u8) -> MethodBuilder {
+        let id = MethodId(self.methods.len() as u32);
+        self.methods.push(None);
+        self.method_names.push(name.to_string());
+        MethodBuilder::new(id, name, n_args)
+    }
+
+    fn define(&mut self, m: Method) {
+        let idx = m.id.0 as usize;
+        self.methods[idx] = Some(m);
+    }
+
+    /// Verifies everything and produces the immutable [`Program`].
+    ///
+    /// # Errors
+    /// Returns a [`BuildError`] describing the first verification failure.
+    pub fn build(self, entry: MethodId) -> Result<Program, BuildError> {
+        let methods: Vec<Method> = self
+            .methods
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| {
+                m.unwrap_or_else(|| panic!("method `{}` declared but never built", self.method_names[i]))
+            })
+            .collect();
+        let program = Program {
+            classes: self.classes,
+            methods,
+            strings: self.strings,
+            native_imports: self.native_imports,
+            entry,
+        };
+        verify(&program, &self.vslots)?;
+        Ok(program)
+    }
+}
+
+enum Emit {
+    Insn(Insn),
+    /// Placeholder branch: opcode kind + label to resolve.
+    Branch(BranchKind, Label),
+}
+
+#[derive(Clone, Copy)]
+enum BranchKind {
+    Goto,
+    If,
+    IfNot,
+    IfNull,
+}
+
+struct PendingHandler {
+    start: Label,
+    end: Label,
+    class: Option<ClassId>,
+    target: Label,
+}
+
+/// Emits the bytecode of one method. Obtain via [`ProgramBuilder::method`];
+/// finish with [`MethodBuilder::build`].
+pub struct MethodBuilder {
+    id: MethodId,
+    name: String,
+    n_args: u8,
+    max_local: u16,
+    synchronized: bool,
+    is_static: bool,
+    class: Option<ClassId>,
+    code: Vec<Emit>,
+    labels: Vec<Option<u32>>,
+    handlers: Vec<PendingHandler>,
+}
+
+impl MethodBuilder {
+    fn new(id: MethodId, name: &str, n_args: u8) -> Self {
+        MethodBuilder {
+            id,
+            name: name.to_string(),
+            n_args,
+            max_local: n_args.max(1) as u16,
+            synchronized: false,
+            is_static: true,
+            class: None,
+            code: Vec::new(),
+            labels: Vec::new(),
+            handlers: Vec::new(),
+        }
+    }
+
+    /// The id reserved for this method.
+    pub fn id(&self) -> MethodId {
+        self.id
+    }
+
+    /// Marks the method `synchronized` (locks the receiver, which must be
+    /// argument 0 of an instance method).
+    pub fn synchronized(&mut self) -> &mut Self {
+        self.synchronized = true;
+        self
+    }
+
+    /// Marks the method as an instance method of `class` (argument 0 is the
+    /// receiver).
+    pub fn instance_of(&mut self, class: ClassId) -> &mut Self {
+        self.is_static = false;
+        self.class = Some(class);
+        self
+    }
+
+    /// Associates a static method with a class (used by synchronized
+    /// statics, which lock the class object).
+    pub fn static_of(&mut self, class: ClassId) -> &mut Self {
+        self.is_static = true;
+        self.class = Some(class);
+        self
+    }
+
+    /// Creates an unbound label for forward references.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        self.labels[label.0] = Some(self.code.len() as u32);
+        self
+    }
+
+    /// Creates a label bound to the next emitted instruction.
+    pub fn bind_new_label(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Registers an exception handler covering `[start, end)` that jumps to
+    /// `target` with the thrown object on the stack. `class: None` catches
+    /// all throwables.
+    pub fn handler(&mut self, start: Label, end: Label, class: Option<ClassId>, target: Label) -> &mut Self {
+        self.handlers.push(PendingHandler { start, end, class, target });
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Insn) -> &mut Self {
+        if let Insn::Load(n) | Insn::Store(n) | Insn::Inc(n, _) = i {
+            self.max_local = self.max_local.max(n + 1);
+        }
+        self.code.push(Emit::Insn(i));
+        self
+    }
+
+    // --- convenience emitters ---
+
+    /// Push an integer constant.
+    pub fn push_i(&mut self, v: i64) -> &mut Self {
+        self.emit(Insn::Const(v))
+    }
+    /// Push a double constant.
+    pub fn push_d(&mut self, v: f64) -> &mut Self {
+        self.emit(Insn::DConst(v))
+    }
+    /// Push `null`.
+    pub fn push_null(&mut self) -> &mut Self {
+        self.emit(Insn::ConstNull)
+    }
+    /// Push a fresh byte array holding the interned string.
+    pub fn const_str(&mut self, s: StrId) -> &mut Self {
+        self.emit(Insn::ConstStr(s))
+    }
+    /// Duplicate the top of stack.
+    pub fn dup(&mut self) -> &mut Self {
+        self.emit(Insn::Dup)
+    }
+    /// Duplicate under the top (`a b -> a b a`).
+    pub fn dup_x1(&mut self) -> &mut Self {
+        self.emit(Insn::DupX1)
+    }
+    /// Discard the top of stack.
+    pub fn pop(&mut self) -> &mut Self {
+        self.emit(Insn::Pop)
+    }
+    /// Swap the top two slots.
+    pub fn swap(&mut self) -> &mut Self {
+        self.emit(Insn::Swap)
+    }
+    /// Push local `n`.
+    pub fn load(&mut self, n: u16) -> &mut Self {
+        self.emit(Insn::Load(n))
+    }
+    /// Pop into local `n`.
+    pub fn store(&mut self, n: u16) -> &mut Self {
+        self.emit(Insn::Store(n))
+    }
+    /// Add `delta` to integer local `n`.
+    pub fn inc(&mut self, n: u16, delta: i32) -> &mut Self {
+        self.emit(Insn::Inc(n, delta))
+    }
+    /// Integer add.
+    pub fn add(&mut self) -> &mut Self {
+        self.emit(Insn::Add)
+    }
+    /// Integer subtract.
+    pub fn sub(&mut self) -> &mut Self {
+        self.emit(Insn::Sub)
+    }
+    /// Integer multiply.
+    pub fn mul(&mut self) -> &mut Self {
+        self.emit(Insn::Mul)
+    }
+    /// Integer divide.
+    pub fn div(&mut self) -> &mut Self {
+        self.emit(Insn::Div)
+    }
+    /// Integer remainder.
+    pub fn rem(&mut self) -> &mut Self {
+        self.emit(Insn::Rem)
+    }
+    /// Bitwise and.
+    pub fn band(&mut self) -> &mut Self {
+        self.emit(Insn::And)
+    }
+    /// Bitwise or.
+    pub fn bor(&mut self) -> &mut Self {
+        self.emit(Insn::Or)
+    }
+    /// Bitwise xor.
+    pub fn bxor(&mut self) -> &mut Self {
+        self.emit(Insn::Xor)
+    }
+    /// Shift left.
+    pub fn shl(&mut self) -> &mut Self {
+        self.emit(Insn::Shl)
+    }
+    /// Arithmetic shift right.
+    pub fn shr(&mut self) -> &mut Self {
+        self.emit(Insn::Shr)
+    }
+    /// Compare two ints, pushing 0/1.
+    pub fn icmp(&mut self, c: Cmp) -> &mut Self {
+        self.emit(Insn::ICmp(c))
+    }
+    /// Compare two doubles, pushing 0/1.
+    pub fn dcmp(&mut self, c: Cmp) -> &mut Self {
+        self.emit(Insn::DCmp(c))
+    }
+    /// Unconditional jump.
+    pub fn goto(&mut self, l: Label) -> &mut Self {
+        self.code.push(Emit::Branch(BranchKind::Goto, l));
+        self
+    }
+    /// Pop; jump if truthy.
+    pub fn if_true(&mut self, l: Label) -> &mut Self {
+        self.code.push(Emit::Branch(BranchKind::If, l));
+        self
+    }
+    /// Pop; jump if falsy.
+    pub fn if_not(&mut self, l: Label) -> &mut Self {
+        self.code.push(Emit::Branch(BranchKind::IfNot, l));
+        self
+    }
+    /// Pop; jump if `null`.
+    pub fn if_null(&mut self, l: Label) -> &mut Self {
+        self.code.push(Emit::Branch(BranchKind::IfNull, l));
+        self
+    }
+    /// Call a static method.
+    pub fn invoke(&mut self, m: MethodId) -> &mut Self {
+        self.emit(Insn::InvokeStatic(m))
+    }
+    /// Call through a vtable slot; `argc` includes the receiver.
+    pub fn invoke_virtual(&mut self, slot: VSlot, argc: u8) -> &mut Self {
+        self.emit(Insn::InvokeVirtual(slot, argc))
+    }
+    /// Call a native import.
+    pub fn invoke_native(&mut self, n: NativeId, argc: u8) -> &mut Self {
+        self.emit(Insn::InvokeNative(n, argc))
+    }
+    /// Return void.
+    pub fn ret_void(&mut self) -> &mut Self {
+        self.emit(Insn::Ret)
+    }
+    /// Return the top of stack.
+    pub fn ret_val(&mut self) -> &mut Self {
+        self.emit(Insn::RetVal)
+    }
+    /// Allocate an instance.
+    pub fn new_obj(&mut self, c: ClassId) -> &mut Self {
+        self.emit(Insn::New(c))
+    }
+    /// Pop object; push its field `slot`.
+    pub fn get_field(&mut self, slot: u16) -> &mut Self {
+        self.emit(Insn::GetField(slot))
+    }
+    /// Pop value then object; store field `slot`.
+    pub fn put_field(&mut self, slot: u16) -> &mut Self {
+        self.emit(Insn::PutField(slot))
+    }
+    /// Push a static field.
+    pub fn get_static(&mut self, c: ClassId, slot: u16) -> &mut Self {
+        self.emit(Insn::GetStatic(c, slot))
+    }
+    /// Pop into a static field.
+    pub fn put_static(&mut self, c: ClassId, slot: u16) -> &mut Self {
+        self.emit(Insn::PutStatic(c, slot))
+    }
+    /// Push the per-class lock object of `c`.
+    pub fn class_obj(&mut self, c: ClassId) -> &mut Self {
+        self.emit(Insn::ClassObj(c))
+    }
+    /// Push a method id as an integer (for `sys.spawn`).
+    pub fn push_method(&mut self, m: MethodId) -> &mut Self {
+        self.emit(Insn::Const(m.0 as i64))
+    }
+    /// Pop length; allocate and push an array.
+    pub fn new_array(&mut self) -> &mut Self {
+        self.emit(Insn::NewArray)
+    }
+    /// Pop index, array; push element.
+    pub fn aload(&mut self) -> &mut Self {
+        self.emit(Insn::ALoad)
+    }
+    /// Pop value, index, array; store element.
+    pub fn astore(&mut self) -> &mut Self {
+        self.emit(Insn::AStore)
+    }
+    /// Pop array; push length.
+    pub fn alen(&mut self) -> &mut Self {
+        self.emit(Insn::ALen)
+    }
+    /// Pop object; acquire its monitor.
+    pub fn monitor_enter(&mut self) -> &mut Self {
+        self.emit(Insn::MonitorEnter)
+    }
+    /// Pop object; release its monitor.
+    pub fn monitor_exit(&mut self) -> &mut Self {
+        self.emit(Insn::MonitorExit)
+    }
+    /// Pop a throwable and raise it.
+    pub fn throw(&mut self) -> &mut Self {
+        self.emit(Insn::Throw)
+    }
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Insn::Nop)
+    }
+
+    /// Resolves labels and registers the method with the builder.
+    ///
+    /// # Panics
+    /// Panics if a label referenced by a branch or handler was never bound
+    /// (a builder bug in the caller); semantic errors are reported later by
+    /// [`ProgramBuilder::build`].
+    pub fn build(self, b: &mut ProgramBuilder) -> MethodId {
+        let resolve = |l: Label| -> u32 {
+            self.labels[l.0].unwrap_or_else(|| panic!("method `{}`: unbound label {:?}", self.name, l))
+        };
+        let code: Vec<Insn> = self
+            .code
+            .iter()
+            .map(|e| match e {
+                Emit::Insn(i) => *i,
+                Emit::Branch(kind, l) => {
+                    let t = resolve(*l);
+                    match kind {
+                        BranchKind::Goto => Insn::Goto(t),
+                        BranchKind::If => Insn::If(t),
+                        BranchKind::IfNot => Insn::IfNot(t),
+                        BranchKind::IfNull => Insn::IfNull(t),
+                    }
+                }
+            })
+            .collect();
+        let handlers: Vec<Handler> = self
+            .handlers
+            .iter()
+            .map(|h| Handler {
+                start: resolve(h.start),
+                end: resolve(h.end),
+                class: h.class,
+                target: resolve(h.target),
+            })
+            .collect();
+        let returns = code.iter().any(|i| matches!(i, Insn::RetVal));
+        let m = Method {
+            id: self.id,
+            name: self.name,
+            class: self.class,
+            n_args: self.n_args,
+            n_locals: self.max_local.max(self.n_args as u16),
+            returns,
+            synchronized: self.synchronized,
+            is_static: self.is_static,
+            code,
+            handlers,
+        };
+        let id = m.id;
+        b.define(m);
+        id
+    }
+}
+
+/// Signature (argc, returns) of any invocable thing, used by the verifier's
+/// stack simulation.
+fn invoke_sig(program: &Program, vslots: &[VSlotDecl], i: &Insn) -> Option<(u8, bool)> {
+    match i {
+        Insn::InvokeStatic(m) => {
+            let m = program.method(*m);
+            Some((m.n_args, m.returns))
+        }
+        Insn::InvokeVirtual(slot, argc) => {
+            let d = &vslots[slot.0 as usize];
+            debug_assert_eq!(d.argc, *argc);
+            Some((*argc, d.returns))
+        }
+        Insn::InvokeNative(n, argc) => {
+            let d = &program.native_imports[n.0 as usize];
+            debug_assert_eq!(d.argc, *argc);
+            Some((*argc, d.returns))
+        }
+        _ => None,
+    }
+}
+
+fn verify(program: &Program, vslots: &[VSlotDecl]) -> Result<(), BuildError> {
+    // Entry point shape.
+    let entry = program.method(program.entry);
+    if !entry.is_static || entry.n_args != 1 {
+        return Err(BuildError::BadEntry);
+    }
+    // Vtable entries match slot declarations.
+    for c in &program.classes {
+        for (slot, m) in c.vtable.iter().enumerate() {
+            let Some(mid) = m else { continue };
+            let m = program.method(*mid);
+            let d = &vslots[slot];
+            if m.n_args != d.argc || m.returns != d.returns || m.is_static {
+                return Err(BuildError::VtableMismatch {
+                    class: c.name.clone(),
+                    detail: format!(
+                        "slot {} (`{}`) expects ({} args, returns={}), method `{}` has ({}, {})",
+                        slot, d.name, d.argc, d.returns, m.name, m.n_args, m.returns
+                    ),
+                });
+            }
+        }
+    }
+    for m in &program.methods {
+        verify_method(program, vslots, m)?;
+    }
+    Ok(())
+}
+
+fn verify_method(program: &Program, vslots: &[VSlotDecl], m: &Method) -> Result<(), BuildError> {
+    let name = m.name.clone();
+    let len = m.code.len() as u32;
+    if m.synchronized && m.is_static && m.class.is_none() {
+        return Err(BuildError::SignatureMismatch {
+            method: name,
+            detail: "synchronized static method needs a declaring class".into(),
+        });
+    }
+    if m.synchronized && !m.is_static && m.n_args == 0 {
+        return Err(BuildError::SignatureMismatch {
+            method: name,
+            detail: "synchronized instance method needs a receiver argument".into(),
+        });
+    }
+    // Branch targets, local indices, invoke argument checks.
+    for (pc, i) in m.code.iter().enumerate() {
+        if let Some(t) = i.branch_target() {
+            if t >= len {
+                return Err(BuildError::BadTarget { method: name.clone(), target: t });
+            }
+        }
+        match i {
+            Insn::Load(n) | Insn::Store(n) | Insn::Inc(n, _) if *n >= m.n_locals => {
+                return Err(BuildError::BadLocal { method: name.clone(), index: *n });
+            }
+            Insn::InvokeVirtual(slot, argc)
+                if slot.0 as usize >= vslots.len() || vslots[slot.0 as usize].argc != *argc =>
+            {
+                return Err(BuildError::SignatureMismatch {
+                    method: name.clone(),
+                    detail: format!("pc {pc}: virtual call arg count mismatch"),
+                });
+            }
+            Insn::InvokeNative(n, argc) => {
+                let d = program
+                    .native_imports
+                    .get(n.0 as usize)
+                    .ok_or_else(|| BuildError::SignatureMismatch {
+                        method: name.clone(),
+                        detail: format!("pc {pc}: unknown native import"),
+                    })?;
+                if d.argc != *argc {
+                    return Err(BuildError::SignatureMismatch {
+                        method: name.clone(),
+                        detail: format!("pc {pc}: native `{}` takes {} args, call passes {argc}", d.name, d.argc),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    for h in &m.handlers {
+        if h.start > h.end || h.end > len || h.target >= len {
+            return Err(BuildError::BadTarget { method: name.clone(), target: h.target });
+        }
+    }
+    // Abstract stack-depth simulation.
+    let mut depth_at: Vec<Option<i32>> = vec![None; m.code.len()];
+    let mut work: VecDeque<(u32, i32)> = VecDeque::new();
+    if !m.code.is_empty() {
+        work.push_back((0, 0));
+    } else {
+        return Err(BuildError::FallsOffEnd { method: name });
+    }
+    for h in &m.handlers {
+        work.push_back((h.target, 1));
+    }
+    while let Some((pc, depth)) = work.pop_front() {
+        match depth_at[pc as usize] {
+            Some(d) if d == depth => continue,
+            Some(d) => {
+                return Err(BuildError::StackMismatch {
+                    method: name,
+                    pc,
+                    detail: format!("join with depth {d} vs {depth}"),
+                });
+            }
+            None => depth_at[pc as usize] = Some(depth),
+        }
+        let i = &m.code[pc as usize];
+        let (pops, pushes) = match invoke_sig(program, vslots, i) {
+            Some((argc, returns)) => (argc as i32, returns as i32),
+            None => match i {
+                Insn::Ret => {
+                    if depth != 0 {
+                        return Err(BuildError::StackMismatch {
+                            method: name,
+                            pc,
+                            detail: format!("void return with {depth} values on stack"),
+                        });
+                    }
+                    continue;
+                }
+                Insn::RetVal => {
+                    if depth != 1 {
+                        return Err(BuildError::StackMismatch {
+                            method: name,
+                            pc,
+                            detail: format!("value return with stack depth {depth} (expected 1)"),
+                        });
+                    }
+                    continue;
+                }
+                Insn::Throw => {
+                    if depth < 1 {
+                        return Err(BuildError::StackMismatch {
+                            method: name,
+                            pc,
+                            detail: "throw with empty stack".into(),
+                        });
+                    }
+                    continue;
+                }
+                _ => {
+                    let delta = i.stack_delta().expect("non-invoke insns have static deltas");
+                    // Split delta into pops/pushes pessimistically for
+                    // underflow detection.
+                    let pops = match i {
+                        Insn::Dup => 1,
+                        Insn::DupX1 => 2,
+                        Insn::Swap => 2,
+                        Insn::GetField(_) | Insn::Neg | Insn::I2D | Insn::D2I | Insn::NewArray | Insn::ALen => 1,
+                        Insn::ALoad => 2,
+                        _ if delta < 0 => -delta,
+                        _ => 0,
+                    };
+                    (pops, delta + pops)
+                }
+            },
+        };
+        if depth < pops {
+            return Err(BuildError::StackMismatch {
+                method: name,
+                pc,
+                detail: format!("needs {pops} operands, stack has {depth}"),
+            });
+        }
+        let next_depth = depth - pops + pushes;
+        // Successors.
+        let push_succ = |target: u32, d: i32, work: &mut VecDeque<(u32, i32)>| -> Result<(), BuildError> {
+            if target >= len {
+                return Err(BuildError::FallsOffEnd { method: name.clone() });
+            }
+            work.push_back((target, d));
+            Ok(())
+        };
+        match i {
+            Insn::Goto(t) => push_succ(*t, next_depth, &mut work)?,
+            Insn::If(t) | Insn::IfNot(t) | Insn::IfNull(t) => {
+                push_succ(*t, next_depth, &mut work)?;
+                push_succ(pc + 1, next_depth, &mut work)?;
+            }
+            _ => push_succ(pc + 1, next_depth, &mut work)?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_entry(b: &mut ProgramBuilder) -> MethodId {
+        let mut m = b.method("main", 1);
+        m.ret_void();
+        m.build(b)
+    }
+
+    #[test]
+    fn builds_trivial_program() {
+        let mut b = ProgramBuilder::new();
+        let entry = trivial_entry(&mut b);
+        let p = b.build(entry).unwrap();
+        assert_eq!(p.entry, entry);
+        assert_eq!(p.classes.len(), builtin::COUNT as usize);
+    }
+
+    #[test]
+    fn rejects_non_static_entry() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", builtin::OBJECT, 0, 0);
+        let mut m = b.method("main", 1);
+        m.instance_of(cls).ret_void();
+        let entry = m.build(&mut b);
+        assert_eq!(b.build(entry).unwrap_err(), BuildError::BadEntry);
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let mut b = ProgramBuilder::new();
+        let mut m = b.method("main", 1);
+        m.add().ret_void(); // add with empty stack
+        let entry = m.build(&mut b);
+        assert!(matches!(b.build(entry).unwrap_err(), BuildError::StackMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_unbalanced_return() {
+        let mut b = ProgramBuilder::new();
+        let mut m = b.method("main", 1);
+        m.push_i(1).ret_void(); // leftover value
+        let entry = m.build(&mut b);
+        assert!(matches!(b.build(entry).unwrap_err(), BuildError::StackMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let mut b = ProgramBuilder::new();
+        let mut m = b.method("main", 1);
+        m.push_i(1).pop();
+        let entry = m.build(&mut b);
+        assert!(matches!(b.build(entry).unwrap_err(), BuildError::FallsOffEnd { .. }));
+    }
+
+    #[test]
+    fn rejects_inconsistent_join_depths() {
+        let mut b = ProgramBuilder::new();
+        let mut m = b.method("main", 1);
+        let join = m.new_label();
+        let alt = m.new_label();
+        m.load(0).if_true(alt);
+        m.push_i(1); // depth 1 at join
+        m.goto(join);
+        m.bind(alt); // depth 0 at join
+        m.bind(join);
+        m.pop().ret_void();
+        let entry = m.build(&mut b);
+        assert!(matches!(b.build(entry).unwrap_err(), BuildError::StackMismatch { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn panics_on_unbound_label() {
+        let mut b = ProgramBuilder::new();
+        let mut m = b.method("main", 1);
+        let l = m.new_label();
+        m.goto(l).ret_void();
+        let _ = m.build(&mut b);
+    }
+
+    #[test]
+    fn loop_with_labels_verifies() {
+        let mut b = ProgramBuilder::new();
+        let mut m = b.method("main", 1);
+        let done = m.new_label();
+        m.push_i(10).store(1);
+        let top = m.bind_new_label();
+        m.load(1).if_not(done);
+        m.inc(1, -1).goto(top);
+        m.bind(done).ret_void();
+        let entry = m.build(&mut b);
+        let p = b.build(entry).unwrap();
+        assert!(p.method(entry).n_locals >= 2);
+    }
+
+    #[test]
+    fn string_interning_dedups() {
+        let mut b = ProgramBuilder::new();
+        let a = b.intern("x");
+        let c = b.intern("y");
+        let a2 = b.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn native_import_dedups_and_checks() {
+        let mut b = ProgramBuilder::new();
+        let n1 = b.import_native("sys.clock", 0, true);
+        let n2 = b.import_native("sys.clock", 0, true);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn vtable_mismatch_detected() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("C", builtin::OBJECT, 0, 0);
+        let slot = b.declare_vslot("run", 1, false);
+        let mut m = b.method("run_bad", 2); // wrong arg count for slot
+        m.instance_of(c).ret_void();
+        let bad = m.build(&mut b);
+        b.set_vtable(c, slot, bad);
+        let entry = trivial_entry(&mut b);
+        assert!(matches!(b.build(entry).unwrap_err(), BuildError::VtableMismatch { .. }));
+    }
+
+    #[test]
+    fn handler_entry_has_depth_one() {
+        let mut b = ProgramBuilder::new();
+        let mut m = b.method("main", 1);
+        let try_start = m.new_label();
+        let try_end = m.new_label();
+        let catch = m.new_label();
+        let done = m.new_label();
+        m.bind(try_start);
+        m.push_i(1).push_i(0).div().pop();
+        m.bind(try_end);
+        m.goto(done);
+        m.bind(catch);
+        m.pop(); // discard exception
+        m.bind(done);
+        m.ret_void();
+        m.handler(try_start, try_end, None, catch);
+        let entry = m.build(&mut b);
+        assert!(b.build(entry).is_ok());
+    }
+}

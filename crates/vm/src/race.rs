@@ -1,0 +1,275 @@
+//! An Eraser-style lockset data-race detector.
+//!
+//! Replicated lock synchronization is only correct for race-free programs
+//! (restriction R4A); the paper suggests verifying R4A with a dynamic race
+//! detector in the style of Eraser (its citation [6]) rather than fixing
+//! races by hand after replay breaks. This module implements the classic
+//! lockset algorithm over the VM's shared locations — static fields,
+//! object fields, and arrays — using the Eraser state machine:
+//!
+//! ```text
+//! Virgin ──first access──▶ Exclusive(t)
+//! Exclusive ──access by another thread──▶ Shared (read) / SharedModified (write)
+//! Shared ──write──▶ SharedModified
+//! Shared*/SharedModified: lockset ∩= locks held at each access
+//! SharedModified with empty lockset ⇒ race reported (once per location)
+//! ```
+//!
+//! Enable it with [`crate::exec::VmConfig::race_detect`]; findings appear
+//! in [`crate::exec::RunReport::races`]. The detector is a *verifier* for
+//! R4A, not part of replica coordination — it runs on an unreplicated VM.
+
+use crate::bytecode::ClassId;
+use crate::thread::ThreadIdx;
+use crate::value::ObjRef;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A shared memory location, at the granularity Eraser-style detection
+/// needs: one entry per static slot, per object field, and per array
+/// (whole-array granularity — fine for verifying R4A, which is about
+/// locking discipline, not element-level precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// A static field: (class, slot).
+    Static(ClassId, u16),
+    /// An instance field: (object, slot).
+    Field(ObjRef, u16),
+    /// Any element of an array object.
+    Array(ObjRef),
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::Static(c, s) => write!(f, "static class#{}.{s}", c.0),
+            Loc::Field(o, s) => write!(f, "{o}.{s}"),
+            Loc::Array(o) => write!(f, "{o}[*]"),
+        }
+    }
+}
+
+/// Kind of access that completed a race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// A read.
+    Read,
+    /// A write.
+    Write,
+}
+
+/// One reported race: the first access that emptied the candidate lockset
+/// of a shared-modified location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The racy location.
+    pub loc: Loc,
+    /// The accessing thread.
+    pub thread: ThreadIdx,
+    /// Read or write.
+    pub access: Access,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "data race: {} {} by thread {} with empty lockset (R4A violation)",
+            match self.access {
+                Access::Read => "read of",
+                Access::Write => "write to",
+            },
+            self.loc,
+            self.thread
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+enum LocState {
+    /// Only one thread has touched the location.
+    Exclusive(ThreadIdx),
+    /// Multiple readers, no post-sharing write yet.
+    Shared(HashSet<ObjRef>),
+    /// Written after becoming shared; an empty lockset here is a race.
+    SharedModified(HashSet<ObjRef>),
+}
+
+/// The lockset detector.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    state: HashMap<Loc, LocState>,
+    reported: HashSet<Loc>,
+    /// All races found, in discovery order.
+    pub reports: Vec<RaceReport>,
+}
+
+impl RaceDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        RaceDetector::default()
+    }
+
+    /// Records one access by `t` while holding `held` monitors.
+    pub fn on_access(&mut self, loc: Loc, t: ThreadIdx, held: &[ObjRef], is_write: bool) {
+        let entry = self.state.entry(loc);
+        let state = entry.or_insert(LocState::Exclusive(t));
+        match state {
+            LocState::Exclusive(owner) => {
+                if *owner == t {
+                    return; // still thread-local
+                }
+                // Second thread: initialize the candidate lockset from the
+                // locks held right now.
+                let lockset: HashSet<ObjRef> = held.iter().copied().collect();
+                *state = if is_write {
+                    LocState::SharedModified(lockset)
+                } else {
+                    LocState::Shared(lockset)
+                };
+                self.check(loc, t, is_write);
+            }
+            LocState::Shared(lockset) => {
+                lockset.retain(|l| held.contains(l));
+                if is_write {
+                    let ls = lockset.clone();
+                    *state = LocState::SharedModified(ls);
+                }
+                self.check(loc, t, is_write);
+            }
+            LocState::SharedModified(lockset) => {
+                lockset.retain(|l| held.contains(l));
+                self.check(loc, t, is_write);
+            }
+        }
+    }
+
+    fn check(&mut self, loc: Loc, t: ThreadIdx, is_write: bool) {
+        let racy = matches!(self.state.get(&loc), Some(LocState::SharedModified(ls)) if ls.is_empty());
+        if racy && self.reported.insert(loc) {
+            self.reports.push(RaceReport {
+                loc,
+                thread: t,
+                access: if is_write { Access::Write } else { Access::Read },
+            });
+        }
+    }
+
+    /// Drops state for heap objects freed by the collector (their slots
+    /// may be reused for unrelated objects).
+    pub fn retain_live(&mut self, is_live: impl Fn(ObjRef) -> bool) {
+        self.state.retain(|loc, _| match loc {
+            Loc::Static(..) => true,
+            Loc::Field(o, _) | Loc::Array(o) => is_live(*o),
+        });
+    }
+
+    /// Number of distinct racy locations found.
+    pub fn race_count(&self) -> usize {
+        self.reports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> ThreadIdx {
+        ThreadIdx(n)
+    }
+    fn lock(n: usize) -> ObjRef {
+        ObjRef::from_index(n)
+    }
+
+    #[test]
+    fn thread_local_access_never_reports() {
+        let mut d = RaceDetector::new();
+        let loc = Loc::Static(ClassId(1), 0);
+        for _ in 0..100 {
+            d.on_access(loc, t(1), &[], true);
+        }
+        assert_eq!(d.race_count(), 0);
+    }
+
+    #[test]
+    fn consistently_locked_access_never_reports() {
+        let mut d = RaceDetector::new();
+        let loc = Loc::Field(ObjRef::from_index(9), 2);
+        for round in 0..50 {
+            let th = t(round % 3);
+            d.on_access(loc, th, &[lock(7)], round % 2 == 0);
+        }
+        assert_eq!(d.race_count(), 0);
+    }
+
+    #[test]
+    fn unlocked_shared_write_reports_once() {
+        let mut d = RaceDetector::new();
+        let loc = Loc::Static(ClassId(1), 0);
+        d.on_access(loc, t(1), &[], true); // exclusive
+        d.on_access(loc, t(2), &[], true); // shared-modified, empty lockset
+        d.on_access(loc, t(1), &[], true); // still racy — but reported once
+        assert_eq!(d.race_count(), 1);
+        assert_eq!(d.reports[0].thread, t(2));
+        assert_eq!(d.reports[0].access, Access::Write);
+    }
+
+    #[test]
+    fn read_shared_without_locks_is_fine_until_written() {
+        let mut d = RaceDetector::new();
+        let loc = Loc::Array(ObjRef::from_index(4));
+        d.on_access(loc, t(1), &[], false);
+        d.on_access(loc, t(2), &[], false);
+        d.on_access(loc, t(3), &[], false);
+        assert_eq!(d.race_count(), 0, "read-only sharing needs no locks");
+        d.on_access(loc, t(2), &[], true);
+        assert_eq!(d.race_count(), 1);
+    }
+
+    #[test]
+    fn lockset_refines_to_common_lock() {
+        let mut d = RaceDetector::new();
+        let loc = Loc::Static(ClassId(2), 1);
+        d.on_access(loc, t(1), &[lock(1), lock(2)], true);
+        d.on_access(loc, t(2), &[lock(2), lock(3)], true); // ∩ = {2}
+        assert_eq!(d.race_count(), 0);
+        d.on_access(loc, t(1), &[lock(2)], true); // still {2}
+        assert_eq!(d.race_count(), 0);
+        d.on_access(loc, t(2), &[lock(3)], true); // ∩ = {} -> race
+        assert_eq!(d.race_count(), 1);
+    }
+
+    #[test]
+    fn inconsistent_then_consistent_still_counts_the_violation() {
+        // Eraser semantics: once the lockset empties, the discipline was
+        // violated even if later accesses are locked.
+        let mut d = RaceDetector::new();
+        let loc = Loc::Static(ClassId(1), 3);
+        d.on_access(loc, t(1), &[], true);
+        d.on_access(loc, t(2), &[], true);
+        assert_eq!(d.race_count(), 1);
+        d.on_access(loc, t(1), &[lock(5)], true);
+        assert_eq!(d.race_count(), 1);
+    }
+
+    #[test]
+    fn retain_live_drops_heap_entries_only() {
+        let mut d = RaceDetector::new();
+        let s = Loc::Static(ClassId(1), 0);
+        let f = Loc::Field(ObjRef::from_index(3), 0);
+        d.on_access(s, t(1), &[], false);
+        d.on_access(f, t(1), &[], false);
+        d.retain_live(|_| false);
+        assert!(d.state.contains_key(&s));
+        assert!(!d.state.contains_key(&f));
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let r = RaceReport { loc: Loc::Static(ClassId(4), 2), thread: t(7), access: Access::Write };
+        let s = r.to_string();
+        assert!(s.contains("R4A"));
+        assert!(s.contains("static class#4.2"));
+        assert!(s.contains("#7"));
+    }
+}

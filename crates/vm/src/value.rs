@@ -1,0 +1,166 @@
+//! Runtime values of the virtual machine.
+
+use std::fmt;
+
+/// A reference to a heap object or array.
+///
+/// References are stable indices into the (non-moving) heap; they are
+/// meaningful only within one replica, which is precisely why the
+/// replication layer must use *virtual* thread and lock identifiers on the
+/// wire instead of raw `ObjRef`s (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjRef(pub(crate) u32);
+
+impl ObjRef {
+    /// The raw heap slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a reference from a raw slot index. Intended for the heap
+    /// and for tests; dangling references are caught at use time.
+    pub fn from_index(i: usize) -> Self {
+        ObjRef(i as u32)
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A single operand-stack or local-variable slot.
+///
+/// The VM collapses Java's `int`/`long` into `Int(i64)` and `float`/`double`
+/// into `Double(f64)`; the distinction is irrelevant to replica
+/// coordination, which treats all read-set values uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Value {
+    /// The null reference.
+    #[default]
+    Null,
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit IEEE-754 float.
+    Double(f64),
+    /// A reference to a heap object or array.
+    Ref(ObjRef),
+}
+
+impl Value {
+    /// Interprets the value as an integer.
+    ///
+    /// # Errors
+    /// Returns the value itself if it is not an `Int`.
+    pub fn as_int(self) -> Result<i64, Value> {
+        match self {
+            Value::Int(v) => Ok(v),
+            other => Err(other),
+        }
+    }
+
+    /// Interprets the value as a double.
+    ///
+    /// # Errors
+    /// Returns the value itself if it is not a `Double`.
+    pub fn as_double(self) -> Result<f64, Value> {
+        match self {
+            Value::Double(v) => Ok(v),
+            other => Err(other),
+        }
+    }
+
+    /// Interprets the value as a (non-null) reference.
+    ///
+    /// # Errors
+    /// Returns the value itself if it is `Null` or not a reference.
+    pub fn as_ref(self) -> Result<ObjRef, Value> {
+        match self {
+            Value::Ref(r) => Ok(r),
+            other => Err(other),
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Truthiness used by conditional branches: nonzero ints are true.
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Double(v) => v != 0.0,
+            Value::Ref(_) => true,
+            Value::Null => false,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<ObjRef> for Value {
+    fn from(v: ObjRef) -> Self {
+        Value::Ref(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Ref(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Value::from(5i64).as_int().unwrap(), 5);
+        assert_eq!(Value::from(2.5f64).as_double().unwrap(), 2.5);
+        assert_eq!(Value::from(true), Value::Int(1));
+        let r = ObjRef::from_index(3);
+        assert_eq!(Value::from(r).as_ref().unwrap(), r);
+        assert!(Value::Null.as_ref().is_err());
+        assert!(Value::Int(1).as_double().is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(-1).is_truthy());
+        assert!(Value::Ref(ObjRef::from_index(0)).is_truthy());
+        assert!(!Value::Double(0.0).is_truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(ObjRef::from_index(9).to_string(), "@9");
+    }
+}

@@ -1,0 +1,111 @@
+//! Virtual thread identifiers.
+//!
+//! Raw thread indices are replica-local: the order in which threads are
+//! *created globally* depends on scheduling, so indices assigned from a
+//! global counter would not match across replicas. The paper (§4.2) defines
+//! a scheduling-independent id recursively: a thread is identified by its
+//! parent's id plus the ordinal of its creation *among its siblings*,
+//! because a parent spawns its children in the same relative order at every
+//! replica. A [`VtPath`] is exactly that chain of sibling ordinals.
+
+use std::fmt;
+
+/// A virtual thread id: the chain of sibling ordinals from the root thread.
+///
+/// The initial application thread is `[0]`; its third spawned child is
+/// `[0, 2]`; that child's first child is `[0, 2, 0]`.
+///
+/// ```
+/// use ftjvm_vm::vtid::VtPath;
+/// let root = VtPath::root();
+/// let child = root.child(2);
+/// let grandchild = child.child(0);
+/// assert_eq!(grandchild.to_string(), "t0.2.0");
+/// assert_eq!(grandchild.ordinals(), &[0, 2, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VtPath(Vec<u32>);
+
+impl VtPath {
+    /// The id of the initial application thread.
+    pub fn root() -> Self {
+        VtPath(vec![0])
+    }
+
+    /// The id of this thread's `ordinal`-th spawned child.
+    pub fn child(&self, ordinal: u32) -> Self {
+        let mut v = self.0.clone();
+        v.push(ordinal);
+        VtPath(v)
+    }
+
+    /// The ordinal chain, root first.
+    pub fn ordinals(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Reconstructs a path from its ordinal chain (as decoded from the
+    /// wire).
+    ///
+    /// # Panics
+    /// Panics if `ordinals` is empty; an empty chain identifies no thread.
+    pub fn from_ordinals(ordinals: Vec<u32>) -> Self {
+        assert!(!ordinals.is_empty(), "a virtual thread id needs at least the root ordinal");
+        VtPath(ordinals)
+    }
+
+    /// Depth of the spawn chain (the root is depth 1).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for VtPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("t")?;
+        for (i, o) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_scheduling_independent_keys() {
+        // Two replicas spawn the same tree in different global orders; the
+        // per-parent ordinals still produce identical ids.
+        let root = VtPath::root();
+        let a = root.child(0);
+        let b = root.child(1);
+        let a_child = a.child(0);
+        assert_ne!(a, b);
+        assert_eq!(a_child.ordinals(), &[0, 0, 0]);
+        assert_eq!(a_child.depth(), 3);
+    }
+
+    #[test]
+    fn roundtrip_through_ordinals() {
+        let p = VtPath::root().child(3).child(1);
+        let q = VtPath::from_ordinals(p.ordinals().to_vec());
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the root ordinal")]
+    fn empty_chain_rejected() {
+        let _ = VtPath::from_ordinals(vec![]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VtPath::root().to_string(), "t0");
+        assert_eq!(VtPath::root().child(5).to_string(), "t0.5");
+    }
+}

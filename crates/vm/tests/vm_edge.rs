@@ -1,0 +1,391 @@
+//! Edge-case execution tests: exception machinery, stack-manipulation
+//! instructions, class-filtered handlers, monitor pathologies, arrays,
+//! and scheduler corner cases.
+
+use ftjvm_netsim::SimTime;
+use ftjvm_vm::class::{builtin, excode};
+use ftjvm_vm::env::{SimEnv, World};
+use ftjvm_vm::exec::{Vm, VmConfig};
+use ftjvm_vm::native::NativeRegistry;
+use ftjvm_vm::program::ProgramBuilder;
+use ftjvm_vm::{Cmp, Insn, MethodId, NoopCoordinator, Program, VmError};
+use std::sync::Arc;
+
+fn run_prog(
+    build: impl FnOnce(&mut ProgramBuilder) -> MethodId,
+) -> (ftjvm_vm::RunReport, Vec<String>) {
+    let mut b = ProgramBuilder::new();
+    let entry = build(&mut b);
+    let program = Arc::new(b.build(entry).expect("verifies"));
+    run_built(program)
+}
+
+fn run_built(program: Arc<Program>) -> (ftjvm_vm::RunReport, Vec<String>) {
+    let world = World::shared();
+    let env = SimEnv::new("solo", world.clone(), SimTime::ZERO, 7);
+    let mut vm = Vm::new(program, NativeRegistry::with_builtins(), env, VmConfig::default()).unwrap();
+    let report = vm.run(&mut NoopCoordinator::new()).expect("run succeeds");
+    let console = world.borrow().console_texts();
+    (report, console)
+}
+
+#[test]
+fn dup_x1_matches_jvm_semantics() {
+    // [v2, v1] -> [v1, v2, v1]
+    let (_, console) = run_prog(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut m = b.method("main", 1);
+        m.push_i(2).push_i(1).dup_x1();
+        // stack: 1 2 1 — print in pop order
+        m.invoke_native(print, 1);
+        m.invoke_native(print, 1);
+        m.invoke_native(print, 1);
+        m.ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["1", "2", "1"]);
+}
+
+#[test]
+fn swap_and_neg() {
+    let (_, console) = run_prog(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut m = b.method("main", 1);
+        m.push_i(3).push_i(8).swap().sub(); // 8 - 3
+        m.emit(Insn::Neg).invoke_native(print, 1); // -(8-3) = -5
+        m.ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["-5"]);
+}
+
+#[test]
+fn handlers_filter_by_class_hierarchy() {
+    // A custom exception class extending Throwable must NOT be caught by a
+    // RuntimeException handler, but must be caught by a Throwable handler.
+    let (_, console) = run_prog(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let custom = b.add_class("App/Error", builtin::THROWABLE, 0, 0);
+        let mut m = b.method("main", 1);
+        let try_start = m.new_label();
+        let try_end = m.new_label();
+        let catch_rte = m.new_label();
+        let catch_any = m.new_label();
+        let done = m.new_label();
+        m.bind(try_start);
+        m.new_obj(custom).dup().push_i(77).put_field(builtin::THROWABLE_CODE_SLOT);
+        m.throw();
+        m.bind(try_end);
+        m.goto(done);
+        m.bind(catch_rte);
+        m.pop().push_i(-1).invoke_native(print, 1).goto(done);
+        m.bind(catch_any);
+        m.get_field(builtin::THROWABLE_CODE_SLOT).invoke_native(print, 1);
+        m.bind(done).ret_void();
+        // RuntimeException handler registered FIRST but must not match.
+        m.handler(try_start, try_end, Some(builtin::RUNTIME_EXCEPTION), catch_rte);
+        m.handler(try_start, try_end, Some(builtin::THROWABLE), catch_any);
+        m.build(b)
+    });
+    assert_eq!(console, vec!["77"]);
+}
+
+#[test]
+fn nested_try_rethrow_reaches_outer_handler() {
+    let (_, console) = run_prog(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut m = b.method("main", 1);
+        let outer_start = m.new_label();
+        let outer_end = m.new_label();
+        let inner_start = m.new_label();
+        let inner_end = m.new_label();
+        let inner_catch = m.new_label();
+        let outer_catch = m.new_label();
+        let done = m.new_label();
+        m.bind(outer_start);
+        m.bind(inner_start);
+        m.push_i(1).push_i(0).div().pop(); // throws ArithmeticException
+        m.bind(inner_end);
+        m.goto(done);
+        m.bind(inner_catch);
+        // Log 1, then rethrow the same object.
+        m.push_i(1).invoke_native(print, 1);
+        m.throw();
+        m.bind(outer_end);
+        m.goto(done);
+        m.bind(outer_catch);
+        m.get_field(builtin::THROWABLE_CODE_SLOT).invoke_native(print, 1);
+        m.bind(done).ret_void();
+        m.handler(inner_start, inner_end, None, inner_catch);
+        // The outer region must cover the rethrow site (the inner catch).
+        m.handler(inner_catch, outer_end, None, outer_catch);
+        m.build(b)
+    });
+    assert_eq!(console, vec!["1".to_string(), excode::ARITHMETIC.to_string()]);
+}
+
+#[test]
+fn exception_inside_callee_unwinds_to_caller_handler() {
+    let (_, console) = run_prog(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut thrower = b.method("thrower", 1);
+        // Some frames deep: thrower -> inner -> divide by zero.
+        let mut inner = b.method("inner", 1);
+        inner.load(0).push_i(0).div().ret_val();
+        let inner = inner.build(b);
+        thrower.load(0).invoke(inner).ret_val();
+        let thrower = thrower.build(b);
+        let mut m = b.method("main", 1);
+        let try_start = m.new_label();
+        let try_end = m.new_label();
+        let catch = m.new_label();
+        let done = m.new_label();
+        m.bind(try_start);
+        m.push_i(9).invoke(thrower).pop();
+        m.bind(try_end);
+        m.goto(done);
+        m.bind(catch);
+        m.get_field(builtin::THROWABLE_CODE_SLOT).invoke_native(print, 1);
+        m.bind(done).ret_void();
+        m.handler(try_start, try_end, None, catch);
+        m.build(b)
+    });
+    assert_eq!(console, vec![excode::ARITHMETIC.to_string()]);
+}
+
+#[test]
+fn array_bounds_and_negative_size_are_catchable() {
+    let (_, console) = run_prog(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut m = b.method("main", 1);
+        for (setup, _expect) in [(0, excode::ARRAY_BOUNDS), (1, excode::NEGATIVE_ARRAY_SIZE)] {
+            let try_start = m.new_label();
+            let try_end = m.new_label();
+            let catch = m.new_label();
+            let done = m.new_label();
+            m.bind(try_start);
+            if setup == 0 {
+                m.push_i(3).new_array().push_i(5).aload().pop();
+            } else {
+                m.push_i(-2).new_array().pop();
+            }
+            m.bind(try_end);
+            m.goto(done);
+            m.bind(catch);
+            m.get_field(builtin::THROWABLE_CODE_SLOT).invoke_native(print, 1);
+            m.bind(done);
+            m.handler(try_start, try_end, Some(builtin::RUNTIME_EXCEPTION), catch);
+        }
+        m.ret_void();
+        m.build(b)
+    });
+    assert_eq!(
+        console,
+        vec![excode::ARRAY_BOUNDS.to_string(), excode::NEGATIVE_ARRAY_SIZE.to_string()]
+    );
+}
+
+#[test]
+fn monitor_exit_without_enter_is_illegal_state() {
+    let (_, console) = run_prog(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut m = b.method("main", 1);
+        let try_start = m.new_label();
+        let try_end = m.new_label();
+        let catch = m.new_label();
+        let done = m.new_label();
+        m.bind(try_start);
+        m.new_obj(builtin::OBJECT).monitor_exit();
+        m.bind(try_end);
+        m.goto(done);
+        m.bind(catch);
+        m.get_field(builtin::THROWABLE_CODE_SLOT).invoke_native(print, 1);
+        m.bind(done).ret_void();
+        m.handler(try_start, try_end, None, catch);
+        m.build(b)
+    });
+    assert_eq!(console, vec![excode::ILLEGAL_MONITOR.to_string()]);
+}
+
+#[test]
+fn notify_wakes_exactly_one_waiter() {
+    // Three waiters; two notifies; the third waiter stays parked and the
+    // VM reports deadlock when main exits without a third notify? No —
+    // main terminates, and waiting threads keep the VM from completing:
+    // expect a deadlock error. So instead: notify twice, then notify_all
+    // to release the rest, and count wake order.
+    let (_, console) = run_prog(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let spawn = b.import_native("sys.spawn", 2, false);
+        let wait = b.import_native("obj.wait", 1, false);
+        let notify = b.import_native("obj.notify", 1, false);
+        let sleep = b.import_native("sys.sleep", 1, false);
+        let cls = b.add_class("W", builtin::OBJECT, 0, 1);
+        // waiter(id): lock; count+=1; wait; print id; unlock.
+        let mut w = b.method("waiter", 1);
+        w.class_obj(cls).monitor_enter();
+        w.get_static(cls, 0).push_i(1).add().put_static(cls, 0);
+        w.class_obj(cls).invoke_native(wait, 1);
+        w.load(0).invoke_native(print, 1);
+        w.class_obj(cls).monitor_exit();
+        w.ret_void();
+        let w = w.build(b);
+        let mut m = b.method("main", 1);
+        m.push_i(0).put_static(cls, 0);
+        for id in 1..=3 {
+            m.push_method(w).push_i(id).invoke_native(spawn, 2);
+        }
+        // Wait until all three are parked in the wait set.
+        let parked = m.new_label();
+        let check = m.bind_new_label();
+        m.class_obj(cls).monitor_enter();
+        m.get_static(cls, 0).push_i(3).icmp(Cmp::Eq).if_true(parked);
+        m.class_obj(cls).monitor_exit();
+        m.push_i(1).invoke_native(sleep, 1);
+        m.goto(check);
+        m.bind(parked);
+        // Wake one at a time; each notify happens while holding the lock.
+        m.class_obj(cls).invoke_native(notify, 1);
+        m.class_obj(cls).invoke_native(notify, 1);
+        m.class_obj(cls).invoke_native(notify, 1);
+        m.class_obj(cls).monitor_exit();
+        m.ret_void();
+        m.build(b)
+    });
+    // FIFO wait set: wake order matches park order.
+    assert_eq!(console, vec!["1", "2", "3"]);
+}
+
+#[test]
+fn deep_recursion_fills_and_unwinds_many_frames() {
+    let (_, console) = run_prog(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut f = b.method("count", 1);
+        let fid = f.id();
+        let base = f.new_label();
+        f.load(0).if_not(base);
+        f.load(0).push_i(1).sub().invoke(fid).push_i(1).add().ret_val();
+        f.bind(base).push_i(0).ret_val();
+        let fid = f.build(b);
+        let mut m = b.method("main", 1);
+        m.push_i(500).invoke(fid).invoke_native(print, 1).ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["500"]);
+}
+
+#[test]
+fn heap_capacity_exhaustion_is_fatal_r0() {
+    let mut b = ProgramBuilder::new();
+    let mut m = b.method("main", 1);
+    // Allocate forever, keeping everything alive in an array chain.
+    m.push_i(2).new_array().store(1);
+    let top = m.bind_new_label();
+    m.push_i(2).new_array().store(2);
+    m.load(2).push_i(0).load(1).astore(); // new.prev = old
+    m.load(2).store(1);
+    m.goto(top);
+    m.ret_void();
+    let entry = m.build(&mut b);
+    let program = Arc::new(b.build(entry).unwrap());
+    let world = World::shared();
+    let env = SimEnv::new("solo", world, SimTime::ZERO, 1);
+    let cfg = VmConfig { heap_capacity: 2_000, ..VmConfig::default() };
+    let mut vm = Vm::new(program, NativeRegistry::with_builtins(), env, cfg).unwrap();
+    let err = vm.run(&mut NoopCoordinator::new()).unwrap_err();
+    assert_eq!(err, VmError::OutOfMemory);
+}
+
+#[test]
+fn unlinked_native_fails_at_construction() {
+    let mut b = ProgramBuilder::new();
+    let phantom = b.import_native("no.such.native", 0, false);
+    let mut m = b.method("main", 1);
+    m.invoke_native(phantom, 0).ret_void();
+    let entry = m.build(&mut b);
+    let program = Arc::new(b.build(entry).unwrap());
+    let world = World::shared();
+    let env = SimEnv::new("solo", world, SimTime::ZERO, 1);
+    let err = match Vm::new(program, NativeRegistry::with_builtins(), env, VmConfig::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("linking must fail"),
+    };
+    assert_eq!(err, VmError::UnlinkedNative { name: "no.such.native".into() });
+}
+
+#[test]
+fn native_signature_mismatch_fails_at_construction() {
+    let mut b = ProgramBuilder::new();
+    let bad = b.import_native("sys.clock", 1, true); // clock takes 0 args
+    let mut m = b.method("main", 1);
+    m.push_i(0).invoke_native(bad, 1).pop().ret_void();
+    let entry = m.build(&mut b);
+    let program = Arc::new(b.build(entry).unwrap());
+    let world = World::shared();
+    let env = SimEnv::new("solo", world, SimTime::ZERO, 1);
+    let err = match Vm::new(program, NativeRegistry::with_builtins(), env, VmConfig::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("linking must fail"),
+    };
+    assert!(matches!(err, VmError::NativeSignature { .. }));
+}
+
+#[test]
+fn virtual_dispatch_on_null_receiver_is_npe() {
+    let (report, _) = run_prog(|b| {
+        let slot = b.declare_vslot("run", 1, false);
+        let cls = b.add_class("C", builtin::OBJECT, 0, 0);
+        let mut r = b.method("C.run", 1);
+        r.instance_of(cls).ret_void();
+        let r = r.build(b);
+        b.set_vtable(cls, slot, r);
+        let mut m = b.method("main", 1);
+        m.push_null().invoke_virtual(slot, 1).ret_void();
+        m.build(b)
+    });
+    assert_eq!(report.uncaught.len(), 1);
+    assert_eq!(report.uncaught[0].1, excode::NULL_POINTER);
+}
+
+#[test]
+fn instruction_counts_are_exact_for_straight_line_code() {
+    let (report, _) = run_prog(|b| {
+        let mut m = b.method("main", 1);
+        m.push_i(1).push_i(2).add().pop(); // 4 instructions
+        m.ret_void(); // 1 instruction
+        m.build(b)
+    });
+    assert_eq!(report.counters.instructions, 5);
+    assert_eq!(report.counters.branches, 1); // the return
+}
+
+#[test]
+fn phased_native_abort_releases_held_monitors() {
+    // bulk.locked_sum acquires arg0's monitor in phase 0 and aborts in
+    // phase 1 if arg1 is not an array; the monitor must be released during
+    // abort handling and the exception must be catchable.
+    let (_, console) = run_prog(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let locked_sum = b.import_native("bulk.locked_sum", 2, true);
+        let mut m = b.method("main", 1);
+        let try_start = m.new_label();
+        let try_end = m.new_label();
+        let catch = m.new_label();
+        let done = m.new_label();
+        m.new_obj(builtin::OBJECT).store(1); // the lock
+        m.bind(try_start);
+        m.load(1).new_obj(builtin::OBJECT).invoke_native(locked_sum, 2).pop();
+        m.bind(try_end);
+        m.goto(done);
+        m.bind(catch);
+        m.get_field(builtin::THROWABLE_CODE_SLOT).invoke_native(print, 1);
+        // The lock must be free again: re-acquire it.
+        m.load(1).monitor_enter();
+        m.load(1).monitor_exit();
+        m.push_i(1).invoke_native(print, 1);
+        m.bind(done).ret_void();
+        m.handler(try_start, try_end, None, catch);
+        m.build(b)
+    });
+    assert_eq!(console, vec![(excode::NATIVE_BASE + 92).to_string(), "1".to_string()]);
+}

@@ -1,0 +1,715 @@
+//! End-to-end execution tests for the virtual machine: arithmetic, control
+//! flow, dispatch, exceptions, threads, monitors, wait/notify, natives,
+//! garbage collection and determinism.
+
+use ftjvm_netsim::SimTime;
+use ftjvm_vm::class::builtin;
+use ftjvm_vm::env::{SharedWorld, SimEnv, World};
+use ftjvm_vm::exec::{RunReport, Vm, VmConfig};
+use ftjvm_vm::native::NativeRegistry;
+use ftjvm_vm::program::ProgramBuilder;
+use ftjvm_vm::{Cmp, MethodId, NoopCoordinator, Program, VmError};
+use std::sync::Arc;
+
+/// Builds a program, runs it with the given seed, returns the report and
+/// console output.
+fn run_seeded(
+    build: impl FnOnce(&mut ProgramBuilder) -> MethodId,
+    seed: u64,
+    tweak: impl FnOnce(&mut VmConfig),
+) -> (RunReport, Vec<String>, SharedWorld) {
+    let mut b = ProgramBuilder::new();
+    let entry = build(&mut b);
+    let program = Arc::new(b.build(entry).expect("program verifies"));
+    run_program(program, seed, tweak)
+}
+
+fn run_program(
+    program: Arc<Program>,
+    seed: u64,
+    tweak: impl FnOnce(&mut VmConfig),
+) -> (RunReport, Vec<String>, SharedWorld) {
+    let world = World::shared();
+    let env = SimEnv::new("solo", world.clone(), SimTime::ZERO, seed ^ 0xABCD);
+    let mut cfg = VmConfig { sched_seed: seed, ..VmConfig::default() };
+    tweak(&mut cfg);
+    let mut vm = Vm::new(program, NativeRegistry::with_builtins(), env, cfg).expect("vm builds");
+    let report = vm.run(&mut NoopCoordinator::new()).expect("run succeeds");
+    let console = world.borrow().console_texts();
+    (report, console, world)
+}
+
+fn run(build: impl FnOnce(&mut ProgramBuilder) -> MethodId) -> (RunReport, Vec<String>) {
+    let (r, c, _) = run_seeded(build, 7, |_| {});
+    (r, c)
+}
+
+#[test]
+fn factorial_loop() {
+    let (_, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut m = b.method("main", 1);
+        let done = m.new_label();
+        m.push_i(10).store(1); // i = 10
+        m.push_i(1).store(2); // acc = 1
+        let top = m.bind_new_label();
+        m.load(1).if_not(done);
+        m.load(2).load(1).mul().store(2);
+        m.inc(1, -1).goto(top);
+        m.bind(done);
+        m.load(2).invoke_native(print, 1).ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["3628800"]);
+}
+
+#[test]
+fn recursive_fibonacci() {
+    let (_, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        // fib(n) = n < 2 ? n : fib(n-1)+fib(n-2)
+        let mut fib = b.method("fib", 1);
+        let fib_id = fib.id();
+        let base = fib.new_label();
+        fib.load(0).push_i(2).icmp(Cmp::Lt).if_true(base);
+        fib.load(0).push_i(1).sub().invoke(fib_id);
+        fib.load(0).push_i(2).sub().invoke(fib_id);
+        fib.add().ret_val();
+        fib.bind(base).load(0).ret_val();
+        let fib_id = fib.build(b);
+        let mut m = b.method("main", 1);
+        m.push_i(15).invoke(fib_id).invoke_native(print, 1).ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["610"]);
+}
+
+#[test]
+fn virtual_dispatch_with_override() {
+    let (_, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let animal = b.add_class("Animal", builtin::OBJECT, 0, 0);
+        let cat = b.add_class("Cat", animal, 0, 0);
+        let speak = b.declare_vslot("speak", 1, true);
+        let mut m1 = b.method("Animal.speak", 1);
+        m1.instance_of(animal).push_i(1).ret_val();
+        let m1 = m1.build(b);
+        b.set_vtable(animal, speak, m1);
+        let mut m2 = b.method("Cat.speak", 1);
+        m2.instance_of(cat).push_i(2).ret_val();
+        let m2 = m2.build(b);
+        b.set_vtable(cat, speak, m2);
+        let mut m = b.method("main", 1);
+        m.new_obj(animal).invoke_virtual(speak, 1).invoke_native(print, 1);
+        m.new_obj(cat).invoke_virtual(speak, 1).invoke_native(print, 1);
+        m.ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["1", "2"]);
+}
+
+#[test]
+fn inherited_vtable_entry() {
+    let (_, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let base = b.add_class("Base", builtin::OBJECT, 0, 0);
+        let speak = b.declare_vslot("speak", 1, true);
+        let mut m1 = b.method("Base.speak", 1);
+        m1.instance_of(base).push_i(7).ret_val();
+        let m1 = m1.build(b);
+        b.set_vtable(base, speak, m1);
+        // Subclass registered after the vtable entry inherits it.
+        let derived = b.add_class("Derived", base, 0, 0);
+        let mut m = b.method("main", 1);
+        m.new_obj(derived).invoke_virtual(speak, 1).invoke_native(print, 1).ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["7"]);
+}
+
+#[test]
+fn caught_division_by_zero() {
+    let (_, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut m = b.method("main", 1);
+        let try_start = m.new_label();
+        let try_end = m.new_label();
+        let catch = m.new_label();
+        let done = m.new_label();
+        m.bind(try_start);
+        m.push_i(1).push_i(0).div().invoke_native(print, 1);
+        m.bind(try_end);
+        m.goto(done);
+        m.bind(catch);
+        // Print the exception code field instead.
+        m.get_field(builtin::THROWABLE_CODE_SLOT).invoke_native(print, 1);
+        m.bind(done).ret_void();
+        m.handler(try_start, try_end, Some(builtin::RUNTIME_EXCEPTION), catch);
+        m.build(b)
+    });
+    assert_eq!(console, vec![ftjvm_vm::class::excode::ARITHMETIC.to_string()]);
+}
+
+#[test]
+fn uncaught_exception_kills_thread_only() {
+    let (report, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let spawn = b.import_native("sys.spawn", 2, false);
+        let yield_n = b.import_native("sys.yield", 0, false);
+        // Child immediately dereferences null.
+        let mut child = b.method("child", 1);
+        child.push_null().get_field(0).pop().ret_void();
+        let child = child.build(b);
+        // Main spawns it, yields a few times, prints 5.
+        let mut m = b.method("main", 1);
+        m.push_method(child).push_i(0).invoke_native(spawn, 2);
+        for _ in 0..4 {
+            m.invoke_native(yield_n, 0);
+        }
+        m.push_i(5).invoke_native(print, 1).ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["5"]);
+    assert_eq!(report.uncaught.len(), 1);
+    assert_eq!(report.uncaught[0].1, ftjvm_vm::class::excode::NULL_POINTER);
+}
+
+#[test]
+fn exception_unwinds_through_frames_and_releases_sync() {
+    let (_, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let cls = b.add_class("C", builtin::OBJECT, 0, 1);
+        // synchronized static thrower: throws inside the lock.
+        let mut thrower = b.method("thrower", 1);
+        thrower.static_of(cls).synchronized();
+        thrower.new_obj(builtin::RUNTIME_EXCEPTION).dup().push_i(42).put_field(builtin::THROWABLE_CODE_SLOT);
+        thrower.throw();
+        let thrower = thrower.build(b);
+        let mut m = b.method("main", 1);
+        let try_start = m.new_label();
+        let try_end = m.new_label();
+        let catch = m.new_label();
+        let done = m.new_label();
+        m.bind(try_start);
+        m.push_i(0).invoke(thrower);
+        m.bind(try_end);
+        m.goto(done);
+        m.bind(catch);
+        m.get_field(builtin::THROWABLE_CODE_SLOT).invoke_native(print, 1);
+        // The monitor must have been released during unwind: lock it again.
+        m.class_obj(cls).monitor_enter();
+        m.class_obj(cls).monitor_exit();
+        m.push_i(99).invoke_native(print, 1);
+        m.bind(done).ret_void();
+        m.handler(try_start, try_end, None, catch);
+        m.build(b)
+    });
+    assert_eq!(console, vec!["42", "99"]);
+}
+
+/// Builds the shared-counter program: `n_threads` workers each increment a
+/// static counter `iters` times through a synchronized static method, then
+/// bump a "done" counter; main busy-yields until all are done and prints
+/// the counter.
+fn synchronized_counter_program(b: &mut ProgramBuilder, n_threads: i64, iters: i64) -> MethodId {
+    let print = b.import_native("sys.print_int", 1, false);
+    let spawn = b.import_native("sys.spawn", 2, false);
+    let yield_n = b.import_native("sys.yield", 0, false);
+    let cls = b.add_class("Counter", builtin::OBJECT, 0, 2); // statics: 0=count, 1=done
+    let mut inc = b.method("inc", 1);
+    inc.static_of(cls).synchronized();
+    inc.get_static(cls, 0).push_i(1).add().put_static(cls, 0).ret_void();
+    let inc = inc.build(b);
+    let mut fin = b.method("finish", 1);
+    fin.static_of(cls).synchronized();
+    fin.get_static(cls, 1).push_i(1).add().put_static(cls, 1).ret_void();
+    let fin = fin.build(b);
+    let mut w = b.method("worker", 1);
+    let done = w.new_label();
+    w.push_i(iters).store(1);
+    let top = w.bind_new_label();
+    w.load(1).if_not(done);
+    w.push_i(0).invoke(inc);
+    w.inc(1, -1).goto(top);
+    w.bind(done);
+    w.push_i(0).invoke(fin).ret_void();
+    let w = w.build(b);
+    let mut m = b.method("main", 1);
+    // Initialize statics.
+    m.push_i(0).put_static(cls, 0);
+    m.push_i(0).put_static(cls, 1);
+    for _ in 0..n_threads {
+        m.push_method(w).push_i(0).invoke_native(spawn, 2);
+    }
+    let wait_loop = m.bind_new_label();
+    let ready = m.new_label();
+    m.get_static(cls, 1).push_i(n_threads).icmp(Cmp::Eq).if_true(ready);
+    m.invoke_native(yield_n, 0).goto(wait_loop);
+    m.bind(ready);
+    m.get_static(cls, 0).invoke_native(print, 1).ret_void();
+    m.build(b)
+}
+
+#[test]
+fn synchronized_counter_is_exact_across_seeds() {
+    for seed in [1, 2, 3, 99] {
+        let (report, console, _) =
+            run_seeded(|b| synchronized_counter_program(b, 4, 250), seed, |_| {});
+        assert_eq!(console, vec!["1000"], "seed {seed}");
+        assert!(report.counters.monitor_acquires >= 1004, "seed {seed}");
+        assert_eq!(report.counters.spawns, 4);
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_interleavings() {
+    // The *final* answer is identical (the program is race-free), but the
+    // context-switch pattern differs across seeds — that is the injected
+    // non-determinism replication must mask.
+    let (r1, _, _) = run_seeded(|b| synchronized_counter_program(b, 4, 250), 1, |_| {});
+    let (r2, _, _) = run_seeded(|b| synchronized_counter_program(b, 4, 250), 2, |_| {});
+    assert_ne!(
+        (r1.counters.context_switches, r1.counters.instructions),
+        (r2.counters.context_switches, r2.counters.instructions),
+        "expected distinct interleavings for different seeds"
+    );
+}
+
+#[test]
+fn same_seed_is_fully_deterministic() {
+    let (r1, c1, _) = run_seeded(|b| synchronized_counter_program(b, 4, 100), 5, |_| {});
+    let (r2, c2, _) = run_seeded(|b| synchronized_counter_program(b, 4, 100), 5, |_| {});
+    assert_eq!(c1, c2);
+    assert_eq!(r1.counters, r2.counters);
+    assert_eq!(r1.acct.total(), r2.acct.total());
+}
+
+/// A racy (R4A-violating) counter: increments without synchronization.
+fn racy_counter_program(b: &mut ProgramBuilder, n_threads: i64, iters: i64) -> MethodId {
+    let print = b.import_native("sys.print_int", 1, false);
+    let spawn = b.import_native("sys.spawn", 2, false);
+    let yield_n = b.import_native("sys.yield", 0, false);
+    let cls = b.add_class("Racy", builtin::OBJECT, 0, 2);
+    let fin = {
+        let mut fin = b.method("finish", 1);
+        fin.static_of(cls).synchronized();
+        fin.get_static(cls, 1).push_i(1).add().put_static(cls, 1).ret_void();
+        fin.build(b)
+    };
+    let mut w = b.method("worker", 1);
+    let done = w.new_label();
+    w.push_i(iters).store(1);
+    let top = w.bind_new_label();
+    w.load(1).if_not(done);
+    // Unprotected read-modify-write of the shared static.
+    w.get_static(cls, 0).push_i(1).add().put_static(cls, 0);
+    w.inc(1, -1).goto(top);
+    w.bind(done);
+    w.push_i(0).invoke(fin).ret_void();
+    let w = w.build(b);
+    let mut m = b.method("main", 1);
+    m.push_i(0).put_static(cls, 0);
+    m.push_i(0).put_static(cls, 1);
+    for _ in 0..n_threads {
+        m.push_method(w).push_i(0).invoke_native(spawn, 2);
+    }
+    let wait_loop = m.bind_new_label();
+    let ready = m.new_label();
+    m.get_static(cls, 1).push_i(n_threads).icmp(Cmp::Eq).if_true(ready);
+    m.invoke_native(yield_n, 0).goto(wait_loop);
+    m.bind(ready);
+    m.get_static(cls, 0).invoke_native(print, 1).ret_void();
+    m.build(b)
+}
+
+#[test]
+fn racy_counter_can_lose_updates() {
+    // With small quanta, preemption lands between the read and the write,
+    // and some increments are lost for at least one seed.
+    let mut lost_somewhere = false;
+    for seed in 0..10u64 {
+        let (_, console, _) = run_seeded(
+            |b| racy_counter_program(b, 4, 200),
+            seed,
+            |cfg| {
+                cfg.quantum = 13;
+                cfg.quantum_jitter = 11;
+            },
+        );
+        let total: i64 = console[0].parse().unwrap();
+        assert!(total <= 800);
+        if total < 800 {
+            lost_somewhere = true;
+        }
+    }
+    assert!(lost_somewhere, "expected at least one seed to exhibit the race");
+}
+
+#[test]
+fn explicit_monitor_enter_exit_excludes() {
+    let (_, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let spawn = b.import_native("sys.spawn", 2, false);
+        let yield_n = b.import_native("sys.yield", 0, false);
+        let cls = b.add_class("M", builtin::OBJECT, 0, 2);
+        let mut w = b.method("worker", 1);
+        let done = w.new_label();
+        w.push_i(300).store(1);
+        let top = w.bind_new_label();
+        w.load(1).if_not(done);
+        w.class_obj(cls).monitor_enter();
+        w.get_static(cls, 0).push_i(1).add().put_static(cls, 0);
+        w.class_obj(cls).monitor_exit();
+        w.inc(1, -1).goto(top);
+        w.bind(done);
+        w.class_obj(cls).monitor_enter();
+        w.get_static(cls, 1).push_i(1).add().put_static(cls, 1);
+        w.class_obj(cls).monitor_exit();
+        w.ret_void();
+        let w = w.build(b);
+        let mut m = b.method("main", 1);
+        m.push_i(0).put_static(cls, 0);
+        m.push_i(0).put_static(cls, 1);
+        m.push_method(w).push_i(0).invoke_native(spawn, 2);
+        m.push_method(w).push_i(0).invoke_native(spawn, 2);
+        let wait_loop = m.bind_new_label();
+        let ready = m.new_label();
+        m.get_static(cls, 1).push_i(2).icmp(Cmp::Eq).if_true(ready);
+        m.invoke_native(yield_n, 0).goto(wait_loop);
+        m.bind(ready);
+        m.get_static(cls, 0).invoke_native(print, 1).ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["600"]);
+}
+
+#[test]
+fn reentrant_synchronized_recursion() {
+    let (_, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let cls = b.add_class("R", builtin::OBJECT, 0, 0);
+        // sync_sum(n): synchronized static, recursive — exercises monitor
+        // re-entrancy: returns n + sync_sum(n-1), 0 at 0.
+        let mut f = b.method("sync_sum", 1);
+        f.static_of(cls).synchronized();
+        let fid = f.id();
+        let base = f.new_label();
+        f.load(0).if_not(base);
+        f.load(0).load(0).push_i(1).sub().invoke(fid).add().ret_val();
+        f.bind(base).push_i(0).ret_val();
+        let fid = f.build(b);
+        let mut m = b.method("main", 1);
+        m.push_i(10).invoke(fid).invoke_native(print, 1).ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["55"]);
+}
+
+#[test]
+fn wait_notify_producer_consumer() {
+    let (_, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let spawn = b.import_native("sys.spawn", 2, false);
+        let wait = b.import_native("obj.wait", 1, false);
+        let notify_all = b.import_native("obj.notify_all", 1, false);
+        let cls = b.add_class("Q", builtin::OBJECT, 0, 2); // 0=value, 1=available
+        // Producer: lock, set value, mark available, notify, unlock.
+        let mut p = b.method("producer", 1);
+        p.class_obj(cls).monitor_enter();
+        p.push_i(1234).put_static(cls, 0);
+        p.push_i(1).put_static(cls, 1);
+        p.class_obj(cls).invoke_native(notify_all, 1);
+        p.class_obj(cls).monitor_exit();
+        p.ret_void();
+        let p = p.build(b);
+        // Main (consumer): lock, wait until available, read value, unlock.
+        let mut m = b.method("main", 1);
+        m.push_method(p).push_i(0).invoke_native(spawn, 2);
+        m.class_obj(cls).monitor_enter();
+        let check = m.bind_new_label();
+        let ready = m.new_label();
+        m.get_static(cls, 1).if_true(ready);
+        m.class_obj(cls).invoke_native(wait, 1);
+        m.goto(check);
+        m.bind(ready);
+        m.get_static(cls, 0).invoke_native(print, 1);
+        m.class_obj(cls).monitor_exit();
+        m.ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["1234"]);
+}
+
+#[test]
+fn wait_without_ownership_raises() {
+    let (report, _) = run(|b| {
+        let wait = b.import_native("obj.wait", 1, false);
+        let mut m = b.method("main", 1);
+        m.class_obj(builtin::OBJECT).invoke_native(wait, 1).ret_void();
+        m.build(b)
+    });
+    assert_eq!(report.uncaught.len(), 1);
+    assert_eq!(report.uncaught[0].1, ftjvm_vm::class::excode::ILLEGAL_MONITOR);
+}
+
+#[test]
+fn sleep_advances_simulated_time() {
+    let (report, _) = run(|b| {
+        let sleep = b.import_native("sys.sleep", 1, false);
+        let mut m = b.method("main", 1);
+        m.push_i(25).invoke_native(sleep, 1).ret_void();
+        m.build(b)
+    });
+    assert!(report.acct.now() >= SimTime::from_millis(25));
+}
+
+#[test]
+fn file_io_roundtrip_through_natives() {
+    let (_, console, world) = run_seeded(
+        |b| {
+            let print = b.import_native("sys.print_int", 1, false);
+            let open = b.import_native("file.open", 1, true);
+            let write = b.import_native("file.write", 3, true);
+            let seek = b.import_native("file.seek", 2, false);
+            let read = b.import_native("file.read", 3, true);
+            let close = b.import_native("file.close", 1, false);
+            let name = b.intern("out.dat");
+            let payload = b.intern("hello");
+            let mut m = b.method("main", 1);
+            // fd = open("out.dat")  (local 1)
+            m.const_str(name).invoke_native(open, 1).store(1);
+            // write(fd, "hello", 5) -> prints 5
+            m.load(1).const_str(payload).push_i(5).invoke_native(write, 3).invoke_native(print, 1);
+            // seek(fd, 0); read(fd, buf, 5) -> prints 5; print buf[1]
+            m.load(1).push_i(0).invoke_native(seek, 2);
+            m.push_i(5).new_array().store(2);
+            m.load(1).load(2).push_i(5).invoke_native(read, 3).invoke_native(print, 1);
+            m.load(2).push_i(1).aload().invoke_native(print, 1);
+            m.load(1).invoke_native(close, 1);
+            m.ret_void();
+            m.build(b)
+        },
+        3,
+        |_| {},
+    );
+    assert_eq!(console, vec!["5", "5", "101"]); // 'e' == 101
+    assert_eq!(world.borrow().file("out.dat").unwrap(), b"hello");
+}
+
+#[test]
+fn nd_natives_clock_and_rand() {
+    let (_, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let clock = b.import_native("sys.clock", 0, true);
+        let rand = b.import_native("sys.rand", 1, true);
+        let sleep = b.import_native("sys.sleep", 1, false);
+        let mut m = b.method("main", 1);
+        m.invoke_native(clock, 0).store(1);
+        m.push_i(10).invoke_native(sleep, 1);
+        m.invoke_native(clock, 0).load(1).sub();
+        // elapsed >= 10ms
+        m.push_i(10).icmp(Cmp::Ge).invoke_native(print, 1);
+        // rand in [0, 5)
+        m.push_i(5).invoke_native(rand, 1).store(2);
+        m.load(2).push_i(0).icmp(Cmp::Ge).load(2).push_i(5).icmp(Cmp::Lt).band().invoke_native(print, 1);
+        m.ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["1", "1"]);
+}
+
+#[test]
+fn phased_native_locked_sum() {
+    let (report, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let locked_sum = b.import_native("bulk.locked_sum", 2, true);
+        let mut m = b.method("main", 1);
+        // arr = [0..10); lock = new Object
+        m.push_i(10).new_array().store(1);
+        m.push_i(0).store(2);
+        let fill_done = m.new_label();
+        let fill = m.bind_new_label();
+        m.load(2).push_i(10).icmp(Cmp::Ge).if_true(fill_done);
+        m.load(1).load(2).load(2).astore();
+        m.inc(2, 1).goto(fill);
+        m.bind(fill_done);
+        m.new_obj(builtin::OBJECT).store(3);
+        m.load(3).load(1).invoke_native(locked_sum, 2).invoke_native(print, 1);
+        m.ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["45"]);
+    // The native acquired and released a monitor internally.
+    assert!(report.counters.monitor_acquires >= 1);
+    assert_eq!(report.counters.monitor_ops % 2, 0);
+}
+
+#[test]
+fn gc_collects_garbage_and_runs_finalizers() {
+    let (report, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let gc = b.import_native("sys.gc", 0, false);
+        let yield_n = b.import_native("sys.yield", 0, false);
+        let cls = b.add_class("Fin", builtin::OBJECT, 0, 1); // static 0 = finalize count
+        let mut fin = b.method("Fin.finalize", 1);
+        fin.get_static(cls, 0).push_i(1).add().put_static(cls, 0).ret_void();
+        let fin = fin.build(b);
+        b.set_finalizer(cls, fin);
+        let mut m = b.method("main", 1);
+        m.push_i(0).put_static(cls, 0);
+        // Allocate 50 dead finalizable objects.
+        m.push_i(50).store(1);
+        let done = m.new_label();
+        let top = m.bind_new_label();
+        m.load(1).if_not(done);
+        m.new_obj(cls).pop();
+        m.inc(1, -1).goto(top);
+        m.bind(done);
+        m.invoke_native(gc, 0); // discover + resurrect finalizables
+        // Let the finalizer thread drain.
+        for _ in 0..300 {
+            m.invoke_native(yield_n, 0);
+        }
+        m.get_static(cls, 0).invoke_native(print, 1);
+        m.ret_void();
+        m.build(b)
+    });
+    assert!(report.counters.gc_runs >= 1);
+    assert_eq!(console, vec!["50"]);
+}
+
+#[test]
+fn async_gc_thread_fires_under_pressure() {
+    let (report, console, _) = run_seeded(
+        |b| {
+            let print = b.import_native("sys.print_int", 1, false);
+            let mut m = b.method("main", 1);
+            // Allocate 5000 dead arrays.
+            m.push_i(5000).store(1);
+            let done = m.new_label();
+            let top = m.bind_new_label();
+            m.load(1).if_not(done);
+            m.push_i(4).new_array().pop();
+            m.inc(1, -1).goto(top);
+            m.bind(done);
+            m.push_i(1).invoke_native(print, 1).ret_void();
+            m.build(b)
+        },
+        11,
+        |cfg| {
+            cfg.gc_threshold = 500;
+        },
+    );
+    assert!(report.counters.gc_runs >= 2, "gc ran {} times", report.counters.gc_runs);
+    assert_eq!(console, vec!["1"]);
+}
+
+#[test]
+fn deadlock_is_detected() {
+    let mut b = ProgramBuilder::new();
+    let spawn = b.import_native("sys.spawn", 2, false);
+    let sleep = b.import_native("sys.sleep", 1, false);
+    let a = b.add_class("A", builtin::OBJECT, 0, 0);
+    let c = b.add_class("B", builtin::OBJECT, 0, 0);
+    // worker: lock B, sleep, lock A.
+    let mut w = b.method("worker", 1);
+    w.class_obj(c).monitor_enter();
+    w.push_i(5).invoke_native(sleep, 1);
+    w.class_obj(a).monitor_enter();
+    w.class_obj(a).monitor_exit();
+    w.class_obj(c).monitor_exit();
+    w.ret_void();
+    let w = w.build(&mut b);
+    // main: lock A, spawn worker, sleep, lock B.
+    let mut m = b.method("main", 1);
+    m.class_obj(a).monitor_enter();
+    m.push_method(w).push_i(0).invoke_native(spawn, 2);
+    m.push_i(5).invoke_native(sleep, 1);
+    m.class_obj(c).monitor_enter();
+    m.class_obj(c).monitor_exit();
+    m.class_obj(a).monitor_exit();
+    m.ret_void();
+    let entry = m.build(&mut b);
+    let program = Arc::new(b.build(entry).unwrap());
+    let world = World::shared();
+    let env = SimEnv::new("solo", world, SimTime::ZERO, 1);
+    let mut vm = Vm::new(program, NativeRegistry::with_builtins(), env, VmConfig::default()).unwrap();
+    let err = vm.run(&mut NoopCoordinator::new()).unwrap_err();
+    assert!(matches!(err, VmError::Deadlock { .. }), "got {err}");
+}
+
+#[test]
+fn runaway_program_hits_budget() {
+    let mut b = ProgramBuilder::new();
+    let mut m = b.method("main", 1);
+    let top = m.bind_new_label();
+    m.goto(top);
+    m.ret_void();
+    let entry = m.build(&mut b);
+    let program = Arc::new(b.build(entry).unwrap());
+    let world = World::shared();
+    let env = SimEnv::new("solo", world, SimTime::ZERO, 1);
+    let cfg = VmConfig { max_units: 10_000, ..VmConfig::default() };
+    let mut vm = Vm::new(program, NativeRegistry::with_builtins(), env, cfg).unwrap();
+    let err = vm.run(&mut NoopCoordinator::new()).unwrap_err();
+    assert_eq!(err, VmError::InstructionBudget);
+}
+
+#[test]
+fn spawn_tree_assigns_stable_ids() {
+    let (report, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let spawn = b.import_native("sys.spawn", 2, false);
+        let yield_n = b.import_native("sys.yield", 0, false);
+        let cls = b.add_class("T", builtin::OBJECT, 0, 1); // done count
+        let mut leaf = b.method("leaf", 1);
+        leaf.class_obj(cls).monitor_enter();
+        leaf.get_static(cls, 0).push_i(1).add().put_static(cls, 0);
+        leaf.class_obj(cls).monitor_exit();
+        leaf.ret_void();
+        let leaf = leaf.build(b);
+        // mid: spawns two leaves, then counts itself done.
+        let mut mid = b.method("mid", 1);
+        mid.push_method(leaf).push_i(0).invoke_native(spawn, 2);
+        mid.push_method(leaf).push_i(0).invoke_native(spawn, 2);
+        mid.class_obj(cls).monitor_enter();
+        mid.get_static(cls, 0).push_i(1).add().put_static(cls, 0);
+        mid.class_obj(cls).monitor_exit();
+        mid.ret_void();
+        let mid = mid.build(b);
+        let mut m = b.method("main", 1);
+        m.push_i(0).put_static(cls, 0);
+        m.push_method(mid).push_i(0).invoke_native(spawn, 2);
+        m.push_method(mid).push_i(0).invoke_native(spawn, 2);
+        // Wait for 2 mids + 4 leaves = 6.
+        let wait_loop = m.bind_new_label();
+        let ready = m.new_label();
+        m.get_static(cls, 0).push_i(6).icmp(Cmp::Eq).if_true(ready);
+        m.invoke_native(yield_n, 0).goto(wait_loop);
+        m.bind(ready);
+        m.get_static(cls, 0).invoke_native(print, 1).ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["6"]);
+    assert_eq!(report.counters.spawns, 6);
+}
+
+#[test]
+fn double_arithmetic() {
+    use ftjvm_vm::Insn;
+    let (_, console) = run(|b| {
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut m = b.method("main", 1);
+        // ((2.5 * 4.0) + 1.5) / 0.5 = 23
+        m.push_d(2.5).push_i(4).emit(Insn::I2D).emit(Insn::DMul);
+        m.push_d(1.5).emit(Insn::DAdd);
+        m.push_d(0.5).emit(Insn::DDiv);
+        m.emit(Insn::D2I).invoke_native(print, 1);
+        // NaN comparison: NaN != NaN is true, NaN == NaN is false.
+        m.push_d(f64::NAN).push_d(f64::NAN).dcmp(Cmp::Ne).invoke_native(print, 1);
+        m.push_d(f64::NAN).push_d(f64::NAN).dcmp(Cmp::Eq).invoke_native(print, 1);
+        m.ret_void();
+        m.build(b)
+    });
+    assert_eq!(console, vec!["23", "1", "0"]);
+}

@@ -1,0 +1,192 @@
+//! `db` analog — a memory-resident database queried through synchronized
+//! methods.
+//!
+//! SPEC JVM98's `db` performs many small queries against an in-memory
+//! database; Table 2 shows it acquiring by far the most locks of the suite
+//! (53.5 M) with a strongly skewed distribution (largest `l_asn` 5.3 M ≈
+//! 10 % of all acquisitions hit one lock — the database's own monitor).
+//! The analog keeps a record table of (key, balance) object pairs behind a
+//! `Database` object whose accessor methods are `synchronized`, runs a
+//! deterministic query mix (point reads, updates, range scans), and prints
+//! aggregate results. Every record object additionally has a synchronized
+//! per-record method, giving the long tail of distinct locked objects.
+
+use crate::helpers::{count_loop, spin, Std, Workload};
+use ftjvm_vm::class::builtin;
+use ftjvm_vm::program::ProgramBuilder;
+use ftjvm_vm::Cmp;
+use std::sync::Arc;
+
+const TABLE: i64 = 128;
+
+/// Builds the workload. Scale 1 runs 16 384 queries over 128 records.
+pub fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let std = Std::import(&mut b);
+
+    // Record: fields 0=key, 1=balance. Virtual slot `touch` is a
+    // synchronized per-record method (distinct locked objects).
+    let record = b.add_class("spec/db/Record", builtin::OBJECT, 2, 0);
+    let touch_slot = b.declare_vslot("touch", 2, true);
+    let mut touch = b.method("Record.touch", 2);
+    touch.instance_of(record).synchronized();
+    // balance += delta; return balance
+    touch.load(0).load(0).get_field(1).load(1).add().put_field(1);
+    touch.load(0).get_field(1).ret_val();
+    let touch = touch.build(&mut b);
+    b.set_vtable(record, touch_slot, touch);
+
+    // Database: statics 0=records array, 1=query count, 2=aggregate.
+    let db = b.add_class("spec/db/Database", builtin::OBJECT, 0, 3);
+
+    // lookup(idx) -> balance : synchronized on the Database class object
+    // (the hot lock).
+    let mut lookup = b.method("Database.lookup", 1);
+    lookup.static_of(db).synchronized();
+    lookup.get_static(db, 0).load(0).aload().get_field(1).ret_val();
+    let lookup = lookup.build(&mut b);
+
+    // update(idx, delta) -> new balance : synchronized, then touches the
+    // record (nested per-record lock).
+    let mut update = b.method("Database.update", 2);
+    update.static_of(db).synchronized();
+    update.get_static(db, 0).load(0).aload().load(1).invoke_virtual(touch_slot, 2).ret_val();
+    let update = update.build(&mut b);
+
+    // scan(lo, hi) -> sum of balances in [lo, hi) : one synchronized call
+    // per visited record (the query storm).
+    let mut scan = b.method("Database.scan", 2);
+    {
+        let m = &mut scan;
+        // locals: 0=lo, 1=hi, 2=i, 3=sum
+        m.push_i(0).store(3);
+        m.load(0).store(2);
+        let done = m.new_label();
+        let top = m.bind_new_label();
+        m.load(2).load(1).icmp(Cmp::Ge).if_true(done);
+        m.load(2).invoke(lookup).load(3).add().store(3);
+        m.inc(2, 1).goto(top);
+        m.bind(done);
+        m.load(3).ret_val();
+    }
+    let scan = scan.build(&mut b);
+
+    // main(scale)
+    let mut m = b.method("main", 1);
+    {
+        // locals: 0=scale, 1=i, 2=queries, 3=state, 4=key, 5=acc
+        // Build the table.
+        m.push_i(TABLE).new_array().put_static(db, 0);
+        count_loop(&mut m, 1, 0, TABLE, |m| {
+            m.get_static(db, 0).load(1);
+            m.new_obj(record).dup().load(1).put_field(0); // key
+            m.dup().load(1).push_i(100).mul().put_field(1); // balance
+            m.astore();
+        });
+        m.push_i(0).put_static(db, 1);
+        m.push_i(0).put_static(db, 2);
+        // The real db reads its query stream from a file; ours derives the
+        // mix from a deterministic LCG, with periodic ND clock samples
+        // (the benchmark's own instrumentation).
+        m.load(0).push_i(16384).mul().store(2);
+        m.push_i(12345).store(3);
+        m.push_i(0).store(5);
+        let done = m.new_label();
+        m.push_i(0).store(1);
+        let top = m.bind_new_label();
+        m.load(1).load(2).icmp(Cmp::Ge).if_true(done);
+        // state = (state * 48271) % 2^31-1 ; key = state % TABLE
+        m.load(3).push_i(48_271).mul().push_i(0x7FFF_FFFF).rem().store(3);
+        m.load(3).push_i(TABLE).rem().store(4);
+        {
+            // Query mix by state % 8: 0 => scan of 20, 1-3 => update,
+            // else lookup (scans dominate, giving db its 53 M-lock
+            // full-scale signature).
+            let do_update = m.new_label();
+            let do_lookup = m.new_label();
+            let next = m.new_label();
+            m.load(3).push_i(8).rem().if_true(do_update);
+            // scan(key % (TABLE-20), +20)
+            m.load(4).push_i(TABLE - 20).rem().dup().push_i(20).add().invoke(scan);
+            m.load(5).add().store(5);
+            m.goto(next);
+            m.bind(do_update);
+            m.load(3).push_i(8).rem().push_i(4).icmp(Cmp::Lt).if_not(do_lookup);
+            m.load(4).load(3).push_i(7).rem().push_i(3).sub().invoke(update);
+            m.load(5).add().store(5);
+            m.goto(next);
+            m.bind(do_lookup);
+            m.load(4).invoke(lookup).load(5).add().store(5);
+            m.bind(next);
+        }
+        // Per-query result post-processing (hash mixing in the real db).
+        spin(&mut m, 6, 18);
+        // Every 170 queries, sample the clock (ND) — mirrors db's
+        // instrumentation reads.
+        {
+            let skip = m.new_label();
+            m.load(1).push_i(170).rem().if_true(skip);
+            m.invoke_native(std.clock, 0).pop();
+            m.bind(skip);
+        }
+        // Every 4096 queries, report the running aggregate (output commit).
+        {
+            let skip = m.new_label();
+            m.load(1).push_i(4096).rem().if_true(skip);
+            m.load(5).invoke_native(std.print_int, 1);
+            m.bind(skip);
+        }
+        m.inc(1, 1).goto(top);
+        m.bind(done);
+        // Outputs: aggregate, a fresh scan of everything, query count.
+        m.load(5).invoke_native(std.print_int, 1);
+        m.push_i(0).push_i(TABLE).invoke(scan).invoke_native(std.print_int, 1);
+        m.load(2).invoke_native(std.print_int, 1);
+        m.ret_void();
+    }
+    let entry = m.build(&mut b);
+    Workload {
+        name: "db",
+        description: "memory-resident database with a synchronized query storm (most locks in the suite)",
+        program: Arc::new(b.build(entry).expect("db verifies")),
+        multithreaded: false,
+        paper_exec_secs: 354,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftjvm_core::{FtConfig, FtJvm};
+
+    #[test]
+    fn db_runs_with_heavy_skewed_locking() {
+        let w = workload();
+        let (report, world) =
+            FtJvm::new(w.program.clone(), FtConfig::default()).run_unreplicated().unwrap();
+        assert!(report.uncaught.is_empty(), "{:?}", report.uncaught);
+        let console = world.borrow().console_texts();
+        assert!(console.len() >= 3);
+        assert_eq!(*console.last().unwrap(), "16384");
+        // Lock volume dominates everything else (Table 2's signature).
+        assert!(
+            report.counters.monitor_acquires > 40_000,
+            "db must acquire a lot of locks, got {}",
+            report.counters.monitor_acquires
+        );
+        assert!(report.counters.native_calls < 200);
+    }
+
+    #[test]
+    fn db_is_deterministic_across_seeds() {
+        let w = workload();
+        let mut texts = Vec::new();
+        for seed in [1u64, 99] {
+            let cfg = FtConfig { primary_seed: seed, ..FtConfig::default() };
+            let (_, world) = FtJvm::new(w.program.clone(), cfg).run_unreplicated().unwrap();
+            let t = world.borrow().console_texts();
+            texts.push(t);
+        }
+        assert_eq!(texts[0], texts[1], "single-threaded db output is seed-independent");
+    }
+}

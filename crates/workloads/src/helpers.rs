@@ -1,0 +1,160 @@
+//! Shared builder utilities for the benchmark analogs.
+
+use ftjvm_vm::bytecode::NativeId;
+use ftjvm_vm::program::{MethodBuilder, ProgramBuilder};
+use ftjvm_vm::{Cmp, Program};
+use std::sync::Arc;
+
+/// The standard-library native imports every workload may use.
+#[derive(Debug, Clone, Copy)]
+pub struct Std {
+    /// `sys.print_int(v)`
+    pub print_int: NativeId,
+    /// `sys.print(bytes)`
+    pub print: NativeId,
+    /// `sys.clock() -> ms`
+    pub clock: NativeId,
+    /// `sys.rand(bound) -> n`
+    pub rand: NativeId,
+    /// `sys.spawn(method, arg)`
+    pub spawn: NativeId,
+    /// `sys.yield()`
+    pub yield_n: NativeId,
+    /// `sys.sleep(ms)`
+    pub sleep: NativeId,
+    /// `obj.wait(o)`
+    pub wait: NativeId,
+    /// `obj.notify(o)`
+    pub notify: NativeId,
+    /// `obj.notify_all(o)`
+    pub notify_all: NativeId,
+    /// `sys.gc()`
+    pub gc: NativeId,
+    /// `file.open(name) -> fd`
+    pub fopen: NativeId,
+    /// `file.read(fd, buf, len) -> n`
+    pub fread: NativeId,
+    /// `file.write(fd, buf, len) -> n`
+    pub fwrite: NativeId,
+    /// `file.seek(fd, off)`
+    pub fseek: NativeId,
+    /// `file.close(fd)`
+    pub fclose: NativeId,
+    /// `file.size(fd) -> n`
+    pub fsize: NativeId,
+    /// `bulk.locked_sum(lock, arr) -> sum`
+    pub locked_sum: NativeId,
+}
+
+impl Std {
+    /// Imports the standard natives into `b`.
+    pub fn import(b: &mut ProgramBuilder) -> Std {
+        Std {
+            print_int: b.import_native("sys.print_int", 1, false),
+            print: b.import_native("sys.print", 1, false),
+            clock: b.import_native("sys.clock", 0, true),
+            rand: b.import_native("sys.rand", 1, true),
+            spawn: b.import_native("sys.spawn", 2, false),
+            yield_n: b.import_native("sys.yield", 0, false),
+            sleep: b.import_native("sys.sleep", 1, false),
+            wait: b.import_native("obj.wait", 1, false),
+            notify: b.import_native("obj.notify", 1, false),
+            notify_all: b.import_native("obj.notify_all", 1, false),
+            gc: b.import_native("sys.gc", 0, false),
+            fopen: b.import_native("file.open", 1, true),
+            fread: b.import_native("file.read", 3, true),
+            fwrite: b.import_native("file.write", 3, true),
+            fseek: b.import_native("file.seek", 2, false),
+            fclose: b.import_native("file.close", 1, false),
+            fsize: b.import_native("file.size", 1, true),
+            locked_sum: b.import_native("bulk.locked_sum", 2, true),
+        }
+    }
+}
+
+/// Emits `for local in start..end { body }` (the loop variable is an int
+/// local; `body` must leave the stack balanced).
+pub fn count_loop(
+    m: &mut MethodBuilder,
+    local: u16,
+    start: i64,
+    end: i64,
+    body: impl FnOnce(&mut MethodBuilder),
+) {
+    let done = m.new_label();
+    m.push_i(start).store(local);
+    let top = m.bind_new_label();
+    m.load(local).push_i(end).icmp(Cmp::Ge).if_true(done);
+    body(m);
+    m.inc(local, 1).goto(top);
+    m.bind(done);
+}
+
+/// Emits a calibration spin: a tight countdown loop of `iters` iterations
+/// (~4 execution units each) used to give each benchmark analog the same
+/// compute-to-event density as its SPEC original (see EXPERIMENTS.md).
+pub fn spin(m: &mut MethodBuilder, local: u16, iters: i64) {
+    let done = m.new_label();
+    m.push_i(iters).store(local);
+    let top = m.bind_new_label();
+    m.load(local).if_not(done);
+    m.inc(local, -1).goto(top);
+    m.bind(done);
+}
+
+/// A built workload: the verified program plus descriptive metadata.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (`"db"`, `"mtrt"`, …).
+    pub name: &'static str,
+    /// One-line description of what the analog computes.
+    pub description: &'static str,
+    /// The verified program (entry takes the scale factor).
+    pub program: Arc<Program>,
+    /// True if the workload runs more than one application thread.
+    pub multithreaded: bool,
+    /// The SPEC JVM98 execution time of the original benchmark on the
+    /// paper's testbed, in seconds (Figure 2's caption) — used to label
+    /// regenerated figures.
+    pub paper_exec_secs: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftjvm_vm::program::ProgramBuilder;
+
+    #[test]
+    fn std_imports_resolve_against_builtin_registry() {
+        let mut b = ProgramBuilder::new();
+        let std = Std::import(&mut b);
+        let mut m = b.method("main", 1);
+        m.ret_void();
+        let entry = m.build(&mut b);
+        let p = b.build(entry).unwrap();
+        // Every imported name exists in the builtin registry with a
+        // matching signature (checked again at link time; this test makes
+        // the failure local to the workloads crate).
+        let reg = ftjvm_vm::NativeRegistry::with_builtins();
+        for imp in &p.native_imports {
+            let decl = reg.lookup(&imp.name).unwrap_or_else(|| panic!("missing {}", imp.name));
+            assert_eq!(decl.argc, imp.argc, "{}", imp.name);
+            assert_eq!(decl.returns, imp.returns, "{}", imp.name);
+        }
+        let _ = std;
+    }
+
+    #[test]
+    fn count_loop_shape() {
+        let mut b = ProgramBuilder::new();
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut m = b.method("main", 1);
+        m.push_i(0).store(2);
+        count_loop(&mut m, 1, 0, 5, |m| {
+            m.load(2).load(1).add().store(2);
+        });
+        m.load(2).invoke_native(print, 1).ret_void();
+        let entry = m.build(&mut b);
+        assert!(b.build(entry).is_ok());
+    }
+}

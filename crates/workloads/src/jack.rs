@@ -1,0 +1,180 @@
+//! `jack` analog — a parser generator tokenizing its own input file.
+//!
+//! SPEC JVM98's `jack` generates a parser from a grammar file. Its Table 2
+//! signature: the most intercepted native methods in the suite (631 295 —
+//! it is file-I/O heavy), the second-most lock acquisitions (12.8 M), and
+//! by far the most *distinct* locked objects (505 223): the tokenizer
+//! synchronizes on a fresh token object per token. The analog writes a
+//! grammar-like input file, then repeatedly re-reads and tokenizes it,
+//! allocating one `Token` object per token and calling its synchronized
+//! classify method, accumulating counts in a synchronized symbol table.
+
+use crate::helpers::{count_loop, spin, Std, Workload};
+use ftjvm_vm::class::builtin;
+use ftjvm_vm::program::ProgramBuilder;
+use ftjvm_vm::Cmp;
+use std::sync::Arc;
+
+/// Builds the workload. Scale 1 makes 28 tokenizer passes over an
+/// ~830-byte grammar.
+pub fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let std = Std::import(&mut b);
+
+    // Token: fields 0=kind, 1=length. Synchronized virtual classify.
+    let token = b.add_class("spec/jack/Token", builtin::OBJECT, 2, 0);
+    let classify_slot = b.declare_vslot("classify", 1, true);
+    let mut classify = b.method("Token.classify", 1);
+    classify.instance_of(token).synchronized();
+    // return kind * 8 + min(length, 7)
+    classify.load(0).get_field(0).push_i(8).mul();
+    let small = classify.new_label();
+    let after = classify.new_label();
+    classify.load(0).get_field(1).push_i(7).icmp(Cmp::Lt).if_true(small);
+    classify.push_i(7).add().ret_val();
+    classify.bind(small);
+    classify.load(0).get_field(1).add().ret_val();
+    classify.bind(after);
+    let classify = classify.build(&mut b);
+    b.set_vtable(token, classify_slot, classify);
+
+    // SymTab: statics 0=buckets array (ints), 1=token count.
+    let symtab = b.add_class("spec/jack/SymTab", builtin::OBJECT, 0, 2);
+    let mut bump = b.method("SymTab.bump", 1);
+    bump.static_of(symtab).synchronized();
+    // buckets[class] += 1; count += 1
+    bump.get_static(symtab, 0).load(0);
+    bump.get_static(symtab, 0).load(0).aload().push_i(1).add();
+    bump.astore();
+    bump.get_static(symtab, 1).push_i(1).add().put_static(symtab, 1);
+    bump.ret_void();
+    let bump = bump.build(&mut b);
+
+    // write_grammar(fd): writes a synthetic grammar of productions.
+    let line = b.intern("expr := term PLUS term ; term := NUM | LP expr RP ;\n");
+    let mut writeg = b.method("write_grammar", 1);
+    {
+        let m = &mut writeg;
+        count_loop(m, 1, 0, 16, |m| {
+            // fwrite(fd, line, line.length)
+            m.load(0).const_str(line).dup().alen().invoke_native(std.fwrite, 3).pop();
+        });
+        m.ret_void();
+    }
+    let writeg = writeg.build(&mut b);
+
+    // tokenize_pass(fd) -> tokens: seeks to 0, reads chunks, splits into
+    // "tokens" (maximal runs of non-space bytes), allocates a Token per
+    // token, classifies it (synchronized on the fresh object), and bumps
+    // the symbol table.
+    let mut pass = b.method("tokenize_pass", 1);
+    {
+        let m = &mut pass;
+        // locals: 0=fd, 1=buf, 2=n, 3=i, 4=run_len, 5=kind, 6=tok, 7=total
+        m.load(0).push_i(0).invoke_native(std.fseek, 2);
+        m.push_i(48).new_array().store(1);
+        m.push_i(0).store(7);
+        m.push_i(0).store(4); // run length persists across chunk reads
+        let eof = m.new_label();
+        let chunk_top = m.bind_new_label();
+        m.load(0).load(1).push_i(48).invoke_native(std.fread, 3).store(2);
+        m.load(2).if_not(eof);
+        // scan the chunk
+        let scan_done = m.new_label();
+        m.push_i(0).store(3);
+        let scan_top = m.bind_new_label();
+        m.load(3).load(2).icmp(Cmp::Ge).if_true(scan_done);
+        {
+            // byte = buf[i]; if byte == ' ' or '\n': close the run.
+            let close_run = m.new_label();
+            let no_token = m.new_label();
+            let next = m.new_label();
+            m.load(1).load(3).aload().store(5);
+            m.load(5).push_i(32).icmp(Cmp::Eq).if_true(close_run);
+            m.load(5).push_i(10).icmp(Cmp::Eq).if_true(close_run);
+            m.inc(4, 1).goto(next);
+            m.bind(close_run);
+            m.load(4).if_not(no_token);
+            // Fresh token object: kind = first-byte class (alpha/punct),
+            // length = run length. Lock it via the synchronized classify.
+            m.new_obj(token).store(6);
+            m.load(6).load(5).push_i(3).rem().put_field(0);
+            m.load(6).load(4).put_field(1);
+            m.load(6).invoke_virtual(classify_slot, 1);
+            m.push_i(24).rem().invoke(bump);
+            // Grammar-production bookkeeping per token (NFA construction
+            // in the real jack).
+            spin(m, 8, 22);
+            m.inc(7, 1);
+            m.push_i(0).store(4);
+            m.bind(no_token);
+            m.bind(next);
+        }
+        m.inc(3, 1).goto(scan_top);
+        m.bind(scan_done);
+        m.goto(chunk_top);
+        m.bind(eof);
+        m.load(7).ret_val();
+    }
+    let pass = pass.build(&mut b);
+
+    // main(scale)
+    let name = b.intern("grammar.jack");
+    let mut m = b.method("main", 1);
+    {
+        // locals: 0=scale, 1=fd, 2=passes, 3=i, 4=total
+        m.push_i(24).new_array().put_static(symtab, 0);
+        m.push_i(0).put_static(symtab, 1);
+        // Zero buckets.
+        count_loop(&mut m, 3, 0, 24, |m| {
+            m.get_static(symtab, 0).load(3).push_i(0).astore();
+        });
+        m.const_str(name).invoke_native(std.fopen, 1).store(1);
+        m.load(1).invoke(writeg);
+        m.load(0).push_i(28).mul().store(2);
+        m.push_i(0).store(4);
+        let done = m.new_label();
+        m.push_i(0).store(3);
+        let top = m.bind_new_label();
+        m.load(3).load(2).icmp(Cmp::Ge).if_true(done);
+        m.load(1).invoke(pass).load(4).add().store(4);
+        m.inc(3, 1).goto(top);
+        m.bind(done);
+        m.load(1).invoke_native(std.fclose, 1);
+        m.load(4).invoke_native(std.print_int, 1);
+        m.get_static(symtab, 1).invoke_native(std.print_int, 1);
+        m.ret_void();
+    }
+    let entry = m.build(&mut b);
+    Workload {
+        name: "jack",
+        description: "parser-generator tokenizer: file-I/O heavy, one fresh locked object per token",
+        program: Arc::new(b.build(entry).expect("jack verifies")),
+        multithreaded: false,
+        paper_exec_secs: 182,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftjvm_core::{FtConfig, FtJvm};
+
+    #[test]
+    fn jack_tokenizes_consistently() {
+        let w = workload();
+        let (report, world) =
+            FtJvm::new(w.program.clone(), FtConfig::default()).run_unreplicated().unwrap();
+        assert!(report.uncaught.is_empty(), "{:?}", report.uncaught);
+        let console = world.borrow().console_texts();
+        assert_eq!(console.len(), 2);
+        let total: i64 = console[0].parse().unwrap();
+        let count: i64 = console[1].parse().unwrap();
+        assert_eq!(total, count, "every token is bumped once");
+        // 16 lines × 14 tokens × 28 passes = 6272 tokens.
+        assert_eq!(total, 6272);
+        // Jack's signature: many native calls (file I/O) relative to other
+        // single-threaded workloads.
+        assert!(report.counters.native_calls > 100);
+    }
+}

@@ -1,0 +1,198 @@
+//! `jess` analog — a forward-chaining rule engine.
+//!
+//! SPEC JVM98's `jess` is an expert-system shell solving puzzles with
+//! progressively larger rule sets. Its profile: heavy lock traffic through
+//! the engine's synchronized agenda (4.9 M acquisitions), a moderate
+//! number of intercepted natives, and lots of short-lived allocation (rule
+//! activations) — which makes it our main exerciser of the asynchronous
+//! GC thread. The analog runs match-fire cycles over a fact array: each
+//! cycle matches rules against facts (allocating an activation object per
+//! match), pushes them through a synchronized agenda, then fires them,
+//! mutating facts.
+
+use crate::helpers::{count_loop, spin, Std, Workload};
+use ftjvm_vm::class::builtin;
+use ftjvm_vm::program::ProgramBuilder;
+use ftjvm_vm::Cmp;
+use std::sync::Arc;
+
+const FACTS: i64 = 56;
+
+/// Builds the workload. Scale 1 runs 150 match-fire cycles over 56 facts.
+pub fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let std = Std::import(&mut b);
+
+    // Activation: fields 0=fact index, 1=rule id, 2=salience.
+    let act = b.add_class("spec/jess/Activation", builtin::OBJECT, 3, 0);
+
+    // Agenda: statics 0=facts array, 1=pending array (ring), 2=head,
+    // 3=tail, 4=fired count.
+    let agenda = b.add_class("spec/jess/Agenda", builtin::OBJECT, 0, 5);
+
+    // push(activation): synchronized ring-buffer insert.
+    let mut push = b.method("Agenda.push", 1);
+    push.static_of(agenda).synchronized();
+    push.get_static(agenda, 1).get_static(agenda, 3).load(0).astore();
+    push.get_static(agenda, 3).push_i(1).add().push_i(256).rem().put_static(agenda, 3);
+    push.ret_void();
+    let push = push.build(&mut b);
+
+    // pop() -> activation or null: synchronized ring-buffer remove.
+    let mut pop = b.method("Agenda.pop", 1);
+    pop.static_of(agenda).synchronized();
+    {
+        let m = &mut pop;
+        let empty = m.new_label();
+        m.get_static(agenda, 2).get_static(agenda, 3).icmp(Cmp::Eq).if_true(empty);
+        m.get_static(agenda, 1).get_static(agenda, 2).aload();
+        m.get_static(agenda, 2).push_i(1).add().push_i(256).rem().put_static(agenda, 2);
+        m.ret_val();
+        m.bind(empty);
+        m.push_null().ret_val();
+    }
+    let pop = pop.build(&mut b);
+
+    // fire(activation): synchronized fact mutation + fired count.
+    let mut fire = b.method("Agenda.fire", 1);
+    fire.static_of(agenda).synchronized();
+    {
+        let m = &mut fire;
+        // facts[a.fact] = facts[a.fact] * 3 + a.rule, clamped mod 101.
+        m.get_static(agenda, 0).load(0).get_field(0);
+        m.get_static(agenda, 0).load(0).get_field(0).aload();
+        m.push_i(3).mul().load(0).get_field(1).add().push_i(101).rem();
+        m.astore();
+        m.get_static(agenda, 4).push_i(1).add().put_static(agenda, 4);
+        m.ret_void();
+    }
+    let fire = fire.build(&mut b);
+
+    // match_cycle(rule_id) -> matches: scans facts, allocates an
+    // activation per matching fact, pushes it.
+    let mut mc = b.method("match_cycle", 1);
+    {
+        let m = &mut mc;
+        // locals: 0=rule, 1=i, 2=matches, 3=a
+        m.push_i(0).store(2);
+        count_loop(m, 1, 0, FACTS, |m| {
+            let skip = m.new_label();
+            // Match: facts[i] % 5 == rule % 5
+            m.get_static(agenda, 0).load(1).aload().push_i(5).rem();
+            m.load(0).push_i(5).rem().icmp(Cmp::Ne).if_true(skip);
+            m.new_obj(act).store(3);
+            m.load(3).load(1).put_field(0);
+            m.load(3).load(0).put_field(1);
+            m.load(3).load(0).load(1).add().put_field(2);
+            m.load(3).invoke(push);
+            m.inc(2, 1);
+            m.bind(skip);
+        });
+        m.load(2).ret_val();
+    }
+    let mc = mc.build(&mut b);
+
+    // main(scale)
+    let mut m = b.method("main", 1);
+    {
+        // locals: 0=scale, 1=cycles, 2=c, 3=total, 4=a
+        m.push_i(FACTS).new_array().put_static(agenda, 0);
+        m.push_i(256).new_array().put_static(agenda, 1);
+        m.push_i(0).put_static(agenda, 2);
+        m.push_i(0).put_static(agenda, 3);
+        m.push_i(0).put_static(agenda, 4);
+        count_loop(&mut m, 2, 0, FACTS, |m| {
+            m.get_static(agenda, 0).load(2).load(2).push_i(7).mul().push_i(11).add().push_i(101).rem().astore();
+        });
+        m.load(0).push_i(150).mul().store(1);
+        m.push_i(0).store(3);
+        let done = m.new_label();
+        m.push_i(0).store(2);
+        let top = m.bind_new_label();
+        m.load(2).load(1).icmp(Cmp::Ge).if_true(done);
+        // Match with rule = cycle % 7, then drain + fire the agenda.
+        m.load(2).push_i(7).rem().invoke(mc).load(3).add().store(3);
+        {
+            let drain_done = m.new_label();
+            let drain = m.bind_new_label();
+            m.push_i(0).invoke(pop).store(4);
+            m.load(4).if_null(drain_done);
+            m.load(4).invoke(fire);
+            m.goto(drain);
+            m.bind(drain_done);
+        }
+        // Rete-network bookkeeping between cycles (pattern network walks
+        // in the real jess).
+        spin(&mut m, 5, 1500);
+        // Every other cycle the engine samples the clock (its own
+        // instrumentation — jess's ND native traffic).
+        {
+            let skip = m.new_label();
+            m.load(2).push_i(2).rem().if_true(skip);
+            m.invoke_native(std.clock, 0).pop();
+            m.bind(skip);
+        }
+        // Every 20 cycles: progress output (jess reports per-puzzle).
+        {
+            let skip = m.new_label();
+            m.load(2).push_i(20).rem().if_true(skip);
+            m.get_static(agenda, 4).invoke_native(std.print_int, 1);
+            m.bind(skip);
+        }
+        m.inc(2, 1).goto(top);
+        m.bind(done);
+        m.load(3).invoke_native(std.print_int, 1);
+        m.get_static(agenda, 4).invoke_native(std.print_int, 1);
+        // Checksum of final facts.
+        m.push_i(0).store(3);
+        count_loop(&mut m, 2, 0, FACTS, |m| {
+            m.get_static(agenda, 0).load(2).aload().load(3).add().store(3);
+        });
+        m.load(3).invoke_native(std.print_int, 1);
+        m.ret_void();
+    }
+    let entry = m.build(&mut b);
+    Workload {
+        name: "jess",
+        description: "forward-chaining rule engine: synchronized agenda + allocation churn (GC pressure)",
+        program: Arc::new(b.build(entry).expect("jess verifies")),
+        multithreaded: false,
+        paper_exec_secs: 167,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftjvm_core::{FtConfig, FtJvm};
+
+    #[test]
+    fn jess_fires_rules_deterministically() {
+        let w = workload();
+        let mut consoles = Vec::new();
+        for seed in [5u64, 77] {
+            let cfg = FtConfig { primary_seed: seed, ..FtConfig::default() };
+            let (report, world) = FtJvm::new(w.program.clone(), cfg).run_unreplicated().unwrap();
+            assert!(report.uncaught.is_empty(), "{:?}", report.uncaught);
+            let texts = world.borrow().console_texts();
+            consoles.push(texts);
+        }
+        assert_eq!(consoles[0], consoles[1]);
+        assert!(consoles[0].len() >= 3);
+        let n = consoles[0].len();
+        let matched: i64 = consoles[0][n - 3].parse().unwrap();
+        let fired: i64 = consoles[0][n - 2].parse().unwrap();
+        assert_eq!(matched, fired, "every pushed activation fires");
+        assert!(fired > 100);
+    }
+
+    #[test]
+    fn jess_generates_allocation_pressure() {
+        let w = workload();
+        let mut cfg = FtConfig::default();
+        cfg.vm.gc_threshold = 64;
+        let (report, _) = FtJvm::new(w.program.clone(), cfg).run_unreplicated().unwrap();
+        assert!(report.counters.gc_runs > 0, "activation churn must trigger the GC thread");
+        assert!(report.counters.allocations > 300);
+    }
+}

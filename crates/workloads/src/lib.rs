@@ -1,0 +1,47 @@
+//! SPEC JVM98 benchmark analogs and micro workloads for the fault-tolerant
+//! JVM reproduction.
+//!
+//! The paper (DSN 2003) evaluates on SPEC JVM98; we cannot run real Java
+//! classfiles, so each benchmark is re-created against the `ftjvm-vm`
+//! assembler with the *event profile* that drives the paper's results
+//! (Table 2): the relative volume of lock acquisitions, the number of
+//! distinct locked objects, the native-method and output-commit mix, and
+//! multithreading (only `mtrt`). Absolute instruction counts are scaled
+//! down (the entry argument multiplies workload size); see `DESIGN.md` §2
+//! for the substitution argument and `EXPERIMENTS.md` for measured
+//! profiles versus the paper's.
+//!
+//! | analog | signature (Table 2) |
+//! |---|---|
+//! | [`compress`] | CPU-bound, fewest locks |
+//! | [`jess`] | synchronized agenda + allocation churn (GC pressure) |
+//! | [`db`] | most lock acquisitions, strongly skewed to one lock |
+//! | [`jack`] | most native calls (file I/O), most distinct locked objects |
+//! | [`mpegaudio`] | floating-point kernels, minimal locking |
+//! | [`mtrt`] | the only multithreaded benchmark (real reschedules) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod db;
+pub mod helpers;
+pub mod jack;
+pub mod jess;
+pub mod micro;
+pub mod mpegaudio;
+pub mod mtrt;
+
+pub use helpers::{Std, Workload};
+
+/// All six SPEC JVM98 analogs, in the paper's figure order.
+pub fn spec_suite() -> Vec<Workload> {
+    vec![
+        jess::workload(),
+        jack::workload(),
+        compress::workload(),
+        db::workload(),
+        mpegaudio::workload(),
+        mtrt::workload(),
+    ]
+}

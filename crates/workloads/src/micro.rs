@@ -1,0 +1,157 @@
+//! Micro workloads used by tests, examples and ablation benches.
+
+use crate::helpers::{Std, Workload};
+use ftjvm_vm::class::builtin;
+use ftjvm_vm::program::ProgramBuilder;
+use ftjvm_vm::Cmp;
+use std::sync::Arc;
+
+/// `n` workers incrementing a shared counter through a synchronized
+/// method `iters` times each; prints the exact total.
+pub fn sync_counter(n_threads: i64, iters: i64) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let std = Std::import(&mut b);
+    let cls = b.add_class("micro/Counter", builtin::OBJECT, 0, 2);
+    let mut inc = b.method("inc", 1);
+    inc.static_of(cls).synchronized();
+    inc.get_static(cls, 0).push_i(1).add().put_static(cls, 0).ret_void();
+    let inc = inc.build(&mut b);
+    let mut fin = b.method("finish", 1);
+    fin.static_of(cls).synchronized();
+    fin.get_static(cls, 1).push_i(1).add().put_static(cls, 1).ret_void();
+    let fin = fin.build(&mut b);
+    let mut w = b.method("worker", 1);
+    let done = w.new_label();
+    w.push_i(iters).store(1);
+    let top = w.bind_new_label();
+    w.load(1).if_not(done);
+    w.push_i(0).invoke(inc);
+    w.inc(1, -1).goto(top);
+    w.bind(done).push_i(0).invoke(fin).ret_void();
+    let w = w.build(&mut b);
+    let mut m = b.method("main", 1);
+    m.push_i(0).put_static(cls, 0);
+    m.push_i(0).put_static(cls, 1);
+    for _ in 0..n_threads {
+        m.push_method(w).push_i(0).invoke_native(std.spawn, 2);
+    }
+    let wait_loop = m.bind_new_label();
+    let ready = m.new_label();
+    m.get_static(cls, 1).push_i(n_threads).icmp(Cmp::Eq).if_true(ready);
+    m.invoke_native(std.yield_n, 0).goto(wait_loop);
+    m.bind(ready);
+    m.get_static(cls, 0).invoke_native(std.print_int, 1).ret_void();
+    let entry = m.build(&mut b);
+    Workload {
+        name: "sync_counter",
+        description: "synchronized shared counter (lock-path microbenchmark)",
+        program: Arc::new(b.build(entry).expect("verifies")),
+        multithreaded: n_threads > 1,
+        paper_exec_secs: 0,
+    }
+}
+
+/// A tight arithmetic loop with no locks and no natives except the final
+/// print — the interpreter-throughput microbenchmark.
+pub fn arith_loop(iters: i64) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let std = Std::import(&mut b);
+    let mut m = b.method("main", 1);
+    let done = m.new_label();
+    m.push_i(iters).store(1);
+    m.push_i(1).store(2);
+    let top = m.bind_new_label();
+    m.load(1).if_not(done);
+    m.load(2).push_i(31).mul().push_i(17).add().push_i(0xFFFF).band().store(2);
+    m.inc(1, -1).goto(top);
+    m.bind(done);
+    m.load(2).invoke_native(std.print_int, 1).ret_void();
+    let entry = m.build(&mut b);
+    Workload {
+        name: "arith_loop",
+        description: "pure interpreter throughput (no locks, no I/O)",
+        program: Arc::new(b.build(entry).expect("verifies")),
+        multithreaded: false,
+        paper_exec_secs: 0,
+    }
+}
+
+/// Writes `n` journal entries to a file, each under its own output commit —
+/// the output-commit/pessimism microbenchmark and the SE-handler demo.
+pub fn file_journal(n: i64) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let std = Std::import(&mut b);
+    let name = b.intern("journal.log");
+    let entry_text = b.intern("journal-entry\n");
+    let mut m = b.method("main", 1);
+    m.const_str(name).invoke_native(std.fopen, 1).store(1);
+    let done = m.new_label();
+    m.push_i(n).store(2);
+    let top = m.bind_new_label();
+    m.load(2).if_not(done);
+    m.load(1).const_str(entry_text).push_i(14).invoke_native(std.fwrite, 3).pop();
+    m.inc(2, -1).goto(top);
+    m.bind(done);
+    m.load(1).invoke_native(std.fsize, 1).invoke_native(std.print_int, 1);
+    m.load(1).invoke_native(std.fclose, 1);
+    m.ret_void();
+    let entry = m.build(&mut b);
+    Workload {
+        name: "file_journal",
+        description: "per-entry committed file appends (output-commit microbenchmark)",
+        program: Arc::new(b.build(entry).expect("verifies")),
+        multithreaded: false,
+        paper_exec_secs: 0,
+    }
+}
+
+/// Reads the clock and RNG in a loop — the ND-native-interception
+/// microbenchmark.
+pub fn nd_natives(n: i64) -> Workload {
+    let mut b = ProgramBuilder::new();
+    let std = Std::import(&mut b);
+    let mut m = b.method("main", 1);
+    let done = m.new_label();
+    m.push_i(n).store(1);
+    m.push_i(0).store(2);
+    let top = m.bind_new_label();
+    m.load(1).if_not(done);
+    m.invoke_native(std.clock, 0).push_i(3).rem();
+    m.push_i(10).invoke_native(std.rand, 1).add();
+    m.load(2).add().store(2);
+    m.inc(1, -1).goto(top);
+    m.bind(done);
+    m.load(2).push_i(0).icmp(Cmp::Ge).invoke_native(std.print_int, 1).ret_void();
+    let entry = m.build(&mut b);
+    Workload {
+        name: "nd_natives",
+        description: "clock/RNG interception loop (ND-native microbenchmark)",
+        program: Arc::new(b.build(entry).expect("verifies")),
+        multithreaded: false,
+        paper_exec_secs: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftjvm_core::{FtConfig, FtJvm};
+
+    #[test]
+    fn micro_workloads_run() {
+        for (w, expect) in [
+            (sync_counter(3, 50), Some("150".to_string())),
+            (arith_loop(500), None),
+            (file_journal(6), Some((6 * 14).to_string())),
+            (nd_natives(20), Some("1".to_string())),
+        ] {
+            let (report, world) =
+                FtJvm::new(w.program.clone(), FtConfig::default()).run_unreplicated().unwrap();
+            assert!(report.uncaught.is_empty(), "{}: {:?}", w.name, report.uncaught);
+            let console = world.borrow().console_texts();
+            if let Some(e) = expect {
+                assert_eq!(console.last(), Some(&e), "{}", w.name);
+            }
+        }
+    }
+}

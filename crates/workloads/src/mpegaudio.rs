@@ -1,0 +1,145 @@
+//! `mpegaudio` analog — a DSP-style decoder loop.
+//!
+//! SPEC JVM98's `mpegaudio` decodes MPEG-Layer-3 audio: floating-point
+//! filter banks over framed input, with very few locks (14 717), few
+//! intercepted natives (10 031, mostly input reads) and almost no output
+//! commits (10). The analog synthesizes "frames" of samples, runs a
+//! windowed subband filter (double-precision dot products) per frame, and
+//! accumulates an energy figure through a synchronized sink, printing the
+//! total at the end.
+
+use crate::helpers::{count_loop, Std, Workload};
+use ftjvm_vm::class::builtin;
+use ftjvm_vm::program::ProgramBuilder;
+use ftjvm_vm::Insn;
+use std::sync::Arc;
+
+/// Builds the workload. Scale 1 decodes 448 frames of 64 samples.
+pub fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let std = Std::import(&mut b);
+
+    // Sink: static 0 = accumulated energy (int fixed-point).
+    let sink = b.add_class("spec/mpegaudio/Sink", builtin::OBJECT, 0, 1);
+    let mut absorb = b.method("Sink.absorb", 1);
+    absorb.static_of(sink).synchronized();
+    absorb.get_static(sink, 0).load(0).add().put_static(sink, 0).ret_void();
+    let absorb = absorb.build(&mut b);
+
+    // synth_frame(frame_no, samples): fills the sample array with a
+    // deterministic waveform.
+    let mut synth = b.method("synth_frame", 2);
+    {
+        let m = &mut synth;
+        // locals: 0=frame, 1=arr, 2=i
+        count_loop(m, 2, 0, 64, |m| {
+            // arr[i] = ((i * 7 + frame * 13) % 31) - 15
+            m.load(1).load(2);
+            m.load(2).push_i(7).mul().load(0).push_i(13).mul().add();
+            m.push_i(31).rem().push_i(15).sub();
+            m.astore();
+        });
+        m.ret_void();
+    }
+    let synth = synth.build(&mut b);
+
+    // filter(samples) -> energy: double-precision windowed dot product
+    // over 4 subbands.
+    let mut filter = b.method("filter", 1);
+    {
+        let m = &mut filter;
+        // locals: 0=arr, 1=band, 2=i, 3(double acc in stack? store in 3), 4=tmp
+        // acc (double) kept in local 3.
+        m.push_d(0.0).store(3);
+        count_loop(m, 1, 0, 4, |m| {
+            count_loop(m, 2, 0, 64, |m| {
+                // acc += arr[i] * window(band, i)
+                // window = 1.0 / (1 + band + (i % 8))
+                m.load(3);
+                m.load(0).load(2).aload().emit(Insn::I2D);
+                m.push_d(1.0);
+                m.push_i(1).load(1).add().load(2).push_i(8).rem().add().emit(Insn::I2D);
+                m.emit(Insn::DDiv);
+                m.emit(Insn::DMul);
+                m.emit(Insn::DAdd);
+                m.store(3);
+            });
+        });
+        // Return |acc| * 1000 as fixed-point int.
+        m.load(3).push_d(1000.0).emit(Insn::DMul).emit(Insn::D2I).store(4);
+        let pos = m.new_label();
+        m.load(4).push_i(0).icmp(ftjvm_vm::Cmp::Ge).if_true(pos);
+        m.load(4).emit(Insn::Neg).ret_val();
+        m.bind(pos);
+        m.load(4).ret_val();
+    }
+    let filter = filter.build(&mut b);
+
+    // main(scale)
+    let mut m = b.method("main", 1);
+    {
+        // locals: 0=scale, 1=frames, 2=i, 3=arr
+        m.push_i(0).put_static(sink, 0);
+        m.push_i(0).store(4); // local energy accumulator
+        m.load(0).push_i(448).mul().store(1);
+        m.push_i(64).new_array().store(3);
+        let done = m.new_label();
+        m.push_i(0).store(2);
+        let top = m.bind_new_label();
+        m.load(2).load(1).icmp(ftjvm_vm::Cmp::Ge).if_true(done);
+        m.load(2).load(3).invoke(synth);
+        // Accumulate locally; flush through the synchronized sink every 32
+        // frames (mpegaudio locks rarely).
+        m.load(3).invoke(filter).load(4).add().store(4);
+        {
+            let skip = m.new_label();
+            m.load(2).push_i(32).rem().if_true(skip);
+            m.load(4).invoke(absorb);
+            m.push_i(0).store(4);
+            m.bind(skip);
+        }
+        // Occasional ND input (the real decoder reads its bitstream; ours
+        // samples the RNG every 48 frames to model the input natives).
+        {
+            let skip = m.new_label();
+            m.load(2).push_i(48).rem().if_true(skip);
+            m.push_i(100).invoke_native(std.rand, 1).pop();
+            m.bind(skip);
+        }
+        m.inc(2, 1).goto(top);
+        m.bind(done);
+        m.load(4).invoke(absorb); // flush the remainder
+        m.get_static(sink, 0).invoke_native(std.print_int, 1);
+        m.ret_void();
+    }
+    let entry = m.build(&mut b);
+    Workload {
+        name: "mpegaudio",
+        description: "floating-point subband filter over synthesized frames (few locks, few natives)",
+        program: Arc::new(b.build(entry).expect("mpegaudio verifies")),
+        multithreaded: false,
+        paper_exec_secs: 419,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftjvm_core::{FtConfig, FtJvm};
+
+    #[test]
+    fn mpegaudio_produces_stable_energy() {
+        let w = workload();
+        let (report, world) =
+            FtJvm::new(w.program.clone(), FtConfig::default()).run_unreplicated().unwrap();
+        assert!(report.uncaught.is_empty(), "{:?}", report.uncaught);
+        let console = world.borrow().console_texts();
+        assert_eq!(console.len(), 1);
+        let energy: i64 = console[0].parse().unwrap();
+        assert!(energy > 0);
+        // Few locks, few natives — the mpegaudio signature.
+        assert!(report.counters.monitor_acquires < 100);
+        assert!(report.counters.native_calls < 50);
+        assert!(report.counters.instructions > 10_000, "but plenty of computation");
+    }
+}

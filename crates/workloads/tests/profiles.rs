@@ -1,0 +1,137 @@
+//! Locks in the Table 2 profile relationships the paper's evaluation
+//! depends on, so that workload edits cannot silently break the figures.
+
+use ftjvm_core::{FtConfig, FtJvm, ReplicationMode};
+use std::collections::HashMap;
+
+struct Profile {
+    locks: u64,
+    objects: u64,
+    natives: u64,
+    sched: u64,
+    base_ns: u64,
+}
+
+fn profiles() -> HashMap<&'static str, Profile> {
+    let mut out = HashMap::new();
+    for w in ftjvm_workloads::spec_suite() {
+        let (base, _) = FtJvm::new(w.program.clone(), FtConfig::default())
+            .run_unreplicated()
+            .expect("baseline");
+        let ts = FtJvm::new(
+            w.program.clone(),
+            FtConfig { mode: ReplicationMode::ThreadSched, ..FtConfig::default() },
+        )
+        .run_replicated()
+        .expect("ts run");
+        out.insert(
+            w.name,
+            Profile {
+                locks: base.counters.monitor_acquires,
+                objects: base.counters.objects_locked,
+                natives: base.counters.native_calls,
+                sched: ts.primary_stats.sched_records,
+                base_ns: base.acct.total().as_nanos(),
+            },
+        );
+    }
+    out
+}
+
+#[test]
+fn table2_profile_relationships_hold() {
+    let p = profiles();
+    let get = |n: &str| p.get(n).unwrap();
+
+    // db acquires the most locks — by a wide margin.
+    let db = get("db");
+    for name in ["jess", "jack", "compress", "mpegaudio", "mtrt"] {
+        assert!(
+            db.locks > 3 * get(name).locks,
+            "db ({}) must dominate {name} ({})",
+            db.locks,
+            get(name).locks
+        );
+    }
+    // jack locks the most distinct objects (a fresh token object each).
+    let jack = get("jack");
+    for name in ["jess", "compress", "db", "mpegaudio", "mtrt"] {
+        assert!(jack.objects > get(name).objects, "jack objects vs {name}");
+    }
+    // jack makes the most native calls (file-I/O heavy).
+    for name in ["jess", "compress", "db", "mpegaudio", "mtrt"] {
+        assert!(jack.natives > get(name).natives, "jack natives vs {name}");
+    }
+    // Only mtrt transmits schedule records.
+    for name in ["jess", "jack", "compress", "db", "mpegaudio"] {
+        assert_eq!(get(name).sched, 0, "{name} must not reschedule");
+    }
+    assert!(get("mtrt").sched > 0, "mtrt must reschedule");
+    // compress and mpegaudio barely lock at all.
+    assert!(get("compress").locks < 100);
+    assert!(get("mpegaudio").locks < 100);
+    // Baseline ordering: compress is the longest benchmark, as in the
+    // paper's Figure 2 caption (compress 541 s).
+    for name in ["jess", "jack", "db", "mpegaudio", "mtrt"] {
+        assert!(
+            get("compress").base_ns > get(name).base_ns,
+            "compress must be the longest baseline (vs {name})"
+        );
+    }
+}
+
+#[test]
+fn all_workloads_replicate_cleanly_under_both_modes() {
+    for w in ftjvm_workloads::spec_suite() {
+        for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+            let report = FtJvm::new(w.program.clone(), FtConfig { mode, ..FtConfig::default() })
+                .run_replicated()
+                .unwrap_or_else(|e| panic!("{} {mode}: {e}", w.name));
+            assert!(!report.crashed);
+            assert!(report.primary.uncaught.is_empty(), "{} {mode}", w.name);
+            report.check_no_duplicate_outputs().expect("unique output ids");
+        }
+    }
+}
+
+#[test]
+fn workloads_are_race_free_under_the_lockset_detector() {
+    // Every SPEC analog must satisfy R4A (they run under lock-sync in the
+    // figures) — verify with the Eraser-style detector, the way the paper
+    // suggests checking real programs.
+    use ftjvm_vm::env::{SimEnv, World};
+    use ftjvm_vm::exec::{Vm, VmConfig};
+    use ftjvm_vm::{NativeRegistry, NoopCoordinator};
+    for w in ftjvm_workloads::spec_suite() {
+        let world = World::shared();
+        let env = SimEnv::new("verify", world, ftjvm_netsim::SimTime::ZERO, 3);
+        let cfg = VmConfig { race_detect: true, ..VmConfig::default() };
+        let mut vm =
+            Vm::new(w.program.clone(), NativeRegistry::with_builtins(), env, cfg).expect("vm");
+        let report = vm.run(&mut NoopCoordinator::new()).expect("runs");
+        assert!(
+            report.races.is_empty(),
+            "{} violates R4A: {:?}",
+            w.name,
+            report.races
+        );
+    }
+}
+
+#[test]
+fn scale_argument_scales_event_counts_linearly() {
+    // The entry argument multiplies workload size: db at scale 2 performs
+    // ~2x the queries, locks and instructions of scale 1.
+    let w = ftjvm_workloads::db::workload();
+    let run_at = |scale: i64| {
+        let mut cfg = FtConfig::default();
+        cfg.vm.entry_arg = scale;
+        FtJvm::new(w.program.clone(), cfg).run_unreplicated().expect("runs").0.counters
+    };
+    let one = run_at(1);
+    let two = run_at(2);
+    let ratio = two.monitor_acquires as f64 / one.monitor_acquires as f64;
+    assert!((1.9..2.1).contains(&ratio), "lock ratio {ratio}");
+    let iratio = two.instructions as f64 / one.instructions as f64;
+    assert!((1.8..2.2).contains(&iratio), "instruction ratio {iratio}");
+}

@@ -1,0 +1,180 @@
+//! Command-line runner: execute a SPEC analog (or micro workload) under a
+//! chosen replication technique, optionally killing the primary, and print
+//! a full report.
+//!
+//! ```text
+//! cargo run --release --bin ftjvm-run -- db --mode lock --crash-at 500000
+//! cargo run --release --bin ftjvm-run -- mtrt --mode ts
+//! cargo run --release --bin ftjvm-run -- jack --mode lock --variant intervals --warm
+//! cargo run --release --bin ftjvm-run -- compress --baseline
+//! ```
+
+use ftjvm::netsim::{Category, FaultPlan};
+use ftjvm::workloads::Workload;
+use ftjvm::{FtConfig, FtJvm, ReplicationMode};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ftjvm-run <workload> [options]\n\
+         \n\
+         workloads: jess jack compress db mpegaudio mtrt\n\
+         \n\
+         options:\n\
+           --mode lock|ts        replication technique (default lock)\n\
+           --variant records|intervals   lock-record encoding (default records)\n\
+           --crash-at <units>    kill the primary after N execution units\n\
+           --crash-before-output <n>  kill in output n's uncertain window\n\
+           --warm                keep the backup warm (replays during normal operation)\n\
+           --seed <n>            primary scheduler seed (default 11)\n\
+           --baseline            run unreplicated only\n\
+           --disasm              print the program listing instead of running\n\
+           --dump-log <n>        print the first n log records instead of running"
+    );
+    std::process::exit(2)
+}
+
+fn workload_by_name(name: &str) -> Option<Workload> {
+    ftjvm::workloads::spec_suite().into_iter().find(|w| w.name == name)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else { usage() };
+    let Some(w) = workload_by_name(name) else {
+        eprintln!("unknown workload `{name}`");
+        usage()
+    };
+    let mut cfg = FtConfig::default();
+    let mut baseline = false;
+    let mut disasm = false;
+    let mut dump_log: Option<usize> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                i += 1;
+                cfg.mode = match args.get(i).map(String::as_str) {
+                    Some("lock") => ReplicationMode::LockSync,
+                    Some("ts") => ReplicationMode::ThreadSched,
+                    _ => usage(),
+                };
+            }
+            "--variant" => {
+                i += 1;
+                cfg.lock_variant = match args.get(i).map(String::as_str) {
+                    Some("records") => ftjvm::LockVariant::PerAcquisition,
+                    Some("intervals") => ftjvm::LockVariant::Intervals,
+                    _ => usage(),
+                };
+            }
+            "--crash-at" => {
+                i += 1;
+                let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.fault = FaultPlan::AfterInstructions(n);
+            }
+            "--crash-before-output" => {
+                i += 1;
+                let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.fault = FaultPlan::BeforeOutput(n);
+            }
+            "--warm" => cfg.warm_backup = true,
+            "--seed" => {
+                i += 1;
+                cfg.primary_seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--baseline" => baseline = true,
+            "--disasm" => disasm = true,
+            "--dump-log" => {
+                i += 1;
+                dump_log = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if disasm {
+        print!("{}", ftjvm::vm::disasm::disassemble(&w.program));
+        return;
+    }
+    if let Some(n) = dump_log {
+        let records = FtJvm::new(w.program.clone(), cfg.clone()).capture_log().expect("log capture");
+        println!("{} records logged by a failure-free [{} / {}] run; first {n}:", records.len(), cfg.mode, cfg.lock_variant);
+        for r in records.iter().take(n) {
+            println!("  {r}");
+        }
+        return;
+    }
+
+    let harness = FtJvm::new(w.program.clone(), cfg.clone());
+    println!("workload: {} — {}", w.name, w.description);
+    let (base, _) = harness.run_unreplicated().expect("baseline run");
+    println!(
+        "baseline: {} simulated ({} instructions, {} locks, {} native calls)",
+        base.acct.total(),
+        base.counters.instructions,
+        base.counters.monitor_acquires,
+        base.counters.native_calls
+    );
+    if baseline {
+        return;
+    }
+    let report = harness.run_replicated().expect("replicated run");
+    if report.crashed {
+        // A crashed primary ran only a prefix; a ratio against the full
+        // baseline would mislead.
+        println!(
+            "\nprimary [{} / {}]: {} simulated (partial — crashed)",
+            cfg.mode,
+            cfg.lock_variant,
+            report.primary.acct.total(),
+        );
+    } else {
+        println!(
+            "\nprimary [{} / {}]: {} simulated = {:.2}x baseline",
+            cfg.mode,
+            cfg.lock_variant,
+            report.primary.acct.total(),
+            report.primary.acct.total().as_nanos() as f64 / base.acct.total().as_nanos() as f64
+        );
+    }
+    for cat in Category::ALL {
+        let t = report.primary.acct.get(cat);
+        if t > ftjvm::netsim::SimTime::ZERO {
+            println!("  {cat:14} {t}");
+        }
+    }
+    let s = &report.primary_stats;
+    println!(
+        "  log: {} messages ({} lock, {} interval, {} id-map, {} sched, {} native, {} commit, {} se) \
+         in {} flushes, {} bytes; {} heartbeats",
+        s.messages_logged(),
+        s.lock_acq_records,
+        s.lock_interval_records,
+        s.id_map_records,
+        s.sched_records,
+        s.native_result_records,
+        s.output_commit_records,
+        s.se_state_records,
+        s.flushes,
+        s.bytes_logged,
+        s.heartbeats,
+    );
+    if report.crashed {
+        println!("\nprimary CRASHED; backup took over:");
+        println!("  detection latency:    {}", report.detection_latency);
+        println!("  recovery replay time: {}", report.recovery_replay_time);
+        println!("  failover latency:     {}", report.failover_latency);
+        let b = report.backup.as_ref().expect("backup ran");
+        println!("  backup total:         {}", b.acct.total());
+        report.check_no_duplicate_outputs().expect("exactly-once output");
+        println!("  exactly-once output:  ok");
+    }
+    println!("\nconsole ({} lines):", report.console().len());
+    for line in report.console().iter().take(12) {
+        println!("  {line}");
+    }
+    if report.console().len() > 12 {
+        println!("  … {} more", report.console().len() - 12);
+    }
+}

@@ -1,0 +1,177 @@
+//! The paper's §4.3 garbage-collection hazards, demonstrated executably:
+//! soft references and improper finalizers are channels for
+//! non-deterministic input, which is why the implementation treats soft
+//! references as strong and assumes finalizers only touch local state.
+
+use ftjvm::netsim::FaultPlan;
+use ftjvm::vm::class::builtin;
+use ftjvm::vm::program::ProgramBuilder;
+use ftjvm::vm::Cmp;
+use ftjvm::{FtConfig, FtJvm, ReplicationMode};
+use std::sync::Arc;
+
+/// A cache keyed through a soft reference: the program allocates garbage
+/// to create memory pressure, then checks whether its softly-referenced
+/// cache entry survived and prints a hit/miss trace. Under
+/// `collect_soft_refs`, whether the entry survives depends on *when* the
+/// collector ran — per-replica non-determinism.
+fn soft_cache_program(b: &mut ProgramBuilder) -> ftjvm::vm::MethodId {
+    let print = b.import_native("sys.print_int", 1, false);
+    let cls = b.add_class("Cache", builtin::OBJECT, 0, 1); // static 0 = SoftRef
+    let mut m = b.method("main", 1);
+    // cache = new SoftReference(new Object[3])
+    m.new_obj(builtin::SOFT_REF).dup();
+    m.push_i(3).new_array().put_field(builtin::SOFT_REF_REFERENT_SLOT);
+    m.put_static(cls, 0);
+    // 40 rounds: allocate garbage, then probe the cache.
+    let done = m.new_label();
+    m.push_i(0).store(1);
+    let top = m.bind_new_label();
+    m.load(1).push_i(40).icmp(Cmp::Ge).if_true(done);
+    m.push_i(16).new_array().pop(); // pressure
+    {
+        let hit = m.new_label();
+        let next = m.new_label();
+        m.get_static(cls, 0).get_field(builtin::SOFT_REF_REFERENT_SLOT);
+        m.if_null(hit); // inverted: null => miss path prints 0
+        m.push_i(1).invoke_native(print, 1);
+        m.goto(next);
+        m.bind(hit);
+        m.push_i(0).invoke_native(print, 1);
+        m.bind(next);
+    }
+    m.inc(1, 1).goto(top);
+    m.bind(done).ret_void();
+    m.build(b)
+}
+
+#[test]
+fn soft_refs_treated_as_strong_keep_replicas_identical() {
+    // The paper's shortcut (§4.3): soft references are never collected, so
+    // the cache-hit trace is all hits at every replica.
+    let mut b = ProgramBuilder::new();
+    let entry = soft_cache_program(&mut b);
+    let program = Arc::new(b.build(entry).unwrap());
+    let mut cfg = FtConfig {
+        mode: ReplicationMode::LockSync,
+        fault: FaultPlan::AfterInstructions(600),
+        ..FtConfig::default()
+    };
+    cfg.vm.gc_threshold = 12; // constant pressure
+    cfg.vm.collect_soft_refs = false; // the paper's setting
+    cfg.flush_threshold = 0;
+    let report = FtJvm::new(program, cfg).run_with_failure().unwrap();
+    assert!(report.crashed);
+    let console = report.console();
+    assert_eq!(console.len(), 40);
+    assert!(console.iter().all(|l| l == "1"), "all cache probes hit");
+    report.check_no_duplicate_outputs().unwrap();
+}
+
+#[test]
+fn collecting_soft_refs_makes_replicas_observably_diverge() {
+    // Flip the shortcut off: the collector clears the soft referent at
+    // pressure-dependent instants, which differ between primary and
+    // backup (different allocation/GC interleaving) — exactly the
+    // divergence the paper warns about ("the primary might find an object
+    // in its cache, while the backup might not").
+    let mut b = ProgramBuilder::new();
+    let entry = soft_cache_program(&mut b);
+    let program = Arc::new(b.build(entry).unwrap());
+    let mut saw_divergence = false;
+    for seed in 0..12u64 {
+        let mut cfg = FtConfig {
+            mode: ReplicationMode::LockSync,
+            fault: FaultPlan::AfterOutput(5),
+            primary_seed: seed,
+            backup_seed: seed ^ 0xDEAD,
+            ..FtConfig::default()
+        };
+        cfg.vm.gc_threshold = 8;
+        cfg.vm.quantum = 31;
+        cfg.vm.quantum_jitter = 29;
+        cfg.vm.collect_soft_refs = true; // violate the shortcut
+        cfg.flush_threshold = 0;
+        let mut free_cfg = cfg.clone();
+        free_cfg.fault = FaultPlan::None;
+        let free = match FtJvm::new(program.clone(), free_cfg).run_replicated() {
+            Ok(r) => r.console(),
+            Err(_) => continue,
+        };
+        match FtJvm::new(program.clone(), cfg).run_with_failure() {
+            Ok(r) => {
+                if r.console() != free {
+                    saw_divergence = true;
+                    break;
+                }
+            }
+            Err(_) => {
+                saw_divergence = true;
+                break;
+            }
+        }
+    }
+    assert!(
+        saw_divergence,
+        "collecting soft references should make at least one seed's replay observably diverge"
+    );
+}
+
+/// An *improper* finalizer (paper §4.3: "it is possible to write improper
+/// finalizer methods that do more than free unused memory"): it mutates a
+/// shared static that application code then reads. Because finalization
+/// timing is collector-driven, the value read differs between replicas.
+fn improper_finalizer_program(b: &mut ProgramBuilder) -> ftjvm::vm::MethodId {
+    let print = b.import_native("sys.print_int", 1, false);
+    let gc = b.import_native("sys.gc", 0, false);
+    let cls = b.add_class("Fin", builtin::OBJECT, 0, 1); // static 0 = finalize count
+    let mut fin = b.method("Fin.finalize", 1);
+    fin.get_static(cls, 0).push_i(1).add().put_static(cls, 0).ret_void();
+    let fin = fin.build(b);
+    b.set_finalizer(cls, fin);
+    let mut m = b.method("main", 1);
+    m.push_i(0).put_static(cls, 0);
+    let done = m.new_label();
+    m.push_i(0).store(1);
+    let top = m.bind_new_label();
+    m.load(1).push_i(12).icmp(Cmp::Ge).if_true(done);
+    // Allocate a finalizable object, drop it, nudge the collector, then
+    // print the finalize count the application can observe *right now*.
+    // Whether the finalizer *system thread* got scheduled between the
+    // collection and the probe depends on preemption timing.
+    m.new_obj(cls).pop();
+    m.invoke_native(gc, 0);
+    m.get_static(cls, 0).invoke_native(print, 1);
+    m.inc(1, 1).goto(top);
+    m.bind(done).ret_void();
+    m.build(b)
+}
+
+#[test]
+fn improper_finalizers_are_a_divergence_channel() {
+    // The observable finalize-count trace depends on when the finalizer
+    // *system thread* gets scheduled relative to the probes — and system
+    // threads are not replicated. Demonstrate that the trace is
+    // scheduling-dependent (two seeds disagree on a bare VM), which is
+    // exactly why the paper restricts finalizers to local, deterministic
+    // actions.
+    let mut b = ProgramBuilder::new();
+    let entry = improper_finalizer_program(&mut b);
+    let program = Arc::new(b.build(entry).unwrap());
+    let trace = |seed: u64, quantum: u32| {
+        let mut cfg = FtConfig { primary_seed: seed, ..FtConfig::default() };
+        cfg.vm.quantum = quantum;
+        cfg.vm.quantum_jitter = quantum / 2;
+        let (_, world) = FtJvm::new(program.clone(), cfg).run_unreplicated().unwrap();
+        let texts = world.borrow().console_texts();
+        texts
+    };
+    let mut distinct = std::collections::BTreeSet::new();
+    for seed in 0..10 {
+        distinct.insert(trace(seed, 23));
+    }
+    assert!(
+        distinct.len() > 1,
+        "finalizer-visible state should vary with scheduling: {distinct:?}"
+    );
+}

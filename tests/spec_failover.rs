@@ -1,0 +1,86 @@
+//! Cross-crate integration: every SPEC JVM98 analog survives a mid-run
+//! primary crash under both replication techniques with output equal to
+//! its own failure-free run.
+
+use ftjvm::netsim::FaultPlan;
+use ftjvm::workloads;
+use ftjvm::{FtConfig, FtJvm, ReplicationMode};
+
+fn failover_matches_free(w: &workloads::Workload, mode: ReplicationMode, fault: FaultPlan) {
+    let mk = |fault| FtConfig { mode, fault, ..FtConfig::default() };
+    let free = FtJvm::new(w.program.clone(), mk(FaultPlan::None))
+        .run_replicated()
+        .unwrap_or_else(|e| panic!("{} {mode} free: {e}", w.name));
+    let failed = FtJvm::new(w.program.clone(), mk(fault))
+        .run_with_failure()
+        .unwrap_or_else(|e| panic!("{} {mode} {fault:?}: {e}", w.name));
+    assert!(failed.crashed, "{} {mode} {fault:?} should crash", w.name);
+    assert_eq!(failed.console(), free.console(), "{} {mode} {fault:?}", w.name);
+    failed
+        .check_no_duplicate_outputs()
+        .unwrap_or_else(|id| panic!("{} {mode}: duplicate output {id}", w.name));
+}
+
+/// Single-threaded workloads produce identical consoles; mtrt (checksum is
+/// interleaving-dependent through the modulus) is handled separately.
+macro_rules! spec_case {
+    ($name:ident, $builder:path, $fault:expr) => {
+        #[test]
+        fn $name() {
+            let w = $builder();
+            for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+                failover_matches_free(&w, mode, $fault);
+            }
+        }
+    };
+}
+
+spec_case!(compress_failover_early, workloads::compress::workload, FaultPlan::AfterInstructions(10_000));
+spec_case!(compress_failover_late, workloads::compress::workload, FaultPlan::AfterInstructions(2_000_000));
+spec_case!(jess_failover, workloads::jess::workload, FaultPlan::AfterInstructions(300_000));
+spec_case!(jack_failover, workloads::jack::workload, FaultPlan::AfterInstructions(400_000));
+spec_case!(db_failover, workloads::db::workload, FaultPlan::AfterInstructions(800_000));
+spec_case!(mpegaudio_failover, workloads::mpegaudio::workload, FaultPlan::AfterInstructions(1_000_000));
+spec_case!(jess_uncertain_output, workloads::jess::workload, FaultPlan::BeforeOutput(2));
+spec_case!(jack_after_output, workloads::jack::workload, FaultPlan::AfterOutput(0));
+spec_case!(db_uncertain_output, workloads::db::workload, FaultPlan::BeforeOutput(1));
+
+#[test]
+fn mtrt_failover_both_modes() {
+    // mtrt's checksum folds a modulus over a scheduling-dependent
+    // accumulation order, so the reference must come from a *complete-log*
+    // crash (BeforeOutput(0) commits — and therefore flushes — the whole
+    // execution).
+    let w = workloads::mtrt::workload();
+    for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+        failover_matches_free(&w, mode, FaultPlan::BeforeOutput(0));
+    }
+}
+
+#[test]
+fn file_workloads_leave_exact_stable_state() {
+    let w = workloads::jack::workload();
+    let mk = |fault| FtConfig { mode: ReplicationMode::LockSync, fault, ..FtConfig::default() };
+    let free = FtJvm::new(w.program.clone(), mk(FaultPlan::None)).run_replicated().unwrap();
+    let failed = FtJvm::new(w.program.clone(), mk(FaultPlan::AfterInstructions(200_000)))
+        .run_with_failure()
+        .unwrap();
+    let f1 = free.world.borrow().file("grammar.jack").unwrap().to_vec();
+    let f2 = failed.world.borrow().file("grammar.jack").unwrap().to_vec();
+    assert_eq!(f1, f2, "grammar file identical after failover");
+}
+
+#[test]
+fn replication_stats_match_between_free_and_crash_prefix() {
+    // The crash run's primary stats must be a prefix-consistent subset of
+    // the free run's (same seed => same trajectory until the crash).
+    let w = workloads::jess::workload();
+    let mk = |fault| FtConfig { mode: ReplicationMode::LockSync, fault, ..FtConfig::default() };
+    let free = FtJvm::new(w.program.clone(), mk(FaultPlan::None)).run_replicated().unwrap();
+    let failed = FtJvm::new(w.program.clone(), mk(FaultPlan::AfterInstructions(100_000)))
+        .run_with_failure()
+        .unwrap();
+    assert!(failed.primary_stats.locks_acquired <= free.primary_stats.locks_acquired);
+    assert!(failed.primary_stats.nm_intercepted <= free.primary_stats.nm_intercepted);
+    assert!(failed.primary_stats.messages_logged() <= free.primary_stats.messages_logged());
+}
