@@ -31,9 +31,7 @@ fn bench_records(c: &mut Criterion) {
     for (name, rec) in [("lock_acq", &lock), ("sched", &sched), ("native_result", &nd)] {
         let bytes = rec.encode().len() as u64;
         group.throughput(Throughput::Bytes(bytes));
-        group.bench_function(format!("encode/{name}"), |b| {
-            b.iter(|| black_box(rec.encode()))
-        });
+        group.bench_function(format!("encode/{name}"), |b| b.iter(|| black_box(rec.encode())));
         let frame = rec.encode();
         group.bench_function(format!("decode/{name}"), |b| {
             b.iter(|| black_box(Record::decode(frame.clone()).expect("decodes")))

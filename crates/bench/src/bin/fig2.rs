@@ -29,9 +29,21 @@ fn main() {
     }
     println!();
     for r in &rows {
-        println!("{:10} TS prim  |{}", r.name, bar(r.normalized_primary(ReplicationMode::ThreadSched), 12));
-        println!("{:10} TS bkup  |{}", "", bar(r.normalized_backup(ReplicationMode::ThreadSched), 12));
-        println!("{:10} Lk prim  |{}", "", bar(r.normalized_primary(ReplicationMode::LockSync), 12));
+        println!(
+            "{:10} TS prim  |{}",
+            r.name,
+            bar(r.normalized_primary(ReplicationMode::ThreadSched), 12)
+        );
+        println!(
+            "{:10} TS bkup  |{}",
+            "",
+            bar(r.normalized_backup(ReplicationMode::ThreadSched), 12)
+        );
+        println!(
+            "{:10} Lk prim  |{}",
+            "",
+            bar(r.normalized_primary(ReplicationMode::LockSync), 12)
+        );
         println!("{:10} Lk bkup  |{}", "", bar(r.normalized_backup(ReplicationMode::LockSync), 12));
     }
     // Means (the paper's headline numbers: lock-sync ~2.4x, TS ~1.6x).

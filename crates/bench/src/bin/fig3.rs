@@ -35,5 +35,7 @@ fn main() {
         println!();
     }
     println!("\nlegend: (o)riginal (c)ommunication (l)ock-acquire (m)isc (p)essimistic");
-    println!("paper shape: communication dominates; db worst (~375% overhead), mpegaudio best (~5%)");
+    println!(
+        "paper shape: communication dominates; db worst (~375% overhead), mpegaudio best (~5%)"
+    );
 }

@@ -35,6 +35,8 @@ fn main() {
         println!();
     }
     println!("\nlegend: (o)riginal (c)ommunication (r)escheduling (m)isc (p)essimistic");
-    println!("paper shape: Misc (per-instruction bookkeeping) dominates; only mtrt pays communication;");
+    println!(
+        "paper shape: Misc (per-instruction bookkeeping) dominates; only mtrt pays communication;"
+    );
     println!("overheads range ~15% (compress) to ~100% (jack)");
 }

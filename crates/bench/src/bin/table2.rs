@@ -27,38 +27,39 @@ fn main() {
         }
         println!();
     };
-    line(
-        "Both / NM (intercepted)",
-        rows.iter().map(|r| r.lock_stats.nm_intercepted).collect(),
-    );
-    line(
-        "Both / NM Output Commits",
-        rows.iter().map(|r| r.lock_stats.output_commits).collect(),
-    );
-    line(
-        "Lock / Logged Messages",
-        rows.iter().map(|r| r.lock_stats.messages_logged()).collect(),
-    );
-    line(
-        "Lock / Locks Acquired",
-        rows.iter().map(|r| r.lock_stats.locks_acquired).collect(),
-    );
-    line(
-        "Lock / Objects Locked",
-        rows.iter().map(|r| r.counters.objects_locked).collect(),
-    );
-    line(
-        "Lock / Largest l_asn",
-        rows.iter().map(|r| r.lock_stats.largest_lasn).collect(),
-    );
-    line(
-        "TS / Logged Messages",
-        rows.iter().map(|r| r.ts_stats.messages_logged()).collect(),
-    );
-    line(
-        "TS / Reschedules",
-        rows.iter().map(|r| r.ts_stats.sched_records).collect(),
-    );
+    line("Both / NM (intercepted)", rows.iter().map(|r| r.lock_stats.nm_intercepted).collect());
+    line("Both / NM Output Commits", rows.iter().map(|r| r.lock_stats.output_commits).collect());
+    line("Lock / Logged Messages", rows.iter().map(|r| r.lock_stats.messages_logged()).collect());
+    line("Lock / Locks Acquired", rows.iter().map(|r| r.lock_stats.locks_acquired).collect());
+    line("Lock / Objects Locked", rows.iter().map(|r| r.counters.objects_locked).collect());
+    line("Lock / Largest l_asn", rows.iter().map(|r| r.lock_stats.largest_lasn).collect());
+    line("TS / Logged Messages", rows.iter().map(|r| r.ts_stats.messages_logged()).collect());
+    line("TS / Reschedules", rows.iter().map(|r| r.ts_stats.sched_records).collect());
+    println!();
+    println!("Bytes per record family (lock-sync primary, fixed codec):");
+    print!("{:34}", "family");
+    for n in &names {
+        print!("{:>w$}", *n);
+    }
+    println!();
+    for fam in 0..rows[0].lock_stats.family_bytes().len() {
+        let label = rows[0].lock_stats.family_bytes()[fam].0;
+        print!("{:24}{:>10}", format!("  {label}"), "bytes");
+        for r in &rows {
+            let (_, _, bytes) = r.lock_stats.family_bytes()[fam];
+            print!("{bytes:>w$}");
+        }
+        println!();
+        print!("{:24}{:>10}", "", "B/record");
+        for r in &rows {
+            let (_, count, bytes) = r.lock_stats.family_bytes()[fam];
+            match bytes.checked_div(count) {
+                Some(per) => print!("{per:>w$}"),
+                None => print!("{:>w$}", "-"),
+            }
+        }
+        println!();
+    }
     println!();
     println!("Paper shape checks:");
     let db = rows.iter().find(|r| r.name == "db").expect("db row");
@@ -74,15 +75,11 @@ fn main() {
         "  jack locks the most unique objects: {}",
         if jack.counters.objects_locked == max_objs { "yes" } else { "NO" }
     );
-    let only_mtrt_resched = rows
-        .iter()
-        .all(|r| (r.ts_stats.sched_records > 0) == (r.name == "mtrt"));
+    let only_mtrt_resched =
+        rows.iter().all(|r| (r.ts_stats.sched_records > 0) == (r.name == "mtrt"));
     println!(
         "  only mtrt transmits schedule records: {}",
         if only_mtrt_resched { "yes" } else { "NO" }
     );
-    println!(
-        "  mtrt reschedules: {} (paper: 29163 full-scale)",
-        mtrt.ts_stats.sched_records
-    );
+    println!("  mtrt reschedules: {} (paper: 29163 full-scale)", mtrt.ts_stats.sched_records);
 }

@@ -110,7 +110,11 @@ pub fn measure_suite() -> Vec<BenchRow> {
 
 /// Renders one stacked-bar breakdown row (Figures 3 and 4): per-category
 /// share normalized to the baseline.
-pub fn breakdown(acct: &TimeAccount, base: SimTime, bookkeeping: Category) -> [(&'static str, f64); 5] {
+pub fn breakdown(
+    acct: &TimeAccount,
+    base: SimTime,
+    bookkeeping: Category,
+) -> [(&'static str, f64); 5] {
     let norm = |t: SimTime| {
         if base == SimTime::ZERO {
             0.0

@@ -19,18 +19,19 @@
 //!   hands out fresh output ids once execution passes the end of the log
 //!   (§3.4, §4.1).
 
-use crate::records::{LoggedResult, Record, sig_hash};
+use crate::codec::RecordDecoder;
+use crate::records::{sig_hash, LoggedResult, Record};
 use crate::se::SeRegistry;
 use crate::stats::ReplicationStats;
 use bytes::Bytes;
 use ftjvm_netsim::{Category, CostModel, SimTime, TimeAccount};
-use ftjvm_vm::native::NativeDecl;
-use ftjvm_vm::{
-    AdoptedOutcome, Coordinator, MonitorDecision, NativeDirective, ObjRef, SharedWorld,
-    StopReason, SwitchReason, ThreadObs, ThreadSnap, Value, VmError, VtPath,
-};
 use ftjvm_vm::coordinator::Pick;
+use ftjvm_vm::native::NativeDecl;
 use ftjvm_vm::ThreadIdx;
+use ftjvm_vm::{
+    AdoptedOutcome, Coordinator, MonitorDecision, NativeDirective, ObjRef, SharedWorld, StopReason,
+    SwitchReason, ThreadObs, ThreadSnap, Value, VmError, VtPath,
+};
 use std::collections::{HashMap, VecDeque};
 
 #[derive(Debug, Clone)]
@@ -112,60 +113,81 @@ impl BackupLog {
     /// corruption means a protocol bug.
     pub fn decode(frames: Vec<Bytes>, se: &mut SeRegistry) -> Result<BackupLog, VmError> {
         let mut log = BackupLog::default();
-        for (idx, frame) in frames.into_iter().enumerate() {
-            let rec = Record::decode(frame).map_err(|e| {
-                VmError::Internal(format!("malformed log record at index {idx}: {e}"))
+        // One decoder across all frames: the compact codec's delta context
+        // spans batch boundaries, mirroring the primary's encoder. Frames
+        // are self-describing, so fixed records (heartbeats, or a whole
+        // fixed-codec log) and compact batches may interleave.
+        let mut decoder = RecordDecoder::new();
+        let mut scratch = Vec::new();
+        let mut idx = 0usize;
+        for (frame_idx, frame) in frames.into_iter().enumerate() {
+            scratch.clear();
+            decoder.decode_frame(frame, &mut scratch).map_err(|e| {
+                VmError::Internal(format!(
+                    "malformed log record at index {idx} (frame {frame_idx}): {e}"
+                ))
             })?;
-            log.total_records += 1;
-            match rec {
-                Record::IdMap { l_id, t, t_asn } => {
-                    log.progress_max.insert(t.clone(), idx);
-                    log.id_maps.insert((t, t_asn), l_id);
-                }
-                Record::LockAcq { t, t_asn, l_id, l_asn } => {
-                    log.lock_total += 1;
-                    log.progress_max.insert(t.clone(), idx);
-                    log.lock_acqs.entry(t).or_default().push_back(LockAcqRec { t_asn, l_id, l_asn });
-                }
-                Record::Sched { t, br_cnt, method, pc_off, mon_cnt, l_asn, in_native, next } => {
-                    log.sched.push_back(SchedRec {
-                        t,
-                        br_cnt,
-                        method,
-                        pc_off,
-                        mon_cnt,
-                        l_asn,
-                        in_native,
-                        next,
-                    });
-                }
-                Record::NativeResult { t, seq, sig_hash, result, out_args } => {
-                    log.progress_max.insert(t.clone(), idx);
-                    log.nd.entry(t).or_default().push_back(NdRec { seq, sig_hash, result, out_args });
-                }
-                Record::OutputCommit { t, seq, output_id } => {
-                    log.max_output_id = log.max_output_id.max(output_id);
-                    log.has_outputs = true;
-                    log.progress_max.insert(t.clone(), idx);
-                    log.commits
-                        .entry(t)
-                        .or_default()
-                        .push_back(CommitRec { seq, output_id, global_idx: idx });
-                }
-                Record::LockInterval { t, t_asn_start, count } => {
-                    log.interval_total += count as usize;
-                    log.progress_max.insert(t.clone(), idx);
-                    log.intervals.push_back(IntervalRec { t, t_asn_start, count, remaining: count });
-                }
-                Record::Heartbeat { .. } => {
-                    // Liveness only; carries no replay information.
-                }
-                Record::SeState { handler, payload } => {
-                    se.receive(handler, payload);
-                }
+            for rec in scratch.drain(..) {
+                log.ingest(idx, rec, se);
+                idx += 1;
             }
         }
         Ok(log)
+    }
+
+    /// Indexes one decoded record. `idx` is the record's position in the
+    /// flat log (the global order replay replays in); under the compact
+    /// codec a batch frame contributes one index per contained record.
+    fn ingest(&mut self, idx: usize, rec: Record, se: &mut SeRegistry) {
+        self.total_records += 1;
+        match rec {
+            Record::IdMap { l_id, t, t_asn } => {
+                self.progress_max.insert(t.clone(), idx);
+                self.id_maps.insert((t, t_asn), l_id);
+            }
+            Record::LockAcq { t, t_asn, l_id, l_asn } => {
+                self.lock_total += 1;
+                self.progress_max.insert(t.clone(), idx);
+                self.lock_acqs.entry(t).or_default().push_back(LockAcqRec { t_asn, l_id, l_asn });
+            }
+            Record::Sched { t, br_cnt, method, pc_off, mon_cnt, l_asn, in_native, next } => {
+                self.sched.push_back(SchedRec {
+                    t,
+                    br_cnt,
+                    method,
+                    pc_off,
+                    mon_cnt,
+                    l_asn,
+                    in_native,
+                    next,
+                });
+            }
+            Record::NativeResult { t, seq, sig_hash, result, out_args } => {
+                self.progress_max.insert(t.clone(), idx);
+                self.nd.entry(t).or_default().push_back(NdRec { seq, sig_hash, result, out_args });
+            }
+            Record::OutputCommit { t, seq, output_id } => {
+                self.max_output_id = self.max_output_id.max(output_id);
+                self.has_outputs = true;
+                self.progress_max.insert(t.clone(), idx);
+                self.commits.entry(t).or_default().push_back(CommitRec {
+                    seq,
+                    output_id,
+                    global_idx: idx,
+                });
+            }
+            Record::LockInterval { t, t_asn_start, count } => {
+                self.interval_total += count as usize;
+                self.progress_max.insert(t.clone(), idx);
+                self.intervals.push_back(IntervalRec { t, t_asn_start, count, remaining: count });
+            }
+            Record::Heartbeat { .. } => {
+                // Liveness only; carries no replay information.
+            }
+            Record::SeState { handler, payload } => {
+                se.receive(handler, payload);
+            }
+        }
     }
 
     /// Total records received.
@@ -258,7 +280,12 @@ impl NativeReplay {
     }
 
     /// The replay decision for one native invocation (§4.1, §3.4).
-    fn directive(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl, acct: &mut TimeAccount) -> NativeDirective {
+    fn directive(
+        &mut self,
+        t: &ThreadObs<'_>,
+        decl: &NativeDecl,
+        acct: &mut TimeAccount,
+    ) -> NativeDirective {
         if !(decl.nondeterministic || decl.output) {
             return NativeDirective::Execute;
         }
@@ -277,7 +304,10 @@ impl NativeReplay {
                 *c
             };
             if rec.seq != consumed {
-                self.fail(t.t, format!("ND result sequence {} but thread consumed {}", rec.seq, consumed));
+                self.fail(
+                    t.t,
+                    format!("ND result sequence {} but thread consumed {}", rec.seq, consumed),
+                );
             }
             if rec.sig_hash != sig_hash(&decl.name) {
                 self.fail(
@@ -290,11 +320,8 @@ impl NativeReplay {
                 );
             }
         }
-        let commit = if decl.output {
-            self.commits.get_mut(&vt).and_then(|q| q.pop_front())
-        } else {
-            None
-        };
+        let commit =
+            if decl.output { self.commits.get_mut(&vt).and_then(|q| q.pop_front()) } else { None };
         if let Some(c) = &commit {
             let consumed = {
                 let x = self.commit_consumed.entry(vt.clone()).or_insert(0);
@@ -302,7 +329,10 @@ impl NativeReplay {
                 *x
             };
             if c.seq != consumed {
-                self.fail(t.t, format!("output commit sequence {} but thread performed {}", c.seq, consumed));
+                self.fail(
+                    t.t,
+                    format!("output commit sequence {} but thread performed {}", c.seq, consumed),
+                );
             }
         }
         if nd_rec.is_none() && commit.is_none() {
@@ -312,16 +342,16 @@ impl NativeReplay {
         }
         if decl.output && commit.is_none() {
             // A logged result implies its (earlier) commit record arrived.
-            self.fail(t.t, format!("native `{}` has a logged result but no output commit", decl.name));
+            self.fail(
+                t.t,
+                format!("native `{}` has a logged result but no output commit", decl.name),
+            );
             return NativeDirective::Execute;
         }
         let performed = match &commit {
             Some(c) => {
-                let proven = self
-                    .progress_max
-                    .get(&vt)
-                    .map(|max| c.global_idx < *max)
-                    .unwrap_or(false);
+                let proven =
+                    self.progress_max.get(&vt).map(|max| c.global_idx < *max).unwrap_or(false);
                 if proven {
                     // A later record from the same thread proves it ran
                     // past this output (the body executes before the
@@ -367,7 +397,9 @@ impl NativeReplay {
             .map(|r| {
                 r.out_args
                     .into_iter()
-                    .map(|(i, vs)| (i, vs.into_iter().map(|w| w.to_value()).collect::<Vec<Value>>()))
+                    .map(|(i, vs)| {
+                        (i, vs.into_iter().map(|w| w.to_value()).collect::<Vec<Value>>())
+                    })
                     .collect()
             })
             .unwrap_or_default();
@@ -455,7 +487,11 @@ impl Coordinator for LockSyncBackup {
         if rec.t_asn != t.t_asn + 1 {
             self.replay.fail(
                 t.t,
-                format!("lock record t_asn {} but thread is at acquisition {}", rec.t_asn, t.t_asn + 1),
+                format!(
+                    "lock record t_asn {} but thread is at acquisition {}",
+                    rec.t_asn,
+                    t.t_asn + 1
+                ),
             );
             return MonitorDecision::Grant;
         }
@@ -548,7 +584,10 @@ impl Coordinator for LockSyncBackup {
                         if mapped != rec.l_id {
                             self.replay.fail(
                                 t.t,
-                                format!("id map assigns lock {mapped} but record names lock {}", rec.l_id),
+                                format!(
+                                    "id map assigns lock {mapped} but record names lock {}",
+                                    rec.l_id
+                                ),
                             );
                         }
                         Some(rec.l_id)
@@ -572,7 +611,12 @@ impl Coordinator for LockSyncBackup {
         self.replay.directive(t, decl, acct)
     }
 
-    fn begin_output(&mut self, _t: &ThreadObs<'_>, _decl: &NativeDecl, _acct: &mut TimeAccount) -> u64 {
+    fn begin_output(
+        &mut self,
+        _t: &ThreadObs<'_>,
+        _decl: &NativeDecl,
+        _acct: &mut TimeAccount,
+    ) -> u64 {
         self.replay.live_output_id()
     }
 
@@ -633,16 +677,27 @@ impl TsBackup {
     }
 
     /// Does `snap`/`obs` match the front record's progress point?
-    fn matches_front(rec: &SchedRec, br: u64, mon: u64, method: Option<u32>, pc: u32, in_native: bool) -> bool {
+    fn matches_front(
+        rec: &SchedRec,
+        br: u64,
+        mon: u64,
+        method: Option<u32>,
+        pc: u32,
+        in_native: bool,
+    ) -> bool {
         if rec.br_cnt != br || rec.in_native != in_native {
             return false;
         }
         if in_native {
             // Inside a native method the JVM cannot see the PC; the replay
             // point is identified by the monitor-operation count (§4.2).
-            rec.mon_cnt == mon && rec.pc_off == pc && method.map(|m| m == rec.method).unwrap_or(false)
+            rec.mon_cnt == mon
+                && rec.pc_off == pc
+                && method.map(|m| m == rec.method).unwrap_or(false)
         } else {
-            rec.mon_cnt == mon && rec.pc_off == pc && method.map(|m| m == rec.method).unwrap_or(false)
+            rec.mon_cnt == mon
+                && rec.pc_off == pc
+                && method.map(|m| m == rec.method).unwrap_or(false)
         }
     }
 
@@ -710,7 +765,10 @@ impl Coordinator for TsBackup {
         if &rec.t != vt {
             self.replay.fail(
                 t.t,
-                format!("designated thread {vt} running but front schedule record is for {}", rec.t),
+                format!(
+                    "designated thread {vt} running but front schedule record is for {}",
+                    rec.t
+                ),
             );
             return false;
         }
@@ -788,7 +846,8 @@ impl Coordinator for TsBackup {
                 } else {
                     self.replay.fail(
                         t.t,
-                        "designated thread exited with logged interactions left to reproduce".into(),
+                        "designated thread exited with logged interactions left to reproduce"
+                            .into(),
                     );
                 }
             }
@@ -818,7 +877,12 @@ impl Coordinator for TsBackup {
         self.replay.directive(t, decl, acct)
     }
 
-    fn begin_output(&mut self, _t: &ThreadObs<'_>, _decl: &NativeDecl, _acct: &mut TimeAccount) -> u64 {
+    fn begin_output(
+        &mut self,
+        _t: &ThreadObs<'_>,
+        _decl: &NativeDecl,
+        _acct: &mut TimeAccount,
+    ) -> u64 {
         self.replay.live_output_id()
     }
 
@@ -840,7 +904,6 @@ impl Coordinator for TsBackup {
     fn on_exit(&mut self, _acct: &mut TimeAccount) {}
 }
 
-
 /// Backup coordinator for **interval-compressed lock synchronization**
 /// recovery: enforces the total acquisition order recorded as
 /// [`Record::LockInterval`]s — during interval *i* only its thread may
@@ -857,7 +920,11 @@ impl IntervalBackup {
     pub fn new(mut log: BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
         let intervals = std::mem::take(&mut log.intervals);
         let remaining_total = log.interval_total;
-        IntervalBackup { replay: NativeReplay::new(&mut log, world, se, cost), intervals, remaining_total }
+        IntervalBackup {
+            replay: NativeReplay::new(&mut log, world, se, cost),
+            intervals,
+            remaining_total,
+        }
     }
 
     /// Backup-side statistics.
@@ -950,7 +1017,12 @@ impl Coordinator for IntervalBackup {
         self.replay.directive(t, decl, acct)
     }
 
-    fn begin_output(&mut self, _t: &ThreadObs<'_>, _decl: &NativeDecl, _acct: &mut TimeAccount) -> u64 {
+    fn begin_output(
+        &mut self,
+        _t: &ThreadObs<'_>,
+        _decl: &NativeDecl,
+        _acct: &mut TimeAccount,
+    ) -> u64 {
         self.replay.live_output_id()
     }
 

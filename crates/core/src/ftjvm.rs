@@ -16,10 +16,10 @@ use crate::backup::{BackupLog, IntervalBackup, LockSyncBackup, TsBackup};
 use crate::primary::{IntervalPrimary, LockSyncPrimary, PrimaryCore, TsPrimary};
 use crate::se::SeRegistry;
 use crate::stats::ReplicationStats;
-use ftjvm_netsim::{ChannelStats, FailureDetector, FaultPlan, SimChannel, SimTime};
+use ftjvm_netsim::{ChannelStats, FailureDetector, FaultPlan, SimChannel, SimTime, WireCodec};
 use ftjvm_vm::{
-    NativeRegistry, NoopCoordinator, Program, RunOutcome, RunReport, SharedWorld,
-    SimEnv, Vm, VmConfig, VmError, World,
+    NativeRegistry, NoopCoordinator, Program, RunOutcome, RunReport, SharedWorld, SimEnv, Vm,
+    VmConfig, VmError, World,
 };
 use std::sync::Arc;
 
@@ -100,6 +100,11 @@ pub struct FtConfig {
     /// Smaller values narrow the window of records lost at a crash, at a
     /// higher communication cost.
     pub flush_threshold: usize,
+    /// Wire codec for the primary-to-backup log. [`WireCodec::Fixed`]
+    /// (default) sends one fixed-width message per record;
+    /// [`WireCodec::Compact`] delta/varint-encodes records and sends one
+    /// batch frame per flush. Replay behavior is identical under both.
+    pub codec: WireCodec,
     /// Failure-detection parameters.
     pub detector: FailureDetector,
     /// Factory for the side-effect-handler registry (one per replica).
@@ -121,6 +126,7 @@ impl Default for FtConfig {
             backup_env_seed: 0xB0B,
             fault: FaultPlan::None,
             flush_threshold: 16 * 1024,
+            codec: WireCodec::Fixed,
             detector: FailureDetector::default(),
             se_factory: SeRegistry::with_builtins,
         }
@@ -131,6 +137,7 @@ impl std::fmt::Debug for FtConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FtConfig")
             .field("mode", &self.mode)
+            .field("codec", &self.codec)
             .field("fault", &self.fault)
             .field("primary_seed", &self.primary_seed)
             .field("backup_seed", &self.backup_seed)
@@ -253,6 +260,7 @@ impl FtJvm {
         let mut core =
             PrimaryCore::new(channel, self.cfg.vm.cost.clone(), fault, (self.cfg.se_factory)());
         core.flush_threshold = self.cfg.flush_threshold;
+        core.set_codec(self.cfg.codec);
         core.set_heartbeat_interval(self.cfg.detector.interval());
         let penv = self.primary_env(world);
         let mut vm = Vm::new(
@@ -450,14 +458,9 @@ impl FtJvm {
     pub fn capture_log(&self) -> Result<Vec<crate::records::Record>, VmError> {
         let world = World::shared();
         let (_, mut channel, _, _) = self.run_primary_phase(&world, FaultPlan::None)?;
-        channel
-            .drain()
-            .into_iter()
-            .map(|(_, frame)| {
-                crate::records::Record::decode(frame)
-                    .map_err(|e| VmError::Internal(format!("own log failed to decode: {e}")))
-            })
-            .collect()
+        let frames = channel.drain().into_iter().map(|(_, frame)| frame).collect();
+        crate::codec::decode_frames(frames)
+            .map_err(|e| VmError::Internal(format!("own log failed to decode: {e}")))
     }
 
     /// Convenience: returns a coordinator-less clone of the program for

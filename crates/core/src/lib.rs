@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod backup;
+pub mod codec;
 pub mod ftjvm;
 pub mod primary;
 pub mod records;
@@ -61,7 +62,9 @@ pub mod se;
 pub mod stats;
 
 pub use backup::{BackupLog, IntervalBackup, LockSyncBackup, TsBackup};
+pub use codec::{build_batch_frame, decode_frames, RecordDecoder, RecordEncoder};
 pub use ftjvm::{FtConfig, FtJvm, LockVariant, PairReport, ReplicationMode};
+pub use ftjvm_netsim::WireCodec;
 pub use primary::{IntervalPrimary, LockSyncPrimary, PrimaryCore, TsPrimary};
 pub use records::{LoggedResult, Record, WireValue};
 pub use se::{SeRegistration, SeRegistry, SideEffectHandler, SocketHandler};

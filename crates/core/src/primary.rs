@@ -13,10 +13,11 @@
 //!   logs a thread-schedule record whenever the scheduler switches between
 //!   two application threads (§4.2, *Replicated Thread Scheduling*).
 
+use crate::codec::{build_batch_frame, RecordEncoder};
 use crate::records::{sig_hash, LoggedResult, Record, WireValue};
 use crate::se::SeRegistry;
 use crate::stats::ReplicationStats;
-use ftjvm_netsim::{Category, CostModel, FaultPlan, SimChannel, SimTime, TimeAccount};
+use ftjvm_netsim::{Category, CostModel, FaultPlan, SimChannel, SimTime, TimeAccount, WireCodec};
 
 use ftjvm_vm::native::{NativeDecl, NativeOutcome};
 use ftjvm_vm::{
@@ -36,6 +37,11 @@ pub struct PrimaryCore {
     /// commit and program exit — the paper's "periodically or on an output
     /// commit").
     pub flush_threshold: usize,
+    /// Record encoding on the wire. Under [`WireCodec::Compact`] records
+    /// are delta/varint-encoded at log time and a flush sends one batch
+    /// frame instead of one message per record.
+    codec: WireCodec,
+    enc: RecordEncoder,
     crashed: bool,
     error: Option<VmError>,
     units: u64,
@@ -69,6 +75,8 @@ impl PrimaryCore {
             buffer: Vec::new(),
             buffered_bytes: 0,
             flush_threshold: 16 * 1024,
+            codec: WireCodec::Fixed,
+            enc: RecordEncoder::new(),
             crashed: false,
             error: None,
             units: 0,
@@ -81,6 +89,13 @@ impl PrimaryCore {
             se,
             stats: ReplicationStats::default(),
         }
+    }
+
+    /// Selects the wire codec. Call before the first record is logged: the
+    /// compact encoder's delta context starts at the log's beginning.
+    pub fn set_codec(&mut self, codec: WireCodec) {
+        debug_assert_eq!(self.stats.messages_logged(), 0, "codec chosen after logging began");
+        self.codec = codec;
     }
 
     /// Consumes the core, returning the channel (the harness drains it into
@@ -104,13 +119,24 @@ impl PrimaryCore {
     /// side-effect snapshot): a flush boundary between them would leave
     /// the backup with a logged result but a stale volatile-state
     /// snapshot, silently corrupting recovery.
-    fn log_deferred(&mut self, rec: Record, cat: Category, create_cost: SimTime, acct: &mut TimeAccount) {
+    fn log_deferred(
+        &mut self,
+        rec: Record,
+        cat: Category,
+        create_cost: SimTime,
+        acct: &mut TimeAccount,
+    ) {
         if self.crashed {
             return;
         }
         acct.charge(cat, create_cost);
-        self.stats.count_record(&rec);
-        let frame = rec.encode();
+        // Compact bodies are encoded *now*, not at flush, so the delta
+        // context sees records in log order regardless of flush boundaries.
+        let frame = match self.codec {
+            WireCodec::Fixed => rec.encode(),
+            WireCodec::Compact => self.enc.encode_body(&rec),
+        };
+        self.stats.count_record(&rec, frame.len() as u64);
         self.stats.bytes_logged += frame.len() as u64;
         self.buffered_bytes += frame.len();
         self.buffer.push(frame);
@@ -123,16 +149,30 @@ impl PrimaryCore {
     }
 
     /// Sends every buffered record to the backup, charging the sender-side
-    /// cost to the communication category.
+    /// cost to the communication category. Fixed codec: one message per
+    /// record. Compact codec: one batch frame for the whole buffer.
     pub fn flush(&mut self, acct: &mut TimeAccount) {
         if self.buffer.is_empty() {
             return;
         }
-        for frame in self.buffer.drain(..) {
-            self.buffered_bytes = 0;
-            let cost = self.channel.send(acct.now(), frame);
-            acct.charge(Category::Communication, cost);
+        match self.codec {
+            WireCodec::Fixed => {
+                for frame in self.buffer.drain(..) {
+                    let cost = self.channel.send(acct.now(), frame);
+                    acct.charge(Category::Communication, cost);
+                }
+            }
+            WireCodec::Compact => {
+                let frame = build_batch_frame(&self.buffer);
+                self.buffer.clear();
+                // The frame header (tag + count) is wire overhead the
+                // bodies didn't account for.
+                self.stats.bytes_logged += (frame.len() - self.buffered_bytes) as u64;
+                let cost = self.channel.send(acct.now(), frame);
+                acct.charge(Category::Communication, cost);
+            }
         }
+        self.buffered_bytes = 0;
         self.flushes += 1;
         self.stats.flushes = self.flushes;
         if let FaultPlan::AfterFlush(n) = self.fault {
@@ -160,8 +200,13 @@ impl PrimaryCore {
         }
         if !self.crashed && acct.now() >= self.next_heartbeat {
             self.next_heartbeat = acct.now() + self.heartbeat_interval;
-            let frame = Record::Heartbeat { now_ns: acct.now().as_nanos() }.encode();
-            self.stats.heartbeats += 1;
+            // Heartbeats bypass the batch buffer under both codecs: they
+            // are liveness signals sent the moment they are due, and the
+            // self-describing frame format lets fixed heartbeat frames
+            // interleave with compact batches.
+            let rec = Record::Heartbeat { now_ns: acct.now().as_nanos() };
+            let frame = rec.encode();
+            self.stats.count_record(&rec, frame.len() as u64);
             let cost = self.channel.send(acct.now(), frame);
             acct.charge(Category::Communication, cost);
         }
@@ -392,7 +437,12 @@ impl Coordinator for LockSyncPrimary {
         self.common.post_native(env, t, decl, outcome, output_id, acct);
     }
 
-    fn begin_output(&mut self, t: &ThreadObs<'_>, _decl: &NativeDecl, acct: &mut TimeAccount) -> u64 {
+    fn begin_output(
+        &mut self,
+        t: &ThreadObs<'_>,
+        _decl: &NativeDecl,
+        acct: &mut TimeAccount,
+    ) -> u64 {
         self.common.begin_output(t, acct)
     }
 
@@ -502,7 +552,12 @@ impl Coordinator for IntervalPrimary {
         self.common.post_native(env, t, decl, outcome, output_id, acct);
     }
 
-    fn begin_output(&mut self, t: &ThreadObs<'_>, _decl: &NativeDecl, acct: &mut TimeAccount) -> u64 {
+    fn begin_output(
+        &mut self,
+        t: &ThreadObs<'_>,
+        _decl: &NativeDecl,
+        acct: &mut TimeAccount,
+    ) -> u64 {
         // Output commit is a synchronization point: the open interval must
         // reach the backup with everything else.
         self.close_open(acct);
@@ -593,7 +648,12 @@ impl Coordinator for TsPrimary {
         }
     }
 
-    fn begin_output(&mut self, t: &ThreadObs<'_>, _decl: &NativeDecl, acct: &mut TimeAccount) -> u64 {
+    fn begin_output(
+        &mut self,
+        t: &ThreadObs<'_>,
+        _decl: &NativeDecl,
+        acct: &mut TimeAccount,
+    ) -> u64 {
         self.common.begin_output(t, acct)
     }
 

@@ -275,9 +275,33 @@ fn get_vt(r: &mut WireReader) -> Result<VtPath, WireError> {
 }
 
 impl Record {
+    /// Upper bound on the fixed encoding's size, so [`Record::encode`] can
+    /// allocate once.
+    fn fixed_size_hint(&self) -> usize {
+        let vt = |t: &VtPath| 4 + 4 * t.ordinals().len();
+        match self {
+            Record::IdMap { t, .. } => 17 + vt(t),
+            Record::LockAcq { t, .. } => 25 + vt(t),
+            Record::Sched { t, next, .. } => 34 + vt(t) + vt(next),
+            Record::NativeResult { t, result, out_args, .. } => {
+                let result = match result {
+                    LoggedResult::Ok(None) => 2,
+                    LoggedResult::Ok(Some(_)) => 11,
+                    LoggedResult::Err { msg, .. } => 14 + msg.len(),
+                };
+                let args: usize = out_args.iter().map(|(_, vals)| 5 + 9 * vals.len()).sum();
+                21 + vt(t) + result + 4 + args
+            }
+            Record::OutputCommit { t, .. } => 17 + vt(t),
+            Record::LockInterval { t, .. } => 17 + vt(t),
+            Record::Heartbeat { .. } => 9,
+            Record::SeState { payload, .. } => 6 + payload.len(),
+        }
+    }
+
     /// Encodes the record into one wire frame.
     pub fn encode(&self) -> Bytes {
-        let mut w = WireWriter::new();
+        let mut w = WireWriter::with_capacity(self.fixed_size_hint());
         match self {
             Record::IdMap { l_id, t, t_asn } => {
                 w.put_u8(1);
@@ -414,7 +438,11 @@ impl Record {
                 }
                 Record::NativeResult { t, seq, sig_hash, result, out_args }
             }
-            5 => Record::OutputCommit { t: get_vt(&mut r)?, seq: r.get_u64()?, output_id: r.get_u64()? },
+            5 => Record::OutputCommit {
+                t: get_vt(&mut r)?,
+                seq: r.get_u64()?,
+                output_id: r.get_u64()?,
+            },
             6 => Record::SeState { handler: r.get_u8()?, payload: r.get_bytes()? },
             7 => Record::LockInterval {
                 t: get_vt(&mut r)?,
@@ -476,7 +504,8 @@ mod tests {
     fn lock_record_stays_small() {
         // The paper reports 36-byte lock-acquisition messages; ours must be
         // in the same ballpark for a shallow thread.
-        let rec = Record::LockAcq { t: VtPath::root().child(1), t_asn: 1000, l_id: 12, l_asn: 4000 };
+        let rec =
+            Record::LockAcq { t: VtPath::root().child(1), t_asn: 1000, l_id: 12, l_asn: 4000 };
         let len = rec.encode().len();
         assert!(len <= 48, "lock record is {len} bytes");
     }

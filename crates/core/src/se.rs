@@ -180,10 +180,8 @@ pub struct FileIoHandler {
 impl FileIoHandler {
     fn snapshot(env: &SimEnv) -> Bytes {
         let mut w = WireWriter::new();
-        let files: Vec<(u64, String, u64)> = env
-            .open_files()
-            .map(|(vfd, f)| (vfd, f.name.clone(), f.offset as u64))
-            .collect();
+        let files: Vec<(u64, String, u64)> =
+            env.open_files().map(|(vfd, f)| (vfd, f.name.clone(), f.offset as u64)).collect();
         w.put_u64(env.peek_next_vfd());
         w.put_u32(files.len() as u32);
         for (vfd, name, offset) in files {
@@ -199,7 +197,14 @@ impl SideEffectHandler for FileIoHandler {
     fn register(&self) -> SeRegistration {
         SeRegistration {
             name: "file-io",
-            natives: vec!["file.open", "file.close", "file.read", "file.write", "file.seek", "file.size"],
+            natives: vec![
+                "file.open",
+                "file.close",
+                "file.read",
+                "file.write",
+                "file.seek",
+                "file.size",
+            ],
         }
     }
 

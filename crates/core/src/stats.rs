@@ -27,7 +27,24 @@ pub struct ReplicationStats {
     pub se_state_records: u64,
     /// Output-commit records logged.
     pub output_commit_records: u64,
-    /// Total payload bytes logged.
+    /// Encoded bytes of lock-acquisition records.
+    pub lock_acq_bytes: u64,
+    /// Encoded bytes of lock-interval records.
+    pub lock_interval_bytes: u64,
+    /// Encoded bytes of id-map records.
+    pub id_map_bytes: u64,
+    /// Encoded bytes of thread-schedule records.
+    pub sched_bytes: u64,
+    /// Encoded bytes of native-result records.
+    pub native_result_bytes: u64,
+    /// Encoded bytes of side-effect-handler state records.
+    pub se_state_bytes: u64,
+    /// Encoded bytes of output-commit records.
+    pub output_commit_bytes: u64,
+    /// Encoded bytes of heartbeat frames.
+    pub heartbeat_bytes: u64,
+    /// Total payload bytes logged (record bodies plus, under the compact
+    /// codec, batch-frame headers).
     pub bytes_logged: u64,
     /// Buffer flushes performed.
     pub flushes: u64,
@@ -47,17 +64,56 @@ impl ReplicationStats {
             + self.output_commit_records
     }
 
-    /// Counts one record about to be logged.
-    pub(crate) fn count_record(&mut self, rec: &Record) {
+    /// Per-family record counts and encoded byte totals, for the Table 2
+    /// bytes-per-record breakdown. Rows with zero records are included.
+    pub fn family_bytes(&self) -> [(&'static str, u64, u64); 8] {
+        [
+            ("id-map", self.id_map_records, self.id_map_bytes),
+            ("lock-acq", self.lock_acq_records, self.lock_acq_bytes),
+            ("lock-interval", self.lock_interval_records, self.lock_interval_bytes),
+            ("sched", self.sched_records, self.sched_bytes),
+            ("nd-result", self.native_result_records, self.native_result_bytes),
+            ("output-commit", self.output_commit_records, self.output_commit_bytes),
+            ("se-state", self.se_state_records, self.se_state_bytes),
+            ("heartbeat", self.heartbeats, self.heartbeat_bytes),
+        ]
+    }
+
+    /// Counts one record about to be logged, with its encoded size.
+    pub(crate) fn count_record(&mut self, rec: &Record, bytes: u64) {
         match rec {
-            Record::IdMap { .. } => self.id_map_records += 1,
-            Record::LockAcq { .. } => self.lock_acq_records += 1,
-            Record::LockInterval { .. } => self.lock_interval_records += 1,
-            Record::Sched { .. } => self.sched_records += 1,
-            Record::NativeResult { .. } => self.native_result_records += 1,
-            Record::OutputCommit { .. } => self.output_commit_records += 1,
-            Record::SeState { .. } => self.se_state_records += 1,
-            Record::Heartbeat { .. } => self.heartbeats += 1,
+            Record::IdMap { .. } => {
+                self.id_map_records += 1;
+                self.id_map_bytes += bytes;
+            }
+            Record::LockAcq { .. } => {
+                self.lock_acq_records += 1;
+                self.lock_acq_bytes += bytes;
+            }
+            Record::LockInterval { .. } => {
+                self.lock_interval_records += 1;
+                self.lock_interval_bytes += bytes;
+            }
+            Record::Sched { .. } => {
+                self.sched_records += 1;
+                self.sched_bytes += bytes;
+            }
+            Record::NativeResult { .. } => {
+                self.native_result_records += 1;
+                self.native_result_bytes += bytes;
+            }
+            Record::OutputCommit { .. } => {
+                self.output_commit_records += 1;
+                self.output_commit_bytes += bytes;
+            }
+            Record::SeState { .. } => {
+                self.se_state_records += 1;
+                self.se_state_bytes += bytes;
+            }
+            Record::Heartbeat { .. } => {
+                self.heartbeats += 1;
+                self.heartbeat_bytes += bytes;
+            }
         }
     }
 }
@@ -71,13 +127,18 @@ mod tests {
     fn counting_by_kind() {
         let mut s = ReplicationStats::default();
         let t = VtPath::root();
-        s.count_record(&Record::IdMap { l_id: 0, t: t.clone(), t_asn: 1 });
-        s.count_record(&Record::LockAcq { t: t.clone(), t_asn: 1, l_id: 0, l_asn: 1 });
-        s.count_record(&Record::LockAcq { t: t.clone(), t_asn: 2, l_id: 0, l_asn: 2 });
-        s.count_record(&Record::OutputCommit { t, seq: 1, output_id: 0 });
+        s.count_record(&Record::IdMap { l_id: 0, t: t.clone(), t_asn: 1 }, 21);
+        s.count_record(&Record::LockAcq { t: t.clone(), t_asn: 1, l_id: 0, l_asn: 1 }, 37);
+        s.count_record(&Record::LockAcq { t: t.clone(), t_asn: 2, l_id: 0, l_asn: 2 }, 37);
+        s.count_record(&Record::OutputCommit { t, seq: 1, output_id: 0 }, 25);
         assert_eq!(s.id_map_records, 1);
         assert_eq!(s.lock_acq_records, 2);
         assert_eq!(s.output_commit_records, 1);
         assert_eq!(s.messages_logged(), 4);
+        assert_eq!(s.lock_acq_bytes, 74);
+        assert_eq!(s.id_map_bytes, 21);
+        let by_family = s.family_bytes();
+        let total: u64 = by_family.iter().map(|(_, _, b)| b).sum();
+        assert_eq!(total, 21 + 74 + 25);
     }
 }

@@ -23,8 +23,11 @@ fn wire_value_strategy() -> impl Strategy<Value = WireValue> {
 
 fn record_strategy() -> impl Strategy<Value = Record> {
     prop_oneof![
-        (any::<u64>(), vt_strategy(), any::<u64>())
-            .prop_map(|(l_id, t, t_asn)| Record::IdMap { l_id, t, t_asn }),
+        (any::<u64>(), vt_strategy(), any::<u64>()).prop_map(|(l_id, t, t_asn)| Record::IdMap {
+            l_id,
+            t,
+            t_asn
+        }),
         (vt_strategy(), any::<u64>(), any::<u64>(), any::<u64>())
             .prop_map(|(t, t_asn, l_id, l_asn)| Record::LockAcq { t, t_asn, l_id, l_asn }),
         (
@@ -237,4 +240,85 @@ fn assert_per_thread_equal(
         prop_assert_eq!(of_thread(got), of_thread(expected), "thread {} sequence differs", id);
     }
     Ok(())
+}
+
+// ===== compact codec properties =====
+
+/// All eight record kinds (the base strategy skips LockInterval and
+/// Heartbeat, which the fixed-roundtrip test doesn't need).
+fn full_record_strategy() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        record_strategy(),
+        (vt_strategy(), any::<u64>(), any::<u64>())
+            .prop_map(|(t, t_asn_start, count)| Record::LockInterval { t, t_asn_start, count }),
+        any::<u64>().prop_map(|now_ns| Record::Heartbeat { now_ns }),
+    ]
+}
+
+proptest! {
+    /// A random record sequence, compact-encoded and split into batches at
+    /// random boundaries, decodes back to exactly the original sequence —
+    /// the delta context survives any batch split.
+    #[test]
+    fn compact_batch_roundtrip_any_split(
+        recs in proptest::collection::vec(full_record_strategy(), 0..40),
+        raw_splits in proptest::collection::vec(any::<prop::sample::Index>(), 0..4)
+    ) {
+        let mut enc = ftjvm_core::RecordEncoder::new();
+        let bodies: Vec<_> = recs.iter().map(|r| enc.encode_body(r)).collect();
+        let mut splits: Vec<usize> =
+            raw_splits.iter().map(|ix| ix.index(bodies.len() + 1)).collect();
+        splits.push(0);
+        splits.push(bodies.len());
+        splits.sort_unstable();
+        splits.dedup();
+        let frames: Vec<_> = splits
+            .windows(2)
+            .map(|w| ftjvm_core::build_batch_frame(&bodies[w[0]..w[1]]))
+            .collect();
+        let decoded = ftjvm_core::decode_frames(frames).unwrap();
+        prop_assert_eq!(decoded, recs);
+    }
+
+    /// Fixed frames (e.g. heartbeats) interleave freely with compact
+    /// batches on one channel.
+    #[test]
+    fn compact_and_fixed_frames_interleave(
+        recs in proptest::collection::vec(full_record_strategy(), 1..20),
+        hb in any::<u64>()
+    ) {
+        let mut enc = ftjvm_core::RecordEncoder::new();
+        let bodies: Vec<_> = recs.iter().map(|r| enc.encode_body(r)).collect();
+        let frames = vec![
+            Record::Heartbeat { now_ns: hb }.encode(),
+            ftjvm_core::build_batch_frame(&bodies),
+            Record::Heartbeat { now_ns: hb.wrapping_add(1) }.encode(),
+        ];
+        let decoded = ftjvm_core::decode_frames(frames).unwrap();
+        prop_assert_eq!(decoded.len(), recs.len() + 2);
+        prop_assert_eq!(&decoded[1..=recs.len()], &recs[..]);
+    }
+
+    /// Truncating a batch frame anywhere yields a clean error, never a
+    /// panic and never a silently shortened log.
+    #[test]
+    fn compact_truncation_errors_cleanly(
+        recs in proptest::collection::vec(full_record_strategy(), 1..10),
+        cut in any::<prop::sample::Index>()
+    ) {
+        let mut enc = ftjvm_core::RecordEncoder::new();
+        let bodies: Vec<_> = recs.iter().map(|r| enc.encode_body(r)).collect();
+        let frame = ftjvm_core::build_batch_frame(&bodies);
+        let cut = cut.index(frame.len());
+        prop_assert!(ftjvm_core::decode_frames(vec![frame.slice(..cut)]).is_err());
+    }
+
+    /// Arbitrary bytes behind a batch tag decode to an error or to records
+    /// — never a panic.
+    #[test]
+    fn compact_garbage_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut frame = vec![0xBA];
+        frame.extend_from_slice(&noise);
+        let _ = ftjvm_core::decode_frames(vec![bytes::Bytes::from(frame)]);
+    }
 }

@@ -103,7 +103,7 @@ fn file_program(b: &mut ProgramBuilder) -> MethodId {
     let chunk = b.intern("entry!");
     let mut m = b.method("main", 1);
     m.const_str(name).invoke_native(open, 1).store(1); // fd
-    // Write "entry!" five times.
+                                                       // Write "entry!" five times.
     m.push_i(5).store(2);
     let wdone = m.new_label();
     let wtop = m.bind_new_label();
@@ -169,10 +169,7 @@ fn failure_free_overhead_is_positive_and_mode_dependent() {
     for mode in MODES {
         let report =
             FtJvm::new(program.clone(), cfg(mode, FaultPlan::None)).run_replicated().expect("runs");
-        assert!(
-            report.primary.acct.total() > base,
-            "{mode}: replication must cost simulated time"
-        );
+        assert!(report.primary.acct.total() > base, "{mode}: replication must cost simulated time");
     }
 }
 
@@ -423,9 +420,8 @@ fn ts_mode_masks_data_races_r4b() {
         free_cfg.primary_seed = seed;
         free_cfg.vm.quantum = 23;
         free_cfg.vm.quantum_jitter = 13;
-        let free = FtJvm::new(program.clone(), free_cfg.clone())
-            .run_replicated()
-            .expect("failure-free");
+        let free =
+            FtJvm::new(program.clone(), free_cfg.clone()).run_replicated().expect("failure-free");
         let mut with_fault = free_cfg;
         with_fault.fault = FaultPlan::BeforeOutput(0);
         let report = FtJvm::new(program.clone(), with_fault)
@@ -504,7 +500,11 @@ fn lock_sync_detects_racy_divergence_somewhere() {
             Ok(r) => r.console(),
             Err(_) => continue,
         };
-        for fault in [FaultPlan::BeforeOutput(0), FaultPlan::AfterInstructions(900), FaultPlan::AfterInstructions(2600)] {
+        for fault in [
+            FaultPlan::BeforeOutput(0),
+            FaultPlan::AfterInstructions(900),
+            FaultPlan::AfterInstructions(2600),
+        ] {
             let mut c = free_cfg.clone();
             c.fault = fault;
             c.backup_seed = seed.wrapping_mul(7919) ^ 0x5A5A;
@@ -614,9 +614,10 @@ fn crash_after_everything_flushed_backup_finishes_quietly() {
     for mode in MODES {
         let program = build(squares_program);
         let expected = reference(&program);
-        let report = FtJvm::new(program.clone(), cfg(mode, FaultPlan::AfterInstructions(1_000_000)))
-            .run_replicated()
-            .expect("runs to completion — fault never fires");
+        let report =
+            FtJvm::new(program.clone(), cfg(mode, FaultPlan::AfterInstructions(1_000_000)))
+                .run_replicated()
+                .expect("runs to completion — fault never fires");
         assert!(!report.crashed);
         assert_eq!(report.console(), expected, "{mode}");
     }
@@ -767,10 +768,7 @@ fn replayed_native_exceptions_are_reproduced() {
         m.handler(try_start, try_end, None, catch);
         m.build(b)
     });
-    let expected = vec![
-        (ftjvm_vm::class::excode::NATIVE_BASE + 11).to_string(),
-        "77".to_string(),
-    ];
+    let expected = vec![(ftjvm_vm::class::excode::NATIVE_BASE + 11).to_string(), "77".to_string()];
     for mode in MODES {
         // Crash in the uncertain window of the final output: the aborting
         // read is fully in the log and must replay as an exception.
@@ -846,4 +844,201 @@ fn verify_r4a_classifies_programs() {
     c.vm.quantum_jitter = 11;
     let races = FtJvm::new(racy, c).verify_r4a().expect("runs");
     assert!(!races.is_empty(), "the racy program must be flagged");
+}
+
+// ===== compact wire codec =====
+//
+// The compact codec changes only the log's *representation* (delta/varint
+// bodies batched into one frame per flush); everything above the wire —
+// record contents, replay order, exactly-once output — must be untouched.
+// These tests re-run the failover coverage above under
+// `WireCodec::Compact`.
+
+fn compact_cfg(mode: ReplicationMode, fault: FaultPlan) -> FtConfig {
+    FtConfig { codec: ftjvm_core::WireCodec::Compact, ..cfg(mode, fault) }
+}
+
+#[test]
+fn compact_codec_failure_free_matches_fixed_and_shrinks_the_log() {
+    for mode in MODES {
+        for builder in [squares_program, nd_inputs_program, counter_program, file_program] {
+            let program = build(builder);
+            let fixed = FtJvm::new(program.clone(), cfg(mode, FaultPlan::None))
+                .run_replicated()
+                .expect("fixed run");
+            let compact = FtJvm::new(program.clone(), compact_cfg(mode, FaultPlan::None))
+                .run_replicated()
+                .expect("compact run");
+            assert_eq!(compact.console(), fixed.console(), "{mode}");
+            // Identical event counts (Table 2 is codec-independent)...
+            assert_eq!(
+                compact.primary_stats.messages_logged(),
+                fixed.primary_stats.messages_logged(),
+                "{mode}"
+            );
+            assert_eq!(
+                compact.primary_stats.lock_acq_records, fixed.primary_stats.lock_acq_records,
+                "{mode}"
+            );
+            // ...but fewer bytes and far fewer channel messages.
+            assert!(
+                compact.primary_stats.bytes_logged < fixed.primary_stats.bytes_logged,
+                "{mode}: {} !< {}",
+                compact.primary_stats.bytes_logged,
+                fixed.primary_stats.bytes_logged
+            );
+            assert!(compact.channel.messages_sent <= fixed.channel.messages_sent, "{mode}");
+        }
+    }
+}
+
+#[test]
+fn compact_codec_recovery_exactly_once_mid_run() {
+    for mode in MODES {
+        for builder in [squares_program, counter_program, file_program] {
+            let program = build(builder);
+            let expected = reference(&program);
+            for fault in [
+                FaultPlan::AfterInstructions(40),
+                FaultPlan::AfterInstructions(400),
+                FaultPlan::BeforeOutput(0),
+                FaultPlan::BeforeOutput(2),
+                FaultPlan::AfterOutput(0),
+                FaultPlan::AfterOutput(3),
+            ] {
+                let report = FtJvm::new(program.clone(), compact_cfg(mode, fault))
+                    .run_with_failure()
+                    .unwrap_or_else(|e| panic!("compact {mode} {fault:?}: {e}"));
+                assert_eq!(report.console(), expected, "compact {mode} {fault:?}");
+                report
+                    .check_no_duplicate_outputs()
+                    .unwrap_or_else(|id| panic!("compact {mode} {fault:?}: duplicate {id}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn compact_codec_sweep_failure_points() {
+    for mode in MODES {
+        let program = build(file_program);
+        let expected = reference(&program);
+        for k in (10..2000).step_by(151) {
+            let report =
+                FtJvm::new(program.clone(), compact_cfg(mode, FaultPlan::AfterInstructions(k)))
+                    .run_with_failure()
+                    .unwrap_or_else(|e| panic!("compact {mode} k={k}: {e}"));
+            assert_eq!(report.console(), expected, "compact {mode} k={k}");
+            report.check_no_duplicate_outputs().expect("exactly-once");
+            assert_eq!(
+                report.world.borrow().file("journal.dat").unwrap(),
+                b"entry!entry!entry!entry!entry!",
+                "compact {mode} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compact_codec_batch_boundaries_do_not_change_recovery() {
+    // The flush threshold decides where batch frames split; any split must
+    // decode identically because the delta context spans frames. Threshold
+    // 0 degenerates to one-record batches; a large one to a single batch.
+    // (The reference is computed per threshold: flush policy changes
+    // simulated time, which nd_inputs_program's clock natives observe.)
+    for mode in MODES {
+        let program = build(nd_inputs_program);
+        let deterministic = build(file_program);
+        let expected = reference(&deterministic);
+        for threshold in [0usize, 24, 256, 1 << 20] {
+            let mut free = compact_cfg(mode, FaultPlan::None);
+            free.flush_threshold = threshold;
+            let free_console =
+                FtJvm::new(program.clone(), free).run_replicated().expect("runs").console();
+            let mut c = compact_cfg(mode, FaultPlan::AfterOutput(1));
+            c.flush_threshold = threshold;
+            let report = FtJvm::new(program.clone(), c)
+                .run_with_failure()
+                .unwrap_or_else(|e| panic!("compact {mode} thr={threshold}: {e}"));
+            assert!(report.crashed);
+            let console = report.console();
+            assert_eq!(console.len(), 4, "compact {mode} thr={threshold}");
+            // The performed prefix must match the primary's own trajectory.
+            assert_eq!(&console[..2], &free_console[..2], "compact {mode} thr={threshold}");
+            report.check_no_duplicate_outputs().expect("exactly-once");
+
+            // A fully deterministic workload must match end to end at any
+            // batch split.
+            let mut d = compact_cfg(mode, FaultPlan::AfterInstructions(700));
+            d.flush_threshold = threshold;
+            let report = FtJvm::new(deterministic.clone(), d)
+                .run_with_failure()
+                .unwrap_or_else(|e| panic!("compact {mode} thr={threshold}: {e}"));
+            assert_eq!(report.console(), expected, "compact {mode} thr={threshold}");
+            report.check_no_duplicate_outputs().expect("exactly-once");
+        }
+    }
+}
+
+#[test]
+fn compact_codec_native_result_se_state_stay_atomic() {
+    // file_program's writes go through a side-effect handler: each logged
+    // NativeResult is followed by an SeState snapshot, and the pair must
+    // reach the backup in the same flush. Threshold 0 maximizes flush
+    // pressure (every record crosses the threshold), so any atomicity bug
+    // would split the pair at a batch boundary and corrupt recovery.
+    for mode in MODES {
+        let program = build(file_program);
+        let expected = reference(&program);
+        for k in (20..1200).step_by(89) {
+            let mut c = compact_cfg(mode, FaultPlan::AfterInstructions(k));
+            c.flush_threshold = 0;
+            let report = FtJvm::new(program.clone(), c)
+                .run_with_failure()
+                .unwrap_or_else(|e| panic!("compact {mode} k={k}: {e}"));
+            assert_eq!(report.console(), expected, "compact {mode} k={k}");
+            assert_eq!(
+                report.world.borrow().file("journal.dat").unwrap(),
+                b"entry!entry!entry!entry!entry!",
+                "compact {mode} k={k}"
+            );
+            report.check_no_duplicate_outputs().expect("exactly-once");
+        }
+    }
+}
+
+#[test]
+fn compact_codec_unflushed_suffix_still_recovers() {
+    for mode in MODES {
+        let program = build(squares_program);
+        let expected = reference(&program);
+        let mut c = compact_cfg(mode, FaultPlan::AfterFlush(0));
+        c.vm.cost.net = ftjvm_netsim::NetParams::default();
+        let report = FtJvm::new(program, c).run_with_failure().expect("failover");
+        assert!(report.crashed);
+        assert_eq!(report.console(), expected, "compact {mode}");
+        report.check_no_duplicate_outputs().expect("exactly-once");
+    }
+}
+
+#[test]
+fn compact_codec_handles_natives_and_interval_locks() {
+    // Locks acquired inside native methods (phased_native_program) and the
+    // interval-compressed lock variant both ride the compact codec.
+    for mode in MODES {
+        let program = build(phased_native_program);
+        for k in [300u64, 4000] {
+            let report =
+                FtJvm::new(program.clone(), compact_cfg(mode, FaultPlan::AfterInstructions(k)))
+                    .run_with_failure()
+                    .unwrap_or_else(|e| panic!("compact {mode} k={k}: {e}"));
+            assert_eq!(report.console(), vec!["3024"], "compact {mode} k={k}");
+        }
+    }
+    let program = build(counter_program);
+    let mut c = compact_cfg(ReplicationMode::LockSync, FaultPlan::AfterInstructions(1500));
+    c.lock_variant = ftjvm_core::LockVariant::Intervals;
+    let report = FtJvm::new(program, c).run_with_failure().expect("failover");
+    assert_eq!(report.console(), vec!["240"]);
+    report.check_no_duplicate_outputs().expect("exactly-once");
 }

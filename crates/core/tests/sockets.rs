@@ -120,12 +120,10 @@ fn socket_handler_restores_connection_state() {
 fn failure_free_socket_run_matches_crash_runs() {
     let program = build();
     let free = FtJvm::new(program.clone(), FtConfig::default()).run_replicated().expect("free");
-    let crash = FtJvm::new(
-        program,
-        FtConfig { fault: FaultPlan::BeforeOutput(4), ..FtConfig::default() },
-    )
-    .run_with_failure()
-    .expect("crash");
+    let crash =
+        FtJvm::new(program, FtConfig { fault: FaultPlan::BeforeOutput(4), ..FtConfig::default() })
+            .run_with_failure()
+            .expect("crash");
     assert_eq!(
         free.world.borrow().sockets(),
         crash.world.borrow().sockets(),

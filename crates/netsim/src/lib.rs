@@ -38,4 +38,4 @@ pub use channel::{ChannelStats, NetParams, SimChannel};
 pub use clock::{SimClock, SimTime};
 pub use cost::{Category, CostModel, TimeAccount};
 pub use fault::{FailureDetector, FaultPlan};
-pub use wire::{WireError, WireReader, WireWriter};
+pub use wire::{WireCodec, WireError, WireReader, WireWriter};

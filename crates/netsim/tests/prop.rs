@@ -14,6 +14,10 @@ enum Op {
     Bytes(Vec<u8>),
     Str(String),
     U32Seq(Vec<u32>),
+    UVar(u64),
+    IVar(i64),
+    VBytes(Vec<u8>),
+    VStr(String),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -28,6 +32,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(Op::Bytes),
         "[a-zA-Z0-9 /._-]{0,48}".prop_map(Op::Str),
         proptest::collection::vec(any::<u32>(), 0..16).prop_map(Op::U32Seq),
+        any::<u64>().prop_map(Op::UVar),
+        any::<i64>().prop_map(Op::IVar),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Op::VBytes),
+        "[a-zA-Z0-9 /._-]{0,48}".prop_map(Op::VStr),
     ]
 }
 
@@ -47,6 +55,10 @@ proptest! {
                 Op::Bytes(v) => w.put_bytes(v),
                 Op::Str(v) => w.put_str(v),
                 Op::U32Seq(v) => w.put_u32_seq(v),
+                Op::UVar(v) => w.put_uvarint(*v),
+                Op::IVar(v) => w.put_ivarint(*v),
+                Op::VBytes(v) => w.put_vbytes(v),
+                Op::VStr(v) => w.put_vstr(v),
             }
         }
         let mut r = WireReader::new(w.finish());
@@ -60,6 +72,10 @@ proptest! {
                 Op::Bytes(v) => prop_assert_eq!(&r.get_bytes().unwrap()[..], &v[..]),
                 Op::Str(v) => prop_assert_eq!(&r.get_str().unwrap(), v),
                 Op::U32Seq(v) => prop_assert_eq!(&r.get_u32_seq().unwrap(), v),
+                Op::UVar(v) => prop_assert_eq!(r.get_uvarint().unwrap(), *v),
+                Op::IVar(v) => prop_assert_eq!(r.get_ivarint().unwrap(), *v),
+                Op::VBytes(v) => prop_assert_eq!(&r.get_vbytes().unwrap()[..], &v[..]),
+                Op::VStr(v) => prop_assert_eq!(&r.get_vstr().unwrap(), v),
             }
         }
         prop_assert!(r.is_empty());
@@ -83,6 +99,10 @@ proptest! {
                 Op::Bytes(v) => w.put_bytes(v),
                 Op::Str(v) => w.put_str(v),
                 Op::U32Seq(v) => w.put_u32_seq(v),
+                Op::UVar(v) => w.put_uvarint(*v),
+                Op::IVar(v) => w.put_ivarint(*v),
+                Op::VBytes(v) => w.put_vbytes(v),
+                Op::VStr(v) => w.put_vstr(v),
             }
         }
         let full = w.finish();
@@ -102,6 +122,10 @@ proptest! {
                 Op::Bytes(_) => r.get_bytes().map(|_| ()),
                 Op::Str(_) => r.get_str().map(|_| ()),
                 Op::U32Seq(_) => r.get_u32_seq().map(|_| ()),
+                Op::UVar(_) => r.get_uvarint().map(|_| ()),
+                Op::IVar(_) => r.get_ivarint().map(|_| ()),
+                Op::VBytes(_) => r.get_vbytes().map(|_| ()),
+                Op::VStr(_) => r.get_vstr().map(|_| ()),
             };
             if res.is_err() {
                 break;
@@ -150,5 +174,34 @@ proptest! {
         let ack = ch.ack_arrival(SimTime::ZERO);
         let last_delivery = ch.drain().last().map(|(at, _)| *at).unwrap();
         prop_assert!(ack > last_delivery);
+    }
+}
+
+proptest! {
+    /// Varint encodings are canonical enough to round-trip any value, and
+    /// decoding arbitrary garbage never panics.
+    #[test]
+    fn varint_garbage_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let mut r = WireReader::new(bytes::Bytes::from(noise.clone()));
+        while !r.is_empty() {
+            if r.get_uvarint().is_err() {
+                break;
+            }
+        }
+        let mut r = WireReader::new(bytes::Bytes::from(noise));
+        while !r.is_empty() {
+            if r.get_ivarint().is_err() {
+                break;
+            }
+        }
+    }
+
+    /// uvarint is order-preserving in length: larger values never encode
+    /// shorter.
+    #[test]
+    fn uvarint_length_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let len = |v: u64| { let mut w = WireWriter::new(); w.put_uvarint(v); w.len() };
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(len(lo) <= len(hi));
     }
 }

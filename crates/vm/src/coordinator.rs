@@ -260,7 +260,8 @@ pub trait Coordinator {
     /// Returns the output id under which the environment action is
     /// performed. The primary flushes its log buffer and waits for the
     /// backup's acknowledgment here (the pessimistic wait).
-    fn begin_output(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl, acct: &mut TimeAccount) -> u64;
+    fn begin_output(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl, acct: &mut TimeAccount)
+        -> u64;
 
     /// `parent` spawned a new application thread with the given stable id.
     fn on_spawn(&mut self, parent: &ThreadObs<'_>, child: &VtPath) {
@@ -302,7 +303,12 @@ impl NoopCoordinator {
 }
 
 impl Coordinator for NoopCoordinator {
-    fn begin_output(&mut self, _t: &ThreadObs<'_>, _decl: &NativeDecl, _acct: &mut TimeAccount) -> u64 {
+    fn begin_output(
+        &mut self,
+        _t: &ThreadObs<'_>,
+        _decl: &NativeDecl,
+        _acct: &mut TimeAccount,
+    ) -> u64 {
         let id = self.next_output;
         self.next_output += 1;
         id

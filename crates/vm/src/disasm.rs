@@ -105,7 +105,8 @@ pub fn disassemble(program: &Program) -> String {
         );
         for (slot, m) in c.vtable.iter().enumerate() {
             if let Some(m) = m {
-                let _ = writeln!(out, "  vslot {slot} -> method {} ({})", m.0, program.method(*m).name);
+                let _ =
+                    writeln!(out, "  vslot {slot} -> method {} ({})", m.0, program.method(*m).name);
             }
         }
         if let Some(fin) = c.finalizer {

@@ -299,7 +299,12 @@ impl SimEnv {
     ///
     /// # Errors
     /// Fails if the descriptor is unknown.
-    pub fn write(&mut self, vfd: u64, bytes: &[u8], output_id: u64) -> Result<usize, UnknownDescriptor> {
+    pub fn write(
+        &mut self,
+        vfd: u64,
+        bytes: &[u8],
+        output_id: u64,
+    ) -> Result<usize, UnknownDescriptor> {
         let f = self.files.get_mut(&vfd).ok_or(UnknownDescriptor)?;
         self.world.borrow_mut().write_file_at(output_id, &f.name, f.offset, bytes);
         f.offset += bytes.len();

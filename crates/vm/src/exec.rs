@@ -10,7 +10,9 @@
 
 use crate::bytecode::MethodId;
 use crate::class::Program;
-use crate::coordinator::{Coordinator, MonitorDecision, StopReason, SwitchReason, ThreadObs, ThreadSnap};
+use crate::coordinator::{
+    Coordinator, MonitorDecision, StopReason, SwitchReason, ThreadObs, ThreadSnap,
+};
 use crate::env::SimEnv;
 use crate::error::VmError;
 use crate::heap::Heap;
@@ -685,10 +687,8 @@ impl VmCore {
                 }
                 let to_snap = candidates[choice].clone();
                 let from = self.pending_switch.take();
-                let from_is_other_app = from
-                    .as_ref()
-                    .map(|(s, _)| s.vt.is_some() && s.t != chosen)
-                    .unwrap_or(false);
+                let from_is_other_app =
+                    from.as_ref().map(|(s, _)| s.vt.is_some() && s.t != chosen).unwrap_or(false);
                 if from_is_other_app && to_snap.vt.is_some() {
                     self.counters.context_switches += 1;
                 }
@@ -790,11 +790,8 @@ impl Vm {
                     ),
                 });
             }
-            let idx = natives
-                .decls()
-                .iter()
-                .position(|d| d.name == imp.name)
-                .expect("lookup succeeded");
+            let idx =
+                natives.decls().iter().position(|d| d.name == imp.name).expect("lookup succeeded");
             linked.push(idx as u32);
         }
         let mut heap = Heap::new(cfg.heap_capacity, cfg.gc_threshold);
@@ -802,9 +799,13 @@ impl Vm {
         // across replicas because the heap is empty).
         let mut class_objects = Vec::with_capacity(program.classes.len());
         for _ in &program.classes {
-            class_objects.push(heap.alloc_obj(crate::class::builtin::OBJECT, 0).map_err(|_| VmError::OutOfMemory)?);
+            class_objects.push(
+                heap.alloc_obj(crate::class::builtin::OBJECT, 0)
+                    .map_err(|_| VmError::OutOfMemory)?,
+            );
         }
-        let statics = program.classes.iter().map(|c| vec![Value::Null; c.n_statics as usize]).collect();
+        let statics =
+            program.classes.iter().map(|c| vec![Value::Null; c.n_statics as usize]).collect();
         let entry = program.method(program.entry);
         let main = VmThread::new(
             ThreadIdx(0),

@@ -203,7 +203,8 @@ impl Heap {
         // Mark phase.
         while let Some(i) = work.pop_front() {
             let entry = self.slots[i].as_ref().expect("marked slot is live");
-            let is_soft = matches!(entry, HeapEntry::Obj { class, .. } if *class == builtin::SOFT_REF);
+            let is_soft =
+                matches!(entry, HeapEntry::Obj { class, .. } if *class == builtin::SOFT_REF);
             if is_soft {
                 soft_refs.push(i);
             }
@@ -221,7 +222,10 @@ impl Heap {
                     for (slot, v) in fields.iter().enumerate() {
                         // When collecting soft refs, the referent (slot 0)
                         // is *not* traced through the reference object.
-                        if is_soft && collect_soft && slot == builtin::SOFT_REF_REFERENT_SLOT as usize {
+                        if is_soft
+                            && collect_soft
+                            && slot == builtin::SOFT_REF_REFERENT_SLOT as usize
+                        {
                             continue;
                         }
                         trace(v, &mut work, &mut marked);

@@ -16,7 +16,9 @@ use crate::heap::HeapEntry;
 use crate::native::{
     Intrinsic, NativeAbort, NativeCtx, NativeKind, NativeOutcome, NativeRegistry, PhaseOutcome,
 };
-use crate::thread::{AdoptedOutcome, NativeActivation, ThreadIdx, ThreadKind, ThreadState, WaitResume};
+use crate::thread::{
+    AdoptedOutcome, NativeActivation, ThreadIdx, ThreadKind, ThreadState, WaitResume,
+};
 use crate::value::{ObjRef, Value};
 use ftjvm_netsim::SimTime;
 
@@ -86,9 +88,11 @@ fn step_finalizer(
                     return Ok(());
                 };
                 let n_locals = core.program.method(fin).n_locals;
-                core.thread_mut(t)
-                    .frames
-                    .push(crate::thread::Frame::new(fin, n_locals, vec![Value::Ref(obj)]));
+                core.thread_mut(t).frames.push(crate::thread::Frame::new(
+                    fin,
+                    n_locals,
+                    vec![Value::Ref(obj)],
+                ));
             }
             None => core.thread_mut(t).state = ThreadState::Parked,
         }
@@ -128,10 +132,8 @@ pub(crate) fn raise_runtime(
     t: ThreadIdx,
     code: i64,
 ) -> Result<(), VmError> {
-    let ex = core
-        .heap
-        .alloc_obj(builtin::RUNTIME_EXCEPTION, 1)
-        .map_err(|_| VmError::OutOfMemory)?;
+    let ex =
+        core.heap.alloc_obj(builtin::RUNTIME_EXCEPTION, 1).map_err(|_| VmError::OutOfMemory)?;
     if let Some(HeapEntry::Obj { fields, .. }) = core.heap.get_mut(ex) {
         fields[builtin::THROWABLE_CODE_SLOT as usize] = Value::Int(code);
     }
@@ -151,9 +153,10 @@ pub(crate) fn raise_obj(
         let Some(frame) = core.thread(t).frames.last() else {
             // Uncaught: the thread dies (Java semantics).
             let code = match core.heap.get(ex) {
-                Some(HeapEntry::Obj { fields, .. }) => {
-                    fields.get(builtin::THROWABLE_CODE_SLOT as usize).and_then(|v| v.as_int().ok()).unwrap_or(-1)
-                }
+                Some(HeapEntry::Obj { fields, .. }) => fields
+                    .get(builtin::THROWABLE_CODE_SLOT as usize)
+                    .and_then(|v| v.as_int().ok())
+                    .unwrap_or(-1),
                 _ => -1,
             };
             core.thread_mut(t).unwinding = None;
@@ -182,8 +185,9 @@ pub(crate) fn raise_obj(
         // No handler here: release a synchronized method's monitor and pop.
         let sync_obj = core.thread(t).frame().sync_obj;
         if let Some(obj) = sync_obj {
-            core.release_monitor(coord, t, obj)
-                .map_err(|_| VmError::Internal("sync frame did not own its monitor during unwind".into()))?;
+            core.release_monitor(coord, t, obj).map_err(|_| {
+                VmError::Internal("sync frame did not own its monitor during unwind".into())
+            })?;
         }
         core.thread_mut(t).frames.pop();
     }
@@ -207,7 +211,8 @@ fn do_invoke(
     };
     if synchronized {
         let lock_obj = if is_static {
-            let c = class.ok_or_else(|| VmError::Internal("synchronized static without class".into()))?;
+            let c = class
+                .ok_or_else(|| VmError::Internal("synchronized static without class".into()))?;
             core.class_objects[c.0 as usize]
         } else {
             match explicit_receiver {
@@ -226,7 +231,11 @@ fn do_invoke(
                             raise_runtime(core, coord, t, excode::NULL_POINTER)?;
                             return Ok(true);
                         }
-                        ref v => return Err(type_err(format!("receiver must be a reference, found {v}"))),
+                        ref v => {
+                            return Err(type_err(format!(
+                                "receiver must be a reference, found {v}"
+                            )))
+                        }
                     }
                 }
             }
@@ -281,8 +290,9 @@ fn do_return(
         core.counters.branches += 1;
     }
     if let Some(obj) = frame.sync_obj {
-        core.release_monitor(coord, t, obj)
-            .map_err(|_| VmError::Internal("sync frame did not own its monitor at return".into()))?;
+        core.release_monitor(coord, t, obj).map_err(|_| {
+            VmError::Internal("sync frame did not own its monitor at return".into())
+        })?;
     }
     let returns = core.program.methods[frame.method.0 as usize].returns;
     if core.thread(t).frames.is_empty() {
@@ -294,9 +304,9 @@ fn do_return(
     }
     let caller = core.thread_mut(t).frame_mut();
     if returns {
-        caller
-            .stack
-            .push(val.ok_or_else(|| VmError::Internal("value-returning method produced none".into()))?);
+        caller.stack.push(
+            val.ok_or_else(|| VmError::Internal("value-returning method produced none".into()))?,
+        );
     }
     caller.pc += 1; // past the invoke instruction
     Ok(())
@@ -331,7 +341,12 @@ fn block_on_heap_lock(core: &mut VmCore, t: ThreadIdx) {
     debug_assert!(!took, "caller checked the lock was held by another thread");
 }
 
-fn alloc_counted(core: &mut VmCore, entry_is_array: bool, class: crate::bytecode::ClassId, size: usize) -> Result<ObjRef, VmError> {
+fn alloc_counted(
+    core: &mut VmCore,
+    entry_is_array: bool,
+    class: crate::bytecode::ClassId,
+    size: usize,
+) -> Result<ObjRef, VmError> {
     let r = if entry_is_array {
         core.heap.alloc_array(size)
     } else {
@@ -464,7 +479,14 @@ fn exec_insn(
             f.locals[n as usize] = Value::Int(cur.wrapping_add(delta as i64));
             advance!();
         }
-        Insn::Add | Insn::Sub | Insn::Mul | Insn::And | Insn::Or | Insn::Xor | Insn::Shl | Insn::Shr => {
+        Insn::Add
+        | Insn::Sub
+        | Insn::Mul
+        | Insn::And
+        | Insn::Or
+        | Insn::Xor
+        | Insn::Shl
+        | Insn::Shr => {
             let s = stack!();
             let b = pop_int(s)?;
             let a = pop_int(s)?;
@@ -617,7 +639,11 @@ fn exec_insn(
             let r = match receiver {
                 Value::Ref(r) => r,
                 Value::Null => return raise_runtime(core, coord, t, excode::NULL_POINTER),
-                v => return Err(type_err(format!("virtual call receiver must be a reference, found {v}"))),
+                v => {
+                    return Err(type_err(format!(
+                        "virtual call receiver must be a reference, found {v}"
+                    )))
+                }
             };
             let Some(class) = core.heap.class_of(r) else {
                 return raise_runtime(core, coord, t, excode::BAD_DISPATCH);
@@ -1034,7 +1060,11 @@ fn drive_native(
     }
 }
 
-fn run_native_fn<F>(core: &mut VmCore, act: &mut NativeActivation, f: F) -> Result<PhaseOutcome, NativeAbort>
+fn run_native_fn<F>(
+    core: &mut VmCore,
+    act: &mut NativeActivation,
+    f: F,
+) -> Result<PhaseOutcome, NativeAbort>
 where
     F: FnOnce(&mut NativeCtx<'_>) -> Result<PhaseOutcome, NativeAbort>,
 {
@@ -1208,7 +1238,9 @@ fn drive_intrinsic(
                             core.thread_mut(t).wait_resume = None;
                             Ok(IntrinsicStep::Done(None))
                         }
-                        AcquireOutcome::Blocked | AcquireOutcome::Deferred => Ok(IntrinsicStep::Pending),
+                        AcquireOutcome::Blocked | AcquireOutcome::Deferred => {
+                            Ok(IntrinsicStep::Pending)
+                        }
                     }
                 }
             }

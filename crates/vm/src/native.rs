@@ -111,11 +111,9 @@ impl<'a> NativeCtx<'a> {
     /// # Errors
     /// Aborts with code 91 if the argument is missing, null, or not a ref.
     pub fn ref_arg(&self, i: usize) -> Result<ObjRef, NativeAbort> {
-        self.args
-            .get(i)
-            .copied()
-            .and_then(|v| v.as_ref().ok())
-            .ok_or_else(|| NativeAbort::new(91, format!("argument {i} must be a non-null reference")))
+        self.args.get(i).copied().and_then(|v| v.as_ref().ok()).ok_or_else(|| {
+            NativeAbort::new(91, format!("argument {i} must be a non-null reference"))
+        })
     }
 
     /// Reads array argument `i` as bytes.
@@ -340,7 +338,9 @@ impl NativeRegistry {
             creates_volatile: true,
             kind: NativeKind::Simple(|ctx| {
                 let vfd = ctx.int_arg(0)? as u64;
-                ctx.env.close(vfd).map_err(|_| NativeAbort::new(10, "close of unknown descriptor"))?;
+                ctx.env
+                    .close(vfd)
+                    .map_err(|_| NativeAbort::new(10, "close of unknown descriptor"))?;
                 Ok(None)
             }),
         });
@@ -354,8 +354,10 @@ impl NativeRegistry {
             kind: NativeKind::Simple(|ctx| {
                 let vfd = ctx.int_arg(0)? as u64;
                 let len = ctx.int_arg(2)?.max(0) as usize;
-                let data =
-                    ctx.env.read(vfd, len).map_err(|_| NativeAbort::new(11, "read of unknown descriptor"))?;
+                let data = ctx
+                    .env
+                    .read(vfd, len)
+                    .map_err(|_| NativeAbort::new(11, "read of unknown descriptor"))?;
                 let n = data.len();
                 ctx.fill_array_arg(1, &data)?;
                 Ok(Some(Value::Int(n as i64)))
@@ -392,7 +394,9 @@ impl NativeRegistry {
             kind: NativeKind::Simple(|ctx| {
                 let vfd = ctx.int_arg(0)? as u64;
                 let off = ctx.int_arg(1)?.max(0) as usize;
-                ctx.env.seek(vfd, off).map_err(|_| NativeAbort::new(13, "seek on unknown descriptor"))?;
+                ctx.env
+                    .seek(vfd, off)
+                    .map_err(|_| NativeAbort::new(13, "seek on unknown descriptor"))?;
                 Ok(None)
             }),
         });
@@ -405,7 +409,10 @@ impl NativeRegistry {
             creates_volatile: false,
             kind: NativeKind::Simple(|ctx| {
                 let vfd = ctx.int_arg(0)? as u64;
-                let n = ctx.env.size(vfd).map_err(|_| NativeAbort::new(14, "size of unknown descriptor"))?;
+                let n = ctx
+                    .env
+                    .size(vfd)
+                    .map_err(|_| NativeAbort::new(14, "size of unknown descriptor"))?;
                 Ok(Some(Value::Int(n as i64)))
             }),
         });
@@ -459,7 +466,9 @@ impl NativeRegistry {
             creates_volatile: true,
             kind: NativeKind::Simple(|ctx| {
                 let sd = ctx.int_arg(0)? as u64;
-                ctx.env.sock_close(sd).map_err(|_| NativeAbort::new(21, "close of unknown socket"))?;
+                ctx.env
+                    .sock_close(sd)
+                    .map_err(|_| NativeAbort::new(21, "close of unknown socket"))?;
                 Ok(None)
             }),
         });
@@ -555,7 +564,10 @@ mod tests {
         assert!(open.nondeterministic && open.creates_volatile);
         let write = r.lookup("file.write").unwrap();
         assert!(write.output && write.creates_volatile && write.nondeterministic);
-        assert!(matches!(r.lookup("sys.spawn").unwrap().kind, NativeKind::Intrinsic(Intrinsic::Spawn)));
+        assert!(matches!(
+            r.lookup("sys.spawn").unwrap().kind,
+            NativeKind::Intrinsic(Intrinsic::Spawn)
+        ));
         assert!(r.lookup("no.such").is_none());
     }
 

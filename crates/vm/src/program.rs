@@ -113,7 +113,9 @@ impl fmt::Display for BuildError {
             BuildError::VtableMismatch { class, detail } => {
                 write!(f, "class `{class}`: {detail}")
             }
-            BuildError::BadEntry => f.write_str("entry point must be a static method of one argument"),
+            BuildError::BadEntry => {
+                f.write_str("entry point must be a static method of one argument")
+            }
         }
     }
 }
@@ -297,7 +299,9 @@ impl ProgramBuilder {
             .into_iter()
             .enumerate()
             .map(|(i, m)| {
-                m.unwrap_or_else(|| panic!("method `{}` declared but never built", self.method_names[i]))
+                m.unwrap_or_else(|| {
+                    panic!("method `{}` declared but never built", self.method_names[i])
+                })
             })
             .collect();
         let program = Program {
@@ -414,7 +418,13 @@ impl MethodBuilder {
     /// Registers an exception handler covering `[start, end)` that jumps to
     /// `target` with the thrown object on the stack. `class: None` catches
     /// all throwables.
-    pub fn handler(&mut self, start: Label, end: Label, class: Option<ClassId>, target: Label) -> &mut Self {
+    pub fn handler(
+        &mut self,
+        start: Label,
+        end: Label,
+        class: Option<ClassId>,
+        target: Label,
+    ) -> &mut Self {
         self.handlers.push(PendingHandler { start, end, class, target });
         self
     }
@@ -631,7 +641,8 @@ impl MethodBuilder {
     /// [`ProgramBuilder::build`].
     pub fn build(self, b: &mut ProgramBuilder) -> MethodId {
         let resolve = |l: Label| -> u32 {
-            self.labels[l.0].unwrap_or_else(|| panic!("method `{}`: unbound label {:?}", self.name, l))
+            self.labels[l.0]
+                .unwrap_or_else(|| panic!("method `{}`: unbound label {:?}", self.name, l))
         };
         let code: Vec<Insn> = self
             .code
@@ -764,17 +775,19 @@ fn verify_method(program: &Program, vslots: &[VSlotDecl], m: &Method) -> Result<
                 });
             }
             Insn::InvokeNative(n, argc) => {
-                let d = program
-                    .native_imports
-                    .get(n.0 as usize)
-                    .ok_or_else(|| BuildError::SignatureMismatch {
+                let d = program.native_imports.get(n.0 as usize).ok_or_else(|| {
+                    BuildError::SignatureMismatch {
                         method: name.clone(),
                         detail: format!("pc {pc}: unknown native import"),
-                    })?;
+                    }
+                })?;
                 if d.argc != *argc {
                     return Err(BuildError::SignatureMismatch {
                         method: name.clone(),
-                        detail: format!("pc {pc}: native `{}` takes {} args, call passes {argc}", d.name, d.argc),
+                        detail: format!(
+                            "pc {pc}: native `{}` takes {} args, call passes {argc}",
+                            d.name, d.argc
+                        ),
                     });
                 }
             }
@@ -851,7 +864,12 @@ fn verify_method(program: &Program, vslots: &[VSlotDecl], m: &Method) -> Result<
                         Insn::Dup => 1,
                         Insn::DupX1 => 2,
                         Insn::Swap => 2,
-                        Insn::GetField(_) | Insn::Neg | Insn::I2D | Insn::D2I | Insn::NewArray | Insn::ALen => 1,
+                        Insn::GetField(_)
+                        | Insn::Neg
+                        | Insn::I2D
+                        | Insn::D2I
+                        | Insn::NewArray
+                        | Insn::ALen => 1,
                         Insn::ALoad => 2,
                         _ if delta < 0 => -delta,
                         _ => 0,
@@ -869,13 +887,14 @@ fn verify_method(program: &Program, vslots: &[VSlotDecl], m: &Method) -> Result<
         }
         let next_depth = depth - pops + pushes;
         // Successors.
-        let push_succ = |target: u32, d: i32, work: &mut VecDeque<(u32, i32)>| -> Result<(), BuildError> {
-            if target >= len {
-                return Err(BuildError::FallsOffEnd { method: name.clone() });
-            }
-            work.push_back((target, d));
-            Ok(())
-        };
+        let push_succ =
+            |target: u32, d: i32, work: &mut VecDeque<(u32, i32)>| -> Result<(), BuildError> {
+                if target >= len {
+                    return Err(BuildError::FallsOffEnd { method: name.clone() });
+                }
+                work.push_back((target, d));
+                Ok(())
+            };
         match i {
             Insn::Goto(t) => push_succ(*t, next_depth, &mut work)?,
             Insn::If(t) | Insn::IfNot(t) | Insn::IfNull(t) => {

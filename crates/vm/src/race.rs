@@ -145,7 +145,8 @@ impl RaceDetector {
     }
 
     fn check(&mut self, loc: Loc, t: ThreadIdx, is_write: bool) {
-        let racy = matches!(self.state.get(&loc), Some(LocState::SharedModified(ls)) if ls.is_empty());
+        let racy =
+            matches!(self.state.get(&loc), Some(LocState::SharedModified(ls)) if ls.is_empty());
         if racy && self.reported.insert(loc) {
             self.reports.push(RaceReport {
                 loc,

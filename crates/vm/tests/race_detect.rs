@@ -12,9 +12,7 @@ use ftjvm_vm::race::Loc;
 use ftjvm_vm::{Cmp, MethodId, NoopCoordinator, Program};
 use std::sync::Arc;
 
-fn run_with_detector(
-    build: impl FnOnce(&mut ProgramBuilder) -> MethodId,
-) -> ftjvm_vm::RunReport {
+fn run_with_detector(build: impl FnOnce(&mut ProgramBuilder) -> MethodId) -> ftjvm_vm::RunReport {
     let mut b = ProgramBuilder::new();
     let entry = build(&mut b);
     let program = Arc::new(b.build(entry).expect("verifies"));
@@ -24,7 +22,8 @@ fn run_with_detector(
 fn run_built(program: Arc<Program>) -> ftjvm_vm::RunReport {
     let world = World::shared();
     let env = SimEnv::new("solo", world, SimTime::ZERO, 7);
-    let cfg = VmConfig { race_detect: true, quantum: 23, quantum_jitter: 17, ..VmConfig::default() };
+    let cfg =
+        VmConfig { race_detect: true, quantum: 23, quantum_jitter: 17, ..VmConfig::default() };
     let mut vm = Vm::new(program, NativeRegistry::with_builtins(), env, cfg).unwrap();
     vm.run(&mut NoopCoordinator::new()).expect("run succeeds")
 }
@@ -151,7 +150,7 @@ fn read_only_shared_data_is_not_flagged() {
         let yield_n = b.import_native("sys.yield", 0, false);
         let print = b.import_native("sys.print_int", 1, false);
         let cls = b.add_class("RO", builtin::OBJECT, 0, 3); // 0=table, 1=done, 2=unused
-        // Readers sum the shared (immutable after setup) table without locks.
+                                                            // Readers sum the shared (immutable after setup) table without locks.
         let mut fin = b.method("fin", 1);
         fin.static_of(cls).synchronized();
         fin.get_static(cls, 1).push_i(1).add().put_static(cls, 1).ret_void();

@@ -23,7 +23,8 @@ fn run_prog(
 fn run_built(program: Arc<Program>) -> (ftjvm_vm::RunReport, Vec<String>) {
     let world = World::shared();
     let env = SimEnv::new("solo", world.clone(), SimTime::ZERO, 7);
-    let mut vm = Vm::new(program, NativeRegistry::with_builtins(), env, VmConfig::default()).unwrap();
+    let mut vm =
+        Vm::new(program, NativeRegistry::with_builtins(), env, VmConfig::default()).unwrap();
     let report = vm.run(&mut NoopCoordinator::new()).expect("run succeeds");
     let console = world.borrow().console_texts();
     (report, console)

@@ -182,7 +182,11 @@ fn exception_unwinds_through_frames_and_releases_sync() {
         // synchronized static thrower: throws inside the lock.
         let mut thrower = b.method("thrower", 1);
         thrower.static_of(cls).synchronized();
-        thrower.new_obj(builtin::RUNTIME_EXCEPTION).dup().push_i(42).put_field(builtin::THROWABLE_CODE_SLOT);
+        thrower
+            .new_obj(builtin::RUNTIME_EXCEPTION)
+            .dup()
+            .push_i(42)
+            .put_field(builtin::THROWABLE_CODE_SLOT);
         thrower.throw();
         let thrower = thrower.build(b);
         let mut m = b.method("main", 1);
@@ -413,7 +417,7 @@ fn wait_notify_producer_consumer() {
         let wait = b.import_native("obj.wait", 1, false);
         let notify_all = b.import_native("obj.notify_all", 1, false);
         let cls = b.add_class("Q", builtin::OBJECT, 0, 2); // 0=value, 1=available
-        // Producer: lock, set value, mark available, notify, unlock.
+                                                           // Producer: lock, set value, mark available, notify, unlock.
         let mut p = b.method("producer", 1);
         p.class_obj(cls).monitor_enter();
         p.push_i(1234).put_static(cls, 0);
@@ -511,7 +515,14 @@ fn nd_natives_clock_and_rand() {
         m.push_i(10).icmp(Cmp::Ge).invoke_native(print, 1);
         // rand in [0, 5)
         m.push_i(5).invoke_native(rand, 1).store(2);
-        m.load(2).push_i(0).icmp(Cmp::Ge).load(2).push_i(5).icmp(Cmp::Lt).band().invoke_native(print, 1);
+        m.load(2)
+            .push_i(0)
+            .icmp(Cmp::Ge)
+            .load(2)
+            .push_i(5)
+            .icmp(Cmp::Lt)
+            .band()
+            .invoke_native(print, 1);
         m.ret_void();
         m.build(b)
     });
@@ -566,7 +577,7 @@ fn gc_collects_garbage_and_runs_finalizers() {
         m.inc(1, -1).goto(top);
         m.bind(done);
         m.invoke_native(gc, 0); // discover + resurrect finalizables
-        // Let the finalizer thread drain.
+                                // Let the finalizer thread drain.
         for _ in 0..300 {
             m.invoke_native(yield_n, 0);
         }
@@ -633,7 +644,8 @@ fn deadlock_is_detected() {
     let program = Arc::new(b.build(entry).unwrap());
     let world = World::shared();
     let env = SimEnv::new("solo", world, SimTime::ZERO, 1);
-    let mut vm = Vm::new(program, NativeRegistry::with_builtins(), env, VmConfig::default()).unwrap();
+    let mut vm =
+        Vm::new(program, NativeRegistry::with_builtins(), env, VmConfig::default()).unwrap();
     let err = vm.run(&mut NoopCoordinator::new()).unwrap_err();
     assert!(matches!(err, VmError::Deadlock { .. }), "got {err}");
 }

@@ -147,7 +147,8 @@ pub fn workload() -> Workload {
     let entry = m.build(&mut b);
     Workload {
         name: "db",
-        description: "memory-resident database with a synchronized query storm (most locks in the suite)",
+        description:
+            "memory-resident database with a synchronized query storm (most locks in the suite)",
         program: Arc::new(b.build(entry).expect("db verifies")),
         multithreaded: false,
         paper_exec_secs: 354,

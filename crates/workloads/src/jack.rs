@@ -148,7 +148,8 @@ pub fn workload() -> Workload {
     let entry = m.build(&mut b);
     Workload {
         name: "jack",
-        description: "parser-generator tokenizer: file-I/O heavy, one fresh locked object per token",
+        description:
+            "parser-generator tokenizer: file-I/O heavy, one fresh locked object per token",
         program: Arc::new(b.build(entry).expect("jack verifies")),
         multithreaded: false,
         paper_exec_secs: 182,

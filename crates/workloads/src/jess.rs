@@ -102,7 +102,16 @@ pub fn workload() -> Workload {
         m.push_i(0).put_static(agenda, 3);
         m.push_i(0).put_static(agenda, 4);
         count_loop(&mut m, 2, 0, FACTS, |m| {
-            m.get_static(agenda, 0).load(2).load(2).push_i(7).mul().push_i(11).add().push_i(101).rem().astore();
+            m.get_static(agenda, 0)
+                .load(2)
+                .load(2)
+                .push_i(7)
+                .mul()
+                .push_i(11)
+                .add()
+                .push_i(101)
+                .rem()
+                .astore();
         });
         m.load(0).push_i(150).mul().store(1);
         m.push_i(0).store(3);
@@ -154,7 +163,8 @@ pub fn workload() -> Workload {
     let entry = m.build(&mut b);
     Workload {
         name: "jess",
-        description: "forward-chaining rule engine: synchronized agenda + allocation churn (GC pressure)",
+        description:
+            "forward-chaining rule engine: synchronized agenda + allocation churn (GC pressure)",
         program: Arc::new(b.build(entry).expect("jess verifies")),
         multithreaded: false,
         paper_exec_secs: 167,

@@ -115,7 +115,8 @@ pub fn workload() -> Workload {
     let entry = m.build(&mut b);
     Workload {
         name: "mpegaudio",
-        description: "floating-point subband filter over synthesized frames (few locks, few natives)",
+        description:
+            "floating-point subband filter over synthesized frames (few locks, few natives)",
         program: Arc::new(b.build(entry).expect("mpegaudio verifies")),
         multithreaded: false,
         paper_exec_secs: 419,

@@ -159,7 +159,8 @@ pub fn workload() -> Workload {
     let entry = m.build(&mut b);
     Workload {
         name: "mtrt",
-        description: "two-thread raytracer over a synchronized scanline queue (the multithreaded benchmark)",
+        description:
+            "two-thread raytracer over a synchronized scanline queue (the multithreaded benchmark)",
         program: Arc::new(b.build(entry).expect("mtrt verifies")),
         multithreaded: true,
         paper_exec_secs: 163,
@@ -195,12 +196,9 @@ mod tests {
         for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
             // Reference: this mode's own failure-free run (checksum depends
             // on the primary's interleaving via the modulus).
-            let free = FtJvm::new(
-                w.program.clone(),
-                FtConfig { mode, ..FtConfig::default() },
-            )
-            .run_replicated()
-            .expect("failure-free");
+            let free = FtJvm::new(w.program.clone(), FtConfig { mode, ..FtConfig::default() })
+                .run_replicated()
+                .expect("failure-free");
             let report = FtJvm::new(
                 w.program.clone(),
                 FtConfig { mode, fault: FaultPlan::BeforeOutput(0), ..FtConfig::default() },

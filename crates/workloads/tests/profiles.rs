@@ -109,12 +109,7 @@ fn workloads_are_race_free_under_the_lockset_detector() {
         let mut vm =
             Vm::new(w.program.clone(), NativeRegistry::with_builtins(), env, cfg).expect("vm");
         let report = vm.run(&mut NoopCoordinator::new()).expect("runs");
-        assert!(
-            report.races.is_empty(),
-            "{} violates R4A: {:?}",
-            w.name,
-            report.races
-        );
+        assert!(report.races.is_empty(), "{} violates R4A: {:?}", w.name, report.races);
     }
 }
 

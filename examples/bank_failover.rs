@@ -71,7 +71,18 @@ fn build_bank() -> Arc<Program> {
         m.load(1).push_i(TRANSFERS_PER_TELLER).icmp(Cmp::Ge).if_true(done);
         // from = (i*3 + id) % A ; to = (i*5 + id*2 + 1) % A
         m.load(1).push_i(3).mul().load(0).add().push_i(ACCOUNTS).rem().store(2);
-        m.load(1).push_i(5).mul().load(0).push_i(2).mul().add().push_i(1).add().push_i(ACCOUNTS).rem().store(3);
+        m.load(1)
+            .push_i(5)
+            .mul()
+            .load(0)
+            .push_i(2)
+            .mul()
+            .add()
+            .push_i(1)
+            .add()
+            .push_i(ACCOUNTS)
+            .rem()
+            .store(3);
         m.load(2).load(3).push_i(7).invoke(transfer);
         m.inc(1, 1).goto(top);
         m.bind(done);

@@ -42,10 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("detection latency: {}", report.detection_latency);
     println!("console output:    {:?}", report.console());
     report.check_no_duplicate_outputs().expect("exactly-once output");
-    assert_eq!(
-        report.console(),
-        vec!["1", "3", "6", "10", "15", "21", "28", "36", "45", "55"]
-    );
+    assert_eq!(report.console(), vec!["1", "3", "6", "10", "15", "21", "28", "36", "45", "55"]);
     println!("\nevery output delivered exactly once across the failover ✓");
     Ok(())
 }

@@ -92,7 +92,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         use ftjvm::vm::{NativeRegistry, NoopCoordinator};
         let world = World::shared();
         let env = SimEnv::new("verify", world, ftjvm::netsim::SimTime::ZERO, 1);
-        let vmcfg = VmConfig { race_detect: true, quantum: 23, quantum_jitter: 17, ..VmConfig::default() };
+        let vmcfg =
+            VmConfig { race_detect: true, quantum: 23, quantum_jitter: 17, ..VmConfig::default() };
         let mut vm = Vm::new(program.clone(), NativeRegistry::with_builtins(), env, vmcfg)?;
         let report = vm.run(&mut NoopCoordinator::new())?;
         for r in &report.races {

@@ -1,0 +1,167 @@
+//! Vendored minimal stand-in for the `criterion` crate so the workspace's
+//! `harness = false` bench targets build and run without network access to
+//! a registry. Behavior:
+//!
+//! * under `cargo bench` (cargo passes `--bench`): each benchmark runs a
+//!   short timed loop and prints a mean ns/iter line;
+//! * under `cargo test` (no `--bench` flag): each benchmark body runs once,
+//!   acting as a smoke test — mirroring real criterion's test mode.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units processed per iteration, for throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    bench_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => bench_mode = false,
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { bench_mode, filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: 10 }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self, &id, None, 10, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion, &id, self.throughput, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    criterion: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(filter) = &criterion.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if !criterion.bench_mode {
+        // Test mode: run the body once so `cargo test` exercises it.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("test {id} ... ok (bench smoke)");
+        return;
+    }
+    // Bench mode: a few samples of a small fixed iteration count. Crude
+    // next to real criterion, but stable enough to compare codecs.
+    let mut best = Duration::MAX;
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size.min(20) {
+        let mut b = Bencher { iters: 3, elapsed: Duration::ZERO };
+        f(&mut b);
+        total_iters += b.iters;
+        if b.elapsed < best {
+            best = b.elapsed;
+        }
+    }
+    let per_iter = best.as_nanos() / 3;
+    let mut line = format!("bench {id:60} {per_iter:>12} ns/iter");
+    if let Some(Throughput::Bytes(bytes)) = throughput {
+        if per_iter > 0 {
+            let mbps = bytes as f64 * 1e3 / per_iter as f64;
+            line.push_str(&format!("  {mbps:>10.1} MB/s"));
+        }
+    }
+    let _ = total_iters;
+    println!("{line}");
+}
+
+/// Timing handle passed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

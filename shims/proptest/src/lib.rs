@@ -1,0 +1,662 @@
+//! Vendored minimal stand-in for the `proptest` crate so the workspace
+//! builds without network access to a registry. Implements the subset the
+//! workspace's property tests use: the `proptest!` / `prop_oneof!` /
+//! `prop_assert*!` macros, `any::<T>()`, range / tuple / collection /
+//! option / string-class strategies, and the `prop_map` / `prop_filter` /
+//! `prop_flat_map` combinators.
+//!
+//! Differences from the real crate, deliberate for a vendored shim:
+//! * **no shrinking** — a failing case reports the generated input as-is;
+//! * **no persistence** — `*.proptest-regressions` files are ignored;
+//! * generation is deterministic per test body (fixed seed), which keeps
+//!   CI runs reproducible.
+
+// Generator-function signatures are spelled out where they are used; the
+// aliases clippy suggests would only obscure a deliberately tiny shim.
+#![allow(clippy::type_complexity)]
+
+/// Internal SplitMix64 generator used for all case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Runner configuration (subset: `cases`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+        /// Maximum strategy-level rejects (filters) tolerated per property.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64, max_global_rejects: 1024 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property is violated.
+        Fail(String),
+        /// The input is rejected (does not count against `cases`).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives a property over `cases` generated inputs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            // Fixed seed: deterministic, reproducible runs (no shrinking or
+            // regression persistence in this shim).
+            TestRunner { config, rng: TestRng::new(0xF7_1A_57_0C_5E_ED_00_01) }
+        }
+
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> TestCaseResult,
+        ) -> Result<(), String>
+        where
+            S::Value: std::fmt::Debug,
+        {
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let shown = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            return Err("too many rejected inputs".to_string());
+                        }
+                    }
+                    Err(TestCaseError::Fail(reason)) => {
+                        let clipped = if shown.len() > 4096 { &shown[..4096] } else { &shown[..] };
+                        return Err(format!(
+                            "proptest: property failed after {passed} passing case(s): \
+                             {reason}\ninput: {clipped}"
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of random values (the real crate's `Strategy` minus
+    /// shrinking; `Value` keeps the same associated-type name so
+    /// `impl Strategy<Value = T>` bounds are source-compatible).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence: whence.into(), f }
+        }
+
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erases the strategy type (used by `prop_oneof!`).
+        fn into_gen_fn(self) -> Box<dyn Fn(&mut TestRng) -> Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(move |rng| self.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1024 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("proptest shim: filter '{}' rejected 1024 consecutive inputs", self.whence);
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            (self.arms[idx])(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + v) as $ty
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u128;
+                    let v = (rng.next_u64() as u128 % span) as i128;
+                    (lo + v) as $ty
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// `&'static str` as a strategy: a `[chars]{m,n}` character-class
+    /// pattern (the only regex shape the workspace uses).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, min, max) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("proptest shim: unsupported string pattern {self:?}"));
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect()
+        }
+    }
+
+    /// Parses `[class]{m,n}` into (alphabet, m, n). Returns `None` on any
+    /// shape this shim does not support.
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let counts = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (m, n) = match counts.split_once(',') {
+            Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+            None => {
+                let k = counts.trim().parse().ok()?;
+                (k, k)
+            }
+        };
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                if lo > hi {
+                    return None;
+                }
+                for c in lo..=hi {
+                    alphabet.push(char::from_u32(c)?);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() || m > n {
+            return None;
+        }
+        Some((alphabet, m, n))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn class_patterns_parse() {
+            let (a, m, n) = parse_class_pattern("[a-c_]{0,4}").unwrap();
+            assert_eq!(a, vec!['a', 'b', 'c', '_']);
+            assert_eq!((m, n), (0, 4));
+            let (a, ..) = parse_class_pattern("[ -~]{0,40}").unwrap();
+            assert_eq!(a.len(), 95); // printable ASCII
+            let (a, ..) = parse_class_pattern("[a-zA-Z0-9 /._-]{0,48}").unwrap();
+            assert!(a.contains(&'-') && a.contains(&'/') && a.contains(&' '));
+        }
+
+        #[test]
+        fn string_strategy_respects_bounds() {
+            let mut rng = TestRng::new(1);
+            for _ in 0..200 {
+                let s = "[a-z]{2,5}".generate(&mut rng);
+                assert!((2..=5).contains(&s.len()), "{s:?}");
+                assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Types with a canonical strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn generate_any(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by `any::<T>()`.
+    pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::generate_any(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn generate_any(rng: &mut TestRng) -> $ty {
+                    // Bias toward small magnitudes half the time: interesting
+                    // boundary-ish values show up far more often than with
+                    // raw 64-bit noise.
+                    let raw = rng.next_u64();
+                    if raw & 1 == 0 {
+                        (raw >> 1) as $ty
+                    } else {
+                        ((raw >> 1) % 257) as $ty
+                    }
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn generate_any(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn generate_any(rng: &mut TestRng) -> f64 {
+            // Mix raw bit patterns (hits NaN/inf/subnormals) with tame
+            // magnitudes so filtered-finite strategies converge quickly.
+            let raw = rng.next_u64();
+            if raw & 3 == 0 {
+                f64::from_bits(rng.next_u64())
+            } else {
+                (rng.next_u64() as i64 % 1_000_000_007) as f64 / 97.0
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn generate_any(rng: &mut TestRng) -> char {
+            char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('a')
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        fn generate_any(rng: &mut TestRng) -> super::sample::Index {
+            super::sample::Index::new(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod sample {
+    /// A position scaled into any collection length at use time.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        pub fn new(raw: usize) -> Self {
+            Index(raw)
+        }
+
+        /// Maps this index into `[0, len)`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// A size requirement for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector of `element` values with a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of`: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::arbitrary::{any, Arbitrary};
+    pub use super::strategy::{Just, Strategy};
+    pub use super::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the real prelude's `prop` shorthand module.
+    pub mod prop {
+        pub use super::super::{collection, option, sample, strategy};
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strategy = ($($strat,)+);
+                let outcome = runner.run(&strategy, |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+                if let ::core::result::Result::Err(message) = outcome {
+                    panic!("{}", message);
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        // Weights are ignored: the shim picks arms uniformly.
+        $crate::prop_oneof![$($arm),+]
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::into_gen_fn($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` ({:?} vs {:?})",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} vs {:?})", format!($($fmt)*), left, right),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}

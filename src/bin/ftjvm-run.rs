@@ -22,6 +22,7 @@ fn usage() -> ! {
          options:\n\
            --mode lock|ts        replication technique (default lock)\n\
            --variant records|intervals   lock-record encoding (default records)\n\
+           --codec fixed|compact wire codec (default fixed)\n\
            --crash-at <units>    kill the primary after N execution units\n\
            --crash-before-output <n>  kill in output n's uncertain window\n\
            --warm                keep the backup warm (replays during normal operation)\n\
@@ -67,6 +68,14 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--codec" => {
+                i += 1;
+                cfg.codec = match args.get(i).map(String::as_str) {
+                    Some("fixed") => ftjvm::WireCodec::Fixed,
+                    Some("compact") => ftjvm::WireCodec::Compact,
+                    _ => usage(),
+                };
+            }
             "--crash-at" => {
                 i += 1;
                 let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
@@ -80,13 +89,15 @@ fn main() {
             "--warm" => cfg.warm_backup = true,
             "--seed" => {
                 i += 1;
-                cfg.primary_seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.primary_seed =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             "--baseline" => baseline = true,
             "--disasm" => disasm = true,
             "--dump-log" => {
                 i += 1;
-                dump_log = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+                dump_log =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             _ => usage(),
         }
@@ -98,8 +109,15 @@ fn main() {
         return;
     }
     if let Some(n) = dump_log {
-        let records = FtJvm::new(w.program.clone(), cfg.clone()).capture_log().expect("log capture");
-        println!("{} records logged by a failure-free [{} / {}] run; first {n}:", records.len(), cfg.mode, cfg.lock_variant);
+        let records =
+            FtJvm::new(w.program.clone(), cfg.clone()).capture_log().expect("log capture");
+        println!(
+            "{} records logged by a failure-free [{} / {} / {}] run; first {n}:",
+            records.len(),
+            cfg.mode,
+            cfg.lock_variant,
+            cfg.codec
+        );
         for r in records.iter().take(n) {
             println!("  {r}");
         }
@@ -124,16 +142,18 @@ fn main() {
         // A crashed primary ran only a prefix; a ratio against the full
         // baseline would mislead.
         println!(
-            "\nprimary [{} / {}]: {} simulated (partial — crashed)",
+            "\nprimary [{} / {} / {}]: {} simulated (partial — crashed)",
             cfg.mode,
             cfg.lock_variant,
+            cfg.codec,
             report.primary.acct.total(),
         );
     } else {
         println!(
-            "\nprimary [{} / {}]: {} simulated = {:.2}x baseline",
+            "\nprimary [{} / {} / {}]: {} simulated = {:.2}x baseline",
             cfg.mode,
             cfg.lock_variant,
+            cfg.codec,
             report.primary.acct.total(),
             report.primary.acct.total().as_nanos() as f64 / base.acct.total().as_nanos() as f64
         );

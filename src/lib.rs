@@ -55,7 +55,9 @@
 /// The bytecode virtual machine substrate (re-export of `ftjvm-vm`).
 pub mod vm {
     pub use ftjvm_vm::*;
-    pub use ftjvm_vm::{class, coordinator, env, exec, heap, monitor, native, program, thread, value, vtid};
+    pub use ftjvm_vm::{
+        class, coordinator, env, exec, heap, monitor, native, program, thread, value, vtid,
+    };
 }
 
 /// The replication layer (re-export of `ftjvm-core`).
@@ -74,5 +76,8 @@ pub mod workloads {
     pub use ftjvm_workloads::*;
 }
 
-pub use ftjvm_core::{FtConfig, FtJvm, LockVariant, PairReport, ReplicationMode, SeRegistry, SideEffectHandler};
+pub use ftjvm_core::{
+    FtConfig, FtJvm, LockVariant, PairReport, ReplicationMode, SeRegistry, SideEffectHandler,
+    WireCodec,
+};
 pub use ftjvm_vm::{NativeRegistry, Program, VmConfig, VmError};

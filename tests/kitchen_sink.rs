@@ -126,12 +126,7 @@ fn techniques() -> [(ReplicationMode, LockVariant); 3] {
 fn kitchen_sink_failover_sweep() {
     let program = build_sink();
     for (mode, variant) in techniques() {
-        let mk = |fault| FtConfig {
-            mode,
-            lock_variant: variant,
-            fault,
-            ..FtConfig::default()
-        };
+        let mk = |fault| FtConfig { mode, lock_variant: variant, fault, ..FtConfig::default() };
         let free = FtJvm::new(program.clone(), mk(FaultPlan::None))
             .run_replicated()
             .unwrap_or_else(|e| panic!("{mode}/{variant} free: {e}"));
@@ -148,10 +143,8 @@ fn kitchen_sink_failover_sweep() {
         // must still hold.
         let mid: Vec<FaultPlan> =
             (200..6000).step_by(650).map(FaultPlan::AfterInstructions).collect();
-        for (fault, must_match) in exact
-            .into_iter()
-            .map(|f| (f, true))
-            .chain(mid.into_iter().map(|f| (f, false)))
+        for (fault, must_match) in
+            exact.into_iter().map(|f| (f, true)).chain(mid.into_iter().map(|f| (f, false)))
         {
             let report = FtJvm::new(program.clone(), mk(fault))
                 .run_with_failure()

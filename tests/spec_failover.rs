@@ -2,23 +2,32 @@
 //! primary crash under both replication techniques with output equal to
 //! its own failure-free run.
 
-use ftjvm::netsim::FaultPlan;
+use ftjvm::netsim::{FaultPlan, WireCodec};
 use ftjvm::workloads;
 use ftjvm::{FtConfig, FtJvm, ReplicationMode};
 
-fn failover_matches_free(w: &workloads::Workload, mode: ReplicationMode, fault: FaultPlan) {
-    let mk = |fault| FtConfig { mode, fault, ..FtConfig::default() };
+fn failover_matches_free_with(
+    w: &workloads::Workload,
+    mode: ReplicationMode,
+    codec: WireCodec,
+    fault: FaultPlan,
+) {
+    let mk = |fault| FtConfig { mode, codec, fault, ..FtConfig::default() };
     let free = FtJvm::new(w.program.clone(), mk(FaultPlan::None))
         .run_replicated()
-        .unwrap_or_else(|e| panic!("{} {mode} free: {e}", w.name));
+        .unwrap_or_else(|e| panic!("{} {mode} {codec} free: {e}", w.name));
     let failed = FtJvm::new(w.program.clone(), mk(fault))
         .run_with_failure()
-        .unwrap_or_else(|e| panic!("{} {mode} {fault:?}: {e}", w.name));
-    assert!(failed.crashed, "{} {mode} {fault:?} should crash", w.name);
-    assert_eq!(failed.console(), free.console(), "{} {mode} {fault:?}", w.name);
+        .unwrap_or_else(|e| panic!("{} {mode} {codec} {fault:?}: {e}", w.name));
+    assert!(failed.crashed, "{} {mode} {codec} {fault:?} should crash", w.name);
+    assert_eq!(failed.console(), free.console(), "{} {mode} {codec} {fault:?}", w.name);
     failed
         .check_no_duplicate_outputs()
-        .unwrap_or_else(|id| panic!("{} {mode}: duplicate output {id}", w.name));
+        .unwrap_or_else(|id| panic!("{} {mode} {codec}: duplicate output {id}", w.name));
+}
+
+fn failover_matches_free(w: &workloads::Workload, mode: ReplicationMode, fault: FaultPlan) {
+    failover_matches_free_with(w, mode, WireCodec::Fixed, fault);
 }
 
 /// Single-threaded workloads produce identical consoles; mtrt (checksum is
@@ -35,12 +44,24 @@ macro_rules! spec_case {
     };
 }
 
-spec_case!(compress_failover_early, workloads::compress::workload, FaultPlan::AfterInstructions(10_000));
-spec_case!(compress_failover_late, workloads::compress::workload, FaultPlan::AfterInstructions(2_000_000));
+spec_case!(
+    compress_failover_early,
+    workloads::compress::workload,
+    FaultPlan::AfterInstructions(10_000)
+);
+spec_case!(
+    compress_failover_late,
+    workloads::compress::workload,
+    FaultPlan::AfterInstructions(2_000_000)
+);
 spec_case!(jess_failover, workloads::jess::workload, FaultPlan::AfterInstructions(300_000));
 spec_case!(jack_failover, workloads::jack::workload, FaultPlan::AfterInstructions(400_000));
 spec_case!(db_failover, workloads::db::workload, FaultPlan::AfterInstructions(800_000));
-spec_case!(mpegaudio_failover, workloads::mpegaudio::workload, FaultPlan::AfterInstructions(1_000_000));
+spec_case!(
+    mpegaudio_failover,
+    workloads::mpegaudio::workload,
+    FaultPlan::AfterInstructions(1_000_000)
+);
 spec_case!(jess_uncertain_output, workloads::jess::workload, FaultPlan::BeforeOutput(2));
 spec_case!(jack_after_output, workloads::jack::workload, FaultPlan::AfterOutput(0));
 spec_case!(db_uncertain_output, workloads::db::workload, FaultPlan::BeforeOutput(1));
@@ -55,6 +76,61 @@ fn mtrt_failover_both_modes() {
     for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
         failover_matches_free(&w, mode, FaultPlan::BeforeOutput(0));
     }
+}
+
+#[test]
+fn compact_codec_spec_failover() {
+    // The batched delta/varint codec must be transparent to failover on
+    // real workloads: db (lock-heavy), jess (output-heavy) and mtrt
+    // (multithreaded) under both techniques.
+    for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+        let db = workloads::db::workload();
+        failover_matches_free_with(
+            &db,
+            mode,
+            WireCodec::Compact,
+            FaultPlan::AfterInstructions(800_000),
+        );
+        failover_matches_free_with(&db, mode, WireCodec::Compact, FaultPlan::BeforeOutput(1));
+        let jess = workloads::jess::workload();
+        failover_matches_free_with(
+            &jess,
+            mode,
+            WireCodec::Compact,
+            FaultPlan::AfterInstructions(300_000),
+        );
+        let mtrt = workloads::mtrt::workload();
+        failover_matches_free_with(&mtrt, mode, WireCodec::Compact, FaultPlan::BeforeOutput(0));
+    }
+}
+
+#[test]
+fn compact_codec_cuts_bytes_and_messages_on_db() {
+    // The headline numbers of the compact codec (and this test pins the
+    // acceptance floor): ≥40% fewer bytes logged and ≥5x fewer channel
+    // messages than the fixed codec on db under lock-sync, with identical
+    // record counts and console output.
+    let w = workloads::db::workload();
+    let mk = |codec| FtConfig { mode: ReplicationMode::LockSync, codec, ..FtConfig::default() };
+    let fixed =
+        FtJvm::new(w.program.clone(), mk(WireCodec::Fixed)).run_replicated().expect("fixed");
+    let compact =
+        FtJvm::new(w.program.clone(), mk(WireCodec::Compact)).run_replicated().expect("compact");
+    assert_eq!(compact.console(), fixed.console());
+    assert_eq!(compact.primary_stats.messages_logged(), fixed.primary_stats.messages_logged());
+    assert!(
+        (compact.primary_stats.bytes_logged as f64)
+            <= 0.6 * fixed.primary_stats.bytes_logged as f64,
+        "bytes_logged: compact {} vs fixed {}",
+        compact.primary_stats.bytes_logged,
+        fixed.primary_stats.bytes_logged
+    );
+    assert!(
+        compact.channel.messages_sent * 5 <= fixed.channel.messages_sent,
+        "messages: compact {} vs fixed {}",
+        compact.channel.messages_sent,
+        fixed.channel.messages_sent
+    );
 }
 
 #[test]
