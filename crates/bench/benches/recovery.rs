@@ -1,9 +1,10 @@
 //! Microbenchmark: backup recovery — full log replay wall-clock for both
 //! techniques, plus the crash-to-finish path (detection + replay + live
-//! continuation).
+//! continuation) under both lag budgets (cold replay vs hot streaming
+//! standby).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ftjvm_core::{FtConfig, FtJvm, ReplicationMode};
+use ftjvm_core::{FtConfig, FtJvm, LagBudget, ReplicationMode};
 use ftjvm_netsim::FaultPlan;
 use std::hint::black_box;
 
@@ -19,16 +20,23 @@ fn bench_recovery(c: &mut Criterion) {
                 black_box(r.backup.expect("backup ran").counters.instructions)
             })
         });
-        let crash = FtJvm::new(
-            w.program.clone(),
-            FtConfig { mode, fault: FaultPlan::AfterInstructions(5_000), ..FtConfig::default() },
-        );
-        group.bench_function(format!("mid-run-failover/{mode}"), |b| {
-            b.iter(|| {
-                let r = crash.run_with_failure().expect("fails over");
-                black_box(r.console().len())
-            })
-        });
+        for lag_budget in [LagBudget::Cold, LagBudget::Hot] {
+            let crash = FtJvm::new(
+                w.program.clone(),
+                FtConfig {
+                    mode,
+                    lag_budget,
+                    fault: FaultPlan::AfterInstructions(5_000),
+                    ..FtConfig::default()
+                },
+            );
+            group.bench_function(format!("mid-run-failover/{mode}/{lag_budget}"), |b| {
+                b.iter(|| {
+                    let r = crash.run_with_failure().expect("fails over");
+                    black_box(r.console().len())
+                })
+            });
+        }
     }
     group.finish();
 }

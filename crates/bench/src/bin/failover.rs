@@ -1,0 +1,46 @@
+//! Failover-latency table: cold (replay-at-failover) backup versus hot
+//! (streaming) standby for every SPEC analog at a mid-run crash point —
+//! the measured counterpart of the paper's "keeping the backup updated
+//! would require only minor modifications" remark (§6).
+//!
+//! Run: `cargo run -p ftjvm-bench --release --bin failover`
+
+use ftjvm_bench::measure_failover_suite;
+
+fn main() {
+    let rows = measure_failover_suite();
+    println!("Failover latency: cold backup vs hot standby (lock-sync, mid-run crash)\n");
+    println!(
+        "{:10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "benchmark",
+        "cold-detect",
+        "cold-replay",
+        "cold-total",
+        "hot-detect",
+        "hot-replay",
+        "hot-total",
+        "speedup"
+    );
+    for r in &rows {
+        let speedup = if r.hot.total.as_nanos() == 0 {
+            f64::INFINITY
+        } else {
+            r.cold.total.as_nanos() as f64 / r.hot.total.as_nanos() as f64
+        };
+        println!(
+            "{:10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>7.2}x",
+            r.name,
+            r.cold.detection.to_string(),
+            r.cold.replay.to_string(),
+            r.cold.total.to_string(),
+            r.hot.detection.to_string(),
+            r.hot.replay.to_string(),
+            r.hot.total.to_string(),
+            speedup
+        );
+    }
+    println!(
+        "\ncold pays detection + full-log replay; the hot standby already consumed\n\
+         every arrived frame, so only detection + the unconsumed suffix remains"
+    );
+}

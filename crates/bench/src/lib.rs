@@ -11,8 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ftjvm_core::{FtConfig, FtJvm, ReplicationMode, ReplicationStats};
-use ftjvm_netsim::{Category, SimTime, TimeAccount};
+use ftjvm_core::{FtConfig, FtJvm, LagBudget, ReplicationMode, ReplicationStats};
+use ftjvm_netsim::{Category, FaultPlan, SimTime, TimeAccount};
 use ftjvm_vm::ExecCounters;
 use ftjvm_workloads::Workload;
 
@@ -106,6 +106,74 @@ pub fn measure(w: &Workload) -> BenchRow {
 /// Measures the whole SPEC suite.
 pub fn measure_suite() -> Vec<BenchRow> {
     ftjvm_workloads::spec_suite().iter().map(measure).collect()
+}
+
+/// One failover measurement: latency of a mid-run crash under a cold
+/// (store-only) backup versus a hot (streaming) standby.
+#[derive(Debug)]
+pub struct FailoverSample {
+    /// Time from the crash to the detector firing.
+    pub detection: SimTime,
+    /// Replay left to do at promotion: the full log for cold, the
+    /// unconsumed suffix for hot.
+    pub replay: SimTime,
+    /// End-to-end failover latency (detection + replay).
+    pub total: SimTime,
+}
+
+/// Cold-vs-hot failover latencies of one workload at one crash point.
+#[derive(Debug)]
+pub struct FailoverRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Crash point used for both runs.
+    pub fault: FaultPlan,
+    /// Cold (replay-at-failover) measurement.
+    pub cold: FailoverSample,
+    /// Hot (streaming standby) measurement.
+    pub hot: FailoverSample,
+}
+
+/// The per-workload mid-run crash points used by the failover table
+/// (roughly the middle of each benchmark's execution).
+pub fn failover_fault(name: &str) -> FaultPlan {
+    match name {
+        "compress" => FaultPlan::AfterInstructions(2_000_000),
+        "jess" => FaultPlan::AfterInstructions(300_000),
+        "db" => FaultPlan::AfterInstructions(800_000),
+        "mpegaudio" => FaultPlan::AfterInstructions(1_000_000),
+        "mtrt" => FaultPlan::AfterInstructions(500_000),
+        "jack" => FaultPlan::AfterInstructions(400_000),
+        _ => FaultPlan::AfterInstructions(100_000),
+    }
+}
+
+/// Measures one workload's failover latency under both lag budgets.
+///
+/// # Panics
+/// Panics if any run fails — benchmarks run known-good workloads.
+pub fn measure_failover(w: &Workload, fault: FaultPlan) -> FailoverRow {
+    let sample = |lag_budget| {
+        let mut cfg = bench_config(ReplicationMode::LockSync);
+        cfg.fault = fault;
+        cfg.lag_budget = lag_budget;
+        let r = FtJvm::new(w.program.clone(), cfg).run_with_failure().expect("fails over");
+        assert!(r.crashed, "{}: fault did not fire", w.name);
+        FailoverSample {
+            detection: r.detection_latency,
+            replay: r.recovery_replay_time,
+            total: r.failover_latency,
+        }
+    };
+    FailoverRow { name: w.name, fault, cold: sample(LagBudget::Cold), hot: sample(LagBudget::Hot) }
+}
+
+/// Measures the failover table over the whole SPEC suite.
+pub fn measure_failover_suite() -> Vec<FailoverRow> {
+    ftjvm_workloads::spec_suite()
+        .iter()
+        .map(|w| measure_failover(w, failover_fault(w.name)))
+        .collect()
 }
 
 /// Renders one stacked-bar breakdown row (Figures 3 and 4): per-category

@@ -212,13 +212,26 @@ impl BackupLog {
 }
 
 /// Shared backup-side native replay (ND results, outputs, exactly-once).
+///
+/// Owns the [`BackupLog`] the coordinators consume from. In *cold* replay
+/// the log is complete at construction (`eof` is true from the start); in
+/// *streaming* (hot-standby) replay the log grows via `feed_frame` while
+/// the primary is still running and `eof` flips only at promotion (or once
+/// the primary completes), via `finish`.
 pub struct NativeReplay {
     cost: CostModel,
-    nd: HashMap<VtPath, VecDeque<NdRec>>,
+    log: BackupLog,
+    /// Decoder state for streamed frames (the compact codec's delta
+    /// context spans frame boundaries, so one decoder must see them all).
+    decoder: RecordDecoder,
+    /// Arrival index of the next streamed record.
+    next_idx: usize,
+    /// True once no further records can arrive: cold replay always, hot
+    /// replay after promotion. Until then replay may not run ahead of the
+    /// log — threads defer instead of going live.
+    eof: bool,
     nd_consumed: HashMap<VtPath, u64>,
-    commits: HashMap<VtPath, VecDeque<CommitRec>>,
     commit_consumed: HashMap<VtPath, u64>,
-    progress_max: HashMap<VtPath, usize>,
     world: SharedWorld,
     se: SeRegistry,
     next_live_output: u64,
@@ -233,28 +246,115 @@ pub struct NativeReplay {
 impl std::fmt::Debug for NativeReplay {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NativeReplay")
-            .field("nd_threads", &self.nd.len())
+            .field("records", &self.log.total_records)
+            .field("eof", &self.eof)
             .field("next_live_output", &self.next_live_output)
             .finish()
     }
 }
 
 impl NativeReplay {
-    fn new(log: &mut BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+    /// Cold replay over a complete, already-decoded log.
+    fn new(log: BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        let next_live_output = if log.has_outputs { log.max_output_id + 1 } else { 0 };
         NativeReplay {
             cost,
-            nd: std::mem::take(&mut log.nd),
+            next_idx: log.total_records,
+            log,
+            decoder: RecordDecoder::new(),
+            eof: true,
             nd_consumed: HashMap::new(),
             commit_consumed: HashMap::new(),
-            commits: std::mem::take(&mut log.commits),
-            progress_max: std::mem::take(&mut log.progress_max),
             world,
             se,
-            next_live_output: if log.has_outputs { log.max_output_id + 1 } else { 0 },
+            next_live_output,
             error: None,
             recovery_completed_at: None,
             stats: ReplicationStats::default(),
         }
+    }
+
+    /// Streaming (hot-standby) replay: starts with an empty log that grows
+    /// as flushed frames arrive.
+    fn streaming(world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        NativeReplay {
+            cost,
+            log: BackupLog::default(),
+            decoder: RecordDecoder::new(),
+            next_idx: 0,
+            eof: false,
+            nd_consumed: HashMap::new(),
+            commit_consumed: HashMap::new(),
+            world,
+            se,
+            next_live_output: 0,
+            error: None,
+            recovery_completed_at: None,
+            stats: ReplicationStats::default(),
+        }
+    }
+
+    /// Decodes one arrived frame into the log. Returns the number of
+    /// heartbeat records it carried (for the caller's failure detector).
+    ///
+    /// # Errors
+    /// Returns an error for a malformed frame (a protocol bug: the channel
+    /// is reliable and frames are whole records).
+    fn feed_frame(&mut self, frame: Bytes) -> Result<u32, VmError> {
+        let mut scratch = Vec::new();
+        let at = self.next_idx;
+        self.decoder.decode_frame(frame, &mut scratch).map_err(|e| {
+            VmError::Internal(format!("malformed streamed log record at index {at}: {e}"))
+        })?;
+        let mut heartbeats = 0u32;
+        for rec in scratch.drain(..) {
+            if matches!(rec, Record::Heartbeat { .. }) {
+                heartbeats += 1;
+            }
+            self.log.ingest(self.next_idx, rec, &mut self.se);
+            self.next_idx += 1;
+        }
+        Ok(heartbeats)
+    }
+
+    /// Ends the stream: no further records can arrive (the primary failed
+    /// and was detected, or it completed). Restores volatile environment
+    /// state from the received side-effect snapshots and unlocks the live
+    /// phase (fresh output ids start after the largest logged one).
+    fn finish(&mut self, env: &mut ftjvm_vm::SimEnv) {
+        if self.eof {
+            return;
+        }
+        self.eof = true;
+        self.next_live_output = if self.log.has_outputs { self.log.max_output_id + 1 } else { 0 };
+        self.se.restore(env);
+    }
+
+    /// May this native invocation proceed right now? Always true at eof.
+    /// Pre-eof (streaming), an ND native needs its logged result to have
+    /// arrived, and an output native needs its commit record *and* proof
+    /// that the primary performed the output (a later same-thread record):
+    /// while the primary is alive, `test`-based uncertainty resolution is
+    /// unsound — the primary may perform the output after we look — so the
+    /// thread defers until the proof arrives or the stream ends.
+    fn ready_for(&self, t: &ThreadObs<'_>, decl: &NativeDecl) -> bool {
+        if self.eof || !(decl.nondeterministic || decl.output) {
+            return true;
+        }
+        let Some(vt) = t.vt else { return true };
+        if decl.nondeterministic && self.log.nd.get(vt).is_none_or(|q| q.is_empty()) {
+            return false;
+        }
+        if decl.output {
+            let Some(c) = self.log.commits.get(vt).and_then(|q| q.front()) else {
+                return false;
+            };
+            let proven = self.log.progress_max.get(vt).is_some_and(|m| c.global_idx < *m);
+            if !proven {
+                return false;
+            }
+        }
+        true
     }
 
     fn mark_recovery_complete(&mut self, acct: &TimeAccount) {
@@ -275,8 +375,8 @@ impl NativeReplay {
 
     /// True once thread `vt` has no logged natives or outputs left.
     fn drained_for(&self, vt: &VtPath) -> bool {
-        self.nd.get(vt).map(|q| q.is_empty()).unwrap_or(true)
-            && self.commits.get(vt).map(|q| q.is_empty()).unwrap_or(true)
+        self.log.nd.get(vt).map(|q| q.is_empty()).unwrap_or(true)
+            && self.log.commits.get(vt).map(|q| q.is_empty()).unwrap_or(true)
     }
 
     /// The replay decision for one native invocation (§4.1, §3.4).
@@ -291,7 +391,7 @@ impl NativeReplay {
         }
         let vt = t.vt.expect("app threads only").clone();
         let nd_rec = if decl.nondeterministic {
-            self.nd.get_mut(&vt).and_then(|q| q.pop_front())
+            self.log.nd.get_mut(&vt).and_then(|q| q.pop_front())
         } else {
             None
         };
@@ -320,8 +420,11 @@ impl NativeReplay {
                 );
             }
         }
-        let commit =
-            if decl.output { self.commits.get_mut(&vt).and_then(|q| q.pop_front()) } else { None };
+        let commit = if decl.output {
+            self.log.commits.get_mut(&vt).and_then(|q| q.pop_front())
+        } else {
+            None
+        };
         if let Some(c) = &commit {
             let consumed = {
                 let x = self.commit_consumed.entry(vt.clone()).or_insert(0);
@@ -351,7 +454,7 @@ impl NativeReplay {
         let performed = match &commit {
             Some(c) => {
                 let proven =
-                    self.progress_max.get(&vt).map(|max| c.global_idx < *max).unwrap_or(false);
+                    self.log.progress_max.get(&vt).map(|max| c.global_idx < *max).unwrap_or(false);
                 if proven {
                     // A later record from the same thread proves it ran
                     // past this output (the body executes before the
@@ -422,22 +525,34 @@ impl NativeReplay {
 #[derive(Debug)]
 pub struct LockSyncBackup {
     replay: NativeReplay,
-    lock_acqs: HashMap<VtPath, VecDeque<LockAcqRec>>,
-    lock_total: usize,
-    id_maps: HashMap<(VtPath, u64), u64>,
 }
 
 impl LockSyncBackup {
-    /// Builds the coordinator from a decoded log.
-    pub fn new(mut log: BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
-        let lock_acqs = std::mem::take(&mut log.lock_acqs);
-        let lock_total = log.lock_total;
-        let id_maps = std::mem::take(&mut log.id_maps);
-        LockSyncBackup {
-            replay: NativeReplay::new(&mut log, world, se, cost),
-            lock_acqs,
-            lock_total,
-            id_maps,
+    /// Builds a cold-replay coordinator from a complete decoded log.
+    pub fn new(log: BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        LockSyncBackup { replay: NativeReplay::new(log, world, se, cost) }
+    }
+
+    /// Builds a hot-standby (streaming) coordinator whose log starts empty
+    /// and grows via [`feed_frame`](LockSyncBackup::feed_frame).
+    pub fn streaming(world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        LockSyncBackup { replay: NativeReplay::streaming(world, se, cost) }
+    }
+
+    /// Streams one arrived frame into the log; returns the number of
+    /// heartbeat records it carried.
+    ///
+    /// # Errors
+    /// Returns an error for a malformed frame (a protocol bug).
+    pub fn feed_frame(&mut self, frame: Bytes) -> Result<u32, VmError> {
+        self.replay.feed_frame(frame)
+    }
+
+    /// Promotes a streaming backup: no further records can arrive.
+    pub fn finish_stream(&mut self, env: &mut ftjvm_vm::SimEnv, acct: &TimeAccount) {
+        self.replay.finish(env);
+        if self.replay.log.lock_total == 0 {
+            self.replay.mark_recovery_complete(acct);
         }
     }
 
@@ -446,9 +561,9 @@ impl LockSyncBackup {
         &self.replay.stats
     }
 
-    /// True once every lock record has been consumed.
+    /// True once the stream ended and every lock record was consumed.
     pub fn recovery_complete(&self) -> bool {
-        self.lock_total == 0
+        self.replay.eof && self.replay.log.lock_total == 0
     }
 
     /// Simulated instant at which the log replay finished.
@@ -473,15 +588,16 @@ impl Coordinator for LockSyncBackup {
         l_id: Option<u64>,
         l_asn: u64,
     ) -> MonitorDecision {
-        if self.lock_total == 0 {
+        if self.replay.eof && self.replay.log.lock_total == 0 {
             // End of recovery: the log has no more lock-acquisition
             // records, so ordering constraints are over (§4.2).
             return MonitorDecision::Grant;
         }
         let vt = t.vt.expect("app threads only");
-        let Some(rec) = self.lock_acqs.get(vt).and_then(|q| q.front()) else {
-            // This thread ran past its logged history; it must wait until
-            // the whole log drains before acquiring anything new.
+        let Some(rec) = self.replay.log.lock_acqs.get(vt).and_then(|q| q.front()) else {
+            // This thread ran past its (arrived) logged history; it must
+            // wait — for more frames while streaming, or for the whole log
+            // to drain — before acquiring anything new.
             return MonitorDecision::Defer;
         };
         if rec.t_asn != t.t_asn + 1 {
@@ -518,7 +634,7 @@ impl Coordinator for LockSyncBackup {
             None => {
                 // The lock has no id at the backup yet. If this thread
                 // assigned the id at the primary, its id map names it.
-                if self.id_maps.contains_key(&(vt.clone(), t.t_asn + 1)) {
+                if self.replay.log.id_maps.contains_key(&(vt.clone(), t.t_asn + 1)) {
                     if rec.l_asn == l_asn + 1 {
                         MonitorDecision::Grant
                     } else {
@@ -546,16 +662,16 @@ impl Coordinator for LockSyncBackup {
         l_asn: u64,
         _acct: &mut TimeAccount,
     ) -> Option<u64> {
-        if self.lock_total == 0 {
+        if self.replay.eof && self.replay.log.lock_total == 0 {
             return None; // live phase
         }
         let vt = t.vt.expect("app threads only");
-        let Some(rec) = self.lock_acqs.get_mut(vt).and_then(|q| q.pop_front()) else {
+        let Some(rec) = self.replay.log.lock_acqs.get_mut(vt).and_then(|q| q.pop_front()) else {
             self.replay.fail(t.t, "granted an acquisition with no record to consume".into());
             return None;
         };
-        self.lock_total -= 1;
-        if self.lock_total == 0 {
+        self.replay.log.lock_total -= 1;
+        if self.replay.log.lock_total == 0 && self.replay.eof {
             self.replay.mark_recovery_complete(_acct);
         }
         self.replay.stats.locks_acquired += 1;
@@ -579,7 +695,7 @@ impl Coordinator for LockSyncBackup {
             None => {
                 // Claim this thread's id map (§4.2): it must exist, since
                 // pre granted the first acquisition only on a map match.
-                match self.id_maps.remove(&(vt.clone(), t.t_asn)) {
+                match self.replay.log.id_maps.remove(&(vt.clone(), t.t_asn)) {
                     Some(mapped) => {
                         if mapped != rec.l_id {
                             self.replay.fail(
@@ -620,8 +736,18 @@ impl Coordinator for LockSyncBackup {
         self.replay.live_output_id()
     }
 
+    fn native_ready(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl) -> bool {
+        self.replay.ready_for(t, decl)
+    }
+
+    fn starved(&mut self) -> bool {
+        // Pre-eof stalls are starvation, not divergence: the replay caught
+        // up with the arrived log and must pause until the next frame.
+        !self.replay.eof
+    }
+
     fn on_stall(&mut self, _acct: &mut TimeAccount) -> bool {
-        if self.lock_total > 0 {
+        if self.replay.log.lock_total > 0 {
             // Locks records remain but nobody can consume them: the
             // replayed execution diverged (typically a data race, Fig. 1).
             self.replay.error.get_or_insert(VmError::ReplayDivergence {
@@ -629,7 +755,7 @@ impl Coordinator for LockSyncBackup {
                 detail: format!(
                     "recovery stalled with {} unconsumed lock-acquisition records — \
                      the replay diverged from the primary (R4A violation?)",
-                    self.lock_total
+                    self.replay.log.lock_total
                 ),
             });
             return true;
@@ -638,27 +764,165 @@ impl Coordinator for LockSyncBackup {
     }
 }
 
+/// A recorded switch the designated thread already reached whose schedule
+/// record has not arrived yet (streaming replay only). The thread is held
+/// at the switch point — it cannot make further progress — so the saved
+/// counters stay valid until the record arrives and is matched.
+#[derive(Debug)]
+enum PendingSwitch {
+    /// The designated thread yielded at a blocking point (monitor, wait,
+    /// sleep, internal lock) with these counters.
+    Block {
+        /// Thread index, for divergence reports.
+        t: ThreadIdx,
+        /// Replication-stable id.
+        vt: VtPath,
+        /// `br_cnt` at the yield.
+        br_cnt: u64,
+        /// `mon_cnt` at the yield.
+        mon_cnt: u64,
+        /// Innermost method, if any.
+        method: Option<u32>,
+        /// PC at the yield.
+        pc: u32,
+        /// Whether the yield happened inside a native method.
+        in_native: bool,
+        /// `l_asn` of the lock blocked on (wake-order check).
+        blocked_lasn: u64,
+    },
+    /// The designated thread terminated.
+    Exit(VtPath),
+}
+
 /// Backup coordinator for **replicated thread scheduling** recovery.
 #[derive(Debug)]
 pub struct TsBackup {
     replay: NativeReplay,
-    sched: VecDeque<SchedRec>,
     last_br: HashMap<u32, u64>,
     /// The thread the replay says must run now; `None` once recovery is
     /// over and free scheduling resumes.
     designated: Option<VtPath>,
+    /// Streaming only: a switch waiting for its schedule record.
+    pending: Option<PendingSwitch>,
 }
 
 impl TsBackup {
-    /// Builds the coordinator from a decoded log.
-    pub fn new(mut log: BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
-        let sched = std::mem::take(&mut log.sched);
-        let replay = NativeReplay::new(&mut log, world, se, cost);
+    /// Builds a cold-replay coordinator from a complete decoded log.
+    pub fn new(log: BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        let replay = NativeReplay::new(log, world, se, cost);
         // Execution always begins with the root thread; even with no
         // schedule records (single-threaded programs) the root stays
         // designated until its logged natives/outputs drain (the paper's
         // final-record rule).
-        TsBackup { replay, sched, last_br: HashMap::new(), designated: Some(VtPath::root()) }
+        TsBackup {
+            replay,
+            last_br: HashMap::new(),
+            designated: Some(VtPath::root()),
+            pending: None,
+        }
+    }
+
+    /// Builds a hot-standby (streaming) coordinator whose log starts empty
+    /// and grows via [`feed_frame`](TsBackup::feed_frame).
+    pub fn streaming(world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        TsBackup {
+            replay: NativeReplay::streaming(world, se, cost),
+            last_br: HashMap::new(),
+            designated: Some(VtPath::root()),
+            pending: None,
+        }
+    }
+
+    /// Streams one arrived frame into the log, then resolves any switch
+    /// that was waiting for its schedule record. Returns the number of
+    /// heartbeat records the frame carried.
+    ///
+    /// # Errors
+    /// Returns an error for a malformed frame (a protocol bug).
+    pub fn feed_frame(&mut self, frame: Bytes, acct: &mut TimeAccount) -> Result<u32, VmError> {
+        let heartbeats = self.replay.feed_frame(frame)?;
+        self.drain_pending(acct);
+        Ok(heartbeats)
+    }
+
+    /// Promotes a streaming backup: no further records can arrive.
+    pub fn finish_stream(&mut self, env: &mut ftjvm_vm::SimEnv, acct: &mut TimeAccount) {
+        self.replay.finish(env);
+        self.drain_pending(acct);
+        if self.replay.log.sched.is_empty() {
+            match self.pending.take() {
+                Some(PendingSwitch::Exit(vt)) => {
+                    // The exit's schedule record was lost in the crash.
+                    if self.replay.drained_for(&vt) {
+                        self.designated = None;
+                    } else {
+                        self.replay.fail(
+                            ThreadIdx(0),
+                            "designated thread exited with logged interactions left to reproduce"
+                                .into(),
+                        );
+                    }
+                }
+                // A lost blocking-switch record: the log simply ends at the
+                // block; `maybe_finish` decides whether replay is over.
+                Some(PendingSwitch::Block { .. }) | None => {}
+            }
+        }
+        self.maybe_finish();
+        if self.designated.is_none() {
+            self.replay.mark_recovery_complete(acct);
+        }
+    }
+
+    /// Matches a pending switch against a newly arrived schedule record.
+    fn drain_pending(&mut self, acct: &mut TimeAccount) {
+        let Some(p) = &self.pending else { return };
+        let Some(rec) = self.replay.log.sched.front() else { return };
+        match p {
+            PendingSwitch::Block {
+                t,
+                vt,
+                br_cnt,
+                mon_cnt,
+                method,
+                pc,
+                in_native,
+                blocked_lasn,
+            } => {
+                if &rec.t != vt {
+                    // The chain invariant says the next record is for the
+                    // parked designated thread; leave the mismatch for the
+                    // post-eof stall check to report.
+                    return;
+                }
+                if Self::matches_front(rec, *br_cnt, *mon_cnt, *method, *pc, *in_native) {
+                    if rec.l_asn != 0 && rec.l_asn != *blocked_lasn {
+                        let (t, blocked_lasn, expect) = (*t, *blocked_lasn, rec.l_asn);
+                        self.replay.fail(
+                            t,
+                            format!(
+                                "blocked with lock at l_asn {blocked_lasn} but the record \
+                                 expected {expect}"
+                            ),
+                        );
+                    }
+                    self.pending = None;
+                    self.advance(acct);
+                }
+            }
+            PendingSwitch::Exit(vt) => {
+                if &rec.t == vt {
+                    self.pending = None;
+                    self.advance(acct);
+                } else {
+                    self.replay.fail(
+                        ThreadIdx(0),
+                        "designated thread exited out of recorded order".into(),
+                    );
+                    self.pending = None;
+                }
+            }
+        }
     }
 
     /// Backup-side statistics.
@@ -702,7 +966,7 @@ impl TsBackup {
     }
 
     fn advance(&mut self, acct: &mut TimeAccount) {
-        let rec = self.sched.pop_front().expect("advance() called with a front record");
+        let rec = self.replay.log.sched.pop_front().expect("advance() called with a front record");
         self.designated = Some(rec.next);
         self.replay.stats.sched_records += 1;
         acct.charge(Category::Resched, self.replay.cost.sched_record);
@@ -711,8 +975,9 @@ impl TsBackup {
     /// After consuming records (or at any progress point), recovery ends
     /// when no schedule records remain and the designated thread has
     /// reproduced all of its logged interactions with the environment.
+    /// While streaming, an empty queue only means the replay caught up.
     fn maybe_finish(&mut self) {
-        if !self.sched.is_empty() {
+        if !self.replay.eof || !self.replay.log.sched.is_empty() {
             return;
         }
         if let Some(des) = &self.designated {
@@ -761,7 +1026,14 @@ impl Coordinator for TsBackup {
             // A non-designated application thread slipped in; park it.
             return true;
         }
-        let Some(rec) = self.sched.front() else { return false };
+        if self.pending.is_some() {
+            // The designated thread already reached a recorded switch whose
+            // record has not arrived; it may not run past it.
+            return true;
+        }
+        // Streaming: with no record in hand the designated thread must not
+        // run — it could overshoot the primary's next preemption point.
+        let Some(rec) = self.replay.log.sched.front() else { return !self.replay.eof };
         if &rec.t != vt {
             self.replay.fail(
                 t.t,
@@ -800,7 +1072,23 @@ impl Coordinator for TsBackup {
         if snap.vt.as_ref() != Some(des) {
             return;
         }
-        let Some(rec) = self.sched.front() else { return };
+        let Some(rec) = self.replay.log.sched.front() else {
+            if !self.replay.eof {
+                // The record for this switch is still in flight (or still
+                // in the primary's buffer); hold the switch until it lands.
+                self.pending = Some(PendingSwitch::Block {
+                    t: snap.t,
+                    vt: des.clone(),
+                    br_cnt: snap.br_cnt,
+                    mon_cnt: snap.mon_cnt,
+                    method: snap.method.map(|m| m.0),
+                    pc: snap.pc,
+                    in_native: snap.in_native,
+                    blocked_lasn: snap.blocked_lasn,
+                });
+            }
+            return;
+        };
         if Some(&rec.t) != snap.vt.as_ref() {
             return;
         }
@@ -832,12 +1120,16 @@ impl Coordinator for TsBackup {
         if *vt != des {
             return;
         }
-        match self.sched.front() {
+        match self.replay.log.sched.front() {
             Some(rec) if &rec.t == vt => self.advance(acct),
             Some(_) => {
                 // Terminated while a record for another thread is at the
                 // front — impossible in a faithful replay.
                 self.replay.fail(t.t, "designated thread exited out of recorded order".into());
+            }
+            None if !self.replay.eof => {
+                // The exit's schedule record has not arrived yet.
+                self.pending = Some(PendingSwitch::Exit(vt.clone()));
             }
             None => {
                 if self.replay.drained_for(vt) {
@@ -856,11 +1148,18 @@ impl Coordinator for TsBackup {
 
     fn pick_next(&mut self, candidates: &[ThreadSnap]) -> Pick {
         let Some(des) = &self.designated else { return Pick::Default };
-        if let Some(i) = candidates.iter().position(|c| c.vt.as_ref() == Some(des)) {
-            return Pick::Choose(i);
+        // Streaming: only dispatch the designated thread when a schedule
+        // record bounds how far it may run.
+        let replay_blocked =
+            !self.replay.eof && (self.pending.is_some() || self.replay.log.sched.front().is_none());
+        if !replay_blocked {
+            if let Some(i) = candidates.iter().position(|c| c.vt.as_ref() == Some(des)) {
+                return Pick::Choose(i);
+            }
         }
-        // The designated thread is not runnable: let system threads work
-        // (they may hold the lock it needs); never run another app thread.
+        // The designated thread is not runnable (or must wait for its next
+        // record): let system threads work (they may hold the lock it
+        // needs); never run another app thread.
         if let Some(i) = candidates.iter().position(|c| c.vt.is_none()) {
             return Pick::Choose(i);
         }
@@ -886,13 +1185,21 @@ impl Coordinator for TsBackup {
         self.replay.live_output_id()
     }
 
+    fn native_ready(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl) -> bool {
+        self.replay.ready_for(t, decl)
+    }
+
+    fn starved(&mut self) -> bool {
+        !self.replay.eof
+    }
+
     fn on_stall(&mut self, _acct: &mut TimeAccount) -> bool {
         if self.designated.is_some() {
             self.replay.error.get_or_insert(VmError::ReplayDivergence {
                 thread: ThreadIdx(0),
                 detail: format!(
                     "thread-schedule recovery stalled with {} records left (designated {:?})",
-                    self.sched.len(),
+                    self.replay.log.sched.len(),
                     self.designated
                 ),
             });
@@ -911,19 +1218,34 @@ impl Coordinator for TsBackup {
 #[derive(Debug)]
 pub struct IntervalBackup {
     replay: NativeReplay,
-    intervals: VecDeque<IntervalRec>,
-    remaining_total: usize,
 }
 
 impl IntervalBackup {
-    /// Builds the coordinator from a decoded log.
-    pub fn new(mut log: BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
-        let intervals = std::mem::take(&mut log.intervals);
-        let remaining_total = log.interval_total;
-        IntervalBackup {
-            replay: NativeReplay::new(&mut log, world, se, cost),
-            intervals,
-            remaining_total,
+    /// Builds a cold-replay coordinator from a complete decoded log.
+    pub fn new(log: BackupLog, world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        IntervalBackup { replay: NativeReplay::new(log, world, se, cost) }
+    }
+
+    /// Builds a hot-standby (streaming) coordinator whose log starts empty
+    /// and grows via [`feed_frame`](IntervalBackup::feed_frame).
+    pub fn streaming(world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
+        IntervalBackup { replay: NativeReplay::streaming(world, se, cost) }
+    }
+
+    /// Streams one arrived frame into the log; returns the number of
+    /// heartbeat records it carried.
+    ///
+    /// # Errors
+    /// Returns an error for a malformed frame (a protocol bug).
+    pub fn feed_frame(&mut self, frame: Bytes) -> Result<u32, VmError> {
+        self.replay.feed_frame(frame)
+    }
+
+    /// Promotes a streaming backup: no further records can arrive.
+    pub fn finish_stream(&mut self, env: &mut ftjvm_vm::SimEnv, acct: &TimeAccount) {
+        self.replay.finish(env);
+        if self.replay.log.interval_total == 0 {
+            self.replay.mark_recovery_complete(acct);
         }
     }
 
@@ -932,9 +1254,9 @@ impl IntervalBackup {
         &self.replay.stats
     }
 
-    /// True once every interval has been consumed.
+    /// True once the stream ended and every interval was consumed.
     pub fn recovery_complete(&self) -> bool {
-        self.remaining_total == 0
+        self.replay.eof && self.replay.log.interval_total == 0
     }
 
     /// Simulated instant at which the log replay finished.
@@ -959,8 +1281,13 @@ impl Coordinator for IntervalBackup {
         _l_id: Option<u64>,
         _l_asn: u64,
     ) -> MonitorDecision {
-        let Some(front) = self.intervals.front() else {
-            return MonitorDecision::Grant; // end of recovery
+        let Some(front) = self.replay.log.intervals.front() else {
+            if self.replay.eof {
+                return MonitorDecision::Grant; // end of recovery
+            }
+            // Streaming: the interval covering this acquisition has not
+            // arrived (the primary's current interval is still open).
+            return MonitorDecision::Defer;
         };
         let vt = t.vt.expect("app threads only");
         if &front.t == vt {
@@ -978,16 +1305,16 @@ impl Coordinator for IntervalBackup {
         _l_asn: u64,
         acct: &mut TimeAccount,
     ) -> Option<u64> {
-        let Some(front) = self.intervals.front_mut() else {
-            return None; // live phase
-        };
         let vt = t.vt.expect("app threads only");
-        if &front.t != vt {
-            self.replay.fail(t.t, "acquisition granted outside the current interval".into());
-            return None;
-        }
-        // t_asn ordering inside the interval.
-        let expected = front.t_asn_start + (front.count - front.remaining);
+        let expected = match self.replay.log.intervals.front() {
+            None => return None, // live phase
+            Some(front) if &front.t != vt => {
+                self.replay.fail(t.t, "acquisition granted outside the current interval".into());
+                return None;
+            }
+            // t_asn ordering inside the interval.
+            Some(front) => front.t_asn_start + (front.count - front.remaining),
+        };
         if t.t_asn != expected {
             self.replay.fail(
                 t.t,
@@ -995,13 +1322,14 @@ impl Coordinator for IntervalBackup {
             );
         }
         acct.charge(ftjvm_netsim::Category::LockAcquire, self.replay.cost.interval_update);
+        self.replay.log.interval_total -= 1;
+        let front = self.replay.log.intervals.front_mut().expect("front checked above");
         front.remaining -= 1;
-        self.remaining_total -= 1;
         if front.remaining == 0 {
-            self.intervals.pop_front();
+            self.replay.log.intervals.pop_front();
         }
         self.replay.stats.locks_acquired += 1;
-        if self.remaining_total == 0 {
+        if self.replay.log.interval_total == 0 && self.replay.eof {
             self.replay.mark_recovery_complete(acct);
         }
         None
@@ -1026,13 +1354,21 @@ impl Coordinator for IntervalBackup {
         self.replay.live_output_id()
     }
 
+    fn native_ready(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl) -> bool {
+        self.replay.ready_for(t, decl)
+    }
+
+    fn starved(&mut self) -> bool {
+        !self.replay.eof
+    }
+
     fn on_stall(&mut self, _acct: &mut TimeAccount) -> bool {
-        if self.remaining_total > 0 {
+        if self.replay.log.interval_total > 0 {
             self.replay.error.get_or_insert(VmError::ReplayDivergence {
                 thread: ThreadIdx(0),
                 detail: format!(
                     "interval recovery stalled with {} acquisitions left to replay",
-                    self.remaining_total
+                    self.replay.log.interval_total
                 ),
             });
             return true;
@@ -1068,8 +1404,8 @@ mod tests {
     fn replay_from(records: Vec<Record>, world: SharedWorld) -> NativeReplay {
         let frames: Vec<Bytes> = records.iter().map(|r| r.encode()).collect();
         let mut se = SeRegistry::with_builtins();
-        let mut log = BackupLog::decode(frames, &mut se).expect("decodes");
-        NativeReplay::new(&mut log, world, se, ftjvm_netsim::CostModel::default())
+        let log = BackupLog::decode(frames, &mut se).expect("decodes");
+        NativeReplay::new(log, world, se, ftjvm_netsim::CostModel::default())
     }
 
     fn make_obs<'a>(t: ThreadIdx, vt: &'a VtPath) -> ThreadObs<'a> {

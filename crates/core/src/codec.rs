@@ -323,6 +323,14 @@ pub struct RecordDecoder {
     ctx: CodecCtx,
 }
 
+/// True when `frame` is a standalone fixed-codec heartbeat record.
+/// Heartbeats bypass the batch buffer under both codecs (they are
+/// time-driven liveness signals), so the check is codec-independent and
+/// needs no decoder context.
+pub fn frame_is_heartbeat(frame: &Bytes) -> bool {
+    frame.len() == 9 && frame.first() == Some(&8)
+}
+
 impl RecordDecoder {
     /// Fresh decoder with an empty delta context.
     pub fn new() -> Self {

@@ -11,15 +11,20 @@
 //! * [`FtJvm::run_with_failure`] — primary crashes per the fault plan, the
 //!   backup detects the failure, replays the log, and carries the program
 //!   to completion as the new authority.
+//!
+//! All orchestration lives in [`crate::runtime::ReplicaRuntime`]; the
+//! `run_*` methods here are thin wrappers. Set
+//! [`FtConfig::lag_budget`] to [`LagBudget::Hot`] to co-simulate a hot
+//! standby that streams the log and replays only the unconsumed suffix at
+//! failover.
 
-use crate::backup::{BackupLog, IntervalBackup, LockSyncBackup, TsBackup};
-use crate::primary::{IntervalPrimary, LockSyncPrimary, PrimaryCore, TsPrimary};
+use crate::runtime::{LagBudget, ReplicaRuntime};
 use crate::se::SeRegistry;
 use crate::stats::ReplicationStats;
-use ftjvm_netsim::{ChannelStats, FailureDetector, FaultPlan, SimChannel, SimTime, WireCodec};
+use ftjvm_netsim::{ChannelStats, FailureDetector, FaultPlan, SimTime, WireCodec};
 use ftjvm_vm::{
-    NativeRegistry, NoopCoordinator, Program, RunOutcome, RunReport, SharedWorld, SimEnv, Vm,
-    VmConfig, VmError, World,
+    NativeRegistry, NoopCoordinator, Program, RunReport, SharedWorld, SimEnv, Vm, VmConfig,
+    VmError, World,
 };
 use std::sync::Arc;
 
@@ -76,7 +81,14 @@ pub struct FtConfig {
     /// require only minor modifications"). Functionally identical; the
     /// replay work moves from the failover path to normal operation, so
     /// [`PairReport::failover_latency`] collapses to detection time.
+    /// Accounting-only — for an actually co-simulated standby see
+    /// [`FtConfig::lag_budget`].
     pub warm_backup: bool,
+    /// How far the backup may lag the primary's log: [`LagBudget::Cold`]
+    /// (store-only, replay at failover — the paper's baseline) or
+    /// [`LagBudget::Hot`] (co-simulated streaming replay; only the
+    /// unconsumed suffix remains at failover).
+    pub lag_budget: LagBudget,
     /// Base VM configuration (quantum, heap, cost model, entry argument).
     /// Seeds inside are overridden per replica.
     pub vm: VmConfig,
@@ -117,6 +129,7 @@ impl Default for FtConfig {
             mode: ReplicationMode::LockSync,
             lock_variant: LockVariant::PerAcquisition,
             warm_backup: false,
+            lag_budget: LagBudget::Cold,
             vm: VmConfig::default(),
             primary_seed: 11,
             backup_seed: 1337,
@@ -137,6 +150,7 @@ impl std::fmt::Debug for FtConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FtConfig")
             .field("mode", &self.mode)
+            .field("lag_budget", &self.lag_budget)
             .field("codec", &self.codec)
             .field("fault", &self.fault)
             .field("primary_seed", &self.primary_seed)
@@ -158,14 +172,17 @@ pub struct PairReport {
     pub backup: Option<RunReport>,
     /// Backup-side replication statistics, if it took over.
     pub backup_stats: Option<ReplicationStats>,
-    /// How long failure detection took (heartbeat interval × misses).
+    /// How long failure detection took, measured from the heartbeat
+    /// arrivals the backup actually observed: the detector's deadline
+    /// re-arms at each heartbeat and fires when the next never comes.
     pub detection_latency: SimTime,
     /// Simulated time the backup spent replaying the log (recovery), as
-    /// opposed to continuing live execution afterwards.
+    /// opposed to continuing live execution afterwards. For a hot standby
+    /// this is only the unconsumed suffix left at promotion.
     pub recovery_replay_time: SimTime,
-    /// End-to-end failover latency: detection plus — for a cold backup —
-    /// the log replay. A warm backup already replayed during normal
-    /// operation, so only detection remains.
+    /// End-to-end failover latency: detection plus the replay left to do —
+    /// the whole log for a cold backup, the unconsumed suffix for a hot
+    /// standby, nothing for the legacy warm accounting flag.
     pub failover_latency: SimTime,
     /// Log-channel statistics.
     pub channel: ChannelStats,
@@ -229,8 +246,10 @@ impl FtJvm {
         SimEnv::new("primary", world.clone(), self.cfg.primary_skew, self.cfg.primary_env_seed)
     }
 
-    fn backup_env(&self, world: &SharedWorld) -> SimEnv {
-        SimEnv::new("backup", world.clone(), self.cfg.backup_skew, self.cfg.backup_env_seed)
+    /// The replica runtime this harness drives (orchestration entry
+    /// point — build replicas and step them directly for finer control).
+    pub fn runtime(&self) -> ReplicaRuntime {
+        ReplicaRuntime::new(self.program.clone(), self.natives.clone(), self.cfg.clone())
     }
 
     /// Runs the program on a single, unreplicated VM (the baseline of every
@@ -251,87 +270,11 @@ impl FtJvm {
         Ok((report, world))
     }
 
-    fn run_primary_phase(
-        &self,
-        world: &SharedWorld,
-        fault: FaultPlan,
-    ) -> Result<(RunReport, SimChannel, ReplicationStats, Vm), VmError> {
-        let channel = SimChannel::new(self.cfg.vm.cost.net.clone());
-        let mut core =
-            PrimaryCore::new(channel, self.cfg.vm.cost.clone(), fault, (self.cfg.se_factory)());
-        core.flush_threshold = self.cfg.flush_threshold;
-        core.set_codec(self.cfg.codec);
-        core.set_heartbeat_interval(self.cfg.detector.interval());
-        let penv = self.primary_env(world);
-        let mut vm = Vm::new(
-            self.program.clone(),
-            self.natives.clone(),
-            penv,
-            self.vm_config(self.cfg.primary_seed),
-        )?;
-        let (report, channel, stats) = match (self.cfg.mode, self.cfg.lock_variant) {
-            (ReplicationMode::LockSync, LockVariant::PerAcquisition) => {
-                let mut coord = LockSyncPrimary::new(core);
-                let report = vm.run(&mut coord)?;
-                let (channel, stats) = coord.common.into_parts();
-                (report, channel, stats)
-            }
-            (ReplicationMode::LockSync, LockVariant::Intervals) => {
-                let mut coord = IntervalPrimary::new(core);
-                let report = vm.run(&mut coord)?;
-                let (channel, stats) = coord.common.into_parts();
-                (report, channel, stats)
-            }
-            (ReplicationMode::ThreadSched, _) => {
-                let mut coord = TsPrimary::new(core);
-                let report = vm.run(&mut coord)?;
-                let (channel, stats) = coord.common.into_parts();
-                (report, channel, stats)
-            }
-        };
-        Ok((report, channel, stats, vm))
-    }
-
-    fn run_backup_phase(
-        &self,
-        world: &SharedWorld,
-        frames: Vec<bytes::Bytes>,
-    ) -> Result<(RunReport, ReplicationStats, Option<SimTime>), VmError> {
-        let mut se = (self.cfg.se_factory)();
-        let log = BackupLog::decode(frames, &mut se)?;
-        let mut benv = self.backup_env(world);
-        // SE-handler `restore`: re-create the primary's volatile
-        // environment state (open files at their recovered offsets).
-        se.restore(&mut benv);
-        let mut bvm = Vm::new(
-            self.program.clone(),
-            self.natives.clone(),
-            benv,
-            self.vm_config(self.cfg.backup_seed),
-        )?;
-        let cost = self.cfg.vm.cost.clone();
-        match (self.cfg.mode, self.cfg.lock_variant) {
-            (ReplicationMode::LockSync, LockVariant::PerAcquisition) => {
-                let mut coord = LockSyncBackup::new(log, world.clone(), se, cost);
-                let report = bvm.run(&mut coord)?;
-                Ok((report, coord.stats().clone(), coord.recovery_completed_at()))
-            }
-            (ReplicationMode::LockSync, LockVariant::Intervals) => {
-                let mut coord = IntervalBackup::new(log, world.clone(), se, cost);
-                let report = bvm.run(&mut coord)?;
-                Ok((report, coord.stats().clone(), coord.recovery_completed_at()))
-            }
-            (ReplicationMode::ThreadSched, _) => {
-                let mut coord = TsBackup::new(log, world.clone(), se, cost);
-                let report = bvm.run(&mut coord)?;
-                Ok((report, coord.stats().clone(), coord.recovery_completed_at()))
-            }
-        }
-    }
-
-    /// Runs the primary under full replication (cold or warm backup). If
-    /// the fault plan fires, the backup detects the failure, replays the
-    /// log and finishes the program.
+    /// Runs the primary under full replication. If the fault plan fires,
+    /// the backup detects the failure, replays the log and finishes the
+    /// program. With [`FtConfig::lag_budget`] set to [`LagBudget::Hot`]
+    /// the pair is co-simulated and only the unconsumed log suffix is
+    /// replayed at failover.
     ///
     /// # Errors
     /// Propagates fatal VM errors from either replica, including
@@ -339,54 +282,7 @@ impl FtJvm {
     /// program violated the mode's assumptions (e.g. a data race under
     /// lock synchronization).
     pub fn run_replicated(&self) -> Result<PairReport, VmError> {
-        let world = World::shared();
-        let (primary_report, mut channel, primary_stats, mut vm) =
-            self.run_primary_phase(&world, self.cfg.fault)?;
-        let crashed = primary_report.outcome == RunOutcome::Stopped;
-        let channel_stats = channel.stats();
-        if !crashed {
-            return Ok(PairReport {
-                primary: primary_report,
-                primary_stats,
-                crashed: false,
-                backup: None,
-                backup_stats: None,
-                detection_latency: SimTime::ZERO,
-                recovery_replay_time: SimTime::ZERO,
-                failover_latency: SimTime::ZERO,
-                channel: channel_stats,
-                world,
-            });
-        }
-        // Fail-stop: the primary's volatile environment state is lost.
-        vm.core_mut().env.fail();
-        let crash_at = primary_report.acct.now();
-        let detection_latency = self.cfg.detector.detection_instant(crash_at) - crash_at;
-        // The backup receives exactly the flushed prefix of the log.
-        let frames: Vec<bytes::Bytes> = channel.drain().into_iter().map(|(_, b)| b).collect();
-        let (backup_report, backup_stats, recovered_at) = self.run_backup_phase(&world, frames)?;
-        let recovery_replay_time = recovered_at.unwrap_or_else(|| backup_report.acct.now());
-        // Cold backups pay the replay at failover; warm backups already
-        // replayed everything flushed before the crash, so only detection
-        // (plus nothing in our model: all flushed records have arrived)
-        // remains.
-        let failover_latency = if self.cfg.warm_backup {
-            detection_latency
-        } else {
-            detection_latency + recovery_replay_time
-        };
-        Ok(PairReport {
-            primary: primary_report,
-            primary_stats,
-            crashed: true,
-            backup: Some(backup_report),
-            backup_stats: Some(backup_stats),
-            detection_latency,
-            recovery_replay_time,
-            failover_latency,
-            channel: channel_stats,
-            world,
-        })
+        self.runtime().run_pair(self.cfg.fault)
     }
 
     /// Like [`FtJvm::run_replicated`] but asserts that a fault plan is
@@ -409,12 +305,11 @@ impl FtJvm {
     /// # Errors
     /// Propagates fatal VM errors.
     pub fn run_backup_replay(&self) -> Result<PairReport, VmError> {
+        let runtime = self.runtime();
         let world = World::shared();
-        let (primary_report, mut channel, primary_stats, _vm) =
-            self.run_primary_phase(&world, FaultPlan::None)?;
-        let channel_stats = channel.stats();
-        let frames: Vec<bytes::Bytes> = channel.drain().into_iter().map(|(_, b)| b).collect();
-        let (backup_report, backup_stats, recovered_at) = self.run_backup_phase(&world, frames)?;
+        let (primary_report, frames, primary_stats, channel_stats) =
+            runtime.run_primary_to_log(&world, FaultPlan::None)?;
+        let (backup_report, backup_stats, recovered_at) = runtime.replay_log(&world, frames)?;
         let recovery_replay_time = recovered_at.unwrap_or_else(|| backup_report.acct.now());
         Ok(PairReport {
             primary: primary_report,
@@ -457,8 +352,7 @@ impl FtJvm {
     /// Propagates fatal VM errors.
     pub fn capture_log(&self) -> Result<Vec<crate::records::Record>, VmError> {
         let world = World::shared();
-        let (_, mut channel, _, _) = self.run_primary_phase(&world, FaultPlan::None)?;
-        let frames = channel.drain().into_iter().map(|(_, frame)| frame).collect();
+        let (_, frames, _, _) = self.runtime().run_primary_to_log(&world, FaultPlan::None)?;
         crate::codec::decode_frames(frames)
             .map_err(|e| VmError::Internal(format!("own log failed to decode: {e}")))
     }

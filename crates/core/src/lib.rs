@@ -58,6 +58,7 @@ pub mod codec;
 pub mod ftjvm;
 pub mod primary;
 pub mod records;
+pub mod runtime;
 pub mod se;
 pub mod stats;
 
@@ -67,5 +68,6 @@ pub use ftjvm::{FtConfig, FtJvm, LockVariant, PairReport, ReplicationMode};
 pub use ftjvm_netsim::WireCodec;
 pub use primary::{IntervalPrimary, LockSyncPrimary, PrimaryCore, TsPrimary};
 pub use records::{LoggedResult, Record, WireValue};
+pub use runtime::{LagBudget, Replica, ReplicaRuntime, Role};
 pub use se::{SeRegistration, SeRegistry, SideEffectHandler, SocketHandler};
 pub use stats::ReplicationStats;

@@ -104,6 +104,18 @@ impl PrimaryCore {
         (self.channel, self.stats)
     }
 
+    /// The replication channel, for a co-simulation driver that pulls
+    /// delivered frames for a hot standby while the primary still runs.
+    pub fn channel_mut(&mut self) -> &mut SimChannel {
+        &mut self.channel
+    }
+
+    /// Replication statistics so far (final values via
+    /// [`into_parts`](PrimaryCore::into_parts)).
+    pub fn stats(&self) -> &ReplicationStats {
+        &self.stats
+    }
+
     fn vt(t: &ThreadObs<'_>) -> VtPath {
         t.vt.expect("replication hooks fire for application threads only").clone()
     }

@@ -1,0 +1,632 @@
+//! The replica runtime: primary and backup as [`Replica`] values on one
+//! simulated timeline.
+//!
+//! This module owns the orchestration that used to be buried in the
+//! `FtJvm::run_*` drivers. A [`Replica`] is a VM plus its replication
+//! coordinator, tagged with a [`Role`]; a [`ReplicaRuntime`] builds a
+//! primary/backup pair over a shared world and drives it:
+//!
+//! * **Cold backup** ([`LagBudget::Cold`]) — the paper's baseline (§1): the
+//!   backup only stores the log during normal operation; on failure it
+//!   replays from the initial state. The primary runs to completion (or
+//!   crash) first, then the drained log is replayed — bit-for-bit the
+//!   pre-runtime behavior.
+//! * **Hot standby** ([`LagBudget::Hot`]) — the paper's "keeping the backup
+//!   updated would require only minor modifications": primary and backup
+//!   are *co-simulated*. The primary executes in bounded instruction
+//!   slices; frames flushed to the [`ftjvm_netsim::SimChannel`] are
+//!   delivered at their simulated arrival instants and streamed into the
+//!   backup, which replays each record as it arrives (bounded-lag
+//!   streaming replay). Failure detection is driven by the heartbeat
+//!   records actually received (a [`ftjvm_netsim::HeartbeatMonitor`]), so
+//!   the backup *measures* detection and suffix-replay latency in-timeline
+//!   instead of computing them from a formula.
+//!
+//! Exactly-once outputs survive the hot path because a streaming backup
+//! only replays an output once a later record from the same thread proves
+//! the primary performed it; everything still uncertain at promotion is
+//! resolved with the side-effect handlers' `test` — which is sound then,
+//! because the detection instant is after the primary's last action.
+
+use crate::backup::{BackupLog, IntervalBackup, LockSyncBackup, TsBackup};
+use crate::ftjvm::{FtConfig, LockVariant, PairReport, ReplicationMode};
+use crate::primary::{IntervalPrimary, LockSyncPrimary, PrimaryCore, TsPrimary};
+use crate::stats::ReplicationStats;
+use bytes::Bytes;
+use ftjvm_netsim::{Category, ChannelStats, FaultPlan, HeartbeatMonitor, SimChannel, SimTime};
+use ftjvm_vm::{
+    Coordinator, NativeRegistry, Program, RunOutcome, RunReport, SharedWorld, SimEnv, SliceOutcome,
+    Vm, VmConfig, VmError, World,
+};
+use std::sync::Arc;
+
+/// Instruction units the primary executes per co-simulation slice. Small
+/// enough that flushed frames reach the hot standby with fine granularity,
+/// large enough that slicing overhead stays negligible.
+pub const SLICE_UNITS: u64 = 256;
+
+/// How far a backup is allowed to lag the primary's log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LagBudget {
+    /// Store-only during normal operation; replay the whole log at
+    /// failover (the paper's cold backup, §1).
+    #[default]
+    Cold,
+    /// Streaming replay: consume each flushed frame as it arrives, so only
+    /// the unconsumed log suffix remains at failover.
+    Hot,
+}
+
+impl std::fmt::Display for LagBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LagBudget::Cold => "cold",
+            LagBudget::Hot => "hot",
+        })
+    }
+}
+
+/// What a [`Replica`] is doing in the pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The authority: executes the program and logs every
+    /// non-deterministic choice to its peer.
+    Primary,
+    /// The standby: consumes the log, ready to take over.
+    Backup {
+        /// Cold (store-only) or hot (streaming replay).
+        lag_budget: LagBudget,
+    },
+}
+
+/// The coordinator driving one replica's VM (private: which concrete
+/// coordinator a role maps to is the runtime's business).
+enum ReplicaCoord {
+    LockPrimary(LockSyncPrimary),
+    IntervalPrimary(IntervalPrimary),
+    TsPrimary(TsPrimary),
+    LockBackup(LockSyncBackup),
+    IntervalBackup(IntervalBackup),
+    TsBackup(TsBackup),
+}
+
+impl ReplicaCoord {
+    fn as_dyn(&mut self) -> &mut dyn Coordinator {
+        match self {
+            ReplicaCoord::LockPrimary(c) => c,
+            ReplicaCoord::IntervalPrimary(c) => c,
+            ReplicaCoord::TsPrimary(c) => c,
+            ReplicaCoord::LockBackup(c) => c,
+            ReplicaCoord::IntervalBackup(c) => c,
+            ReplicaCoord::TsBackup(c) => c,
+        }
+    }
+
+    fn primary_core_mut(&mut self) -> Option<&mut PrimaryCore> {
+        match self {
+            ReplicaCoord::LockPrimary(c) => Some(&mut c.common),
+            ReplicaCoord::IntervalPrimary(c) => Some(&mut c.common),
+            ReplicaCoord::TsPrimary(c) => Some(&mut c.common),
+            _ => None,
+        }
+    }
+}
+
+/// One replica: a VM plus its replication coordinator, tagged with its
+/// [`Role`]. Created by [`ReplicaRuntime`]; stepped in bounded instruction
+/// slices so a co-simulation driver can interleave a pair.
+pub struct Replica {
+    role: Role,
+    vm: Vm,
+    coord: ReplicaCoord,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica").field("role", &self.role).field("now", &self.now()).finish()
+    }
+}
+
+impl Replica {
+    /// This replica's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The replica's current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.vm.core().acct.now()
+    }
+
+    /// Executes up to `max_units` instruction units.
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors (including replay divergence).
+    pub fn step(&mut self, max_units: u64) -> Result<SliceOutcome, VmError> {
+        self.vm.run_slice(self.coord.as_dyn(), max_units)
+    }
+
+    /// Runs to completion (or crash).
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors.
+    pub fn run_to_end(&mut self) -> Result<RunReport, VmError> {
+        self.vm.run(self.coord.as_dyn())
+    }
+
+    /// Streams one arrived log frame into a hot backup, advancing its
+    /// clock to the frame's arrival instant. Returns the number of
+    /// heartbeat records the frame carried.
+    ///
+    /// # Errors
+    /// Returns an error for a malformed frame, or if called on a replica
+    /// that is not a backup.
+    pub fn feed_frame(&mut self, arrival: SimTime, frame: Bytes) -> Result<u32, VmError> {
+        let Replica { vm, coord, .. } = self;
+        let core = vm.core_mut();
+        core.acct.wait_until(Category::Communication, arrival);
+        match coord {
+            ReplicaCoord::LockBackup(c) => c.feed_frame(frame),
+            ReplicaCoord::IntervalBackup(c) => c.feed_frame(frame),
+            ReplicaCoord::TsBackup(c) => c.feed_frame(frame, &mut core.acct),
+            _ => Err(VmError::Internal("feed_frame on a non-backup replica".into())),
+        }
+    }
+
+    /// Promotes a streaming backup: the stream ended (the primary failed
+    /// and detection fired, or it completed), volatile environment state
+    /// is restored from the received side-effect snapshots, and replay may
+    /// run past the log into the live phase.
+    pub fn finish_stream(&mut self) {
+        {
+            let Replica { vm, coord, .. } = &mut *self;
+            let core = vm.core_mut();
+            match coord {
+                ReplicaCoord::LockBackup(c) => c.finish_stream(&mut core.env, &core.acct),
+                ReplicaCoord::IntervalBackup(c) => c.finish_stream(&mut core.env, &core.acct),
+                ReplicaCoord::TsBackup(c) => c.finish_stream(&mut core.env, &mut core.acct),
+                _ => {}
+            }
+        }
+        self.vm.poll_suspended(self.coord.as_dyn());
+    }
+
+    /// Wakes threads a streaming backup deferred while waiting for log
+    /// records (call after feeding frames).
+    pub fn poll_suspended(&mut self) {
+        self.vm.poll_suspended(self.coord.as_dyn());
+    }
+
+    /// Advances this replica's clock to `instant` (no-op if already past).
+    pub fn wait_until(&mut self, instant: SimTime) {
+        self.vm.core_mut().acct.wait_until(Category::Misc, instant);
+    }
+
+    /// Marks the replica's environment failed (fail-stop: volatile state
+    /// is lost with the process).
+    pub fn fail_env(&mut self) {
+        self.vm.core_mut().env.fail();
+    }
+
+    /// The primary's replication channel (None for backups).
+    fn channel_mut(&mut self) -> Option<&mut SimChannel> {
+        self.coord.primary_core_mut().map(|c| c.channel_mut())
+    }
+
+    /// Consumes a primary replica, returning its channel and final
+    /// replication statistics.
+    fn into_primary_parts(self) -> (SimChannel, ReplicationStats) {
+        match self.coord {
+            ReplicaCoord::LockPrimary(c) => c.common.into_parts(),
+            ReplicaCoord::IntervalPrimary(c) => c.common.into_parts(),
+            ReplicaCoord::TsPrimary(c) => c.common.into_parts(),
+            _ => unreachable!("into_primary_parts on a backup"),
+        }
+    }
+
+    /// Backup-side replication statistics (empty for primaries).
+    fn backup_stats(&self) -> ReplicationStats {
+        match &self.coord {
+            ReplicaCoord::LockBackup(c) => c.stats().clone(),
+            ReplicaCoord::IntervalBackup(c) => c.stats().clone(),
+            ReplicaCoord::TsBackup(c) => c.stats().clone(),
+            _ => ReplicationStats::default(),
+        }
+    }
+
+    /// Simulated instant at which the backup's log replay completed.
+    fn recovery_completed_at(&self) -> Option<SimTime> {
+        match &self.coord {
+            ReplicaCoord::LockBackup(c) => c.recovery_completed_at(),
+            ReplicaCoord::IntervalBackup(c) => c.recovery_completed_at(),
+            ReplicaCoord::TsBackup(c) => c.recovery_completed_at(),
+            _ => None,
+        }
+    }
+}
+
+/// Builds and drives a replica pair over one simulated timeline.
+///
+/// Owns the program, natives, and configuration; each run builds fresh
+/// replicas over a fresh [`World`]. [`FtJvm`](crate::FtJvm)'s `run_*`
+/// drivers are thin wrappers around this type.
+pub struct ReplicaRuntime {
+    program: Arc<Program>,
+    natives: NativeRegistry,
+    cfg: FtConfig,
+}
+
+impl std::fmt::Debug for ReplicaRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaRuntime").field("cfg", &self.cfg).finish()
+    }
+}
+
+impl ReplicaRuntime {
+    /// Creates a runtime for `program` under `cfg`.
+    pub fn new(program: Arc<Program>, natives: NativeRegistry, cfg: FtConfig) -> Self {
+        ReplicaRuntime { program, natives, cfg }
+    }
+
+    fn vm_config(&self, seed: u64) -> VmConfig {
+        VmConfig { sched_seed: seed, ..self.cfg.vm.clone() }
+    }
+
+    fn primary_env(&self, world: &SharedWorld) -> SimEnv {
+        SimEnv::new("primary", world.clone(), self.cfg.primary_skew, self.cfg.primary_env_seed)
+    }
+
+    fn backup_env(&self, world: &SharedWorld) -> SimEnv {
+        SimEnv::new("backup", world.clone(), self.cfg.backup_skew, self.cfg.backup_env_seed)
+    }
+
+    /// Builds the primary replica: a VM with the mode's logging
+    /// coordinator over a fresh channel.
+    ///
+    /// # Errors
+    /// Propagates program-loading errors.
+    pub fn build_primary(&self, world: &SharedWorld, fault: FaultPlan) -> Result<Replica, VmError> {
+        let channel = SimChannel::new(self.cfg.vm.cost.net.clone());
+        let mut core =
+            PrimaryCore::new(channel, self.cfg.vm.cost.clone(), fault, (self.cfg.se_factory)());
+        core.flush_threshold = self.cfg.flush_threshold;
+        core.set_codec(self.cfg.codec);
+        core.set_heartbeat_interval(self.cfg.detector.interval());
+        let vm = Vm::new(
+            self.program.clone(),
+            self.natives.clone(),
+            self.primary_env(world),
+            self.vm_config(self.cfg.primary_seed),
+        )?;
+        let coord = match (self.cfg.mode, self.cfg.lock_variant) {
+            (ReplicationMode::LockSync, LockVariant::PerAcquisition) => {
+                ReplicaCoord::LockPrimary(LockSyncPrimary::new(core))
+            }
+            (ReplicationMode::LockSync, LockVariant::Intervals) => {
+                ReplicaCoord::IntervalPrimary(IntervalPrimary::new(core))
+            }
+            (ReplicationMode::ThreadSched, _) => ReplicaCoord::TsPrimary(TsPrimary::new(core)),
+        };
+        Ok(Replica { role: Role::Primary, vm, coord })
+    }
+
+    /// Builds a hot (streaming) backup replica whose log starts empty.
+    ///
+    /// # Errors
+    /// Propagates program-loading errors.
+    pub fn build_hot_backup(&self, world: &SharedWorld) -> Result<Replica, VmError> {
+        let se = (self.cfg.se_factory)();
+        let vm = Vm::new(
+            self.program.clone(),
+            self.natives.clone(),
+            self.backup_env(world),
+            self.vm_config(self.cfg.backup_seed),
+        )?;
+        let cost = self.cfg.vm.cost.clone();
+        let coord = match (self.cfg.mode, self.cfg.lock_variant) {
+            (ReplicationMode::LockSync, LockVariant::PerAcquisition) => {
+                ReplicaCoord::LockBackup(LockSyncBackup::streaming(world.clone(), se, cost))
+            }
+            (ReplicationMode::LockSync, LockVariant::Intervals) => {
+                ReplicaCoord::IntervalBackup(IntervalBackup::streaming(world.clone(), se, cost))
+            }
+            (ReplicationMode::ThreadSched, _) => {
+                ReplicaCoord::TsBackup(TsBackup::streaming(world.clone(), se, cost))
+            }
+        };
+        Ok(Replica { role: Role::Backup { lag_budget: LagBudget::Hot }, vm, coord })
+    }
+
+    /// Builds a cold backup replica over a fully decoded log (the one
+    /// shared drain-and-replay path — used after a crash *and* by the
+    /// failure-free replay harness).
+    ///
+    /// # Errors
+    /// Propagates program-loading and log-decoding errors.
+    pub fn build_cold_backup(
+        &self,
+        world: &SharedWorld,
+        frames: Vec<Bytes>,
+    ) -> Result<Replica, VmError> {
+        let mut se = (self.cfg.se_factory)();
+        let log = BackupLog::decode(frames, &mut se)?;
+        let mut benv = self.backup_env(world);
+        // SE-handler `restore`: re-create the primary's volatile
+        // environment state (open files at their recovered offsets).
+        se.restore(&mut benv);
+        let vm = Vm::new(
+            self.program.clone(),
+            self.natives.clone(),
+            benv,
+            self.vm_config(self.cfg.backup_seed),
+        )?;
+        let cost = self.cfg.vm.cost.clone();
+        let coord = match (self.cfg.mode, self.cfg.lock_variant) {
+            (ReplicationMode::LockSync, LockVariant::PerAcquisition) => {
+                ReplicaCoord::LockBackup(LockSyncBackup::new(log, world.clone(), se, cost))
+            }
+            (ReplicationMode::LockSync, LockVariant::Intervals) => {
+                ReplicaCoord::IntervalBackup(IntervalBackup::new(log, world.clone(), se, cost))
+            }
+            (ReplicationMode::ThreadSched, _) => {
+                ReplicaCoord::TsBackup(TsBackup::new(log, world.clone(), se, cost))
+            }
+        };
+        Ok(Replica { role: Role::Backup { lag_budget: LagBudget::Cold }, vm, coord })
+    }
+
+    /// Runs the primary to completion (or crash) and returns its report,
+    /// the drained log frames, and the replication and channel statistics
+    /// — the log-producing half shared by the replay harness and the
+    /// log-inspection entry points.
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors.
+    pub fn run_primary_to_log(
+        &self,
+        world: &SharedWorld,
+        fault: FaultPlan,
+    ) -> Result<(RunReport, Vec<Bytes>, ReplicationStats, ChannelStats), VmError> {
+        let mut primary = self.build_primary(world, fault)?;
+        let report = primary.run_to_end()?;
+        let (mut channel, stats) = primary.into_primary_parts();
+        let channel_stats = channel.stats();
+        let frames = channel.drain().into_iter().map(|(_, frame)| frame).collect();
+        Ok((report, frames, stats, channel_stats))
+    }
+
+    /// Replays a drained log on a cold backup over `world` — the single
+    /// drain-and-replay helper shared by the failover and benchmark paths.
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors, including replay divergence.
+    pub fn replay_log(
+        &self,
+        world: &SharedWorld,
+        frames: Vec<Bytes>,
+    ) -> Result<(RunReport, ReplicationStats, Option<SimTime>), VmError> {
+        let mut backup = self.build_cold_backup(world, frames)?;
+        let report = backup.run_to_end()?;
+        Ok((report, backup.backup_stats(), backup.recovery_completed_at()))
+    }
+
+    /// Runs the pair with a **cold** backup. The primary runs to
+    /// completion or crash; on a crash the drained log is replayed from
+    /// the initial state. Bit-for-bit the pre-runtime semantics: record
+    /// counts, byte stats, and console output are unchanged.
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors from either replica.
+    pub fn run_cold(&self, fault: FaultPlan) -> Result<PairReport, VmError> {
+        let world = World::shared();
+        let mut primary = self.build_primary(&world, fault)?;
+        let primary_report = primary.run_to_end()?;
+        let crashed = primary_report.outcome == RunOutcome::Stopped;
+        if crashed {
+            // Fail-stop: the primary's volatile environment state is lost
+            // with its process; the external world survives.
+            primary.fail_env();
+        }
+        let (mut channel, primary_stats) = primary.into_primary_parts();
+        let channel_stats = channel.stats();
+        if !crashed {
+            return Ok(PairReport {
+                primary: primary_report,
+                primary_stats,
+                crashed: false,
+                backup: None,
+                backup_stats: None,
+                detection_latency: SimTime::ZERO,
+                recovery_replay_time: SimTime::ZERO,
+                failover_latency: SimTime::ZERO,
+                channel: channel_stats,
+                world,
+            });
+        }
+        let crash_at = primary_report.acct.now();
+        let drained = channel.drain();
+        // Failure detection from the heartbeats the backup actually
+        // received: the detector's deadline re-arms at each heartbeat
+        // arrival and fires when the next one never comes.
+        let mut monitor = self.cfg.detector.monitor(SimTime::ZERO);
+        let detection_at = observe_heartbeats(&mut monitor, &drained).max(crash_at);
+        let detection_latency = detection_at - crash_at;
+        let frames: Vec<Bytes> = drained.into_iter().map(|(_, b)| b).collect();
+        let (backup_report, backup_stats, recovered_at) = self.replay_log(&world, frames)?;
+        let recovery_replay_time = recovered_at.unwrap_or_else(|| backup_report.acct.now());
+        // Cold backups pay the replay at failover; the legacy warm flag
+        // models a backup that already replayed everything flushed, so
+        // only detection remains.
+        let failover_latency = if self.cfg.warm_backup {
+            detection_latency
+        } else {
+            detection_latency + recovery_replay_time
+        };
+        Ok(PairReport {
+            primary: primary_report,
+            primary_stats,
+            crashed: true,
+            backup: Some(backup_report),
+            backup_stats: Some(backup_stats),
+            detection_latency,
+            recovery_replay_time,
+            failover_latency,
+            channel: channel_stats,
+            world,
+        })
+    }
+
+    /// Runs the pair with a **hot** standby: primary and backup
+    /// co-simulated on one timeline. On a crash, detection fires from
+    /// missed heartbeats, the backup is promoted mid-run, and only the
+    /// unconsumed log suffix is replayed — so
+    /// [`PairReport::failover_latency`] is measured, not derived.
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors from either replica.
+    pub fn run_hot(&self, fault: FaultPlan) -> Result<PairReport, VmError> {
+        let world = World::shared();
+        let mut primary = self.build_primary(&world, fault)?;
+        let mut backup = self.build_hot_backup(&world)?;
+        let mut monitor = self.cfg.detector.monitor(SimTime::ZERO);
+        let mut backup_report: Option<RunReport> = None;
+
+        // Co-simulation: slice the primary, deliver what arrived, let the
+        // backup consume it until it starves, repeat.
+        let (primary_report, crashed) = loop {
+            let outcome = primary.step(SLICE_UNITS)?;
+            let now_p = primary.now();
+            let ready =
+                primary.channel_mut().expect("primary replica has a channel").recv_ready(now_p);
+            pump_backup(&mut backup, &mut monitor, ready, &mut backup_report)?;
+            match outcome {
+                SliceOutcome::Budget => {}
+                SliceOutcome::Paused => {
+                    return Err(VmError::Internal("primary paused without a feeder".into()));
+                }
+                SliceOutcome::Completed(r) => break (r, false),
+                SliceOutcome::Stopped(r) => break (r, true),
+            }
+        };
+
+        let crash_at = primary_report.acct.now();
+        if crashed {
+            // Fail-stop: the primary's volatile environment state is lost
+            // with its process; the external world survives.
+            primary.fail_env();
+        }
+        let (mut channel, primary_stats) = primary.into_primary_parts();
+        let channel_stats = channel.stats();
+        // Everything flushed is delivered (reliable channel); records
+        // still in the primary's buffer are lost with it.
+        pump_backup(&mut backup, &mut monitor, channel.drain(), &mut backup_report)?;
+
+        if !crashed {
+            // Failure-free: the primary finished; the stream is over. The
+            // standby replays the remainder quietly (every output was
+            // performed by the primary, so replay suppresses them all).
+            backup.finish_stream();
+            let backup_report = match backup_report {
+                Some(r) => r,
+                None => backup.run_to_end()?,
+            };
+            return Ok(PairReport {
+                primary: primary_report,
+                primary_stats,
+                crashed: false,
+                backup: Some(backup_report),
+                backup_stats: Some(backup.backup_stats()),
+                detection_latency: SimTime::ZERO,
+                recovery_replay_time: SimTime::ZERO,
+                failover_latency: SimTime::ZERO,
+                channel: channel_stats,
+                world,
+            });
+        }
+
+        // Crash: detection fires when the heartbeat deadline lapses —
+        // measured on the arrival timeline, not computed from the crash
+        // instant (which no one observes).
+        let detection_at = monitor.deadline().max(crash_at);
+        let detection_latency = detection_at - crash_at;
+        // Promotion: the backup learns of the failure at the detection
+        // instant and becomes the authority.
+        backup.wait_until(detection_at);
+        let promoted_at = backup.now();
+        backup.finish_stream();
+        let backup_report = match backup_report {
+            Some(r) => r,
+            None => backup.run_to_end()?,
+        };
+        let recovered_at =
+            backup.recovery_completed_at().unwrap_or_else(|| backup_report.acct.now());
+        // Only the unconsumed suffix of the log remains to replay.
+        let suffix_replay =
+            if recovered_at > promoted_at { recovered_at - promoted_at } else { SimTime::ZERO };
+        Ok(PairReport {
+            primary: primary_report,
+            primary_stats,
+            crashed: true,
+            backup: Some(backup_report),
+            backup_stats: Some(backup.backup_stats()),
+            detection_latency,
+            recovery_replay_time: suffix_replay,
+            failover_latency: detection_latency + suffix_replay,
+            channel: channel_stats,
+            world,
+        })
+    }
+
+    /// Runs the pair per the configured [`LagBudget`].
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors from either replica.
+    pub fn run_pair(&self, fault: FaultPlan) -> Result<PairReport, VmError> {
+        match self.cfg.lag_budget {
+            LagBudget::Cold => self.run_cold(fault),
+            LagBudget::Hot => self.run_hot(fault),
+        }
+    }
+}
+
+/// Feeds delivered `(arrival, frame)` pairs into a hot backup, re-arming
+/// the failure detector at each heartbeat arrival, then lets the backup
+/// replay until it catches up with the log (starves) or finishes.
+fn pump_backup(
+    backup: &mut Replica,
+    monitor: &mut HeartbeatMonitor,
+    delivered: Vec<(SimTime, Bytes)>,
+    done: &mut Option<RunReport>,
+) -> Result<(), VmError> {
+    if delivered.is_empty() {
+        return Ok(());
+    }
+    for (arrival, frame) in delivered {
+        if backup.feed_frame(arrival, frame)? > 0 {
+            monitor.observe(arrival);
+        }
+    }
+    if done.is_some() {
+        return Ok(());
+    }
+    backup.poll_suspended();
+    match backup.step(u64::MAX)? {
+        SliceOutcome::Paused => {}
+        SliceOutcome::Completed(r) | SliceOutcome::Stopped(r) => *done = Some(r),
+        SliceOutcome::Budget => unreachable!("unbounded slice cannot exhaust its budget"),
+    }
+    Ok(())
+}
+
+/// Replays heartbeat arrivals from a drained channel into `monitor` and
+/// returns the resulting detection deadline. Heartbeat frames are
+/// self-contained fixed-codec frames, so they decode independently of the
+/// replay stream's codec state.
+fn observe_heartbeats(monitor: &mut HeartbeatMonitor, drained: &[(SimTime, Bytes)]) -> SimTime {
+    for (arrival, frame) in drained {
+        if crate::codec::frame_is_heartbeat(frame) {
+            monitor.observe(*arrival);
+        }
+    }
+    monitor.deadline()
+}

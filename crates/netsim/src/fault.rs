@@ -76,8 +76,72 @@ impl FailureDetector {
 
     /// The instant the backup declares the primary (which crashed at
     /// `crash_at`) failed and begins recovery.
+    ///
+    /// This is the closed-form worst case (`crash_at + interval × missed`);
+    /// a live run uses [`FailureDetector::monitor`] to derive detection from
+    /// the heartbeats that actually arrived.
     pub fn detection_instant(&self, crash_at: SimTime) -> SimTime {
         crash_at + SimTime::from_nanos(self.interval.as_nanos() * self.missed as u64)
+    }
+
+    /// Starts a stateful [`HeartbeatMonitor`] for a run beginning at
+    /// `start` (the instant the detector arms, counted as an implicit
+    /// heartbeat).
+    pub fn monitor(&self, start: SimTime) -> HeartbeatMonitor {
+        HeartbeatMonitor { interval: self.interval, missed: self.missed, last_heard: start }
+    }
+}
+
+/// Stateful failure detection driven by the heartbeats that actually arrive.
+///
+/// The backup's failure-detection thread feeds every heartbeat arrival into
+/// [`HeartbeatMonitor::observe`]; the primary is declared dead the instant
+/// `missed` consecutive heartbeat intervals elapse with nothing heard
+/// ([`HeartbeatMonitor::deadline`]). Because the deadline is re-armed from
+/// the *latest arrival*, a single dropped heartbeat only delays detection by
+/// one interval — it never resets the count.
+///
+/// ```
+/// use ftjvm_netsim::{FailureDetector, SimTime};
+/// let fd = FailureDetector::new(SimTime::from_millis(10), 2);
+/// let mut mon = fd.monitor(SimTime::ZERO);
+/// mon.observe(SimTime::from_millis(10));
+/// // Primary dies right after: dead by 10 + 2*10 = 30 ms.
+/// assert_eq!(mon.deadline().as_millis(), 30);
+/// assert!(!mon.expired(SimTime::from_millis(29)));
+/// assert!(mon.expired(SimTime::from_millis(30)));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct HeartbeatMonitor {
+    interval: SimTime,
+    missed: u32,
+    last_heard: SimTime,
+}
+
+impl HeartbeatMonitor {
+    /// Records a heartbeat arrival. Out-of-order observations are tolerated:
+    /// only the latest arrival instant arms the deadline.
+    pub fn observe(&mut self, arrival: SimTime) {
+        if arrival > self.last_heard {
+            self.last_heard = arrival;
+        }
+    }
+
+    /// Arrival instant of the most recent heartbeat (or the arming instant
+    /// if none has arrived yet).
+    pub fn last_heard(&self) -> SimTime {
+        self.last_heard
+    }
+
+    /// The instant at which, absent further heartbeats, the primary is
+    /// declared failed: `missed` full intervals past the last arrival.
+    pub fn deadline(&self) -> SimTime {
+        self.last_heard + SimTime::from_nanos(self.interval.as_nanos() * self.missed as u64)
+    }
+
+    /// True once `now` has reached the detection deadline.
+    pub fn expired(&self, now: SimTime) -> bool {
+        now >= self.deadline()
     }
 }
 
@@ -110,5 +174,37 @@ mod tests {
     #[should_panic(expected = "at least one missed heartbeat")]
     fn zero_missed_heartbeats_rejected() {
         let _ = FailureDetector::new(SimTime::from_millis(20), 0);
+    }
+
+    #[test]
+    fn monitor_rearms_deadline_from_each_arrival() {
+        let fd = FailureDetector::new(SimTime::from_millis(10), 3);
+        let mut mon = fd.monitor(SimTime::ZERO);
+        assert_eq!(mon.deadline().as_millis(), 30);
+        mon.observe(SimTime::from_millis(10));
+        mon.observe(SimTime::from_millis(20));
+        assert_eq!(mon.last_heard().as_millis(), 20);
+        assert_eq!(mon.deadline().as_millis(), 50);
+        // A stale (out-of-order) observation must not move the deadline back.
+        mon.observe(SimTime::from_millis(5));
+        assert_eq!(mon.deadline().as_millis(), 50);
+    }
+
+    #[test]
+    fn lost_heartbeat_detected_within_two_intervals() {
+        // Heartbeats every 10 ms, one missed tolerated. The beat due at
+        // t=20 ms is lost in transit; the primary then crashes, so nothing
+        // later arrives either. Detection must still fire within
+        // 2 × interval of the last heartbeat actually heard.
+        let interval = SimTime::from_millis(10);
+        let fd = FailureDetector::new(interval, 2);
+        let mut mon = fd.monitor(SimTime::ZERO);
+        mon.observe(SimTime::from_millis(10));
+        // (dropped frame: no observe() for the t=20 beat)
+        let detection = mon.deadline();
+        let last_heard = SimTime::from_millis(10);
+        assert!(detection - last_heard <= SimTime::from_nanos(2 * interval.as_nanos()));
+        assert!(mon.expired(detection));
+        assert!(!mon.expired(SimTime::from_millis(29)));
     }
 }

@@ -37,5 +37,5 @@ pub mod wire;
 pub use channel::{ChannelStats, NetParams, SimChannel};
 pub use clock::{SimClock, SimTime};
 pub use cost::{Category, CostModel, TimeAccount};
-pub use fault::{FailureDetector, FaultPlan};
+pub use fault::{FailureDetector, FaultPlan, HeartbeatMonitor};
 pub use wire::{WireCodec, WireError, WireReader, WireWriter};

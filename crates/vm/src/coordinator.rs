@@ -83,6 +83,9 @@ pub enum SwitchReason {
     Waiting,
     /// Deferred by the lock-sync replay (waiting for its logged turn).
     Deferred,
+    /// Deferred at a native invocation (streaming replay waiting for the
+    /// corresponding log record to arrive).
+    DeferredNative,
     /// Blocked on a VM-internal lock (e.g. the heap lock).
     Internal,
     /// Sleeping.
@@ -227,6 +230,17 @@ pub trait Coordinator {
         None
     }
 
+    /// Asked at the very top of a native invocation by an application
+    /// thread, before any counter is bumped or argument popped. Return
+    /// `false` to hold the thread (streaming replay whose corresponding
+    /// log record has not arrived yet); the invocation is retried
+    /// untouched once the thread is woken. Pure query, like
+    /// [`Coordinator::pre_monitor_acquire`].
+    fn native_ready(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl) -> bool {
+        let _ = (t, decl);
+        true
+    }
+
     /// A native method is being invoked by an application thread.
     fn pre_native(
         &mut self,
@@ -279,6 +293,17 @@ pub trait Coordinator {
     /// returning `false` lets the VM raise a deadlock error.
     fn on_stall(&mut self, acct: &mut TimeAccount) -> bool {
         let _ = acct;
+        false
+    }
+
+    /// The scheduler found nothing to dispatch and the coordinator is
+    /// waiting for input that can only arrive from outside the VM (a hot
+    /// backup streaming the primary's log). Returning `true` suspends the
+    /// run loop ([`crate::exec::SliceOutcome::Paused`]) instead of
+    /// escalating the stall; the driver feeds more input and resumes.
+    /// Consulted before [`Coordinator::on_stall`] would declare the stall
+    /// unrecoverable.
+    fn starved(&mut self) -> bool {
         false
     }
 

@@ -358,6 +358,22 @@ impl VmCore {
         }
     }
 
+    /// Wakes every thread held at a native invocation by a streaming
+    /// replay ([`ThreadState::DeferredNative`]). Called by the replica
+    /// driver after feeding new log frames; a woken thread simply retries
+    /// the invocation and re-asks [`Coordinator::native_ready`].
+    pub fn wake_deferred_natives(&mut self) {
+        let deferred: Vec<ThreadIdx> = self
+            .threads
+            .iter()
+            .filter(|th| th.state == ThreadState::DeferredNative)
+            .map(|th| th.idx)
+            .collect();
+        for t in deferred {
+            self.make_runnable(t);
+        }
+    }
+
     /// The coordinated monitor-acquisition protocol for thread `t` on
     /// `obj`. `restore_recursion` is used by `wait` re-acquisition to
     /// restore the saved depth.
@@ -675,7 +691,9 @@ impl VmCore {
                     crate::coordinator::Pick::Idle => {
                         // The replay cannot run any candidate; wait for a
                         // sleeper or let the coordinator resolve the stall.
-                        self.idle_round(coord, &mut stall_rounds, false)?;
+                        if self.idle_round(coord, &mut stall_rounds, false)? {
+                            return Ok(Schedule::Paused);
+                        }
                         continue;
                     }
                 };
@@ -707,31 +725,37 @@ impl VmCore {
             if self.app_done() {
                 return Ok(Schedule::ProgramDone);
             }
-            self.idle_round(coord, &mut stall_rounds, true)?;
+            if self.idle_round(coord, &mut stall_rounds, true)? {
+                return Ok(Schedule::Paused);
+            }
         }
     }
 
     /// One round of "nothing can be dispatched": advance to the next
-    /// sleeper wake-up, or give the coordinator a chance to resolve the
-    /// stall, or declare deadlock.
+    /// sleeper wake-up, suspend a starved streaming replay (`Ok(true)`),
+    /// give the coordinator a chance to resolve the stall, or declare
+    /// deadlock.
     fn idle_round(
         &mut self,
         coord: &mut dyn Coordinator,
         stall_rounds: &mut u32,
         queue_empty: bool,
-    ) -> Result<(), VmError> {
+    ) -> Result<bool, VmError> {
         if let Some(wake) = self.earliest_wake() {
             self.acct.wait_until(Category::Base, wake);
-            return Ok(());
+            return Ok(false);
+        }
+        if coord.starved() {
+            return Ok(true);
         }
         if *stall_rounds < 2 && coord.on_stall(&mut self.acct) {
             *stall_rounds += 1;
             self.poll_deferred(coord);
-            return Ok(());
+            return Ok(false);
         }
         if coord.stop().is_some() {
             // Let the run loop surface the coordinator's stop reason.
-            return Ok(());
+            return Ok(false);
         }
         let detail: Vec<String> = self
             .threads
@@ -752,6 +776,22 @@ pub(crate) enum Schedule {
     ProgramDone,
     /// The coordinator requested a stop; the run loop should poll it.
     Interrupted,
+    /// The coordinator is starved for external input (streaming replay).
+    Paused,
+}
+
+/// Why [`Vm::run_slice`] returned.
+#[derive(Debug, Clone)]
+pub enum SliceOutcome {
+    /// The slice's unit budget was exhausted; the program is still running.
+    Budget,
+    /// The coordinator is starved: it cannot make progress until the
+    /// driver feeds it more input (see [`Coordinator::starved`]).
+    Paused,
+    /// The program ran to completion.
+    Completed(RunReport),
+    /// The coordinator stopped the run (fault injection fired).
+    Stopped(RunReport),
 }
 
 /// A virtual machine instance: one replica.
@@ -881,21 +921,63 @@ impl Vm {
     /// Propagates fatal [`VmError`]s (deadlock, OOM, budget, divergence).
     pub fn run(&mut self, coord: &mut dyn Coordinator) -> Result<RunReport, VmError> {
         loop {
+            match self.run_slice(coord, u64::MAX)? {
+                SliceOutcome::Budget => continue,
+                SliceOutcome::Paused => {
+                    return Err(VmError::Internal(
+                        "coordinator starved a non-sliced run (no driver to feed it)".into(),
+                    ));
+                }
+                SliceOutcome::Completed(r) | SliceOutcome::Stopped(r) => return Ok(r),
+            }
+        }
+    }
+
+    /// Runs at most `max_units` execution units, returning between units.
+    ///
+    /// This is the co-simulation entry point: a replica driver alternates
+    /// bounded slices of the primary and the backup on one simulated
+    /// timeline. Slicing is behavior-neutral — a run advanced by repeated
+    /// slices is bit-identical to one uninterrupted [`Vm::run`].
+    ///
+    /// # Errors
+    /// Propagates fatal [`VmError`]s (deadlock, OOM, budget, divergence).
+    pub fn run_slice(
+        &mut self,
+        coord: &mut dyn Coordinator,
+        max_units: u64,
+    ) -> Result<SliceOutcome, VmError> {
+        let end = self.core.units.saturating_add(max_units);
+        loop {
             if let Some(stop) = coord.stop() {
                 return match stop {
-                    StopReason::Crash => Ok(self.report(RunOutcome::Stopped)),
+                    StopReason::Crash => {
+                        Ok(SliceOutcome::Stopped(self.report(RunOutcome::Stopped)))
+                    }
                     StopReason::Error(e) => Err(e),
                 };
+            }
+            if self.core.units >= end {
+                return Ok(SliceOutcome::Budget);
             }
             match self.core.schedule(coord)? {
                 Schedule::Dispatched => self.step_unit(coord)?,
                 Schedule::ProgramDone => {
                     coord.on_exit(&mut self.core.acct);
-                    return Ok(self.report(RunOutcome::Completed));
+                    return Ok(SliceOutcome::Completed(self.report(RunOutcome::Completed)));
                 }
                 Schedule::Interrupted => continue,
+                Schedule::Paused => return Ok(SliceOutcome::Paused),
             }
         }
+    }
+
+    /// Re-polls replay-suspended threads after the driver fed the
+    /// coordinator new input: native-deferred threads are woken to retry
+    /// their invocation, and deferred monitor acquisitions are re-asked.
+    pub fn poll_suspended(&mut self, coord: &mut dyn Coordinator) {
+        self.core.wake_deferred_natives();
+        self.core.poll_deferred(coord);
     }
 
     fn report(&self, outcome: RunOutcome) -> RunReport {
@@ -958,6 +1040,7 @@ impl Vm {
             ThreadState::BlockedMonitor { .. } => Some(SwitchReason::BlockedMonitor),
             ThreadState::WaitingMonitor { .. } => Some(SwitchReason::Waiting),
             ThreadState::DeferredMonitor { .. } => Some(SwitchReason::Deferred),
+            ThreadState::DeferredNative => Some(SwitchReason::DeferredNative),
             ThreadState::BlockedInternal => Some(SwitchReason::Internal),
             ThreadState::Sleeping { .. } => Some(SwitchReason::Sleep),
             ThreadState::Parked => {

@@ -882,6 +882,20 @@ fn begin_native(
     let reg_idx = core.linked[nid.0 as usize] as usize;
     let decl = &natives.decls()[reg_idx];
     let is_app = core.thread(t).kind == ThreadKind::App;
+    // Streaming-replay gate. Must precede every counter bump and the
+    // argument pop: a deferred thread re-executes this InvokeNative (the pc
+    // only advances in `complete_native`), so the invocation must be
+    // side-effect free up to this point.
+    if is_app {
+        let ready = {
+            let obs = obs_of(&core.threads, t);
+            coord.native_ready(&obs, decl)
+        };
+        if !ready {
+            core.thread_mut(t).state = ThreadState::DeferredNative;
+            return Ok(());
+        }
+    }
     // The invocation is a control-flow change; counted when the activation
     // is created.
     core.thread_mut(t).br_cnt += 1;

@@ -22,7 +22,7 @@
 //!   finalizer *system threads* that contend with application threads
 //!   ([`heap`]);
 //! * a simulated **environment** split into stable and volatile state
-//!   ([`env`]);
+//!   ([`mod@env`]);
 //! * the [`coordinator::Coordinator`] hook trait — the exact seam where the
 //!   paper patched Sun's JVM, and where `ftjvm-core` plugs in.
 //!
@@ -81,7 +81,7 @@ pub use coordinator::{
 };
 pub use env::{SharedWorld, SimEnv, World};
 pub use error::VmError;
-pub use exec::{ExecCounters, RunOutcome, RunReport, Vm, VmConfig};
+pub use exec::{ExecCounters, RunOutcome, RunReport, SliceOutcome, Vm, VmConfig};
 pub use native::{NativeAbort, NativeDecl, NativeKind, NativeOutcome, NativeRegistry};
 pub use program::{BuildError, ProgramBuilder};
 pub use race::{RaceDetector, RaceReport};

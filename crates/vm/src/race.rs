@@ -2,7 +2,7 @@
 //!
 //! Replicated lock synchronization is only correct for race-free programs
 //! (restriction R4A); the paper suggests verifying R4A with a dynamic race
-//! detector in the style of Eraser (its citation [6]) rather than fixing
+//! detector in the style of Eraser (its citation \[6\]) rather than fixing
 //! races by hand after replay breaks. This module implements the classic
 //! lockset algorithm over the VM's shared locations — static fields,
 //! object fields, and arrays — using the Eraser state machine:

@@ -61,6 +61,11 @@ pub enum ThreadState {
         /// The object whose lock the thread wants.
         obj: ObjRef,
     },
+    /// Backup-only: a streaming (hot-standby) replay is holding this thread
+    /// at a native invocation until the corresponding log record arrives.
+    /// The invocation has not started: no counter was bumped, no argument
+    /// popped, so waking the thread simply retries the instruction.
+    DeferredNative,
     /// Blocked on a VM-internal lock (e.g. the heap lock during GC). These
     /// are not Java monitors: they are never logged and never perturb the
     /// replication counters.

@@ -11,7 +11,7 @@
 
 use ftjvm::netsim::{Category, FaultPlan};
 use ftjvm::workloads::Workload;
-use ftjvm::{FtConfig, FtJvm, ReplicationMode};
+use ftjvm::{FtConfig, FtJvm, LagBudget, ReplicationMode};
 
 fn usage() -> ! {
     eprintln!(
@@ -25,7 +25,11 @@ fn usage() -> ! {
            --codec fixed|compact wire codec (default fixed)\n\
            --crash-at <units>    kill the primary after N execution units\n\
            --crash-before-output <n>  kill in output n's uncertain window\n\
-           --warm                keep the backup warm (replays during normal operation)\n\
+           --backup cold|hot     cold: store the log, replay at failover (default);\n\
+                                 hot: co-simulated standby streams the log and\n\
+                                 replays only the unconsumed suffix at failover\n\
+           --warm                account the backup as warm (legacy: failover\n\
+                                 collapses to detection time)\n\
            --seed <n>            primary scheduler seed (default 11)\n\
            --baseline            run unreplicated only\n\
            --disasm              print the program listing instead of running\n\
@@ -85,6 +89,14 @@ fn main() {
                 i += 1;
                 let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
                 cfg.fault = FaultPlan::BeforeOutput(n);
+            }
+            "--backup" => {
+                i += 1;
+                cfg.lag_budget = match args.get(i).map(String::as_str) {
+                    Some("cold") => LagBudget::Cold,
+                    Some("hot") => LagBudget::Hot,
+                    _ => usage(),
+                };
             }
             "--warm" => cfg.warm_backup = true,
             "--seed" => {
@@ -181,14 +193,22 @@ fn main() {
         s.heartbeats,
     );
     if report.crashed {
-        println!("\nprimary CRASHED; backup took over:");
-        println!("  detection latency:    {}", report.detection_latency);
-        println!("  recovery replay time: {}", report.recovery_replay_time);
-        println!("  failover latency:     {}", report.failover_latency);
+        println!("\nprimary CRASHED; {} backup took over:", cfg.lag_budget);
+        println!("  detection latency:      {}", report.detection_latency);
+        let replay_label = match cfg.lag_budget {
+            LagBudget::Cold => "full-log replay time: ",
+            LagBudget::Hot => "suffix replay time:   ",
+        };
+        println!("  {replay_label}  {}", report.recovery_replay_time);
+        println!("  total failover latency: {}", report.failover_latency);
         let b = report.backup.as_ref().expect("backup ran");
-        println!("  backup total:         {}", b.acct.total());
+        println!("  backup total:           {}", b.acct.total());
         report.check_no_duplicate_outputs().expect("exactly-once output");
-        println!("  exactly-once output:  ok");
+        println!("  exactly-once output:    ok");
+    } else if matches!(cfg.lag_budget, LagBudget::Hot) {
+        let b = report.backup.as_ref().expect("hot standby ran");
+        println!("\nhot standby streamed the whole log (no crash):");
+        println!("  standby total:          {}", b.acct.total());
     }
     println!("\nconsole ({} lines):", report.console().len());
     for line in report.console().iter().take(12) {
