@@ -1,0 +1,77 @@
+//! Retransmission-overhead sweep: how much extra traffic and pessimistic
+//! wait the reliability sublayer pays as the log link degrades, measured
+//! against the same workload on the perfect FIFO channel the paper
+//! assumes (TCP on a dedicated segment, §3.1).
+//!
+//! Every row is a failure-free replicated run of the workload over a
+//! lossy link: frames drop with the row's probability, 5% are delivered
+//! twice, 1% corrupted, 10% jitter-reordered. Output is asserted
+//! byte-identical to the clean run before any number is reported.
+//!
+//! Run: `cargo run -p ftjvm-bench --release --bin netfault`
+
+use ftjvm_core::{FtConfig, FtJvm, NetFaultPlan};
+use ftjvm_netsim::{Category, SimTime};
+use ftjvm_workloads::{db, jess, Workload};
+
+fn plan(drop_pct: u32) -> NetFaultPlan {
+    NetFaultPlan {
+        seed: 0xBEEF,
+        drop: drop_pct as f64 / 100.0,
+        duplicate: 0.05,
+        corrupt: 0.01,
+        reorder: 0.10,
+        jitter: SimTime::from_micros(300),
+        ..NetFaultPlan::default()
+    }
+}
+
+fn sweep(w: &Workload) {
+    let clean =
+        FtJvm::new(w.program.clone(), FtConfig::default()).run_replicated().expect("clean run");
+    let clean_total = clean.primary.acct.total();
+    let clean_pess = clean.primary.acct.get(Category::Pessimistic);
+    println!("{} — loss sweep (lock-sync, fixed codec, failure-free)", w.name);
+    println!(
+        "{:>5} {:>8} {:>8} {:>9} {:>7} {:>8} {:>7} {:>12} {:>9}",
+        "loss%",
+        "frames",
+        "retrans",
+        "overhead",
+        "dups",
+        "corrupt",
+        "nacks",
+        "pessimistic",
+        "vs-clean"
+    );
+    for drop_pct in [0u32, 2, 5, 10, 20] {
+        let cfg = FtConfig { net_fault: plan(drop_pct), ..FtConfig::default() };
+        let r = FtJvm::new(w.program.clone(), cfg).run_replicated().expect("faulted run");
+        assert_eq!(r.console(), clean.console(), "{}: output must not change", w.name);
+        r.check_no_duplicate_outputs().expect("exactly-once");
+        let c = &r.channel;
+        let originals = c.messages_sent.saturating_sub(c.retransmits);
+        let pess = r.primary.acct.get(Category::Pessimistic);
+        println!(
+            "{:>5} {:>8} {:>8} {:>8.1}% {:>7} {:>8} {:>7} {:>12} {:>8.2}x",
+            drop_pct,
+            c.messages_sent,
+            c.retransmits,
+            100.0 * c.retransmits as f64 / originals.max(1) as f64,
+            c.dup_deliveries,
+            c.corrupted_frames,
+            c.nacks,
+            pess.to_string(),
+            r.primary.acct.total().as_nanos() as f64 / clean_total.as_nanos() as f64,
+        );
+        let _ = clean_pess; // reference column lives in the header note below
+    }
+    println!("  clean reference: {} pessimistic of {} total\n", clean_pess, clean_total);
+}
+
+fn main() {
+    println!("Reliability sublayer under injected loss (seed 0xBEEF; +5% dup, +1% corrupt, +10% reorder)\n");
+    for w in [jess::workload(), db::workload()] {
+        sweep(&w);
+    }
+}

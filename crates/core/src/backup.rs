@@ -19,7 +19,7 @@
 //!   hands out fresh output ids once execution passes the end of the log
 //!   (§3.4, §4.1).
 
-use crate::codec::RecordDecoder;
+use crate::codec::{open_frame, RecordDecoder};
 use crate::records::{sig_hash, LoggedResult, Record};
 use crate::se::SeRegistry;
 use crate::stats::ReplicationStats;
@@ -78,6 +78,52 @@ struct SchedRec {
     l_asn: u64,
     in_native: bool,
     next: VtPath,
+}
+
+/// Why a replay could not proceed from the log it was given.
+///
+/// Replay paths used to `expect(...)` on these conditions; with an
+/// adversarial channel a truncated or internally inconsistent log is a
+/// *reachable* state, so each condition now degrades to a reported
+/// recovery failure ([`VmError::ReplayDivergence`]) instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A replay hook fired for a thread with no virtual identity (a system
+    /// thread) — the log steered execution somewhere it never went on the
+    /// primary.
+    MissingThreadIdentity {
+        /// Which replay hook observed it.
+        hook: &'static str,
+    },
+    /// A record queue that replay logic had just checked non-empty (or
+    /// that must be non-empty for the log to be self-consistent) was
+    /// empty — the log lost records mid-stream.
+    EmptyRecordQueue {
+        /// Which queue was unexpectedly empty.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::MissingThreadIdentity { hook } => {
+                write!(f, "replay hook `{hook}` reached a thread without a virtual identity")
+            }
+            ReplayError::EmptyRecordQueue { what } => {
+                write!(f, "log is missing expected {what} records (truncated or corrupt log)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl ReplayError {
+    /// The [`VmError`] this failure surfaces as, attributed to thread `t`.
+    pub fn at(self, t: ThreadIdx) -> VmError {
+        VmError::ReplayDivergence { thread: t, detail: self.to_string() }
+    }
 }
 
 /// The decoded, indexed log the backup recovered from the channel.
@@ -369,6 +415,14 @@ impl NativeReplay {
         }
     }
 
+    /// Records a typed [`ReplayError`] as the run's failure (first error
+    /// wins, like [`fail`](Self::fail)).
+    fn fail_replay(&mut self, t: ThreadIdx, err: ReplayError) {
+        if self.error.is_none() {
+            self.error = Some(err.at(t));
+        }
+    }
+
     fn take_stop(&mut self) -> Option<StopReason> {
         self.error.take().map(StopReason::Error)
     }
@@ -389,7 +443,10 @@ impl NativeReplay {
         if !(decl.nondeterministic || decl.output) {
             return NativeDirective::Execute;
         }
-        let vt = t.vt.expect("app threads only").clone();
+        let Some(vt) = t.vt.cloned() else {
+            self.fail_replay(t.t, ReplayError::MissingThreadIdentity { hook: "directive" });
+            return NativeDirective::Execute;
+        };
         let nd_rec = if decl.nondeterministic {
             self.log.nd.get_mut(&vt).and_then(|q| q.pop_front())
         } else {
@@ -593,7 +650,13 @@ impl Coordinator for LockSyncBackup {
             // records, so ordering constraints are over (§4.2).
             return MonitorDecision::Grant;
         }
-        let vt = t.vt.expect("app threads only");
+        let Some(vt) = t.vt else {
+            self.replay.fail_replay(
+                t.t,
+                ReplayError::MissingThreadIdentity { hook: "pre_monitor_acquire" },
+            );
+            return MonitorDecision::Grant;
+        };
         let Some(rec) = self.replay.log.lock_acqs.get(vt).and_then(|q| q.front()) else {
             // This thread ran past its (arrived) logged history; it must
             // wait — for more frames while streaming, or for the whole log
@@ -665,7 +728,13 @@ impl Coordinator for LockSyncBackup {
         if self.replay.eof && self.replay.log.lock_total == 0 {
             return None; // live phase
         }
-        let vt = t.vt.expect("app threads only");
+        let Some(vt) = t.vt else {
+            self.replay.fail_replay(
+                t.t,
+                ReplayError::MissingThreadIdentity { hook: "post_monitor_acquire" },
+            );
+            return None;
+        };
         let Some(rec) = self.replay.log.lock_acqs.get_mut(vt).and_then(|q| q.pop_front()) else {
             self.replay.fail(t.t, "granted an acquisition with no record to consume".into());
             return None;
@@ -966,7 +1035,11 @@ impl TsBackup {
     }
 
     fn advance(&mut self, acct: &mut TimeAccount) {
-        let rec = self.replay.log.sched.pop_front().expect("advance() called with a front record");
+        let Some(rec) = self.replay.log.sched.pop_front() else {
+            self.replay
+                .fail_replay(ThreadIdx(0), ReplayError::EmptyRecordQueue { what: "schedule" });
+            return;
+        };
         self.designated = Some(rec.next);
         self.replay.stats.sched_records += 1;
         acct.charge(Category::Resched, self.replay.cost.sched_record);
@@ -1021,7 +1094,11 @@ impl Coordinator for TsBackup {
             }
             acct.charge(Category::Misc, cost);
         }
-        let vt = t.vt.expect("app threads only");
+        let Some(vt) = t.vt else {
+            self.replay
+                .fail_replay(t.t, ReplayError::MissingThreadIdentity { hook: "check_preempt" });
+            return false;
+        };
         if vt != des {
             // A non-designated application thread slipped in; park it.
             return true;
@@ -1116,7 +1193,11 @@ impl Coordinator for TsBackup {
 
     fn on_thread_exit(&mut self, t: &ThreadObs<'_>, acct: &mut TimeAccount) {
         let Some(des) = self.designated.clone() else { return };
-        let vt = t.vt.expect("app threads only");
+        let Some(vt) = t.vt else {
+            self.replay
+                .fail_replay(t.t, ReplayError::MissingThreadIdentity { hook: "on_thread_exit" });
+            return;
+        };
         if *vt != des {
             return;
         }
@@ -1289,7 +1370,13 @@ impl Coordinator for IntervalBackup {
             // arrived (the primary's current interval is still open).
             return MonitorDecision::Defer;
         };
-        let vt = t.vt.expect("app threads only");
+        let Some(vt) = t.vt else {
+            self.replay.fail_replay(
+                t.t,
+                ReplayError::MissingThreadIdentity { hook: "pre_monitor_acquire" },
+            );
+            return MonitorDecision::Grant;
+        };
         if &front.t == vt {
             MonitorDecision::Grant
         } else {
@@ -1305,7 +1392,13 @@ impl Coordinator for IntervalBackup {
         _l_asn: u64,
         acct: &mut TimeAccount,
     ) -> Option<u64> {
-        let vt = t.vt.expect("app threads only");
+        let Some(vt) = t.vt else {
+            self.replay.fail_replay(
+                t.t,
+                ReplayError::MissingThreadIdentity { hook: "post_monitor_acquire" },
+            );
+            return None;
+        };
         let expected = match self.replay.log.intervals.front() {
             None => return None, // live phase
             Some(front) if &front.t != vt => {
@@ -1323,7 +1416,10 @@ impl Coordinator for IntervalBackup {
         }
         acct.charge(ftjvm_netsim::Category::LockAcquire, self.replay.cost.interval_update);
         self.replay.log.interval_total -= 1;
-        let front = self.replay.log.intervals.front_mut().expect("front checked above");
+        let Some(front) = self.replay.log.intervals.front_mut() else {
+            self.replay.fail_replay(t.t, ReplayError::EmptyRecordQueue { what: "lock interval" });
+            return None;
+        };
         front.remaining -= 1;
         if front.remaining == 0 {
             self.replay.log.intervals.pop_front();
@@ -1374,6 +1470,143 @@ impl Coordinator for IntervalBackup {
             return true;
         }
         false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver side of the reliability sublayer: gap detection, duplicate
+// suppression, and corruption rejection in front of the record decoder.
+// ---------------------------------------------------------------------------
+
+/// A control message on the (reliable, tiny) reverse path from the
+/// receiver back to the sender's retransmission window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Cumulative acknowledgment: every frame with sequence number below
+    /// `next` has been verified and released in order.
+    Ack {
+        /// The receiver's next expected sequence number.
+        next: u64,
+    },
+    /// Gap report: frame `seq` is missing (an out-of-sequence or corrupt
+    /// frame arrived); the sender should retransmit it promptly.
+    Nack {
+        /// The missing sequence number.
+        seq: u64,
+    },
+}
+
+/// The receiver's reassembly window over a lossy link.
+///
+/// Every arriving frame is *sealed* ([`crate::codec::seal_frame`]); the
+/// window opens it, rejects corruption (CRC), suppresses duplicates
+/// (sequence number below the cumulative frontier or already buffered),
+/// buffers out-of-order frames, and releases payloads strictly in
+/// sequence order — the contract the record decoder's delta context and
+/// the log's prefix semantics both depend on.
+#[derive(Debug, Default)]
+pub struct RecvWindow {
+    /// Next sequence number to release (the cumulative frontier).
+    expected: u64,
+    /// Verified frames that arrived ahead of a gap, by sequence number.
+    buffered: std::collections::BTreeMap<u64, (SimTime, Bytes)>,
+    /// Verified, in-order payloads not yet taken by the consumer.
+    ready: Vec<(SimTime, Bytes)>,
+    /// Release instants are monotone even when a late gap-filler unblocks
+    /// frames that physically arrived earlier.
+    last_release: SimTime,
+    /// Last sequence number a NACK was sent for (suppresses NACK storms
+    /// while many frames behind one gap arrive).
+    last_nacked: Option<u64>,
+    /// Duplicate frames suppressed.
+    pub dup_deliveries: u64,
+    /// Frames rejected by the open/CRC check.
+    pub corrupted_frames: u64,
+    /// Frames that arrived out of sequence and were buffered.
+    pub reordered: u64,
+    /// NACKs sent.
+    pub nacks: u64,
+}
+
+impl RecvWindow {
+    /// Creates an empty window expecting sequence number 0.
+    pub fn new() -> Self {
+        RecvWindow::default()
+    }
+
+    /// The next sequence number the window will release.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// True if verified frames are buffered beyond a missing one.
+    pub fn has_gap(&self) -> bool {
+        !self.buffered.is_empty()
+    }
+
+    /// Offers one raw frame that arrived at `at`. Control messages for the
+    /// sender (cumulative ACKs, gap NACKs) are appended to `ctrl`.
+    pub fn offer(&mut self, at: SimTime, raw: Bytes, ctrl: &mut Vec<Control>) {
+        match open_frame(&raw) {
+            Err(_) => {
+                self.corrupted_frames += 1;
+                // The frame's identity is unknowable; report the frontier
+                // so the sender can retransmit whatever is outstanding.
+                self.push_nack(self.expected, ctrl);
+            }
+            Ok((seq, payload)) => {
+                if seq < self.expected || self.buffered.contains_key(&seq) {
+                    self.dup_deliveries += 1;
+                    // Re-ack: the sender may be retransmitting because an
+                    // earlier ACK was processed late.
+                    ctrl.push(Control::Ack { next: self.expected });
+                } else if seq == self.expected {
+                    self.release(at, payload);
+                    // The gap-filler may unblock a buffered run.
+                    while let Some(entry) = self.buffered.remove(&self.expected) {
+                        self.release(at.max(entry.0), entry.1);
+                    }
+                    if self.last_nacked.map(|n| n < self.expected).unwrap_or(true) {
+                        self.last_nacked = None;
+                    }
+                    ctrl.push(Control::Ack { next: self.expected });
+                } else {
+                    self.reordered += 1;
+                    self.buffered.insert(seq, (at, payload));
+                    self.push_nack(self.expected, ctrl);
+                }
+            }
+        }
+    }
+
+    fn release(&mut self, at: SimTime, payload: Bytes) {
+        self.last_release = self.last_release.max(at);
+        self.ready.push((self.last_release, payload));
+        self.expected += 1;
+    }
+
+    fn push_nack(&mut self, seq: u64, ctrl: &mut Vec<Control>) {
+        if self.last_nacked != Some(seq) {
+            self.last_nacked = Some(seq);
+            self.nacks += 1;
+            ctrl.push(Control::Nack { seq });
+        }
+    }
+
+    /// Takes the verified, in-order payloads released so far.
+    pub fn take_ready(&mut self) -> Vec<(SimTime, Bytes)> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Takeover: returns the longest verified frame prefix and discards
+    /// any frames buffered beyond an unresolved gap, reporting how many
+    /// were thrown away. The discarded suffix is equivalent to records the
+    /// crashed primary never flushed: the promoted backup re-executes that
+    /// suffix live and resolves uncertain outputs via SE-handler `test`.
+    pub fn take_prefix(&mut self) -> (Vec<(SimTime, Bytes)>, usize) {
+        let discarded = self.buffered.len();
+        self.buffered.clear();
+        (std::mem::take(&mut self.ready), discarded)
     }
 }
 
@@ -1618,5 +1851,95 @@ mod tests {
         assert_eq!(log.lock_records(), 1);
         assert_eq!(log.interval_records(), 1);
         assert_eq!(log.sched_records(), 0);
+    }
+
+    // -- RecvWindow: the receiver half of the reliability sublayer -------
+
+    use crate::codec::seal_frame;
+    use crate::primary::SendWindow;
+
+    fn sealed(seq: u64, body: &[u8]) -> Bytes {
+        seal_frame(seq, body)
+    }
+
+    #[test]
+    fn recv_window_releases_in_order_and_acks() {
+        let mut w = RecvWindow::new();
+        let mut ctrl = Vec::new();
+        w.offer(SimTime::from_nanos(10), sealed(0, b"a"), &mut ctrl);
+        w.offer(SimTime::from_nanos(20), sealed(1, b"b"), &mut ctrl);
+        let got = w.take_ready();
+        let bodies: Vec<&[u8]> = got.iter().map(|(_, b)| b.as_ref()).collect();
+        assert_eq!(bodies, vec![b"a".as_ref(), b"b".as_ref()]);
+        assert_eq!(ctrl, vec![Control::Ack { next: 1 }, Control::Ack { next: 2 }]);
+        assert!(!w.has_gap());
+    }
+
+    #[test]
+    fn recv_window_buffers_gap_nacks_once_and_reassembles() {
+        let mut w = RecvWindow::new();
+        let mut ctrl = Vec::new();
+        // 1 and 2 arrive before 0: one NACK for 0, not one per arrival.
+        w.offer(SimTime::from_nanos(10), sealed(1, b"b"), &mut ctrl);
+        w.offer(SimTime::from_nanos(20), sealed(2, b"c"), &mut ctrl);
+        assert_eq!(ctrl, vec![Control::Nack { seq: 0 }]);
+        assert!(w.has_gap() && w.take_ready().is_empty());
+        // The late gap-filler unblocks the whole run, in sequence order,
+        // with monotone release instants.
+        w.offer(SimTime::from_nanos(100), sealed(0, b"a"), &mut ctrl);
+        let got = w.take_ready();
+        let bodies: Vec<&[u8]> = got.iter().map(|(_, b)| b.as_ref()).collect();
+        assert_eq!(bodies, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref()]);
+        assert!(got.windows(2).all(|p| p[0].0 <= p[1].0), "monotone release times");
+        assert_eq!(*ctrl.last().unwrap(), Control::Ack { next: 3 });
+    }
+
+    #[test]
+    fn recv_window_suppresses_duplicates_and_rejects_corruption() {
+        let mut w = RecvWindow::new();
+        let mut ctrl = Vec::new();
+        w.offer(SimTime::ZERO, sealed(0, b"a"), &mut ctrl);
+        w.offer(SimTime::ZERO, sealed(0, b"a"), &mut ctrl); // retransmit twin
+        assert_eq!(w.dup_deliveries, 1);
+        assert_eq!(w.take_ready().len(), 1, "released exactly once");
+        let mut bad = sealed(1, b"b").to_vec();
+        bad[6] ^= 0x40;
+        w.offer(SimTime::ZERO, bad.into(), &mut ctrl);
+        assert_eq!(w.corrupted_frames, 1);
+        assert_eq!(w.expected(), 1, "corrupt frame not released");
+    }
+
+    #[test]
+    fn take_prefix_discards_beyond_unresolved_gap() {
+        let mut w = RecvWindow::new();
+        let mut ctrl = Vec::new();
+        w.offer(SimTime::ZERO, sealed(0, b"a"), &mut ctrl);
+        w.offer(SimTime::ZERO, sealed(2, b"c"), &mut ctrl); // 1 never arrives
+        w.offer(SimTime::ZERO, sealed(3, b"d"), &mut ctrl);
+        let (prefix, discarded) = w.take_prefix();
+        assert_eq!(prefix.len(), 1, "only the verified prefix survives");
+        assert_eq!(prefix[0].1.as_ref(), b"a");
+        assert_eq!(discarded, 2);
+        assert!(!w.has_gap());
+    }
+
+    #[test]
+    fn recv_window_interops_with_send_window() {
+        // Sender seals via its tracking window; receiver opens and acks;
+        // the ack empties the sender's retransmission buffer.
+        let mut tx = SendWindow::new(SimTime::from_micros(100));
+        let mut rx = RecvWindow::new();
+        let mut ctrl = Vec::new();
+        for body in [b"x".as_ref(), b"y".as_ref()] {
+            let frame = tx.track(SimTime::ZERO, body);
+            rx.offer(SimTime::from_micros(1), frame, &mut ctrl);
+        }
+        assert_eq!(tx.outstanding(), 2);
+        let mut resend = Vec::new();
+        for c in ctrl.drain(..) {
+            tx.on_control(SimTime::from_micros(2), c, &mut resend);
+        }
+        assert_eq!(tx.outstanding(), 0, "cumulative ack cleared the window");
+        assert!(resend.is_empty());
     }
 }

@@ -21,7 +21,7 @@
 use crate::runtime::{LagBudget, ReplicaRuntime};
 use crate::se::SeRegistry;
 use crate::stats::ReplicationStats;
-use ftjvm_netsim::{ChannelStats, FailureDetector, FaultPlan, SimTime, WireCodec};
+use ftjvm_netsim::{ChannelStats, FailureDetector, FaultPlan, NetFaultPlan, SimTime, WireCodec};
 use ftjvm_vm::{
     NativeRegistry, NoopCoordinator, Program, RunReport, SharedWorld, SimEnv, Vm, VmConfig,
     VmError, World,
@@ -119,6 +119,11 @@ pub struct FtConfig {
     pub codec: WireCodec,
     /// Failure-detection parameters.
     pub detector: FailureDetector,
+    /// Network fault plan for the replication link. Unarmed (the default)
+    /// keeps the paper's perfect FIFO channel; armed, the log travels over
+    /// a lossy datagram link behind the seq/CRC/ack/nack/retransmit
+    /// reliability sublayer.
+    pub net_fault: NetFaultPlan,
     /// Factory for the side-effect-handler registry (one per replica).
     pub se_factory: fn() -> SeRegistry,
 }
@@ -141,6 +146,7 @@ impl Default for FtConfig {
             flush_threshold: 16 * 1024,
             codec: WireCodec::Fixed,
             detector: FailureDetector::default(),
+            net_fault: NetFaultPlan::default(),
             se_factory: SeRegistry::with_builtins,
         }
     }
@@ -153,6 +159,7 @@ impl std::fmt::Debug for FtConfig {
             .field("lag_budget", &self.lag_budget)
             .field("codec", &self.codec)
             .field("fault", &self.fault)
+            .field("net_fault", &self.net_fault)
             .field("primary_seed", &self.primary_seed)
             .field("backup_seed", &self.backup_seed)
             .finish()

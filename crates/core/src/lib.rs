@@ -62,11 +62,18 @@ pub mod runtime;
 pub mod se;
 pub mod stats;
 
-pub use backup::{BackupLog, IntervalBackup, LockSyncBackup, TsBackup};
-pub use codec::{build_batch_frame, decode_frames, RecordDecoder, RecordEncoder};
+pub use backup::{
+    BackupLog, Control, IntervalBackup, LockSyncBackup, RecvWindow, ReplayError, TsBackup,
+};
+pub use codec::{
+    build_batch_frame, crc32c, decode_frames, open_frame, seal_frame, FrameError, RecordDecoder,
+    RecordEncoder,
+};
 pub use ftjvm::{FtConfig, FtJvm, LockVariant, PairReport, ReplicationMode};
-pub use ftjvm_netsim::WireCodec;
-pub use primary::{IntervalPrimary, LockSyncPrimary, PrimaryCore, TsPrimary};
+pub use ftjvm_netsim::{NetFaultPlan, WireCodec};
+pub use primary::{
+    IntervalPrimary, LockSyncPrimary, LogChannel, PrimaryCore, ReliableLink, SendWindow, TsPrimary,
+};
 pub use records::{LoggedResult, Record, WireValue};
 pub use runtime::{LagBudget, Replica, ReplicaRuntime, Role};
 pub use se::{SeRegistration, SeRegistry, SideEffectHandler, SocketHandler};

@@ -13,22 +13,402 @@
 //!   logs a thread-schedule record whenever the scheduler switches between
 //!   two application threads (§4.2, *Replicated Thread Scheduling*).
 
-use crate::codec::{build_batch_frame, RecordEncoder};
+use crate::backup::{Control, RecvWindow};
+use crate::codec::{build_batch_frame, seal_frame, RecordEncoder};
 use crate::records::{sig_hash, LoggedResult, Record, WireValue};
 use crate::se::SeRegistry;
 use crate::stats::ReplicationStats;
-use ftjvm_netsim::{Category, CostModel, FaultPlan, SimChannel, SimTime, TimeAccount, WireCodec};
+use bytes::Bytes;
+use ftjvm_netsim::{
+    Category, ChannelStats, CostModel, FaultPlan, LossyChannel, SimChannel, SimTime, TimeAccount,
+    WireCodec,
+};
 
 use ftjvm_vm::native::{NativeDecl, NativeOutcome};
 use ftjvm_vm::{
     Coordinator, NativeDirective, ObjRef, StopReason, SwitchReason, ThreadObs, ThreadSnap, Value,
     VmError, VtPath,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// One unacknowledged sealed frame in the sender's sliding window.
+#[derive(Debug)]
+struct Unacked {
+    sealed: Bytes,
+    /// Next timeout-retransmission deadline.
+    deadline: SimTime,
+    /// Current retransmission timeout (doubles per expiry, capped).
+    rto: SimTime,
+    last_sent: SimTime,
+}
+
+/// Sender-side sliding-window retransmission buffer: every sealed frame
+/// stays here until the receiver's cumulative ACK covers it; timeouts
+/// back off exponentially, NACKs trigger prompt retransmission.
+#[derive(Debug)]
+pub struct SendWindow {
+    next_seq: u64,
+    window: BTreeMap<u64, Unacked>,
+    rto_base: SimTime,
+    rto_cap: SimTime,
+    /// Minimum spacing between retransmissions of one frame (absorbs
+    /// NACK bursts for the same gap).
+    min_spacing: SimTime,
+    /// Frames retransmitted (timeout- or NACK-triggered).
+    pub retransmits: u64,
+    /// Instant the most recent cumulative ACK was processed.
+    last_ack_at: SimTime,
+}
+
+impl SendWindow {
+    pub(crate) fn new(rto_base: SimTime) -> Self {
+        SendWindow {
+            next_seq: 0,
+            window: BTreeMap::new(),
+            rto_base,
+            rto_cap: SimTime::from_nanos(rto_base.as_nanos().saturating_mul(32)),
+            min_spacing: SimTime::from_nanos(rto_base.as_nanos() / 4),
+            retransmits: 0,
+            last_ack_at: SimTime::ZERO,
+        }
+    }
+
+    /// Seals `payload` with the next sequence number and starts tracking
+    /// it; returns the sealed frame to put on the wire.
+    pub(crate) fn track(&mut self, now: SimTime, payload: &[u8]) -> Bytes {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let sealed = seal_frame(seq, payload);
+        self.window.insert(
+            seq,
+            Unacked {
+                sealed: sealed.clone(),
+                deadline: now + self.rto_base,
+                rto: self.rto_base,
+                last_sent: now,
+            },
+        );
+        sealed
+    }
+
+    /// Applies one control message received at `at`; frames to retransmit
+    /// now are appended to `resend`.
+    pub(crate) fn on_control(&mut self, at: SimTime, ctrl: Control, resend: &mut Vec<Bytes>) {
+        match ctrl {
+            Control::Ack { next } => {
+                self.window = self.window.split_off(&next);
+                self.last_ack_at = self.last_ack_at.max(at);
+            }
+            Control::Nack { seq } => {
+                if let Some(u) = self.window.get_mut(&seq) {
+                    if at >= u.last_sent + self.min_spacing {
+                        u.last_sent = at;
+                        u.deadline = at + u.rto;
+                        self.retransmits += 1;
+                        resend.push(u.sealed.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The earliest pending timeout, if any frame is unacknowledged.
+    fn next_deadline(&self) -> Option<SimTime> {
+        // Matches `expired`: only the head-of-line frame owns a timer.
+        self.window.values().next().map(|u| u.deadline)
+    }
+
+    /// Frames whose timeout fired at or before `now`; each has its RTO
+    /// doubled (up to the cap) and its deadline pushed out.
+    fn expired(&mut self, now: SimTime) -> Vec<Bytes> {
+        // Only the lowest outstanding sequence can time out (as in TCP's
+        // RTO of the first unacked segment). Later frames are often
+        // already buffered at the receiver behind a gap — the cumulative
+        // ack cannot say so, and retransmitting all of them on every gap
+        // would collapse into go-back-N. Once the head is repaired the
+        // cumulative ack clears the rest (or exposes the next true loss).
+        let mut out = Vec::new();
+        if let Some(u) = self.window.values_mut().next() {
+            if u.deadline <= now {
+                u.rto = SimTime::from_nanos(u.rto.as_nanos().saturating_mul(2)).min(self.rto_cap);
+                u.last_sent = now;
+                u.deadline = now + u.rto;
+                self.retransmits += 1;
+                out.push(u.sealed.clone());
+            }
+        }
+        out
+    }
+
+    pub(crate) fn outstanding(&self) -> usize {
+        self.window.len()
+    }
+}
+
+/// The reliable-delivery sublayer, co-simulating both endpoints over one
+/// lossy link: the primary's [`SendWindow`] and the backup's
+/// [`RecvWindow`], plus the (reliable, tiny) reverse control path.
+///
+/// The primary drives it from its own simulated clock: every tick pumps
+/// arrivals, control processing, and retransmission timeouts up to "now";
+/// output commit spins the event loop forward until the window is empty
+/// (the pessimistic ack wait). The backup side only ever consumes frames
+/// this layer has verified and released in order.
+#[derive(Debug)]
+pub struct ReliableLink {
+    link: LossyChannel,
+    window: SendWindow,
+    recv: RecvWindow,
+    /// Control messages in flight on the reverse path, time-sorted.
+    ctrl: VecDeque<(SimTime, Control)>,
+    /// Sender CPU cost accrued by retransmissions since last collected.
+    pending_cost: SimTime,
+    ack_round_trips: u64,
+}
+
+impl ReliableLink {
+    /// Builds the sublayer over a lossy link. The base RTO is derived
+    /// from the link parameters (≈2× a loaded round trip).
+    pub fn new(link: LossyChannel) -> Self {
+        let p = link.params();
+        let rtt = p.propagation + p.propagation + p.per_message + p.recv_per_message + p.ack_cost;
+        // Base timeout: two RTTs of slack plus four times the plan's
+        // jitter bound, so delay variance alone cannot fire the timer.
+        let jitter = link.plan().jitter;
+        let rto_base = rtt + rtt + SimTime::from_nanos(jitter.as_nanos().saturating_mul(4));
+        ReliableLink {
+            link,
+            window: SendWindow::new(rto_base),
+            recv: RecvWindow::new(),
+            ctrl: VecDeque::new(),
+            pending_cost: SimTime::ZERO,
+            ack_round_trips: 0,
+        }
+    }
+
+    /// Seals, tracks, and transmits one frame; returns the sender CPU cost.
+    pub fn send(&mut self, now: SimTime, payload: Bytes) -> SimTime {
+        let sealed = self.window.track(now, &payload);
+        self.link.send(now, sealed)
+    }
+
+    fn push_ctrl(&mut self, at: SimTime, ctrl: Control) {
+        let pos = self.ctrl.partition_point(|(t, _)| *t <= at);
+        self.ctrl.insert(pos, (at, ctrl));
+    }
+
+    /// Advances the transport's event processing to `now`: delivers link
+    /// arrivals into the receive window, turns around control messages,
+    /// applies those that have arrived back, and fires due timeouts.
+    pub fn pump(&mut self, now: SimTime) {
+        loop {
+            let mut progressed = false;
+            let arrivals = self.link.recv_ready(now);
+            for (at, raw) in arrivals {
+                let mut ctrls = Vec::new();
+                self.recv.offer(at, raw, &mut ctrls);
+                let p = self.link.params();
+                let reply_at = at + p.ack_cost + p.propagation;
+                for c in ctrls {
+                    self.push_ctrl(reply_at, c);
+                }
+                progressed = true;
+            }
+            let mut resend = Vec::new();
+            while let Some(&(at, ctrl)) = self.ctrl.front() {
+                if at > now {
+                    break;
+                }
+                self.ctrl.pop_front();
+                self.window.on_control(at, ctrl, &mut resend);
+                progressed = true;
+            }
+            resend.extend(self.window.expired(now));
+            for sealed in resend {
+                self.pending_cost += self.link.send(now, sealed);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Takes the CPU cost retransmissions accrued since the last call, so
+    /// the primary can charge it to its communication category.
+    fn collect_cost(&mut self) -> SimTime {
+        std::mem::take(&mut self.pending_cost)
+    }
+
+    /// Runs the event loop until every tracked frame is acknowledged,
+    /// returning the instant the final ACK arrived — the pessimistic
+    /// output-commit wait under a lossy link.
+    pub fn ack_arrival(&mut self, now: SimTime) -> SimTime {
+        self.ack_round_trips += 1;
+        self.pump(now);
+        let mut t = now;
+        // Bounded for pathological plans (e.g. a partition window that
+        // swallows every retransmission for a long stretch): each
+        // iteration advances the simulated event horizon, so real plans
+        // converge in a handful of rounds per lost frame.
+        for _ in 0..1_000_000 {
+            if self.window.outstanding() == 0 {
+                break;
+            }
+            let next = [
+                self.link.next_arrival(),
+                self.ctrl.front().map(|(at, _)| *at),
+                self.window.next_deadline(),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+            let Some(nt) = next else { break };
+            t = t.max(nt);
+            self.pump(t);
+        }
+        self.window.last_ack_at.max(now)
+    }
+
+    /// Verified, in-order payloads released by the receive window up to
+    /// `now` (pumping the transport first).
+    pub fn recv_verified(&mut self, now: SimTime) -> Vec<(SimTime, Bytes)> {
+        self.pump(now);
+        self.recv.take_ready()
+    }
+
+    /// Takeover: every frame already on the wire still arrives, then the
+    /// receive window keeps only the longest verified in-order prefix —
+    /// frames buffered beyond an unresolved gap are discarded (§ the
+    /// paper's epoch argument: equivalent to records lost in the crashed
+    /// primary's buffer).
+    pub fn drain_prefix(&mut self) -> Vec<(SimTime, Bytes)> {
+        let mut ctrls = Vec::new();
+        for (at, raw) in self.link.drain() {
+            self.recv.offer(at, raw, &mut ctrls);
+        }
+        let (prefix, _discarded) = self.recv.take_prefix();
+        prefix
+    }
+
+    /// Merged statistics: link-level counters plus the protocol counters
+    /// from both window endpoints.
+    pub fn stats(&self) -> ChannelStats {
+        let mut s = self.link.stats();
+        s.ack_round_trips = self.ack_round_trips;
+        s.retransmits = self.window.retransmits;
+        s.dup_deliveries = self.recv.dup_deliveries;
+        s.corrupted_frames = self.recv.corrupted_frames;
+        s.reordered = self.recv.reordered;
+        s.nacks = self.recv.nacks;
+        s
+    }
+
+    /// Frames still in flight on the forward link.
+    pub fn in_flight_len(&self) -> usize {
+        self.link.in_flight_len()
+    }
+}
+
+/// The primary's log transport: either the paper's perfect FIFO channel
+/// (frames travel bare) or the reliability sublayer over an adversarial
+/// lossy link (frames travel sealed).
+#[derive(Debug)]
+pub enum LogChannel {
+    /// Reliable FIFO — the paper's 100 Mbps dedicated-segment assumption.
+    Perfect(SimChannel),
+    /// Lossy datagram link plus seq/CRC/ack/nack/retransmit sublayer.
+    Reliable(Box<ReliableLink>),
+}
+
+impl LogChannel {
+    /// Sends one log frame, returning the sender-side CPU cost.
+    pub fn send(&mut self, now: SimTime, payload: Bytes) -> SimTime {
+        match self {
+            LogChannel::Perfect(ch) => ch.send(now, payload),
+            LogChannel::Reliable(link) => link.send(now, payload),
+        }
+    }
+
+    /// The instant an acknowledgment of everything sent so far arrives
+    /// back at the primary (the pessimistic output-commit wait). On the
+    /// reliable transport this spins the retransmission event loop until
+    /// the send window is empty.
+    pub fn ack_arrival(&mut self, now: SimTime) -> SimTime {
+        match self {
+            LogChannel::Perfect(ch) => ch.ack_arrival(now),
+            LogChannel::Reliable(link) => link.ack_arrival(now),
+        }
+    }
+
+    /// Verified in-order payloads delivered by `now`, for a co-simulated
+    /// hot standby.
+    pub fn recv_ready(&mut self, now: SimTime) -> Vec<(SimTime, Bytes)> {
+        match self {
+            LogChannel::Perfect(ch) => ch.recv_ready(now),
+            LogChannel::Reliable(link) => link.recv_verified(now),
+        }
+    }
+
+    /// Takeover: delivers everything that will ever arrive. On the
+    /// reliable transport this is the longest verified frame prefix.
+    pub fn drain(&mut self) -> Vec<(SimTime, Bytes)> {
+        match self {
+            LogChannel::Perfect(ch) => ch.drain(),
+            LogChannel::Reliable(link) => link.drain_prefix(),
+        }
+    }
+
+    /// Frames still in flight toward the backup.
+    pub fn in_flight_len(&self) -> usize {
+        match self {
+            LogChannel::Perfect(ch) => ch.in_flight_len(),
+            LogChannel::Reliable(link) => link.in_flight_len(),
+        }
+    }
+
+    /// Aggregate channel statistics (fault and retransmission counters
+    /// included on the reliable transport).
+    pub fn stats(&self) -> ChannelStats {
+        match self {
+            LogChannel::Perfect(ch) => ch.stats(),
+            LogChannel::Reliable(link) => link.stats(),
+        }
+    }
+
+    /// Periodic transport maintenance: pump timers/acks up to `now` and
+    /// return the retransmission CPU cost accrued since the last call.
+    fn maintain(&mut self, now: SimTime) -> SimTime {
+        match self {
+            LogChannel::Perfect(_) => SimTime::ZERO,
+            LogChannel::Reliable(link) => {
+                link.pump(now);
+                link.collect_cost()
+            }
+        }
+    }
+
+    /// Graceful-completion settle: the instant every outstanding frame is
+    /// acknowledged (a crashing primary never calls this — its unacked
+    /// frames are simply lost, like records still in its buffer).
+    fn settle(&mut self, now: SimTime) -> SimTime {
+        match self {
+            LogChannel::Perfect(_) => now,
+            LogChannel::Reliable(link) => {
+                if link.window.outstanding() == 0 {
+                    link.pump(now);
+                    now
+                } else {
+                    link.ack_arrival(now)
+                }
+            }
+        }
+    }
+}
 
 /// Shared primary-side machinery.
 pub struct PrimaryCore {
-    channel: SimChannel,
+    channel: LogChannel,
     cost: CostModel,
     fault: FaultPlan,
     buffer: Vec<bytes::Bytes>,
@@ -66,8 +446,20 @@ impl std::fmt::Debug for PrimaryCore {
 }
 
 impl PrimaryCore {
-    /// Creates the shared primary machinery over `channel`.
+    /// Creates the shared primary machinery over a perfect FIFO channel.
     pub fn new(channel: SimChannel, cost: CostModel, fault: FaultPlan, se: SeRegistry) -> Self {
+        Self::with_transport(LogChannel::Perfect(channel), cost, fault, se)
+    }
+
+    /// Creates the shared primary machinery over an explicit transport
+    /// (the runtime picks [`LogChannel::Reliable`] when a net-fault plan
+    /// is armed).
+    pub fn with_transport(
+        channel: LogChannel,
+        cost: CostModel,
+        fault: FaultPlan,
+        se: SeRegistry,
+    ) -> Self {
         PrimaryCore {
             channel,
             cost,
@@ -100,13 +492,13 @@ impl PrimaryCore {
 
     /// Consumes the core, returning the channel (the harness drains it into
     /// the backup's log) and the final statistics.
-    pub fn into_parts(self) -> (SimChannel, ReplicationStats) {
+    pub fn into_parts(self) -> (LogChannel, ReplicationStats) {
         (self.channel, self.stats)
     }
 
     /// The replication channel, for a co-simulation driver that pulls
     /// delivered frames for a hot standby while the primary still runs.
-    pub fn channel_mut(&mut self) -> &mut SimChannel {
+    pub fn channel_mut(&mut self) -> &mut LogChannel {
         &mut self.channel
     }
 
@@ -221,6 +613,26 @@ impl PrimaryCore {
             self.stats.count_record(&rec, frame.len() as u64);
             let cost = self.channel.send(acct.now(), frame);
             acct.charge(Category::Communication, cost);
+        }
+        if !self.crashed {
+            // Reliable-transport maintenance: fire due retransmission
+            // timers and process returned acks; a crashed primary stops
+            // retransmitting, so unacked frames become lost suffix.
+            let cost = self.channel.maintain(acct.now());
+            if cost > SimTime::ZERO {
+                acct.charge(Category::Communication, cost);
+            }
+        }
+    }
+
+    /// Graceful program exit: flush the buffer and, on a reliable
+    /// transport, linger until every frame is acknowledged so a standby
+    /// receives the complete log. Crash paths never reach this.
+    pub(crate) fn finish(&mut self, acct: &mut TimeAccount) {
+        self.flush(acct);
+        if !self.crashed {
+            let settled = self.channel.settle(acct.now());
+            acct.wait_until(Category::Pessimistic, settled);
         }
     }
 
@@ -459,7 +871,7 @@ impl Coordinator for LockSyncPrimary {
     }
 
     fn on_exit(&mut self, acct: &mut TimeAccount) {
-        self.common.flush(acct);
+        self.common.finish(acct);
     }
 }
 
@@ -578,7 +990,7 @@ impl Coordinator for IntervalPrimary {
 
     fn on_exit(&mut self, acct: &mut TimeAccount) {
         self.close_open(acct);
-        self.common.flush(acct);
+        self.common.finish(acct);
     }
 }
 
@@ -692,7 +1104,7 @@ impl Coordinator for TsPrimary {
     }
 
     fn on_exit(&mut self, acct: &mut TimeAccount) {
-        self.common.flush(acct);
+        self.common.finish(acct);
     }
 }
 

@@ -30,10 +30,14 @@
 
 use crate::backup::{BackupLog, IntervalBackup, LockSyncBackup, TsBackup};
 use crate::ftjvm::{FtConfig, LockVariant, PairReport, ReplicationMode};
-use crate::primary::{IntervalPrimary, LockSyncPrimary, PrimaryCore, TsPrimary};
+use crate::primary::{
+    IntervalPrimary, LockSyncPrimary, LogChannel, PrimaryCore, ReliableLink, TsPrimary,
+};
 use crate::stats::ReplicationStats;
 use bytes::Bytes;
-use ftjvm_netsim::{Category, ChannelStats, FaultPlan, HeartbeatMonitor, SimChannel, SimTime};
+use ftjvm_netsim::{
+    Category, ChannelStats, FaultPlan, HeartbeatMonitor, LossyChannel, SimChannel, SimTime,
+};
 use ftjvm_vm::{
     Coordinator, NativeRegistry, Program, RunOutcome, RunReport, SharedWorld, SimEnv, SliceOutcome,
     Vm, VmConfig, VmError, World,
@@ -209,13 +213,13 @@ impl Replica {
     }
 
     /// The primary's replication channel (None for backups).
-    fn channel_mut(&mut self) -> Option<&mut SimChannel> {
+    fn channel_mut(&mut self) -> Option<&mut LogChannel> {
         self.coord.primary_core_mut().map(|c| c.channel_mut())
     }
 
     /// Consumes a primary replica, returning its channel and final
     /// replication statistics.
-    fn into_primary_parts(self) -> (SimChannel, ReplicationStats) {
+    fn into_primary_parts(self) -> (LogChannel, ReplicationStats) {
         match self.coord {
             ReplicaCoord::LockPrimary(c) => c.common.into_parts(),
             ReplicaCoord::IntervalPrimary(c) => c.common.into_parts(),
@@ -286,9 +290,21 @@ impl ReplicaRuntime {
     /// # Errors
     /// Propagates program-loading errors.
     pub fn build_primary(&self, world: &SharedWorld, fault: FaultPlan) -> Result<Replica, VmError> {
-        let channel = SimChannel::new(self.cfg.vm.cost.net.clone());
-        let mut core =
-            PrimaryCore::new(channel, self.cfg.vm.cost.clone(), fault, (self.cfg.se_factory)());
+        // An armed net-fault plan swaps the paper's perfect FIFO channel
+        // for the lossy link plus the reliability sublayer; unarmed runs
+        // keep the perfect channel (and its exact seed-run timing).
+        let channel = if self.cfg.net_fault.is_armed() {
+            let link = LossyChannel::new(self.cfg.vm.cost.net.clone(), self.cfg.net_fault.clone());
+            LogChannel::Reliable(Box::new(ReliableLink::new(link)))
+        } else {
+            LogChannel::Perfect(SimChannel::new(self.cfg.vm.cost.net.clone()))
+        };
+        let mut core = PrimaryCore::with_transport(
+            channel,
+            self.cfg.vm.cost.clone(),
+            fault,
+            (self.cfg.se_factory)(),
+        );
         core.flush_threshold = self.cfg.flush_threshold;
         core.set_codec(self.cfg.codec);
         core.set_heartbeat_interval(self.cfg.detector.interval());
@@ -390,8 +406,10 @@ impl ReplicaRuntime {
         let mut primary = self.build_primary(world, fault)?;
         let report = primary.run_to_end()?;
         let (mut channel, stats) = primary.into_primary_parts();
-        let channel_stats = channel.stats();
         let frames = channel.drain().into_iter().map(|(_, frame)| frame).collect();
+        // Stats after the drain: on a lossy link the takeover delivery
+        // itself detects duplicates/corruption worth counting.
+        let channel_stats = channel.stats();
         Ok((report, frames, stats, channel_stats))
     }
 
@@ -428,8 +446,8 @@ impl ReplicaRuntime {
             primary.fail_env();
         }
         let (mut channel, primary_stats) = primary.into_primary_parts();
-        let channel_stats = channel.stats();
         if !crashed {
+            let channel_stats = channel.stats();
             return Ok(PairReport {
                 primary: primary_report,
                 primary_stats,
@@ -445,6 +463,7 @@ impl ReplicaRuntime {
         }
         let crash_at = primary_report.acct.now();
         let drained = channel.drain();
+        let channel_stats = channel.stats();
         // Failure detection from the heartbeats the backup actually
         // received: the detector's deadline re-arms at each heartbeat
         // arrival and fires when the next one never comes.
@@ -516,10 +535,12 @@ impl ReplicaRuntime {
             primary.fail_env();
         }
         let (mut channel, primary_stats) = primary.into_primary_parts();
-        let channel_stats = channel.stats();
-        // Everything flushed is delivered (reliable channel); records
-        // still in the primary's buffer are lost with it.
+        // Everything flushed *and verified in order* is delivered; records
+        // still in the primary's buffer — and, on a lossy link, frames
+        // beyond an unresolved gap — are lost with it (longest verified
+        // frame prefix).
         pump_backup(&mut backup, &mut monitor, channel.drain(), &mut backup_report)?;
+        let channel_stats = channel.stats();
 
         if !crashed {
             // Failure-free: the primary finished; the stream is over. The

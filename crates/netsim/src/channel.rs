@@ -39,6 +39,11 @@ impl Default for NetParams {
 }
 
 /// Counters describing everything a channel has carried.
+///
+/// The reliability counters (`drops` onward) stay zero on the perfect
+/// [`SimChannel`]; they are populated by the lossy link
+/// ([`crate::LossyChannel`]) and the reliable-delivery sublayer built on
+/// top of it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Messages passed to [`SimChannel::send`].
@@ -47,6 +52,19 @@ pub struct ChannelStats {
     pub bytes_sent: u64,
     /// Acknowledgment round trips performed.
     pub ack_round_trips: u64,
+    /// Frames the network dropped in flight (including partition windows).
+    pub drops: u64,
+    /// Duplicate frames suppressed at the receiver (injected duplicates
+    /// plus spurious retransmissions).
+    pub dup_deliveries: u64,
+    /// Frames the receiver rejected because the CRC or header check failed.
+    pub corrupted_frames: u64,
+    /// Frames that arrived out of sequence and had to be buffered.
+    pub reordered: u64,
+    /// Frames the sender retransmitted (timeout- or NACK-triggered).
+    pub retransmits: u64,
+    /// Gap reports (NACKs) the receiver sent.
+    pub nacks: u64,
 }
 
 /// A reliable FIFO simulated channel carrying log messages from the primary

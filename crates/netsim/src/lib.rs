@@ -32,10 +32,12 @@ pub mod channel;
 pub mod clock;
 pub mod cost;
 pub mod fault;
+pub mod lossy;
 pub mod wire;
 
 pub use channel::{ChannelStats, NetParams, SimChannel};
 pub use clock::{SimClock, SimTime};
 pub use cost::{Category, CostModel, TimeAccount};
 pub use fault::{FailureDetector, FaultPlan, HeartbeatMonitor};
+pub use lossy::{FaultDecision, LossyChannel, NetFaultPlan};
 pub use wire::{WireCodec, WireError, WireReader, WireWriter};

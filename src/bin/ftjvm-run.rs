@@ -9,9 +9,9 @@
 //! cargo run --release --bin ftjvm-run -- compress --baseline
 //! ```
 
-use ftjvm::netsim::{Category, FaultPlan};
+use ftjvm::netsim::{Category, FaultPlan, SimTime};
 use ftjvm::workloads::Workload;
-use ftjvm::{FtConfig, FtJvm, LagBudget, ReplicationMode};
+use ftjvm::{FtConfig, FtJvm, LagBudget, NetFaultPlan, ReplicationMode};
 
 fn usage() -> ! {
     eprintln!(
@@ -31,6 +31,12 @@ fn usage() -> ! {
            --warm                account the backup as warm (legacy: failover\n\
                                  collapses to detection time)\n\
            --seed <n>            primary scheduler seed (default 11)\n\
+           --net-fault <spec>    arm the lossy link; spec is comma-separated\n\
+                                 k=v pairs: drop/dup/corrupt/reorder (probabilities),\n\
+                                 jitter=<micros>, drop-at/dup-at/corrupt-at=<i;j;..>\n\
+                                 (pinned attempt indices), partition=<start:end>\n\
+                                 e.g. --net-fault drop=0.1,dup=0.05,jitter=300\n\
+           --net-seed <n>        seed for the fault plan's coin flips (default 0)\n\
            --baseline            run unreplicated only\n\
            --disasm              print the program listing instead of running\n\
            --dump-log <n>        print the first n log records instead of running"
@@ -40,6 +46,51 @@ fn usage() -> ! {
 
 fn workload_by_name(name: &str) -> Option<Workload> {
     ftjvm::workloads::spec_suite().into_iter().find(|w| w.name == name)
+}
+
+/// A run that diverged, corrupted state, or violated exactly-once is a
+/// tool failure, not a panic: report and exit nonzero.
+fn fail(what: &str, detail: &dyn std::fmt::Display) -> ! {
+    eprintln!("ftjvm-run: {what}: {detail}");
+    std::process::exit(1)
+}
+
+fn parse_net_fault(spec: &str) -> Result<NetFaultPlan, String> {
+    let mut plan = NetFaultPlan::default();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = part.split_once('=').ok_or_else(|| format!("`{part}`: expected k=v"))?;
+        let prob = || v.parse::<f64>().map_err(|_| format!("`{part}`: bad probability"));
+        let indices = || {
+            v.split(';')
+                .map(|n| n.parse::<u64>().map_err(|_| format!("`{part}`: bad index")))
+                .collect::<Result<Vec<u64>, String>>()
+        };
+        match k {
+            "drop" => plan.drop = prob()?,
+            "dup" => plan.duplicate = prob()?,
+            "corrupt" => plan.corrupt = prob()?,
+            "reorder" => plan.reorder = prob()?,
+            "jitter" => {
+                let us = v.parse::<u64>().map_err(|_| format!("`{part}`: bad microseconds"))?;
+                plan.jitter = SimTime::from_micros(us);
+            }
+            "drop-at" => plan.drop_at = indices()?,
+            "dup-at" => plan.duplicate_at = indices()?,
+            "corrupt-at" => plan.corrupt_at = indices()?,
+            "partition" => {
+                let (a, b) =
+                    v.split_once(':').ok_or_else(|| format!("`{part}`: expected start:end"))?;
+                let a = a.parse().map_err(|_| format!("`{part}`: bad start"))?;
+                let b = b.parse().map_err(|_| format!("`{part}`: bad end"))?;
+                plan.partitions.push((a, b));
+            }
+            _ => return Err(format!("unknown key `{k}`")),
+        }
+    }
+    if plan.reorder > 0.0 && plan.jitter == SimTime::ZERO {
+        plan.jitter = SimTime::from_micros(300);
+    }
+    Ok(plan)
 }
 
 fn main() {
@@ -104,6 +155,21 @@ fn main() {
                 cfg.primary_seed =
                     args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--net-fault" => {
+                i += 1;
+                let spec = args.get(i).unwrap_or_else(|| usage());
+                let seed = cfg.net_fault.seed;
+                cfg.net_fault = parse_net_fault(spec).unwrap_or_else(|e| {
+                    eprintln!("bad --net-fault spec: {e}");
+                    usage()
+                });
+                cfg.net_fault.seed = seed;
+            }
+            "--net-seed" => {
+                i += 1;
+                cfg.net_fault.seed =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--baseline" => baseline = true,
             "--disasm" => disasm = true,
             "--dump-log" => {
@@ -121,8 +187,9 @@ fn main() {
         return;
     }
     if let Some(n) = dump_log {
-        let records =
-            FtJvm::new(w.program.clone(), cfg.clone()).capture_log().expect("log capture");
+        let records = FtJvm::new(w.program.clone(), cfg.clone())
+            .capture_log()
+            .unwrap_or_else(|e| fail("log capture failed", &e));
         println!(
             "{} records logged by a failure-free [{} / {} / {}] run; first {n}:",
             records.len(),
@@ -138,7 +205,7 @@ fn main() {
 
     let harness = FtJvm::new(w.program.clone(), cfg.clone());
     println!("workload: {} — {}", w.name, w.description);
-    let (base, _) = harness.run_unreplicated().expect("baseline run");
+    let (base, _) = harness.run_unreplicated().unwrap_or_else(|e| fail("baseline run failed", &e));
     println!(
         "baseline: {} simulated ({} instructions, {} locks, {} native calls)",
         base.acct.total(),
@@ -149,7 +216,9 @@ fn main() {
     if baseline {
         return;
     }
-    let report = harness.run_replicated().expect("replicated run");
+    let report = harness
+        .run_replicated()
+        .unwrap_or_else(|e| fail("replicated run failed (divergence or corruption)", &e));
     if report.crashed {
         // A crashed primary ran only a prefix; a ratio against the full
         // baseline would mislead.
@@ -192,6 +261,23 @@ fn main() {
         s.bytes_logged,
         s.heartbeats,
     );
+    if cfg.net_fault.is_armed() {
+        let c = &report.channel;
+        let originals = c.messages_sent.saturating_sub(c.retransmits);
+        println!(
+            "  link: {} frames sent ({} original + {} retransmit, {:.1}% overhead); \
+             {} dropped, {} duplicates suppressed, {} corrupt rejected, {} reordered, {} nacks",
+            c.messages_sent,
+            originals,
+            c.retransmits,
+            100.0 * c.retransmits as f64 / originals.max(1) as f64,
+            c.drops,
+            c.dup_deliveries,
+            c.corrupted_frames,
+            c.reordered,
+            c.nacks,
+        );
+    }
     if report.crashed {
         println!("\nprimary CRASHED; {} backup took over:", cfg.lag_budget);
         println!("  detection latency:      {}", report.detection_latency);
@@ -203,7 +289,9 @@ fn main() {
         println!("  total failover latency: {}", report.failover_latency);
         let b = report.backup.as_ref().expect("backup ran");
         println!("  backup total:           {}", b.acct.total());
-        report.check_no_duplicate_outputs().expect("exactly-once output");
+        report
+            .check_no_duplicate_outputs()
+            .unwrap_or_else(|id| fail("exactly-once violated", &format!("output {id} duplicated")));
         println!("  exactly-once output:    ok");
     } else if matches!(cfg.lag_budget, LagBudget::Hot) {
         let b = report.backup.as_ref().expect("hot standby ran");

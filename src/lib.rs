@@ -77,7 +77,7 @@ pub mod workloads {
 }
 
 pub use ftjvm_core::{
-    FtConfig, FtJvm, LagBudget, LockVariant, PairReport, Replica, ReplicaRuntime, ReplicationMode,
-    Role, SeRegistry, SideEffectHandler, WireCodec,
+    FtConfig, FtJvm, LagBudget, LockVariant, NetFaultPlan, PairReport, Replica, ReplicaRuntime,
+    ReplicationMode, Role, SeRegistry, SideEffectHandler, WireCodec,
 };
 pub use ftjvm_vm::{NativeRegistry, Program, VmConfig, VmError};
