@@ -19,7 +19,10 @@
 //!   hands out fresh output ids once execution passes the end of the log
 //!   (§3.4, §4.1).
 
-use crate::codec::{open_frame, RecordDecoder};
+use crate::codec::{
+    frame_is_epoch_mark, frame_is_heartbeat, frame_is_snapshot_chunk, open_frame,
+    parse_epoch_frame, RecordDecoder, SnapshotAssembler,
+};
 use crate::records::{sig_hash, LoggedResult, Record};
 use crate::se::SeRegistry;
 use crate::stats::ReplicationStats;
@@ -257,6 +260,25 @@ impl BackupLog {
     }
 }
 
+/// Replication-layer state a replacement backup needs, on top of the VM
+/// snapshot itself, to resume the stream mid-history. The runtime builds
+/// it from the snapshot's extension sections
+/// ([`crate::primary::EXT_CODEC_CTX`] and friends).
+#[derive(Debug, Clone, Default)]
+pub struct ResumeSeed {
+    /// Compact-codec decoder context exported by the primary's encoder at
+    /// the cut ([`crate::codec::RecordEncoder::export_ctx`]).
+    pub decoder_ctx: Bytes,
+    /// Per-thread ND results already consumed before the cut (sequence
+    /// checks in the suffix continue from these).
+    pub nd_consumed: HashMap<VtPath, u64>,
+    /// Per-thread output commits already consumed before the cut.
+    pub commit_consumed: HashMap<VtPath, u64>,
+    /// The primary's `next_output_id` at the cut — the floor for live
+    /// output ids after promotion.
+    pub live_output_base: u64,
+}
+
 /// Shared backup-side native replay (ND results, outputs, exactly-once).
 ///
 /// Owns the [`BackupLog`] the coordinators consume from. In *cold* replay
@@ -281,6 +303,14 @@ pub struct NativeReplay {
     world: SharedWorld,
     se: SeRegistry,
     next_live_output: u64,
+    /// Floor for live output ids: a replica resumed from an epoch snapshot
+    /// knows the primary's `next_output_id` at the cut, and its (empty)
+    /// suffix log may never mention an output. Zero on the from-genesis
+    /// paths, where the log alone determines the floor.
+    live_output_base: u64,
+    /// Epoch marks absorbed from the stream — the backup's epoch
+    /// acknowledgment counter, relayed to the primary by the driver.
+    pub epochs_absorbed: u64,
     error: Option<VmError>,
     /// Simulated instant at which recovery (log replay) completed, if it
     /// has.
@@ -314,6 +344,8 @@ impl NativeReplay {
             world,
             se,
             next_live_output,
+            live_output_base: 0,
+            epochs_absorbed: 0,
             error: None,
             recovery_completed_at: None,
             stats: ReplicationStats::default(),
@@ -334,10 +366,49 @@ impl NativeReplay {
             world,
             se,
             next_live_output: 0,
+            live_output_base: 0,
+            epochs_absorbed: 0,
             error: None,
             recovery_completed_at: None,
             stats: ReplicationStats::default(),
         }
+    }
+
+    /// Streaming replay *resumed from an epoch snapshot*: the VM state was
+    /// transplanted from the primary's checkpoint, so the replay starts
+    /// mid-history — the decoder context, per-thread consumed counters,
+    /// and output-id floor all come from the snapshot's extension
+    /// sections instead of zero.
+    ///
+    /// # Errors
+    /// Returns an error if the seed's codec context is malformed.
+    fn resumed(
+        world: SharedWorld,
+        se: SeRegistry,
+        cost: CostModel,
+        seed: ResumeSeed,
+    ) -> Result<Self, VmError> {
+        let mut decoder = RecordDecoder::new();
+        decoder
+            .import_ctx(&seed.decoder_ctx)
+            .map_err(|e| VmError::Internal(format!("resume seed codec context: {e}")))?;
+        Ok(NativeReplay {
+            cost,
+            log: BackupLog::default(),
+            decoder,
+            next_idx: 0,
+            eof: false,
+            nd_consumed: seed.nd_consumed,
+            commit_consumed: seed.commit_consumed,
+            world,
+            se,
+            next_live_output: 0,
+            live_output_base: seed.live_output_base,
+            epochs_absorbed: 0,
+            error: None,
+            recovery_completed_at: None,
+            stats: ReplicationStats::default(),
+        })
     }
 
     /// Decodes one arrived frame into the log. Returns the number of
@@ -347,6 +418,20 @@ impl NativeReplay {
     /// Returns an error for a malformed frame (a protocol bug: the channel
     /// is reliable and frames are whole records).
     fn feed_frame(&mut self, frame: Bytes) -> Result<u32, VmError> {
+        if frame_is_epoch_mark(&frame) {
+            parse_epoch_frame(&frame)
+                .map_err(|e| VmError::Internal(format!("malformed epoch mark: {e}")))?;
+            // A hot standby consumes records as it co-executes, so the mark
+            // only needs counting: it is the backup's acknowledgment that
+            // everything before it was absorbed.
+            self.epochs_absorbed += 1;
+            return Ok(0);
+        }
+        if frame_is_snapshot_chunk(&frame) {
+            // State transfer is driver-routed; a chunk reaching the replay
+            // path carries no records.
+            return Ok(0);
+        }
         let mut scratch = Vec::new();
         let at = self.next_idx;
         self.decoder.decode_frame(frame, &mut scratch).map_err(|e| {
@@ -360,7 +445,16 @@ impl NativeReplay {
             self.log.ingest(self.next_idx, rec, &mut self.se);
             self.next_idx += 1;
         }
+        self.stats.peak_backup_pending = self.stats.peak_backup_pending.max(self.pending_records());
         Ok(heartbeats)
+    }
+
+    /// Records received but not yet consumed by the co-executing replay —
+    /// the backup's live log memory.
+    fn pending_records(&self) -> u64 {
+        let nd: usize = self.log.nd.values().map(|q| q.len()).sum();
+        let commits: usize = self.log.commits.values().map(|q| q.len()).sum();
+        (self.log.lock_total + self.log.interval_total + self.log.sched.len() + nd + commits) as u64
     }
 
     /// Ends the stream: no further records can arrive (the primary failed
@@ -372,7 +466,8 @@ impl NativeReplay {
             return;
         }
         self.eof = true;
-        self.next_live_output = if self.log.has_outputs { self.log.max_output_id + 1 } else { 0 };
+        let from_log = if self.log.has_outputs { self.log.max_output_id + 1 } else { 0 };
+        self.next_live_output = from_log.max(self.live_output_base);
         self.se.restore(env);
     }
 
@@ -594,6 +689,27 @@ impl LockSyncBackup {
     /// and grows via [`feed_frame`](LockSyncBackup::feed_frame).
     pub fn streaming(world: SharedWorld, se: SeRegistry, cost: CostModel) -> Self {
         LockSyncBackup { replay: NativeReplay::streaming(world, se, cost) }
+    }
+
+    /// Builds a streaming coordinator resumed from an epoch snapshot
+    /// (re-integration of a replacement backup). The VM it coordinates was
+    /// restored from the snapshot — monitors already carry their `l_id`
+    /// and `l_asn` state, so only the replication-layer seed is needed.
+    ///
+    /// # Errors
+    /// Returns an error if the seed is malformed.
+    pub fn resumed(
+        world: SharedWorld,
+        se: SeRegistry,
+        cost: CostModel,
+        seed: ResumeSeed,
+    ) -> Result<Self, VmError> {
+        Ok(LockSyncBackup { replay: NativeReplay::resumed(world, se, cost, seed)? })
+    }
+
+    /// Epoch marks absorbed from the stream (the backup's epoch ack).
+    pub fn epochs_absorbed(&self) -> u64 {
+        self.replay.epochs_absorbed
     }
 
     /// Streams one arrived frame into the log; returns the number of
@@ -900,6 +1016,35 @@ impl TsBackup {
             designated: Some(VtPath::root()),
             pending: None,
         }
+    }
+
+    /// Builds a streaming coordinator resumed from an epoch snapshot.
+    /// `designated` is the application thread that was current on the
+    /// primary at the cut (it runs until its next schedule record);
+    /// `last_br` seeds the per-thread branch counters from the restored
+    /// VM so progress-cost accounting continues rather than restarting.
+    ///
+    /// # Errors
+    /// Returns an error if the seed is malformed.
+    pub fn resumed(
+        world: SharedWorld,
+        se: SeRegistry,
+        cost: CostModel,
+        seed: ResumeSeed,
+        designated: Option<VtPath>,
+        last_br: HashMap<u32, u64>,
+    ) -> Result<Self, VmError> {
+        Ok(TsBackup {
+            replay: NativeReplay::resumed(world, se, cost, seed)?,
+            last_br,
+            designated,
+            pending: None,
+        })
+    }
+
+    /// Epoch marks absorbed from the stream (the backup's epoch ack).
+    pub fn epochs_absorbed(&self) -> u64 {
+        self.replay.epochs_absorbed
     }
 
     /// Streams one arrived frame into the log, then resolves any switch
@@ -1313,6 +1458,25 @@ impl IntervalBackup {
         IntervalBackup { replay: NativeReplay::streaming(world, se, cost) }
     }
 
+    /// Builds a streaming coordinator resumed from an epoch snapshot
+    /// (re-integration of a replacement backup).
+    ///
+    /// # Errors
+    /// Returns an error if the seed is malformed.
+    pub fn resumed(
+        world: SharedWorld,
+        se: SeRegistry,
+        cost: CostModel,
+        seed: ResumeSeed,
+    ) -> Result<Self, VmError> {
+        Ok(IntervalBackup { replay: NativeReplay::resumed(world, se, cost, seed)? })
+    }
+
+    /// Epoch marks absorbed from the stream (the backup's epoch ack).
+    pub fn epochs_absorbed(&self) -> u64 {
+        self.replay.epochs_absorbed
+    }
+
     /// Streams one arrived frame into the log; returns the number of
     /// heartbeat records it carried.
     ///
@@ -1470,6 +1634,98 @@ impl Coordinator for IntervalBackup {
             return true;
         }
         false
+    }
+}
+
+/// The *cold* backup's durable epoch store. A cold standby never executes
+/// during normal operation — it only stores the primary's frames — so with
+/// checkpointing the primary ships each epoch's snapshot inline and the
+/// store keeps just the latest snapshot plus the frames after its epoch
+/// mark, instead of the whole log from genesis.
+#[derive(Debug, Default)]
+pub struct EpochStore {
+    assembler: SnapshotAssembler,
+    latest_snapshot: Option<(u64, Bytes)>,
+    suffix: Vec<Bytes>,
+    /// A mark whose snapshot has not finished assembling yet: the mark's
+    /// epoch and the suffix length it promises to retire (the chunks
+    /// travel *behind* the mark, so truncation must wait for them).
+    pending_cut: Option<(u64, usize)>,
+    /// Epoch marks absorbed (each one truncated the stored prefix).
+    pub epochs_stored: u64,
+    /// Deepest the suffix ever got — with checkpointing, bounded by one
+    /// epoch's record-bearing frames.
+    pub peak_frames: u64,
+    /// Frames dropped by prefix truncation over the run.
+    pub dropped_frames: u64,
+}
+
+impl EpochStore {
+    /// Fresh, empty store.
+    pub fn new() -> Self {
+        EpochStore::default()
+    }
+
+    /// Absorbs one frame in arrival order: snapshot chunks assemble into
+    /// the latest snapshot, an epoch mark truncates the stored prefix
+    /// (only once the mark's snapshot is fully held — a mark whose
+    /// snapshot never assembled leaves the prefix in place, since it is
+    /// still the only recovery path), heartbeats are dropped, and every
+    /// record-bearing frame joins the suffix.
+    ///
+    /// # Errors
+    /// Returns an error for a malformed control frame.
+    pub fn absorb(&mut self, frame: Bytes) -> Result<(), VmError> {
+        if frame_is_snapshot_chunk(&frame) {
+            if let Some((epoch, blob)) = self
+                .assembler
+                .offer(&frame)
+                .map_err(|e| VmError::Internal(format!("stored snapshot chunk: {e}")))?
+            {
+                self.latest_snapshot = Some((epoch, blob));
+                if let Some((mark_epoch, len)) = self.pending_cut {
+                    if epoch >= mark_epoch {
+                        self.suffix.drain(..len.min(self.suffix.len()));
+                        self.dropped_frames += len as u64;
+                        self.pending_cut = None;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        if frame_is_epoch_mark(&frame) {
+            let (epoch, _) = parse_epoch_frame(&frame)
+                .map_err(|e| VmError::Internal(format!("stored epoch mark: {e}")))?;
+            self.epochs_stored += 1;
+            if self.latest_snapshot.as_ref().is_some_and(|(e, _)| *e >= epoch) {
+                self.dropped_frames += self.suffix.len() as u64;
+                self.suffix.clear();
+                self.pending_cut = None;
+            } else {
+                // The chunks for this epoch are still in flight; retire
+                // the prefix the moment its snapshot fully assembles. A
+                // later mark supersedes an earlier unfulfilled one.
+                self.pending_cut = Some((epoch, self.suffix.len()));
+            }
+            return Ok(());
+        }
+        if frame_is_heartbeat(&frame) {
+            return Ok(()); // liveness only; nothing to recover from
+        }
+        self.suffix.push(frame);
+        self.peak_frames = self.peak_frames.max(self.suffix.len() as u64);
+        Ok(())
+    }
+
+    /// The latest fully assembled snapshot, with its epoch.
+    pub fn latest_snapshot(&self) -> Option<&(u64, Bytes)> {
+        self.latest_snapshot.as_ref()
+    }
+
+    /// Consumes the store for recovery: the latest snapshot (if any epoch
+    /// completed) and the stored suffix to replay on top of it.
+    pub fn into_recovery(self) -> (Option<(u64, Bytes)>, Vec<Bytes>) {
+        (self.latest_snapshot, self.suffix)
     }
 }
 

@@ -92,6 +92,102 @@ fn get_delta(r: &mut WireReader, slot: &mut u64) -> Result<u64, WireError> {
 }
 
 impl CodecCtx {
+    /// Serializes the whole context (interned threads with their delta
+    /// slots, per-lock `l_asn` slots sorted by lock id, interned signature
+    /// hashes in intern order, and the two global slots) so a fresh decoder
+    /// can resume mid-stream from an epoch checkpoint.
+    fn export(&self) -> Bytes {
+        let mut w = WireWriter::with_capacity(64 + 16 * self.threads.len());
+        w.put_uvarint(self.threads.len() as u64);
+        for (vt, s) in &self.threads {
+            let ords = vt.ordinals();
+            w.put_uvarint(ords.len() as u64);
+            for &o in ords {
+                w.put_uvarint(o as u64);
+            }
+            w.put_uvarint(s.t_asn);
+            w.put_uvarint(s.br_cnt);
+            w.put_uvarint(s.mon_cnt);
+            w.put_uvarint(s.nd_seq);
+            w.put_uvarint(s.out_seq);
+        }
+        let mut locks: Vec<(u64, u64)> = self.locks.iter().map(|(&k, &v)| (k, v)).collect();
+        locks.sort_unstable();
+        w.put_uvarint(locks.len() as u64);
+        for (l_id, l_asn) in locks {
+            w.put_uvarint(l_id);
+            w.put_uvarint(l_asn);
+        }
+        w.put_uvarint(self.sigs.len() as u64);
+        for &h in &self.sigs {
+            w.put_u64(h);
+        }
+        w.put_uvarint(self.last_output_id);
+        w.put_uvarint(self.heartbeat_ns);
+        w.finish()
+    }
+
+    /// Mirror of [`CodecCtx::export`]. Rejects trailing bytes.
+    fn import(blob: &Bytes) -> Result<CodecCtx, WireError> {
+        let mut r = WireReader::new(blob.clone());
+        let n_threads = r.get_uvarint()? as usize;
+        if n_threads > r.remaining() {
+            return Err(WireError::new("ctx thread count"));
+        }
+        let mut ctx = CodecCtx::default();
+        for _ in 0..n_threads {
+            let n_ords = r.get_uvarint()? as usize;
+            if n_ords == 0 || n_ords > r.remaining() {
+                return Err(WireError::new("ctx thread ordinal chain"));
+            }
+            let mut ords = Vec::with_capacity(n_ords);
+            for _ in 0..n_ords {
+                let o = r.get_uvarint()?;
+                if o > u32::MAX as u64 {
+                    return Err(WireError::new("ctx thread ordinal"));
+                }
+                ords.push(o as u32);
+            }
+            let vt = VtPath::from_ordinals(ords);
+            let slots = ThreadSlots {
+                t_asn: r.get_uvarint()?,
+                br_cnt: r.get_uvarint()?,
+                mon_cnt: r.get_uvarint()?,
+                nd_seq: r.get_uvarint()?,
+                out_seq: r.get_uvarint()?,
+            };
+            if ctx.thread_ids.contains_key(&vt) {
+                return Err(WireError::new("ctx duplicate thread"));
+            }
+            ctx.thread_ids.insert(vt.clone(), ctx.threads.len() as u32);
+            ctx.threads.push((vt, slots));
+        }
+        let n_locks = r.get_uvarint()? as usize;
+        if n_locks > r.remaining() {
+            return Err(WireError::new("ctx lock count"));
+        }
+        for _ in 0..n_locks {
+            let l_id = r.get_uvarint()?;
+            let l_asn = r.get_uvarint()?;
+            ctx.locks.insert(l_id, l_asn);
+        }
+        let n_sigs = r.get_uvarint()? as usize;
+        if n_sigs > r.remaining() {
+            return Err(WireError::new("ctx sig count"));
+        }
+        for _ in 0..n_sigs {
+            let h = r.get_u64()?;
+            ctx.sig_ids.insert(h, ctx.sigs.len() as u32);
+            ctx.sigs.push(h);
+        }
+        ctx.last_output_id = r.get_uvarint()?;
+        ctx.heartbeat_ns = r.get_uvarint()?;
+        if !r.is_empty() {
+            return Err(WireError::new("trailing bytes after ctx"));
+        }
+        Ok(ctx)
+    }
+
     /// Writes a thread reference: `idx+1` if interned, else `0` followed by
     /// the ordinal chain. Returns the thread's intern index.
     fn put_thread(&mut self, w: &mut WireWriter, vt: &VtPath) -> usize {
@@ -300,6 +396,14 @@ impl RecordEncoder {
         }
         w.finish()
     }
+
+    /// Serializes the encoder's delta context at an epoch boundary. A
+    /// replacement backup imports it ([`RecordDecoder::import_ctx`]) so
+    /// the log *suffix* shipped during re-integration decodes against the
+    /// same slot values the encoder used.
+    pub fn export_ctx(&self) -> Bytes {
+        self.ctx.export()
+    }
 }
 
 /// Builds one batch frame from compact bodies: `0xBA`, record count, then
@@ -343,6 +447,11 @@ impl RecordDecoder {
     /// Returns [`WireError`] on any truncated or malformed input; never
     /// panics.
     pub fn decode_frame(&mut self, frame: Bytes, out: &mut Vec<Record>) -> Result<(), WireError> {
+        // Epoch marks and snapshot chunks are control frames: they carry no
+        // records and never touch the delta context.
+        if matches!(frame.first(), Some(&EPOCH_TAG) | Some(&SNAP_TAG)) {
+            return Ok(());
+        }
         if frame.first() != Some(&BATCH_TAG) {
             out.push(Record::decode(frame)?);
             return Ok(());
@@ -355,6 +464,17 @@ impl RecordDecoder {
         if !r.is_empty() {
             return Err(WireError::new("trailing bytes after batch"));
         }
+        Ok(())
+    }
+
+    /// Replaces the decoder's delta context with one exported by
+    /// [`RecordEncoder::export_ctx`] at an epoch cut.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] if the blob is malformed; the existing context
+    /// is left untouched in that case.
+    pub fn import_ctx(&mut self, blob: &Bytes) -> Result<(), WireError> {
+        self.ctx = CodecCtx::import(blob)?;
         Ok(())
     }
 
@@ -473,6 +593,151 @@ pub fn decode_frames(frames: Vec<Bytes>) -> Result<Vec<Record>, WireError> {
 }
 
 // ---------------------------------------------------------------------------
+// Epoch checkpoint control frames. An epoch mark tells the backup that
+// everything before it is covered by a snapshot and may be dropped; a
+// snapshot chunk carries a piece of that snapshot to a replacement backup
+// during re-integration (and to a cold backup's durable store). Both are
+// *control* frames: record decoders skip them, and their tags are disjoint
+// from fixed record tags (1..=8), BATCH_TAG, and SEAL_TAG.
+// ---------------------------------------------------------------------------
+
+/// First byte of an epoch-mark control frame.
+pub const EPOCH_TAG: u8 = 0xEC;
+
+/// First byte of a snapshot-chunk control frame.
+pub const SNAP_TAG: u8 = 0xC5;
+
+/// Builds an epoch mark: `EPOCH_TAG · uvarint(epoch) · uvarint(covered)`.
+/// `covered` is the number of record-bearing frames the epoch's snapshot
+/// subsumes (everything flushed since the previous mark).
+pub fn build_epoch_frame(epoch: u64, covered: u64) -> Bytes {
+    let mut w = WireWriter::with_capacity(21);
+    w.put_u8(EPOCH_TAG);
+    w.put_uvarint(epoch);
+    w.put_uvarint(covered);
+    w.finish()
+}
+
+/// Parses an epoch mark back into `(epoch, covered)`.
+///
+/// # Errors
+/// Returns [`WireError`] if the frame is not a well-formed epoch mark.
+pub fn parse_epoch_frame(frame: &Bytes) -> Result<(u64, u64), WireError> {
+    if frame.first() != Some(&EPOCH_TAG) {
+        return Err(WireError::new("not an epoch mark"));
+    }
+    let mut r = WireReader::new(frame.slice(1..));
+    let epoch = r.get_uvarint()?;
+    let covered = r.get_uvarint()?;
+    if !r.is_empty() {
+        return Err(WireError::new("trailing bytes after epoch mark"));
+    }
+    Ok((epoch, covered))
+}
+
+/// True when `frame` is an epoch-mark control frame.
+pub fn frame_is_epoch_mark(frame: &Bytes) -> bool {
+    frame.first() == Some(&EPOCH_TAG)
+}
+
+/// True when `frame` is a snapshot-chunk control frame.
+pub fn frame_is_snapshot_chunk(frame: &Bytes) -> bool {
+    frame.first() == Some(&SNAP_TAG)
+}
+
+/// Builds one snapshot chunk:
+/// `SNAP_TAG · uvarint(epoch) · uvarint(index) · uvarint(total) · vbytes(payload)`.
+pub fn build_snapshot_chunk(epoch: u64, index: u64, total: u64, payload: &[u8]) -> Bytes {
+    let mut w = WireWriter::with_capacity(payload.len() + 40);
+    w.put_u8(SNAP_TAG);
+    w.put_uvarint(epoch);
+    w.put_uvarint(index);
+    w.put_uvarint(total);
+    w.put_vbytes(payload);
+    w.finish()
+}
+
+/// Parses a snapshot chunk back into `(epoch, index, total, payload)`.
+///
+/// # Errors
+/// Returns [`WireError`] if the frame is malformed or `index >= total`.
+pub fn parse_snapshot_chunk(frame: &Bytes) -> Result<(u64, u64, u64, Bytes), WireError> {
+    if frame.first() != Some(&SNAP_TAG) {
+        return Err(WireError::new("not a snapshot chunk"));
+    }
+    let mut r = WireReader::new(frame.slice(1..));
+    let epoch = r.get_uvarint()?;
+    let index = r.get_uvarint()?;
+    let total = r.get_uvarint()?;
+    if index >= total {
+        return Err(WireError::new("snapshot chunk index out of range"));
+    }
+    let payload = r.get_vbytes()?;
+    if !r.is_empty() {
+        return Err(WireError::new("trailing bytes after snapshot chunk"));
+    }
+    Ok((epoch, index, total, payload))
+}
+
+/// Reassembles a snapshot from chunk frames delivered (verified, in order,
+/// but possibly interleaved with other frames) during re-integration.
+///
+/// Chunks from a newer epoch supersede a partial older one — the primary
+/// only ever ships its *latest* snapshot, so a stale partial assembly means
+/// the transfer restarted.
+#[derive(Debug, Default)]
+pub struct SnapshotAssembler {
+    epoch: Option<u64>,
+    total: u64,
+    chunks: Vec<Option<Bytes>>,
+    received: u64,
+}
+
+impl SnapshotAssembler {
+    /// Fresh assembler with no pending chunks.
+    pub fn new() -> Self {
+        SnapshotAssembler::default()
+    }
+
+    /// Offers one snapshot-chunk frame. Returns `Some((epoch, blob))` once
+    /// every chunk of the current epoch's snapshot has arrived.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on a malformed chunk or one whose `total`
+    /// disagrees with earlier chunks of the same epoch.
+    pub fn offer(&mut self, frame: &Bytes) -> Result<Option<(u64, Bytes)>, WireError> {
+        let (epoch, index, total, payload) = parse_snapshot_chunk(frame)?;
+        if total > 1 << 20 {
+            return Err(WireError::new("snapshot chunk count implausible"));
+        }
+        if self.epoch != Some(epoch) {
+            self.epoch = Some(epoch);
+            self.total = total;
+            self.chunks = vec![None; total as usize];
+            self.received = 0;
+        } else if self.total != total {
+            return Err(WireError::new("snapshot chunk total mismatch"));
+        }
+        let slot = &mut self.chunks[index as usize];
+        if slot.is_none() {
+            *slot = Some(payload);
+            self.received += 1;
+        }
+        if self.received < self.total {
+            return Ok(None);
+        }
+        let mut blob = Vec::new();
+        for c in self.chunks.drain(..) {
+            blob.extend_from_slice(&c.expect("all chunks received"));
+        }
+        let epoch = self.epoch.take().expect("epoch set");
+        self.total = 0;
+        self.received = 0;
+        Ok(Some((epoch, Bytes::from(blob))))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Reliability sublayer framing: every frame put on a lossy link is *sealed*
 // with a self-validating header so the receiver can detect loss, reorder,
 // duplication, and corruption before any record decoder (whose delta
@@ -517,31 +782,7 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// CRC32C (Castagnoli) lookup table, built at compile time.
-const CRC32C_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut b = 0;
-        while b < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0x82f6_3b78 } else { crc >> 1 };
-            b += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-/// CRC32C (Castagnoli polynomial, reflected) over `data`.
-pub fn crc32c(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &byte in data {
-        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ byte as u32) & 0xff) as usize];
-    }
-    !crc
-}
+pub use ftjvm_netsim::wire::crc32c;
 
 /// Seals one wire frame for transmission over a lossy link:
 /// `SEAL_TAG · crc32c(tail) as u32 · tail`, where
@@ -745,6 +986,135 @@ mod tests {
         let body = enc.encode_body(&Record::LockAcq { t, t_asn: 1, l_id: 0, l_asn: 1 });
         let frame = build_batch_frame(std::slice::from_ref(&body));
         assert_eq!(frame.len(), body.len() + 2);
+    }
+
+    #[test]
+    fn ctx_export_import_resumes_mid_stream() {
+        // Encode a prefix, export the encoder context, import it into a
+        // FRESH decoder, and check that bodies encoded after the export
+        // decode correctly — the re-integration resume path.
+        let records = sample_records();
+        let mut enc = RecordEncoder::new();
+        for r in &records {
+            let _ = enc.encode_body(r);
+        }
+        let ctx = enc.export_ctx();
+
+        let t0 = VtPath::root();
+        let suffix = vec![
+            Record::LockAcq { t: t0.clone(), t_asn: 3, l_id: 3, l_asn: 4 },
+            Record::OutputCommit { t: t0.clone(), seq: 2, output_id: 8 },
+            Record::NativeResult {
+                t: t0.clone(),
+                seq: 2,
+                sig_hash: crate::records::sig_hash("sys.time"),
+                result: LoggedResult::Ok(Some(WireValue::Int(9))),
+                out_args: vec![],
+            },
+            Record::Sched {
+                t: t0,
+                br_cnt: 120,
+                method: 4,
+                pc_off: 30,
+                mon_cnt: 7,
+                l_asn: 0,
+                in_native: false,
+                next: VtPath::root().child(0),
+            },
+        ];
+        let bodies: Vec<Bytes> = suffix.iter().map(|r| enc.encode_body(r)).collect();
+        let mut dec = RecordDecoder::new();
+        dec.import_ctx(&ctx).expect("import");
+        let mut out = Vec::new();
+        dec.decode_frame(build_batch_frame(&bodies), &mut out).expect("decode suffix");
+        assert_eq!(out, suffix);
+    }
+
+    #[test]
+    fn ctx_import_rejects_mutations() {
+        let records = sample_records();
+        let mut enc = RecordEncoder::new();
+        for r in &records {
+            let _ = enc.encode_body(r);
+        }
+        let ctx = enc.export_ctx();
+        let mut dec = RecordDecoder::new();
+        dec.import_ctx(&ctx).expect("clean import");
+        // Truncations must error, never panic.
+        for cut in 0..ctx.len() {
+            let _ = RecordDecoder::new().import_ctx(&ctx.slice(..cut)).is_err();
+        }
+        // Trailing garbage is rejected.
+        let mut v = ctx.to_vec();
+        v.push(0);
+        assert!(RecordDecoder::new().import_ctx(&Bytes::from(v)).is_err());
+    }
+
+    #[test]
+    fn epoch_mark_roundtrip_and_skip() {
+        let frame = build_epoch_frame(7, 123);
+        assert!(frame_is_epoch_mark(&frame));
+        assert!(!frame_is_heartbeat(&frame));
+        assert_eq!(parse_epoch_frame(&frame).unwrap(), (7, 123));
+        // Record decoders skip control frames without touching context.
+        let mut out = Vec::new();
+        RecordDecoder::new().decode_frame(frame.clone(), &mut out).expect("skip");
+        assert!(out.is_empty());
+        // Malformed marks error.
+        assert!(parse_epoch_frame(&frame.slice(..1)).is_err());
+        let mut v = frame.to_vec();
+        v.push(9);
+        assert!(parse_epoch_frame(&Bytes::from(v)).is_err());
+    }
+
+    #[test]
+    fn snapshot_chunks_reassemble() {
+        let blob: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let chunk_size = 1024;
+        let total = blob.len().div_ceil(chunk_size) as u64;
+        let frames: Vec<Bytes> = blob
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(i, c)| build_snapshot_chunk(3, i as u64, total, c))
+            .collect();
+        let mut asm = SnapshotAssembler::new();
+        for f in &frames[..frames.len() - 1] {
+            assert!(frame_is_snapshot_chunk(f));
+            assert_eq!(asm.offer(f).unwrap(), None);
+        }
+        // Duplicate delivery of an already-held chunk is idempotent.
+        assert_eq!(asm.offer(&frames[0]).unwrap(), None);
+        let (epoch, got) = asm.offer(&frames[frames.len() - 1]).unwrap().expect("complete");
+        assert_eq!(epoch, 3);
+        assert_eq!(got.as_ref(), &blob[..]);
+    }
+
+    #[test]
+    fn snapshot_assembler_newer_epoch_supersedes() {
+        let mut asm = SnapshotAssembler::new();
+        assert_eq!(asm.offer(&build_snapshot_chunk(1, 0, 2, b"old")).unwrap(), None);
+        // Epoch 2's transfer restarts the assembly; epoch 1's partial state
+        // is dropped.
+        assert_eq!(asm.offer(&build_snapshot_chunk(2, 0, 2, b"ab")).unwrap(), None);
+        let (epoch, blob) = asm.offer(&build_snapshot_chunk(2, 1, 2, b"cd")).unwrap().unwrap();
+        assert_eq!((epoch, blob.as_ref()), (2, &b"abcd"[..]));
+    }
+
+    #[test]
+    fn snapshot_chunk_malformed_rejected() {
+        assert!(parse_snapshot_chunk(&Bytes::from_static(&[SNAP_TAG])).is_err());
+        // index >= total.
+        let mut w = WireWriter::new();
+        w.put_u8(SNAP_TAG);
+        w.put_uvarint(0);
+        w.put_uvarint(5);
+        w.put_uvarint(5);
+        w.put_vbytes(b"x");
+        assert!(parse_snapshot_chunk(&w.finish()).is_err());
+        // Total mismatch across chunks of one epoch.
+        let mut asm = SnapshotAssembler::new();
+        asm.offer(&build_snapshot_chunk(4, 0, 3, b"a")).unwrap();
+        assert!(asm.offer(&build_snapshot_chunk(4, 1, 2, b"b")).is_err());
     }
 
     #[test]

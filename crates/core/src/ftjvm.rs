@@ -119,6 +119,14 @@ pub struct FtConfig {
     pub codec: WireCodec,
     /// Failure-detection parameters.
     pub detector: FailureDetector,
+    /// Epoch checkpoint interval, in buffer flushes. `Some(n)`: after every
+    /// `n` flushes the primary cuts an epoch at the next quiescent point —
+    /// it snapshots the VM, marks the log, and truncates the retained
+    /// replay suffix, bounding both its re-integration buffer and the
+    /// backup's stored log to roughly one epoch. `None` (the default)
+    /// disables checkpointing entirely; the primary's behavior is then
+    /// byte-identical to a build without this feature.
+    pub checkpoint_interval: Option<u64>,
     /// Network fault plan for the replication link. Unarmed (the default)
     /// keeps the paper's perfect FIFO channel; armed, the log travels over
     /// a lossy datagram link behind the seq/CRC/ack/nack/retransmit
@@ -145,6 +153,7 @@ impl Default for FtConfig {
             fault: FaultPlan::None,
             flush_threshold: 16 * 1024,
             codec: WireCodec::Fixed,
+            checkpoint_interval: None,
             detector: FailureDetector::default(),
             net_fault: NetFaultPlan::default(),
             se_factory: SeRegistry::with_builtins,
@@ -158,6 +167,7 @@ impl std::fmt::Debug for FtConfig {
             .field("mode", &self.mode)
             .field("lag_budget", &self.lag_budget)
             .field("codec", &self.codec)
+            .field("checkpoint_interval", &self.checkpoint_interval)
             .field("fault", &self.fault)
             .field("net_fault", &self.net_fault)
             .field("primary_seed", &self.primary_seed)
@@ -303,6 +313,20 @@ impl FtJvm {
     pub fn run_with_failure(&self) -> Result<PairReport, VmError> {
         assert!(self.cfg.fault.is_armed(), "run_with_failure requires an armed fault plan");
         self.run_replicated()
+    }
+
+    /// Runs a checkpointed hot pair per `plan` — backup kill, degraded
+    /// mode, and re-integration (requires
+    /// [`FtConfig::checkpoint_interval`]). See
+    /// [`crate::runtime::ReplicaRuntime::run_checkpointed`].
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors from any replica.
+    pub fn run_checkpointed(
+        &self,
+        plan: crate::runtime::CheckpointPlan,
+    ) -> Result<crate::runtime::CheckpointReport, VmError> {
+        self.runtime().run_checkpointed(plan)
     }
 
     /// Runs the failure-free pair, then replays the complete log on a

@@ -63,11 +63,13 @@ pub mod se;
 pub mod stats;
 
 pub use backup::{
-    BackupLog, Control, IntervalBackup, LockSyncBackup, RecvWindow, ReplayError, TsBackup,
+    BackupLog, Control, EpochStore, IntervalBackup, LockSyncBackup, RecvWindow, ReplayError,
+    ResumeSeed, TsBackup,
 };
 pub use codec::{
-    build_batch_frame, crc32c, decode_frames, open_frame, seal_frame, FrameError, RecordDecoder,
-    RecordEncoder,
+    build_batch_frame, build_epoch_frame, build_snapshot_chunk, crc32c, decode_frames,
+    frame_is_epoch_mark, frame_is_snapshot_chunk, open_frame, parse_epoch_frame,
+    parse_snapshot_chunk, seal_frame, FrameError, RecordDecoder, RecordEncoder, SnapshotAssembler,
 };
 pub use ftjvm::{FtConfig, FtJvm, LockVariant, PairReport, ReplicationMode};
 pub use ftjvm_netsim::{NetFaultPlan, WireCodec};
@@ -75,6 +77,6 @@ pub use primary::{
     IntervalPrimary, LockSyncPrimary, LogChannel, PrimaryCore, ReliableLink, SendWindow, TsPrimary,
 };
 pub use records::{LoggedResult, Record, WireValue};
-pub use runtime::{LagBudget, Replica, ReplicaRuntime, Role};
+pub use runtime::{CheckpointPlan, CheckpointReport, LagBudget, Replica, ReplicaRuntime, Role};
 pub use se::{SeRegistration, SeRegistry, SideEffectHandler, SocketHandler};
 pub use stats::ReplicationStats;

@@ -14,14 +14,14 @@
 //!   two application threads (§4.2, *Replicated Thread Scheduling*).
 
 use crate::backup::{Control, RecvWindow};
-use crate::codec::{build_batch_frame, seal_frame, RecordEncoder};
+use crate::codec::{build_batch_frame, build_epoch_frame, seal_frame, RecordEncoder};
 use crate::records::{sig_hash, LoggedResult, Record, WireValue};
 use crate::se::SeRegistry;
 use crate::stats::ReplicationStats;
 use bytes::Bytes;
 use ftjvm_netsim::{
     Category, ChannelStats, CostModel, FaultPlan, LossyChannel, SimChannel, SimTime, TimeAccount,
-    WireCodec,
+    WireCodec, WireError, WireReader, WireWriter,
 };
 
 use ftjvm_vm::native::{NativeDecl, NativeOutcome};
@@ -56,6 +56,10 @@ pub struct SendWindow {
     min_spacing: SimTime,
     /// Frames retransmitted (timeout- or NACK-triggered).
     pub retransmits: u64,
+    /// Deepest the window ever got — with epoch checkpointing the
+    /// pessimistic ack waits drain it at every output commit, so this
+    /// stays bounded by one epoch's flushes.
+    pub peak_outstanding: u64,
     /// Instant the most recent cumulative ACK was processed.
     last_ack_at: SimTime,
 }
@@ -69,6 +73,7 @@ impl SendWindow {
             rto_cap: SimTime::from_nanos(rto_base.as_nanos().saturating_mul(32)),
             min_spacing: SimTime::from_nanos(rto_base.as_nanos() / 4),
             retransmits: 0,
+            peak_outstanding: 0,
             last_ack_at: SimTime::ZERO,
         }
     }
@@ -88,6 +93,7 @@ impl SendWindow {
                 last_sent: now,
             },
         );
+        self.peak_outstanding = self.peak_outstanding.max(self.window.len() as u64);
         sealed
     }
 
@@ -367,6 +373,15 @@ impl LogChannel {
         }
     }
 
+    /// Current send-side depth: in-flight frames on a perfect channel,
+    /// unacknowledged frames in the sliding window on a reliable one.
+    pub fn depth(&self) -> usize {
+        match self {
+            LogChannel::Perfect(ch) => ch.in_flight_len(),
+            LogChannel::Reliable(link) => link.window.outstanding(),
+        }
+    }
+
     /// Aggregate channel statistics (fault and retransmission counters
     /// included on the reliable transport).
     pub fn stats(&self) -> ChannelStats {
@@ -432,6 +447,28 @@ pub struct PrimaryCore {
     nd_seq: HashMap<VtPath, u64>,
     out_seq: HashMap<VtPath, u64>,
     se: SeRegistry,
+    /// Epoch checkpointing: cut after this many flushes (`None` disables
+    /// everything below — the default path is untouched).
+    checkpoint_interval: Option<u64>,
+    /// Epochs cut so far; epoch 0 is "before the first cut".
+    epoch: u64,
+    /// `flushes` value at the last cut, to schedule the next one.
+    flushes_at_cut: u64,
+    /// Record-bearing frames flushed since the last cut — the replay
+    /// suffix a replacement backup needs on top of the latest snapshot.
+    /// Truncated at every cut; empty unless checkpointing is enabled.
+    retained: Vec<Bytes>,
+    retained_bytes: usize,
+    /// The snapshot taken at the most recent cut, keyed by its epoch.
+    latest_snapshot: Option<(u64, Bytes)>,
+    /// Latest side-effect-handler state payload per handler, captured so a
+    /// cut can transplant volatile-state knowledge into the snapshot's
+    /// extension section. Only maintained while checkpointing.
+    last_se: HashMap<u8, Bytes>,
+    /// Degraded mode: the backup is known dead, output commits stop
+    /// waiting for acknowledgments (there is no one to wait for) and the
+    /// uncovered outputs are counted.
+    degraded: bool,
     /// Aggregate statistics (Table 2 raw material).
     pub stats: ReplicationStats,
 }
@@ -479,6 +516,14 @@ impl PrimaryCore {
             nd_seq: HashMap::new(),
             out_seq: HashMap::new(),
             se,
+            checkpoint_interval: None,
+            epoch: 0,
+            flushes_at_cut: 0,
+            retained: Vec::new(),
+            retained_bytes: 0,
+            latest_snapshot: None,
+            last_se: HashMap::new(),
+            degraded: false,
             stats: ReplicationStats::default(),
         }
     }
@@ -534,6 +579,13 @@ impl PrimaryCore {
             return;
         }
         acct.charge(cat, create_cost);
+        if self.checkpoint_interval.is_some() {
+            if let Record::SeState { handler, payload } = &rec {
+                // Cuts transplant the latest volatile-state snapshot per
+                // handler into the epoch snapshot's extension section.
+                self.last_se.insert(*handler, payload.clone());
+            }
+        }
         // Compact bodies are encoded *now*, not at flush, so the delta
         // context sees records in log order regardless of flush boundaries.
         let frame = match self.codec {
@@ -559,9 +611,13 @@ impl PrimaryCore {
         if self.buffer.is_empty() {
             return;
         }
+        let retain = self.checkpoint_interval.is_some();
         match self.codec {
             WireCodec::Fixed => {
-                for frame in self.buffer.drain(..) {
+                for frame in std::mem::take(&mut self.buffer) {
+                    if retain {
+                        self.retain_frame(frame.clone());
+                    }
                     let cost = self.channel.send(acct.now(), frame);
                     acct.charge(Category::Communication, cost);
                 }
@@ -572,6 +628,9 @@ impl PrimaryCore {
                 // The frame header (tag + count) is wire overhead the
                 // bodies didn't account for.
                 self.stats.bytes_logged += (frame.len() - self.buffered_bytes) as u64;
+                if retain {
+                    self.retain_frame(frame.clone());
+                }
                 let cost = self.channel.send(acct.now(), frame);
                 acct.charge(Category::Communication, cost);
             }
@@ -579,6 +638,7 @@ impl PrimaryCore {
         self.buffered_bytes = 0;
         self.flushes += 1;
         self.stats.flushes = self.flushes;
+        self.stats.peak_send_window = self.stats.peak_send_window.max(self.channel.depth() as u64);
         if let FaultPlan::AfterFlush(n) = self.fault {
             if self.flushes > n {
                 self.crashed = true;
@@ -759,8 +819,16 @@ impl PrimaryCore {
         self.log(rec, Category::Misc, self.cost.nd_result_record, acct);
         self.stats.output_commits += 1;
         self.flush(acct);
-        let ack_at = self.channel.ack_arrival(acct.now());
-        acct.wait_until(Category::Pessimistic, ack_at);
+        if self.degraded {
+            // The backup is dead: there is nothing to wait for. The commit
+            // record still went out (and sits in the retained suffix for
+            // re-integration); the uncovered output is counted as the
+            // fault-tolerance gap this run accumulated.
+            self.stats.degraded_outputs += 1;
+        } else {
+            let ack_at = self.channel.ack_arrival(acct.now());
+            acct.wait_until(Category::Pessimistic, ack_at);
+        }
         // Fault plan: crash after the commit but before the output itself —
         // the paper's "uncertain output" window.
         if let FaultPlan::BeforeOutput(n) = self.fault {
@@ -770,6 +838,202 @@ impl PrimaryCore {
         }
         id
     }
+
+    // --- Epoch checkpointing (bounded logs + re-integration) -------------
+
+    /// Enables epoch checkpointing: cut after every `n` flushes. Call
+    /// before execution starts; `None` (the default) leaves every
+    /// checkpointing path dormant.
+    pub fn set_checkpoint_interval(&mut self, interval: Option<u64>) {
+        self.checkpoint_interval = interval;
+    }
+
+    /// True when enough flushes have accumulated that the driver should
+    /// cut an epoch at the next quiescent point.
+    pub fn wants_epoch_cut(&self) -> bool {
+        match self.checkpoint_interval {
+            Some(n) => !self.crashed && self.flushes - self.flushes_at_cut >= n,
+            None => false,
+        }
+    }
+
+    /// Epochs cut so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// First half of an epoch cut: flush the buffer so every logged record
+    /// is on the wire (and in the retained suffix), then package the
+    /// replication-layer state the snapshot must carry — the compact
+    /// encoder's delta context, the per-thread ND/output sequence maps,
+    /// the global output/epoch counters, and the latest side-effect
+    /// payloads. The caller feeds the result to `Vm::snapshot` and hands
+    /// the blob back to [`PrimaryCore::commit_epoch`].
+    pub fn prepare_epoch_cut(&mut self, acct: &mut TimeAccount) -> Vec<(u8, Bytes)> {
+        self.flush(acct);
+        let mut counters = WireWriter::with_capacity(24);
+        counters.put_uvarint(self.next_output_id);
+        counters.put_uvarint(self.epoch + 1);
+        let mut se = WireWriter::with_capacity(32);
+        let mut latest: Vec<(u8, &Bytes)> = self.last_se.iter().map(|(&h, p)| (h, p)).collect();
+        latest.sort_unstable_by_key(|(h, _)| *h);
+        se.put_uvarint(latest.len() as u64);
+        for (h, p) in latest {
+            se.put_u8(h);
+            se.put_vbytes(p);
+        }
+        vec![
+            (EXT_CODEC_CTX, self.enc.export_ctx()),
+            (EXT_ND_SEQ, encode_vt_map(&self.nd_seq)),
+            (EXT_OUT_SEQ, encode_vt_map(&self.out_seq)),
+            (EXT_COUNTERS, counters.finish()),
+            (EXT_SE_LATEST, se.finish()),
+        ]
+    }
+
+    /// Second half of an epoch cut: send the epoch mark, truncate the
+    /// retained suffix (everything before the cut is now subsumed by the
+    /// snapshot), and charge the snapshot's serialization cost. Returns
+    /// the new epoch number.
+    pub fn commit_epoch(&mut self, blob: Bytes, acct: &mut TimeAccount) -> u64 {
+        let covered = self.retained.len() as u64;
+        self.epoch += 1;
+        let frame = build_epoch_frame(self.epoch, covered);
+        let cost = self.channel.send(acct.now(), frame);
+        acct.charge(Category::Communication, cost);
+        // Serializing the snapshot is primary CPU work, charged per byte
+        // at the wire's marginal rate (it is a memory copy plus CRC, the
+        // same order of work as packetizing).
+        let per_byte = self.cost.net.per_byte.as_nanos();
+        acct.charge(
+            Category::Misc,
+            SimTime::from_nanos(per_byte.saturating_mul(blob.len() as u64)),
+        );
+        self.retained.clear();
+        self.retained_bytes = 0;
+        self.flushes_at_cut = self.flushes;
+        self.stats.epochs_cut += 1;
+        self.stats.snapshot_bytes = blob.len() as u64;
+        self.latest_snapshot = Some((self.epoch, blob));
+        self.epoch
+    }
+
+    /// The snapshot taken at the most recent cut, with its epoch.
+    pub fn latest_snapshot(&self) -> Option<&(u64, Bytes)> {
+        self.latest_snapshot.as_ref()
+    }
+
+    /// Record-bearing frames flushed since the last cut — what a
+    /// replacement backup replays on top of the latest snapshot.
+    pub fn retained_frames(&self) -> &[Bytes] {
+        &self.retained
+    }
+
+    /// Relays the backup's epoch acknowledgment (driver-carried: the
+    /// backup counts absorbed epoch marks, the driver copies the count
+    /// here).
+    pub fn record_epoch_ack(&mut self, acked: u64) {
+        self.stats.epochs_acked = self.stats.epochs_acked.max(acked);
+    }
+
+    /// Whether the core is running without a live backup.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Enters degraded mode: the failure detector declared the backup
+    /// dead, so output commits stop waiting for acknowledgments.
+    pub fn enter_degraded(&mut self) {
+        self.degraded = true;
+    }
+
+    /// Exits degraded mode once a replacement backup has caught up.
+    pub fn exit_degraded(&mut self) {
+        self.degraded = false;
+    }
+
+    /// Replaces the log transport (re-integration points the primary at a
+    /// fresh channel toward the replacement backup) and returns the old
+    /// one.
+    pub fn swap_channel(&mut self, new: LogChannel) -> LogChannel {
+        std::mem::replace(&mut self.channel, new)
+    }
+
+    /// Sends one pre-built frame (snapshot chunk or retained suffix frame
+    /// during state transfer), charging the communication cost.
+    pub fn send_raw(&mut self, payload: Bytes, acct: &mut TimeAccount) {
+        let cost = self.channel.send(acct.now(), payload);
+        acct.charge(Category::Communication, cost);
+    }
+
+    fn retain_frame(&mut self, frame: Bytes) {
+        self.retained_bytes += frame.len();
+        self.retained.push(frame);
+        self.stats.peak_suffix_frames =
+            self.stats.peak_suffix_frames.max(self.retained.len() as u64);
+        self.stats.peak_suffix_bytes = self.stats.peak_suffix_bytes.max(self.retained_bytes as u64);
+    }
+}
+
+// --- Snapshot extension sections (replication-layer state at a cut) -------
+
+/// Extension tag: compact-codec encoder context ([`RecordEncoder::export_ctx`]).
+pub const EXT_CODEC_CTX: u8 = 1;
+/// Extension tag: per-thread ND sequence map.
+pub const EXT_ND_SEQ: u8 = 2;
+/// Extension tag: per-thread output-commit sequence map.
+pub const EXT_OUT_SEQ: u8 = 3;
+/// Extension tag: `uvarint(next_output_id) · uvarint(epoch)`.
+pub const EXT_COUNTERS: u8 = 4;
+/// Extension tag: latest side-effect payload per handler.
+pub const EXT_SE_LATEST: u8 = 5;
+
+/// Serializes a per-thread counter map deterministically (sorted by
+/// ordinal chain).
+pub(crate) fn encode_vt_map(map: &HashMap<VtPath, u64>) -> Bytes {
+    let mut entries: Vec<(&VtPath, u64)> = map.iter().map(|(k, &v)| (k, v)).collect();
+    entries.sort_unstable_by(|a, b| a.0.ordinals().cmp(b.0.ordinals()));
+    let mut w = WireWriter::with_capacity(8 + 8 * entries.len());
+    w.put_uvarint(entries.len() as u64);
+    for (vt, v) in entries {
+        let ords = vt.ordinals();
+        w.put_uvarint(ords.len() as u64);
+        for &o in ords {
+            w.put_uvarint(o as u64);
+        }
+        w.put_uvarint(v);
+    }
+    w.finish()
+}
+
+/// Mirror of [`encode_vt_map`].
+pub(crate) fn decode_vt_map(blob: &Bytes) -> Result<HashMap<VtPath, u64>, WireError> {
+    let mut r = WireReader::new(blob.clone());
+    let n = r.get_uvarint()? as usize;
+    if n > r.remaining() {
+        return Err(WireError::new("vt map count"));
+    }
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let n_ords = r.get_uvarint()? as usize;
+        if n_ords == 0 || n_ords > r.remaining() {
+            return Err(WireError::new("vt map ordinal chain"));
+        }
+        let mut ords = Vec::with_capacity(n_ords);
+        for _ in 0..n_ords {
+            let o = r.get_uvarint()?;
+            if o > u32::MAX as u64 {
+                return Err(WireError::new("vt map ordinal"));
+            }
+            ords.push(o as u32);
+        }
+        let v = r.get_uvarint()?;
+        map.insert(VtPath::from_ordinals(ords), v);
+    }
+    if !r.is_empty() {
+        return Err(WireError::new("trailing bytes after vt map"));
+    }
+    Ok(map)
 }
 
 /// Primary coordinator for **replicated lock synchronization** (§4.2).
@@ -895,7 +1159,10 @@ impl IntervalPrimary {
         IntervalPrimary { common, open: None }
     }
 
-    fn close_open(&mut self, acct: &mut TimeAccount) {
+    /// Closes the open acquisition interval, logging it. A no-op when no
+    /// interval is open. Epoch cuts call this so the flushed prefix is
+    /// self-contained.
+    pub(crate) fn close_open(&mut self, acct: &mut TimeAccount) {
         if let Some((t, t_asn_start, count)) = self.open.take() {
             let cost = self.common.cost.lock_record;
             self.common.log(
@@ -1011,6 +1278,13 @@ impl TsPrimary {
     /// Creates the coordinator.
     pub fn new(common: PrimaryCore) -> Self {
         TsPrimary { common, pending_from: None, last_br: HashMap::new() }
+    }
+
+    /// True when no schedule record is half-captured — the only moment an
+    /// epoch cut is sound under replicated thread scheduling (a pending
+    /// yield snapshot would be lost by the snapshot/suffix split).
+    pub(crate) fn cut_ready(&self) -> bool {
+        self.pending_from.is_none()
     }
 }
 

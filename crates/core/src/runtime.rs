@@ -28,20 +28,26 @@
 //! resolved with the side-effect handlers' `test` — which is sound then,
 //! because the detection instant is after the primary's last action.
 
-use crate::backup::{BackupLog, IntervalBackup, LockSyncBackup, TsBackup};
+use crate::backup::{BackupLog, EpochStore, IntervalBackup, LockSyncBackup, ResumeSeed, TsBackup};
+use crate::codec::{
+    build_snapshot_chunk, frame_is_heartbeat, frame_is_snapshot_chunk, SnapshotAssembler,
+};
 use crate::ftjvm::{FtConfig, LockVariant, PairReport, ReplicationMode};
 use crate::primary::{
-    IntervalPrimary, LockSyncPrimary, LogChannel, PrimaryCore, ReliableLink, TsPrimary,
+    decode_vt_map, IntervalPrimary, LockSyncPrimary, LogChannel, PrimaryCore, ReliableLink,
+    TsPrimary, EXT_CODEC_CTX, EXT_COUNTERS, EXT_ND_SEQ, EXT_OUT_SEQ, EXT_SE_LATEST,
 };
 use crate::stats::ReplicationStats;
 use bytes::Bytes;
 use ftjvm_netsim::{
     Category, ChannelStats, FaultPlan, HeartbeatMonitor, LossyChannel, SimChannel, SimTime,
+    WireReader,
 };
 use ftjvm_vm::{
     Coordinator, NativeRegistry, Program, RunOutcome, RunReport, SharedWorld, SimEnv, SliceOutcome,
-    Vm, VmConfig, VmError, World,
+    Vm, VmConfig, VmError, VtPath, World,
 };
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Instruction units the primary executes per co-simulation slice. Small
@@ -217,6 +223,162 @@ impl Replica {
         self.coord.primary_core_mut().map(|c| c.channel_mut())
     }
 
+    /// Verified in-order frames delivered on this primary's channel by
+    /// `now` — the co-simulation drivers' receive step.
+    ///
+    /// # Errors
+    /// Returns a typed error (instead of panicking) when called on a
+    /// replica without a channel — a misconfigured pair.
+    fn recv_ready(&mut self, now: SimTime) -> Result<Vec<(SimTime, Bytes)>, VmError> {
+        match self.channel_mut() {
+            Some(ch) => Ok(ch.recv_ready(now)),
+            None => Err(VmError::Internal(
+                "co-simulated primary replica has no replication channel".into(),
+            )),
+        }
+    }
+
+    /// Epoch marks a streaming backup has absorbed — its epoch
+    /// acknowledgment (0 for primaries).
+    fn epochs_absorbed(&self) -> u64 {
+        match &self.coord {
+            ReplicaCoord::LockBackup(c) => c.epochs_absorbed(),
+            ReplicaCoord::IntervalBackup(c) => c.epochs_absorbed(),
+            ReplicaCoord::TsBackup(c) => c.epochs_absorbed(),
+            _ => 0,
+        }
+    }
+
+    /// Relays the backup's epoch acknowledgment into the primary's stats.
+    fn relay_epoch_ack(&mut self, acked: u64) {
+        if let Some(core) = self.coord.primary_core_mut() {
+            core.record_epoch_ack(acked);
+        }
+    }
+
+    /// Enters degraded mode (no live backup: output commits stop waiting
+    /// for acknowledgments). No-op on backups.
+    fn enter_degraded(&mut self) {
+        if let Some(core) = self.coord.primary_core_mut() {
+            core.enter_degraded();
+        }
+    }
+
+    /// Exits degraded mode once a replacement standby is live.
+    fn exit_degraded(&mut self) {
+        if let Some(core) = self.coord.primary_core_mut() {
+            core.exit_degraded();
+        }
+    }
+
+    /// Cuts an epoch checkpoint if the interval has elapsed and the VM is
+    /// at a quiescent, coordinator-ready boundary. Returns whether a cut
+    /// happened.
+    ///
+    /// # Errors
+    /// Propagates snapshot failures (a protocol bug: the quiescence gate
+    /// should make them impossible).
+    pub fn try_cut_epoch(&mut self) -> Result<bool, VmError> {
+        self.cut_epoch(false)
+    }
+
+    /// Epoch-cut worker. `force` cuts even before the interval elapses
+    /// (re-integration state transfer needs a fresh snapshot now), but
+    /// the quiescence and coordinator-readiness gates still apply.
+    fn cut_epoch(&mut self, force: bool) -> Result<bool, VmError> {
+        let wants = match self.coord.primary_core_mut() {
+            Some(core) => force || core.wants_epoch_cut(),
+            None => false,
+        };
+        if !wants || !self.vm.quiescent() {
+            return Ok(false);
+        }
+        let Replica { vm, coord, .. } = self;
+        let ext = {
+            let core = vm.core_mut();
+            match coord {
+                ReplicaCoord::LockPrimary(c) => c.common.prepare_epoch_cut(&mut core.acct),
+                ReplicaCoord::IntervalPrimary(c) => {
+                    // Close the open acquisition interval so the flushed
+                    // prefix is self-contained.
+                    c.close_open(&mut core.acct);
+                    c.common.prepare_epoch_cut(&mut core.acct)
+                }
+                ReplicaCoord::TsPrimary(c) => {
+                    if !c.cut_ready() {
+                        return Ok(false);
+                    }
+                    c.common.prepare_epoch_cut(&mut core.acct)
+                }
+                _ => return Ok(false),
+            }
+        };
+        let blob =
+            vm.snapshot(&ext).map_err(|e| VmError::Internal(format!("epoch snapshot: {e}")))?;
+        let core = vm.core_mut();
+        match coord {
+            ReplicaCoord::LockPrimary(c) => c.common.commit_epoch(blob, &mut core.acct),
+            ReplicaCoord::IntervalPrimary(c) => c.common.commit_epoch(blob, &mut core.acct),
+            ReplicaCoord::TsPrimary(c) => c.common.commit_epoch(blob, &mut core.acct),
+            _ => unreachable!("cut_epoch past the primary gate"),
+        };
+        Ok(true)
+    }
+
+    /// Ships the latest epoch snapshot as chunk frames over the current
+    /// channel (re-integration state transfer and the cold durable
+    /// store). Returns the number of chunks sent.
+    ///
+    /// # Errors
+    /// Returns an error when there is no snapshot to ship or the replica
+    /// is not a primary.
+    fn ship_latest_snapshot(&mut self) -> Result<u64, VmError> {
+        /// Chunk payload size: small enough that loss retransmits stay
+        /// cheap, large enough that a snapshot is a handful of frames.
+        const CHUNK: usize = 4096;
+        let Replica { vm, coord, .. } = self;
+        let core = coord
+            .primary_core_mut()
+            .ok_or_else(|| VmError::Internal("snapshot transfer from a non-primary".into()))?;
+        let (epoch, blob) = core
+            .latest_snapshot()
+            .cloned()
+            .ok_or_else(|| VmError::Internal("no epoch snapshot to transfer".into()))?;
+        let total = blob.len().div_ceil(CHUNK) as u64;
+        let acct = &mut vm.core_mut().acct;
+        for (i, piece) in blob.chunks(CHUNK).enumerate() {
+            core.send_raw(build_snapshot_chunk(epoch, i as u64, total, piece), acct);
+        }
+        core.stats.snapshot_chunks_sent += total;
+        Ok(total)
+    }
+
+    /// The primary half of re-integration: force-cut an epoch at the
+    /// current boundary, point the log at `fresh` (the link toward the
+    /// replacement), and ship the snapshot as chunk frames. Returns false
+    /// — leaving the channel untouched — when the VM is not at a cuttable
+    /// boundary yet (the driver retries next slice).
+    fn begin_state_transfer(&mut self, fresh: LogChannel) -> Result<bool, VmError> {
+        if !self.cut_epoch(true)? {
+            return Ok(false);
+        }
+        if let Some(core) = self.coord.primary_core_mut() {
+            // The old channel pointed at the dead backup; frames still in
+            // flight on it are lost with that host.
+            drop(core.swap_channel(fresh));
+        }
+        self.ship_latest_snapshot()?;
+        Ok(true)
+    }
+
+    /// The epoch the latest snapshot covers (0 before the first cut).
+    fn snapshot_epoch(&mut self) -> u64 {
+        self.coord
+            .primary_core_mut()
+            .and_then(|c| c.latest_snapshot().map(|(e, _)| *e))
+            .unwrap_or(0)
+    }
+
     /// Consumes a primary replica, returning its channel and final
     /// replication statistics.
     fn into_primary_parts(self) -> (LogChannel, ReplicationStats) {
@@ -284,23 +446,28 @@ impl ReplicaRuntime {
         SimEnv::new("backup", world.clone(), self.cfg.backup_skew, self.cfg.backup_env_seed)
     }
 
+    /// Builds a log transport per the configured net-fault plan: an armed
+    /// plan swaps the paper's perfect FIFO channel for the lossy link plus
+    /// the reliability sublayer; unarmed runs keep the perfect channel
+    /// (and its exact seed-run timing). Re-integration builds a second one
+    /// toward the replacement backup.
+    fn make_channel(&self) -> LogChannel {
+        if self.cfg.net_fault.is_armed() {
+            let link = LossyChannel::new(self.cfg.vm.cost.net.clone(), self.cfg.net_fault.clone());
+            LogChannel::Reliable(Box::new(ReliableLink::new(link)))
+        } else {
+            LogChannel::Perfect(SimChannel::new(self.cfg.vm.cost.net.clone()))
+        }
+    }
+
     /// Builds the primary replica: a VM with the mode's logging
     /// coordinator over a fresh channel.
     ///
     /// # Errors
     /// Propagates program-loading errors.
     pub fn build_primary(&self, world: &SharedWorld, fault: FaultPlan) -> Result<Replica, VmError> {
-        // An armed net-fault plan swaps the paper's perfect FIFO channel
-        // for the lossy link plus the reliability sublayer; unarmed runs
-        // keep the perfect channel (and its exact seed-run timing).
-        let channel = if self.cfg.net_fault.is_armed() {
-            let link = LossyChannel::new(self.cfg.vm.cost.net.clone(), self.cfg.net_fault.clone());
-            LogChannel::Reliable(Box::new(ReliableLink::new(link)))
-        } else {
-            LogChannel::Perfect(SimChannel::new(self.cfg.vm.cost.net.clone()))
-        };
         let mut core = PrimaryCore::with_transport(
-            channel,
+            self.make_channel(),
             self.cfg.vm.cost.clone(),
             fault,
             (self.cfg.se_factory)(),
@@ -308,6 +475,7 @@ impl ReplicaRuntime {
         core.flush_threshold = self.cfg.flush_threshold;
         core.set_codec(self.cfg.codec);
         core.set_heartbeat_interval(self.cfg.detector.interval());
+        core.set_checkpoint_interval(self.cfg.checkpoint_interval);
         let vm = Vm::new(
             self.program.clone(),
             self.natives.clone(),
@@ -389,6 +557,98 @@ impl ReplicaRuntime {
             }
         };
         Ok(Replica { role: Role::Backup { lag_budget: LagBudget::Cold }, vm, coord })
+    }
+
+    /// Builds a replacement hot standby from an epoch snapshot blob: the
+    /// VM restores from the blob, the replication-layer extension
+    /// sections seed a *resumed* streaming coordinator (decoder context,
+    /// consumed-sequence maps, output-id floor, latest side-effect
+    /// payloads), and the replica continues from the cut as if it had
+    /// consumed the whole truncated prefix.
+    ///
+    /// # Errors
+    /// Returns an error for a corrupt blob or malformed extension
+    /// sections.
+    pub fn build_resumed_backup(
+        &self,
+        world: &SharedWorld,
+        blob: &[u8],
+    ) -> Result<Replica, VmError> {
+        let (vm, ext) = Vm::restore(
+            self.program.clone(),
+            self.natives.clone(),
+            world.clone(),
+            &self.vm_config(self.cfg.backup_seed),
+            blob,
+        )
+        .map_err(|e| VmError::Internal(format!("restore epoch snapshot: {e}")))?;
+        let mut seed = ResumeSeed::default();
+        let mut se = (self.cfg.se_factory)();
+        for (tag, payload) in &ext {
+            let malformed = |what: &str| VmError::Internal(format!("snapshot ext {what}"));
+            match *tag {
+                EXT_CODEC_CTX => seed.decoder_ctx = payload.clone(),
+                EXT_ND_SEQ => {
+                    seed.nd_consumed =
+                        decode_vt_map(payload).map_err(|e| malformed(&format!("nd map: {e}")))?;
+                }
+                EXT_OUT_SEQ => {
+                    seed.commit_consumed = decode_vt_map(payload)
+                        .map_err(|e| malformed(&format!("commit map: {e}")))?;
+                }
+                EXT_COUNTERS => {
+                    let mut r = WireReader::new(payload.clone());
+                    seed.live_output_base =
+                        r.get_uvarint().map_err(|e| malformed(&format!("counters: {e}")))?;
+                }
+                EXT_SE_LATEST => {
+                    // Replay the latest pre-cut SE-state payload into each
+                    // handler, as if it had arrived on the stream.
+                    let mut r = WireReader::new(payload.clone());
+                    let n = r.get_uvarint().map_err(|e| malformed(&format!("se count: {e}")))?;
+                    for _ in 0..n {
+                        let h = r.get_u8().map_err(|e| malformed(&format!("se handler: {e}")))?;
+                        let p =
+                            r.get_vbytes().map_err(|e| malformed(&format!("se payload: {e}")))?;
+                        se.receive(h, p);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let cost = self.cfg.vm.cost.clone();
+        let coord = match (self.cfg.mode, self.cfg.lock_variant) {
+            (ReplicationMode::LockSync, LockVariant::PerAcquisition) => {
+                ReplicaCoord::LockBackup(LockSyncBackup::resumed(world.clone(), se, cost, seed)?)
+            }
+            (ReplicationMode::LockSync, LockVariant::Intervals) => ReplicaCoord::IntervalBackup(
+                IntervalBackup::resumed(world.clone(), se, cost, seed)?,
+            ),
+            (ReplicationMode::ThreadSched, _) => {
+                // The cut happened with no schedule record half-captured,
+                // so the thread current on the primary is the designated
+                // thread; the restored VM preserves it. Branch counters
+                // seed from the restored threads so progress-cost
+                // accounting continues rather than restarting.
+                let core = vm.core();
+                let designated = core
+                    .current
+                    .and_then(|idx| core.threads.get(idx.0 as usize))
+                    .and_then(|t| t.vt.clone())
+                    .or_else(|| Some(VtPath::root()));
+                let last_br: HashMap<u32, u64> =
+                    core.threads.iter().map(|t| (t.idx.0, t.br_cnt)).collect();
+                ReplicaCoord::TsBackup(TsBackup::resumed(
+                    world.clone(),
+                    se,
+                    cost,
+                    seed,
+                    designated,
+                    last_br,
+                )?)
+            }
+        };
+        Ok(Replica { role: Role::Backup { lag_budget: LagBudget::Hot }, vm, coord })
     }
 
     /// Runs the primary to completion (or crash) and returns its report,
@@ -515,8 +775,7 @@ impl ReplicaRuntime {
         let (primary_report, crashed) = loop {
             let outcome = primary.step(SLICE_UNITS)?;
             let now_p = primary.now();
-            let ready =
-                primary.channel_mut().expect("primary replica has a channel").recv_ready(now_p);
+            let ready = primary.recv_ready(now_p)?;
             pump_backup(&mut backup, &mut monitor, ready, &mut backup_report)?;
             match outcome {
                 SliceOutcome::Budget => {}
@@ -598,14 +857,473 @@ impl ReplicaRuntime {
         })
     }
 
-    /// Runs the pair per the configured [`LagBudget`].
+    /// Runs a hot pair under epoch checkpointing, with optional
+    /// backup-kill and re-integration per `plan`.
+    ///
+    /// The co-simulation loop is [`run_hot`](ReplicaRuntime::run_hot)'s,
+    /// plus the epoch protocol: the primary cuts a checkpoint every
+    /// `checkpoint_interval` flushes at a quiescent boundary, the driver
+    /// relays the backup's absorbed-epoch count back as the ack, and the
+    /// retained replay suffix truncates at each cut. When the plan kills
+    /// the backup, the primary's reverse-heartbeat detector fires after
+    /// the configured deadline and the primary enters *degraded mode*
+    /// (output commits stop waiting for acknowledgments, the gap is
+    /// counted in [`ReplicationStats::degraded_outputs`]). With
+    /// `reintegrate`, the primary then recruits a replacement standby by
+    /// force-cutting a fresh epoch and shipping the snapshot as chunk
+    /// frames over a fresh channel (lossy + reliability sublayer when the
+    /// net-fault plan is armed), after which the pair is 1-fault tolerant
+    /// again — a subsequent primary crash fails over to the replacement.
+    ///
+    /// Modeling note: between the kill and the detector firing, output
+    /// commits still wait on the (phantom) transport acknowledgments of
+    /// the dead backup's channel — a timing artifact only; exactly-once
+    /// output is unaffected.
+    ///
+    /// # Errors
+    /// Returns an error when `checkpoint_interval` is unset, and
+    /// propagates fatal VM errors from any replica.
+    pub fn run_checkpointed(&self, plan: CheckpointPlan) -> Result<CheckpointReport, VmError> {
+        if self.cfg.checkpoint_interval.is_none() {
+            return Err(VmError::Internal(
+                "run_checkpointed requires FtConfig::checkpoint_interval".into(),
+            ));
+        }
+        let world = World::shared();
+        let mut primary = self.build_primary(&world, plan.fault)?;
+        let mut standby = Standby::Live(Box::new(self.build_hot_backup(&world)?));
+        let mut monitor = self.cfg.detector.monitor(SimTime::ZERO);
+        let mut backup_report: Option<RunReport> = None;
+        let mut assembler = SnapshotAssembler::new();
+
+        let mut units_run: u64 = 0;
+        let mut backup_killed_at: Option<SimTime> = None;
+        let mut degraded_deadline: Option<SimTime> = None;
+        let mut degraded_entered_at: Option<SimTime> = None;
+        let mut reintegrated_at: Option<SimTime> = None;
+        let mut ack_base: u64 = 0;
+
+        let (primary_report, crashed) = loop {
+            let outcome = primary.step(SLICE_UNITS)?;
+            units_run += SLICE_UNITS;
+            let now_p = primary.now();
+
+            // Scheduled backup kill: fail-stop at a slice boundary. The
+            // primary only learns of it when the reverse-heartbeat
+            // deadline lapses below.
+            if let Some(kill) = plan.kill_backup_after_units {
+                if backup_killed_at.is_none()
+                    && units_run >= kill
+                    && matches!(standby, Standby::Live(_))
+                {
+                    if let Standby::Live(mut dead) = std::mem::replace(&mut standby, Standby::Dead)
+                    {
+                        dead.fail_env();
+                    }
+                    backup_killed_at = Some(now_p);
+                    degraded_deadline = Some(self.cfg.detector.monitor(now_p).deadline());
+                    backup_report = None;
+                }
+            }
+
+            // Degraded-mode entry once the reverse detector fires.
+            if let (Some(deadline), None) = (degraded_deadline, degraded_entered_at) {
+                if now_p >= deadline {
+                    primary.enter_degraded();
+                    degraded_entered_at = Some(deadline);
+                }
+            }
+
+            // Recruit a replacement once degraded: force-cut a fresh
+            // epoch (retried until the VM is at a cuttable boundary) and
+            // start the state transfer on a fresh channel.
+            if plan.reintegrate
+                && degraded_entered_at.is_some()
+                && matches!(standby, Standby::Dead)
+                && primary.begin_state_transfer(self.make_channel())?
+            {
+                ack_base = primary.snapshot_epoch();
+                assembler = SnapshotAssembler::new();
+                standby = Standby::Transfer(Vec::new());
+            }
+
+            let ready = primary.recv_ready(now_p)?;
+            standby = self.deliver(
+                standby,
+                ready,
+                &mut assembler,
+                &mut monitor,
+                &mut backup_report,
+                &mut reintegrated_at,
+                &world,
+            )?;
+            if let Standby::Live(b) = &standby {
+                primary.relay_epoch_ack(ack_base + b.epochs_absorbed());
+                if reintegrated_at.is_some() {
+                    primary.exit_degraded();
+                }
+            }
+
+            match outcome {
+                SliceOutcome::Budget => {
+                    primary.try_cut_epoch()?;
+                }
+                SliceOutcome::Paused => {
+                    return Err(VmError::Internal("primary paused without a feeder".into()));
+                }
+                SliceOutcome::Completed(r) => break (r, false),
+                SliceOutcome::Stopped(r) => break (r, true),
+            }
+        };
+
+        let crash_at = primary_report.acct.now();
+        if crashed {
+            primary.fail_env();
+        }
+        let (mut channel, primary_stats) = primary.into_primary_parts();
+        let drained = channel.drain();
+        let channel_stats = channel.stats();
+        // Takeover delivery: the state transfer may complete during the
+        // drain (chunks already on the wire when the primary died).
+        standby = self.deliver(
+            standby,
+            drained,
+            &mut assembler,
+            &mut monitor,
+            &mut backup_report,
+            &mut reintegrated_at,
+            &world,
+        )?;
+
+        let pair = match standby {
+            Standby::Live(mut b) => {
+                if !crashed {
+                    b.finish_stream();
+                    let br = match backup_report.take() {
+                        Some(r) => r,
+                        None => b.run_to_end()?,
+                    };
+                    PairReport {
+                        primary: primary_report,
+                        primary_stats,
+                        crashed: false,
+                        backup: Some(br),
+                        backup_stats: Some(b.backup_stats()),
+                        detection_latency: SimTime::ZERO,
+                        recovery_replay_time: SimTime::ZERO,
+                        failover_latency: SimTime::ZERO,
+                        channel: channel_stats,
+                        world,
+                    }
+                } else {
+                    let detection_at = monitor.deadline().max(crash_at);
+                    let detection_latency = detection_at - crash_at;
+                    b.wait_until(detection_at);
+                    let promoted_at = b.now();
+                    b.finish_stream();
+                    let br = match backup_report.take() {
+                        Some(r) => r,
+                        None => b.run_to_end()?,
+                    };
+                    let recovered_at = b.recovery_completed_at().unwrap_or_else(|| br.acct.now());
+                    let suffix_replay = if recovered_at > promoted_at {
+                        recovered_at - promoted_at
+                    } else {
+                        SimTime::ZERO
+                    };
+                    PairReport {
+                        primary: primary_report,
+                        primary_stats,
+                        crashed: true,
+                        backup: Some(br),
+                        backup_stats: Some(b.backup_stats()),
+                        detection_latency,
+                        recovery_replay_time: suffix_replay,
+                        failover_latency: detection_latency + suffix_replay,
+                        channel: channel_stats,
+                        world,
+                    }
+                }
+            }
+            // No survivor standby: either the plan killed it without
+            // re-integration, or the transfer never completed. If the
+            // primary also crashed, this run exceeded the 1-fault model;
+            // report what happened.
+            Standby::Dead | Standby::Transfer(_) => PairReport {
+                primary: primary_report,
+                primary_stats,
+                crashed,
+                backup: None,
+                backup_stats: None,
+                detection_latency: SimTime::ZERO,
+                recovery_replay_time: SimTime::ZERO,
+                failover_latency: SimTime::ZERO,
+                channel: channel_stats,
+                world,
+            },
+        };
+        let reintegrated = reintegrated_at.is_some();
+        Ok(CheckpointReport {
+            pair,
+            backup_killed_at,
+            degraded_entered_at,
+            reintegrated_at,
+            reintegrated,
+        })
+    }
+
+    /// Routes delivered frames to the standby per its state: a live
+    /// standby consumes them (streaming replay); a dead one loses them
+    /// (they were addressed to a failed host); during state transfer,
+    /// snapshot chunks assemble — completion brings the replacement up at
+    /// the final chunk's arrival instant and replays the buffered suffix
+    /// — and everything else buffers behind the snapshot.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &self,
+        standby: Standby,
+        delivered: Vec<(SimTime, Bytes)>,
+        assembler: &mut SnapshotAssembler,
+        monitor: &mut HeartbeatMonitor,
+        backup_report: &mut Option<RunReport>,
+        reintegrated_at: &mut Option<SimTime>,
+        world: &SharedWorld,
+    ) -> Result<Standby, VmError> {
+        match standby {
+            Standby::Live(mut b) => {
+                pump_backup(&mut b, monitor, delivered, backup_report)?;
+                Ok(Standby::Live(b))
+            }
+            Standby::Dead => Ok(Standby::Dead),
+            Standby::Transfer(mut buffered) => {
+                let mut live: Option<Box<Replica>> = None;
+                let mut iter = delivered.into_iter();
+                for (arrival, frame) in iter.by_ref() {
+                    if frame_is_snapshot_chunk(&frame) {
+                        let done = assembler
+                            .offer(&frame)
+                            .map_err(|e| VmError::Internal(format!("snapshot transfer: {e}")))?;
+                        if let Some((_epoch, blob)) = done {
+                            let mut nb = Box::new(self.build_resumed_backup(world, &blob)?);
+                            nb.wait_until(arrival);
+                            *monitor = self.cfg.detector.monitor(arrival);
+                            *backup_report = None;
+                            *reintegrated_at = Some(arrival);
+                            let seeded = std::mem::take(&mut buffered);
+                            pump_backup(&mut nb, monitor, seeded, backup_report)?;
+                            live = Some(nb);
+                            break;
+                        }
+                    } else {
+                        buffered.push((arrival, frame));
+                    }
+                }
+                match live {
+                    Some(mut b) => {
+                        let rest: Vec<(SimTime, Bytes)> = iter.collect();
+                        pump_backup(&mut b, monitor, rest, backup_report)?;
+                        Ok(Standby::Live(b))
+                    }
+                    None => Ok(Standby::Transfer(buffered)),
+                }
+            }
+        }
+    }
+
+    /// Runs the pair with a **cold** backup under epoch checkpointing:
+    /// the backup durably stores the stream in an [`EpochStore`] (the
+    /// primary ships snapshot chunks at every cut, since the durable
+    /// store needs the snapshot itself before it may truncate) and drops
+    /// the stored prefix at each epoch mark, bounding stored memory to
+    /// one epoch. On a primary crash, recovery restores the latest
+    /// snapshot and replays only the stored suffix instead of the whole
+    /// log.
+    ///
+    /// # Errors
+    /// Returns an error when `checkpoint_interval` is unset, and
+    /// propagates fatal VM errors.
+    pub fn run_cold_checkpointed(&self, fault: FaultPlan) -> Result<PairReport, VmError> {
+        if self.cfg.checkpoint_interval.is_none() {
+            return Err(VmError::Internal(
+                "run_cold_checkpointed requires FtConfig::checkpoint_interval".into(),
+            ));
+        }
+        let world = World::shared();
+        let mut primary = self.build_primary(&world, fault)?;
+        let mut store = EpochStore::new();
+        let mut monitor = self.cfg.detector.monitor(SimTime::ZERO);
+
+        let (primary_report, crashed) = loop {
+            let outcome = primary.step(SLICE_UNITS)?;
+            let now_p = primary.now();
+            for (arrival, frame) in primary.recv_ready(now_p)? {
+                if frame_is_heartbeat(&frame) {
+                    monitor.observe(arrival);
+                }
+                store.absorb(frame)?;
+            }
+            primary.relay_epoch_ack(store.epochs_stored);
+            match outcome {
+                SliceOutcome::Budget => {
+                    if primary.try_cut_epoch()? {
+                        primary.ship_latest_snapshot()?;
+                    }
+                }
+                SliceOutcome::Paused => {
+                    return Err(VmError::Internal("primary paused without a feeder".into()));
+                }
+                SliceOutcome::Completed(r) => break (r, false),
+                SliceOutcome::Stopped(r) => break (r, true),
+            }
+        };
+
+        let crash_at = primary_report.acct.now();
+        if crashed {
+            primary.fail_env();
+        }
+        let (mut channel, primary_stats) = primary.into_primary_parts();
+        let drained = channel.drain();
+        let channel_stats = channel.stats();
+        for (arrival, frame) in drained {
+            if frame_is_heartbeat(&frame) {
+                monitor.observe(arrival);
+            }
+            store.absorb(frame)?;
+        }
+        let store_peak = store.peak_frames;
+        if !crashed {
+            return Ok(PairReport {
+                primary: primary_report,
+                primary_stats,
+                crashed: false,
+                backup: None,
+                backup_stats: None,
+                detection_latency: SimTime::ZERO,
+                recovery_replay_time: SimTime::ZERO,
+                failover_latency: SimTime::ZERO,
+                channel: channel_stats,
+                world,
+            });
+        }
+        let detection_at = monitor.deadline().max(crash_at);
+        let detection_latency = detection_at - crash_at;
+        let (snapshot, suffix) = store.into_recovery();
+        let (backup_report, mut backup_stats, recovery_replay_time) = match snapshot {
+            Some((_epoch, blob)) => {
+                // Snapshot-based recovery: restore, replay the stored
+                // suffix, promote.
+                let mut b = self.build_resumed_backup(&world, &blob)?;
+                for frame in suffix {
+                    b.feed_frame(detection_at, frame)?;
+                }
+                b.finish_stream();
+                let r = b.run_to_end()?;
+                let recovered = b.recovery_completed_at().unwrap_or_else(|| r.acct.now());
+                let replay =
+                    if recovered > detection_at { recovered - detection_at } else { SimTime::ZERO };
+                let stats = b.backup_stats();
+                (r, stats, replay)
+            }
+            None => {
+                // No epoch completed before the crash: classic cold
+                // replay from the initial state.
+                let (r, stats, recovered_at) = self.replay_log(&world, suffix)?;
+                let replay = recovered_at.unwrap_or_else(|| r.acct.now());
+                (r, stats, replay)
+            }
+        };
+        backup_stats.peak_backup_pending = backup_stats.peak_backup_pending.max(store_peak);
+        Ok(PairReport {
+            primary: primary_report,
+            primary_stats,
+            crashed: true,
+            backup: Some(backup_report),
+            backup_stats: Some(backup_stats),
+            detection_latency,
+            recovery_replay_time,
+            failover_latency: detection_latency + recovery_replay_time,
+            channel: channel_stats,
+            world,
+        })
+    }
+
+    /// Runs the pair per the configured [`LagBudget`] and
+    /// [`FtConfig::checkpoint_interval`] (unset: the seed-identical
+    /// non-checkpointed paths).
     ///
     /// # Errors
     /// Propagates fatal VM errors from either replica.
     pub fn run_pair(&self, fault: FaultPlan) -> Result<PairReport, VmError> {
-        match self.cfg.lag_budget {
-            LagBudget::Cold => self.run_cold(fault),
-            LagBudget::Hot => self.run_hot(fault),
+        match (self.cfg.lag_budget, self.cfg.checkpoint_interval) {
+            (LagBudget::Cold, None) => self.run_cold(fault),
+            (LagBudget::Cold, Some(_)) => self.run_cold_checkpointed(fault),
+            (LagBudget::Hot, None) => self.run_hot(fault),
+            (LagBudget::Hot, Some(_)) => self
+                .run_checkpointed(CheckpointPlan { fault, ..CheckpointPlan::default() })
+                .map(|r| r.pair),
+        }
+    }
+}
+
+/// The backup half of a checkpointed run, as the driver sees it.
+enum Standby {
+    /// A live hot standby consuming the stream.
+    Live(Box<Replica>),
+    /// Killed, with no replacement recruited (yet).
+    Dead,
+    /// State transfer in progress: record frames buffer here until the
+    /// snapshot chunks assemble and the replacement comes up.
+    Transfer(Vec<(SimTime, Bytes)>),
+}
+
+/// What to do to a checkpointed pair while it runs
+/// ([`ReplicaRuntime::run_checkpointed`]).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointPlan {
+    /// Primary-side fault injection, as in the other run drivers.
+    pub fault: FaultPlan,
+    /// Kill the backup once the primary has executed at least this many
+    /// instruction units (rounded up to a whole co-simulation slice).
+    pub kill_backup_after_units: Option<u64>,
+    /// After the primary detects the dead backup, recruit a replacement
+    /// standby from the latest snapshot plus the live suffix.
+    pub reintegrate: bool,
+}
+
+/// Outcome of [`ReplicaRuntime::run_checkpointed`].
+#[derive(Debug)]
+pub struct CheckpointReport {
+    /// The underlying pair report (primary plus the final survivor).
+    pub pair: PairReport,
+    /// Instant the backup was killed, when the plan killed one.
+    pub backup_killed_at: Option<SimTime>,
+    /// Instant the primary declared the backup dead and went degraded.
+    pub degraded_entered_at: Option<SimTime>,
+    /// Instant the replacement standby finished state transfer and went
+    /// live.
+    pub reintegrated_at: Option<SimTime>,
+    /// True once a replacement standby was live before the run ended.
+    pub reintegrated: bool,
+}
+
+impl CheckpointReport {
+    /// Kill-to-live re-integration latency, when both endpoints exist.
+    pub fn reintegration_latency(&self) -> Option<SimTime> {
+        match (self.backup_killed_at, self.reintegrated_at) {
+            (Some(k), Some(r)) if r > k => Some(r - k),
+            (Some(_), Some(_)) => Some(SimTime::ZERO),
+            _ => None,
+        }
+    }
+
+    /// Length of the degraded window (detector fired → replacement live),
+    /// when the run went degraded. Open-ended windows (never re-armed)
+    /// return `None`.
+    pub fn degraded_window(&self) -> Option<SimTime> {
+        match (self.degraded_entered_at, self.reintegrated_at) {
+            (Some(d), Some(r)) if r > d => Some(r - d),
+            (Some(_), Some(_)) => Some(SimTime::ZERO),
+            _ => None,
         }
     }
 }

@@ -50,6 +50,29 @@ pub struct ReplicationStats {
     pub flushes: u64,
     /// Failure-detector heartbeats sent (not counted as logged messages).
     pub heartbeats: u64,
+    /// Epoch checkpoints cut (snapshot taken, log prefix truncated).
+    pub epochs_cut: u64,
+    /// Epochs the backup acknowledged as absorbed (driver-relayed).
+    pub epochs_acked: u64,
+    /// Peak send-side channel depth sampled at flush time (unacked frames
+    /// on a reliable transport, in-flight frames on a perfect one).
+    pub peak_send_window: u64,
+    /// Peak retained-suffix size in frames — the re-integration replay
+    /// buffer, truncated at every epoch cut, so with checkpointing enabled
+    /// this is bounded by one epoch.
+    pub peak_suffix_frames: u64,
+    /// Peak retained-suffix size in bytes.
+    pub peak_suffix_bytes: u64,
+    /// Bytes of the latest snapshot blob taken at an epoch cut.
+    pub snapshot_bytes: u64,
+    /// Snapshot chunks shipped (re-integration and cold checkpointing).
+    pub snapshot_chunks_sent: u64,
+    /// Outputs committed while running degraded (backup dead, ack waits
+    /// skipped) — the 1-fault-tolerance gap the run accumulated.
+    pub degraded_outputs: u64,
+    /// Backup-side: peak count of received-but-unconsumed records (the
+    /// standby's live log memory).
+    pub peak_backup_pending: u64,
 }
 
 impl ReplicationStats {

@@ -208,6 +208,20 @@ impl TimeAccount {
         self.total().saturating_sub(self.get(Category::Base))
     }
 
+    /// Decomposes the account into its clock instant and per-category
+    /// totals (indexed per [`Category::ALL`]) for deterministic state
+    /// snapshots.
+    pub fn snapshot_parts(&self) -> (SimTime, [SimTime; 6]) {
+        (self.clock.now(), self.totals)
+    }
+
+    /// Rebuilds an account from [`TimeAccount::snapshot_parts`] output.
+    pub fn from_parts(now: SimTime, totals: [SimTime; 6]) -> Self {
+        let mut clock = SimClock::default();
+        clock.advance_to(now);
+        TimeAccount { clock, totals }
+    }
+
     /// Execution time normalized to a baseline total (the paper's
     /// "normalized execution time" y-axis). Returns 1.0 for an empty
     /// baseline to avoid division by zero.

@@ -40,4 +40,4 @@ pub use clock::{SimClock, SimTime};
 pub use cost::{Category, CostModel, TimeAccount};
 pub use fault::{FailureDetector, FaultPlan, HeartbeatMonitor};
 pub use lossy::{FaultDecision, LossyChannel, NetFaultPlan};
-pub use wire::{WireCodec, WireError, WireReader, WireWriter};
+pub use wire::{crc32c, WireCodec, WireError, WireReader, WireWriter};

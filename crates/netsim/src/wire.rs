@@ -45,6 +45,33 @@ impl fmt::Display for WireCodec {
     }
 }
 
+/// CRC32C (Castagnoli) lookup table, built at compile time.
+const CRC32C_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut b = 0;
+        while b < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0x82f6_3b78 } else { crc >> 1 };
+            b += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32C (Castagnoli polynomial, reflected) over `data` — the checksum
+/// shared by sealed log frames and VM state snapshots.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ byte as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
 /// Maps a signed value onto an unsigned one so that small magnitudes of
 /// either sign get short varints (protobuf's zig-zag transform).
 pub fn zigzag(v: i64) -> u64 {

@@ -221,6 +221,18 @@ pub struct SimEnv {
 }
 
 impl SimEnv {
+    /// The raw RNG stream position (deterministic state snapshots).
+    pub(crate) fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Rewinds/forwards the RNG to a captured stream position.
+    pub(crate) fn set_rng_state(&mut self, state: u64) {
+        self.rng = StdRng::from_state(state);
+    }
+}
+
+impl SimEnv {
     /// Creates a replica environment over `world` with its own clock skew
     /// and RNG seed (the replica's ND input sources).
     pub fn new(replica: &str, world: SharedWorld, clock_skew: SimTime, rng_seed: u64) -> Self {

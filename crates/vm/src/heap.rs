@@ -56,15 +56,15 @@ pub struct OutOfMemory;
 /// The heap.
 #[derive(Debug)]
 pub struct Heap {
-    slots: Vec<Option<HeapEntry>>,
+    pub(crate) slots: Vec<Option<HeapEntry>>,
     /// Reusable slot indices (freed by GC), popped LIFO.
-    free: Vec<u32>,
+    pub(crate) free: Vec<u32>,
     /// Objects whose finalizer has already been scheduled.
-    finalizer_done: Vec<bool>,
-    live: usize,
-    allocs_since_gc: usize,
+    pub(crate) finalizer_done: Vec<bool>,
+    pub(crate) live: usize,
+    pub(crate) allocs_since_gc: usize,
     /// Hard cap on simultaneously live objects.
-    capacity: usize,
+    pub(crate) capacity: usize,
     /// Allocations between collection requests ("memory pressure").
     pub gc_threshold: usize,
     /// Cumulative allocation counter.

@@ -69,6 +69,7 @@ pub mod monitor;
 pub mod native;
 pub mod program;
 pub mod race;
+pub mod snapshot;
 pub mod thread;
 pub mod value;
 pub mod vtid;
@@ -85,6 +86,7 @@ pub use exec::{ExecCounters, RunOutcome, RunReport, SliceOutcome, Vm, VmConfig};
 pub use native::{NativeAbort, NativeDecl, NativeKind, NativeOutcome, NativeRegistry};
 pub use program::{BuildError, ProgramBuilder};
 pub use race::{RaceDetector, RaceReport};
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use thread::{AdoptedOutcome, ThreadIdx, ThreadState};
 pub use value::{ObjRef, Value};
 pub use vtid::VtPath;

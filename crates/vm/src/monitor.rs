@@ -137,7 +137,7 @@ impl Monitor {
 /// and dropped when their object is collected.
 #[derive(Debug, Default)]
 pub struct MonitorTable {
-    map: HashMap<ObjRef, Monitor>,
+    pub(crate) map: HashMap<ObjRef, Monitor>,
 }
 
 impl MonitorTable {

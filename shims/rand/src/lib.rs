@@ -64,6 +64,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw generator state — lets deterministic-state snapshots
+        /// capture the stream position exactly (the real crate has no such
+        /// accessor, but SplitMix64's whole state is one word).
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator at a previously captured [`StdRng::state`]
+        /// position.
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // SplitMix64 (public domain; Steele, Lea & Flood mix constants).

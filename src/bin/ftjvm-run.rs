@@ -30,6 +30,16 @@ fn usage() -> ! {
                                  replays only the unconsumed suffix at failover\n\
            --warm                account the backup as warm (legacy: failover\n\
                                  collapses to detection time)\n\
+           --checkpoint-interval <n>  cut an epoch snapshot every n flushes:\n\
+                                 the acked prefix is truncated on both sides,\n\
+                                 bounding log memory to one epoch\n\
+           --kill-backup <units> fail-stop the BACKUP once the primary has run\n\
+                                 n units (implies a hot standby; requires\n\
+                                 --checkpoint-interval); the primary detects it\n\
+                                 and keeps executing in degraded mode\n\
+           --reintegrate         after the backup dies, recruit a replacement\n\
+                                 standby from the latest snapshot plus the live\n\
+                                 suffix (requires --checkpoint-interval)\n\
            --seed <n>            primary scheduler seed (default 11)\n\
            --net-fault <spec>    arm the lossy link; spec is comma-separated\n\
                                  k=v pairs: drop/dup/corrupt/reorder (probabilities),\n\
@@ -104,6 +114,8 @@ fn main() {
     let mut baseline = false;
     let mut disasm = false;
     let mut dump_log: Option<usize> = None;
+    let mut kill_backup: Option<u64> = None;
+    let mut reintegrate = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -150,6 +162,17 @@ fn main() {
                 };
             }
             "--warm" => cfg.warm_backup = true,
+            "--checkpoint-interval" => {
+                i += 1;
+                let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.checkpoint_interval = Some(n);
+            }
+            "--kill-backup" => {
+                i += 1;
+                kill_backup =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--reintegrate" => reintegrate = true,
             "--seed" => {
                 i += 1;
                 cfg.primary_seed =
@@ -203,6 +226,16 @@ fn main() {
         return;
     }
 
+    let backup_fault = kill_backup.is_some() || reintegrate;
+    if backup_fault && cfg.checkpoint_interval.is_none() {
+        eprintln!("--kill-backup/--reintegrate require --checkpoint-interval");
+        usage()
+    }
+    if backup_fault {
+        // The backup-failure driver co-simulates a hot standby.
+        cfg.lag_budget = LagBudget::Hot;
+    }
+
     let harness = FtJvm::new(w.program.clone(), cfg.clone());
     println!("workload: {} — {}", w.name, w.description);
     let (base, _) = harness.run_unreplicated().unwrap_or_else(|e| fail("baseline run failed", &e));
@@ -216,9 +249,34 @@ fn main() {
     if baseline {
         return;
     }
-    let report = harness
-        .run_replicated()
-        .unwrap_or_else(|e| fail("replicated run failed (divergence or corruption)", &e));
+    // (killed-at, degraded-at, live-at, reintegrated, latency) when the
+    // backup-failure driver ran.
+    type CkptMeta = (Option<SimTime>, Option<SimTime>, Option<SimTime>, bool, Option<SimTime>);
+    let (report, ckpt_meta): (_, Option<CkptMeta>) = if backup_fault {
+        let cr = harness
+            .run_checkpointed(ftjvm::CheckpointPlan {
+                fault: cfg.fault,
+                kill_backup_after_units: kill_backup,
+                reintegrate,
+            })
+            .unwrap_or_else(|e| fail("checkpointed run failed (divergence or corruption)", &e));
+        let meta = (
+            cr.backup_killed_at,
+            cr.degraded_entered_at,
+            cr.reintegrated_at,
+            cr.reintegrated,
+            cr.reintegration_latency(),
+        );
+        (cr.pair, Some(meta))
+    } else {
+        let r = harness
+            .run_replicated()
+            .unwrap_or_else(|e| fail("replicated run failed (divergence or corruption)", &e));
+        (r, None)
+    };
+    report
+        .check_no_duplicate_outputs()
+        .unwrap_or_else(|id| fail("exactly-once violated", &format!("output {id} duplicated")));
     if report.crashed {
         // A crashed primary ran only a prefix; a ratio against the full
         // baseline would mislead.
@@ -261,6 +319,22 @@ fn main() {
         s.bytes_logged,
         s.heartbeats,
     );
+    if cfg.checkpoint_interval.is_some() {
+        println!(
+            "  epochs: {} cut, {} acked; latest snapshot {} bytes ({} chunks shipped); \
+             retained suffix peak {} frames / {} bytes; {} outputs committed degraded",
+            s.epochs_cut,
+            s.epochs_acked,
+            s.snapshot_bytes,
+            s.snapshot_chunks_sent,
+            s.peak_suffix_frames,
+            s.peak_suffix_bytes,
+            s.degraded_outputs,
+        );
+        if let Some(bs) = &report.backup_stats {
+            println!("  backup stored-log peak: {} pending records/frames", bs.peak_backup_pending);
+        }
+    }
     if cfg.net_fault.is_armed() {
         let c = &report.channel;
         let originals = c.messages_sent.saturating_sub(c.retransmits);
@@ -297,6 +371,23 @@ fn main() {
         let b = report.backup.as_ref().expect("hot standby ran");
         println!("\nhot standby streamed the whole log (no crash):");
         println!("  standby total:          {}", b.acct.total());
+    }
+    if let Some((killed, degraded, live, reintegrated, latency)) = ckpt_meta {
+        println!("\nbackup-failure timeline:");
+        match killed {
+            Some(t) => println!("  backup killed at:       {t}"),
+            None => println!("  backup kill never fired (run ended first)"),
+        }
+        if let Some(t) = degraded {
+            println!("  degraded mode entered:  {t}");
+        }
+        if let Some(t) = live {
+            println!("  replacement live at:    {t}");
+        }
+        println!("  re-integrated:          {}", if reintegrated { "yes" } else { "no" });
+        if let Some(l) = latency {
+            println!("  re-integration latency: {l}");
+        }
     }
     println!("\nconsole ({} lines):", report.console().len());
     for line in report.console().iter().take(12) {

@@ -77,7 +77,8 @@ pub mod workloads {
 }
 
 pub use ftjvm_core::{
-    FtConfig, FtJvm, LagBudget, LockVariant, NetFaultPlan, PairReport, Replica, ReplicaRuntime,
-    ReplicationMode, Role, SeRegistry, SideEffectHandler, WireCodec,
+    CheckpointPlan, CheckpointReport, FtConfig, FtJvm, LagBudget, LockVariant, NetFaultPlan,
+    PairReport, Replica, ReplicaRuntime, ReplicationMode, Role, SeRegistry, SideEffectHandler,
+    WireCodec,
 };
 pub use ftjvm_vm::{NativeRegistry, Program, VmConfig, VmError};

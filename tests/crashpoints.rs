@@ -1,0 +1,354 @@
+//! Epoch-checkpoint crashpoint sweeps: with `checkpoint_interval` set the
+//! pair must (a) stay byte-identical to the uncheckpointed run while
+//! bounding retained-log memory to one epoch, (b) survive a primary crash
+//! at *every* flush boundary, (c) survive a backup crash — degraded mode,
+//! replacement recruitment over state transfer, and a *second* crash of
+//! the primary afterwards — with exactly-once, byte-identical output,
+//! including over a 20%-loss adversarial link.
+
+use ftjvm::netsim::{FailureDetector, FaultPlan, SimTime, WireCodec};
+use ftjvm::workloads::{micro, Workload};
+use ftjvm::{CheckpointPlan, FtConfig, FtJvm, LagBudget, NetFaultPlan, ReplicationMode};
+
+/// A plan mixing every fault class: `drop` loss plus duplication,
+/// corruption, and reorder jitter (same shape as `tests/net_fault.rs`).
+fn mixed_plan(seed: u64, drop: f64) -> NetFaultPlan {
+    NetFaultPlan {
+        seed,
+        drop,
+        duplicate: 0.05,
+        corrupt: 0.02,
+        reorder: 0.10,
+        jitter: SimTime::from_micros(300),
+        ..NetFaultPlan::default()
+    }
+}
+
+fn base_cfg(mode: ReplicationMode) -> FtConfig {
+    FtConfig { mode, ..FtConfig::default() }
+}
+
+/// Checkpointed-pair config: epochs every `interval` flushes, and a
+/// failure detector fast enough (1 ms × 2 missed) that backup death is
+/// declared well within a micro workload's few-millisecond run.
+fn ckpt_cfg(mode: ReplicationMode, interval: u64) -> FtConfig {
+    FtConfig {
+        lag_budget: LagBudget::Hot,
+        checkpoint_interval: Some(interval),
+        detector: FailureDetector::new(SimTime::from_millis(1), 2),
+        ..base_cfg(mode)
+    }
+}
+
+/// The failure-free reference console (cold pair, default config).
+fn free_console(w: &Workload, mode: ReplicationMode) -> Vec<String> {
+    FtJvm::new(w.program.clone(), base_cfg(mode))
+        .run_replicated()
+        .unwrap_or_else(|e| panic!("{} {mode} free: {e}", w.name))
+        .console()
+}
+
+// --- (a) failure-free equivalence + bounded log memory --------------------
+
+#[test]
+fn checkpointed_hot_pair_matches_plain_and_bounds_suffix() {
+    let w = micro::file_journal(200);
+    for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+        let free = free_console(&w, mode);
+
+        let run = |interval: u64| {
+            FtJvm::new(
+                w.program.clone(),
+                FtConfig {
+                    lag_budget: LagBudget::Hot,
+                    checkpoint_interval: Some(interval),
+                    ..base_cfg(mode)
+                },
+            )
+            .run_replicated()
+            .unwrap_or_else(|e| panic!("{} {mode} interval {interval}: {e}", w.name))
+        };
+
+        // Epochs every 4 flushes vs. an interval so large no cut ever
+        // happens (the retained suffix then grows to the whole log).
+        let bounded = run(4);
+        let unbounded = run(u64::MAX);
+
+        assert_eq!(bounded.console(), free, "{mode}: checkpointed console");
+        assert_eq!(unbounded.console(), free, "{mode}: uncut console");
+        bounded.check_no_duplicate_outputs().expect("exactly-once");
+
+        let s = &bounded.primary_stats;
+        assert!(s.epochs_cut >= 3, "{mode}: expected several epoch cuts, got {}", s.epochs_cut);
+        assert!(s.epochs_acked >= 1, "{mode}: backup acked no epochs");
+        assert_eq!(unbounded.primary_stats.epochs_cut, 0, "{mode}: uncut run must not cut");
+        // The one-epoch bound: truncation keeps the retained suffix far
+        // below the whole-log peak the uncut run accumulates.
+        assert!(
+            s.peak_suffix_frames * 2 <= unbounded.primary_stats.peak_suffix_frames,
+            "{mode}: suffix not bounded: {} vs uncut {}",
+            s.peak_suffix_frames,
+            unbounded.primary_stats.peak_suffix_frames
+        );
+        assert!(
+            s.peak_suffix_bytes * 2 <= unbounded.primary_stats.peak_suffix_bytes,
+            "{mode}: suffix bytes not bounded: {} vs uncut {}",
+            s.peak_suffix_bytes,
+            unbounded.primary_stats.peak_suffix_bytes
+        );
+    }
+}
+
+// --- (b) primary crash at every flush boundary ----------------------------
+
+fn flush_boundary_sweep(w: &Workload, base: FtConfig) {
+    let mode = base.mode;
+    let free = free_console(w, mode);
+    let mk = |fault| FtConfig { fault, ..base.clone() };
+    // The reference run tells us how many flush boundaries exist.
+    let flushes = FtJvm::new(w.program.clone(), mk(FaultPlan::None))
+        .run_replicated()
+        .unwrap_or_else(|e| panic!("{} {mode} reference: {e}", w.name))
+        .primary_stats
+        .flushes;
+    assert!(flushes >= 4, "{}: workload too small for a flush sweep", w.name);
+    // Kill the primary at every flush boundary (sampled down to ~16 cases
+    // for very chatty workloads; always including the first and last).
+    let step = (flushes / 16).max(1);
+    let mut boundaries: Vec<u64> = (0..flushes).step_by(step as usize).collect();
+    boundaries.push(flushes - 1);
+    for n in boundaries {
+        let report = FtJvm::new(w.program.clone(), mk(FaultPlan::AfterFlush(n)))
+            .run_with_failure()
+            .unwrap_or_else(|e| panic!("{} {mode} AfterFlush({n}): {e}", w.name));
+        assert!(report.crashed, "{} {mode} AfterFlush({n}) must fire", w.name);
+        assert_eq!(report.console(), free, "{} {mode} AfterFlush({n})", w.name);
+        report
+            .check_no_duplicate_outputs()
+            .unwrap_or_else(|id| panic!("{} {mode} AfterFlush({n}): duplicate {id}", w.name));
+    }
+}
+
+#[test]
+fn primary_crash_at_every_flush_boundary_locksync() {
+    flush_boundary_sweep(&micro::file_journal(24), ckpt_cfg(ReplicationMode::LockSync, 3));
+}
+
+#[test]
+fn primary_crash_at_every_flush_boundary_threadsched() {
+    // `sync_counter` commits a single output at the end, so flushing is
+    // driven by the byte threshold: shrink it — and the scheduling
+    // quantum, to multiply context switches — so the sched-record stream
+    // crosses many flush boundaries.
+    let mut cfg = FtConfig { flush_threshold: 128, ..ckpt_cfg(ReplicationMode::ThreadSched, 3) };
+    cfg.vm.quantum = 60;
+    cfg.vm.quantum_jitter = 30;
+    flush_boundary_sweep(&micro::sync_counter(3, 80), cfg);
+}
+
+// --- (c) backup crash, degraded mode, re-integration ----------------------
+
+/// A late primary crash: just before the final output commit, so the
+/// replacement standby must already be live to preserve the output.
+fn late_crash(w: &Workload, mode: ReplicationMode) -> FaultPlan {
+    let commits = FtJvm::new(w.program.clone(), base_cfg(mode))
+        .run_replicated()
+        .unwrap_or_else(|e| panic!("{} {mode} probe: {e}", w.name))
+        .primary_stats
+        .output_commits;
+    FaultPlan::BeforeOutput(commits.saturating_sub(1))
+}
+
+#[test]
+fn backup_death_degrades_but_completes() {
+    let w = micro::file_journal(200);
+    for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+        let free = free_console(&w, mode);
+        let report = FtJvm::new(w.program.clone(), ckpt_cfg(mode, 3))
+            .run_checkpointed(CheckpointPlan {
+                fault: FaultPlan::None,
+                kill_backup_after_units: Some(512),
+                reintegrate: false,
+            })
+            .unwrap_or_else(|e| panic!("{} {mode} degraded: {e}", w.name));
+        assert!(report.backup_killed_at.is_some(), "{mode}: kill never fired");
+        assert!(!report.reintegrated, "{mode}: no replacement was requested");
+        assert!(!report.pair.crashed, "{mode}: primary must survive alone");
+        assert_eq!(report.pair.console(), free, "{mode}: degraded console");
+        report.pair.check_no_duplicate_outputs().expect("exactly-once");
+        assert!(
+            report.degraded_entered_at.is_some(),
+            "{mode}: detector never declared the backup dead"
+        );
+        assert!(
+            report.pair.primary_stats.degraded_outputs > 0,
+            "{mode}: expected unacknowledged output commits while degraded"
+        );
+    }
+}
+
+fn reintegrate_then_crash(w: &Workload, mode: ReplicationMode, net: NetFaultPlan) {
+    let free = free_console(w, mode);
+    let cfg = FtConfig { net_fault: net, ..ckpt_cfg(mode, 3) };
+    let report = FtJvm::new(w.program.clone(), cfg)
+        .run_checkpointed(CheckpointPlan {
+            fault: late_crash(w, mode),
+            kill_backup_after_units: Some(512),
+            reintegrate: true,
+        })
+        .unwrap_or_else(|e| panic!("{} {mode} reintegrate: {e}", w.name));
+    assert!(report.backup_killed_at.is_some(), "{mode}: kill never fired");
+    assert!(
+        report.reintegrated,
+        "{mode}: replacement standby never went live (degraded at {:?})",
+        report.degraded_entered_at
+    );
+    assert!(report.pair.crashed, "{mode}: late primary crash must fire");
+    assert_eq!(report.pair.console(), free, "{mode}: second-failover console");
+    report
+        .pair
+        .check_no_duplicate_outputs()
+        .unwrap_or_else(|id| panic!("{mode}: duplicate output {id}"));
+    assert!(report.reintegration_latency().is_some(), "{mode}: no latency measured");
+    assert!(report.degraded_window().is_some(), "{mode}: no degraded window measured");
+}
+
+#[test]
+fn backup_crash_then_reintegration_then_primary_crash() {
+    let w = micro::file_journal(200);
+    for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+        reintegrate_then_crash(&w, mode, NetFaultPlan::default());
+    }
+}
+
+/// The acceptance scenario: backup killed mid-stream, replacement
+/// recruited over a 20%-loss/duplicating/corrupting/reordering link,
+/// then the primary crashes — output still exactly-once, byte-identical.
+#[test]
+fn reintegration_survives_lossy_link_then_primary_crash() {
+    let w = micro::file_journal(200);
+    for (mode, seed) in
+        [(ReplicationMode::LockSync, 0xA11CE), (ReplicationMode::ThreadSched, 0xB0B)]
+    {
+        reintegrate_then_crash(&w, mode, mixed_plan(seed, 0.20));
+    }
+}
+
+/// Kill the backup at a spread of points; wherever the kill lands the run
+/// must stay exactly-once, and whenever the replacement went live before
+/// the late crash the console must match the failure-free reference.
+#[test]
+fn backup_kill_sweep_with_reintegration() {
+    let w = micro::file_journal(200);
+    let mode = ReplicationMode::LockSync;
+    let free = free_console(&w, mode);
+    let fault = late_crash(&w, mode);
+    let mut full_path_cases = 0;
+    for kill in [256u64, 512, 768, 1_024, 1_536] {
+        let report = FtJvm::new(w.program.clone(), ckpt_cfg(mode, 3))
+            .run_checkpointed(CheckpointPlan {
+                fault,
+                kill_backup_after_units: Some(kill),
+                reintegrate: true,
+            })
+            .unwrap_or_else(|e| panic!("kill@{kill}: {e}"));
+        report
+            .pair
+            .check_no_duplicate_outputs()
+            .unwrap_or_else(|id| panic!("kill@{kill}: duplicate output {id}"));
+        if report.reintegrated && report.pair.crashed {
+            assert_eq!(report.pair.console(), free, "kill@{kill}");
+            full_path_cases += 1;
+        }
+    }
+    assert!(full_path_cases >= 1, "no kill point exercised the full kill→reintegrate→crash path");
+}
+
+// --- cold pairs: bounded store + snapshot-based recovery ------------------
+
+#[test]
+fn cold_checkpointed_bounds_store_and_recovers_from_snapshot() {
+    let w = micro::file_journal(200);
+    for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+        let free = free_console(&w, mode);
+        let run = |interval: Option<u64>, fault: FaultPlan| {
+            let crashes = fault.is_armed();
+            let cfg = FtConfig {
+                lag_budget: LagBudget::Cold,
+                checkpoint_interval: interval,
+                fault,
+                ..base_cfg(mode)
+            };
+            let h = FtJvm::new(w.program.clone(), cfg);
+            if crashes { h.run_with_failure() } else { h.run_replicated() }
+                .unwrap_or_else(|e| panic!("{} {mode} cold: {e}", w.name))
+        };
+
+        // Failure-free: byte-identical to the uncheckpointed cold pair.
+        let quiet = run(Some(3), FaultPlan::None);
+        assert_eq!(quiet.console(), free, "{mode}: cold checkpointed console");
+        assert!(quiet.primary_stats.epochs_cut >= 3, "{mode}: cold pair never cut");
+
+        // Crashed: the checkpointed store holds one epoch, not the whole
+        // log, and recovery restores the snapshot instead of replaying
+        // from instruction zero.
+        let fault = late_crash(&w, mode);
+        let bounded = run(Some(3), fault);
+        let unbounded = run(Some(u64::MAX), fault);
+        let classic = run(None, fault);
+        for (label, r) in [("bounded", &bounded), ("uncut", &unbounded), ("classic", &classic)] {
+            assert!(r.crashed, "{mode} {label}: fault must fire");
+            assert_eq!(r.console(), free, "{mode} {label}: recovered console");
+            r.check_no_duplicate_outputs()
+                .unwrap_or_else(|id| panic!("{mode} {label}: duplicate {id}"));
+        }
+        let peak = |r: &ftjvm::PairReport| {
+            r.backup_stats.as_ref().expect("backup took over").peak_backup_pending
+        };
+        assert!(
+            peak(&bounded) * 2 <= peak(&unbounded),
+            "{mode}: store not bounded: {} vs uncut {}",
+            peak(&bounded),
+            peak(&unbounded)
+        );
+        assert!(
+            bounded.recovery_replay_time < classic.recovery_replay_time,
+            "{mode}: snapshot recovery ({:?}) not faster than full replay ({:?})",
+            bounded.recovery_replay_time,
+            classic.recovery_replay_time
+        );
+    }
+}
+
+/// The compact delta/varint codec snapshots and restores its encoder
+/// context across the cut, so the whole epoch machinery must hold under
+/// it too.
+#[test]
+fn checkpointed_paths_hold_under_compact_codec() {
+    let w = micro::file_journal(60);
+    for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+        let free = FtJvm::new(
+            w.program.clone(),
+            FtConfig { mode, codec: WireCodec::Compact, ..FtConfig::default() },
+        )
+        .run_replicated()
+        .unwrap_or_else(|e| panic!("{mode} compact free: {e}"))
+        .console();
+        for lag in [LagBudget::Cold, LagBudget::Hot] {
+            let cfg = FtConfig {
+                mode,
+                codec: WireCodec::Compact,
+                lag_budget: lag,
+                checkpoint_interval: Some(3),
+                fault: FaultPlan::BeforeOutput(30),
+                ..FtConfig::default()
+            };
+            let report = FtJvm::new(w.program.clone(), cfg)
+                .run_with_failure()
+                .unwrap_or_else(|e| panic!("{mode} compact {lag:?}: {e}"));
+            assert!(report.crashed);
+            assert_eq!(report.console(), free, "{mode} compact {lag:?}");
+            report.check_no_duplicate_outputs().expect("exactly-once");
+        }
+    }
+}

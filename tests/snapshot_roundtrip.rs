@@ -1,0 +1,243 @@
+//! Snapshot round-trip properties at system level: epoch snapshots must
+//! restore into a backup that continues **bit-for-bit** — across all six
+//! SPEC JVM98 analogs, both wire codecs, and randomized cut cadences —
+//! and a corrupted snapshot blob must never restore (mirroring the
+//! mutation classes of the `ftjvm-fuzz-frames` corpus fuzzer: bit flips,
+//! truncation, extension, splice, and pure noise).
+
+use ftjvm::netsim::{FaultPlan, WireCodec};
+use ftjvm::vm::coordinator::NoopCoordinator;
+use ftjvm::vm::{SimEnv, SliceOutcome, SnapshotError, Vm, World};
+use ftjvm::workloads::{self, Workload};
+use ftjvm::{FtConfig, FtJvm, LagBudget, NativeRegistry, ReplicationMode, VmConfig};
+use proptest::prelude::*;
+
+fn run_report(w: &Workload, cfg: FtConfig) -> ftjvm::PairReport {
+    let crashes = cfg.fault.is_armed();
+    let h = FtJvm::new(w.program.clone(), cfg);
+    let report = if crashes { h.run_with_failure() } else { h.run_replicated() }
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    report
+        .check_no_duplicate_outputs()
+        .unwrap_or_else(|id| panic!("{}: duplicate output {id}", w.name));
+    report
+}
+
+/// Every SPEC analog, both codecs: crash the primary mid-run with epoch
+/// checkpointing on — recovery restores the latest snapshot and replays
+/// only the stored suffix, and the output must still be byte-identical
+/// to the failure-free run. This is the system-level snapshot round
+/// trip: VM state, codec context, ND/output sequences, and SE payloads
+/// all cross the blob.
+#[test]
+fn spec_analogs_recover_from_snapshot_under_both_codecs() {
+    for (i, w) in workloads::spec_suite().iter().enumerate() {
+        // Alternate techniques to bound runtime; both see three analogs.
+        let mode =
+            if i % 2 == 0 { ReplicationMode::LockSync } else { ReplicationMode::ThreadSched };
+        for codec in [WireCodec::Fixed, WireCodec::Compact] {
+            let base = FtConfig { mode, codec, ..FtConfig::default() };
+            let free = run_report(w, base.clone());
+            // mtrt's checksum is interleaving-dependent beyond the log's
+            // end, so (as in the cold/hot failover sweeps) its crash must
+            // commit the complete log.
+            let mid_run_crash = w.name != "mtrt";
+            let fault = if mid_run_crash {
+                FaultPlan::AfterInstructions(free.primary.counters.instructions * 3 / 5)
+            } else {
+                FaultPlan::BeforeOutput(0)
+            };
+            // Aim for a handful of cuts before the crash, whatever the
+            // analog's flush cadence (jess barely flushes; db is chatty).
+            let interval = (free.primary_stats.flushes / 8).max(1);
+            let cfg = FtConfig {
+                lag_budget: LagBudget::Cold,
+                checkpoint_interval: Some(interval),
+                fault,
+                ..base
+            };
+            let crashed = run_report(w, cfg);
+            assert!(crashed.crashed, "{} {mode} {codec}: fault must fire", w.name);
+            assert_eq!(
+                crashed.console(),
+                free.console(),
+                "{} {mode} {codec}: snapshot recovery diverged",
+                w.name
+            );
+            // mtrt crashes before its first output — and flushing is
+            // commit-driven — so only the mid-run analogs can have cut.
+            if mid_run_crash && free.primary_stats.flushes >= 4 {
+                assert!(
+                    crashed.primary_stats.epochs_cut >= 1,
+                    "{} {mode} {codec}: no epoch was ever cut ({} flushes)",
+                    w.name,
+                    free.primary_stats.flushes
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Randomized cut cadence × crash point × codec × technique ×
+    /// standby temperature: wherever the epoch falls relative to the
+    /// crash, restore-and-continue output equals the failure-free run.
+    #[test]
+    fn random_cut_cadences_round_trip(
+        interval in 1u64..8,
+        crash_pm in 100u64..900,
+        workload_sel in 0u8..3,
+        compact in any::<bool>(),
+        hot in any::<bool>(),
+    ) {
+        let (w, mode) = match workload_sel {
+            0 => (workloads::micro::sync_counter(2, 120), ReplicationMode::ThreadSched),
+            1 => (workloads::micro::file_journal(40), ReplicationMode::LockSync),
+            _ => (workloads::micro::nd_natives(60), ReplicationMode::LockSync),
+        };
+        let codec = if compact { WireCodec::Compact } else { WireCodec::Fixed };
+        let base = FtConfig { mode, codec, ..FtConfig::default() };
+        let free = run_report(&w, base.clone());
+        let crash_at = free.primary.counters.instructions * crash_pm / 1000;
+        let cfg = FtConfig {
+            lag_budget: if hot { LagBudget::Hot } else { LagBudget::Cold },
+            checkpoint_interval: Some(interval),
+            fault: FaultPlan::AfterInstructions(crash_at.max(1)),
+            ..base
+        };
+        let crashed = run_report(&w, cfg);
+        prop_assert!(crashed.crashed);
+        prop_assert_eq!(crashed.console(), free.console());
+    }
+}
+
+// --- corrupt-snapshot rejection -------------------------------------------
+
+/// Deterministic splitmix64, as in `ftjvm-fuzz-frames`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+/// One mutation, mirroring the fuzz-frames classes: bit flips,
+/// truncation, extension, splice, or pure noise.
+fn mutate(rng: &mut Rng, base: &[u8]) -> Vec<u8> {
+    let mut v = base.to_vec();
+    match rng.next() % 5 {
+        0 => {
+            for _ in 0..=rng.below(8) {
+                let i = rng.below(v.len());
+                v[i] ^= 1 << rng.below(8);
+            }
+        }
+        1 => v.truncate(rng.below(v.len())),
+        2 => {
+            for _ in 0..=rng.below(64) {
+                v.push(rng.next() as u8);
+            }
+        }
+        3 => {
+            let at = rng.below(v.len());
+            let len = rng.below(v.len() - at);
+            let src = rng.below(v.len().saturating_sub(len.max(1)));
+            let splice: Vec<u8> = v[src..src + len].to_vec();
+            v[at..at + len].copy_from_slice(&splice);
+        }
+        _ => {
+            let len = rng.below(256);
+            v = (0..len).map(|_| rng.next() as u8).collect();
+        }
+    }
+    v
+}
+
+fn snapshot_of(w: &Workload, cfg: &VmConfig) -> Vec<u8> {
+    let env = SimEnv::new("p", World::shared(), ftjvm::netsim::SimTime::ZERO, 7);
+    let mut vm = Vm::new(w.program.clone(), NativeRegistry::with_builtins(), env, cfg.clone())
+        .expect("vm builds");
+    let mut coord = NoopCoordinator::new();
+    let mut slices = 0u32;
+    loop {
+        match vm.run_slice(&mut coord, 64).expect("runs") {
+            SliceOutcome::Budget | SliceOutcome::Paused => {
+                vm.poll_suspended(&mut coord);
+                slices += 1;
+                if slices >= 4 && vm.quiescent() {
+                    break;
+                }
+            }
+            SliceOutcome::Completed(_) | SliceOutcome::Stopped(_) => {
+                panic!("{}: finished before a quiescent cut", w.name)
+            }
+        }
+    }
+    vm.snapshot(&[]).expect("snapshot at quiescent point").to_vec()
+}
+
+/// 500 seeded mutations per workload: a mutated blob must either restore
+/// to the *identical* snapshot (the mutation missed every load-bearing
+/// byte — only possible for a byte-identical blob) or be rejected with a
+/// clean [`SnapshotError`]; it must never panic or restore silently.
+#[test]
+fn corrupt_snapshots_never_restore() {
+    let cfg = VmConfig { quantum: 50, quantum_jitter: 30, ..VmConfig::default() };
+    for w in [workloads::micro::nd_natives(60), workloads::micro::sync_counter(2, 80)] {
+        let blob = snapshot_of(&w, &cfg);
+        let restore = |bytes: &[u8]| {
+            Vm::restore(
+                w.program.clone(),
+                NativeRegistry::with_builtins(),
+                World::shared(),
+                &cfg,
+                bytes,
+            )
+            .map(|_| ())
+        };
+
+        // Targeted classes first (the vm crate asserts exact variants;
+        // here we re-check through the public facade).
+        assert_eq!(restore(&blob[..4]), Err(SnapshotError::Truncated));
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(restore(&bad), Err(SnapshotError::BadMagic));
+        let mut bad = blob.clone();
+        bad[4] = 99;
+        assert_eq!(restore(&bad), Err(SnapshotError::BadVersion(99)));
+        for pos in [9, blob.len() / 2, blob.len() - 1] {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                matches!(restore(&bad), Err(SnapshotError::Crc { .. })),
+                "{}: flip at {pos} must fail the checksum",
+                w.name
+            );
+        }
+
+        // Seeded sweep over every mutation class.
+        let mut rng = Rng(0xC0FFEE ^ blob.len() as u64);
+        for i in 0..500 {
+            let bad = mutate(&mut rng, &blob);
+            if bad == blob {
+                continue; // the mutation was an identity (e.g. zero-length splice)
+            }
+            assert!(
+                restore(&bad).is_err(),
+                "{}: mutation {i} altered the blob yet restored",
+                w.name
+            );
+        }
+    }
+}
