@@ -1,9 +1,13 @@
 //! Microbenchmark: raw interpreter throughput (wall-clock), with and
 //! without the per-instruction thread-scheduling bookkeeping — the
-//! real-time analog of the paper's "Misc" overhead.
+//! real-time analog of the paper's "Misc" overhead — plus the dispatch
+//! comparison (pre-decoded block engine vs per-unit `match` fetch) and a
+//! block-size sweep showing where segment fusion stops paying.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ftjvm_core::{FtConfig, FtJvm, ReplicationMode};
+use ftjvm_netsim::FaultPlan;
+use ftjvm_vm::{DispatchEngine, World};
 use std::hint::black_box;
 
 fn bench_interpreter(c: &mut Criterion) {
@@ -51,5 +55,62 @@ fn bench_interpreter(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_interpreter);
+/// Decoded block dispatch vs per-unit `match` fetch on the same workload,
+/// both engines crossed with the per-unit consult cadence (`cap1`) that
+/// reproduces the pre-segment interpreter. `match-cap1` is the "before"
+/// column; `decoded` is the shipped configuration.
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(15);
+    let w = ftjvm_workloads::micro::arith_loop(20_000);
+    let cases = [
+        ("decoded", DispatchEngine::Decoded, 0u32),
+        ("decoded-cap1", DispatchEngine::Decoded, 1),
+        ("match", DispatchEngine::Match, 0),
+        ("match-cap1", DispatchEngine::Match, 1),
+    ];
+    for (label, engine, cap) in cases {
+        let mut cfg = FtConfig::default();
+        cfg.vm.engine = engine;
+        cfg.vm.block_cap = cap;
+        let harness = FtJvm::new(w.program.clone(), cfg);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (report, _) = harness.run_unreplicated().expect("runs");
+                black_box(report.counters.instructions)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Block-size sweep under the thread-scheduling primary (where each block
+/// boundary costs a progress-tracking consult): throughput from the
+/// per-unit cadence (`cap=1`) up to unbounded segments (`cap=0`).
+fn bench_block_cap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block-cap");
+    group.sample_size(15);
+    let w = ftjvm_workloads::micro::arith_loop(20_000);
+    for cap in [1u32, 4, 16, 64, 256, 0] {
+        let mut cfg = FtConfig { mode: ReplicationMode::ThreadSched, ..FtConfig::default() };
+        cfg.vm.block_cap = cap;
+        let harness = FtJvm::new(w.program.clone(), cfg);
+        let label = if cap == 0 {
+            "ts-primary/unbounded".to_string()
+        } else {
+            format!("ts-primary/cap{cap}")
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let world = World::shared();
+                let (report, _, _, _) =
+                    harness.runtime().run_primary_to_log(&world, FaultPlan::None).expect("runs");
+                black_box(report.counters.instructions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter, bench_dispatch, bench_block_cap);
 criterion_main!(benches);

@@ -35,8 +35,8 @@ fn main() {
         println!();
     }
     println!("\nlegend: (o)riginal (c)ommunication (r)escheduling (m)isc (p)essimistic");
-    println!(
-        "paper shape: Misc (per-instruction bookkeeping) dominates; only mtrt pays communication;"
-    );
-    println!("overheads range ~15% (compress) to ~100% (jack)");
+    println!("paper shape: Misc (progress-tracking bookkeeping) was the dominant cost at the");
+    println!("paper's per-instruction cadence (reproduce with `vm.block_cap = 1`); fused");
+    println!("block-boundary tracking cuts it to a few percent, leaving jack's communication");
+    println!("as the largest remaining overhead");
 }

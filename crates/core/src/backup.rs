@@ -32,8 +32,8 @@ use ftjvm_vm::coordinator::Pick;
 use ftjvm_vm::native::NativeDecl;
 use ftjvm_vm::ThreadIdx;
 use ftjvm_vm::{
-    AdoptedOutcome, Coordinator, MonitorDecision, NativeDirective, ObjRef, SharedWorld, StopReason,
-    SwitchReason, ThreadObs, ThreadSnap, Value, VmError, VtPath,
+    AdoptedOutcome, Coordinator, MonitorDecision, NativeDirective, ObjRef, QuietBudget,
+    SharedWorld, StopReason, SwitchReason, ThreadObs, ThreadSnap, Value, VmError, VtPath,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -1227,15 +1227,15 @@ impl Coordinator for TsBackup {
             self.replay.mark_recovery_complete(acct);
             return false;
         };
-        // The backup tracks replay progress with the same per-instruction
-        // PC updates and per-branch counter maintenance as the primary.
+        // The backup tracks replay progress with the same block-boundary
+        // counter materialization as the primary: a PC update per consult,
+        // plus one `br_cnt` store when control flow happened in the block.
         {
             let mut cost = self.replay.cost.ts_pc_track;
             let last = self.last_br.entry(t.t.0).or_insert(0);
             if t.br_cnt > *last {
-                let delta = t.br_cnt - *last;
                 *last = t.br_cnt;
-                cost += SimTime::from_nanos(self.replay.cost.ts_br_track.as_nanos() * delta);
+                cost += self.replay.cost.ts_br_track;
             }
             acct.charge(Category::Misc, cost);
         }
@@ -1271,6 +1271,45 @@ impl Coordinator for TsBackup {
             return true;
         }
         false
+    }
+
+    fn quiet_budget(&mut self, t: &ThreadObs<'_>, max: u64) -> QuietBudget {
+        // Exact replay at block granularity: bound each block so the
+        // designated thread stops precisely at the recorded progress point
+        // rather than overshooting it inside a fused run.
+        let unlimited = QuietBudget { units: max, stop_br: None };
+        if self.designated.is_none() {
+            return unlimited;
+        }
+        let Some(rec) = self.replay.log.sched.front() else { return unlimited };
+        let Some(vt) = t.vt else { return unlimited };
+        if &rec.t != vt {
+            return unlimited;
+        }
+        if rec.br_cnt > t.br_cnt {
+            // Run freely up to the recorded branch count; the interpreter
+            // halts the block the moment `br_cnt` reaches it.
+            return QuietBudget { units: max, stop_br: Some(rec.br_cnt) };
+        }
+        if rec.br_cnt == t.br_cnt {
+            if !t.in_native
+                && !rec.in_native
+                && rec.mon_cnt == t.mon_cnt
+                && t.method.map(|m| m.0) == Some(rec.method)
+                && rec.pc_off > t.pc
+            {
+                // Same straight-line run as the record: the remaining unit
+                // count to the recorded PC is exact.
+                return QuietBudget {
+                    units: max.min(u64::from(rec.pc_off - t.pc)),
+                    stop_br: Some(t.br_cnt + 1),
+                };
+            }
+            // At the recorded branch count but not provably before the
+            // recorded point; single-step until the next branch.
+            return QuietBudget { units: max, stop_br: Some(t.br_cnt + 1) };
+        }
+        unlimited
     }
 
     fn on_yield(&mut self, snap: &ThreadSnap, reason: SwitchReason, acct: &mut TimeAccount) {

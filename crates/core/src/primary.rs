@@ -652,11 +652,12 @@ impl PrimaryCore {
         self.heartbeat_interval = interval;
     }
 
-    /// Per-unit tick: drives the instruction-count fault plan and the
-    /// failure-detection heartbeat (the paper's dedicated system thread;
-    /// here a time-driven send on the log channel).
-    fn tick(&mut self, acct: &mut TimeAccount) {
-        self.units += 1;
+    /// Progress tick for `n` executed units: drives the instruction-count
+    /// fault plan and the failure-detection heartbeat (the paper's
+    /// dedicated system thread; here a time-driven send on the log
+    /// channel). Called once per block, not per unit.
+    fn tick_n(&mut self, n: u64, acct: &mut TimeAccount) {
+        self.units += n;
         if let FaultPlan::AfterInstructions(n) = self.fault {
             if self.units > n {
                 self.crashed = true;
@@ -1060,9 +1061,8 @@ impl Coordinator for LockSyncPrimary {
         self.common.stop()
     }
 
-    fn check_preempt(&mut self, _t: &ThreadObs<'_>, acct: &mut TimeAccount) -> bool {
-        self.common.tick(acct);
-        false
+    fn note_units(&mut self, n: u64, acct: &mut TimeAccount) {
+        self.common.tick_n(n, acct);
     }
 
     fn post_monitor_acquire(
@@ -1184,9 +1184,8 @@ impl Coordinator for IntervalPrimary {
         self.common.stop()
     }
 
-    fn check_preempt(&mut self, _t: &ThreadObs<'_>, acct: &mut TimeAccount) -> bool {
-        self.common.tick(acct);
-        false
+    fn note_units(&mut self, n: u64, acct: &mut TimeAccount) {
+        self.common.tick_n(n, acct);
     }
 
     fn post_monitor_acquire(
@@ -1298,19 +1297,23 @@ impl Coordinator for TsPrimary {
     }
 
     fn check_preempt(&mut self, t: &ThreadObs<'_>, acct: &mut TimeAccount) -> bool {
-        self.common.tick(acct);
         // The extra interpreter-loop work that tracks progress (the
-        // paper's dominant "Misc" overhead): a PC update after every
-        // bytecode plus `br_cnt` maintenance on each control-flow change.
+        // paper's dominant "Misc" overhead). With block-granular fusion
+        // the counters materialize once per consult, not once per unit: a
+        // PC update at each block boundary, plus one `br_cnt` store when
+        // any control flow happened since the last consult.
         let mut cost = self.common.cost.ts_pc_track;
         let last = self.last_br.entry(t.t.0).or_insert(0);
         if t.br_cnt > *last {
-            let delta = t.br_cnt - *last;
             *last = t.br_cnt;
-            cost += SimTime::from_nanos(self.common.cost.ts_br_track.as_nanos() * delta);
+            cost += self.common.cost.ts_br_track;
         }
         acct.charge(Category::Misc, cost);
         false
+    }
+
+    fn note_units(&mut self, n: u64, acct: &mut TimeAccount) {
+        self.common.tick_n(n, acct);
     }
 
     fn on_switch(
@@ -1432,9 +1435,9 @@ mod tests {
         let mut core = core_with(FaultPlan::AfterInstructions(2));
         core.flush_threshold = 0;
         let mut acct = TimeAccount::new();
-        core.tick(&mut acct);
-        core.tick(&mut acct);
-        core.tick(&mut acct); // > 2 -> crash
+        core.tick_n(1, &mut acct);
+        core.tick_n(1, &mut acct);
+        core.tick_n(1, &mut acct); // > 2 -> crash
         assert!(matches!(core.stop(), Some(StopReason::Crash)));
         core.log(lock_rec(1), Category::LockAcquire, SimTime::from_nanos(10), &mut acct);
         assert_eq!(core.stats.lock_acq_records, 0, "post-crash records are dropped");
@@ -1445,10 +1448,10 @@ mod tests {
         let mut core = core_with(FaultPlan::None);
         core.set_heartbeat_interval(SimTime::from_millis(10));
         let mut acct = TimeAccount::new();
-        core.tick(&mut acct); // t=0: first heartbeat
+        core.tick_n(1, &mut acct); // t=0: first heartbeat
         acct.charge(Category::Base, SimTime::from_millis(25));
-        core.tick(&mut acct); // t=25ms: second
-        core.tick(&mut acct); // still within interval: none
+        core.tick_n(1, &mut acct); // t=25ms: second
+        core.tick_n(1, &mut acct); // still within interval: none
         assert_eq!(core.stats.heartbeats, 2);
     }
 

@@ -141,6 +141,25 @@ pub enum StopReason {
     Error(VmError),
 }
 
+/// How far a straight-line segment may run before the coordinator must be
+/// consulted again (returned by [`Coordinator::quiet_budget`]).
+///
+/// The backup's thread-scheduling replay uses this to preempt at *exactly*
+/// the recorded `(br_cnt, pc_off)` point without a per-instruction consult:
+/// while the recorded `br_cnt` is ahead it caps the segment at the recorded
+/// counter value via `stop_br`; once the counters line up it converts the
+/// record's `pc_off` into an exact remaining-unit budget (straight-line
+/// decoded code advances the pc by exactly one per unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuietBudget {
+    /// Maximum units the segment may execute (the VM additionally caps by
+    /// quantum, slice, and configured block size).
+    pub units: u64,
+    /// Stop the segment as soon as the thread's `br_cnt` reaches this
+    /// value, even with budget left.
+    pub stop_br: Option<u64>,
+}
+
 /// Replica-coordination hooks. Every method has a no-op default, so the
 /// unit type of a coordinator only overrides the seams it cares about.
 pub trait Coordinator {
@@ -154,13 +173,34 @@ pub trait Coordinator {
         None
     }
 
-    /// Called before every execution unit (instruction or native phase) of
-    /// an application thread. Return `true` to preempt the thread *now*
+    /// Called once per *block* — before a straight-line segment of an
+    /// application thread, or before a single coordinated unit (monitor
+    /// op, native phase, throw). Return `true` to preempt the thread *now*
     /// (backup thread-scheduling replay fires exactly at recorded points).
-    /// Also the per-instruction bookkeeping charge site.
+    /// Also the progress-tracking bookkeeping charge site: one charge per
+    /// consult, not per instruction.
     fn check_preempt(&mut self, t: &ThreadObs<'_>, acct: &mut TimeAccount) -> bool {
         let _ = (t, acct);
         false
+    }
+
+    /// Asked after a negative [`Coordinator::check_preempt`], immediately
+    /// before a straight-line segment runs: how many units may execute
+    /// before the next consult. `max` is the VM's own cap (quantum, slice,
+    /// and configured block size); the default imposes no further limit.
+    /// The backup overrides this to stop the segment exactly at the next
+    /// recorded preemption point.
+    fn quiet_budget(&mut self, t: &ThreadObs<'_>, max: u64) -> QuietBudget {
+        let _ = t;
+        QuietBudget { units: max, stop_br: None }
+    }
+
+    /// `n` application-thread units were just executed (one segment or one
+    /// coordinated unit). The primary's time-driven machinery (heartbeats,
+    /// instruction-count fault plans, transport maintenance) hangs off this
+    /// hook; the default does nothing.
+    fn note_units(&mut self, n: u64, acct: &mut TimeAccount) {
+        let _ = (n, acct);
     }
 
     /// Quantum expired for `t`: return `true` to allow the involuntary

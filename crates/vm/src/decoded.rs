@@ -1,0 +1,295 @@
+//! Pre-decoded, flat instruction form for the block executor.
+//!
+//! [`DecodedProgram::build`] translates every method's `Vec<Insn>` into a
+//! dense stream of fixed-width [`DOp`]s once, at VM construction: operand
+//! indices are widened into flat `u32` fields, branch targets stay
+//! pre-resolved instruction indices, and per-callee facts that would
+//! otherwise need a method-table lookup at execution time (is the static
+//! callee synchronized?) are folded into flag bits. Primary and backup
+//! decode the same program, so the decoded stream is identical on both
+//! replicas and the paper's `(br_cnt, pc_off)` progress points address it
+//! directly — a decoded pc is the same instruction index as a bytecode pc.
+//!
+//! The flags also pre-classify each op for the segment executor
+//! ([`crate::exec::Vm::run_slice`]'s hot path): *breaker* ops (monitor
+//! operations, native invocations, throws, synchronized static calls) must
+//! run through the legacy one-unit path with their own coordinator
+//! consult, everything else can execute inside a straight-line segment.
+
+use crate::bytecode::{Cmp, Insn};
+use crate::class::Program;
+
+/// Dense operation code, one per [`Insn`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum OpCode {
+    Nop,
+    ConstI,
+    ConstD,
+    ConstNull,
+    ConstStr,
+    Dup,
+    DupX1,
+    Pop,
+    Swap,
+    Load,
+    Store,
+    Inc,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Neg,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    DAdd,
+    DSub,
+    DMul,
+    DDiv,
+    I2D,
+    D2I,
+    ICmp,
+    DCmp,
+    RefEq,
+    Goto,
+    If,
+    IfNot,
+    IfNull,
+    InvokeStatic,
+    InvokeVirtual,
+    InvokeNative,
+    Ret,
+    RetVal,
+    New,
+    GetField,
+    PutField,
+    GetStatic,
+    PutStatic,
+    ClassObj,
+    NewArray,
+    ALoad,
+    AStore,
+    ALen,
+    MonitorEnter,
+    MonitorExit,
+    Throw,
+}
+
+/// The op must execute through the legacy one-unit path (it coordinates
+/// with monitors, natives, or exception control flow).
+pub(crate) const F_BREAKER: u8 = 1 << 0;
+/// `InvokeStatic` whose callee is a synchronized method (implies
+/// [`F_BREAKER`]); precomputed so the segment executor never touches the
+/// method table for the common non-synchronized call.
+pub(crate) const F_SYNC_CALLEE: u8 = 1 << 1;
+
+/// One decoded instruction: fixed-width, `Copy`, no heap indirection.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DOp {
+    /// Operation.
+    pub code: OpCode,
+    /// Classification flags ([`F_BREAKER`], [`F_SYNC_CALLEE`]).
+    pub flags: u8,
+    /// First operand: local index, branch target, slot, class id, method
+    /// id, vslot, string id, native id, or comparison code.
+    pub a: u32,
+    /// Second operand: argument count or static slot.
+    pub b: u32,
+    /// Immediate: integer constant, increment delta, or `f64` bits.
+    pub imm: i64,
+}
+
+impl DOp {
+    /// True if this op must run through the legacy one-unit path.
+    #[inline]
+    pub fn is_breaker(self) -> bool {
+        self.flags & F_BREAKER != 0
+    }
+}
+
+/// Encodes a [`Cmp`] into a `u32` operand.
+fn cmp_code(c: Cmp) -> u32 {
+    match c {
+        Cmp::Eq => 0,
+        Cmp::Ne => 1,
+        Cmp::Lt => 2,
+        Cmp::Le => 3,
+        Cmp::Gt => 4,
+        Cmp::Ge => 5,
+    }
+}
+
+/// Decodes a [`Cmp`] operand written by [`cmp_code`].
+#[inline]
+pub(crate) fn cmp_of(a: u32) -> Cmp {
+    match a {
+        0 => Cmp::Eq,
+        1 => Cmp::Ne,
+        2 => Cmp::Lt,
+        3 => Cmp::Le,
+        4 => Cmp::Gt,
+        _ => Cmp::Ge,
+    }
+}
+
+/// Decodes one instruction. Also the per-op path of the `Match` dispatch
+/// engine, which re-derives the flat form from the original `Insn` on
+/// every fetch — deliberately paying the decode + match cost the
+/// pre-decoded engine amortizes away.
+pub(crate) fn decode_one(insn: Insn, program: &Program) -> DOp {
+    let op = |code| DOp { code, flags: 0, a: 0, b: 0, imm: 0 };
+    match insn {
+        Insn::Nop => op(OpCode::Nop),
+        Insn::Const(v) => DOp { imm: v, ..op(OpCode::ConstI) },
+        Insn::DConst(v) => DOp { imm: v.to_bits() as i64, ..op(OpCode::ConstD) },
+        Insn::ConstNull => op(OpCode::ConstNull),
+        Insn::ConstStr(sid) => DOp { a: sid.0, ..op(OpCode::ConstStr) },
+        Insn::Dup => op(OpCode::Dup),
+        Insn::DupX1 => op(OpCode::DupX1),
+        Insn::Pop => op(OpCode::Pop),
+        Insn::Swap => op(OpCode::Swap),
+        Insn::Load(n) => DOp { a: n as u32, ..op(OpCode::Load) },
+        Insn::Store(n) => DOp { a: n as u32, ..op(OpCode::Store) },
+        Insn::Inc(n, delta) => DOp { a: n as u32, imm: delta as i64, ..op(OpCode::Inc) },
+        Insn::Add => op(OpCode::Add),
+        Insn::Sub => op(OpCode::Sub),
+        Insn::Mul => op(OpCode::Mul),
+        Insn::Div => op(OpCode::Div),
+        Insn::Rem => op(OpCode::Rem),
+        Insn::Neg => op(OpCode::Neg),
+        Insn::And => op(OpCode::And),
+        Insn::Or => op(OpCode::Or),
+        Insn::Xor => op(OpCode::Xor),
+        Insn::Shl => op(OpCode::Shl),
+        Insn::Shr => op(OpCode::Shr),
+        Insn::DAdd => op(OpCode::DAdd),
+        Insn::DSub => op(OpCode::DSub),
+        Insn::DMul => op(OpCode::DMul),
+        Insn::DDiv => op(OpCode::DDiv),
+        Insn::I2D => op(OpCode::I2D),
+        Insn::D2I => op(OpCode::D2I),
+        Insn::ICmp(c) => DOp { a: cmp_code(c), ..op(OpCode::ICmp) },
+        Insn::DCmp(c) => DOp { a: cmp_code(c), ..op(OpCode::DCmp) },
+        Insn::RefEq => op(OpCode::RefEq),
+        Insn::Goto(target) => DOp { a: target, ..op(OpCode::Goto) },
+        Insn::If(target) => DOp { a: target, ..op(OpCode::If) },
+        Insn::IfNot(target) => DOp { a: target, ..op(OpCode::IfNot) },
+        Insn::IfNull(target) => DOp { a: target, ..op(OpCode::IfNull) },
+        Insn::InvokeStatic(mid) => {
+            let sync = program.methods[mid.0 as usize].synchronized;
+            DOp {
+                flags: if sync { F_BREAKER | F_SYNC_CALLEE } else { 0 },
+                a: mid.0,
+                ..op(OpCode::InvokeStatic)
+            }
+        }
+        Insn::InvokeVirtual(slot, argc) => {
+            DOp { a: slot.0 as u32, b: argc as u32, ..op(OpCode::InvokeVirtual) }
+        }
+        Insn::InvokeNative(nid, argc) => {
+            DOp { flags: F_BREAKER, a: nid.0, b: argc as u32, ..op(OpCode::InvokeNative) }
+        }
+        Insn::Ret => op(OpCode::Ret),
+        Insn::RetVal => op(OpCode::RetVal),
+        Insn::New(cid) => DOp { a: cid.0 as u32, ..op(OpCode::New) },
+        Insn::GetField(slot) => DOp { a: slot as u32, ..op(OpCode::GetField) },
+        Insn::PutField(slot) => DOp { a: slot as u32, ..op(OpCode::PutField) },
+        Insn::GetStatic(cid, slot) => {
+            DOp { a: cid.0 as u32, b: slot as u32, ..op(OpCode::GetStatic) }
+        }
+        Insn::PutStatic(cid, slot) => {
+            DOp { a: cid.0 as u32, b: slot as u32, ..op(OpCode::PutStatic) }
+        }
+        Insn::ClassObj(cid) => DOp { a: cid.0 as u32, ..op(OpCode::ClassObj) },
+        Insn::NewArray => op(OpCode::NewArray),
+        Insn::ALoad => op(OpCode::ALoad),
+        Insn::AStore => op(OpCode::AStore),
+        Insn::ALen => op(OpCode::ALen),
+        Insn::MonitorEnter => DOp { flags: F_BREAKER, ..op(OpCode::MonitorEnter) },
+        Insn::MonitorExit => DOp { flags: F_BREAKER, ..op(OpCode::MonitorExit) },
+        Insn::Throw => DOp { flags: F_BREAKER, ..op(OpCode::Throw) },
+    }
+}
+
+/// The whole program in decoded form, indexed `[method][pc]`.
+#[derive(Debug)]
+pub(crate) struct DecodedProgram {
+    /// Per-method decoded streams, parallel to `Program::methods`.
+    pub methods: Vec<Vec<DOp>>,
+}
+
+impl DecodedProgram {
+    /// Decodes every method of `program`. Deterministic: both replicas
+    /// build identical streams from the identical program.
+    pub fn build(program: &Program) -> Self {
+        let methods = program
+            .methods
+            .iter()
+            .map(|m| m.code.iter().map(|i| decode_one(*i, program)).collect())
+            .collect();
+        DecodedProgram { methods }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn decode_resolves_operands_and_flags() {
+        let mut b = ProgramBuilder::new();
+        let print = b.import_native("sys.print_int", 1, false);
+        let mut helper = b.method("helper", 1);
+        helper.load(0).ret_val();
+        let helper_id = helper.build(&mut b);
+        let mut m = b.method("main", 1);
+        m.push_i(41).push_i(1).add().invoke(helper_id).invoke_native(print, 1).ret_void();
+        let entry = m.build(&mut b);
+        let program = b.build(entry).unwrap();
+
+        let d = DecodedProgram::build(&program);
+        assert_eq!(d.methods.len(), program.methods.len());
+        let main_ops = &d.methods[entry.0 as usize];
+        assert_eq!(main_ops.len(), program.method(entry).code.len());
+        assert_eq!(main_ops[0].code, OpCode::ConstI);
+        assert_eq!(main_ops[0].imm, 41);
+        assert_eq!(main_ops[2].code, OpCode::Add);
+        let call = main_ops[3];
+        assert_eq!(call.code, OpCode::InvokeStatic);
+        assert_eq!(call.a, helper_id.0);
+        assert!(!call.is_breaker(), "plain static call runs in-segment");
+        assert!(main_ops[4].is_breaker(), "native invocation breaks segments");
+    }
+
+    #[test]
+    fn synchronized_callee_is_flagged_as_breaker() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", crate::class::builtin::OBJECT, 0, 0);
+        let mut locked = b.method("locked", 1);
+        locked.static_of(cls).synchronized();
+        locked.ret_void();
+        let locked_id = locked.build(&mut b);
+        let mut m = b.method("main", 1);
+        m.push_i(0).invoke(locked_id).ret_void();
+        let entry = m.build(&mut b);
+        let program = b.build(entry).unwrap();
+
+        let d = DecodedProgram::build(&program);
+        let call = d.methods[entry.0 as usize][1];
+        assert_eq!(call.code, OpCode::InvokeStatic);
+        assert!(call.flags & F_SYNC_CALLEE != 0);
+        assert!(call.is_breaker());
+    }
+
+    #[test]
+    fn cmp_codes_round_trip() {
+        for c in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+            assert_eq!(cmp_of(cmp_code(c)), c);
+        }
+    }
+}

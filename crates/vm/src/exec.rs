@@ -13,6 +13,7 @@ use crate::class::Program;
 use crate::coordinator::{
     Coordinator, MonitorDecision, StopReason, SwitchReason, ThreadObs, ThreadSnap,
 };
+use crate::decoded::DecodedProgram;
 use crate::env::SimEnv;
 use crate::error::VmError;
 use crate::heap::Heap;
@@ -27,6 +28,23 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// How the interpreter fetches and dispatches instructions.
+///
+/// Both engines execute through the same segment executor and are
+/// byte-identical in every observable respect (counters, schedules,
+/// outputs, logs); they differ only in host-time cost. `Match` exists as
+/// the measured baseline for the decoded-dispatch speedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchEngine {
+    /// Execute the pre-decoded flat stream built once at VM start
+    /// (resolved operands, pre-classified ops). The fast default.
+    #[default]
+    Decoded,
+    /// Re-decode each `Insn` from the original program on every fetch —
+    /// the per-unit `match`-dispatch cost the decoded engine amortizes.
+    Match,
+}
 
 /// Tuning knobs for one VM instance.
 #[derive(Debug, Clone)]
@@ -59,6 +77,13 @@ pub struct VmConfig {
     pub cost: CostModel,
     /// Integer argument passed to `main` (by convention a scale factor).
     pub entry_arg: i64,
+    /// Instruction fetch/dispatch strategy.
+    pub engine: DispatchEngine,
+    /// Upper bound on units per straight-line segment (0 = no extra cap;
+    /// segments are still bounded by the quantum and the slice budget).
+    /// `block_cap = 1` reproduces the per-unit consult cadence of the
+    /// pre-segment interpreter and serves as the accounting baseline.
+    pub block_cap: u32,
 }
 
 impl Default for VmConfig {
@@ -76,6 +101,8 @@ impl Default for VmConfig {
             max_units: 500_000_000,
             cost: CostModel::default(),
             entry_arg: 1,
+            engine: DispatchEngine::Decoded,
+            block_cap: 0,
         }
     }
 }
@@ -189,6 +216,9 @@ pub struct VmCore {
     pub(crate) pending_switch: Option<(ThreadSnap, SwitchReason)>,
     pub(crate) yield_requested: bool,
     pub(crate) units: u64,
+    /// The pre-decoded instruction streams (rebuilt by [`Vm::new`], so
+    /// snapshot restore regenerates it for free — it never hits the wire).
+    pub(crate) decoded: Arc<DecodedProgram>,
 }
 
 /// Identifies a VM-internal (non-Java) lock.
@@ -254,14 +284,6 @@ fn snap_of(threads: &[VmThread], monitors: &MonitorTable, t: ThreadIdx) -> Threa
 }
 
 impl VmCore {
-    /// The thread currently running.
-    ///
-    /// # Panics
-    /// Panics if no thread is dispatched.
-    pub fn current_thread(&self) -> &VmThread {
-        &self.threads[self.current.expect("no current thread").0 as usize]
-    }
-
     pub(crate) fn thread(&self, t: ThreadIdx) -> &VmThread {
         &self.threads[t.0 as usize]
     }
@@ -510,9 +532,12 @@ impl VmCore {
         let n_locals = m.n_locals;
         let vt = {
             let p = self.thread_mut(parent);
-            let ordinal = p.children;
+            let Some(parent_vt) = p.vt.as_ref() else {
+                return Err(VmError::Internal("only application threads spawn".into()));
+            };
+            let vt = parent_vt.child(p.children);
             p.children += 1;
-            p.vt.as_ref().expect("only application threads spawn").child(ordinal)
+            vt
         };
         {
             let obs = obs_of(&self.threads, parent);
@@ -818,9 +843,12 @@ impl Vm {
         // Link native imports.
         let mut linked = Vec::with_capacity(program.native_imports.len());
         for imp in &program.native_imports {
-            let decl = natives
-                .lookup(&imp.name)
+            let idx = natives
+                .decls()
+                .iter()
+                .position(|d| d.name == imp.name)
                 .ok_or_else(|| VmError::UnlinkedNative { name: imp.name.clone() })?;
+            let decl = &natives.decls()[idx];
             if decl.argc != imp.argc || decl.returns != imp.returns {
                 return Err(VmError::NativeSignature {
                     name: imp.name.clone(),
@@ -830,8 +858,6 @@ impl Vm {
                     ),
                 });
             }
-            let idx =
-                natives.decls().iter().position(|d| d.name == imp.name).expect("lookup succeeded");
             linked.push(idx as u32);
         }
         let mut heap = Heap::new(cfg.heap_capacity, cfg.gc_threshold);
@@ -871,6 +897,7 @@ impl Vm {
             finalizer_thread = Some(idx);
         }
         let sched_rng = StdRng::seed_from_u64(cfg.sched_seed);
+        let decoded = Arc::new(DecodedProgram::build(&program));
         Ok(Vm {
             core: VmCore {
                 program,
@@ -899,6 +926,7 @@ impl Vm {
                 pending_switch: None,
                 yield_requested: false,
                 units: 0,
+                decoded,
                 cfg,
             },
             natives: natives_into(natives),
@@ -961,7 +989,7 @@ impl Vm {
                 return Ok(SliceOutcome::Budget);
             }
             match self.core.schedule(coord)? {
-                Schedule::Dispatched => self.step_unit(coord)?,
+                Schedule::Dispatched => self.step_block(coord, end)?,
                 Schedule::ProgramDone => {
                     coord.on_exit(&mut self.core.acct);
                     return Ok(SliceOutcome::Completed(self.report(RunOutcome::Completed)));
@@ -990,28 +1018,103 @@ impl Vm {
         }
     }
 
-    /// Executes one unit (instruction, native phase, or system-thread step)
-    /// of the current thread, handling preemption.
-    fn step_unit(&mut self, coord: &mut dyn Coordinator) -> Result<(), VmError> {
-        let t = self.core.current.expect("schedule() dispatched a thread");
+    /// Executes one *block* of the current thread: a straight-line segment
+    /// of quiet instructions under a single coordinator consult, or a
+    /// single coordinated unit (monitor op, native phase, throw,
+    /// system-thread step) through the legacy path.
+    fn step_block(&mut self, coord: &mut dyn Coordinator, slice_end: u64) -> Result<(), VmError> {
+        let t = self
+            .core
+            .current
+            .ok_or_else(|| VmError::Internal("step_block without a dispatched thread".into()))?;
+        // System threads (GC, finalizer) are not replicated: no consult, no
+        // progress tracking — the legacy one-unit path, one unit at a time.
+        if !self.core.thread(t).is_app() {
+            self.core.units += 1;
+            if self.core.units > self.core.cfg.max_units {
+                return Err(VmError::InstructionBudget);
+            }
+            interp::exec_unit(&mut self.core, &self.natives, coord)?;
+            return self.finish_step(coord, t, 1);
+        }
+        // Exactly one consult per block: the replay-forced preemption point
+        // and the per-consult progress-tracking charge site.
+        let preempt = {
+            let (threads, acct) = (&self.core.threads, &mut self.core.acct);
+            let obs = obs_of(threads, t);
+            coord.check_preempt(&obs, acct)
+        };
+        if preempt {
+            // A consumed dispatch: charge one unit (as the per-unit loop
+            // did) so replay spinning — parked threads, streamed logs —
+            // still drains the slice budget and the driver regains control.
+            self.core.units += 1;
+            if self.core.units > self.core.cfg.max_units {
+                return Err(VmError::InstructionBudget);
+            }
+            self.core.note_yield(coord, SwitchReason::ReplayPoint);
+            return Ok(());
+        }
+        // Mid-native threads always step one phase through the legacy path.
+        if self.core.thread(t).native.is_some() {
+            return self.run_legacy_unit(coord, t);
+        }
+        // The VM's own segment cap: slice budget, runaway budget, quantum,
+        // configured block size.
+        let mut max = slice_end
+            .saturating_sub(self.core.units)
+            .min(self.core.cfg.max_units.saturating_sub(self.core.units).max(1))
+            .min(self.core.quantum_left.max(1) as u64);
+        if self.core.cfg.block_cap > 0 {
+            max = max.min(self.core.cfg.block_cap as u64);
+        }
+        let max = max.max(1);
+        let budget = {
+            let obs = obs_of(&self.core.threads, t);
+            coord.quiet_budget(&obs, max)
+        };
+        let units = budget.units.min(max);
+        let n = interp::exec_segment(&mut self.core, coord, units, budget.stop_br)?;
+        if n == 0 {
+            // The instruction at pc coordinates (breaker, synchronized
+            // call/return, heap-locked allocation): run it as one legacy
+            // unit under the consult already performed above.
+            return self.run_legacy_unit(coord, t);
+        }
+        self.core.units += n;
+        if self.core.units > self.core.cfg.max_units {
+            return Err(VmError::InstructionBudget);
+        }
+        coord.note_units(n, &mut self.core.acct);
+        self.finish_step(coord, t, n)
+    }
+
+    /// One unit through [`interp::exec_unit`] for an application thread
+    /// whose `check_preempt` consult already happened this block.
+    fn run_legacy_unit(
+        &mut self,
+        coord: &mut dyn Coordinator,
+        t: ThreadIdx,
+    ) -> Result<(), VmError> {
         self.core.units += 1;
         if self.core.units > self.core.cfg.max_units {
             return Err(VmError::InstructionBudget);
         }
-        // Replay-forced preemption point (application threads only).
-        if self.core.thread(t).is_app() {
-            let preempt = {
-                let (threads, acct) = (&self.core.threads, &mut self.core.acct);
-                let obs = obs_of(threads, t);
-                coord.check_preempt(&obs, acct)
-            };
-            if preempt {
-                self.core.note_yield(coord, SwitchReason::ReplayPoint);
-                return Ok(());
-            }
-        }
         interp::exec_unit(&mut self.core, &self.natives, coord)?;
-        // The unit may have blocked, terminated, or otherwise changed state.
+        coord.note_units(1, &mut self.core.acct);
+        self.finish_step(coord, t, 1)
+    }
+
+    /// The post-block scheduler tail: quantum accounting for `n` consumed
+    /// units and the yield/switch decision. Identical to the pre-segment
+    /// per-unit tail when `n == 1`.
+    fn finish_step(
+        &mut self,
+        coord: &mut dyn Coordinator,
+        t: ThreadIdx,
+        n: u64,
+    ) -> Result<(), VmError> {
+        // The block may have blocked, terminated, or otherwise changed state.
         if self.core.current != Some(t) {
             return Ok(());
         }
@@ -1020,7 +1123,7 @@ impl Vm {
                 if self.core.yield_requested {
                     self.core.yield_requested = false;
                     Some(SwitchReason::Yield)
-                } else if self.core.quantum_left <= 1 {
+                } else if (self.core.quantum_left as u64) <= n {
                     let allow = {
                         let obs = obs_of(&self.core.threads, t);
                         coord.allow_quantum_preempt(&obs)
@@ -1032,7 +1135,7 @@ impl Vm {
                         None
                     }
                 } else {
-                    self.core.quantum_left -= 1;
+                    self.core.quantum_left -= n as u32;
                     None
                 }
             }

@@ -7,12 +7,13 @@
 //! backup's thread-scheduling replay stop a thread at exactly the recorded
 //! `(br_cnt, pc_off, mon_cnt)` point (paper §4.2).
 
-use crate::bytecode::{Cmp, Insn};
-use crate::class::{builtin, excode};
+use crate::bytecode::{ClassId, Cmp, Insn, MethodId, VSlot};
+use crate::class::{builtin, excode, Program};
 use crate::coordinator::{Coordinator, NativeDirective};
+use crate::decoded::{cmp_of, decode_one, DOp, DecodedProgram, OpCode};
 use crate::error::VmError;
-use crate::exec::{obs_of, AcquireOutcome, VmCore};
-use crate::heap::HeapEntry;
+use crate::exec::{obs_of, AcquireOutcome, DispatchEngine, VmCore};
+use crate::heap::{Heap, HeapEntry};
 use crate::native::{
     Intrinsic, NativeAbort, NativeCtx, NativeKind, NativeOutcome, NativeRegistry, PhaseOutcome,
 };
@@ -32,7 +33,9 @@ pub(crate) fn exec_unit(
     natives: &NativeRegistry,
     coord: &mut dyn Coordinator,
 ) -> Result<(), VmError> {
-    let t = core.current.expect("exec_unit requires a dispatched thread");
+    let Some(t) = core.current else {
+        return Err(VmError::Internal("exec_unit requires a dispatched thread".into()));
+    };
     match core.thread(t).kind {
         ThreadKind::GcWorker => step_gc_worker(core, t),
         ThreadKind::Finalizer => step_finalizer(core, natives, coord, t),
@@ -869,6 +872,660 @@ fn exec_insn(
     Ok(())
 }
 
+// ----- the segment executor -----
+
+/// Why a straight-line fast run stopped.
+enum FastExit {
+    /// Budget or `stop_br` reached (or no frame): return to the caller.
+    Out,
+    /// A raise condition was detected at the current pc; the outer loop
+    /// charges the unit and unwinds.
+    Raise(i64),
+    /// The (unexecuted) op at pc needs the outer loop: a breaker, an
+    /// invocation, a return, or an allocation.
+    Cold(DOp),
+}
+
+/// The innermost frame of `t`, as a typed error instead of a panic.
+fn frame_of(core: &VmCore, t: ThreadIdx) -> Result<&crate::thread::Frame, VmError> {
+    core.thread(t).frames.last().ok_or_else(|| VmError::Internal("thread has no frames".into()))
+}
+
+fn frame_mut_of(core: &mut VmCore, t: ThreadIdx) -> Result<&mut crate::thread::Frame, VmError> {
+    core.thread_mut(t)
+        .frames
+        .last_mut()
+        .ok_or_else(|| VmError::Internal("thread has no frames".into()))
+}
+
+/// Executes a block of the current (application) thread under one
+/// already-performed `check_preempt` consult: at most `budget` units,
+/// ending early when `stop_br` is reached (the backup's exact-replay
+/// bound), a breaker op is hit, a raise unwinds, or the thread leaves the
+/// Runnable state. Straight-line runs of quiet instructions execute in
+/// [`fast_run`] with hoisted borrows and batched accounting; branches,
+/// plain invocations, returns, and allocations are handled here between
+/// runs, with per-unit charges identical to [`exec_unit`]'s.
+///
+/// Returns the number of units executed. `0` means the instruction at pc
+/// coordinates (breaker, synchronized call/return, heap-locked
+/// allocation) and must run through the legacy [`exec_unit`] path under
+/// the same consult.
+pub(crate) fn exec_segment(
+    core: &mut VmCore,
+    coord: &mut dyn Coordinator,
+    budget: u64,
+    stop_br: Option<u64>,
+) -> Result<u64, VmError> {
+    let Some(t) = core.current else {
+        return Err(VmError::Internal("exec_segment requires a dispatched thread".into()));
+    };
+    let program = core.program.clone();
+    let decoded = match core.cfg.engine {
+        DispatchEngine::Decoded => Some(core.decoded.clone()),
+        DispatchEngine::Match => None,
+    };
+    let insn_base = core.cfg.cost.insn_base;
+    let branch_extra = core.cfg.cost.branch_extra;
+    let mut executed = 0u64;
+    loop {
+        if executed >= budget || core.current != Some(t) {
+            return Ok(executed);
+        }
+        {
+            let th = core.thread(t);
+            if th.state != ThreadState::Runnable || th.native.is_some() || th.frames.is_empty() {
+                return Ok(executed);
+            }
+            if let Some(sb) = stop_br {
+                if th.br_cnt >= sb {
+                    return Ok(executed);
+                }
+            }
+        }
+        let (n, cf, exit) = {
+            let VmCore { threads, heap, statics, race, class_objects, .. } = core;
+            fast_run(
+                t,
+                &mut threads[t.0 as usize],
+                heap,
+                statics,
+                race,
+                class_objects,
+                &program,
+                decoded.as_deref(),
+                budget - executed,
+                stop_br,
+            )?
+        };
+        if n > 0 {
+            // The batched equivalent of n per-unit base charges.
+            core.charge_base(SimTime::from_nanos(
+                insn_base.as_nanos() * n + branch_extra.as_nanos() * cf,
+            ));
+            core.counters.instructions += n;
+            core.counters.branches += cf;
+            executed += n;
+        }
+        let op = match exit {
+            FastExit::Out => return Ok(executed),
+            FastExit::Raise(code) => {
+                core.charge_base(insn_base);
+                core.counters.instructions += 1;
+                executed += 1;
+                raise_runtime(core, coord, t, code)?;
+                // Unwinding moved the pc (or killed the thread): the
+                // straight-line invariant is gone, so the block ends and
+                // the next consult recomputes the budget at the handler.
+                return Ok(executed);
+            }
+            FastExit::Cold(op) => op,
+        };
+        if op.is_breaker() {
+            // Monitor ops, natives, throws, synchronized static calls:
+            // legacy path (executed == 0) or end of block.
+            return Ok(executed);
+        }
+        match op.code {
+            OpCode::InvokeStatic => {
+                // Non-synchronized (synchronized callees carry
+                // `F_BREAKER`), so the invocation never blocks.
+                core.charge_base(insn_base + branch_extra);
+                core.counters.instructions += 1;
+                executed += 1;
+                let _ = do_invoke(core, coord, t, MethodId(op.a), None)?;
+            }
+            OpCode::InvokeVirtual => {
+                let receiver = {
+                    let stack = &frame_of(core, t)?.stack;
+                    let idx = stack
+                        .len()
+                        .checked_sub(op.b as usize)
+                        .ok_or_else(|| type_err("missing receiver for virtual call"))?;
+                    stack[idx]
+                };
+                let r = match receiver {
+                    Value::Ref(r) => Some(r),
+                    Value::Null => None,
+                    v => {
+                        return Err(type_err(format!(
+                            "virtual call receiver must be a reference, found {v}"
+                        )))
+                    }
+                };
+                let target = r.and_then(|r| {
+                    core.heap.class_of(r).and_then(|class| {
+                        core.program.classes[class.0 as usize].resolve(VSlot(op.a as u16))
+                    })
+                });
+                match (r, target) {
+                    (None, _) => {
+                        core.charge_base(insn_base + branch_extra);
+                        core.counters.instructions += 1;
+                        executed += 1;
+                        raise_runtime(core, coord, t, excode::NULL_POINTER)?;
+                        return Ok(executed);
+                    }
+                    (Some(_), None) => {
+                        core.charge_base(insn_base + branch_extra);
+                        core.counters.instructions += 1;
+                        executed += 1;
+                        raise_runtime(core, coord, t, excode::BAD_DISPATCH)?;
+                        return Ok(executed);
+                    }
+                    (Some(r), Some(mid)) => {
+                        if core.program.methods[mid.0 as usize].synchronized {
+                            // Acquires the receiver's monitor: legacy path
+                            // (executed == 0) or end of block.
+                            return Ok(executed);
+                        }
+                        core.charge_base(insn_base + branch_extra);
+                        core.counters.instructions += 1;
+                        executed += 1;
+                        let _ = do_invoke(core, coord, t, mid, Some(r))?;
+                    }
+                }
+            }
+            OpCode::Ret | OpCode::RetVal => {
+                if frame_of(core, t)?.sync_obj.is_some() {
+                    // Releases the method's monitor: legacy path or end.
+                    return Ok(executed);
+                }
+                core.charge_base(insn_base + branch_extra);
+                core.counters.instructions += 1;
+                executed += 1;
+                let val = if matches!(op.code, OpCode::RetVal) {
+                    Some(pop(&mut frame_mut_of(core, t)?.stack)?)
+                } else {
+                    None
+                };
+                do_return(core, coord, t, val)?;
+            }
+            OpCode::ConstStr => {
+                if heap_locked_by_other(core, t) {
+                    return Ok(executed);
+                }
+                core.charge_base(insn_base);
+                core.counters.instructions += 1;
+                executed += 1;
+                let bytes: Vec<u8> = core.program.strings[op.a as usize].bytes().collect();
+                let arr = alloc_counted(core, true, builtin::OBJECT, bytes.len())?;
+                if let Some(HeapEntry::Arr { elems }) = core.heap.get_mut(arr) {
+                    for (slot, b) in elems.iter_mut().zip(bytes.iter()) {
+                        *slot = Value::Int(*b as i64);
+                    }
+                }
+                let f = frame_mut_of(core, t)?;
+                f.stack.push(Value::Ref(arr));
+                f.pc += 1;
+            }
+            OpCode::New => {
+                if heap_locked_by_other(core, t) {
+                    return Ok(executed);
+                }
+                core.charge_base(insn_base);
+                core.counters.instructions += 1;
+                executed += 1;
+                let n_fields = core.program.classes[op.a as usize].n_fields;
+                let obj = alloc_counted(core, false, ClassId(op.a as u16), n_fields as usize)?;
+                let f = frame_mut_of(core, t)?;
+                f.stack.push(Value::Ref(obj));
+                f.pc += 1;
+            }
+            OpCode::NewArray => {
+                if heap_locked_by_other(core, t) {
+                    return Ok(executed);
+                }
+                core.charge_base(insn_base);
+                core.counters.instructions += 1;
+                executed += 1;
+                let len = {
+                    let s = &frame_of(core, t)?.stack;
+                    (*s.last().ok_or_else(|| type_err("newarray on empty stack"))?)
+                        .as_int()
+                        .map_err(|v| type_err(format!("array length must be int, found {v}")))?
+                };
+                if len < 0 {
+                    raise_runtime(core, coord, t, excode::NEGATIVE_ARRAY_SIZE)?;
+                    return Ok(executed);
+                }
+                let arr = alloc_counted(core, true, builtin::OBJECT, len as usize)?;
+                let f = frame_mut_of(core, t)?;
+                f.stack.pop();
+                f.stack.push(Value::Ref(arr));
+                f.pc += 1;
+            }
+            other => {
+                return Err(VmError::Internal(format!("op {other:?} escaped the fast loop")));
+            }
+        }
+    }
+}
+
+/// The straight-line hot loop: executes quiet decoded ops with the frame
+/// borrow hoisted across the whole run and accounting batched into
+/// `(units, control_flow)` counts for the caller to flush. Ops that need
+/// `&mut VmCore` (invocations, returns, allocations, breakers) and raise
+/// conditions break out unexecuted.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn fast_run(
+    t: ThreadIdx,
+    th: &mut crate::thread::VmThread,
+    heap: &mut Heap,
+    statics: &mut [Vec<Value>],
+    race: &mut Option<crate::race::RaceDetector>,
+    class_objects: &[ObjRef],
+    program: &Program,
+    decoded: Option<&DecodedProgram>,
+    remaining: u64,
+    stop_br: Option<u64>,
+) -> Result<(u64, u64, FastExit), VmError> {
+    use crate::race::Loc;
+    let crate::thread::VmThread { frames, br_cnt, held_for_race, .. } = th;
+    let Some(frame) = frames.last_mut() else {
+        return Ok((0, 0, FastExit::Out));
+    };
+    let crate::thread::Frame { method, pc, locals, stack, .. } = frame;
+    let method = *method;
+    let dops = decoded.map(|d| d.methods[method.0 as usize].as_slice());
+    let code = program.methods[method.0 as usize].code.as_slice();
+    let mut n = 0u64;
+    let mut cf = 0u64;
+
+    macro_rules! raise {
+        ($code:expr) => {
+            break FastExit::Raise($code)
+        };
+    }
+    // A branch op: one unit, one control-flow bump, then the `stop_br`
+    // check that implements the backup's exact-replay bound.
+    macro_rules! take_branch {
+        ($target:expr) => {{
+            *pc = $target;
+            *br_cnt += 1;
+            cf += 1;
+            n += 1;
+            if stop_br == Some(*br_cnt) {
+                break FastExit::Out;
+            }
+            continue;
+        }};
+    }
+    macro_rules! skip_branch {
+        () => {{
+            *pc += 1;
+            *br_cnt += 1;
+            cf += 1;
+            n += 1;
+            if stop_br == Some(*br_cnt) {
+                break FastExit::Out;
+            }
+            continue;
+        }};
+    }
+    macro_rules! track {
+        ($loc:expr, $w:expr) => {
+            if let Some(d) = race.as_mut() {
+                d.on_access($loc, t, held_for_race, $w);
+            }
+        };
+    }
+
+    let exit = loop {
+        if n >= remaining {
+            break FastExit::Out;
+        }
+        let i = *pc as usize;
+        let op = match dops {
+            Some(s) => s[i],
+            None => decode_one(code[i], program),
+        };
+        if op.flags != 0 {
+            break FastExit::Cold(op);
+        }
+        match op.code {
+            OpCode::Nop => *pc += 1,
+            OpCode::ConstI => {
+                stack.push(Value::Int(op.imm));
+                *pc += 1;
+            }
+            OpCode::ConstD => {
+                stack.push(Value::Double(f64::from_bits(op.imm as u64)));
+                *pc += 1;
+            }
+            OpCode::ConstNull => {
+                stack.push(Value::Null);
+                *pc += 1;
+            }
+            OpCode::Dup => {
+                let top = *stack.last().ok_or_else(|| type_err("dup on empty stack"))?;
+                stack.push(top);
+                *pc += 1;
+            }
+            OpCode::DupX1 => {
+                let v1 = pop(stack)?;
+                let v2 = pop(stack)?;
+                stack.push(v1);
+                stack.push(v2);
+                stack.push(v1);
+                *pc += 1;
+            }
+            OpCode::Pop => {
+                pop(stack)?;
+                *pc += 1;
+            }
+            OpCode::Swap => {
+                let a = pop(stack)?;
+                let b = pop(stack)?;
+                stack.push(a);
+                stack.push(b);
+                *pc += 1;
+            }
+            OpCode::Load => {
+                stack.push(locals[op.a as usize]);
+                *pc += 1;
+            }
+            OpCode::Store => {
+                locals[op.a as usize] = pop(stack)?;
+                *pc += 1;
+            }
+            OpCode::Inc => {
+                let slot = &mut locals[op.a as usize];
+                let cur =
+                    slot.as_int().map_err(|v| type_err(format!("inc of non-int local: {v}")))?;
+                *slot = Value::Int(cur.wrapping_add(op.imm));
+                *pc += 1;
+            }
+            OpCode::Add
+            | OpCode::Sub
+            | OpCode::Mul
+            | OpCode::And
+            | OpCode::Or
+            | OpCode::Xor
+            | OpCode::Shl
+            | OpCode::Shr => {
+                let b = pop_int(stack)?;
+                let a = pop_int(stack)?;
+                let r = match op.code {
+                    OpCode::Add => a.wrapping_add(b),
+                    OpCode::Sub => a.wrapping_sub(b),
+                    OpCode::Mul => a.wrapping_mul(b),
+                    OpCode::And => a & b,
+                    OpCode::Or => a | b,
+                    OpCode::Xor => a ^ b,
+                    OpCode::Shl => a.wrapping_shl(b as u32 & 63),
+                    _ => a.wrapping_shr(b as u32 & 63),
+                };
+                stack.push(Value::Int(r));
+                *pc += 1;
+            }
+            OpCode::Div | OpCode::Rem => {
+                let b = pop_int(stack)?;
+                let a = pop_int(stack)?;
+                if b == 0 {
+                    raise!(excode::ARITHMETIC);
+                }
+                let r = if matches!(op.code, OpCode::Div) {
+                    a.wrapping_div(b)
+                } else {
+                    a.wrapping_rem(b)
+                };
+                stack.push(Value::Int(r));
+                *pc += 1;
+            }
+            OpCode::Neg => {
+                let a = pop_int(stack)?;
+                stack.push(Value::Int(a.wrapping_neg()));
+                *pc += 1;
+            }
+            OpCode::DAdd | OpCode::DSub | OpCode::DMul | OpCode::DDiv => {
+                let b = pop_double(stack)?;
+                let a = pop_double(stack)?;
+                let r = match op.code {
+                    OpCode::DAdd => a + b,
+                    OpCode::DSub => a - b,
+                    OpCode::DMul => a * b,
+                    _ => a / b,
+                };
+                stack.push(Value::Double(r));
+                *pc += 1;
+            }
+            OpCode::I2D => {
+                let a = pop_int(stack)?;
+                stack.push(Value::Double(a as f64));
+                *pc += 1;
+            }
+            OpCode::D2I => {
+                let a = pop_double(stack)?;
+                stack.push(Value::Int(if a.is_nan() { 0 } else { a as i64 }));
+                *pc += 1;
+            }
+            OpCode::ICmp => {
+                let b = pop_int(stack)?;
+                let a = pop_int(stack)?;
+                let ord = match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                stack.push(Value::from(cmp_of(op.a).eval_ord(ord)));
+                *pc += 1;
+            }
+            OpCode::DCmp => {
+                let b = pop_double(stack)?;
+                let a = pop_double(stack)?;
+                let c = cmp_of(op.a);
+                let result = match a.partial_cmp(&b) {
+                    Some(std::cmp::Ordering::Less) => c.eval_ord(-1),
+                    Some(std::cmp::Ordering::Equal) => c.eval_ord(0),
+                    Some(std::cmp::Ordering::Greater) => c.eval_ord(1),
+                    None => matches!(c, Cmp::Ne), // NaN
+                };
+                stack.push(Value::from(result));
+                *pc += 1;
+            }
+            OpCode::RefEq => {
+                let b = pop(stack)?;
+                let a = pop(stack)?;
+                let eq = match (a, b) {
+                    (Value::Null, Value::Null) => true,
+                    (Value::Ref(x), Value::Ref(y)) => x == y,
+                    _ => false,
+                };
+                stack.push(Value::from(eq));
+                *pc += 1;
+            }
+            OpCode::Goto => take_branch!(op.a),
+            OpCode::If => {
+                let v = pop(stack)?;
+                if v.is_truthy() {
+                    take_branch!(op.a);
+                } else {
+                    skip_branch!();
+                }
+            }
+            OpCode::IfNot => {
+                let v = pop(stack)?;
+                if !v.is_truthy() {
+                    take_branch!(op.a);
+                } else {
+                    skip_branch!();
+                }
+            }
+            OpCode::IfNull => {
+                let v = pop(stack)?;
+                if v.is_null() {
+                    take_branch!(op.a);
+                } else {
+                    skip_branch!();
+                }
+            }
+            OpCode::GetField => {
+                let obj = pop(stack)?;
+                let r = match obj {
+                    Value::Ref(r) => r,
+                    Value::Null => raise!(excode::NULL_POINTER),
+                    v => return Err(type_err(format!("getfield on non-reference {v}"))),
+                };
+                let slot = op.a as u16;
+                let v = match heap.get(r) {
+                    Some(HeapEntry::Obj { fields, .. }) => *fields
+                        .get(slot as usize)
+                        .ok_or_else(|| type_err(format!("field slot {slot} out of range")))?,
+                    Some(HeapEntry::Arr { .. }) => return Err(type_err("getfield on array")),
+                    None => {
+                        return Err(VmError::DanglingRef { detail: format!("getfield on {r}") })
+                    }
+                };
+                track!(Loc::Field(r, slot), false);
+                stack.push(v);
+                *pc += 1;
+            }
+            OpCode::PutField => {
+                let v = pop(stack)?;
+                let obj = pop(stack)?;
+                let r = match obj {
+                    Value::Ref(r) => r,
+                    Value::Null => raise!(excode::NULL_POINTER),
+                    v => return Err(type_err(format!("putfield on non-reference {v}"))),
+                };
+                let slot = op.a as u16;
+                match heap.get_mut(r) {
+                    Some(HeapEntry::Obj { fields, .. }) => {
+                        let f = fields
+                            .get_mut(slot as usize)
+                            .ok_or_else(|| type_err(format!("field slot {slot} out of range")))?;
+                        *f = v;
+                    }
+                    Some(HeapEntry::Arr { .. }) => return Err(type_err("putfield on array")),
+                    None => {
+                        return Err(VmError::DanglingRef { detail: format!("putfield on {r}") })
+                    }
+                }
+                track!(Loc::Field(r, slot), true);
+                *pc += 1;
+            }
+            OpCode::GetStatic => {
+                let slot = op.b as u16;
+                let v = *statics[op.a as usize]
+                    .get(slot as usize)
+                    .ok_or_else(|| type_err(format!("static slot {slot} out of range")))?;
+                track!(Loc::Static(ClassId(op.a as u16), slot), false);
+                stack.push(v);
+                *pc += 1;
+            }
+            OpCode::PutStatic => {
+                let v = pop(stack)?;
+                let slot = op.b as u16;
+                let f = statics[op.a as usize]
+                    .get_mut(slot as usize)
+                    .ok_or_else(|| type_err(format!("static slot {slot} out of range")))?;
+                *f = v;
+                track!(Loc::Static(ClassId(op.a as u16), slot), true);
+                *pc += 1;
+            }
+            OpCode::ClassObj => {
+                stack.push(Value::Ref(class_objects[op.a as usize]));
+                *pc += 1;
+            }
+            OpCode::ALoad => {
+                let idx = pop_int(stack)?;
+                let arr = pop(stack)?;
+                let r = match arr {
+                    Value::Ref(r) => r,
+                    Value::Null => raise!(excode::NULL_POINTER),
+                    v => return Err(type_err(format!("aload on non-reference {v}"))),
+                };
+                let v = match heap.get(r) {
+                    Some(HeapEntry::Arr { elems }) => {
+                        if idx < 0 || idx as usize >= elems.len() {
+                            raise!(excode::ARRAY_BOUNDS);
+                        }
+                        elems[idx as usize]
+                    }
+                    Some(HeapEntry::Obj { .. }) => return Err(type_err("aload on object")),
+                    None => return Err(VmError::DanglingRef { detail: format!("aload on {r}") }),
+                };
+                track!(Loc::Array(r), false);
+                stack.push(v);
+                *pc += 1;
+            }
+            OpCode::AStore => {
+                let v = pop(stack)?;
+                let idx = pop_int(stack)?;
+                let arr = pop(stack)?;
+                let r = match arr {
+                    Value::Ref(r) => r,
+                    Value::Null => raise!(excode::NULL_POINTER),
+                    v => return Err(type_err(format!("astore on non-reference {v}"))),
+                };
+                match heap.get_mut(r) {
+                    Some(HeapEntry::Arr { elems }) => {
+                        if idx < 0 || idx as usize >= elems.len() {
+                            raise!(excode::ARRAY_BOUNDS);
+                        }
+                        elems[idx as usize] = v;
+                    }
+                    Some(HeapEntry::Obj { .. }) => return Err(type_err("astore on object")),
+                    None => return Err(VmError::DanglingRef { detail: format!("astore on {r}") }),
+                }
+                track!(Loc::Array(r), true);
+                *pc += 1;
+            }
+            OpCode::ALen => {
+                let arr = pop(stack)?;
+                let r = match arr {
+                    Value::Ref(r) => r,
+                    Value::Null => raise!(excode::NULL_POINTER),
+                    v => return Err(type_err(format!("arraylength on non-reference {v}"))),
+                };
+                let len = match heap.get(r) {
+                    Some(HeapEntry::Arr { elems }) => elems.len() as i64,
+                    Some(HeapEntry::Obj { .. }) => return Err(type_err("arraylength on object")),
+                    None => {
+                        return Err(VmError::DanglingRef { detail: format!("arraylength on {r}") })
+                    }
+                };
+                stack.push(Value::Int(len));
+                *pc += 1;
+            }
+            OpCode::ConstStr
+            | OpCode::New
+            | OpCode::NewArray
+            | OpCode::InvokeStatic
+            | OpCode::InvokeVirtual
+            | OpCode::InvokeNative
+            | OpCode::Ret
+            | OpCode::RetVal
+            | OpCode::MonitorEnter
+            | OpCode::MonitorExit
+            | OpCode::Throw => break FastExit::Cold(op),
+        }
+        n += 1;
+    };
+    Ok((n, cf, exit))
+}
+
 // ----- native methods -----
 
 fn begin_native(
@@ -971,7 +1628,11 @@ fn drive_native(
     coord: &mut dyn Coordinator,
     t: ThreadIdx,
 ) -> Result<(), VmError> {
-    let mut act = core.thread_mut(t).native.take().expect("drive_native requires an activation");
+    let mut act = core
+        .thread_mut(t)
+        .native
+        .take()
+        .ok_or_else(|| VmError::Internal("drive_native requires an activation".into()))?;
     let reg_idx = core.linked[act.native.0 as usize] as usize;
     // Replay-with-skip: impose the logged outcome without running the body.
     if let Some(a) = &act.adopted {

@@ -59,6 +59,7 @@
 pub mod bytecode;
 pub mod class;
 pub mod coordinator;
+mod decoded;
 pub mod disasm;
 pub mod env;
 pub mod error;
@@ -77,12 +78,12 @@ pub mod vtid;
 pub use bytecode::{ClassId, Cmp, Insn, MethodId, NativeId, StrId, VSlot};
 pub use class::{Class, Handler, Method, NativeImport, Program};
 pub use coordinator::{
-    Coordinator, MonitorDecision, NativeDirective, NoopCoordinator, StopReason, SwitchReason,
-    ThreadObs, ThreadSnap,
+    Coordinator, MonitorDecision, NativeDirective, NoopCoordinator, QuietBudget, StopReason,
+    SwitchReason, ThreadObs, ThreadSnap,
 };
 pub use env::{SharedWorld, SimEnv, World};
 pub use error::VmError;
-pub use exec::{ExecCounters, RunOutcome, RunReport, SliceOutcome, Vm, VmConfig};
+pub use exec::{DispatchEngine, ExecCounters, RunOutcome, RunReport, SliceOutcome, Vm, VmConfig};
 pub use native::{NativeAbort, NativeDecl, NativeKind, NativeOutcome, NativeRegistry};
 pub use program::{BuildError, ProgramBuilder};
 pub use race::{RaceDetector, RaceReport};
