@@ -1,8 +1,10 @@
 //! Microbenchmark: raw interpreter throughput (wall-clock), with and
 //! without the per-instruction thread-scheduling bookkeeping — the
 //! real-time analog of the paper's "Misc" overhead — plus the dispatch
-//! comparison (pre-decoded block engine vs per-unit `match` fetch) and a
-//! block-size sweep showing where segment fusion stops paying.
+//! comparison (pre-decoded block engine vs per-unit `match` fetch), a
+//! block-size sweep showing where segment fusion stops paying, and the
+//! superinstruction ablation (fused vs plain decoded on every SPEC
+//! analog).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ftjvm_core::{FtConfig, FtJvm, ReplicationMode};
@@ -64,7 +66,8 @@ fn bench_dispatch(c: &mut Criterion) {
     group.sample_size(15);
     let w = ftjvm_workloads::micro::arith_loop(20_000);
     let cases = [
-        ("decoded", DispatchEngine::Decoded, 0u32),
+        ("fused", DispatchEngine::Fused, 0u32),
+        ("decoded", DispatchEngine::Decoded, 0),
         ("decoded-cap1", DispatchEngine::Decoded, 1),
         ("match", DispatchEngine::Match, 0),
         ("match-cap1", DispatchEngine::Match, 1),
@@ -112,5 +115,31 @@ fn bench_block_cap(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_interpreter, bench_dispatch, bench_block_cap);
+/// Superinstruction ablation: each SPEC analog under the fused engine
+/// (superinstructions + quickening + inline caches) vs the plain decoded
+/// engine — the per-workload wall-clock gain the decode-time optimisation
+/// tier buys. Unbounded cap for both, so the only variable is the
+/// dispatch stream.
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion");
+    group.sample_size(10);
+    for w in ftjvm_workloads::spec_suite() {
+        for (label, engine) in
+            [("fused", DispatchEngine::Fused), ("decoded", DispatchEngine::Decoded)]
+        {
+            let mut cfg = FtConfig::default();
+            cfg.vm.engine = engine;
+            let harness = FtJvm::new(w.program.clone(), cfg);
+            group.bench_function(format!("{}/{label}", w.name), |b| {
+                b.iter(|| {
+                    let (report, _) = harness.run_unreplicated().expect("runs");
+                    black_box(report.counters.instructions)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter, bench_dispatch, bench_block_cap, bench_fusion);
 criterion_main!(benches);

@@ -22,6 +22,7 @@
 
 use crate::bytecode::Insn;
 use crate::class::Program;
+use crate::decoded::{DOp, DecodedProgram, OpCode, F_FUSE_SHIFT, F_SYNC_CALLEE};
 use std::fmt::Write as _;
 
 /// Renders one instruction.
@@ -88,6 +89,162 @@ pub fn insn_to_string(program: &Program, i: &Insn) -> String {
         Insn::Throw => "throw".into(),
         Insn::Nop => "nop".into(),
     }
+}
+
+/// Renders one decoded op in its quickened form: operand meanings follow
+/// the `quick`/`fused` streams (an `InvokeStatic` shows the folded callee
+/// frame shape, an `InvokeVirtual` its inline-cache site id). Fused
+/// superinstructions render their raw packed operands here; prefer
+/// [`disassemble_decoded`], which expands them into constituent singles.
+pub(crate) fn dop_to_string(program: &Program, op: &DOp) -> String {
+    match op.code {
+        OpCode::Nop => "nop".into(),
+        OpCode::ConstI => format!("const {}", op.imm),
+        OpCode::ConstD => format!("dconst {}", f64::from_bits(op.imm as u64)),
+        OpCode::ConstNull => "null".into(),
+        OpCode::ConstStr => format!("str {:?}", program.strings[op.a as usize]),
+        OpCode::Dup => "dup".into(),
+        OpCode::DupX1 => "dup_x1".into(),
+        OpCode::Pop => "pop".into(),
+        OpCode::Swap => "swap".into(),
+        OpCode::Load => format!("load {}", op.a),
+        OpCode::Store => format!("store {}", op.a),
+        OpCode::Inc => format!("inc {}, {}", op.a, op.imm),
+        OpCode::Add => "add".into(),
+        OpCode::Sub => "sub".into(),
+        OpCode::Mul => "mul".into(),
+        OpCode::Div => "div".into(),
+        OpCode::Rem => "rem".into(),
+        OpCode::Neg => "neg".into(),
+        OpCode::And => "and".into(),
+        OpCode::Or => "or".into(),
+        OpCode::Xor => "xor".into(),
+        OpCode::Shl => "shl".into(),
+        OpCode::Shr => "shr".into(),
+        OpCode::DAdd => "dadd".into(),
+        OpCode::DSub => "dsub".into(),
+        OpCode::DMul => "dmul".into(),
+        OpCode::DDiv => "ddiv".into(),
+        OpCode::I2D => "i2d".into(),
+        OpCode::D2I => "d2i".into(),
+        OpCode::ICmp => format!("icmp {}", crate::decoded::cmp_of(op.a)),
+        OpCode::DCmp => format!("dcmp {}", crate::decoded::cmp_of(op.a)),
+        OpCode::RefEq => "refeq".into(),
+        OpCode::Goto => format!("goto @{}", op.a),
+        OpCode::If => format!("if @{}", op.a),
+        OpCode::IfNot => format!("ifnot @{}", op.a),
+        OpCode::IfNull => format!("ifnull @{}", op.a),
+        OpCode::InvokeStatic => {
+            let name = &program.methods[op.a as usize].name;
+            if op.flags & F_SYNC_CALLEE != 0 {
+                format!("invoke {} ({name}) [sync]", op.a)
+            } else {
+                format!("invoke {} ({name}) [quick args={} locals={}]", op.a, op.b, op.imm)
+            }
+        }
+        OpCode::InvokeVirtual => {
+            let ic = if op.imm >= 0 { format!("ic#{}", op.imm) } else { "ic=none".into() };
+            format!("invokevirtual slot={} argc={} {ic}", op.a, op.b)
+        }
+        OpCode::InvokeNative => format!(
+            "invokenative {} ({}) argc={}",
+            op.a,
+            program.native_imports.get(op.a as usize).map(|i| i.name.as_str()).unwrap_or("?"),
+            op.b
+        ),
+        OpCode::Ret => "ret".into(),
+        OpCode::RetVal => "retval".into(),
+        OpCode::New => {
+            format!("new {} ({})", op.a, program.classes[op.a as usize].name)
+        }
+        OpCode::GetField => format!("getfield {}", op.a),
+        OpCode::PutField => format!("putfield {}", op.a),
+        OpCode::GetStatic => {
+            format!("getstatic {}.{}", program.classes[op.a as usize].name, op.b)
+        }
+        OpCode::PutStatic => {
+            format!("putstatic {}.{}", program.classes[op.a as usize].name, op.b)
+        }
+        OpCode::ClassObj => format!("classobj {}", program.classes[op.a as usize].name),
+        OpCode::NewArray => "newarray".into(),
+        OpCode::ALoad => "aload".into(),
+        OpCode::AStore => "astore".into(),
+        OpCode::ALen => "alen".into(),
+        OpCode::MonitorEnter => "monitorenter".into(),
+        OpCode::MonitorExit => "monitorexit".into(),
+        OpCode::Throw => "throw".into(),
+        // Fused superinstruction reached directly (not via the listing's
+        // constituent expansion): show the packed operands verbatim.
+        fused => {
+            format!("{fused:?} x{} a={} b={} imm={}", op.flags >> F_FUSE_SHIFT, op.a, op.b, op.imm)
+        }
+    }
+}
+
+/// Renders the decoded form of a program: the stream the `Fused` dispatch
+/// engine executes, with quickened operands spelled out and each fused
+/// superinstruction expanded into its constituent singles. Interior slots
+/// of a fused region (still holding their quickened singles, reachable as
+/// branch targets, snapshot resume points, or budget-fallback pcs) are
+/// marked with `|`.
+///
+/// ```
+/// use ftjvm_vm::program::ProgramBuilder;
+/// use ftjvm_vm::disasm::disassemble_decoded;
+///
+/// let mut b = ProgramBuilder::new();
+/// let mut m = b.method("main", 1);
+/// let done = m.new_label();
+/// m.push_i(3).store(0);
+/// let top = m.bind_new_label();
+/// m.load(0).if_not(done);
+/// m.inc(0, -1).goto(top);
+/// m.bind(done);
+/// m.ret_void();
+/// let entry = m.build(&mut b);
+/// let p = b.build(entry)?;
+/// let listing = disassemble_decoded(&p);
+/// assert!(listing.contains("FSpin x4"));
+/// # Ok::<(), ftjvm_vm::program::BuildError>(())
+/// ```
+pub fn disassemble_decoded(program: &Program) -> String {
+    let d = DecodedProgram::build(program);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "decoded program: {} methods, {} inline-cache sites",
+        d.methods.len(),
+        d.n_ic_sites
+    );
+    for (mi, dm) in d.methods.iter().enumerate() {
+        let m = &program.methods[mi];
+        let _ = writeln!(out, "method {mi}: {} args={} locals={}", m.name, m.n_args, m.n_locals);
+        let mut interior_until = 0usize;
+        for (pc, op) in dm.fused.iter().enumerate() {
+            let flen = (op.flags >> F_FUSE_SHIFT) as usize;
+            if flen >= 2 {
+                let parts: Vec<String> =
+                    dm.quick[pc..pc + flen].iter().map(|c| dop_to_string(program, c)).collect();
+                let _ = writeln!(out, "  {pc:4}: {:?} x{flen} {{ {} }}", op.code, parts.join("; "));
+                interior_until = pc + flen;
+            } else if pc < interior_until {
+                let _ = writeln!(out, "  {pc:4}: | {}", dop_to_string(program, op));
+            } else {
+                let _ = writeln!(out, "  {pc:4}: {}", dop_to_string(program, op));
+            }
+        }
+        for h in &m.handlers {
+            let _ = writeln!(
+                out,
+                "  handler [{}, {}) -> @{} catch {:?}",
+                h.start,
+                h.end,
+                h.target,
+                h.class.map(|c| program.class(c).name.clone())
+            );
+        }
+    }
+    out
 }
 
 /// Renders a whole program.
@@ -191,6 +348,50 @@ mod tests {
             "monitorenter",
             "putstatic C.0",
             "classobj C",
+        ] {
+            assert!(listing.contains(needle), "missing {needle:?} in:\n{listing}");
+        }
+    }
+
+    #[test]
+    fn decoded_listing_expands_fused_ops_and_shows_quickening() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.add_class("C", builtin::OBJECT, 0, 0);
+        let slot = b.declare_vslot("run", 1, true);
+        let mut run = b.method("C.run", 1);
+        run.instance_of(cls);
+        run.push_i(1).ret_val();
+        let run = run.build(&mut b);
+        b.set_vtable(cls, slot, run);
+        let mut helper = b.method("helper", 2);
+        helper.load(0).load(1).add().ret_val();
+        let helper = helper.build(&mut b);
+        let mut m = b.method("main", 1);
+        let done = m.new_label();
+        m.push_i(5).store(2);
+        let top = m.bind_new_label();
+        m.load(2).if_not(done);
+        m.inc(2, -1).goto(top);
+        m.bind(done);
+        m.push_i(1).push_i(2).invoke(helper).pop();
+        m.new_obj(cls).invoke_virtual(slot, 1).pop();
+        m.ret_void();
+        let entry = m.build(&mut b);
+        let p = b.build(entry).unwrap();
+        let listing = disassemble_decoded(&p);
+        for needle in [
+            "inline-cache sites",
+            // The spin loop fuses whole; its interior singles stay listed
+            // as the branch-target / budget-fallback stream.
+            "FSpin x4 { load 2; ifnot @",
+            "inc 2, -1",
+            ": | ",
+            // Quickened static call carries the callee frame shape.
+            "(helper) [quick args=2 locals=2]",
+            // Virtual site got an inline-cache id.
+            "ic#0",
+            // The `const 5; store 2` prologue fuses too.
+            "FConstStore x2 { const 5; store 2 }",
         ] {
             assert!(listing.contains(needle), "missing {needle:?} in:\n{listing}");
         }

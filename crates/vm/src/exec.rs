@@ -31,15 +31,21 @@ use std::sync::Arc;
 
 /// How the interpreter fetches and dispatches instructions.
 ///
-/// Both engines execute through the same segment executor and are
+/// All engines execute through the same segment executor and are
 /// byte-identical in every observable respect (counters, schedules,
 /// outputs, logs); they differ only in host-time cost. `Match` exists as
-/// the measured baseline for the decoded-dispatch speedup.
+/// the measured baseline for the decoded-dispatch speedup, `Decoded` as
+/// the measured baseline for the fusion/quickening/inline-cache tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DispatchEngine {
-    /// Execute the pre-decoded flat stream built once at VM start
-    /// (resolved operands, pre-classified ops). The fast default.
+    /// Execute the fused stream: the pre-decoded form with hot
+    /// digrams/trigrams fused into superinstructions, operands quickened
+    /// to direct indices, and monomorphic inline caches on virtual call
+    /// sites. The fast default.
     #[default]
+    Fused,
+    /// Execute the plain pre-decoded flat stream built once at VM start
+    /// (resolved operands, pre-classified ops) with no fusion tier.
     Decoded,
     /// Re-decode each `Insn` from the original program on every fetch —
     /// the per-unit `match`-dispatch cost the decoded engine amortizes.
@@ -84,6 +90,10 @@ pub struct VmConfig {
     /// `block_cap = 1` reproduces the per-unit consult cadence of the
     /// pre-segment interpreter and serves as the accounting baseline.
     pub block_cap: u32,
+    /// Record executed-op single/digram/trigram frequencies into
+    /// [`VmCore::profile`] (the fusion-table measurement mode of the
+    /// interp bench bin; slows execution, never used replicated).
+    pub profile_ops: bool,
 }
 
 impl Default for VmConfig {
@@ -101,8 +111,9 @@ impl Default for VmConfig {
             max_units: 500_000_000,
             cost: CostModel::default(),
             entry_arg: 1,
-            engine: DispatchEngine::Decoded,
+            engine: DispatchEngine::default(),
             block_cap: 0,
+            profile_ops: false,
         }
     }
 }
@@ -204,6 +215,13 @@ pub struct VmCore {
     pub finalizer_queue: VecDeque<ObjRef>,
     /// The lockset race detector, when enabled.
     pub race: Option<crate::race::RaceDetector>,
+    /// Executed-op frequency counts, when [`VmConfig::profile_ops`] is set.
+    pub profile: Option<crate::profile::OpProfiler>,
+    /// Monomorphic inline caches, indexed by the decode-time site ids the
+    /// fused stream carries in `InvokeVirtual.imm`. Pure host-side
+    /// memoization: transient, never snapshotted — a restored VM re-warms
+    /// from empty (see `snapshot.rs`).
+    pub(crate) ics: Vec<crate::decoded::IcEntry>,
     pub(crate) linked: Vec<u32>,
     pub(crate) quantum_left: u32,
     pub(crate) sched_rng: StdRng,
@@ -914,6 +932,12 @@ impl Vm {
                 uncaught: Vec::new(),
                 finalizer_queue: VecDeque::new(),
                 race: if cfg.race_detect { Some(crate::race::RaceDetector::new()) } else { None },
+                profile: if cfg.profile_ops {
+                    Some(crate::profile::OpProfiler::new())
+                } else {
+                    None
+                },
+                ics: vec![crate::decoded::IcEntry::default(); decoded.n_ic_sites as usize],
                 linked,
                 quantum_left: 0,
                 sched_rng,

@@ -10,7 +10,7 @@
 use crate::bytecode::{ClassId, Cmp, Insn, MethodId, VSlot};
 use crate::class::{builtin, excode, Program};
 use crate::coordinator::{Coordinator, NativeDirective};
-use crate::decoded::{cmp_of, decode_one, DOp, DecodedProgram, OpCode};
+use crate::decoded::{cmp_of, decode_one, fused_arith, DOp, DecodedProgram, OpCode, F_FUSE_SHIFT};
 use crate::error::VmError;
 use crate::exec::{obs_of, AcquireOutcome, DispatchEngine, VmCore};
 use crate::heap::{Heap, HeapEntry};
@@ -377,6 +377,14 @@ fn exec_insn(
         (f.method, f.pc)
     };
     let insn = core.program.methods[method.0 as usize].code[pc as usize];
+    if core.profile.is_some() {
+        // Legacy per-unit path (Match engine, or a 1-unit budget): counted
+        // as a chain break — these units are never fusion candidates.
+        let c = decode_one(insn, &core.program).code;
+        if let Some(p) = core.profile.as_mut() {
+            p.note_break(c);
+        }
+    }
     let is_app = core.thread(t).kind == ThreadKind::App;
     // Base interpretation cost.
     let mut cost = core.cfg.cost.insn_base;
@@ -921,10 +929,12 @@ pub(crate) fn exec_segment(
         return Err(VmError::Internal("exec_segment requires a dispatched thread".into()));
     };
     let program = core.program.clone();
-    let decoded = match core.cfg.engine {
-        DispatchEngine::Decoded => Some(core.decoded.clone()),
+    let engine = core.cfg.engine;
+    let decoded = match engine {
+        DispatchEngine::Fused | DispatchEngine::Decoded => Some(core.decoded.clone()),
         DispatchEngine::Match => None,
     };
+    let fused = engine == DispatchEngine::Fused;
     let insn_base = core.cfg.cost.insn_base;
     let branch_extra = core.cfg.cost.branch_extra;
     let mut executed = 0u64;
@@ -944,16 +954,18 @@ pub(crate) fn exec_segment(
             }
         }
         let (n, cf, exit) = {
-            let VmCore { threads, heap, statics, race, class_objects, .. } = core;
+            let VmCore { threads, heap, statics, race, profile, class_objects, .. } = core;
             fast_run(
                 t,
                 &mut threads[t.0 as usize],
                 heap,
                 statics,
                 race,
+                profile,
                 class_objects,
                 &program,
                 decoded.as_deref(),
+                fused,
                 budget - executed,
                 stop_br,
             )?
@@ -993,7 +1005,17 @@ pub(crate) fn exec_segment(
                 core.charge_base(insn_base + branch_extra);
                 core.counters.instructions += 1;
                 executed += 1;
-                let _ = do_invoke(core, coord, t, MethodId(op.a), None)?;
+                if let Some(p) = core.profile.as_mut() {
+                    p.note_break(op.code);
+                }
+                if fused {
+                    // Quickened: the callee's frame shape was folded into
+                    // the op at decode time, so the invoke prologue skips
+                    // the method-table read entirely.
+                    self_push_frame(core, t, MethodId(op.a), op.b as u8, op.imm as u16, None);
+                } else {
+                    let _ = do_invoke(core, coord, t, MethodId(op.a), None)?;
+                }
             }
             OpCode::InvokeVirtual => {
                 let receiver = {
@@ -1013,10 +1035,32 @@ pub(crate) fn exec_segment(
                         )))
                     }
                 };
-                let target = r.and_then(|r| {
-                    core.heap.class_of(r).and_then(|class| {
-                        core.program.classes[class.0 as usize].resolve(VSlot(op.a as u16))
-                    })
+                let class = r.and_then(|r| core.heap.class_of(r));
+                // Monomorphic inline cache (fused stream only: `op.imm`
+                // is the decode-time site id, `NO_IC` elsewhere). A hit
+                // skips the vtable walk and the method-table reads; the
+                // cached facts are those the resolve below would produce,
+                // so the hit and miss paths are observably identical.
+                if op.imm >= 0 && class.is_some() {
+                    let e = core.ics[op.imm as usize];
+                    if e.class == class {
+                        if e.sync {
+                            // Acquires the receiver's monitor: legacy
+                            // path (executed == 0) or end of block.
+                            return Ok(executed);
+                        }
+                        core.charge_base(insn_base + branch_extra);
+                        core.counters.instructions += 1;
+                        executed += 1;
+                        if let Some(p) = core.profile.as_mut() {
+                            p.note_break(op.code);
+                        }
+                        self_push_frame(core, t, e.target, e.n_args, e.n_locals, None);
+                        continue;
+                    }
+                }
+                let target = class.and_then(|class| {
+                    core.program.classes[class.0 as usize].resolve(VSlot(op.a as u16))
                 });
                 match (r, target) {
                     (None, _) => {
@@ -1034,7 +1078,21 @@ pub(crate) fn exec_segment(
                         return Ok(executed);
                     }
                     (Some(r), Some(mid)) => {
-                        if core.program.methods[mid.0 as usize].synchronized {
+                        let m = &core.program.methods[mid.0 as usize];
+                        let (sync, n_args, n_locals) = (m.synchronized, m.n_args, m.n_locals);
+                        if op.imm >= 0 {
+                            // Fill (or monomorphically rewrite) the site.
+                            // Never stale: vtables are immutable, so a
+                            // class always resolves to the same target.
+                            core.ics[op.imm as usize] = crate::decoded::IcEntry {
+                                class,
+                                target: mid,
+                                sync,
+                                n_args,
+                                n_locals,
+                            };
+                        }
+                        if sync {
                             // Acquires the receiver's monitor: legacy path
                             // (executed == 0) or end of block.
                             return Ok(executed);
@@ -1042,6 +1100,9 @@ pub(crate) fn exec_segment(
                         core.charge_base(insn_base + branch_extra);
                         core.counters.instructions += 1;
                         executed += 1;
+                        if let Some(p) = core.profile.as_mut() {
+                            p.note_break(op.code);
+                        }
                         let _ = do_invoke(core, coord, t, mid, Some(r))?;
                     }
                 }
@@ -1054,6 +1115,9 @@ pub(crate) fn exec_segment(
                 core.charge_base(insn_base + branch_extra);
                 core.counters.instructions += 1;
                 executed += 1;
+                if let Some(p) = core.profile.as_mut() {
+                    p.note_break(op.code);
+                }
                 let val = if matches!(op.code, OpCode::RetVal) {
                     Some(pop(&mut frame_mut_of(core, t)?.stack)?)
                 } else {
@@ -1068,13 +1132,28 @@ pub(crate) fn exec_segment(
                 core.charge_base(insn_base);
                 core.counters.instructions += 1;
                 executed += 1;
-                let bytes: Vec<u8> = core.program.strings[op.a as usize].bytes().collect();
-                let arr = alloc_counted(core, true, builtin::OBJECT, bytes.len())?;
-                if let Some(HeapEntry::Arr { elems }) = core.heap.get_mut(arr) {
-                    for (slot, b) in elems.iter_mut().zip(bytes.iter()) {
-                        *slot = Value::Int(*b as i64);
-                    }
+                if let Some(p) = core.profile.as_mut() {
+                    p.note_break(op.code);
                 }
+                let arr = if let (true, Some(d)) = (fused, decoded.as_deref()) {
+                    // Quickened: copy the pre-materialized value template
+                    // built at decode time instead of re-walking UTF-8.
+                    let tpl = &d.strings[op.a as usize];
+                    let arr = alloc_counted(core, true, builtin::OBJECT, tpl.len())?;
+                    if let Some(HeapEntry::Arr { elems }) = core.heap.get_mut(arr) {
+                        elems.copy_from_slice(tpl);
+                    }
+                    arr
+                } else {
+                    let bytes: Vec<u8> = core.program.strings[op.a as usize].bytes().collect();
+                    let arr = alloc_counted(core, true, builtin::OBJECT, bytes.len())?;
+                    if let Some(HeapEntry::Arr { elems }) = core.heap.get_mut(arr) {
+                        for (slot, b) in elems.iter_mut().zip(bytes.iter()) {
+                            *slot = Value::Int(*b as i64);
+                        }
+                    }
+                    arr
+                };
                 let f = frame_mut_of(core, t)?;
                 f.stack.push(Value::Ref(arr));
                 f.pc += 1;
@@ -1086,6 +1165,9 @@ pub(crate) fn exec_segment(
                 core.charge_base(insn_base);
                 core.counters.instructions += 1;
                 executed += 1;
+                if let Some(p) = core.profile.as_mut() {
+                    p.note_break(op.code);
+                }
                 let n_fields = core.program.classes[op.a as usize].n_fields;
                 let obj = alloc_counted(core, false, ClassId(op.a as u16), n_fields as usize)?;
                 let f = frame_mut_of(core, t)?;
@@ -1099,6 +1181,9 @@ pub(crate) fn exec_segment(
                 core.charge_base(insn_base);
                 core.counters.instructions += 1;
                 executed += 1;
+                if let Some(p) = core.profile.as_mut() {
+                    p.note_break(op.code);
+                }
                 let len = {
                     let s = &frame_of(core, t)?.stack;
                     (*s.last().ok_or_else(|| type_err("newarray on empty stack"))?)
@@ -1134,9 +1219,11 @@ fn fast_run(
     heap: &mut Heap,
     statics: &mut [Vec<Value>],
     race: &mut Option<crate::race::RaceDetector>,
+    profile: &mut Option<crate::profile::OpProfiler>,
     class_objects: &[ObjRef],
     program: &Program,
     decoded: Option<&DecodedProgram>,
+    fused: bool,
     remaining: u64,
     stop_br: Option<u64>,
 ) -> Result<(u64, u64, FastExit), VmError> {
@@ -1147,10 +1234,23 @@ fn fast_run(
     };
     let crate::thread::Frame { method, pc, locals, stack, .. } = frame;
     let method = *method;
-    let dops = decoded.map(|d| d.methods[method.0 as usize].as_slice());
+    // Dispatch stream and (fused engine only) the quickened-singles
+    // fallback stream for superinstructions that don't fit the budget.
+    let (dops, qops): (Option<&[DOp]>, &[DOp]) = match decoded {
+        Some(d) => {
+            let m = &d.methods[method.0 as usize];
+            if fused {
+                (Some(m.fused.as_slice()), m.quick.as_slice())
+            } else {
+                (Some(m.base.as_slice()), &[])
+            }
+        }
+        None => (None, &[]),
+    };
     let code = program.methods[method.0 as usize].code.as_slice();
     let mut n = 0u64;
     let mut cf = 0u64;
+    let mut prof_last = usize::MAX;
 
     macro_rules! raise {
         ($code:expr) => {
@@ -1191,17 +1291,32 @@ fn fast_run(
         };
     }
 
-    let exit = loop {
+    let exit = 'run: loop {
         if n >= remaining {
             break FastExit::Out;
         }
         let i = *pc as usize;
-        let op = match dops {
+        let mut op = match dops {
             Some(s) => s[i],
             None => decode_one(code[i], program),
         };
         if op.flags != 0 {
-            break FastExit::Cold(op);
+            let flen = op.flags >> F_FUSE_SHIFT;
+            if flen == 0 {
+                break FastExit::Cold(op);
+            }
+            // Budget-fit rule: a superinstruction of `flen` constituents
+            // executes only when all of them fit in the remaining budget;
+            // otherwise fall back to the quickened single at the same pc so
+            // every intermediate (br_cnt, pc) the backup may replay to stays
+            // reachable.
+            if n + u64::from(flen) > remaining {
+                op = qops[i];
+            }
+        }
+        if let Some(p) = profile.as_mut() {
+            p.note(op.code, i == prof_last.wrapping_add(1));
+            prof_last = i;
         }
         match op.code {
             OpCode::Nop => *pc += 1,
@@ -1508,6 +1623,458 @@ fn fast_run(
                 };
                 stack.push(Value::Int(len));
                 *pc += 1;
+            }
+            // ----- superinstructions (fused stream only) -----
+            //
+            // Each fused arm does ALL of its own accounting — `n` by
+            // constituent count, `cf`/`br_cnt` only at a final branch
+            // constituent, `pc` by fused length — and ends with `continue`
+            // so the loop-bottom `n += 1` never double-charges. A raise
+            // mid-fusion first commits the completed constituents
+            // (`pc`/`n` advance to the raising constituent) so the outer
+            // raise path charges and unwinds at the exact same pc as the
+            // equivalent run of singles.
+            OpCode::FLoadIfNot => {
+                // Load a; IfNot ->b  (the `spin` loop test)
+                let v = locals[op.a as usize];
+                if !v.is_truthy() {
+                    *pc = op.b;
+                } else {
+                    *pc += 2;
+                }
+                *br_cnt += 1;
+                cf += 1;
+                n += 2;
+                if stop_br == Some(*br_cnt) {
+                    break FastExit::Out;
+                }
+                continue;
+            }
+            OpCode::FIncGoto => {
+                // Inc a,imm; Goto ->b  (the loop-latch digram)
+                let slot = &mut locals[op.a as usize];
+                let cur =
+                    slot.as_int().map_err(|v| type_err(format!("inc of non-int local: {v}")))?;
+                *slot = Value::Int(cur.wrapping_add(op.imm));
+                *pc = op.b;
+                *br_cnt += 1;
+                cf += 1;
+                n += 2;
+                if stop_br == Some(*br_cnt) {
+                    break FastExit::Out;
+                }
+                continue;
+            }
+            OpCode::FICmpIf => {
+                // ICmp a; If ->b
+                let bv = pop_int(stack)?;
+                let av = pop_int(stack)?;
+                let ord = match av.cmp(&bv) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                if cmp_of(op.a).eval_ord(ord) {
+                    *pc = op.b;
+                } else {
+                    *pc += 2;
+                }
+                *br_cnt += 1;
+                cf += 1;
+                n += 2;
+                if stop_br == Some(*br_cnt) {
+                    break FastExit::Out;
+                }
+                continue;
+            }
+            OpCode::FConstArith => {
+                // ConstI imm; <arith a>  — Div/Rem only fused when imm != 0,
+                // so no arithmetic raise is possible here.
+                let av = pop_int(stack)?;
+                stack.push(Value::Int(fused_arith(op.a, av, op.imm)));
+                *pc += 2;
+                n += 2;
+                continue;
+            }
+            OpCode::FLoadLoad => {
+                stack.push(locals[op.a as usize]);
+                stack.push(locals[op.b as usize]);
+                *pc += 2;
+                n += 2;
+                continue;
+            }
+            OpCode::FLoadStore => {
+                // Load a; Store b  — a local-to-local move, no stack traffic.
+                locals[op.b as usize] = locals[op.a as usize];
+                *pc += 2;
+                n += 2;
+                continue;
+            }
+            OpCode::FLoadALoad => {
+                // Load a (index); ALoad  — array ref is the current stack top.
+                let idx = locals[op.a as usize]
+                    .as_int()
+                    .map_err(|v| type_err(format!("expected int, found {v}")))?;
+                let arr = pop(stack)?;
+                let r = match arr {
+                    Value::Ref(r) => r,
+                    Value::Null => {
+                        *pc += 1;
+                        n += 1;
+                        raise!(excode::NULL_POINTER)
+                    }
+                    v => return Err(type_err(format!("aload on non-reference {v}"))),
+                };
+                let v = match heap.get(r) {
+                    Some(HeapEntry::Arr { elems }) => {
+                        if idx < 0 || idx as usize >= elems.len() {
+                            *pc += 1;
+                            n += 1;
+                            raise!(excode::ARRAY_BOUNDS);
+                        }
+                        elems[idx as usize]
+                    }
+                    Some(HeapEntry::Obj { .. }) => return Err(type_err("aload on object")),
+                    None => return Err(VmError::DanglingRef { detail: format!("aload on {r}") }),
+                };
+                track!(Loc::Array(r), false);
+                stack.push(v);
+                *pc += 2;
+                n += 2;
+                continue;
+            }
+            OpCode::FLoadGetField => {
+                // Load a (object); GetField b
+                let r = match locals[op.a as usize] {
+                    Value::Ref(r) => r,
+                    Value::Null => {
+                        *pc += 1;
+                        n += 1;
+                        raise!(excode::NULL_POINTER)
+                    }
+                    v => return Err(type_err(format!("getfield on non-reference {v}"))),
+                };
+                let slot = op.b as u16;
+                let v = match heap.get(r) {
+                    Some(HeapEntry::Obj { fields, .. }) => *fields
+                        .get(slot as usize)
+                        .ok_or_else(|| type_err(format!("field slot {slot} out of range")))?,
+                    Some(HeapEntry::Arr { .. }) => return Err(type_err("getfield on array")),
+                    None => {
+                        return Err(VmError::DanglingRef { detail: format!("getfield on {r}") })
+                    }
+                };
+                track!(Loc::Field(r, slot), false);
+                stack.push(v);
+                *pc += 2;
+                n += 2;
+                continue;
+            }
+            OpCode::FGetStaticLoad => {
+                // GetStatic a.b; Load imm
+                let slot = op.b as u16;
+                let v = *statics[op.a as usize]
+                    .get(slot as usize)
+                    .ok_or_else(|| type_err(format!("static slot {slot} out of range")))?;
+                track!(Loc::Static(ClassId(op.a as u16), slot), false);
+                stack.push(v);
+                stack.push(locals[op.imm as usize]);
+                *pc += 2;
+                n += 2;
+                continue;
+            }
+            OpCode::FLoadConstICmp => {
+                // Load a; ConstI imm; ICmp b  — pushes the comparison result.
+                let av = locals[op.a as usize]
+                    .as_int()
+                    .map_err(|v| type_err(format!("expected int, found {v}")))?;
+                let ord = match av.cmp(&op.imm) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                stack.push(Value::from(cmp_of(op.b).eval_ord(ord)));
+                *pc += 3;
+                n += 3;
+                continue;
+            }
+            OpCode::FConstICmpIf => {
+                // ConstI imm; ICmp a; If ->b  (the `count_loop` head tail)
+                let av = pop_int(stack)?;
+                let ord = match av.cmp(&op.imm) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                if cmp_of(op.a).eval_ord(ord) {
+                    *pc = op.b;
+                } else {
+                    *pc += 3;
+                }
+                *br_cnt += 1;
+                cf += 1;
+                n += 3;
+                if stop_br == Some(*br_cnt) {
+                    break FastExit::Out;
+                }
+                continue;
+            }
+            OpCode::FLoadLoadALoad => {
+                // Load a (array); Load b (index); ALoad  (the scanner fetch)
+                let idx = locals[op.b as usize]
+                    .as_int()
+                    .map_err(|v| type_err(format!("expected int, found {v}")))?;
+                let r = match locals[op.a as usize] {
+                    Value::Ref(r) => r,
+                    Value::Null => {
+                        *pc += 2;
+                        n += 2;
+                        raise!(excode::NULL_POINTER)
+                    }
+                    v => return Err(type_err(format!("aload on non-reference {v}"))),
+                };
+                let v = match heap.get(r) {
+                    Some(HeapEntry::Arr { elems }) => {
+                        if idx < 0 || idx as usize >= elems.len() {
+                            *pc += 2;
+                            n += 2;
+                            raise!(excode::ARRAY_BOUNDS);
+                        }
+                        elems[idx as usize]
+                    }
+                    Some(HeapEntry::Obj { .. }) => return Err(type_err("aload on object")),
+                    None => return Err(VmError::DanglingRef { detail: format!("aload on {r}") }),
+                };
+                track!(Loc::Array(r), false);
+                stack.push(v);
+                *pc += 3;
+                n += 3;
+                continue;
+            }
+            OpCode::FLoadLoadArith => {
+                // Load a; Load b; <arith imm>  — Div/Rem are never fused
+                // here. `b` is converted first to mirror the single ops'
+                // pop order on a type error.
+                let bv = locals[op.b as usize]
+                    .as_int()
+                    .map_err(|v| type_err(format!("expected int, found {v}")))?;
+                let av = locals[op.a as usize]
+                    .as_int()
+                    .map_err(|v| type_err(format!("expected int, found {v}")))?;
+                stack.push(Value::Int(fused_arith(op.imm as u32, av, bv)));
+                *pc += 3;
+                n += 3;
+                continue;
+            }
+            OpCode::FSpin => {
+                // Load a.lo; IfNot ->b; Inc a.hi,imm.lo; Goto ->imm.hi —
+                // one whole spin-wait iteration per pass. Both branches
+                // get their own stop check; a halt after the IfNot
+                // fall-through leaves pc on the interior Inc single, a
+                // replayable state. When the Goto targets this very op (a
+                // self-loop, the common shape) the loop iterates in place:
+                // per-iteration accounting, br_cnt bumps, and stop/budget
+                // checks are identical to re-dispatching, so replay
+                // alignment is unchanged — the op is simply fetched once
+                // instead of once per iteration.
+                let target = (op.imm >> 32) as u32;
+                let delta = i64::from(op.imm as i32);
+                let test = (op.a & 0xFFFF) as usize;
+                let ctr = (op.a >> 16) as usize;
+                let self_loop = target as usize == i;
+                loop {
+                    *br_cnt += 1;
+                    cf += 1;
+                    if !locals[test].is_truthy() {
+                        *pc = op.b;
+                        n += 2;
+                        if stop_br == Some(*br_cnt) {
+                            break 'run FastExit::Out;
+                        }
+                        break;
+                    }
+                    *pc += 2;
+                    n += 2;
+                    if stop_br == Some(*br_cnt) {
+                        break 'run FastExit::Out;
+                    }
+                    let slot = &mut locals[ctr];
+                    let cur = slot
+                        .as_int()
+                        .map_err(|v| type_err(format!("inc of non-int local: {v}")))?;
+                    *slot = Value::Int(cur.wrapping_add(delta));
+                    *pc = target;
+                    *br_cnt += 1;
+                    cf += 1;
+                    n += 2;
+                    if stop_br == Some(*br_cnt) {
+                        break 'run FastExit::Out;
+                    }
+                    if !self_loop || n + 4 > remaining {
+                        break;
+                    }
+                }
+                continue;
+            }
+            OpCode::FLoadConstICmpIf => {
+                // Load a.lo; ConstI imm; ICmp a.hi; If ->b — counted-loop
+                // head.
+                let av = locals[(op.a & 0xFFFF) as usize]
+                    .as_int()
+                    .map_err(|v| type_err(format!("expected int, found {v}")))?;
+                let ord = match av.cmp(&op.imm) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                if cmp_of(op.a >> 16).eval_ord(ord) {
+                    *pc = op.b;
+                } else {
+                    *pc += 4;
+                }
+                *br_cnt += 1;
+                cf += 1;
+                n += 4;
+                if stop_br == Some(*br_cnt) {
+                    break FastExit::Out;
+                }
+                continue;
+            }
+            OpCode::FStoreLoad => {
+                locals[op.a as usize] = pop(stack)?;
+                stack.push(locals[op.b as usize]);
+                *pc += 2;
+                n += 2;
+                continue;
+            }
+            OpCode::FConstStore => {
+                locals[op.a as usize] = Value::Int(op.imm);
+                *pc += 2;
+                n += 2;
+                continue;
+            }
+            OpCode::FLoadConstArith => {
+                // Load a.lo; ConstI imm; <arith a.hi> — Div/Rem fuse only
+                // with a nonzero constant, so no raise path.
+                let av = locals[(op.a & 0xFFFF) as usize]
+                    .as_int()
+                    .map_err(|v| type_err(format!("expected int, found {v}")))?;
+                stack.push(Value::Int(fused_arith(op.a >> 16, av, op.imm)));
+                *pc += 3;
+                n += 3;
+                continue;
+            }
+            OpCode::FICmpIfNot => {
+                // ICmp a; IfNot ->b
+                let bv = pop_int(stack)?;
+                let av = pop_int(stack)?;
+                let ord = match av.cmp(&bv) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                if !cmp_of(op.a).eval_ord(ord) {
+                    *pc = op.b;
+                } else {
+                    *pc += 2;
+                }
+                *br_cnt += 1;
+                cf += 1;
+                n += 2;
+                if stop_br == Some(*br_cnt) {
+                    break FastExit::Out;
+                }
+                continue;
+            }
+            OpCode::FALoadArith => {
+                // ALoad; <arith a> — a raise here happens at the first
+                // constituent, so pc and n stay untouched (the outer raise
+                // path charges the one unit, exactly like the single).
+                let idx = pop_int(stack)?;
+                let arr = pop(stack)?;
+                let r = match arr {
+                    Value::Ref(r) => r,
+                    Value::Null => raise!(excode::NULL_POINTER),
+                    v => return Err(type_err(format!("aload on non-reference {v}"))),
+                };
+                let v = match heap.get(r) {
+                    Some(HeapEntry::Arr { elems }) => {
+                        if idx < 0 || idx as usize >= elems.len() {
+                            raise!(excode::ARRAY_BOUNDS);
+                        }
+                        elems[idx as usize]
+                    }
+                    Some(HeapEntry::Obj { .. }) => return Err(type_err("aload on object")),
+                    None => return Err(VmError::DanglingRef { detail: format!("aload on {r}") }),
+                };
+                track!(Loc::Array(r), false);
+                let ev = v.as_int().map_err(|v| type_err(format!("expected int, found {v}")))?;
+                let av = pop_int(stack)?;
+                stack.push(Value::Int(fused_arith(op.a, av, ev)));
+                *pc += 2;
+                n += 2;
+                continue;
+            }
+            OpCode::FArithStore => {
+                // <arith b>; Store a
+                let bv = pop_int(stack)?;
+                let av = pop_int(stack)?;
+                locals[op.a as usize] = Value::Int(fused_arith(op.b, av, bv));
+                *pc += 2;
+                n += 2;
+                continue;
+            }
+            OpCode::FLoadLoadICmpIf => {
+                // Load a.lo; Load a.hi; ICmp imm; If ->b — the second
+                // load is the comparison's right-hand side.
+                let bv = locals[(op.a >> 16) as usize]
+                    .as_int()
+                    .map_err(|v| type_err(format!("expected int, found {v}")))?;
+                let av = locals[(op.a & 0xFFFF) as usize]
+                    .as_int()
+                    .map_err(|v| type_err(format!("expected int, found {v}")))?;
+                let ord = match av.cmp(&bv) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                if cmp_of(op.imm as u32).eval_ord(ord) {
+                    *pc = op.b;
+                } else {
+                    *pc += 4;
+                }
+                *br_cnt += 1;
+                cf += 1;
+                n += 4;
+                if stop_br == Some(*br_cnt) {
+                    break FastExit::Out;
+                }
+                continue;
+            }
+            OpCode::FLoadICmpIfNot => {
+                // Load a.lo; ICmp a.hi; IfNot ->b — left-hand side from
+                // the stack, right-hand side from the local.
+                let bv = locals[(op.a & 0xFFFF) as usize]
+                    .as_int()
+                    .map_err(|v| type_err(format!("expected int, found {v}")))?;
+                let av = pop_int(stack)?;
+                let ord = match av.cmp(&bv) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                if !cmp_of(op.a >> 16).eval_ord(ord) {
+                    *pc = op.b;
+                } else {
+                    *pc += 3;
+                }
+                *br_cnt += 1;
+                cf += 1;
+                n += 3;
+                if stop_br == Some(*br_cnt) {
+                    break FastExit::Out;
+                }
+                continue;
             }
             OpCode::ConstStr
             | OpCode::New

@@ -68,6 +68,7 @@ pub mod heap;
 mod interp;
 pub mod monitor;
 pub mod native;
+pub mod profile;
 pub mod program;
 pub mod race;
 pub mod snapshot;
@@ -85,6 +86,7 @@ pub use env::{SharedWorld, SimEnv, World};
 pub use error::VmError;
 pub use exec::{DispatchEngine, ExecCounters, RunOutcome, RunReport, SliceOutcome, Vm, VmConfig};
 pub use native::{NativeAbort, NativeDecl, NativeKind, NativeOutcome, NativeRegistry};
+pub use profile::OpProfiler;
 pub use program::{BuildError, ProgramBuilder};
 pub use race::{RaceDetector, RaceReport};
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -49,6 +49,8 @@ fn usage() -> ! {
            --net-seed <n>        seed for the fault plan's coin flips (default 0)\n\
            --baseline            run unreplicated only\n\
            --disasm              print the program listing instead of running\n\
+           --disasm-fused        print the decoded listing the fused engine runs\n\
+                                 (superinstructions expanded, quickened operands)\n\
            --dump-log <n>        print the first n log records instead of running"
     );
     std::process::exit(2)
@@ -113,6 +115,7 @@ fn main() {
     let mut cfg = FtConfig::default();
     let mut baseline = false;
     let mut disasm = false;
+    let mut disasm_fused = false;
     let mut dump_log: Option<usize> = None;
     let mut kill_backup: Option<u64> = None;
     let mut reintegrate = false;
@@ -195,6 +198,7 @@ fn main() {
             }
             "--baseline" => baseline = true,
             "--disasm" => disasm = true,
+            "--disasm-fused" => disasm_fused = true,
             "--dump-log" => {
                 i += 1;
                 dump_log =
@@ -207,6 +211,10 @@ fn main() {
 
     if disasm {
         print!("{}", ftjvm::vm::disasm::disassemble(&w.program));
+        return;
+    }
+    if disasm_fused {
+        print!("{}", ftjvm::vm::disasm::disassemble_decoded(&w.program));
         return;
     }
     if let Some(n) = dump_log {

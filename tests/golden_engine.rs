@@ -1,12 +1,16 @@
 //! Golden-log equivalence of the execution engines: the pre-decoded
-//! block-dispatch interpreter must be **observationally invisible** to
-//! the replication layer. Across all six SPEC JVM98 analogs, both
-//! replication techniques, and both wire codecs, the decoded engine and
-//! the per-op `match` engine must ship byte-identical log frames and
-//! produce identical console output; varying the block cap may shift
-//! simulated-time bookkeeping (heartbeat instants) but never the logged
-//! record sequence or the outputs; and a snapshot cut mid-way through a
-//! straight-line run must restore and finish bit-for-bit.
+//! block-dispatch interpreter — and the fused superinstruction +
+//! quickening + inline-cache tier on top of it — must be
+//! **observationally invisible** to the replication layer. Across all six
+//! SPEC JVM98 analogs, both replication techniques, and both wire codecs,
+//! the fused engine, the plain decoded engine, and the per-op `match`
+//! engine must ship byte-identical log frames and produce identical
+//! console output; varying the block cap may shift simulated-time
+//! bookkeeping (heartbeat instants) but never the logged record sequence
+//! or the outputs (at `cap=1` no superinstruction ever fits the budget,
+//! so cap-invariance doubles as the fusion-off equivalence proof); and a
+//! snapshot cut that lands *inside* a fused region must restore and
+//! finish bit-for-bit under every engine.
 
 use ftjvm::netsim::{FaultPlan, SimTime, WireCodec};
 use ftjvm::replication::codec::decode_frames;
@@ -31,11 +35,12 @@ fn primary_artifacts(w: &Workload, cfg: FtConfig) -> (Vec<Vec<u8>>, Vec<String>)
     (frames, texts)
 }
 
-/// Both engines, both techniques, both codecs, every SPEC analog: the
-/// decoded engine must not change a single byte of the replication log
-/// or of the committed output.
+/// All three engines, both techniques, both codecs, every SPEC analog:
+/// neither the decoded engine nor the fused superinstruction tier may
+/// change a single byte of the replication log or of the committed
+/// output relative to the per-op `match` baseline.
 #[test]
-fn decoded_and_match_logs_are_byte_identical() {
+fn fused_decoded_and_match_logs_are_byte_identical() {
     for w in workloads::spec_suite() {
         for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
             for codec in [WireCodec::Fixed, WireCodec::Compact] {
@@ -44,17 +49,23 @@ fn decoded_and_match_logs_are_byte_identical() {
                     cfg.vm.engine = engine;
                     cfg
                 };
-                let (dec_frames, dec_out) = primary_artifacts(&w, cfg(DispatchEngine::Decoded));
                 let (mat_frames, mat_out) = primary_artifacts(&w, cfg(DispatchEngine::Match));
-                assert_eq!(dec_out, mat_out, "{} {mode} {codec}: outputs differ", w.name);
-                assert_eq!(
-                    dec_frames.len(),
-                    mat_frames.len(),
-                    "{} {mode} {codec}: frame counts differ",
-                    w.name
-                );
-                for (i, (a, b)) in dec_frames.iter().zip(&mat_frames).enumerate() {
-                    assert_eq!(a, b, "{} {mode} {codec}: frame {i} differs", w.name);
+                for engine in [DispatchEngine::Fused, DispatchEngine::Decoded] {
+                    let (frames, out) = primary_artifacts(&w, cfg(engine));
+                    assert_eq!(
+                        out, mat_out,
+                        "{} {mode} {codec} {engine:?}: outputs differ",
+                        w.name
+                    );
+                    assert_eq!(
+                        frames.len(),
+                        mat_frames.len(),
+                        "{} {mode} {codec} {engine:?}: frame counts differ",
+                        w.name
+                    );
+                    for (i, (a, b)) in frames.iter().zip(&mat_frames).enumerate() {
+                        assert_eq!(a, b, "{} {mode} {codec} {engine:?}: frame {i} differs", w.name);
+                    }
                 }
             }
         }
@@ -104,9 +115,13 @@ fn mask_nd_payloads(records: Vec<Record>) -> Vec<Record> {
 /// The block cap only tunes how much work happens between progress-check
 /// consults; every logged decision point (scheduling, locks, outputs)
 /// must be identical from per-unit consults (`cap=1`) through unbounded
-/// segments (`cap=0`). Under lock synchronization the whole record
-/// stream — ND payloads included — must match byte-for-byte; under
-/// thread scheduling clock-reading natives see the (intentionally)
+/// segments (`cap=0`). Run under the fused engine this is also the
+/// fusion-off equivalence proof: at `cap=1` the remaining-budget test
+/// `n + len <= remaining` fails for every superinstruction (len ≥ 2), so
+/// the run executes purely quickened singles — and must still produce
+/// the identical record stream. Under lock synchronization the whole
+/// record stream — ND payloads included — must match byte-for-byte;
+/// under thread scheduling clock-reading natives see the (intentionally)
 /// cheaper Misc accounting, so their payloads are masked.
 #[test]
 fn block_cap_never_changes_records_or_outputs() {
@@ -114,6 +129,7 @@ fn block_cap_never_changes_records_or_outputs() {
         for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
             let cfg = |cap| {
                 let mut cfg = FtConfig { mode, ..FtConfig::default() };
+                cfg.vm.engine = DispatchEngine::Fused;
                 cfg.vm.block_cap = cap;
                 cfg
             };
@@ -140,52 +156,77 @@ fn block_cap_never_changes_records_or_outputs() {
 /// Cuts a snapshot after an odd unit budget — deliberately *inside* a
 /// straight-line run, where only the decoded-PC bookkeeping pins the
 /// resume point — and requires the restored VM to finish with the exact
-/// output and instruction count of an uninterrupted run.
+/// output and instruction count of an uninterrupted run. Under the fused
+/// engine the 37-unit budget exhausts mid-fused-region (the worker's
+/// `Load; IfNot` loop head fuses, and when the superinstruction no
+/// longer fits the budget the executor walks its constituent singles one
+/// unit at a time), so the cut pc can rest on an interior slot of a
+/// fused region; the restore must resume through those interior singles
+/// and re-enter superinstruction dispatch at the next fusion start. All
+/// three engines must agree on the final outputs and instruction count,
+/// and inline caches (transient, per-replica) must rewarm invisibly
+/// after the restore.
 #[test]
 fn mid_block_snapshot_restores_exactly() {
     let w = workloads::micro::sync_counter(2, 60);
-    let cfg = VmConfig { quantum: 50, quantum_jitter: 30, ..VmConfig::default() };
+    let mut finals: Vec<(Vec<String>, u64)> = Vec::new();
+    for engine in [DispatchEngine::Fused, DispatchEngine::Decoded, DispatchEngine::Match] {
+        let cfg = VmConfig { quantum: 50, quantum_jitter: 30, engine, ..VmConfig::default() };
 
-    let uninterrupted = {
+        let uninterrupted = {
+            let world = World::shared();
+            let env = SimEnv::new("p", world.clone(), SimTime::ZERO, 7);
+            let mut vm =
+                Vm::new(w.program.clone(), NativeRegistry::with_builtins(), env, cfg.clone())
+                    .expect("vm builds");
+            let report = vm.run(&mut NoopCoordinator::new()).expect("runs");
+            let texts = world.borrow().console_texts();
+            (texts, report.counters.instructions)
+        };
+
         let world = World::shared();
         let env = SimEnv::new("p", world.clone(), SimTime::ZERO, 7);
         let mut vm = Vm::new(w.program.clone(), NativeRegistry::with_builtins(), env, cfg.clone())
             .expect("vm builds");
-        let report = vm.run(&mut NoopCoordinator::new()).expect("runs");
-        let texts = world.borrow().console_texts();
-        (texts, report.counters.instructions)
-    };
-
-    let world = World::shared();
-    let env = SimEnv::new("p", world.clone(), SimTime::ZERO, 7);
-    let mut vm = Vm::new(w.program.clone(), NativeRegistry::with_builtins(), env, cfg.clone())
-        .expect("vm builds");
-    let mut coord = NoopCoordinator::new();
-    // An odd budget lands between block boundaries; retry until the VM is
-    // also quiescent (no native in flight), which snapshots require.
-    let blob = loop {
-        match vm.run_slice(&mut coord, 37).expect("runs") {
-            SliceOutcome::Budget | SliceOutcome::Paused => {
-                vm.poll_suspended(&mut coord);
-                if vm.quiescent() {
-                    break vm.snapshot(&[]).expect("snapshot at quiescent point");
+        let mut coord = NoopCoordinator::new();
+        // An odd budget lands between block boundaries; retry until the VM
+        // is also quiescent (no native in flight), which snapshots require.
+        let blob = loop {
+            match vm.run_slice(&mut coord, 37).expect("runs") {
+                SliceOutcome::Budget | SliceOutcome::Paused => {
+                    vm.poll_suspended(&mut coord);
+                    if vm.quiescent() {
+                        break vm.snapshot(&[]).expect("snapshot at quiescent point");
+                    }
+                }
+                SliceOutcome::Completed(_) | SliceOutcome::Stopped(_) => {
+                    panic!("workload finished before a mid-run cut")
                 }
             }
-            SliceOutcome::Completed(_) | SliceOutcome::Stopped(_) => {
-                panic!("workload finished before a mid-run cut")
-            }
-        }
-    };
-    drop(vm);
+        };
+        drop(vm);
 
-    let (mut restored, ext) =
-        Vm::restore(w.program.clone(), NativeRegistry::with_builtins(), world.clone(), &cfg, &blob)
-            .expect("snapshot restores");
-    assert!(ext.is_empty());
-    let report = restored.run(&mut NoopCoordinator::new()).expect("restored run finishes");
-    assert_eq!(world.borrow().console_texts(), uninterrupted.0, "outputs diverged after restore");
-    assert_eq!(
-        report.counters.instructions, uninterrupted.1,
-        "instruction count diverged after restore"
-    );
+        let (mut restored, ext) = Vm::restore(
+            w.program.clone(),
+            NativeRegistry::with_builtins(),
+            world.clone(),
+            &cfg,
+            &blob,
+        )
+        .expect("snapshot restores");
+        assert!(ext.is_empty());
+        let report = restored.run(&mut NoopCoordinator::new()).expect("restored run finishes");
+        assert_eq!(
+            world.borrow().console_texts(),
+            uninterrupted.0,
+            "{engine:?}: outputs diverged after restore"
+        );
+        assert_eq!(
+            report.counters.instructions, uninterrupted.1,
+            "{engine:?}: instruction count diverged after restore"
+        );
+        finals.push(uninterrupted);
+    }
+    assert_eq!(finals[0], finals[1], "fused vs decoded finals differ");
+    assert_eq!(finals[1], finals[2], "decoded vs match finals differ");
 }
