@@ -1,0 +1,244 @@
+//! Fleet-scale serving artifact: aggregate SLOs of hundreds of
+//! replicated pairs multiplexed on one event-loop timeline, under
+//! per-pair fault injection plus a correlated rack partition.
+//!
+//! Run: `cargo run -p ftjvm-bench --release --bin fleet`
+//!
+//! Two named scenarios are measured by default:
+//!
+//! * `full`  — 512 pairs, 8 racks, independent crashes (150‰) and backup
+//!   kills (100‰), rack 5 partitioned (every backup in it dies at one
+//!   instant), shared trunk, open-loop clients.
+//! * `smoke` — the same mix at 64 pairs; fast enough for every CI run.
+//!
+//! Flags:
+//!
+//! * `--write` refreshes `BENCH_fleet.json` at the repo root and the
+//!   human-readable `docs/results/fleet.txt`.
+//! * `--check` re-measures and exits nonzero if correctness counts
+//!   (completed / divergent / lost / failovers absorbed / served) differ
+//!   from the committed JSON, or commit-latency percentiles regressed
+//!   more than 25%. The whole simulation is deterministic in simulated
+//!   time, so everything but wall-clock is machine-independent; the
+//!   latency tolerance only keeps innocuous cost-model tuning from
+//!   needing a lockstep `--write` in the same commit.
+//! * `--smoke` measures only the 64-pair scenario (the CI release-job
+//!   gate runs `--smoke --check`).
+//! * `--pairs <n>` measures one custom-sized scenario instead (printed
+//!   only; not written or checked).
+
+use ftjvm_core::fleet::{run_fleet, FleetConfig, FleetReport};
+use std::time::Instant;
+
+struct Scenario {
+    name: &'static str,
+    cfg: FleetConfig,
+}
+
+fn scenarios(smoke_only: bool) -> Vec<Scenario> {
+    let base = FleetConfig { partition_rack: Some(5), ..FleetConfig::default() };
+    let mut v = Vec::new();
+    if !smoke_only {
+        v.push(Scenario { name: "full", cfg: FleetConfig { pairs: 512, ..base.clone() } });
+    }
+    v.push(Scenario { name: "smoke", cfg: FleetConfig { pairs: 64, ..base } });
+    v
+}
+
+struct Row {
+    name: String,
+    cfg: FleetConfig,
+    report: FleetReport,
+    wall_ms: f64,
+}
+
+fn measure(sc: Scenario) -> Row {
+    let start = Instant::now();
+    let report = run_fleet(&sc.cfg).expect("fleet scenario runs");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Row { name: sc.name.to_string(), cfg: sc.cfg, report, wall_ms }
+}
+
+fn render_text(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Fleet-scale serving simulation: aggregate SLOs under continuous faults\n");
+    out.push_str("(event-loop scheduler, shared trunk, open-loop clients, rack 5 partitioned)\n\n");
+    for r in rows {
+        let rep = &r.report;
+        out.push_str(&format!(
+            "[{}] {} pairs, {} racks, seed {:#x}\n",
+            r.name, rep.pairs, r.cfg.racks, r.cfg.seed
+        ));
+        out.push_str(&format!(
+            "  completed {} / {}   divergent {}   lost (beyond 1-fault model) {}\n",
+            rep.completed, rep.pairs, rep.divergent, rep.lost
+        ));
+        out.push_str(&format!(
+            "  failovers absorbed {}   backups killed {}   degraded {}   reintegrated {}\n",
+            rep.failovers_absorbed, rep.backups_killed, rep.degraded_entries, rep.reintegrated
+        ));
+        out.push_str(&format!(
+            "  requests {} served / {} issued   backlog peak {}\n",
+            rep.served_requests, rep.total_requests, rep.backlog_peak
+        ));
+        out.push_str(&format!(
+            "  output-commit latency p50 {} p99 {} max {}\n",
+            rep.commit_p50, rep.commit_p99, rep.commit_max
+        ));
+        out.push_str(&format!(
+            "  makespan {}   failovers/sec {:.2}   peak suffix {} frames   peak pending {}\n",
+            rep.makespan, rep.failovers_per_sec, rep.peak_suffix_frames, rep.peak_backup_pending
+        ));
+        if let Some(s) = &rep.shared {
+            out.push_str(&format!(
+                "  trunk: {} frames, {} bytes, busy {} ({:.0}% util), queue peak {}\n",
+                s.frames,
+                s.bytes,
+                s.busy,
+                100.0 * s.busy.as_nanos() as f64 / rep.makespan.as_nanos().max(1) as f64,
+                s.queue_peak
+            ));
+        }
+        out.push_str(&format!("  wall clock {:.0}ms\n\n", r.wall_ms));
+    }
+    out
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let rep = &r.report;
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"pairs\": {},\n", rep.pairs));
+        out.push_str(&format!("      \"racks\": {},\n", r.cfg.racks));
+        out.push_str(&format!("      \"completed\": {},\n", rep.completed));
+        out.push_str(&format!("      \"divergent\": {},\n", rep.divergent));
+        out.push_str(&format!("      \"lost\": {},\n", rep.lost));
+        out.push_str(&format!("      \"failovers_absorbed\": {},\n", rep.failovers_absorbed));
+        out.push_str(&format!("      \"backups_killed\": {},\n", rep.backups_killed));
+        out.push_str(&format!("      \"degraded_entries\": {},\n", rep.degraded_entries));
+        out.push_str(&format!("      \"reintegrated\": {},\n", rep.reintegrated));
+        out.push_str(&format!("      \"total_requests\": {},\n", rep.total_requests));
+        out.push_str(&format!("      \"served_requests\": {},\n", rep.served_requests));
+        out.push_str(&format!("      \"backlog_peak\": {},\n", rep.backlog_peak));
+        out.push_str(&format!("      \"commit_p50_ns\": {},\n", rep.commit_p50.as_nanos()));
+        out.push_str(&format!("      \"commit_p99_ns\": {},\n", rep.commit_p99.as_nanos()));
+        out.push_str(&format!("      \"commit_max_ns\": {},\n", rep.commit_max.as_nanos()));
+        out.push_str(&format!("      \"makespan_ns\": {},\n", rep.makespan.as_nanos()));
+        out.push_str(&format!("      \"failovers_per_sec\": {:.2},\n", rep.failovers_per_sec));
+        if let Some(s) = &rep.shared {
+            out.push_str(&format!("      \"trunk_busy_ns\": {},\n", s.busy.as_nanos()));
+            out.push_str(&format!("      \"trunk_queue_peak_ns\": {},\n", s.queue_peak.as_nanos()));
+        }
+        out.push_str(&format!("      \"wall_ms\": {:.0}\n", r.wall_ms));
+        out.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls `"<key>": <number>` out of one committed scenario object
+/// (scoped by its `"name"` marker) without a JSON dependency.
+fn committed_field(json: &str, scenario: &str, key: &str) -> Option<f64> {
+    let obj = json.split(&format!("\"name\": \"{scenario}\"")).nth(1)?;
+    let obj = obj.split("\"name\":").next()?;
+    let after = obj.split(&format!("\"{key}\"")).nth(1)?;
+    let num: String = after
+        .chars()
+        .skip_while(|c| *c == ':' || c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn repo_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(name)
+}
+
+fn check(rows: &[Row]) -> bool {
+    let path = repo_path("BENCH_fleet.json");
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("--check needs {}: {e}", path.display()));
+    let mut failed = false;
+    for r in rows {
+        if committed_field(&committed, &r.name, "pairs").is_none() {
+            println!("scenario `{}` not in committed JSON; skipping", r.name);
+            continue;
+        }
+        let rep = &r.report;
+        if rep.divergent != 0 {
+            eprintln!("FAIL [{}]: {} divergent pairs (must be 0)", r.name, rep.divergent);
+            failed = true;
+        }
+        // Correctness counts are deterministic and machine-independent:
+        // any drift is a behavior change and must come with --write.
+        let exact: [(&str, u64); 5] = [
+            ("completed", u64::from(rep.completed)),
+            ("lost", u64::from(rep.lost)),
+            ("failovers_absorbed", u64::from(rep.failovers_absorbed)),
+            ("served_requests", rep.served_requests),
+            ("backlog_peak", rep.backlog_peak),
+        ];
+        for (key, measured) in exact {
+            let Some(want) = committed_field(&committed, &r.name, key) else { continue };
+            if (measured as f64 - want).abs() > 0.5 {
+                eprintln!("FAIL [{}]: {key} = {measured}, committed {want:.0}", r.name);
+                failed = true;
+            }
+        }
+        // Latency percentiles: allow 25% headroom so cost-model tuning
+        // elsewhere doesn't demand a lockstep rewrite, but catch real
+        // SLO regressions.
+        for (key, measured) in [
+            ("commit_p50_ns", rep.commit_p50.as_nanos()),
+            ("commit_p99_ns", rep.commit_p99.as_nanos()),
+        ] {
+            let Some(want) = committed_field(&committed, &r.name, key) else { continue };
+            let measured = measured as f64;
+            println!("[{}] {key}: committed {want:.0}, measured {measured:.0}", r.name);
+            if measured > want * 1.25 {
+                eprintln!("FAIL [{}]: {key} regressed more than 25%", r.name);
+                failed = true;
+            }
+        }
+    }
+    failed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write");
+    let do_check = args.iter().any(|a| a == "--check");
+    let smoke_only = args.iter().any(|a| a == "--smoke");
+    let custom_pairs = args
+        .iter()
+        .position(|a| a == "--pairs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u32>().ok());
+
+    let rows: Vec<Row> = if let Some(pairs) = custom_pairs {
+        let cfg = FleetConfig { pairs, partition_rack: Some(5), ..FleetConfig::default() };
+        vec![measure(Scenario { name: "custom", cfg })]
+    } else {
+        scenarios(smoke_only).into_iter().map(measure).collect()
+    };
+
+    print!("{}", render_text(&rows));
+
+    if write && custom_pairs.is_none() {
+        let json = repo_path("BENCH_fleet.json");
+        std::fs::write(&json, render_json(&rows)).expect("write BENCH_fleet.json");
+        let txt = repo_path("docs/results/fleet.txt");
+        std::fs::create_dir_all(txt.parent().expect("has parent")).expect("mkdir results");
+        std::fs::write(&txt, render_text(&rows)).expect("write fleet.txt");
+        println!("wrote {} and {}", json.display(), txt.display());
+    }
+    if do_check {
+        if check(&rows) {
+            std::process::exit(1);
+        }
+        println!("OK");
+    }
+}

@@ -671,6 +671,15 @@ impl NativeReplay {
         self.next_live_output += 1;
         id
     }
+
+    /// Allocates a live output id and samples the commit instant. Live
+    /// outputs (a promoted backup past the log's end) commit without an
+    /// ack wait — there is no peer to wait for — so the sampled wait is
+    /// zero.
+    fn live_output(&mut self, acct: &ftjvm_netsim::TimeAccount) -> u64 {
+        self.stats.commit_samples.push((acct.now().as_nanos(), 0));
+        self.live_output_id()
+    }
 }
 
 /// Backup coordinator for **replicated lock synchronization** recovery.
@@ -916,9 +925,9 @@ impl Coordinator for LockSyncBackup {
         &mut self,
         _t: &ThreadObs<'_>,
         _decl: &NativeDecl,
-        _acct: &mut TimeAccount,
+        acct: &mut TimeAccount,
     ) -> u64 {
-        self.replay.live_output_id()
+        self.replay.live_output(acct)
     }
 
     fn native_ready(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl) -> bool {
@@ -1445,9 +1454,9 @@ impl Coordinator for TsBackup {
         &mut self,
         _t: &ThreadObs<'_>,
         _decl: &NativeDecl,
-        _acct: &mut TimeAccount,
+        acct: &mut TimeAccount,
     ) -> u64 {
-        self.replay.live_output_id()
+        self.replay.live_output(acct)
     }
 
     fn native_ready(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl) -> bool {
@@ -1648,9 +1657,9 @@ impl Coordinator for IntervalBackup {
         &mut self,
         _t: &ThreadObs<'_>,
         _decl: &NativeDecl,
-        _acct: &mut TimeAccount,
+        acct: &mut TimeAccount,
     ) -> u64 {
-        self.replay.live_output_id()
+        self.replay.live_output(acct)
     }
 
     fn native_ready(&mut self, t: &ThreadObs<'_>, decl: &NativeDecl) -> bool {

@@ -55,7 +55,9 @@
 
 pub mod backup;
 pub mod codec;
+pub mod fleet;
 pub mod ftjvm;
+pub mod pair;
 pub mod primary;
 pub mod records;
 pub mod runtime;
@@ -71,8 +73,12 @@ pub use codec::{
     frame_is_epoch_mark, frame_is_snapshot_chunk, open_frame, parse_epoch_frame,
     parse_snapshot_chunk, seal_frame, FrameError, RecordDecoder, RecordEncoder, SnapshotAssembler,
 };
+pub use fleet::{
+    run_fleet, split_seed, FleetConfig, FleetReport, PairOutcome, PairPlan, RouterMode,
+};
 pub use ftjvm::{FtConfig, FtJvm, LockVariant, PairReport, ReplicationMode};
 pub use ftjvm_netsim::{NetFaultPlan, WireCodec};
+pub use pair::{PairEvent, PairTask};
 pub use primary::{
     IntervalPrimary, LockSyncPrimary, LogChannel, PrimaryCore, ReliableLink, SendWindow, TsPrimary,
 };

@@ -826,9 +826,12 @@ impl PrimaryCore {
             // re-integration); the uncovered output is counted as the
             // fault-tolerance gap this run accumulated.
             self.stats.degraded_outputs += 1;
+            self.stats.commit_samples.push((acct.now().as_nanos(), 0));
         } else {
             let ack_at = self.channel.ack_arrival(acct.now());
+            let wait = ack_at.saturating_sub(acct.now());
             acct.wait_until(Category::Pessimistic, ack_at);
+            self.stats.commit_samples.push((acct.now().as_nanos(), wait.as_nanos()));
         }
         // Fault plan: crash after the commit but before the output itself —
         // the paper's "uncertain output" window.

@@ -28,11 +28,10 @@
 //! resolved with the side-effect handlers' `test` — which is sound then,
 //! because the detection instant is after the primary's last action.
 
-use crate::backup::{BackupLog, EpochStore, IntervalBackup, LockSyncBackup, ResumeSeed, TsBackup};
-use crate::codec::{
-    build_snapshot_chunk, frame_is_heartbeat, frame_is_snapshot_chunk, SnapshotAssembler,
-};
+use crate::backup::{BackupLog, IntervalBackup, LockSyncBackup, ResumeSeed, TsBackup};
+use crate::codec::build_snapshot_chunk;
 use crate::ftjvm::{FtConfig, LockVariant, PairReport, ReplicationMode};
+use crate::pair::PairTask;
 use crate::primary::{
     decode_vt_map, IntervalPrimary, LockSyncPrimary, LogChannel, PrimaryCore, ReliableLink,
     TsPrimary, EXT_CODEC_CTX, EXT_COUNTERS, EXT_ND_SEQ, EXT_OUT_SEQ, EXT_SE_LATEST,
@@ -40,12 +39,12 @@ use crate::primary::{
 use crate::stats::ReplicationStats;
 use bytes::Bytes;
 use ftjvm_netsim::{
-    Category, ChannelStats, FaultPlan, HeartbeatMonitor, LossyChannel, SimChannel, SimTime,
-    WireReader,
+    Category, ChannelStats, FaultPlan, HeartbeatMonitor, LossyChannel, SharedLink, SimChannel,
+    SimTime, WireReader,
 };
 use ftjvm_vm::{
-    Coordinator, NativeRegistry, Program, RunOutcome, RunReport, SharedWorld, SimEnv, SliceOutcome,
-    Vm, VmConfig, VmError, VtPath, World,
+    Coordinator, NativeRegistry, Program, RunReport, SharedWorld, SimEnv, SliceOutcome, Vm,
+    VmConfig, VmError, VtPath,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -229,7 +228,7 @@ impl Replica {
     /// # Errors
     /// Returns a typed error (instead of panicking) when called on a
     /// replica without a channel — a misconfigured pair.
-    fn recv_ready(&mut self, now: SimTime) -> Result<Vec<(SimTime, Bytes)>, VmError> {
+    pub(crate) fn recv_ready(&mut self, now: SimTime) -> Result<Vec<(SimTime, Bytes)>, VmError> {
         match self.channel_mut() {
             Some(ch) => Ok(ch.recv_ready(now)),
             None => Err(VmError::Internal(
@@ -240,7 +239,7 @@ impl Replica {
 
     /// Epoch marks a streaming backup has absorbed — its epoch
     /// acknowledgment (0 for primaries).
-    fn epochs_absorbed(&self) -> u64 {
+    pub(crate) fn epochs_absorbed(&self) -> u64 {
         match &self.coord {
             ReplicaCoord::LockBackup(c) => c.epochs_absorbed(),
             ReplicaCoord::IntervalBackup(c) => c.epochs_absorbed(),
@@ -250,7 +249,7 @@ impl Replica {
     }
 
     /// Relays the backup's epoch acknowledgment into the primary's stats.
-    fn relay_epoch_ack(&mut self, acked: u64) {
+    pub(crate) fn relay_epoch_ack(&mut self, acked: u64) {
         if let Some(core) = self.coord.primary_core_mut() {
             core.record_epoch_ack(acked);
         }
@@ -258,14 +257,14 @@ impl Replica {
 
     /// Enters degraded mode (no live backup: output commits stop waiting
     /// for acknowledgments). No-op on backups.
-    fn enter_degraded(&mut self) {
+    pub(crate) fn enter_degraded(&mut self) {
         if let Some(core) = self.coord.primary_core_mut() {
             core.enter_degraded();
         }
     }
 
     /// Exits degraded mode once a replacement standby is live.
-    fn exit_degraded(&mut self) {
+    pub(crate) fn exit_degraded(&mut self) {
         if let Some(core) = self.coord.primary_core_mut() {
             core.exit_degraded();
         }
@@ -320,7 +319,9 @@ impl Replica {
             ReplicaCoord::LockPrimary(c) => c.common.commit_epoch(blob, &mut core.acct),
             ReplicaCoord::IntervalPrimary(c) => c.common.commit_epoch(blob, &mut core.acct),
             ReplicaCoord::TsPrimary(c) => c.common.commit_epoch(blob, &mut core.acct),
-            _ => unreachable!("cut_epoch past the primary gate"),
+            // The primary gate above makes this unreachable in practice;
+            // fail typed rather than aborting the whole process.
+            _ => return Err(VmError::Internal("epoch commit on a non-primary replica".into())),
         };
         Ok(true)
     }
@@ -332,7 +333,7 @@ impl Replica {
     /// # Errors
     /// Returns an error when there is no snapshot to ship or the replica
     /// is not a primary.
-    fn ship_latest_snapshot(&mut self) -> Result<u64, VmError> {
+    pub(crate) fn ship_latest_snapshot(&mut self) -> Result<u64, VmError> {
         /// Chunk payload size: small enough that loss retransmits stay
         /// cheap, large enough that a snapshot is a handful of frames.
         const CHUNK: usize = 4096;
@@ -358,7 +359,7 @@ impl Replica {
     /// replacement), and ship the snapshot as chunk frames. Returns false
     /// — leaving the channel untouched — when the VM is not at a cuttable
     /// boundary yet (the driver retries next slice).
-    fn begin_state_transfer(&mut self, fresh: LogChannel) -> Result<bool, VmError> {
+    pub(crate) fn begin_state_transfer(&mut self, fresh: LogChannel) -> Result<bool, VmError> {
         if !self.cut_epoch(true)? {
             return Ok(false);
         }
@@ -372,7 +373,7 @@ impl Replica {
     }
 
     /// The epoch the latest snapshot covers (0 before the first cut).
-    fn snapshot_epoch(&mut self) -> u64 {
+    pub(crate) fn snapshot_epoch(&mut self) -> u64 {
         self.coord
             .primary_core_mut()
             .and_then(|c| c.latest_snapshot().map(|(e, _)| *e))
@@ -381,17 +382,21 @@ impl Replica {
 
     /// Consumes a primary replica, returning its channel and final
     /// replication statistics.
-    fn into_primary_parts(self) -> (LogChannel, ReplicationStats) {
+    ///
+    /// # Errors
+    /// Returns a typed error (instead of panicking) when called on a
+    /// backup replica — a driver bug.
+    pub(crate) fn into_primary_parts(self) -> Result<(LogChannel, ReplicationStats), VmError> {
         match self.coord {
-            ReplicaCoord::LockPrimary(c) => c.common.into_parts(),
-            ReplicaCoord::IntervalPrimary(c) => c.common.into_parts(),
-            ReplicaCoord::TsPrimary(c) => c.common.into_parts(),
-            _ => unreachable!("into_primary_parts on a backup"),
+            ReplicaCoord::LockPrimary(c) => Ok(c.common.into_parts()),
+            ReplicaCoord::IntervalPrimary(c) => Ok(c.common.into_parts()),
+            ReplicaCoord::TsPrimary(c) => Ok(c.common.into_parts()),
+            _ => Err(VmError::Internal("into_primary_parts on a backup replica".into())),
         }
     }
 
     /// Backup-side replication statistics (empty for primaries).
-    fn backup_stats(&self) -> ReplicationStats {
+    pub(crate) fn backup_stats(&self) -> ReplicationStats {
         match &self.coord {
             ReplicaCoord::LockBackup(c) => c.stats().clone(),
             ReplicaCoord::IntervalBackup(c) => c.stats().clone(),
@@ -401,7 +406,7 @@ impl Replica {
     }
 
     /// Simulated instant at which the backup's log replay completed.
-    fn recovery_completed_at(&self) -> Option<SimTime> {
+    pub(crate) fn recovery_completed_at(&self) -> Option<SimTime> {
         match &self.coord {
             ReplicaCoord::LockBackup(c) => c.recovery_completed_at(),
             ReplicaCoord::IntervalBackup(c) => c.recovery_completed_at(),
@@ -414,12 +419,18 @@ impl Replica {
 /// Builds and drives a replica pair over one simulated timeline.
 ///
 /// Owns the program, natives, and configuration; each run builds fresh
-/// replicas over a fresh [`World`]. [`FtJvm`](crate::FtJvm)'s `run_*`
-/// drivers are thin wrappers around this type.
+/// replicas over a fresh [`ftjvm_vm::World`]. [`FtJvm`](crate::FtJvm)'s
+/// `run_*` drivers are thin wrappers around this type, which is itself a
+/// thin wrapper around [`PairTask`] — the pair as a resumable value that
+/// a fleet scheduler can multiplex. Cloning is cheap (the program is
+/// behind an [`Arc`]); a clone that shares a [`SharedLink`] contends for
+/// the same trunk bandwidth.
+#[derive(Clone)]
 pub struct ReplicaRuntime {
     program: Arc<Program>,
     natives: NativeRegistry,
     cfg: FtConfig,
+    shared: Option<(SharedLink, SimTime)>,
 }
 
 impl std::fmt::Debug for ReplicaRuntime {
@@ -431,7 +442,22 @@ impl std::fmt::Debug for ReplicaRuntime {
 impl ReplicaRuntime {
     /// Creates a runtime for `program` under `cfg`.
     pub fn new(program: Arc<Program>, natives: NativeRegistry, cfg: FtConfig) -> Self {
-        ReplicaRuntime { program, natives, cfg }
+        ReplicaRuntime { program, natives, cfg, shared: None }
+    }
+
+    /// The runtime's configuration.
+    pub(crate) fn cfg(&self) -> &FtConfig {
+        &self.cfg
+    }
+
+    /// Routes this pair's replication traffic through a shared trunk:
+    /// every frame sent on a perfect channel queues behind the trunk's
+    /// other traffic (fleet-level contention). `offset` maps this pair's
+    /// local clock onto the trunk's global timeline. Detached (the
+    /// default), channel timing is byte-identical to the single-pair
+    /// runs; lossy (net-fault-armed) transports ignore the trunk.
+    pub fn set_shared_bandwidth(&mut self, link: SharedLink, offset: SimTime) {
+        self.shared = Some((link, offset));
     }
 
     fn vm_config(&self, seed: u64) -> VmConfig {
@@ -451,12 +477,16 @@ impl ReplicaRuntime {
     /// the reliability sublayer; unarmed runs keep the perfect channel
     /// (and its exact seed-run timing). Re-integration builds a second one
     /// toward the replacement backup.
-    fn make_channel(&self) -> LogChannel {
+    pub(crate) fn make_channel(&self) -> LogChannel {
         if self.cfg.net_fault.is_armed() {
             let link = LossyChannel::new(self.cfg.vm.cost.net.clone(), self.cfg.net_fault.clone());
             LogChannel::Reliable(Box::new(ReliableLink::new(link)))
         } else {
-            LogChannel::Perfect(SimChannel::new(self.cfg.vm.cost.net.clone()))
+            let mut ch = SimChannel::new(self.cfg.vm.cost.net.clone());
+            if let Some((link, offset)) = &self.shared {
+                ch.attach_shared(link.clone(), *offset);
+            }
+            LogChannel::Perfect(ch)
         }
     }
 
@@ -665,7 +695,7 @@ impl ReplicaRuntime {
     ) -> Result<(RunReport, Vec<Bytes>, ReplicationStats, ChannelStats), VmError> {
         let mut primary = self.build_primary(world, fault)?;
         let report = primary.run_to_end()?;
-        let (mut channel, stats) = primary.into_primary_parts();
+        let (mut channel, stats) = primary.into_primary_parts()?;
         let frames = channel.drain().into_iter().map(|(_, frame)| frame).collect();
         // Stats after the drain: on a lossy link the takeover delivery
         // itself detects duplicates/corruption worth counting.
@@ -696,63 +726,7 @@ impl ReplicaRuntime {
     /// # Errors
     /// Propagates fatal VM errors from either replica.
     pub fn run_cold(&self, fault: FaultPlan) -> Result<PairReport, VmError> {
-        let world = World::shared();
-        let mut primary = self.build_primary(&world, fault)?;
-        let primary_report = primary.run_to_end()?;
-        let crashed = primary_report.outcome == RunOutcome::Stopped;
-        if crashed {
-            // Fail-stop: the primary's volatile environment state is lost
-            // with its process; the external world survives.
-            primary.fail_env();
-        }
-        let (mut channel, primary_stats) = primary.into_primary_parts();
-        if !crashed {
-            let channel_stats = channel.stats();
-            return Ok(PairReport {
-                primary: primary_report,
-                primary_stats,
-                crashed: false,
-                backup: None,
-                backup_stats: None,
-                detection_latency: SimTime::ZERO,
-                recovery_replay_time: SimTime::ZERO,
-                failover_latency: SimTime::ZERO,
-                channel: channel_stats,
-                world,
-            });
-        }
-        let crash_at = primary_report.acct.now();
-        let drained = channel.drain();
-        let channel_stats = channel.stats();
-        // Failure detection from the heartbeats the backup actually
-        // received: the detector's deadline re-arms at each heartbeat
-        // arrival and fires when the next one never comes.
-        let mut monitor = self.cfg.detector.monitor(SimTime::ZERO);
-        let detection_at = observe_heartbeats(&mut monitor, &drained).max(crash_at);
-        let detection_latency = detection_at - crash_at;
-        let frames: Vec<Bytes> = drained.into_iter().map(|(_, b)| b).collect();
-        let (backup_report, backup_stats, recovered_at) = self.replay_log(&world, frames)?;
-        let recovery_replay_time = recovered_at.unwrap_or_else(|| backup_report.acct.now());
-        // Cold backups pay the replay at failover; the legacy warm flag
-        // models a backup that already replayed everything flushed, so
-        // only detection remains.
-        let failover_latency = if self.cfg.warm_backup {
-            detection_latency
-        } else {
-            detection_latency + recovery_replay_time
-        };
-        Ok(PairReport {
-            primary: primary_report,
-            primary_stats,
-            crashed: true,
-            backup: Some(backup_report),
-            backup_stats: Some(backup_stats),
-            detection_latency,
-            recovery_replay_time,
-            failover_latency,
-            channel: channel_stats,
-            world,
-        })
+        PairTask::cold(self.clone(), fault)?.run_to_completion()?.into_pair_report()
     }
 
     /// Runs the pair with a **hot** standby: primary and backup
@@ -764,97 +738,7 @@ impl ReplicaRuntime {
     /// # Errors
     /// Propagates fatal VM errors from either replica.
     pub fn run_hot(&self, fault: FaultPlan) -> Result<PairReport, VmError> {
-        let world = World::shared();
-        let mut primary = self.build_primary(&world, fault)?;
-        let mut backup = self.build_hot_backup(&world)?;
-        let mut monitor = self.cfg.detector.monitor(SimTime::ZERO);
-        let mut backup_report: Option<RunReport> = None;
-
-        // Co-simulation: slice the primary, deliver what arrived, let the
-        // backup consume it until it starves, repeat.
-        let (primary_report, crashed) = loop {
-            let outcome = primary.step(SLICE_UNITS)?;
-            let now_p = primary.now();
-            let ready = primary.recv_ready(now_p)?;
-            pump_backup(&mut backup, &mut monitor, ready, &mut backup_report)?;
-            match outcome {
-                SliceOutcome::Budget => {}
-                SliceOutcome::Paused => {
-                    return Err(VmError::Internal("primary paused without a feeder".into()));
-                }
-                SliceOutcome::Completed(r) => break (r, false),
-                SliceOutcome::Stopped(r) => break (r, true),
-            }
-        };
-
-        let crash_at = primary_report.acct.now();
-        if crashed {
-            // Fail-stop: the primary's volatile environment state is lost
-            // with its process; the external world survives.
-            primary.fail_env();
-        }
-        let (mut channel, primary_stats) = primary.into_primary_parts();
-        // Everything flushed *and verified in order* is delivered; records
-        // still in the primary's buffer — and, on a lossy link, frames
-        // beyond an unresolved gap — are lost with it (longest verified
-        // frame prefix).
-        pump_backup(&mut backup, &mut monitor, channel.drain(), &mut backup_report)?;
-        let channel_stats = channel.stats();
-
-        if !crashed {
-            // Failure-free: the primary finished; the stream is over. The
-            // standby replays the remainder quietly (every output was
-            // performed by the primary, so replay suppresses them all).
-            backup.finish_stream();
-            let backup_report = match backup_report {
-                Some(r) => r,
-                None => backup.run_to_end()?,
-            };
-            return Ok(PairReport {
-                primary: primary_report,
-                primary_stats,
-                crashed: false,
-                backup: Some(backup_report),
-                backup_stats: Some(backup.backup_stats()),
-                detection_latency: SimTime::ZERO,
-                recovery_replay_time: SimTime::ZERO,
-                failover_latency: SimTime::ZERO,
-                channel: channel_stats,
-                world,
-            });
-        }
-
-        // Crash: detection fires when the heartbeat deadline lapses —
-        // measured on the arrival timeline, not computed from the crash
-        // instant (which no one observes).
-        let detection_at = monitor.deadline().max(crash_at);
-        let detection_latency = detection_at - crash_at;
-        // Promotion: the backup learns of the failure at the detection
-        // instant and becomes the authority.
-        backup.wait_until(detection_at);
-        let promoted_at = backup.now();
-        backup.finish_stream();
-        let backup_report = match backup_report {
-            Some(r) => r,
-            None => backup.run_to_end()?,
-        };
-        let recovered_at =
-            backup.recovery_completed_at().unwrap_or_else(|| backup_report.acct.now());
-        // Only the unconsumed suffix of the log remains to replay.
-        let suffix_replay =
-            if recovered_at > promoted_at { recovered_at - promoted_at } else { SimTime::ZERO };
-        Ok(PairReport {
-            primary: primary_report,
-            primary_stats,
-            crashed: true,
-            backup: Some(backup_report),
-            backup_stats: Some(backup.backup_stats()),
-            detection_latency,
-            recovery_replay_time: suffix_replay,
-            failover_latency: detection_latency + suffix_replay,
-            channel: channel_stats,
-            world,
-        })
+        PairTask::hot(self.clone(), fault)?.run_to_completion()?.into_pair_report()
     }
 
     /// Runs a hot pair under epoch checkpointing, with optional
@@ -884,254 +768,12 @@ impl ReplicaRuntime {
     /// Returns an error when `checkpoint_interval` is unset, and
     /// propagates fatal VM errors from any replica.
     pub fn run_checkpointed(&self, plan: CheckpointPlan) -> Result<CheckpointReport, VmError> {
-        if self.cfg.checkpoint_interval.is_none() {
-            return Err(VmError::Internal(
-                "run_checkpointed requires FtConfig::checkpoint_interval".into(),
-            ));
-        }
-        let world = World::shared();
-        let mut primary = self.build_primary(&world, plan.fault)?;
-        let mut standby = Standby::Live(Box::new(self.build_hot_backup(&world)?));
-        let mut monitor = self.cfg.detector.monitor(SimTime::ZERO);
-        let mut backup_report: Option<RunReport> = None;
-        let mut assembler = SnapshotAssembler::new();
-
-        let mut units_run: u64 = 0;
-        let mut backup_killed_at: Option<SimTime> = None;
-        let mut degraded_deadline: Option<SimTime> = None;
-        let mut degraded_entered_at: Option<SimTime> = None;
-        let mut reintegrated_at: Option<SimTime> = None;
-        let mut ack_base: u64 = 0;
-
-        let (primary_report, crashed) = loop {
-            let outcome = primary.step(SLICE_UNITS)?;
-            units_run += SLICE_UNITS;
-            let now_p = primary.now();
-
-            // Scheduled backup kill: fail-stop at a slice boundary. The
-            // primary only learns of it when the reverse-heartbeat
-            // deadline lapses below.
-            if let Some(kill) = plan.kill_backup_after_units {
-                if backup_killed_at.is_none()
-                    && units_run >= kill
-                    && matches!(standby, Standby::Live(_))
-                {
-                    if let Standby::Live(mut dead) = std::mem::replace(&mut standby, Standby::Dead)
-                    {
-                        dead.fail_env();
-                    }
-                    backup_killed_at = Some(now_p);
-                    degraded_deadline = Some(self.cfg.detector.monitor(now_p).deadline());
-                    backup_report = None;
-                }
-            }
-
-            // Degraded-mode entry once the reverse detector fires.
-            if let (Some(deadline), None) = (degraded_deadline, degraded_entered_at) {
-                if now_p >= deadline {
-                    primary.enter_degraded();
-                    degraded_entered_at = Some(deadline);
-                }
-            }
-
-            // Recruit a replacement once degraded: force-cut a fresh
-            // epoch (retried until the VM is at a cuttable boundary) and
-            // start the state transfer on a fresh channel.
-            if plan.reintegrate
-                && degraded_entered_at.is_some()
-                && matches!(standby, Standby::Dead)
-                && primary.begin_state_transfer(self.make_channel())?
-            {
-                ack_base = primary.snapshot_epoch();
-                assembler = SnapshotAssembler::new();
-                standby = Standby::Transfer(Vec::new());
-            }
-
-            let ready = primary.recv_ready(now_p)?;
-            standby = self.deliver(
-                standby,
-                ready,
-                &mut assembler,
-                &mut monitor,
-                &mut backup_report,
-                &mut reintegrated_at,
-                &world,
-            )?;
-            if let Standby::Live(b) = &standby {
-                primary.relay_epoch_ack(ack_base + b.epochs_absorbed());
-                if reintegrated_at.is_some() {
-                    primary.exit_degraded();
-                }
-            }
-
-            match outcome {
-                SliceOutcome::Budget => {
-                    primary.try_cut_epoch()?;
-                }
-                SliceOutcome::Paused => {
-                    return Err(VmError::Internal("primary paused without a feeder".into()));
-                }
-                SliceOutcome::Completed(r) => break (r, false),
-                SliceOutcome::Stopped(r) => break (r, true),
-            }
-        };
-
-        let crash_at = primary_report.acct.now();
-        if crashed {
-            primary.fail_env();
-        }
-        let (mut channel, primary_stats) = primary.into_primary_parts();
-        let drained = channel.drain();
-        let channel_stats = channel.stats();
-        // Takeover delivery: the state transfer may complete during the
-        // drain (chunks already on the wire when the primary died).
-        standby = self.deliver(
-            standby,
-            drained,
-            &mut assembler,
-            &mut monitor,
-            &mut backup_report,
-            &mut reintegrated_at,
-            &world,
-        )?;
-
-        let pair = match standby {
-            Standby::Live(mut b) => {
-                if !crashed {
-                    b.finish_stream();
-                    let br = match backup_report.take() {
-                        Some(r) => r,
-                        None => b.run_to_end()?,
-                    };
-                    PairReport {
-                        primary: primary_report,
-                        primary_stats,
-                        crashed: false,
-                        backup: Some(br),
-                        backup_stats: Some(b.backup_stats()),
-                        detection_latency: SimTime::ZERO,
-                        recovery_replay_time: SimTime::ZERO,
-                        failover_latency: SimTime::ZERO,
-                        channel: channel_stats,
-                        world,
-                    }
-                } else {
-                    let detection_at = monitor.deadline().max(crash_at);
-                    let detection_latency = detection_at - crash_at;
-                    b.wait_until(detection_at);
-                    let promoted_at = b.now();
-                    b.finish_stream();
-                    let br = match backup_report.take() {
-                        Some(r) => r,
-                        None => b.run_to_end()?,
-                    };
-                    let recovered_at = b.recovery_completed_at().unwrap_or_else(|| br.acct.now());
-                    let suffix_replay = if recovered_at > promoted_at {
-                        recovered_at - promoted_at
-                    } else {
-                        SimTime::ZERO
-                    };
-                    PairReport {
-                        primary: primary_report,
-                        primary_stats,
-                        crashed: true,
-                        backup: Some(br),
-                        backup_stats: Some(b.backup_stats()),
-                        detection_latency,
-                        recovery_replay_time: suffix_replay,
-                        failover_latency: detection_latency + suffix_replay,
-                        channel: channel_stats,
-                        world,
-                    }
-                }
-            }
-            // No survivor standby: either the plan killed it without
-            // re-integration, or the transfer never completed. If the
-            // primary also crashed, this run exceeded the 1-fault model;
-            // report what happened.
-            Standby::Dead | Standby::Transfer(_) => PairReport {
-                primary: primary_report,
-                primary_stats,
-                crashed,
-                backup: None,
-                backup_stats: None,
-                detection_latency: SimTime::ZERO,
-                recovery_replay_time: SimTime::ZERO,
-                failover_latency: SimTime::ZERO,
-                channel: channel_stats,
-                world,
-            },
-        };
-        let reintegrated = reintegrated_at.is_some();
-        Ok(CheckpointReport {
-            pair,
-            backup_killed_at,
-            degraded_entered_at,
-            reintegrated_at,
-            reintegrated,
-        })
-    }
-
-    /// Routes delivered frames to the standby per its state: a live
-    /// standby consumes them (streaming replay); a dead one loses them
-    /// (they were addressed to a failed host); during state transfer,
-    /// snapshot chunks assemble — completion brings the replacement up at
-    /// the final chunk's arrival instant and replays the buffered suffix
-    /// — and everything else buffers behind the snapshot.
-    #[allow(clippy::too_many_arguments)]
-    fn deliver(
-        &self,
-        standby: Standby,
-        delivered: Vec<(SimTime, Bytes)>,
-        assembler: &mut SnapshotAssembler,
-        monitor: &mut HeartbeatMonitor,
-        backup_report: &mut Option<RunReport>,
-        reintegrated_at: &mut Option<SimTime>,
-        world: &SharedWorld,
-    ) -> Result<Standby, VmError> {
-        match standby {
-            Standby::Live(mut b) => {
-                pump_backup(&mut b, monitor, delivered, backup_report)?;
-                Ok(Standby::Live(b))
-            }
-            Standby::Dead => Ok(Standby::Dead),
-            Standby::Transfer(mut buffered) => {
-                let mut live: Option<Box<Replica>> = None;
-                let mut iter = delivered.into_iter();
-                for (arrival, frame) in iter.by_ref() {
-                    if frame_is_snapshot_chunk(&frame) {
-                        let done = assembler
-                            .offer(&frame)
-                            .map_err(|e| VmError::Internal(format!("snapshot transfer: {e}")))?;
-                        if let Some((_epoch, blob)) = done {
-                            let mut nb = Box::new(self.build_resumed_backup(world, &blob)?);
-                            nb.wait_until(arrival);
-                            *monitor = self.cfg.detector.monitor(arrival);
-                            *backup_report = None;
-                            *reintegrated_at = Some(arrival);
-                            let seeded = std::mem::take(&mut buffered);
-                            pump_backup(&mut nb, monitor, seeded, backup_report)?;
-                            live = Some(nb);
-                            break;
-                        }
-                    } else {
-                        buffered.push((arrival, frame));
-                    }
-                }
-                match live {
-                    Some(mut b) => {
-                        let rest: Vec<(SimTime, Bytes)> = iter.collect();
-                        pump_backup(&mut b, monitor, rest, backup_report)?;
-                        Ok(Standby::Live(b))
-                    }
-                    None => Ok(Standby::Transfer(buffered)),
-                }
-            }
-        }
+        PairTask::checkpointed(self.clone(), plan)?.run_to_completion()?.into_checkpoint_report()
     }
 
     /// Runs the pair with a **cold** backup under epoch checkpointing:
-    /// the backup durably stores the stream in an [`EpochStore`] (the
+    /// the backup durably stores the stream in an
+    /// [`EpochStore`](crate::backup::EpochStore) (the
     /// primary ships snapshot chunks at every cut, since the durable
     /// store needs the snapshot itself before it may truncate) and drops
     /// the stored prefix at each epoch mark, bounding stored memory to
@@ -1143,108 +785,7 @@ impl ReplicaRuntime {
     /// Returns an error when `checkpoint_interval` is unset, and
     /// propagates fatal VM errors.
     pub fn run_cold_checkpointed(&self, fault: FaultPlan) -> Result<PairReport, VmError> {
-        if self.cfg.checkpoint_interval.is_none() {
-            return Err(VmError::Internal(
-                "run_cold_checkpointed requires FtConfig::checkpoint_interval".into(),
-            ));
-        }
-        let world = World::shared();
-        let mut primary = self.build_primary(&world, fault)?;
-        let mut store = EpochStore::new();
-        let mut monitor = self.cfg.detector.monitor(SimTime::ZERO);
-
-        let (primary_report, crashed) = loop {
-            let outcome = primary.step(SLICE_UNITS)?;
-            let now_p = primary.now();
-            for (arrival, frame) in primary.recv_ready(now_p)? {
-                if frame_is_heartbeat(&frame) {
-                    monitor.observe(arrival);
-                }
-                store.absorb(frame)?;
-            }
-            primary.relay_epoch_ack(store.epochs_stored);
-            match outcome {
-                SliceOutcome::Budget => {
-                    if primary.try_cut_epoch()? {
-                        primary.ship_latest_snapshot()?;
-                    }
-                }
-                SliceOutcome::Paused => {
-                    return Err(VmError::Internal("primary paused without a feeder".into()));
-                }
-                SliceOutcome::Completed(r) => break (r, false),
-                SliceOutcome::Stopped(r) => break (r, true),
-            }
-        };
-
-        let crash_at = primary_report.acct.now();
-        if crashed {
-            primary.fail_env();
-        }
-        let (mut channel, primary_stats) = primary.into_primary_parts();
-        let drained = channel.drain();
-        let channel_stats = channel.stats();
-        for (arrival, frame) in drained {
-            if frame_is_heartbeat(&frame) {
-                monitor.observe(arrival);
-            }
-            store.absorb(frame)?;
-        }
-        let store_peak = store.peak_frames;
-        if !crashed {
-            return Ok(PairReport {
-                primary: primary_report,
-                primary_stats,
-                crashed: false,
-                backup: None,
-                backup_stats: None,
-                detection_latency: SimTime::ZERO,
-                recovery_replay_time: SimTime::ZERO,
-                failover_latency: SimTime::ZERO,
-                channel: channel_stats,
-                world,
-            });
-        }
-        let detection_at = monitor.deadline().max(crash_at);
-        let detection_latency = detection_at - crash_at;
-        let (snapshot, suffix) = store.into_recovery();
-        let (backup_report, mut backup_stats, recovery_replay_time) = match snapshot {
-            Some((_epoch, blob)) => {
-                // Snapshot-based recovery: restore, replay the stored
-                // suffix, promote.
-                let mut b = self.build_resumed_backup(&world, &blob)?;
-                for frame in suffix {
-                    b.feed_frame(detection_at, frame)?;
-                }
-                b.finish_stream();
-                let r = b.run_to_end()?;
-                let recovered = b.recovery_completed_at().unwrap_or_else(|| r.acct.now());
-                let replay =
-                    if recovered > detection_at { recovered - detection_at } else { SimTime::ZERO };
-                let stats = b.backup_stats();
-                (r, stats, replay)
-            }
-            None => {
-                // No epoch completed before the crash: classic cold
-                // replay from the initial state.
-                let (r, stats, recovered_at) = self.replay_log(&world, suffix)?;
-                let replay = recovered_at.unwrap_or_else(|| r.acct.now());
-                (r, stats, replay)
-            }
-        };
-        backup_stats.peak_backup_pending = backup_stats.peak_backup_pending.max(store_peak);
-        Ok(PairReport {
-            primary: primary_report,
-            primary_stats,
-            crashed: true,
-            backup: Some(backup_report),
-            backup_stats: Some(backup_stats),
-            detection_latency,
-            recovery_replay_time,
-            failover_latency: detection_latency + recovery_replay_time,
-            channel: channel_stats,
-            world,
-        })
+        PairTask::cold_checkpointed(self.clone(), fault)?.run_to_completion()?.into_pair_report()
     }
 
     /// Runs the pair per the configured [`LagBudget`] and
@@ -1263,17 +804,6 @@ impl ReplicaRuntime {
                 .map(|r| r.pair),
         }
     }
-}
-
-/// The backup half of a checkpointed run, as the driver sees it.
-enum Standby {
-    /// A live hot standby consuming the stream.
-    Live(Box<Replica>),
-    /// Killed, with no replacement recruited (yet).
-    Dead,
-    /// State transfer in progress: record frames buffer here until the
-    /// snapshot chunks assemble and the replacement comes up.
-    Transfer(Vec<(SimTime, Bytes)>),
 }
 
 /// What to do to a checkpointed pair while it runs
@@ -1328,40 +858,14 @@ impl CheckpointReport {
     }
 }
 
-/// Feeds delivered `(arrival, frame)` pairs into a hot backup, re-arming
-/// the failure detector at each heartbeat arrival, then lets the backup
-/// replay until it catches up with the log (starves) or finishes.
-fn pump_backup(
-    backup: &mut Replica,
-    monitor: &mut HeartbeatMonitor,
-    delivered: Vec<(SimTime, Bytes)>,
-    done: &mut Option<RunReport>,
-) -> Result<(), VmError> {
-    if delivered.is_empty() {
-        return Ok(());
-    }
-    for (arrival, frame) in delivered {
-        if backup.feed_frame(arrival, frame)? > 0 {
-            monitor.observe(arrival);
-        }
-    }
-    if done.is_some() {
-        return Ok(());
-    }
-    backup.poll_suspended();
-    match backup.step(u64::MAX)? {
-        SliceOutcome::Paused => {}
-        SliceOutcome::Completed(r) | SliceOutcome::Stopped(r) => *done = Some(r),
-        SliceOutcome::Budget => unreachable!("unbounded slice cannot exhaust its budget"),
-    }
-    Ok(())
-}
-
 /// Replays heartbeat arrivals from a drained channel into `monitor` and
 /// returns the resulting detection deadline. Heartbeat frames are
 /// self-contained fixed-codec frames, so they decode independently of the
 /// replay stream's codec state.
-fn observe_heartbeats(monitor: &mut HeartbeatMonitor, drained: &[(SimTime, Bytes)]) -> SimTime {
+pub(crate) fn observe_heartbeats(
+    monitor: &mut HeartbeatMonitor,
+    drained: &[(SimTime, Bytes)],
+) -> SimTime {
     for (arrival, frame) in drained {
         if crate::codec::frame_is_heartbeat(frame) {
             monitor.observe(*arrival);

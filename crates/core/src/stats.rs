@@ -73,6 +73,13 @@ pub struct ReplicationStats {
     /// Backup-side: peak count of received-but-unconsumed records (the
     /// standby's live log memory).
     pub peak_backup_pending: u64,
+    /// Per-output-commit samples, in commit order: `(release instant ns,
+    /// pessimistic ack wait ns)`. The release instant is when the output
+    /// became performable (after the ack wait, or immediately when
+    /// degraded or on a promoted backup's live phase — those record a
+    /// zero wait). Raw material for fleet-level output-commit latency
+    /// percentiles.
+    pub commit_samples: Vec<(u64, u64)>,
 }
 
 impl ReplicationStats {

@@ -91,6 +91,11 @@ pub struct SimChannel {
     in_flight: VecDeque<(SimTime, Bytes)>,
     last_delivery: SimTime,
     stats: ChannelStats,
+    /// Optional shared-trunk capacity (fleet simulations): the handle plus
+    /// this channel's local→global clock offset. `None` — the default and
+    /// every single-pair path — leaves timing byte-identical to a build
+    /// without the fleet layer.
+    shared: Option<(crate::SharedLink, SimTime)>,
 }
 
 impl SimChannel {
@@ -101,12 +106,21 @@ impl SimChannel {
             in_flight: VecDeque::new(),
             last_delivery: SimTime::ZERO,
             stats: ChannelStats::default(),
+            shared: None,
         }
     }
 
     /// The link parameters.
     pub fn params(&self) -> &NetParams {
         &self.params
+    }
+
+    /// Attaches a shared-trunk capacity: every subsequent send also passes
+    /// through `link`'s FIFO serializer at global instant `offset + local
+    /// send instant`, adding the trunk's queue and serialization delay to
+    /// the frame's arrival.
+    pub fn attach_shared(&mut self, link: crate::SharedLink, offset: SimTime) {
+        self.shared = Some((link, offset));
     }
 
     /// Sends one message at instant `now`, returning the sender-side CPU
@@ -117,7 +131,14 @@ impl SimChannel {
         let payload = payload.into();
         let send_cost = self.params.per_message
             + SimTime::from_nanos(self.params.per_byte.as_nanos() * payload.len() as u64);
-        let arrival = (now + send_cost + self.params.propagation).max(self.last_delivery);
+        let mut arrival = now + send_cost + self.params.propagation;
+        if let Some((link, offset)) = &self.shared {
+            // The frame reaches the shared trunk after local serialization;
+            // queue + trunk-transmission delay lands on top.
+            let at_trunk = *offset + now + send_cost;
+            arrival += link.borrow_mut().admit(at_trunk, payload.len());
+        }
+        let arrival = arrival.max(self.last_delivery);
         let arrival = arrival + self.params.recv_per_message;
         self.last_delivery = arrival;
         self.stats.messages_sent += 1;

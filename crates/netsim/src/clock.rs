@@ -26,6 +26,11 @@ impl SimTime {
     /// The zero instant.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The far future — a step target meaning "run to the next state
+    /// transition". Never store it into a clock: adding any cost to it
+    /// overflows.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates a `SimTime` from nanoseconds.
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)

@@ -33,6 +33,7 @@ pub mod clock;
 pub mod cost;
 pub mod fault;
 pub mod lossy;
+pub mod shared;
 pub mod wire;
 
 pub use channel::{ChannelStats, NetParams, SimChannel};
@@ -40,4 +41,5 @@ pub use clock::{SimClock, SimTime};
 pub use cost::{Category, CostModel, TimeAccount};
 pub use fault::{FailureDetector, FaultPlan, HeartbeatMonitor};
 pub use lossy::{FaultDecision, LossyChannel, NetFaultPlan};
+pub use shared::{SharedBandwidth, SharedLink, SharedStats};
 pub use wire::{crc32c, WireCodec, WireError, WireReader, WireWriter};

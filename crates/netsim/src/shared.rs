@@ -1,0 +1,178 @@
+//! Shared network capacity for fleet simulations.
+//!
+//! A single replicated pair owns its [`crate::SimChannel`] outright — the
+//! paper's testbed is a dedicated link. A *fleet* of pairs shares rack and
+//! core switches: when hundreds of primaries flush at once, frames queue
+//! behind each other on the shared trunk. [`SharedBandwidth`] models that
+//! trunk as one serializer on the fleet's global timeline, kept as a
+//! calendar of busy intervals: a frame admitted at global instant `t`
+//! transmits in the first idle gap at or after `t` and occupies the trunk
+//! for `bytes × per_byte`; the admission delay (queue wait +
+//! serialization) is added on top of the channel's own local-link costs.
+//!
+//! The calendar — rather than a scalar next-free pointer — makes the
+//! model *admission-order independent*: pairs multiplexed by a scheduler
+//! admit frames slightly out of global-time order (one pair's step can
+//! jump past another's), and a frame sent at an early instant must not
+//! queue behind a reservation made for the far future. With the
+//! calendar, the delay a frame sees depends only on the set of other
+//! frames' (instant, size) pairs, not on the order the scheduler
+//! happened to discover them in.
+//!
+//! Channels attach a handle via [`crate::SimChannel::attach_shared`] with
+//! the pair's local→global clock offset. Unattached channels are
+//! byte-identical to a build without this module.
+
+use crate::clock::SimTime;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Counters describing everything the shared trunk carried.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedStats {
+    /// Frames admitted.
+    pub frames: u64,
+    /// Payload bytes serialized onto the trunk.
+    pub bytes: u64,
+    /// Total time frames spent queued behind other pairs' traffic.
+    pub queue_total: SimTime,
+    /// Largest single queue wait.
+    pub queue_peak: SimTime,
+    /// Time the trunk spent transmitting (busy time; divide by the global
+    /// makespan for utilization).
+    pub busy: SimTime,
+}
+
+/// One transmission capacity shared by every attached channel, on the
+/// global fleet timeline.
+#[derive(Debug)]
+pub struct SharedBandwidth {
+    /// Serialization cost per payload byte on the shared trunk.
+    per_byte: SimTime,
+    /// Busy intervals `start → end` (ns), disjoint and coalesced.
+    calendar: BTreeMap<u64, u64>,
+    stats: SharedStats,
+}
+
+impl SharedBandwidth {
+    /// Creates an idle trunk with the given per-byte serialization cost.
+    pub fn new(per_byte: SimTime) -> Self {
+        SharedBandwidth { per_byte, calendar: BTreeMap::new(), stats: SharedStats::default() }
+    }
+
+    /// Creates a trunk handle shareable between channels.
+    pub fn shared(per_byte: SimTime) -> SharedLink {
+        Rc::new(RefCell::new(SharedBandwidth::new(per_byte)))
+    }
+
+    /// Admits one frame at global instant `now`, returning the extra
+    /// delay (queue wait plus trunk serialization) the frame suffers on
+    /// top of its dedicated-link costs. The frame transmits in the first
+    /// gap of `bytes × per_byte` at or after `now`.
+    pub fn admit(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        let tx = self.per_byte.as_nanos() * bytes as u64;
+        let mut start = now.as_nanos();
+        // An interval already covering `start` pushes it to its end …
+        if let Some((_, &end)) = self.calendar.range(..=start).next_back() {
+            if end > start {
+                start = end;
+            }
+        }
+        // … and so does every later interval that leaves no tx-sized gap.
+        while let Some((&s, &e)) = self.calendar.range(start..).next() {
+            if s.saturating_sub(start) >= tx {
+                break;
+            }
+            start = e;
+        }
+        let mut lo = start;
+        let mut hi = start + tx;
+        // Coalesce with abutting neighbors so the calendar stays small
+        // when traffic is back-to-back.
+        if let Some((&s, &e)) = self.calendar.range(..=lo).next_back() {
+            if e == lo {
+                self.calendar.remove(&s);
+                lo = s;
+            }
+        }
+        if let Some(&e) = self.calendar.get(&hi) {
+            self.calendar.remove(&hi);
+            hi = e;
+        }
+        if hi > lo {
+            self.calendar.insert(lo, hi);
+        }
+        let queue = SimTime::from_nanos(start - now.as_nanos());
+        let tx = SimTime::from_nanos(tx);
+        self.stats.frames += 1;
+        self.stats.bytes += bytes as u64;
+        self.stats.queue_total += queue;
+        self.stats.queue_peak = self.stats.queue_peak.max(queue);
+        self.stats.busy += tx;
+        queue + tx
+    }
+
+    /// Aggregate trunk statistics.
+    pub fn stats(&self) -> SharedStats {
+        self.stats
+    }
+}
+
+/// A handle to a [`SharedBandwidth`] trunk, cloneable per channel. `Rc`
+/// because the whole fleet runs on one thread — the simulation is
+/// single-threaded by construction.
+pub type SharedLink = Rc<RefCell<SharedBandwidth>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_queues_fifo() {
+        let mut bw = SharedBandwidth::new(SimTime::from_nanos(10));
+        // First frame at t=0: no queue, 1000ns of serialization.
+        let d1 = bw.admit(SimTime::ZERO, 100);
+        assert_eq!(d1.as_nanos(), 1_000);
+        // Second frame at t=200 queues behind the first (busy to 1000).
+        let d2 = bw.admit(SimTime::from_nanos(200), 50);
+        assert_eq!(d2.as_nanos(), 800 + 500);
+        // Third frame after the trunk went idle: serialization only.
+        let d3 = bw.admit(SimTime::from_nanos(10_000), 10);
+        assert_eq!(d3.as_nanos(), 100);
+        let s = bw.stats();
+        assert_eq!(s.frames, 3);
+        assert_eq!(s.bytes, 160);
+        assert_eq!(s.queue_total.as_nanos(), 800);
+        assert_eq!(s.queue_peak.as_nanos(), 800);
+        assert_eq!(s.busy.as_nanos(), 1_600);
+    }
+
+    #[test]
+    fn out_of_order_admission_is_causal() {
+        let mut bw = SharedBandwidth::new(SimTime::from_nanos(10));
+        // A pair far ahead on the global clock reserves [1ms, 1ms+1µs).
+        let far = bw.admit(SimTime::from_nanos(1_000_000), 100);
+        assert_eq!(far.as_nanos(), 1_000);
+        // A frame sent at t=0 must NOT queue behind the far-future
+        // reservation — the trunk is idle at t=0.
+        let early = bw.admit(SimTime::ZERO, 100);
+        assert_eq!(early.as_nanos(), 1_000, "serialization only, no queue");
+        assert_eq!(bw.stats().queue_total, SimTime::ZERO);
+    }
+
+    #[test]
+    fn frames_fill_gaps_between_reservations() {
+        let mut bw = SharedBandwidth::new(SimTime::from_nanos(10));
+        bw.admit(SimTime::ZERO, 100); // busy [0, 1000)
+        bw.admit(SimTime::from_nanos(5_000), 100); // busy [5000, 6000)
+                                                   // 100ns frame at t=2000 fits in the gap: no queue.
+        let d = bw.admit(SimTime::from_nanos(2_000), 10);
+        assert_eq!(d.as_nanos(), 100);
+        // A 401-byte frame at t=500 needs a 4.01µs gap; neither
+        // [1000, 2000) nor [2100, 5000) is wide enough, so it starts
+        // when the last reservation ends at 6000.
+        let d = bw.admit(SimTime::from_nanos(500), 401);
+        assert_eq!(d.as_nanos(), (6_000 - 500) + 4_010);
+    }
+}

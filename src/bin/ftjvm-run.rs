@@ -10,6 +10,7 @@
 //! ```
 
 use ftjvm::netsim::{Category, FaultPlan, SimTime};
+use ftjvm::replication::{run_fleet, FleetConfig, RouterMode};
 use ftjvm::workloads::Workload;
 use ftjvm::{FtConfig, FtJvm, LagBudget, NetFaultPlan, ReplicationMode};
 
@@ -51,9 +52,113 @@ fn usage() -> ! {
            --disasm              print the program listing instead of running\n\
            --disasm-fused        print the decoded listing the fused engine runs\n\
                                  (superinstructions expanded, quickened operands)\n\
-           --dump-log <n>        print the first n log records instead of running"
+           --dump-log <n>        print the first n log records instead of running\n\
+         \n\
+         fleet mode (no workload argument):\n\
+           --fleet <n>           run n replicated pairs on one event-loop\n\
+                                 timeline and report aggregate SLOs\n\
+           --fleet-seed <n>      fleet master seed (default 0xF1EE7)\n\
+           --racks <n>           failure domains (default 8)\n\
+           --crash-per-mille <n> per-pair primary crash probability (default 150)\n\
+           --kill-per-mille <n>  per-pair backup kill probability (default 100)\n\
+           --partition-rack <n>  correlated scenario: kill every backup in rack n\n\
+           --no-reintegrate      do not recruit replacement standbys\n\
+           --no-shared           give every pair its own uncontended link\n\
+           --closed-loop <us>    closed-loop clients with this think time\n\
+                                 (default: open loop, 50us interarrival)\n\
+           --interarrival <us>   open-loop request interarrival per pair\n\
+           --stagger <us>        start-time stagger between pair ids (default 200)"
     );
     std::process::exit(2)
+}
+
+/// Parses fleet-mode flags, runs the fleet, prints the SLO report.
+fn fleet_main(args: &[String]) -> ! {
+    let mut cfg = FleetConfig::default();
+    let mut i = 0;
+    let num = |args: &[String], i: &mut usize| -> u64 {
+        *i += 1;
+        args.get(*i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fleet" => cfg.pairs = num(args, &mut i) as u32,
+            "--fleet-seed" => cfg.seed = num(args, &mut i),
+            "--racks" => cfg.racks = num(args, &mut i) as u32,
+            "--crash-per-mille" => cfg.crash_per_mille = num(args, &mut i) as u32,
+            "--kill-per-mille" => cfg.kill_per_mille = num(args, &mut i) as u32,
+            "--partition-rack" => cfg.partition_rack = Some(num(args, &mut i) as u32),
+            "--no-reintegrate" => cfg.reintegrate = false,
+            "--no-shared" => cfg.shared_per_byte = None,
+            "--closed-loop" => {
+                cfg.router = RouterMode::Closed { think: SimTime::from_micros(num(args, &mut i)) };
+            }
+            "--interarrival" => {
+                cfg.router =
+                    RouterMode::Open { interarrival: SimTime::from_micros(num(args, &mut i)) };
+            }
+            "--stagger" => cfg.stagger = SimTime::from_micros(num(args, &mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if cfg.pairs == 0 {
+        usage();
+    }
+    let report = run_fleet(&cfg).unwrap_or_else(|e| fail("fleet run failed", &e));
+    println!(
+        "fleet: {} pairs, {} racks, seed {:#x}, {} trunk",
+        report.pairs,
+        cfg.racks,
+        cfg.seed,
+        if cfg.shared_per_byte.is_some() { "shared" } else { "no" },
+    );
+    println!(
+        "  completed {} / {}   divergent {}   lost (beyond 1-fault model) {}",
+        report.completed, report.pairs, report.divergent, report.lost
+    );
+    println!(
+        "  failovers absorbed {}   backups killed {}   degraded entries {}   reintegrated {}",
+        report.failovers_absorbed,
+        report.backups_killed,
+        report.degraded_entries,
+        report.reintegrated
+    );
+    println!(
+        "  requests {} served / {} issued   backlog peak {}",
+        report.served_requests, report.total_requests, report.backlog_peak
+    );
+    println!(
+        "  output-commit latency p50 {} p99 {} max {}",
+        report.commit_p50, report.commit_p99, report.commit_max
+    );
+    println!(
+        "  makespan {}   failovers/sec {:.2}   peak suffix {} frames   peak backup pending {}",
+        report.makespan,
+        report.failovers_per_sec,
+        report.peak_suffix_frames,
+        report.peak_backup_pending
+    );
+    if let Some(s) = &report.shared {
+        println!(
+            "  trunk: {} frames, {} bytes, queue total {} (peak {}), busy {}",
+            s.frames, s.bytes, s.queue_total, s.queue_peak, s.busy
+        );
+    }
+    let ok = report.all_verified();
+    if !ok {
+        for o in
+            report.outcomes.iter().filter(|o| o.error.is_some() || (o.survived && !o.output_ok))
+        {
+            eprintln!(
+                "  pair {:4} rack {}: DIVERGED{}",
+                o.pair_id,
+                o.rack,
+                o.error.as_deref().map(|e| format!(" ({e})")).unwrap_or_default()
+            );
+        }
+    }
+    std::process::exit(if ok { 0 } else { 1 })
 }
 
 fn workload_by_name(name: &str) -> Option<Workload> {
@@ -108,6 +213,9 @@ fn parse_net_fault(spec: &str) -> Result<NetFaultPlan, String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(name) = args.first() else { usage() };
+    if name == "--fleet" {
+        fleet_main(&args);
+    }
     let Some(w) = workload_by_name(name) else {
         eprintln!("unknown workload `{name}`");
         usage()

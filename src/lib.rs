@@ -63,7 +63,7 @@ pub mod vm {
 /// The replication layer (re-export of `ftjvm-core`).
 pub mod replication {
     pub use ftjvm_core::*;
-    pub use ftjvm_core::{backup, ftjvm, primary, records, se, stats};
+    pub use ftjvm_core::{backup, fleet, ftjvm, primary, records, se, stats};
 }
 
 /// The simulation substrate (re-export of `ftjvm-netsim`).

@@ -1,0 +1,122 @@
+//! Fleet-scale invariants: exactly-once output on every surviving pair,
+//! standalone reproducibility of any pair from `(fleet_seed, pair_id)`,
+//! and run-to-run determinism of the whole fleet.
+
+use ftjvm::netsim::SimTime;
+use ftjvm::replication::fleet::{
+    journal_program, run_fleet, split_seed, FleetConfig, PairPlan, RouterMode,
+};
+use ftjvm::replication::ReplicaRuntime;
+use ftjvm::NativeRegistry;
+
+/// A small fleet with every fault class armed: independent crashes,
+/// independent backup kills, and a correlated rack partition. Every pair
+/// with a surviving authority must produce the exact expected console
+/// with no duplicated outputs.
+#[test]
+fn surviving_pairs_are_exactly_once_and_byte_identical() {
+    let cfg = FleetConfig {
+        pairs: 48,
+        racks: 6,
+        crash_per_mille: 250,
+        kill_per_mille: 150,
+        partition_rack: Some(2),
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&cfg).expect("fleet runs");
+    assert_eq!(report.completed, cfg.pairs, "no pair-level fatal errors");
+    assert_eq!(report.divergent, 0, "every survivor verified");
+    assert!(report.outcomes.iter().all(|o| !o.survived || o.output_ok));
+    // The partition actually did something: rack 2's backups were all
+    // scheduled to die.
+    let rack2 = report.outcomes.iter().filter(|o| o.rack == 2).count();
+    let rack2_killed = report.outcomes.iter().filter(|o| o.rack == 2 && o.planned_kill).count();
+    assert_eq!(rack2, rack2_killed, "every rack-2 pair had its backup killed");
+    assert!(report.served_requests > 0);
+}
+
+/// Any single pair is reproducible from `(fleet_seed, pair_id)` alone:
+/// derive its plan, run it standalone (no fleet, no shared trunk), and
+/// its outcome matches what the fleet observed for that pair.
+#[test]
+fn pair_is_reproducible_standalone_from_seed_and_id() {
+    // Shared capacity off so a standalone run sees identical timing.
+    let cfg = FleetConfig {
+        pairs: 24,
+        crash_per_mille: 300,
+        kill_per_mille: 200,
+        shared_per_byte: None,
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&cfg).expect("fleet runs");
+    let natives = NativeRegistry::with_builtins();
+    let mut checked_crash = false;
+    let mut checked_kill = false;
+    for outcome in &report.outcomes {
+        let plan = PairPlan::derive(&cfg, outcome.pair_id);
+        let program = journal_program(plan.requests as i64).expect("program builds");
+        let rt = ReplicaRuntime::new(program, natives.clone(), plan.ft_config(&cfg));
+        let standalone = rt.run_checkpointed(plan.checkpoint_plan(&cfg)).expect("standalone run");
+        assert_eq!(standalone.pair.crashed, outcome.crashed, "pair {}", outcome.pair_id);
+        assert_eq!(
+            standalone.degraded_entered_at.is_some(),
+            outcome.degraded,
+            "pair {}",
+            outcome.pair_id
+        );
+        assert_eq!(standalone.reintegrated, outcome.reintegrated, "pair {}", outcome.pair_id);
+        if outcome.survived {
+            assert_eq!(
+                standalone.pair.console(),
+                plan.expected_console(),
+                "pair {}",
+                outcome.pair_id
+            );
+        }
+        checked_crash |= outcome.crashed;
+        checked_kill |= outcome.planned_kill;
+    }
+    assert!(checked_crash, "at least one pair crashed (else the test is vacuous)");
+    assert!(checked_kill, "at least one backup was killed");
+}
+
+/// The same configuration produces the same report, nanosecond for
+/// nanosecond — including trunk contention and router latencies.
+#[test]
+fn fleet_rerun_is_deterministic() {
+    let cfg = FleetConfig {
+        pairs: 16,
+        crash_per_mille: 200,
+        kill_per_mille: 150,
+        router: RouterMode::Closed { think: SimTime::from_micros(250) },
+        ..FleetConfig::default()
+    };
+    let a = run_fleet(&cfg).expect("first run");
+    let b = run_fleet(&cfg).expect("second run");
+    assert_eq!(a.commit_p50, b.commit_p50);
+    assert_eq!(a.commit_p99, b.commit_p99);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.served_requests, b.served_requests);
+    assert_eq!(a.backlog_peak, b.backlog_peak);
+    assert_eq!(a.shared.map(|s| s.queue_total), b.shared.map(|s| s.queue_total));
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.crashed, y.crashed);
+        assert_eq!(x.served, y.served);
+        assert_eq!(x.failover_latency, y.failover_latency);
+    }
+}
+
+/// Seed splitting: different fleet seeds reshuffle the fault plan; the
+/// same seed pins it.
+#[test]
+fn fleet_seed_controls_fault_plan() {
+    let base = FleetConfig { pairs: 32, ..FleetConfig::default() };
+    let other = FleetConfig { seed: 0xDEAD_BEEF, ..base.clone() };
+    let plans_a: Vec<PairPlan> = (0..32).map(|i| PairPlan::derive(&base, i)).collect();
+    let plans_b: Vec<PairPlan> = (0..32).map(|i| PairPlan::derive(&other, i)).collect();
+    assert!(
+        plans_a.iter().zip(&plans_b).any(|(a, b)| a.requests != b.requests || a.fault != b.fault),
+        "a different fleet seed must change at least one pair's plan"
+    );
+    assert_ne!(split_seed(1, 0, 0), split_seed(2, 0, 0));
+}

@@ -1,0 +1,925 @@
+//! Equivalence suite for the pair-as-value refactor: the legacy
+//! single-pair entry points (`run_cold` / `run_hot` and the checkpointed
+//! variants, now thin wrappers over the resumable `PairTask` state
+//! machine) must stay **byte-identical** to the pre-refactor drivers.
+//!
+//! The digests below were captured from the monolithic loop drivers
+//! immediately before the refactor (PR 6 behavior): a CRC over the
+//! console bytes plus every stat a driver decision could perturb —
+//! record/byte counts, flush counts, and the measured detection /
+//! replay / failover latencies in nanoseconds. Any divergence in
+//! operation *order* (an extra slice, a reordered drain, a different
+//! promotion instant) shows up in at least one field.
+
+use ftjvm::netsim::{FailureDetector, FaultPlan, SimTime, WireCodec};
+use ftjvm::workloads::{micro, Workload};
+use ftjvm::{CheckpointPlan, FtConfig, FtJvm, LagBudget, PairReport, ReplicationMode};
+
+/// One pinned configuration's observable fingerprint.
+#[derive(Debug, PartialEq, Eq)]
+struct Digest {
+    /// CRC32C over the console lines (joined with `\n`).
+    console_crc: u32,
+    console_lines: u64,
+    messages_logged: u64,
+    bytes_logged: u64,
+    flushes: u64,
+    heartbeats: u64,
+    crashed: bool,
+    detection_ns: u64,
+    replay_ns: u64,
+    failover_ns: u64,
+}
+
+fn digest(report: &PairReport) -> Digest {
+    let console = report.console().join("\n");
+    let s = &report.primary_stats;
+    Digest {
+        console_crc: ftjvm::replication::crc32c(console.as_bytes()),
+        console_lines: report.console().len() as u64,
+        messages_logged: s.messages_logged(),
+        bytes_logged: s.bytes_logged,
+        flushes: s.flushes,
+        heartbeats: s.heartbeats,
+        crashed: report.crashed,
+        detection_ns: report.detection_latency.as_nanos(),
+        replay_ns: report.recovery_replay_time.as_nanos(),
+        failover_ns: report.failover_latency.as_nanos(),
+    }
+}
+
+/// The mid-run crash points of the failover sweeps (mtrt commits its
+/// interleaving-dependent checksum at output 0, so it crashes there).
+fn crash_fault(name: &str) -> FaultPlan {
+    match name {
+        "compress" => FaultPlan::AfterInstructions(2_000_000),
+        "jess" => FaultPlan::AfterInstructions(300_000),
+        "db" => FaultPlan::AfterInstructions(800_000),
+        "mpegaudio" => FaultPlan::AfterInstructions(1_000_000),
+        "mtrt" => FaultPlan::BeforeOutput(0),
+        "jack" => FaultPlan::AfterInstructions(400_000),
+        _ => FaultPlan::AfterInstructions(100_000),
+    }
+}
+
+fn run_case(
+    w: &Workload,
+    mode: ReplicationMode,
+    lag_budget: LagBudget,
+    codec: WireCodec,
+) -> Digest {
+    let cfg =
+        FtConfig { mode, codec, lag_budget, fault: crash_fault(w.name), ..FtConfig::default() };
+    let report = FtJvm::new(w.program.clone(), cfg)
+        .run_with_failure()
+        .unwrap_or_else(|e| panic!("{} {mode} {lag_budget} {codec:?}: {e}", w.name));
+    report
+        .check_no_duplicate_outputs()
+        .unwrap_or_else(|id| panic!("{} {mode} {lag_budget} {codec:?}: dup output {id}", w.name));
+    digest(&report)
+}
+
+/// The eight pinned configurations per workload: cold/hot × fixed/compact
+/// × lock-sync/thread-sched.
+fn matrix(w: &Workload) -> Vec<(String, Digest)> {
+    let mut out = Vec::new();
+    for mode in [ReplicationMode::LockSync, ReplicationMode::ThreadSched] {
+        for lag in [LagBudget::Cold, LagBudget::Hot] {
+            for codec in [WireCodec::Fixed, WireCodec::Compact] {
+                let key = format!("{}/{mode}/{lag}/{codec:?}", w.name);
+                out.push((key, run_case(w, mode, lag, codec)));
+            }
+        }
+    }
+    out
+}
+
+fn check_workload(w: &Workload, pinned: &[(&str, Digest)]) {
+    let got = matrix(w);
+    assert_eq!(got.len(), pinned.len(), "{}: matrix size", w.name);
+    for ((key, d), (pkey, pd)) in got.iter().zip(pinned) {
+        assert_eq!(key, pkey, "{}: case order", w.name);
+        assert_eq!(d, pd, "{key}: diverged from the pre-refactor driver");
+    }
+}
+
+macro_rules! pinned {
+    ($key:expr, $crc:expr, $lines:expr, $msgs:expr, $bytes:expr, $flushes:expr, $hb:expr,
+     $crashed:expr, $det:expr, $replay:expr, $fail:expr) => {
+        (
+            $key,
+            Digest {
+                console_crc: $crc,
+                console_lines: $lines,
+                messages_logged: $msgs,
+                bytes_logged: $bytes,
+                flushes: $flushes,
+                heartbeats: $hb,
+                crashed: $crashed,
+                detection_ns: $det,
+                replay_ns: $replay,
+                failover_ns: $fail,
+            },
+        )
+    };
+}
+
+/// `cargo test --release --test pair_equivalence -- --ignored --nocapture`
+/// regenerates the pinned table (run on the pre-refactor tree to capture,
+/// or after an *intentional* behavior change to re-pin).
+#[test]
+#[ignore = "digest generator, not a check"]
+fn generate_digests() {
+    for w in ftjvm::workloads::spec_suite() {
+        for (key, d) in matrix(&w) {
+            println!(
+                "pinned!(\"{key}\", {:#x}, {}, {}, {}, {}, {}, {}, {}, {}, {}),",
+                d.console_crc,
+                d.console_lines,
+                d.messages_logged,
+                d.bytes_logged,
+                d.flushes,
+                d.heartbeats,
+                d.crashed,
+                d.detection_ns,
+                d.replay_ns,
+                d.failover_ns
+            );
+        }
+    }
+    let d = reintegration_digest();
+    println!("reintegration: ({:#x}, {}, {}, {}, {}, {})", d.0, d.1, d.2, d.3, d.4, d.5);
+}
+
+#[test]
+fn jess_pinned() {
+    check_workload(
+        &ftjvm::workloads::jess::workload(),
+        &[
+            pinned!(
+                "jess/lock-sync/cold/Fixed",
+                0x9e844c4c,
+                11,
+                1363,
+                45088,
+                3,
+                2,
+                true,
+                136632120,
+                23500000,
+                160132120
+            ),
+            pinned!(
+                "jess/lock-sync/cold/Compact",
+                0x9e844c4c,
+                11,
+                1363,
+                6884,
+                2,
+                1,
+                true,
+                106287410,
+                23500000,
+                129787410
+            ),
+            pinned!(
+                "jess/lock-sync/hot/Fixed",
+                0x9e844c4c,
+                11,
+                1363,
+                45088,
+                3,
+                2,
+                true,
+                136552200,
+                0,
+                136552200
+            ),
+            pinned!(
+                "jess/lock-sync/hot/Compact",
+                0x9e844c4c,
+                11,
+                1363,
+                6884,
+                2,
+                1,
+                true,
+                106271730,
+                0,
+                106271730
+            ),
+            pinned!(
+                "jess/thread-sched/cold/Fixed",
+                0x9e844c4c,
+                11,
+                21,
+                810,
+                2,
+                1,
+                true,
+                106018132,
+                24651637,
+                130669769
+            ),
+            pinned!(
+                "jess/thread-sched/cold/Compact",
+                0x9e844c4c,
+                11,
+                21,
+                174,
+                2,
+                1,
+                true,
+                106250332,
+                24651637,
+                130901969
+            ),
+            pinned!(
+                "jess/thread-sched/hot/Fixed",
+                0x9e844c4c,
+                11,
+                21,
+                810,
+                2,
+                1,
+                true,
+                105727057,
+                24651637,
+                130378694
+            ),
+            pinned!(
+                "jess/thread-sched/hot/Compact",
+                0x9e844c4c,
+                11,
+                21,
+                174,
+                2,
+                1,
+                true,
+                105959257,
+                24651637,
+                130610894
+            ),
+        ],
+    );
+}
+
+#[test]
+fn jack_pinned() {
+    check_workload(
+        &ftjvm::workloads::jack::workload(),
+        &[
+            pinned!(
+                "jack/lock-sync/cold/Fixed",
+                0x540b480f,
+                2,
+                6158,
+                263396,
+                31,
+                4,
+                true,
+                111484310,
+                56069340,
+                167553650
+            ),
+            pinned!(
+                "jack/lock-sync/cold/Compact",
+                0x540b480f,
+                2,
+                6158,
+                61772,
+                19,
+                2,
+                true,
+                132041830,
+                48209480,
+                180251310
+            ),
+            pinned!(
+                "jack/lock-sync/hot/Fixed",
+                0x540b480f,
+                2,
+                6158,
+                263396,
+                31,
+                4,
+                true,
+                111484310,
+                0,
+                111484310
+            ),
+            pinned!(
+                "jack/lock-sync/hot/Compact",
+                0x540b480f,
+                2,
+                6158,
+                61772,
+                19,
+                2,
+                true,
+                132041830,
+                0,
+                132041830
+            ),
+            pinned!(
+                "jack/thread-sched/cold/Fixed",
+                0x540b480f,
+                2,
+                394,
+                88560,
+                21,
+                2,
+                true,
+                123045057,
+                56861912,
+                179906969
+            ),
+            pinned!(
+                "jack/thread-sched/cold/Compact",
+                0x540b480f,
+                2,
+                394,
+                31280,
+                17,
+                2,
+                true,
+                135569626,
+                32520104,
+                168089730
+            ),
+            pinned!(
+                "jack/thread-sched/hot/Fixed",
+                0x540b480f,
+                2,
+                394,
+                88560,
+                21,
+                2,
+                true,
+                122729311,
+                56861912,
+                179591223
+            ),
+            pinned!(
+                "jack/thread-sched/hot/Compact",
+                0x540b480f,
+                2,
+                394,
+                31280,
+                17,
+                2,
+                true,
+                135251055,
+                32520104,
+                167771159
+            ),
+        ],
+    );
+}
+
+#[test]
+fn compress_pinned() {
+    check_workload(
+        &ftjvm::workloads::compress::workload(),
+        &[
+            pinned!(
+                "compress/lock-sync/cold/Fixed",
+                0xf5d483ef,
+                2,
+                6,
+                190,
+                0,
+                5,
+                true,
+                103154730,
+                706136980,
+                809291710
+            ),
+            pinned!(
+                "compress/lock-sync/cold/Compact",
+                0xf5d483ef,
+                2,
+                6,
+                31,
+                0,
+                5,
+                true,
+                103154730,
+                706136980,
+                809291710
+            ),
+            pinned!(
+                "compress/lock-sync/hot/Fixed",
+                0xf5d483ef,
+                2,
+                6,
+                190,
+                0,
+                5,
+                true,
+                103056730,
+                0,
+                103056730
+            ),
+            pinned!(
+                "compress/lock-sync/hot/Compact",
+                0xf5d483ef,
+                2,
+                6,
+                31,
+                0,
+                5,
+                true,
+                103056730,
+                0,
+                103056730
+            ),
+            pinned!(
+                "compress/thread-sched/cold/Fixed",
+                0xf5d483ef,
+                2,
+                0,
+                0,
+                0,
+                5,
+                true,
+                102087946,
+                0,
+                102087946
+            ),
+            pinned!(
+                "compress/thread-sched/cold/Compact",
+                0xf5d483ef,
+                2,
+                0,
+                0,
+                0,
+                5,
+                true,
+                102087946,
+                0,
+                102087946
+            ),
+            pinned!(
+                "compress/thread-sched/hot/Fixed",
+                0xf5d483ef,
+                2,
+                0,
+                0,
+                0,
+                6,
+                true,
+                150033857,
+                0,
+                150033857
+            ),
+            pinned!(
+                "compress/thread-sched/hot/Compact",
+                0xf5d483ef,
+                2,
+                0,
+                0,
+                0,
+                6,
+                true,
+                150033857,
+                0,
+                150033857
+            ),
+        ],
+    );
+}
+
+#[test]
+fn db_pinned() {
+    check_workload(
+        &ftjvm::workloads::db::workload(),
+        &[
+            pinned!(
+                "db/lock-sync/cold/Fixed",
+                0x955d550f,
+                7,
+                17718,
+                584489,
+                37,
+                9,
+                true,
+                105527230,
+                128733910,
+                234261140
+            ),
+            pinned!(
+                "db/lock-sync/cold/Compact",
+                0x955d550f,
+                7,
+                17718,
+                88669,
+                6,
+                3,
+                true,
+                112196050,
+                110623520,
+                222819570
+            ),
+            pinned!(
+                "db/lock-sync/hot/Fixed",
+                0x955d550f,
+                7,
+                17718,
+                584489,
+                37,
+                9,
+                true,
+                105527230,
+                0,
+                105527230
+            ),
+            pinned!(
+                "db/lock-sync/hot/Compact",
+                0x955d550f,
+                7,
+                17718,
+                88669,
+                6,
+                3,
+                true,
+                112172340,
+                0,
+                112172340
+            ),
+            pinned!(
+                "db/thread-sched/cold/Fixed",
+                0x955d550f,
+                7,
+                31,
+                1210,
+                2,
+                3,
+                true,
+                116136681,
+                112629671,
+                228766352
+            ),
+            pinned!(
+                "db/thread-sched/cold/Compact",
+                0x955d550f,
+                7,
+                31,
+                269,
+                2,
+                3,
+                true,
+                116676121,
+                112629671,
+                229305792
+            ),
+            pinned!(
+                "db/thread-sched/hot/Fixed",
+                0x955d550f,
+                7,
+                31,
+                1210,
+                2,
+                3,
+                true,
+                115525613,
+                112629671,
+                228155284
+            ),
+            pinned!(
+                "db/thread-sched/hot/Compact",
+                0x955d550f,
+                7,
+                31,
+                269,
+                2,
+                3,
+                true,
+                116049517,
+                112629671,
+                228679188
+            ),
+        ],
+    );
+}
+
+#[test]
+fn mpegaudio_pinned() {
+    check_workload(
+        &ftjvm::workloads::mpegaudio::workload(),
+        &[
+            pinned!(
+                "mpegaudio/lock-sync/cold/Fixed",
+                0xf6f52a22,
+                1,
+                9,
+                310,
+                0,
+                3,
+                true,
+                126503650,
+                416225020,
+                542728670
+            ),
+            pinned!(
+                "mpegaudio/lock-sync/cold/Compact",
+                0xf6f52a22,
+                1,
+                9,
+                65,
+                0,
+                3,
+                true,
+                126503650,
+                416225020,
+                542728670
+            ),
+            pinned!(
+                "mpegaudio/lock-sync/hot/Fixed",
+                0xf6f52a22,
+                1,
+                9,
+                310,
+                0,
+                3,
+                true,
+                126530850,
+                0,
+                126530850
+            ),
+            pinned!(
+                "mpegaudio/lock-sync/hot/Compact",
+                0xf6f52a22,
+                1,
+                9,
+                65,
+                0,
+                3,
+                true,
+                126530850,
+                0,
+                126530850
+            ),
+            pinned!(
+                "mpegaudio/thread-sched/cold/Fixed",
+                0xf6f52a22,
+                1,
+                3,
+                120,
+                0,
+                3,
+                true,
+                126025218,
+                0,
+                126025218
+            ),
+            pinned!(
+                "mpegaudio/thread-sched/cold/Compact",
+                0xf6f52a22,
+                1,
+                3,
+                36,
+                0,
+                3,
+                true,
+                126025218,
+                0,
+                126025218
+            ),
+            pinned!(
+                "mpegaudio/thread-sched/hot/Fixed",
+                0xf6f52a22,
+                1,
+                3,
+                120,
+                0,
+                3,
+                true,
+                125030179,
+                0,
+                125030179
+            ),
+            pinned!(
+                "mpegaudio/thread-sched/hot/Compact",
+                0xf6f52a22,
+                1,
+                3,
+                36,
+                0,
+                3,
+                true,
+                125030179,
+                0,
+                125030179
+            ),
+        ],
+    );
+}
+
+#[test]
+fn mtrt_pinned() {
+    check_workload(
+        &ftjvm::workloads::mtrt::workload(),
+        &[
+            pinned!(
+                "mtrt/lock-sync/cold/Fixed",
+                0xd3e8fde7,
+                2,
+                684,
+                25293,
+                2,
+                4,
+                true,
+                123878580,
+                161480610,
+                285359190
+            ),
+            pinned!(
+                "mtrt/lock-sync/cold/Compact",
+                0xd3e8fde7,
+                2,
+                684,
+                3448,
+                1,
+                4,
+                true,
+                138127220,
+                161480610,
+                299607830
+            ),
+            pinned!(
+                "mtrt/lock-sync/hot/Fixed",
+                0xd3e8fde7,
+                2,
+                684,
+                25293,
+                2,
+                4,
+                true,
+                123878580,
+                0,
+                123878580
+            ),
+            pinned!(
+                "mtrt/lock-sync/hot/Compact",
+                0xd3e8fde7,
+                2,
+                684,
+                3448,
+                1,
+                4,
+                true,
+                138127220,
+                0,
+                138127220
+            ),
+            pinned!(
+                "mtrt/thread-sched/cold/Fixed",
+                0xd3e8fde7,
+                2,
+                2587,
+                149955,
+                10,
+                5,
+                true,
+                125243336,
+                164991419,
+                290234755
+            ),
+            pinned!(
+                "mtrt/thread-sched/cold/Compact",
+                0xd3e8fde7,
+                2,
+                2587,
+                23339,
+                2,
+                4,
+                true,
+                133138005,
+                164991419,
+                298129424
+            ),
+            pinned!(
+                "mtrt/thread-sched/hot/Fixed",
+                0xd3e8fde7,
+                2,
+                2587,
+                149955,
+                10,
+                5,
+                true,
+                123942864,
+                3555,
+                123946419
+            ),
+            pinned!(
+                "mtrt/thread-sched/hot/Compact",
+                0xd3e8fde7,
+                2,
+                2587,
+                23339,
+                2,
+                4,
+                true,
+                131845469,
+                3555,
+                131849024
+            ),
+        ],
+    );
+}
+
+// --- Random-fault-plan property: wrapper behavior preservation ------------
+//
+// For arbitrary fault plans there is no pre-captured digest; the property
+// the wrappers must preserve is the drivers' contract itself: byte-equal
+// console to the failure-free reference, exactly-once output, and
+// run-to-run determinism (the same plan twice gives the same report).
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fault_strategy() -> impl Strategy<Value = FaultPlan> {
+        prop_oneof![
+            (1_000u64..2_000_000).prop_map(FaultPlan::AfterInstructions),
+            (0u64..6).prop_map(FaultPlan::BeforeOutput),
+            (0u64..6).prop_map(FaultPlan::AfterOutput),
+            (0u64..12).prop_map(FaultPlan::AfterFlush),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+        #[test]
+        fn random_fault_plans_preserve_driver_contract(
+            fault in fault_strategy(),
+            hot in any::<bool>(),
+            compact in any::<bool>(),
+            ts in any::<bool>(),
+        ) {
+            let w = micro::file_journal(60);
+            let mode = if ts { ReplicationMode::ThreadSched } else { ReplicationMode::LockSync };
+            let codec = if compact { WireCodec::Compact } else { WireCodec::Fixed };
+            let lag = if hot { LagBudget::Hot } else { LagBudget::Cold };
+            let mk = |lag_budget, fault| FtConfig {
+                mode, codec, lag_budget, fault, ..FtConfig::default()
+            };
+            let free = FtJvm::new(w.program.clone(), mk(LagBudget::Cold, FaultPlan::None))
+                .run_replicated()
+                .expect("failure-free reference");
+            let run = || {
+                FtJvm::new(w.program.clone(), mk(lag, fault))
+                    .run_replicated()
+                    .unwrap_or_else(|e| panic!("{mode} {codec:?} {lag} {fault:?}: {e}"))
+            };
+            let a = run();
+            prop_assert_eq!(a.console(), free.console(), "console vs failure-free");
+            prop_assert!(a.check_no_duplicate_outputs().is_ok(), "exactly-once");
+            let b = run();
+            prop_assert_eq!(digest(&a), digest(&b), "determinism across reruns");
+        }
+    }
+}
+
+/// Crash/reintegration equivalence: backup killed mid-stream, replacement
+/// recruited via snapshot transfer, then the primary crashes — the full
+/// checkpointed driver path. Fingerprint: console CRC plus the timeline
+/// instants the driver decided (kill, degraded entry, re-integration) and
+/// the final failover latency.
+fn reintegration_digest() -> (u32, u64, u64, u64, u64, u64) {
+    let w = micro::file_journal(200);
+    let cfg = FtConfig {
+        mode: ReplicationMode::ThreadSched,
+        lag_budget: LagBudget::Hot,
+        checkpoint_interval: Some(3),
+        detector: FailureDetector::new(SimTime::from_millis(1), 2),
+        ..FtConfig::default()
+    };
+    let report = FtJvm::new(w.program.clone(), cfg)
+        .run_checkpointed(CheckpointPlan {
+            fault: FaultPlan::BeforeOutput(120),
+            kill_backup_after_units: Some(512),
+            reintegrate: true,
+        })
+        .expect("reintegration case");
+    assert!(report.reintegrated, "replacement standby must go live");
+    assert!(report.pair.crashed, "late crash must fire");
+    report.pair.check_no_duplicate_outputs().expect("exactly-once");
+    let console = report.pair.console().join("\n");
+    (
+        ftjvm::replication::crc32c(console.as_bytes()),
+        report.pair.console().len() as u64,
+        report.backup_killed_at.expect("kill fired").as_nanos(),
+        report.degraded_entered_at.expect("degraded").as_nanos(),
+        report.reintegrated_at.expect("live").as_nanos(),
+        report.pair.failover_latency.as_nanos(),
+    )
+}
+
+#[test]
+fn reintegration_case_pinned() {
+    assert_eq!(reintegration_digest(), REINTEGRATION_PINNED, "checkpointed driver diverged");
+}
+
+const REINTEGRATION_PINNED: (u32, u64, u64, u64, u64, u64) =
+    (0x105b2e99, 1, 11073168, 13073168, 17216009, 1390846);
