@@ -105,6 +105,13 @@ pub enum ReplayError {
         /// Which queue was unexpectedly empty.
         what: &'static str,
     },
+    /// A standby was asked to promote to primary before its replay
+    /// finished — records from the dead primary's verified prefix are
+    /// still unconsumed, so taking over now would fork history.
+    PromotionIncomplete {
+        /// Replay records still unconsumed at the promotion attempt.
+        pending: u64,
+    },
 }
 
 impl std::fmt::Display for ReplayError {
@@ -115,6 +122,9 @@ impl std::fmt::Display for ReplayError {
             }
             ReplayError::EmptyRecordQueue { what } => {
                 write!(f, "log is missing expected {what} records (truncated or corrupt log)")
+            }
+            ReplayError::PromotionIncomplete { pending } => {
+                write!(f, "promotion attempted with {pending} replay records unconsumed")
             }
         }
     }
@@ -522,6 +532,22 @@ impl NativeReplay {
         self.error.take().map(StopReason::Error)
     }
 
+    /// Consumes a *finished* replay, yielding what a promotion to primary
+    /// seeds from it: the restored side-effect registry and the first
+    /// output id the new reign may assign (exactly-once across the
+    /// takeover).
+    ///
+    /// # Errors
+    /// Typed [`ReplayError::PromotionIncomplete`] if replay records are
+    /// still unconsumed — promoting now would fork the replicated history.
+    fn into_promotion_parts(self) -> Result<(SeRegistry, u64), ReplayError> {
+        let pending = self.pending_records();
+        if !self.eof || pending > 0 {
+            return Err(ReplayError::PromotionIncomplete { pending });
+        }
+        Ok((self.se, self.next_live_output))
+    }
+
     /// True once thread `vt` has no logged natives or outputs left.
     fn drained_for(&self, vt: &VtPath) -> bool {
         self.log.nd.get(vt).map(|q| q.is_empty()).unwrap_or(true)
@@ -748,9 +774,21 @@ impl LockSyncBackup {
         self.replay.eof && self.replay.log.lock_total == 0
     }
 
+    /// Replay records (of every class) still unconsumed — promotion must
+    /// wait for zero.
+    pub(crate) fn replay_pending(&self) -> u64 {
+        self.replay.pending_records()
+    }
+
     /// Simulated instant at which the log replay finished.
     pub fn recovery_completed_at(&self) -> Option<ftjvm_netsim::SimTime> {
         self.replay.recovery_completed_at
+    }
+
+    /// Consumes the coordinator for promotion to primary (see
+    /// [`NativeReplay::into_promotion_parts`]).
+    pub(crate) fn into_promotion_parts(self) -> Result<(SeRegistry, u64), ReplayError> {
+        self.replay.into_promotion_parts()
     }
 }
 
@@ -1158,9 +1196,21 @@ impl TsBackup {
         self.designated.is_none()
     }
 
+    /// Replay records (of every class) still unconsumed — promotion must
+    /// wait for zero.
+    pub(crate) fn replay_pending(&self) -> u64 {
+        self.replay.pending_records()
+    }
+
     /// Simulated instant at which the log replay finished.
     pub fn recovery_completed_at(&self) -> Option<ftjvm_netsim::SimTime> {
         self.replay.recovery_completed_at
+    }
+
+    /// Consumes the coordinator for promotion to primary (see
+    /// [`NativeReplay::into_promotion_parts`]).
+    pub(crate) fn into_promotion_parts(self) -> Result<(SeRegistry, u64), ReplayError> {
+        self.replay.into_promotion_parts()
     }
 
     /// Does `snap`/`obs` match the front record's progress point?
@@ -1552,9 +1602,21 @@ impl IntervalBackup {
         self.replay.eof && self.replay.log.interval_total == 0
     }
 
+    /// Replay records (of every class) still unconsumed — promotion must
+    /// wait for zero.
+    pub(crate) fn replay_pending(&self) -> u64 {
+        self.replay.pending_records()
+    }
+
     /// Simulated instant at which the log replay finished.
     pub fn recovery_completed_at(&self) -> Option<ftjvm_netsim::SimTime> {
         self.replay.recovery_completed_at
+    }
+
+    /// Consumes the coordinator for promotion to primary (see
+    /// [`NativeReplay::into_promotion_parts`]).
+    pub(crate) fn into_promotion_parts(self) -> Result<(SeRegistry, u64), ReplayError> {
+        self.replay.into_promotion_parts()
     }
 }
 

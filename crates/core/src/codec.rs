@@ -447,9 +447,9 @@ impl RecordDecoder {
     /// Returns [`WireError`] on any truncated or malformed input; never
     /// panics.
     pub fn decode_frame(&mut self, frame: Bytes, out: &mut Vec<Record>) -> Result<(), WireError> {
-        // Epoch marks and snapshot chunks are control frames: they carry no
-        // records and never touch the delta context.
-        if matches!(frame.first(), Some(&EPOCH_TAG) | Some(&SNAP_TAG)) {
+        // Epoch marks, snapshot chunks, and digest votes are control
+        // frames: they carry no records and never touch the delta context.
+        if matches!(frame.first(), Some(&EPOCH_TAG) | Some(&SNAP_TAG) | Some(&VOTE_TAG)) {
             return Ok(());
         }
         if frame.first() != Some(&BATCH_TAG) {
@@ -728,13 +728,83 @@ impl SnapshotAssembler {
         }
         let mut blob = Vec::new();
         for c in self.chunks.drain(..) {
-            blob.extend_from_slice(&c.expect("all chunks received"));
+            let c = c.ok_or_else(|| WireError::new("snapshot chunk missing at completion"))?;
+            blob.extend_from_slice(&c);
         }
-        let epoch = self.epoch.take().expect("epoch set");
+        let epoch = self
+            .epoch
+            .take()
+            .ok_or_else(|| WireError::new("snapshot epoch unset at completion"))?;
         self.total = 0;
         self.received = 0;
         Ok(Some((epoch, Bytes::from(blob))))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Digest-vote control frames (BFT-lite). Each replica in a voting group
+// computes a CRC32C digest over every record-bearing frame it sends
+// (primary) or receives (standby) and publishes it as a vote; the group
+// driver releases a frame to replay only once `vote_quorum` matching
+// digests exist. The tag is disjoint from fixed record tags (1..=8),
+// BATCH_TAG, EPOCH_TAG, SNAP_TAG, and SEAL_TAG.
+// ---------------------------------------------------------------------------
+
+/// First byte of a digest-vote control frame.
+pub const VOTE_TAG: u8 = 0xD6;
+
+/// Builds a digest vote:
+/// `VOTE_TAG · uvarint(frame_index) · u32 digest`, where `frame_index`
+/// counts the sender's record-bearing frames from zero and `digest` is
+/// `crc32c` over the (pre-seal) frame payload.
+pub fn build_vote_frame(frame_index: u64, digest: u32) -> Bytes {
+    let mut w = WireWriter::with_capacity(15);
+    w.put_u8(VOTE_TAG);
+    w.put_uvarint(frame_index);
+    w.put_u32(digest);
+    w.finish()
+}
+
+/// Parses a digest vote back into `(frame_index, digest)`.
+///
+/// # Errors
+/// Returns [`WireError`] if the frame is not a well-formed vote.
+pub fn parse_vote_frame(frame: &Bytes) -> Result<(u64, u32), WireError> {
+    if frame.first() != Some(&VOTE_TAG) {
+        return Err(WireError::new("not a digest vote"));
+    }
+    let mut r = WireReader::new(frame.slice(1..));
+    let frame_index = r.get_uvarint()?;
+    let digest = r.get_u32()?;
+    if !r.is_empty() {
+        return Err(WireError::new("trailing bytes after digest vote"));
+    }
+    Ok((frame_index, digest))
+}
+
+/// True when `frame` is a digest-vote control frame.
+pub fn frame_is_vote(frame: &Bytes) -> bool {
+    frame.first() == Some(&VOTE_TAG)
+}
+
+/// The digest a replica votes with for one record-bearing frame: CRC32C
+/// over the frame payload as it left (or reached) the replication layer,
+/// before sealing.
+pub fn frame_digest(payload: &[u8]) -> u32 {
+    crc32c(payload)
+}
+
+/// The digest a vote claims for one whole flush group: CRC32C over the
+/// per-frame digests in wire order. Votes cover flushes, not single
+/// frames, so the atomic record sets the protocol keeps inside one flush
+/// (a native's result plus its side-effect snapshot, an output commit
+/// plus its payload) verify — and release downstream — as a unit.
+pub fn flush_digest(frame_digests: &[u32]) -> u32 {
+    let mut bytes = Vec::with_capacity(frame_digests.len() * 4);
+    for d in frame_digests {
+        bytes.extend_from_slice(&d.to_le_bytes());
+    }
+    crc32c(&bytes)
 }
 
 // ---------------------------------------------------------------------------

@@ -39,7 +39,8 @@
 //! are drawn per pair so the fleet exercises the full matrix.
 
 use crate::ftjvm::{FtConfig, LockVariant, PairReport, ReplicationMode};
-use crate::pair::{PairEvent, PairTask};
+use crate::group::{GroupConfig, GroupReport, GroupTask};
+use crate::pair::PairTask;
 use crate::runtime::{CheckpointPlan, LagBudget, ReplicaRuntime};
 use ftjvm_netsim::{
     FailureDetector, FaultPlan, SharedBandwidth, SharedLink, SharedStats, SimTime, WireCodec,
@@ -139,6 +140,15 @@ pub struct FleetConfig {
     /// Check every surviving pair's console against the analytically
     /// expected output and scan for duplicate output ids.
     pub verify: bool,
+    /// Run every slot as an N-replica group instead of a classic pair:
+    /// `Some(k)` gives each slot `k` replicas with rank-ordered
+    /// promotion, the slot's drawn primary crash becoming the group's
+    /// first kill and a drawn backup kill the rank-1 standby's death.
+    /// `None` keeps classic pairs.
+    pub group_size: Option<usize>,
+    /// BFT-lite digest vote quorum forwarded to group slots (ignored for
+    /// classic pairs).
+    pub vote_quorum: Option<u32>,
 }
 
 impl Default for FleetConfig {
@@ -160,6 +170,8 @@ impl Default for FleetConfig {
             min_requests: 60,
             max_requests: 200,
             verify: true,
+            group_size: None,
+            vote_quorum: None,
         }
     }
 }
@@ -271,6 +283,21 @@ impl PairPlan {
         }
     }
 
+    /// The group configuration this plan runs under when the fleet
+    /// schedules N-replica groups: the pair's drawn primary crash becomes
+    /// the group's first (and only) kill, a drawn backup kill becomes the
+    /// rank-1 standby's death.
+    pub fn group_config(&self, cfg: &FleetConfig, size: usize) -> GroupConfig {
+        GroupConfig {
+            size,
+            vote_quorum: cfg.vote_quorum,
+            kills: if self.fault.is_armed() { vec![self.fault] } else { Vec::new() },
+            kill_standby_after_units: self.kill_backup_after_units.map(|units| (1, units)),
+            reintegrate: cfg.reintegrate,
+            ..GroupConfig::default()
+        }
+    }
+
     /// The console line a correct run of this plan must end with: the
     /// journal's final size, `ENTRY_BYTES × requests`.
     pub fn expected_console(&self) -> Vec<String> {
@@ -309,6 +336,9 @@ pub struct PairOutcome {
     pub failover_latency: SimTime,
     /// A fatal error the pair's run raised, if any.
     pub error: Option<String>,
+    /// Failure timeline, newest last (group slots record promotion,
+    /// eviction, and re-homing moments; classic pairs leave it empty).
+    pub timeline: Vec<String>,
 }
 
 /// Aggregate service levels of one fleet run.
@@ -399,12 +429,45 @@ pub fn journal_program(n: i64) -> Result<Arc<Program>, VmError> {
     b.build(entry).map(Arc::new).map_err(|e| VmError::Internal(format!("journal program: {e:?}")))
 }
 
+/// One scheduler slot's replication machinery: a classic pair or an
+/// N-replica group, stepped uniformly by the event loop.
+enum SlotTask {
+    /// The legacy primary/backup pair.
+    Pair(Box<PairTask>),
+    /// A k-replica group with rank-ordered promotion.
+    Group(Box<GroupTask>),
+}
+
+impl SlotTask {
+    fn now(&self) -> SimTime {
+        match self {
+            SlotTask::Pair(t) => t.now(),
+            SlotTask::Group(t) => t.now(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match self {
+            SlotTask::Pair(t) => t.is_done(),
+            SlotTask::Group(t) => t.is_done(),
+        }
+    }
+
+    fn step(&mut self, until: SimTime) -> Result<(), VmError> {
+        match self {
+            SlotTask::Pair(t) => t.step(until).map(|_| ()),
+            SlotTask::Group(t) => t.step(until).map(|_| ()),
+        }
+    }
+}
+
 /// One pair's scheduler slot.
 struct PairSlot {
     plan: PairPlan,
-    task: Option<PairTask>,
+    task: Option<SlotTask>,
     outcome: Option<PairOutcome>,
     report: Option<PairReport>,
+    greport: Option<GroupReport>,
 }
 
 /// Runs a whole fleet per `cfg` and aggregates service levels.
@@ -434,18 +497,30 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, VmError> {
                 p
             }
         };
-        let mut rt = ReplicaRuntime::new(program, natives.clone(), plan.ft_config(cfg));
+        let mut ft = plan.ft_config(cfg);
+        if cfg.group_size.is_some() {
+            // The group schedules its own kills; the runtime fault plan
+            // would double-fire.
+            ft.fault = FaultPlan::None;
+        }
+        let mut rt = ReplicaRuntime::new(program, natives.clone(), ft);
         if let Some(link) = &trunk {
             rt.set_shared_bandwidth(link.clone(), plan.start_offset);
         }
-        let slot = match PairTask::checkpointed(rt, plan.checkpoint_plan(cfg)) {
+        let built = match cfg.group_size {
+            Some(size) => GroupTask::new(rt, plan.group_config(cfg, size))
+                .map(|t| SlotTask::Group(Box::new(t))),
+            None => PairTask::checkpointed(rt, plan.checkpoint_plan(cfg))
+                .map(|t| SlotTask::Pair(Box::new(t))),
+        };
+        let slot = match built {
             Ok(task) => {
                 heap.push(Reverse((plan.start_offset.as_nanos(), pair_id)));
-                PairSlot { plan, task: Some(task), outcome: None, report: None }
+                PairSlot { plan, task: Some(task), outcome: None, report: None, greport: None }
             }
             Err(e) => {
                 let outcome = error_outcome(&plan, &e);
-                PairSlot { plan, task: None, outcome: Some(outcome), report: None }
+                PairSlot { plan, task: None, outcome: Some(outcome), report: None, greport: None }
             }
         };
         slots.push(slot);
@@ -458,13 +533,28 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, VmError> {
         let Some(task) = slot.task.as_mut() else { continue };
         let target = task.now() + QUANTUM;
         match task.step(target) {
-            Ok(PairEvent::Done) | Ok(_) if task.is_done() => {
-                let task = slot.task.take().expect("present above");
-                let (outcome, report) = finish_pair(&slot.plan, cfg, task);
-                slot.outcome = Some(outcome);
-                slot.report = report;
-            }
-            Ok(_) => {
+            Ok(()) if task.is_done() => match slot.task.take() {
+                Some(SlotTask::Pair(task)) => {
+                    let (outcome, report) = finish_pair(&slot.plan, cfg, *task);
+                    slot.outcome = Some(outcome);
+                    slot.report = report;
+                }
+                Some(SlotTask::Group(task)) => {
+                    let (outcome, report) = finish_group(&slot.plan, cfg, *task);
+                    slot.outcome = Some(outcome);
+                    slot.greport = report;
+                }
+                // Typed capture of a scheduler invariant break (a done
+                // task must still occupy its slot) — recorded as this
+                // pair's fatal error instead of aborting the fleet.
+                None => {
+                    let e = VmError::Internal(format!(
+                        "fleet pair {pair_id}: completed task vanished from its slot"
+                    ));
+                    slot.outcome = Some(error_outcome(&slot.plan, &e));
+                }
+            },
+            Ok(()) => {
                 let global = slot.plan.start_offset + task.now();
                 heap.push(Reverse((global.as_nanos(), pair_id)));
             }
@@ -494,6 +584,7 @@ fn error_outcome(plan: &PairPlan, e: &VmError) -> PairOutcome {
         output_ok: false,
         failover_latency: SimTime::ZERO,
         error: Some(e.to_string()),
+        timeline: Vec::new(),
     }
 }
 
@@ -532,6 +623,52 @@ fn finish_pair(
         output_ok,
         failover_latency: report.failover_latency,
         error: None,
+        timeline: Vec::new(),
+    };
+    (outcome, Some(report))
+}
+
+/// Finalizes a completed group slot: verification plus the outcome
+/// record, with the group's failure timeline carried into the outcome
+/// for divergence reporting.
+fn finish_group(
+    plan: &PairPlan,
+    cfg: &FleetConfig,
+    task: GroupTask,
+) -> (PairOutcome, Option<GroupReport>) {
+    let report = match task.into_report() {
+        Ok(r) => r,
+        Err(e) => return (error_outcome(plan, &e), None),
+    };
+    let survived = report.completed;
+    let output_ok = if cfg.verify {
+        survived
+            && report.console() == plan.expected_console()
+            && report.check_no_duplicate_outputs().is_ok()
+    } else {
+        survived
+    };
+    let outcome = PairOutcome {
+        pair_id: plan.pair_id,
+        rack: plan.rack,
+        requests: plan.requests,
+        served: 0, // filled by the router
+        planned_crash: plan.fault.is_armed(),
+        planned_kill: plan.kill_backup_after_units.is_some(),
+        crashed: !report.failovers.is_empty(),
+        // Every promotion passes through a degraded window while the
+        // survivors re-home.
+        degraded: !report.failovers.is_empty(),
+        reintegrated: report.timeline.iter().any(|m| m.what.contains("reintegrated")),
+        survived,
+        output_ok,
+        failover_latency: report
+            .failovers
+            .first()
+            .map(|f| f.detection_latency)
+            .unwrap_or(SimTime::ZERO),
+        error: None,
+        timeline: report.timeline.iter().map(ToString::to_string).collect(),
     };
     (outcome, Some(report))
 }
@@ -545,6 +682,20 @@ fn completions(plan: &PairPlan, report: &PairReport) -> Vec<(u64, u64)> {
         .commit_samples
         .iter()
         .chain(report.backup_stats.iter().flat_map(|s| s.commit_samples.iter()))
+        .map(|&(at, wait)| (base + at, wait))
+        .collect();
+    all.sort_unstable();
+    all
+}
+
+/// Globalized commit completions of one group slot: every reign's
+/// primary-side commit samples, sorted by release instant.
+fn group_completions(plan: &PairPlan, report: &GroupReport) -> Vec<(u64, u64)> {
+    let base = plan.start_offset.as_nanos();
+    let mut all: Vec<(u64, u64)> = report
+        .reigns
+        .iter()
+        .flat_map(|r| r.stats.commit_samples.iter())
         .map(|&(at, wait)| (base + at, wait))
         .collect();
     all.sort_unstable();
@@ -596,8 +747,22 @@ fn aggregate(
     let mut peak_pending = 0u64;
 
     for slot in &mut slots {
-        let Some(report) = slot.report.take() else { continue };
-        let done = completions(&slot.plan, &report);
+        // Either report kind reduces to the same routing inputs: commit
+        // completions, the slot's end instant, and the replay peaks.
+        let (done, end, suffix, pending) = if let Some(report) = slot.report.take() {
+            let done = completions(&slot.plan, &report);
+            let backup_end = report.backup.as_ref().map(|b| b.acct.now()).unwrap_or(SimTime::ZERO);
+            let end = report.primary.acct.now().max(backup_end);
+            let pending = report.backup_stats.as_ref().map_or(0, |bs| bs.peak_backup_pending);
+            (done, end, report.primary_stats.peak_suffix_frames, pending)
+        } else if let Some(report) = slot.greport.take() {
+            let done = group_completions(&slot.plan, &report);
+            let suffix =
+                report.reigns.iter().map(|r| r.stats.peak_suffix_frames).max().unwrap_or(0);
+            (done, report.final_report.acct.now(), suffix, 0)
+        } else {
+            continue;
+        };
         let (matched, _unserved) = route_pair(cfg, &slot.plan, &done);
         if let Some(o) = slot.outcome.as_mut() {
             o.served = matched.len() as u64;
@@ -608,13 +773,9 @@ fn aggregate(
             sweep.push((arrival, 1));
             sweep.push((at.max(arrival), -1));
         }
-        let backup_end = report.backup.as_ref().map(|b| b.acct.now()).unwrap_or(SimTime::ZERO);
-        let end = slot.plan.start_offset + report.primary.acct.now().max(backup_end);
-        makespan = makespan.max(end);
-        peak_suffix = peak_suffix.max(report.primary_stats.peak_suffix_frames);
-        if let Some(bs) = &report.backup_stats {
-            peak_pending = peak_pending.max(bs.peak_backup_pending);
-        }
+        makespan = makespan.max(slot.plan.start_offset + end);
+        peak_suffix = peak_suffix.max(suffix);
+        peak_pending = peak_pending.max(pending);
     }
 
     // Backlog high-water mark: arrivals open, completions close;
@@ -634,8 +795,20 @@ fn aggregate(
         SimTime::from_nanos(latencies[((latencies.len() - 1) as u64 * p / 100) as usize])
     };
 
-    let outcomes: Vec<PairOutcome> =
-        slots.into_iter().map(|s| s.outcome.expect("every pair finalized or errored")).collect();
+    // A slot with no outcome is a scheduler invariant break; capture it
+    // as a typed per-pair error instead of panicking the whole fleet.
+    let outcomes: Vec<PairOutcome> = slots
+        .into_iter()
+        .map(|s| {
+            s.outcome.unwrap_or_else(|| {
+                let e = VmError::Internal(format!(
+                    "fleet pair {}: never finalized nor errored",
+                    s.plan.pair_id
+                ));
+                error_outcome(&s.plan, &e)
+            })
+        })
+        .collect();
     let completed = outcomes.iter().filter(|o| o.error.is_none()).count() as u32;
     let failovers_absorbed = outcomes.iter().filter(|o| o.crashed && o.output_ok).count() as u32;
     let lost = outcomes.iter().filter(|o| o.error.is_none() && !o.survived).count() as u32;
@@ -694,6 +867,28 @@ mod tests {
             assert_eq!(a.fault, b.fault);
             assert_eq!(a.kill_backup_after_units, b.kill_backup_after_units);
         }
+    }
+
+    #[test]
+    fn small_group_fleet_serves_and_verifies() {
+        let cfg = FleetConfig {
+            pairs: 4,
+            crash_per_mille: 400,
+            kill_per_mille: 100,
+            group_size: Some(3),
+            shared_per_byte: None,
+            verify: true,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&cfg).expect("group fleet runs");
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.divergent, 0, "every surviving group byte-identical");
+        assert!(report.served_requests > 0);
+        let crashed: Vec<_> = report.outcomes.iter().filter(|o| o.crashed).collect();
+        assert!(
+            crashed.iter().all(|o| !o.timeline.is_empty()),
+            "group failovers must carry a timeline"
+        );
     }
 
     #[test]

@@ -315,6 +315,21 @@ impl FtJvm {
         self.run_replicated()
     }
 
+    /// Runs an N-replica group per `gcfg`: rank-ordered promotion chains,
+    /// configurable ack policies, and optional ND-record digest voting
+    /// (requires [`FtConfig::checkpoint_interval`]). See
+    /// [`crate::group::GroupTask`].
+    ///
+    /// # Errors
+    /// Propagates fatal VM errors from any replica and configuration
+    /// errors from [`crate::group::GroupTask::new`].
+    pub fn run_group(
+        &self,
+        gcfg: crate::group::GroupConfig,
+    ) -> Result<crate::group::GroupReport, VmError> {
+        crate::group::GroupTask::new(self.runtime(), gcfg)?.run_to_completion()?.into_report()
+    }
+
     /// Runs a checkpointed hot pair per `plan` — backup kill, degraded
     /// mode, and re-integration (requires
     /// [`FtConfig::checkpoint_interval`]). See

@@ -57,6 +57,7 @@ pub mod backup;
 pub mod codec;
 pub mod fleet;
 pub mod ftjvm;
+pub mod group;
 pub mod pair;
 pub mod primary;
 pub mod records;
@@ -78,9 +79,13 @@ pub use fleet::{
 };
 pub use ftjvm::{FtConfig, FtJvm, LockVariant, PairReport, ReplicationMode};
 pub use ftjvm_netsim::{NetFaultPlan, WireCodec};
+pub use group::{
+    FailoverRecord, GroupConfig, GroupEvent, GroupMoment, GroupReport, GroupTask, ReignStats,
+};
 pub use pair::{PairEvent, PairTask};
 pub use primary::{
-    IntervalPrimary, LockSyncPrimary, LogChannel, PrimaryCore, ReliableLink, SendWindow, TsPrimary,
+    AckPolicy, IntervalPrimary, LockSyncPrimary, LogChannel, PrimaryCore, ReliableLink, SendWindow,
+    TsPrimary,
 };
 pub use records::{LoggedResult, Record, WireValue};
 pub use runtime::{CheckpointPlan, CheckpointReport, LagBudget, Replica, ReplicaRuntime, Role};

@@ -993,7 +993,7 @@ fn deliver(
 /// Feeds delivered `(arrival, frame)` pairs into a hot backup, re-arming
 /// the failure detector at each heartbeat arrival, then lets the backup
 /// replay until it catches up with the log (starves) or finishes.
-fn pump_backup(
+pub(crate) fn pump_backup(
     backup: &mut Replica,
     monitor: &mut HeartbeatMonitor,
     delivered: Vec<(SimTime, Bytes)>,

@@ -14,14 +14,17 @@
 //!   two application threads (§4.2, *Replicated Thread Scheduling*).
 
 use crate::backup::{Control, RecvWindow};
-use crate::codec::{build_batch_frame, build_epoch_frame, seal_frame, RecordEncoder};
+use crate::codec::{
+    build_batch_frame, build_epoch_frame, build_vote_frame, flush_digest, frame_digest, seal_frame,
+    RecordEncoder,
+};
 use crate::records::{sig_hash, LoggedResult, Record, WireValue};
 use crate::se::SeRegistry;
 use crate::stats::ReplicationStats;
 use bytes::Bytes;
 use ftjvm_netsim::{
-    Category, ChannelStats, CostModel, FaultPlan, LossyChannel, SimChannel, SimTime, TimeAccount,
-    WireCodec, WireError, WireReader, WireWriter,
+    Category, ChannelStats, CostModel, FaultPlan, LossyChannel, NetFaultPlan, SimChannel, SimTime,
+    TimeAccount, WireCodec, WireError, WireReader, WireWriter,
 };
 
 use ftjvm_vm::native::{NativeDecl, NativeOutcome};
@@ -421,6 +424,39 @@ impl LogChannel {
     }
 }
 
+/// Output-commit acknowledgment policy across a replica group's fan-out
+/// links: how many standbys must acknowledge the flushed log before an
+/// output may be performed (§3.4 generalized to k standbys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckPolicy {
+    /// The fastest live standby's acknowledgment suffices.
+    Any,
+    /// A majority of live standbys (`n/2 + 1`) must acknowledge.
+    Majority,
+    /// Every live standby must acknowledge — the strictest policy and the
+    /// single-backup pair's behavior, hence the default.
+    #[default]
+    All,
+}
+
+impl AckPolicy {
+    /// Acknowledgments required out of `n` live links (the commit waits
+    /// for the m-th smallest ack arrival). Zero when no links are live.
+    pub fn required(self, n: usize) -> usize {
+        match self {
+            AckPolicy::Any => n.min(1),
+            AckPolicy::Majority => {
+                if n == 0 {
+                    0
+                } else {
+                    n / 2 + 1
+                }
+            }
+            AckPolicy::All => n,
+        }
+    }
+}
+
 /// Shared primary-side machinery.
 pub struct PrimaryCore {
     channel: LogChannel,
@@ -469,6 +505,32 @@ pub struct PrimaryCore {
     /// waiting for acknowledgments (there is no one to wait for) and the
     /// uncovered outputs are counted.
     degraded: bool,
+    /// Group fan-out: additional links to standbys beyond the first
+    /// (`channel` is link 0). Empty in single-backup pair mode, where
+    /// every loop below degenerates to the legacy single-channel path.
+    fanout: Vec<LogChannel>,
+    /// Liveness per link (index 0 = `channel`); dead links are skipped by
+    /// sends, maintenance, and ack waits.
+    link_live: Vec<bool>,
+    /// Links whose record stream was byzantine-flipped at least once by
+    /// this replica's own send path — their standby's digest votes can
+    /// never match the claim, so vote gating excludes them.
+    link_tainted: Vec<bool>,
+    ack_policy: AckPolicy,
+    /// BFT-lite voting: total matching digests (the primary's own claim
+    /// included) required before an output releases. `None` disables the
+    /// vote frames and the gating entirely.
+    vote_quorum: Option<u32>,
+    /// Byzantine fault injection applied by this replica's send path
+    /// (bit flips after digest computation, before CRC sealing).
+    byz_plan: Option<NetFaultPlan>,
+    /// Index of the next record-bearing frame in this reign's broadcast
+    /// stream; digest votes and byzantine flip decisions key off it.
+    record_frame_index: u64,
+    /// Honest per-frame digests of the flush currently being sent. One
+    /// vote frame per flush covers the whole group — records and their
+    /// side-effect snapshots verify (and release) atomically downstream.
+    flush_claims: Vec<u32>,
     /// Aggregate statistics (Table 2 raw material).
     pub stats: ReplicationStats,
 }
@@ -524,6 +586,14 @@ impl PrimaryCore {
             latest_snapshot: None,
             last_se: HashMap::new(),
             degraded: false,
+            fanout: Vec::new(),
+            link_live: vec![true],
+            link_tainted: vec![false],
+            ack_policy: AckPolicy::All,
+            vote_quorum: None,
+            byz_plan: None,
+            record_frame_index: 0,
+            flush_claims: Vec::new(),
             stats: ReplicationStats::default(),
         }
     }
@@ -541,6 +611,15 @@ impl PrimaryCore {
         (self.channel, self.stats)
     }
 
+    /// Consumes the core, returning *every* fan-out link in rank order
+    /// plus the final statistics (the group driver drains each survivor's
+    /// link into its own standby).
+    pub fn into_group_parts(self) -> (Vec<LogChannel>, ReplicationStats) {
+        let mut links = vec![self.channel];
+        links.extend(self.fanout);
+        (links, self.stats)
+    }
+
     /// The replication channel, for a co-simulation driver that pulls
     /// delivered frames for a hot standby while the primary still runs.
     pub fn channel_mut(&mut self) -> &mut LogChannel {
@@ -551,6 +630,202 @@ impl PrimaryCore {
     /// [`into_parts`](PrimaryCore::into_parts)).
     pub fn stats(&self) -> &ReplicationStats {
         &self.stats
+    }
+
+    // --- Group fan-out (k standby links; link 0 is `channel`) -------------
+
+    /// Total fan-out width, the first link included.
+    pub fn link_count(&self) -> usize {
+        1 + self.fanout.len()
+    }
+
+    /// Links currently believed live.
+    pub fn live_links(&self) -> usize {
+        (0..self.link_count()).filter(|&i| self.is_link_live(i)).count()
+    }
+
+    fn is_link_live(&self, idx: usize) -> bool {
+        self.link_live.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Adds fan-out links toward standbys of rank 1.. (link 0 keeps rank
+    /// 0). Call before execution starts.
+    pub fn enable_fanout(&mut self, links: Vec<LogChannel>) {
+        for link in links {
+            self.fanout.push(link);
+            self.link_live.push(true);
+            self.link_tainted.push(false);
+        }
+    }
+
+    /// Selects the output-commit acknowledgment policy (default
+    /// [`AckPolicy::All`], the single-backup behavior).
+    pub fn set_ack_policy(&mut self, policy: AckPolicy) {
+        self.ack_policy = policy;
+    }
+
+    /// Enables BFT-lite digest voting: every record-bearing frame is
+    /// followed by a digest vote on each link, and outputs release only
+    /// once `q` matching digests (the primary's claim included) exist.
+    pub fn set_vote_quorum(&mut self, quorum: Option<u32>) {
+        self.vote_quorum = quorum;
+    }
+
+    /// Arms sender-side byzantine corruption: the plan's byzantine knobs
+    /// flip record payload bits after digests are computed but before the
+    /// frames are CRC-sealed.
+    pub fn set_byzantine(&mut self, plan: NetFaultPlan) {
+        self.byz_plan = plan.is_byzantine().then_some(plan);
+    }
+
+    /// The digest-vote quorum, if voting is enabled.
+    pub fn vote_quorum(&self) -> Option<u32> {
+        self.vote_quorum
+    }
+
+    /// Marks a link's standby dead: sends and ack waits skip it.
+    pub fn mark_link_dead(&mut self, idx: usize) {
+        if let Some(l) = self.link_live.get_mut(idx) {
+            *l = false;
+        }
+    }
+
+    /// True if this replica's own send path ever flipped a frame on `idx`.
+    pub fn link_is_tainted(&self, idx: usize) -> bool {
+        self.link_tainted.get(idx).copied().unwrap_or(false)
+    }
+
+    /// One fan-out link by index (0 = the pair channel).
+    pub fn link_mut(&mut self, idx: usize) -> &mut LogChannel {
+        if idx == 0 {
+            &mut self.channel
+        } else {
+            &mut self.fanout[idx - 1]
+        }
+    }
+
+    /// Replaces link `idx`'s transport (state-transfer re-integration of
+    /// that standby), reviving the link and clearing its taint — the
+    /// replacement's state comes from the honest retained snapshot, not
+    /// the flipped stream. Returns the old transport.
+    pub fn swap_link(&mut self, idx: usize, new: LogChannel) -> LogChannel {
+        if let Some(l) = self.link_live.get_mut(idx) {
+            *l = true;
+        }
+        if let Some(t) = self.link_tainted.get_mut(idx) {
+            *t = false;
+        }
+        std::mem::replace(self.link_mut(idx), new)
+    }
+
+    /// Sends one frame on every live link (heartbeats, epoch marks —
+    /// anything that carries no digest vote).
+    fn broadcast(&mut self, frame: Bytes, acct: &mut TimeAccount) {
+        let now = acct.now();
+        for idx in 0..self.link_count() {
+            if !self.is_link_live(idx) {
+                continue;
+            }
+            let cost = self.link_mut(idx).send(now, frame.clone());
+            acct.charge(Category::Communication, cost);
+        }
+    }
+
+    /// Sends one record-bearing frame on every live link, applying any
+    /// armed byzantine flip per link (equivocation: the copies may differ).
+    /// When voting is enabled the frame's honest digest joins the current
+    /// flush's claim set — the vote covering the whole flush follows in
+    /// [`Self::flush`]. The claims cover the *honest* payloads — flips
+    /// happen after digest computation, so only voting can expose them.
+    fn send_record_frame(&mut self, frame: Bytes, acct: &mut TimeAccount) {
+        let fi = self.record_frame_index;
+        self.record_frame_index += 1;
+        if self.vote_quorum.is_some() {
+            self.flush_claims.push(frame_digest(&frame));
+        }
+        let now = acct.now();
+        for idx in 0..self.link_count() {
+            if !self.is_link_live(idx) {
+                continue;
+            }
+            let flip =
+                self.byz_plan.as_ref().and_then(|p| p.byzantine_flip(fi, idx as u32, frame.len()));
+            let payload = match flip {
+                Some((pos, mask)) => {
+                    let mut raw = frame.to_vec();
+                    raw[pos] ^= mask;
+                    self.link_tainted[idx] = true;
+                    self.stats.byzantine_flips += 1;
+                    Bytes::from(raw)
+                }
+                None => frame.clone(),
+            };
+            let cost = self.link_mut(idx).send(now, payload);
+            acct.charge(Category::Communication, cost);
+        }
+    }
+
+    /// Ends the current flush's vote group: one digest vote per live link
+    /// covering every record frame of the flush, in order. Voting per
+    /// flush (not per frame) keeps the atomic sets the protocol relies on
+    /// — a native's result and its side-effect snapshot, an output commit
+    /// and its payload — inside one verification unit, so a mismatch can
+    /// never release half of one.
+    fn send_flush_vote(&mut self, acct: &mut TimeAccount) {
+        if self.flush_claims.is_empty() {
+            return;
+        }
+        let claim = flush_digest(&self.flush_claims);
+        self.flush_claims.clear();
+        // The vote references the last record frame of the group.
+        let fi = self.record_frame_index - 1;
+        let now = acct.now();
+        for idx in 0..self.link_count() {
+            if !self.is_link_live(idx) {
+                continue;
+            }
+            let cost = self.link_mut(idx).send(now, build_vote_frame(fi, claim));
+            acct.charge(Category::Communication, cost);
+            self.stats.votes_sent += 1;
+        }
+    }
+
+    /// The instant the acknowledgment policy is satisfied: the m-th
+    /// smallest ack arrival over the live links, pushed out to the
+    /// (q-1)-th arrival over vote-matching links when voting gates the
+    /// release. Returns `now` if no link is live (the caller is degraded
+    /// or about to be).
+    fn policy_ack_arrival(&mut self, now: SimTime) -> SimTime {
+        let mut live = Vec::new();
+        let mut matching = Vec::new();
+        for idx in 0..self.link_count() {
+            if !self.is_link_live(idx) {
+                continue;
+            }
+            let tainted = self.link_is_tainted(idx);
+            let at = self.link_mut(idx).ack_arrival(now);
+            live.push(at);
+            if !tainted {
+                matching.push(at);
+            }
+        }
+        if live.is_empty() {
+            return now;
+        }
+        live.sort_unstable();
+        let m = self.ack_policy.required(live.len());
+        let mut at = live[m - 1];
+        if let Some(q) = self.vote_quorum {
+            // The primary's own claim is the first matching digest; the
+            // remaining q-1 must arrive from untainted standbys. The
+            // demotion check in `begin_output` guarantees enough exist.
+            let need = (q as usize).saturating_sub(1).min(matching.len());
+            if need > 0 {
+                matching.sort_unstable();
+                at = at.max(matching[need - 1]);
+            }
+        }
+        at
     }
 
     fn vt(t: &ThreadObs<'_>) -> VtPath {
@@ -618,8 +893,7 @@ impl PrimaryCore {
                     if retain {
                         self.retain_frame(frame.clone());
                     }
-                    let cost = self.channel.send(acct.now(), frame);
-                    acct.charge(Category::Communication, cost);
+                    self.send_record_frame(frame, acct);
                 }
             }
             WireCodec::Compact => {
@@ -631,9 +905,11 @@ impl PrimaryCore {
                 if retain {
                     self.retain_frame(frame.clone());
                 }
-                let cost = self.channel.send(acct.now(), frame);
-                acct.charge(Category::Communication, cost);
+                self.send_record_frame(frame, acct);
             }
+        }
+        if self.vote_quorum.is_some() {
+            self.send_flush_vote(acct);
         }
         self.buffered_bytes = 0;
         self.flushes += 1;
@@ -650,6 +926,13 @@ impl PrimaryCore {
     /// with [`ftjvm_netsim::FailureDetector`]).
     pub fn set_heartbeat_interval(&mut self, interval: SimTime) {
         self.heartbeat_interval = interval;
+    }
+
+    /// Seeds the output-id allocator: a backup promoting to primary
+    /// continues the dead reign's exactly-once numbering instead of
+    /// restarting at zero.
+    pub fn seed_output_ids(&mut self, next: u64) {
+        self.next_output_id = next;
     }
 
     /// Progress tick for `n` executed units: drives the instruction-count
@@ -672,16 +955,21 @@ impl PrimaryCore {
             let rec = Record::Heartbeat { now_ns: acct.now().as_nanos() };
             let frame = rec.encode();
             self.stats.count_record(&rec, frame.len() as u64);
-            let cost = self.channel.send(acct.now(), frame);
-            acct.charge(Category::Communication, cost);
+            self.broadcast(frame, acct);
         }
         if !self.crashed {
             // Reliable-transport maintenance: fire due retransmission
             // timers and process returned acks; a crashed primary stops
             // retransmitting, so unacked frames become lost suffix.
-            let cost = self.channel.maintain(acct.now());
-            if cost > SimTime::ZERO {
-                acct.charge(Category::Communication, cost);
+            for idx in 0..self.link_count() {
+                if !self.is_link_live(idx) {
+                    continue;
+                }
+                let now = acct.now();
+                let cost = self.link_mut(idx).maintain(now);
+                if cost > SimTime::ZERO {
+                    acct.charge(Category::Communication, cost);
+                }
             }
         }
     }
@@ -692,7 +980,14 @@ impl PrimaryCore {
     pub(crate) fn finish(&mut self, acct: &mut TimeAccount) {
         self.flush(acct);
         if !self.crashed {
-            let settled = self.channel.settle(acct.now());
+            let mut settled = acct.now();
+            for idx in 0..self.link_count() {
+                if !self.is_link_live(idx) {
+                    continue;
+                }
+                let now = acct.now();
+                settled = settled.max(self.link_mut(idx).settle(now));
+            }
             acct.wait_until(Category::Pessimistic, settled);
         }
     }
@@ -820,6 +1115,27 @@ impl PrimaryCore {
         self.log(rec, Category::Misc, self.cost.nd_result_record, acct);
         self.stats.output_commits += 1;
         self.flush(acct);
+        if let Some(q) = self.vote_quorum {
+            // BFT-lite gate: the output may only release once q digests
+            // match the claim. The primary's own claim counts as one; a
+            // link this replica ever flipped can never vote with it. When
+            // enough links are live that q is reachable yet tainted copies
+            // make it unattainable, the primary *is* the outlier — demote
+            // instead of releasing a corrupted output (the group driver
+            // promotes the lowest-rank survivor). An under-formed group
+            // (fewer than q-1 live links, e.g. mid re-homing after a
+            // failover) releases uncovered outputs like degraded mode does:
+            // the quorum guarantee applies to formed groups.
+            let live = (0..self.link_count()).filter(|&i| self.is_link_live(i)).count() as u32;
+            let matching = (0..self.link_count())
+                .filter(|&i| self.is_link_live(i) && !self.link_is_tainted(i))
+                .count() as u32;
+            if matching + 1 < q && live + 1 >= q {
+                self.stats.byzantine_demotions += 1;
+                self.crashed = true;
+                return id;
+            }
+        }
         if self.degraded {
             // The backup is dead: there is nothing to wait for. The commit
             // record still went out (and sits in the retained suffix for
@@ -828,7 +1144,7 @@ impl PrimaryCore {
             self.stats.degraded_outputs += 1;
             self.stats.commit_samples.push((acct.now().as_nanos(), 0));
         } else {
-            let ack_at = self.channel.ack_arrival(acct.now());
+            let ack_at = self.policy_ack_arrival(acct.now());
             let wait = ack_at.saturating_sub(acct.now());
             acct.wait_until(Category::Pessimistic, ack_at);
             self.stats.commit_samples.push((acct.now().as_nanos(), wait.as_nanos()));
@@ -903,8 +1219,7 @@ impl PrimaryCore {
         let covered = self.retained.len() as u64;
         self.epoch += 1;
         let frame = build_epoch_frame(self.epoch, covered);
-        let cost = self.channel.send(acct.now(), frame);
-        acct.charge(Category::Communication, cost);
+        self.broadcast(frame, acct);
         // Serializing the snapshot is primary CPU work, charged per byte
         // at the wire's marginal rate (it is a memory copy plus CRC, the
         // same order of work as packetizing).
@@ -917,6 +1232,7 @@ impl PrimaryCore {
         self.retained_bytes = 0;
         self.flushes_at_cut = self.flushes;
         self.stats.epochs_cut += 1;
+        self.stats.epoch_cut_flushes.push(self.flushes);
         self.stats.snapshot_bytes = blob.len() as u64;
         self.latest_snapshot = Some((self.epoch, blob));
         self.epoch
@@ -960,13 +1276,21 @@ impl PrimaryCore {
     /// fresh channel toward the replacement backup) and returns the old
     /// one.
     pub fn swap_channel(&mut self, new: LogChannel) -> LogChannel {
-        std::mem::replace(&mut self.channel, new)
+        self.swap_link(0, new)
     }
 
     /// Sends one pre-built frame (snapshot chunk or retained suffix frame
     /// during state transfer), charging the communication cost.
     pub fn send_raw(&mut self, payload: Bytes, acct: &mut TimeAccount) {
-        let cost = self.channel.send(acct.now(), payload);
+        self.send_raw_on(0, payload, acct);
+    }
+
+    /// [`send_raw`](PrimaryCore::send_raw) targeted at one fan-out link
+    /// (state transfer re-integrates a single standby; the other links
+    /// must not see its snapshot chunks).
+    pub fn send_raw_on(&mut self, idx: usize, payload: Bytes, acct: &mut TimeAccount) {
+        let now = acct.now();
+        let cost = self.link_mut(idx).send(now, payload);
         acct.charge(Category::Communication, cost);
     }
 
@@ -1052,6 +1376,13 @@ impl LockSyncPrimary {
     /// Creates the coordinator.
     pub fn new(common: PrimaryCore) -> Self {
         LockSyncPrimary { common, next_l_id: 0 }
+    }
+
+    /// Creates the coordinator for a backup promoting to primary: the
+    /// virtual-lock-id allocator starts past every id the replayed
+    /// history already assigned, so fresh assignments never collide.
+    pub fn resumed(common: PrimaryCore, next_l_id: u64) -> Self {
+        LockSyncPrimary { common, next_l_id }
     }
 }
 
@@ -1280,6 +1611,13 @@ impl TsPrimary {
     /// Creates the coordinator.
     pub fn new(common: PrimaryCore) -> Self {
         TsPrimary { common, pending_from: None, last_br: HashMap::new() }
+    }
+
+    /// Creates the coordinator for a backup promoting to primary, seeding
+    /// the per-thread branch counters from the replayed VM so progress
+    /// accounting continues rather than restarting.
+    pub fn resumed(common: PrimaryCore, last_br: HashMap<u32, u64>) -> Self {
+        TsPrimary { common, pending_from: None, last_br }
     }
 
     /// True when no schedule record is half-captured — the only moment an

@@ -42,6 +42,7 @@ use ftjvm_netsim::{
     Category, ChannelStats, FaultPlan, HeartbeatMonitor, LossyChannel, SharedLink, SimChannel,
     SimTime, WireReader,
 };
+use ftjvm_vm::ThreadIdx;
 use ftjvm_vm::{
     Coordinator, NativeRegistry, Program, RunReport, SharedWorld, SimEnv, SliceOutcome, Vm,
     VmConfig, VmError, VtPath,
@@ -334,6 +335,17 @@ impl Replica {
     /// Returns an error when there is no snapshot to ship or the replica
     /// is not a primary.
     pub(crate) fn ship_latest_snapshot(&mut self) -> Result<u64, VmError> {
+        self.ship_latest_snapshot_on(0)
+    }
+
+    /// [`ship_latest_snapshot`](Replica::ship_latest_snapshot) targeted at
+    /// one fan-out link (group re-integration recruits a single standby;
+    /// its peers must not see the chunks).
+    ///
+    /// # Errors
+    /// Returns an error when there is no snapshot to ship or the replica
+    /// is not a primary.
+    pub(crate) fn ship_latest_snapshot_on(&mut self, idx: usize) -> Result<u64, VmError> {
         /// Chunk payload size: small enough that loss retransmits stay
         /// cheap, large enough that a snapshot is a handful of frames.
         const CHUNK: usize = 4096;
@@ -348,7 +360,7 @@ impl Replica {
         let total = blob.len().div_ceil(CHUNK) as u64;
         let acct = &mut vm.core_mut().acct;
         for (i, piece) in blob.chunks(CHUNK).enumerate() {
-            core.send_raw(build_snapshot_chunk(epoch, i as u64, total, piece), acct);
+            core.send_raw_on(idx, build_snapshot_chunk(epoch, i as u64, total, piece), acct);
         }
         core.stats.snapshot_chunks_sent += total;
         Ok(total)
@@ -360,15 +372,26 @@ impl Replica {
     /// — leaving the channel untouched — when the VM is not at a cuttable
     /// boundary yet (the driver retries next slice).
     pub(crate) fn begin_state_transfer(&mut self, fresh: LogChannel) -> Result<bool, VmError> {
+        self.begin_state_transfer_on(0, fresh)
+    }
+
+    /// [`begin_state_transfer`](Replica::begin_state_transfer) targeted at
+    /// one fan-out link: re-recruits the standby at rank slot `idx` while
+    /// the other links keep streaming undisturbed.
+    pub(crate) fn begin_state_transfer_on(
+        &mut self,
+        idx: usize,
+        fresh: LogChannel,
+    ) -> Result<bool, VmError> {
         if !self.cut_epoch(true)? {
             return Ok(false);
         }
         if let Some(core) = self.coord.primary_core_mut() {
-            // The old channel pointed at the dead backup; frames still in
-            // flight on it are lost with that host.
-            drop(core.swap_channel(fresh));
+            // The old link pointed at the dead (or stale) standby; frames
+            // still in flight on it are lost with that host.
+            drop(core.swap_link(idx, fresh));
         }
-        self.ship_latest_snapshot()?;
+        self.ship_latest_snapshot_on(idx)?;
         Ok(true)
     }
 
@@ -413,6 +436,134 @@ impl Replica {
             ReplicaCoord::TsBackup(c) => c.recovery_completed_at(),
             _ => None,
         }
+    }
+
+    /// True once a backup's replay fully consumed its log (trivially true
+    /// for primaries).
+    pub(crate) fn recovery_complete(&self) -> bool {
+        match &self.coord {
+            ReplicaCoord::LockBackup(c) => c.recovery_complete(),
+            ReplicaCoord::IntervalBackup(c) => c.recovery_complete(),
+            ReplicaCoord::TsBackup(c) => c.recovery_complete(),
+            _ => true,
+        }
+    }
+
+    /// Replay records still unconsumed on a backup — a promotion must run
+    /// the VM until this reaches zero (0 for primaries).
+    pub(crate) fn replay_pending(&self) -> u64 {
+        match &self.coord {
+            ReplicaCoord::LockBackup(c) => c.replay_pending(),
+            ReplicaCoord::IntervalBackup(c) => c.replay_pending(),
+            ReplicaCoord::TsBackup(c) => c.replay_pending(),
+            _ => 0,
+        }
+    }
+
+    /// The primary core, for group drivers configuring fan-out, ack
+    /// policy, voting, and link liveness (None for backups).
+    pub(crate) fn primary_core(&mut self) -> Option<&mut PrimaryCore> {
+        self.coord.primary_core_mut()
+    }
+
+    /// Verified in-order frames delivered on fan-out link `idx` by `now`.
+    ///
+    /// # Errors
+    /// Returns a typed error when called on a replica without a channel.
+    pub(crate) fn recv_ready_link(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+    ) -> Result<Vec<(SimTime, Bytes)>, VmError> {
+        match self.coord.primary_core_mut() {
+            Some(core) => Ok(core.link_mut(idx).recv_ready(now)),
+            None => Err(VmError::Internal(
+                "co-simulated primary replica has no replication channel".into(),
+            )),
+        }
+    }
+
+    /// Consumes a primary replica, returning every fan-out link in rank
+    /// order plus the final replication statistics.
+    ///
+    /// # Errors
+    /// Returns a typed error when called on a backup replica.
+    pub(crate) fn into_group_parts(self) -> Result<(Vec<LogChannel>, ReplicationStats), VmError> {
+        match self.coord {
+            ReplicaCoord::LockPrimary(c) => Ok(c.common.into_group_parts()),
+            ReplicaCoord::IntervalPrimary(c) => Ok(c.common.into_group_parts()),
+            ReplicaCoord::TsPrimary(c) => Ok(c.common.into_group_parts()),
+            _ => Err(VmError::Internal("into_group_parts on a backup replica".into())),
+        }
+    }
+
+    /// Promotes a *finished* streaming backup to primary **in place**: the
+    /// replayed VM keeps running, only the coordinator changes sides. The
+    /// new reign starts with `extra_links + 1` fan-out links (all fresh
+    /// transports, all marked dead — survivors re-home via per-link state
+    /// transfer), the output-id allocator continues the dead reign's
+    /// exactly-once numbering, the side-effect registry moves over from
+    /// the replay, and the lock-id / branch-counter allocators seed from
+    /// the replayed VM so fresh assignments never collide with history.
+    ///
+    /// # Errors
+    /// Typed [`crate::backup::ReplayError::PromotionIncomplete`] when
+    /// replay records are still unconsumed, and a driver-bug error when
+    /// called on a primary.
+    pub(crate) fn promote(
+        self,
+        rt: &ReplicaRuntime,
+        fault: FaultPlan,
+        extra_links: usize,
+    ) -> Result<Replica, VmError> {
+        enum Kind {
+            Lock,
+            Interval,
+            Ts,
+        }
+        let Replica { vm, coord, .. } = self;
+        let (se, next_output, kind) = match coord {
+            ReplicaCoord::LockBackup(c) => {
+                let (se, next) = c.into_promotion_parts().map_err(|e| e.at(ThreadIdx(0)))?;
+                (se, next, Kind::Lock)
+            }
+            ReplicaCoord::IntervalBackup(c) => {
+                let (se, next) = c.into_promotion_parts().map_err(|e| e.at(ThreadIdx(0)))?;
+                (se, next, Kind::Interval)
+            }
+            ReplicaCoord::TsBackup(c) => {
+                let (se, next) = c.into_promotion_parts().map_err(|e| e.at(ThreadIdx(0)))?;
+                (se, next, Kind::Ts)
+            }
+            _ => return Err(VmError::Internal("promote on a primary replica".into())),
+        };
+        let mut core =
+            PrimaryCore::with_transport(rt.make_channel(), rt.cfg.vm.cost.clone(), fault, se);
+        core.flush_threshold = rt.cfg.flush_threshold;
+        core.set_codec(rt.cfg.codec);
+        core.set_heartbeat_interval(rt.cfg.detector.interval());
+        core.set_checkpoint_interval(rt.cfg.checkpoint_interval);
+        core.seed_output_ids(next_output);
+        core.enable_fanout((0..extra_links).map(|_| rt.make_channel()).collect());
+        // No standby is live until the driver re-recruits it: mark every
+        // link dead and start degraded (uncovered outputs are counted).
+        for idx in 0..core.link_count() {
+            core.mark_link_dead(idx);
+        }
+        core.enter_degraded();
+        let coord = match kind {
+            Kind::Lock => {
+                let next_l_id = vm.core().monitors.max_lock_id().map_or(0, |m| m + 1);
+                ReplicaCoord::LockPrimary(LockSyncPrimary::resumed(core, next_l_id))
+            }
+            Kind::Interval => ReplicaCoord::IntervalPrimary(IntervalPrimary::new(core)),
+            Kind::Ts => {
+                let last_br: HashMap<u32, u64> =
+                    vm.core().threads.iter().map(|t| (t.idx.0, t.br_cnt)).collect();
+                ReplicaCoord::TsPrimary(TsPrimary::resumed(core, last_br))
+            }
+        };
+        Ok(Replica { role: Role::Primary, vm, coord })
     }
 }
 
@@ -472,6 +623,26 @@ impl ReplicaRuntime {
         SimEnv::new("backup", world.clone(), self.cfg.backup_skew, self.cfg.backup_env_seed)
     }
 
+    /// Environment for the standby at `rank` in a replica group. Rank 0
+    /// keeps the pair's exact environment (name, skew, seed) so a group of
+    /// size 2 is byte-identical to the pair; higher ranks get their own
+    /// name and ND seed.
+    fn ranked_backup_env(&self, world: &SharedWorld, rank: u32) -> SimEnv {
+        if rank == 0 {
+            return self.backup_env(world);
+        }
+        SimEnv::new(
+            &format!("backup-r{rank}"),
+            world.clone(),
+            self.cfg.backup_skew,
+            self.cfg.backup_env_seed + rank as u64,
+        )
+    }
+
+    fn ranked_backup_seed(&self, rank: u32) -> u64 {
+        self.cfg.backup_seed + rank as u64
+    }
+
     /// Builds a log transport per the configured net-fault plan: an armed
     /// plan swaps the paper's perfect FIFO channel for the lossy link plus
     /// the reliability sublayer; unarmed runs keep the perfect channel
@@ -529,12 +700,26 @@ impl ReplicaRuntime {
     /// # Errors
     /// Propagates program-loading errors.
     pub fn build_hot_backup(&self, world: &SharedWorld) -> Result<Replica, VmError> {
+        self.build_hot_backup_ranked(world, 0)
+    }
+
+    /// [`build_hot_backup`](ReplicaRuntime::build_hot_backup) for the
+    /// standby at `rank` of a replica group (rank 0 is the pair's backup,
+    /// bit-for-bit).
+    ///
+    /// # Errors
+    /// Propagates program-loading errors.
+    pub fn build_hot_backup_ranked(
+        &self,
+        world: &SharedWorld,
+        rank: u32,
+    ) -> Result<Replica, VmError> {
         let se = (self.cfg.se_factory)();
         let vm = Vm::new(
             self.program.clone(),
             self.natives.clone(),
-            self.backup_env(world),
-            self.vm_config(self.cfg.backup_seed),
+            self.ranked_backup_env(world, rank),
+            self.vm_config(self.ranked_backup_seed(rank)),
         )?;
         let cost = self.cfg.vm.cost.clone();
         let coord = match (self.cfg.mode, self.cfg.lock_variant) {
@@ -604,11 +789,26 @@ impl ReplicaRuntime {
         world: &SharedWorld,
         blob: &[u8],
     ) -> Result<Replica, VmError> {
+        self.build_resumed_backup_ranked(world, blob, 0)
+    }
+
+    /// [`build_resumed_backup`](ReplicaRuntime::build_resumed_backup) for
+    /// the standby at `rank` of a replica group.
+    ///
+    /// # Errors
+    /// Returns an error for a corrupt blob or malformed extension
+    /// sections.
+    pub fn build_resumed_backup_ranked(
+        &self,
+        world: &SharedWorld,
+        blob: &[u8],
+        rank: u32,
+    ) -> Result<Replica, VmError> {
         let (vm, ext) = Vm::restore(
             self.program.clone(),
             self.natives.clone(),
             world.clone(),
-            &self.vm_config(self.cfg.backup_seed),
+            &self.vm_config(self.ranked_backup_seed(rank)),
             blob,
         )
         .map_err(|e| VmError::Internal(format!("restore epoch snapshot: {e}")))?;

@@ -52,6 +52,9 @@ pub struct ReplicationStats {
     pub heartbeats: u64,
     /// Epoch checkpoints cut (snapshot taken, log prefix truncated).
     pub epochs_cut: u64,
+    /// Flush count at each epoch cut, in cut order — the exact epoch
+    /// boundaries, so crashpoint sweeps can target them precisely.
+    pub epoch_cut_flushes: Vec<u64>,
     /// Epochs the backup acknowledged as absorbed (driver-relayed).
     pub epochs_acked: u64,
     /// Peak send-side channel depth sampled at flush time (unacked frames
@@ -73,6 +76,14 @@ pub struct ReplicationStats {
     /// Backup-side: peak count of received-but-unconsumed records (the
     /// standby's live log memory).
     pub peak_backup_pending: u64,
+    /// Digest vote frames sent (BFT-lite voting mode, per link).
+    pub votes_sent: u64,
+    /// Record-frame copies this replica's own send path byzantine-flipped
+    /// (fault injection; zero on an honest replica).
+    pub byzantine_flips: u64,
+    /// Output commits refused because the digest-vote quorum was out of
+    /// reach — the primary demoted itself instead of releasing the output.
+    pub byzantine_demotions: u64,
     /// Per-output-commit samples, in commit order: `(release instant ns,
     /// pessimistic ack wait ns)`. The release instant is when the output
     /// became performable (after the ack wait, or immediately when

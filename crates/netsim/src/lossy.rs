@@ -48,6 +48,19 @@ pub struct NetFaultPlan {
     /// Half-open attempt-index windows `[start, end)` during which the
     /// link is partitioned: every attempt inside a window is dropped.
     pub partitions: Vec<(u64, u64)>,
+    /// Probability that a replica's record-bearing frame is *byzantine* —
+    /// one payload byte flipped by the sender itself, after digests are
+    /// computed but before the frame is CRC-sealed, so the link-level
+    /// checksum validates and only quorum voting can catch it. Applied by
+    /// the replica's send path (not the wire), per record frame.
+    pub byzantine: f64,
+    /// Record-frame indices (0-based, per replica) that are always sent
+    /// byzantine.
+    pub byzantine_at: Vec<u64>,
+    /// Restricts byzantine flips to one fan-out link (equivocation: the
+    /// replicas disagree with each other). `None` flips the same frame on
+    /// every link (the sender itself is corrupted).
+    pub byzantine_link: Option<u32>,
 }
 
 /// What the plan decided for one send attempt.
@@ -96,6 +109,42 @@ impl NetFaultPlan {
             || !self.duplicate_at.is_empty()
             || !self.corrupt_at.is_empty()
             || !self.partitions.is_empty()
+            || self.is_byzantine()
+    }
+
+    /// Whether this plan ever flips sender-side bytes (the BFT-lite
+    /// adversary). Checked by the replica's send path, not the wire.
+    pub fn is_byzantine(&self) -> bool {
+        self.byzantine > 0.0 || !self.byzantine_at.is_empty()
+    }
+
+    /// The (deterministic) byzantine decision for the sender's
+    /// `frame_index`-th record frame on fan-out link `link`: `Some((byte
+    /// index ∝ payload len, xor mask ≠ 0))` if the sender flips a byte
+    /// before sealing, `None` if the frame goes out honest. Uses a hash
+    /// stream disjoint from [`NetFaultPlan::decide`]'s wire-fault lanes.
+    pub fn byzantine_flip(&self, frame_index: u64, link: u32, len: usize) -> Option<(usize, u8)> {
+        if len == 0 || !self.is_byzantine() {
+            return None;
+        }
+        if self.byzantine_link.is_some_and(|only| only != link) {
+            return None;
+        }
+        let roll = |lane: u64| {
+            splitmix64(
+                self.seed
+                    ^ 0xB12A_17CE_0000_0000
+                    ^ splitmix64(frame_index.wrapping_mul(8).wrapping_add(lane)),
+            )
+        };
+        if self.byzantine_at.contains(&frame_index) || unit(roll(0)) < self.byzantine {
+            let h = roll(1);
+            let idx = (h as usize) % len;
+            let mask = ((h >> 32) as u8).max(1);
+            Some((idx, mask))
+        } else {
+            None
+        }
     }
 
     fn roll(&self, attempt: u64, lane: u64) -> u64 {

@@ -175,6 +175,13 @@ impl MonitorTable {
         self.map.values().filter(|m| m.l_asn > 0 || m.owner.is_some()).count()
     }
 
+    /// The largest virtual lock id any monitor carries, if any was ever
+    /// assigned. A backup promoting to primary seeds its id allocator
+    /// past this so fresh assignments never collide with replayed ones.
+    pub fn max_lock_id(&self) -> Option<u64> {
+        self.map.values().filter_map(|m| m.l_id).max()
+    }
+
     /// Drops monitor entries for objects freed by the collector.
     pub fn retain_live(&mut self, is_live: impl Fn(ObjRef) -> bool) {
         self.map.retain(|obj, m| {

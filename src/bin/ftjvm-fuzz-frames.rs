@@ -11,7 +11,8 @@
 //! iteration is reproducible from the printed seed.
 
 use ftjvm::replication::codec::{
-    build_batch_frame, open_frame, seal_frame, RecordDecoder, RecordEncoder,
+    build_batch_frame, build_vote_frame, flush_digest, frame_digest, open_frame, parse_vote_frame,
+    seal_frame, RecordDecoder, RecordEncoder,
 };
 use ftjvm::replication::records::{LoggedResult, Record, WireValue};
 use ftjvm::vm::vtid::VtPath;
@@ -65,16 +66,25 @@ fn corpus() -> Vec<Vec<u8>> {
     let mut enc = RecordEncoder::new();
     let bodies: Vec<bytes::Bytes> = records.iter().map(|r| enc.encode_body(r)).collect();
     frames.push(build_batch_frame(&bodies).to_vec());
+    // Digest-vote frames: one per corpus record (claiming its honest
+    // digest) plus a whole-flush vote over the combined claim set.
+    let claims: Vec<u32> = frames.iter().map(|f| frame_digest(f)).collect();
+    let mut votes: Vec<Vec<u8>> =
+        claims.iter().enumerate().map(|(i, &d)| build_vote_frame(i as u64, d).to_vec()).collect();
+    votes.push(build_vote_frame(u64::MAX, flush_digest(&claims)).to_vec());
+    frames.extend(votes);
     let sealed: Vec<Vec<u8>> =
         frames.iter().enumerate().map(|(i, f)| seal_frame(i as u64, f).to_vec()).collect();
     frames.extend(sealed);
     frames
 }
 
-/// One mutation: bit flips, truncation, extension, splice, or pure noise.
+/// One mutation: bit flips, truncation, extension, splice, pure noise,
+/// or a forged vote (a valid vote header over mutated index/digest
+/// payload bytes — the shape a byzantine sender would emit).
 fn mutate(rng: &mut Rng, base: &[u8]) -> Vec<u8> {
     let mut v = base.to_vec();
-    match rng.next() % 5 {
+    match rng.next() % 6 {
         0 => {
             for _ in 0..=rng.below(4) {
                 if v.is_empty() {
@@ -96,11 +106,29 @@ fn mutate(rng: &mut Rng, base: &[u8]) -> Vec<u8> {
             let n = rng.below(24) + 1;
             v = (0..n).map(|_| rng.next() as u8).collect();
         }
-        _ => {
+        4 => {
             let cut = rng.below(v.len() + 1);
             v.truncate(cut);
             for _ in 0..rng.below(12) {
                 v.push(rng.next() as u8);
+            }
+        }
+        _ => {
+            // Forged vote: keep (or plant) the vote tag, then garble the
+            // varint frame index and digest bytes after it.
+            let tag = build_vote_frame(0, 0)[0];
+            if v.is_empty() {
+                v.push(tag);
+            } else {
+                v[0] = tag;
+            }
+            for _ in 0..=rng.below(6) {
+                if v.len() > 1 {
+                    let i = 1 + rng.below(v.len() - 1);
+                    v[i] ^= (rng.next() as u8).max(1);
+                } else {
+                    v.push(rng.next() as u8);
+                }
             }
         }
     }
@@ -114,6 +142,7 @@ fn main() {
     let corpus = corpus();
     let mut rng = Rng(seed);
     let (mut sealed_ok, mut sealed_err, mut rec_ok, mut rec_err) = (0u64, 0u64, 0u64, 0u64);
+    let (mut vote_ok, mut vote_err) = (0u64, 0u64);
     for _ in 0..iterations {
         let base = &corpus[rng.below(corpus.len())];
         let mutant = bytes::Bytes::from(mutate(&mut rng, base));
@@ -123,6 +152,15 @@ fn main() {
             Err(e) => {
                 let _ = e.to_string();
                 sealed_err += 1;
+            }
+        }
+        // The digest-vote parser the quorum gate trusts with byzantine
+        // inputs: must classify, never panic.
+        match parse_vote_frame(&mutant) {
+            Ok(_) => vote_ok += 1,
+            Err(e) => {
+                let _ = e.to_string();
+                vote_err += 1;
             }
         }
         // The record decoders behind it (fixed single-record and batch).
@@ -137,6 +175,7 @@ fn main() {
     }
     println!(
         "fuzzed {iterations} mutants (seed {seed:#x}): open_frame {sealed_ok} ok / {sealed_err} rejected; \
+         vote parse {vote_ok} ok / {vote_err} rejected; \
          record decode {rec_ok} ok / {rec_err} rejected; no panics"
     );
 }

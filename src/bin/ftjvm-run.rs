@@ -12,7 +12,7 @@
 use ftjvm::netsim::{Category, FaultPlan, SimTime};
 use ftjvm::replication::{run_fleet, FleetConfig, RouterMode};
 use ftjvm::workloads::Workload;
-use ftjvm::{FtConfig, FtJvm, LagBudget, NetFaultPlan, ReplicationMode};
+use ftjvm::{FtConfig, FtJvm, GroupConfig, LagBudget, NetFaultPlan, ReplicationMode};
 
 fn usage() -> ! {
     eprintln!(
@@ -41,6 +41,12 @@ fn usage() -> ! {
            --reintegrate         after the backup dies, recruit a replacement\n\
                                  standby from the latest snapshot plus the live\n\
                                  suffix (requires --checkpoint-interval)\n\
+           --group-size <k>      replicate across a k-replica group with\n\
+                                 rank-ordered promotion instead of a single\n\
+                                 backup (requires --checkpoint-interval; crash\n\
+                                 flags become the group's first primary kill)\n\
+           --vote-quorum <q>     BFT-lite: release outputs only once q digest\n\
+                                 votes match (requires --group-size)\n\
            --seed <n>            primary scheduler seed (default 11)\n\
            --net-fault <spec>    arm the lossy link; spec is comma-separated\n\
                                  k=v pairs: drop/dup/corrupt/reorder (probabilities),\n\
@@ -67,7 +73,9 @@ fn usage() -> ! {
            --closed-loop <us>    closed-loop clients with this think time\n\
                                  (default: open loop, 50us interarrival)\n\
            --interarrival <us>   open-loop request interarrival per pair\n\
-           --stagger <us>        start-time stagger between pair ids (default 200)"
+           --stagger <us>        start-time stagger between pair ids (default 200)\n\
+           --group-size <k>      run every fleet slot as a k-replica group\n\
+           --vote-quorum <q>     digest vote quorum for fleet group slots"
     );
     std::process::exit(2)
 }
@@ -98,6 +106,8 @@ fn fleet_main(args: &[String]) -> ! {
                     RouterMode::Open { interarrival: SimTime::from_micros(num(args, &mut i)) };
             }
             "--stagger" => cfg.stagger = SimTime::from_micros(num(args, &mut i)),
+            "--group-size" => cfg.group_size = Some(num(args, &mut i) as usize),
+            "--vote-quorum" => cfg.vote_quorum = Some(num(args, &mut i) as u32),
             _ => usage(),
         }
         i += 1;
@@ -147,6 +157,8 @@ fn fleet_main(args: &[String]) -> ! {
     }
     let ok = report.all_verified();
     if !ok {
+        // Any divergent pair is a tool failure: print its failure
+        // timeline so the run is diagnosable, and exit nonzero.
         for o in
             report.outcomes.iter().filter(|o| o.error.is_some() || (o.survived && !o.output_ok))
         {
@@ -156,6 +168,15 @@ fn fleet_main(args: &[String]) -> ! {
                 o.rack,
                 o.error.as_deref().map(|e| format!(" ({e})")).unwrap_or_default()
             );
+            if o.timeline.is_empty() {
+                eprintln!(
+                    "    crashed={} degraded={} reintegrated={} served={}/{}",
+                    o.crashed, o.degraded, o.reintegrated, o.served, o.requests
+                );
+            }
+            for moment in &o.timeline {
+                eprintln!("    {moment}");
+            }
         }
     }
     std::process::exit(if ok { 0 } else { 1 })
@@ -163,6 +184,84 @@ fn fleet_main(args: &[String]) -> ! {
 
 fn workload_by_name(name: &str) -> Option<Workload> {
     ftjvm::workloads::spec_suite().into_iter().find(|w| w.name == name)
+}
+
+/// Runs the workload on a k-replica group, prints the group report
+/// (reigns, failovers, timeline), and exits — nonzero on an incomplete
+/// group or an exactly-once violation.
+fn group_main(
+    w: &Workload,
+    cfg: FtConfig,
+    size: usize,
+    vote_quorum: Option<u32>,
+    kill_standby: Option<u64>,
+    reintegrate: bool,
+) -> ! {
+    let mut cfg = cfg;
+    // The group schedules kills itself: the single-pair crash flag
+    // becomes the chain's first kill.
+    let kills = if cfg.fault.is_armed() { vec![cfg.fault] } else { Vec::new() };
+    cfg.fault = FaultPlan::None;
+    let gcfg = GroupConfig {
+        size,
+        vote_quorum,
+        kills,
+        kill_standby_after_units: kill_standby.map(|units| (1, units)),
+        // Groups re-recruit by default; `--reintegrate` is implied.
+        reintegrate: reintegrate || GroupConfig::default().reintegrate,
+        ..GroupConfig::default()
+    };
+    let report = FtJvm::new(w.program.clone(), cfg.clone())
+        .run_group(gcfg)
+        .unwrap_or_else(|e| fail("group run failed (divergence or corruption)", &e));
+    println!("\ngroup [{} / {} / {}]: {} replicas", cfg.mode, cfg.lock_variant, cfg.codec, size);
+    match vote_quorum {
+        Some(q) => println!("  vote quorum: {q} matching digests gate every output"),
+        None => println!("  vote quorum: off"),
+    }
+    println!(
+        "  completed {}   survivor m{}   failovers {}   evictions {}",
+        if report.completed { "yes" } else { "NO" },
+        report.survivor,
+        report.failovers.len(),
+        report.evictions
+    );
+    for (i, r) in report.reigns.iter().enumerate() {
+        println!(
+            "  reign {i}: m{} — {} commits, {} flushes, {} epochs cut, {} votes sent",
+            r.member,
+            r.stats.output_commits,
+            r.stats.flushes,
+            r.stats.epochs_cut,
+            r.stats.votes_sent
+        );
+    }
+    for f in &report.failovers {
+        println!(
+            "  failover (reign {}): m{} promoted at {} — detection {}, suffix replay {}{}",
+            f.reign,
+            f.promoted,
+            f.crash_at,
+            f.detection_latency,
+            f.suffix_replay,
+            if f.demoted_by_vote { " (vote demotion)" } else { "" }
+        );
+    }
+    println!("  timeline:");
+    for m in &report.timeline {
+        println!("    {m}");
+    }
+    println!("  console ({} lines):", report.console().len());
+    for line in report.console().iter().take(12) {
+        println!("    {line}");
+    }
+    if report.console().len() > 12 {
+        println!("    … {} more", report.console().len() - 12);
+    }
+    if let Err(id) = report.check_no_duplicate_outputs() {
+        fail("exactly-once violated", &format!("output {id} duplicated"));
+    }
+    std::process::exit(if report.completed { 0 } else { 1 })
 }
 
 /// A run that diverged, corrupted state, or violated exactly-once is a
@@ -227,6 +326,8 @@ fn main() {
     let mut dump_log: Option<usize> = None;
     let mut kill_backup: Option<u64> = None;
     let mut reintegrate = false;
+    let mut group_size: Option<usize> = None;
+    let mut vote_quorum: Option<u32> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -284,6 +385,16 @@ fn main() {
                     Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--reintegrate" => reintegrate = true,
+            "--group-size" => {
+                i += 1;
+                group_size =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--vote-quorum" => {
+                i += 1;
+                vote_quorum =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
             "--seed" => {
                 i += 1;
                 cfg.primary_seed =
@@ -340,6 +451,18 @@ fn main() {
             println!("  {r}");
         }
         return;
+    }
+
+    if vote_quorum.is_some() && group_size.is_none() {
+        eprintln!("--vote-quorum requires --group-size");
+        usage()
+    }
+    if let Some(size) = group_size {
+        if cfg.checkpoint_interval.is_none() {
+            eprintln!("--group-size requires --checkpoint-interval (state transfer grounds joins)");
+            usage()
+        }
+        group_main(&w, cfg, size, vote_quorum, kill_backup, reintegrate);
     }
 
     let backup_fault = kill_backup.is_some() || reintegrate;

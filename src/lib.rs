@@ -63,7 +63,7 @@ pub mod vm {
 /// The replication layer (re-export of `ftjvm-core`).
 pub mod replication {
     pub use ftjvm_core::*;
-    pub use ftjvm_core::{backup, fleet, ftjvm, primary, records, se, stats};
+    pub use ftjvm_core::{backup, fleet, ftjvm, group, primary, records, se, stats};
 }
 
 /// The simulation substrate (re-export of `ftjvm-netsim`).
@@ -77,8 +77,8 @@ pub mod workloads {
 }
 
 pub use ftjvm_core::{
-    CheckpointPlan, CheckpointReport, FtConfig, FtJvm, LagBudget, LockVariant, NetFaultPlan,
-    PairReport, Replica, ReplicaRuntime, ReplicationMode, Role, SeRegistry, SideEffectHandler,
-    WireCodec,
+    AckPolicy, CheckpointPlan, CheckpointReport, FtConfig, FtJvm, GroupConfig, GroupReport,
+    GroupTask, LagBudget, LockVariant, NetFaultPlan, PairReport, Replica, ReplicaRuntime,
+    ReplicationMode, Role, SeRegistry, SideEffectHandler, WireCodec,
 };
 pub use ftjvm_vm::{NativeRegistry, Program, VmConfig, VmError};

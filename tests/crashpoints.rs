@@ -8,7 +8,9 @@
 
 use ftjvm::netsim::{FailureDetector, FaultPlan, SimTime, WireCodec};
 use ftjvm::workloads::{micro, Workload};
-use ftjvm::{CheckpointPlan, FtConfig, FtJvm, LagBudget, NetFaultPlan, ReplicationMode};
+use ftjvm::{
+    CheckpointPlan, FtConfig, FtJvm, GroupConfig, LagBudget, NetFaultPlan, ReplicationMode,
+};
 
 /// A plan mixing every fault class: `drop` loss plus duplication,
 /// corruption, and reorder jitter (same shape as `tests/net_fault.rs`).
@@ -318,6 +320,77 @@ fn cold_checkpointed_bounds_store_and_recovers_from_snapshot() {
             classic.recovery_replay_time
         );
     }
+}
+
+// --- (d) group primary kill at every epoch boundary ------------------------
+
+/// Kills the acting primary of a 3-replica group right at every epoch
+/// boundary the failure-free run cuts, asserting byte-identical
+/// exactly-once output from the last survivor each time. Epoch
+/// boundaries are the worst crashpoints for a group: the snapshot that
+/// grounds the survivors' re-homing was taken *at* the kill instant.
+fn group_epoch_boundary_sweep(w: &Workload, mode: ReplicationMode, codec: WireCodec) {
+    let label = format!("{} {mode} {codec}", w.name);
+    let free = FtJvm::new(w.program.clone(), FtConfig { codec, ..base_cfg(mode) })
+        .run_replicated()
+        .unwrap_or_else(|e| panic!("{label} free: {e}"))
+        .console();
+    let gcfg = || FtConfig { codec, ..ckpt_cfg(mode, 3) };
+    // The failure-free reference run records the flush count at each
+    // epoch cut — the exact boundaries the sweep targets.
+    let probe = FtJvm::new(w.program.clone(), gcfg())
+        .run_group(GroupConfig { size: 3, ..GroupConfig::default() })
+        .unwrap_or_else(|e| panic!("{label} probe: {e}"));
+    let boundaries = probe.reigns[0].stats.epoch_cut_flushes.clone();
+    assert!(boundaries.len() >= 3, "{label}: too few epoch cuts for a sweep: {boundaries:?}");
+    for f in boundaries {
+        let kills = vec![FaultPlan::AfterFlush(f)];
+        let report = FtJvm::new(w.program.clone(), gcfg())
+            .run_group(GroupConfig { size: 3, kills, ..GroupConfig::default() })
+            .unwrap_or_else(|e| panic!("{label} AfterFlush({f}): {e}"));
+        assert!(report.completed, "{label} AfterFlush({f}): group must complete");
+        assert_eq!(report.failovers.len(), 1, "{label} AfterFlush({f}): kill must fire");
+        assert_eq!(report.console(), free, "{label} AfterFlush({f})");
+        report
+            .check_no_duplicate_outputs()
+            .unwrap_or_else(|id| panic!("{label} AfterFlush({f}): duplicate {id}"));
+    }
+}
+
+#[test]
+fn group_primary_dies_at_every_epoch_boundary_locksync_fixed() {
+    group_epoch_boundary_sweep(
+        &micro::file_journal(150),
+        ReplicationMode::LockSync,
+        WireCodec::Fixed,
+    );
+}
+
+#[test]
+fn group_primary_dies_at_every_epoch_boundary_locksync_compact() {
+    group_epoch_boundary_sweep(
+        &micro::file_journal(150),
+        ReplicationMode::LockSync,
+        WireCodec::Compact,
+    );
+}
+
+#[test]
+fn group_primary_dies_at_every_epoch_boundary_threadsched_fixed() {
+    group_epoch_boundary_sweep(
+        &micro::file_journal(150),
+        ReplicationMode::ThreadSched,
+        WireCodec::Fixed,
+    );
+}
+
+#[test]
+fn group_primary_dies_at_every_epoch_boundary_threadsched_compact() {
+    group_epoch_boundary_sweep(
+        &micro::file_journal(150),
+        ReplicationMode::ThreadSched,
+        WireCodec::Compact,
+    );
 }
 
 /// The compact delta/varint codec snapshots and restores its encoder
