@@ -11,6 +11,12 @@
 //!   instant), shared trunk, open-loop clients.
 //! * `smoke` — the same mix at 64 pairs; fast enough for every CI run.
 //!
+//! Every scenario is measured across a worker-thread sweep (1, 2, and
+//! host parallelism). The simulated results MUST be byte-identical at
+//! every thread count — the binary itself hard-fails on any mismatch,
+//! independent of `--check` — so only wall-clock may vary. A serial vs
+//! parallel promotion suffix-decode measurement rides along.
+//!
 //! Flags:
 //!
 //! * `--write` refreshes `BENCH_fleet.json` at the repo root and the
@@ -18,16 +24,26 @@
 //! * `--check` re-measures and exits nonzero if correctness counts
 //!   (completed / divergent / lost / failovers absorbed / served) differ
 //!   from the committed JSON, or commit-latency percentiles regressed
-//!   more than 25%. The whole simulation is deterministic in simulated
-//!   time, so everything but wall-clock is machine-independent; the
-//!   latency tolerance only keeps innocuous cost-model tuning from
-//!   needing a lockstep `--write` in the same commit.
+//!   more than 25%, or (on hosts with 4+ cores) scheduling at max
+//!   threads failed to cut wall-clock at least 20% below single-thread.
+//!   The whole simulation is deterministic in simulated time, so
+//!   everything but wall-clock is machine-independent; the latency
+//!   tolerance only keeps innocuous cost-model tuning from needing a
+//!   lockstep `--write` in the same commit.
 //! * `--smoke` measures only the 64-pair scenario (the CI release-job
-//!   gate runs `--smoke --check`).
+//!   gate runs the full `--check`; `--smoke --check` is the quick local
+//!   variant).
 //! * `--pairs <n>` measures one custom-sized scenario instead (printed
 //!   only; not written or checked).
 
+use bytes::Bytes;
+use ftjvm_core::codec::{
+    build_batch_frame, build_epoch_frame, decode_frames_pipelined, seal_frame, RecordDecoder,
+    RecordEncoder,
+};
 use ftjvm_core::fleet::{run_fleet, FleetConfig, FleetReport};
+use ftjvm_core::records::{LoggedResult, Record, WireValue};
+use ftjvm_vm::VtPath;
 use std::time::Instant;
 
 struct Scenario {
@@ -45,24 +61,166 @@ fn scenarios(smoke_only: bool) -> Vec<Scenario> {
     v
 }
 
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Worker-thread counts every scenario is measured at: serial, a fixed
+/// 2-thread point (exercised even on 1-core hosts — determinism must
+/// not depend on real parallelism), and host parallelism.
+fn thread_sweep() -> Vec<usize> {
+    let mut v = vec![1, 2, host_cores()];
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
 struct Row {
     name: String,
     cfg: FleetConfig,
+    /// Report of the single-threaded run (identical at every thread
+    /// count — enforced below).
     report: FleetReport,
-    wall_ms: f64,
+    /// (threads, wall-clock ms) across the sweep.
+    wall_ms_by_threads: Vec<(usize, f64)>,
+}
+
+/// Everything observable about a run except pool layout and host time.
+fn digest(r: &FleetReport) -> String {
+    format!(
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {:?} {:?}",
+        r.completed,
+        r.divergent,
+        r.lost,
+        r.failovers_absorbed,
+        r.backups_killed,
+        r.degraded_entries,
+        r.reintegrated,
+        r.served_requests,
+        r.total_requests,
+        r.backlog_peak,
+        r.commit_p50,
+        r.commit_p99,
+        r.commit_max,
+        r.makespan,
+        r.shared,
+        r.outcomes,
+    )
 }
 
 fn measure(sc: Scenario) -> Row {
-    let start = Instant::now();
-    let report = run_fleet(&sc.cfg).expect("fleet scenario runs");
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    Row { name: sc.name.to_string(), cfg: sc.cfg, report, wall_ms }
+    let mut wall_ms_by_threads = Vec::new();
+    let mut reference: Option<(FleetReport, String)> = None;
+    for threads in thread_sweep() {
+        let cfg = FleetConfig { threads, ..sc.cfg.clone() };
+        let start = Instant::now();
+        let report = run_fleet(&cfg).expect("fleet scenario runs");
+        wall_ms_by_threads.push((threads, start.elapsed().as_secs_f64() * 1e3));
+        match &reference {
+            None => {
+                let d = digest(&report);
+                reference = Some((report, d));
+            }
+            Some((_, want)) => {
+                // Hard gate, independent of --check: a thread count that
+                // changes any simulated result is a determinism bug.
+                assert_eq!(
+                    &digest(&report),
+                    want,
+                    "[{}] results at {threads} threads diverged from single-threaded run",
+                    sc.name
+                );
+            }
+        }
+    }
+    let (report, _) = reference.expect("sweep is non-empty");
+    Row { name: sc.name.to_string(), cfg: sc.cfg, report, wall_ms_by_threads }
 }
 
-fn render_text(rows: &[Row]) -> String {
+/// Serial vs parallel promotion-path suffix decode: a synthetic sealed
+/// suffix (compact batches + heartbeat fixed frames + epoch marks, the
+/// mix a promoting standby drains), decoded at 1 thread and at host
+/// parallelism. Outputs are asserted identical; only wall-clock is
+/// reported.
+struct SuffixBench {
+    frames: usize,
+    records: usize,
+    ms_by_threads: Vec<(usize, f64)>,
+}
+
+fn synth_suffix() -> Vec<Bytes> {
+    let t0 = VtPath::root();
+    let mut enc = RecordEncoder::new();
+    let mut frames = Vec::new();
+    let mut seq = 0u64;
+    let seal = |payload: &Bytes, seq: &mut u64| {
+        *seq += 1;
+        seal_frame(*seq, payload)
+    };
+    for epoch in 0..40u64 {
+        for batch in 0..25u64 {
+            let bodies: Vec<Bytes> = (0..32u64)
+                .map(|i| {
+                    let n = epoch * 1000 + batch * 32 + i;
+                    enc.encode_body(&match n % 4 {
+                        0 => Record::LockAcq { t: t0.clone(), t_asn: n, l_id: 3, l_asn: n },
+                        1 => Record::NativeResult {
+                            t: t0.clone(),
+                            seq: n,
+                            sig_hash: 0x5EED,
+                            result: LoggedResult::Ok(Some(WireValue::Int(n as i64))),
+                            out_args: Vec::new(),
+                        },
+                        2 => Record::OutputCommit { t: t0.clone(), seq: n, output_id: n },
+                        _ => Record::Heartbeat { now_ns: n * 1_000 },
+                    })
+                })
+                .collect();
+            frames.push(seal(&build_batch_frame(&bodies), &mut seq));
+        }
+        frames.push(seal(&build_epoch_frame(epoch, 25), &mut seq));
+    }
+    frames
+}
+
+fn measure_suffix_decode() -> SuffixBench {
+    let frames = synth_suffix();
+    let mut ms_by_threads = Vec::new();
+    let mut reference: Option<Vec<Vec<Record>>> = None;
+    let mut records = 0usize;
+    for threads in thread_sweep() {
+        // Best of 3: decode is short enough for scheduler noise to bite.
+        let mut best = f64::INFINITY;
+        let mut last = Vec::new();
+        for _ in 0..3 {
+            let mut dec = RecordDecoder::new();
+            let start = Instant::now();
+            last = decode_frames_pipelined(&mut dec, &frames, threads).expect("suffix decodes");
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        records = last.iter().map(Vec::len).sum();
+        match &reference {
+            None => reference = Some(last),
+            Some(want) => assert_eq!(&last, want, "suffix decode diverged at {threads} threads"),
+        }
+        ms_by_threads.push((threads, best));
+    }
+    SuffixBench { frames: frames.len(), records, ms_by_threads }
+}
+
+fn render_walls(walls: &[(usize, f64)]) -> String {
+    walls.iter().map(|(t, ms)| format!("{t}t {ms:.0}ms")).collect::<Vec<_>>().join(", ")
+}
+
+fn render_text(rows: &[Row], suffix: &SuffixBench) -> String {
     let mut out = String::new();
     out.push_str("Fleet-scale serving simulation: aggregate SLOs under continuous faults\n");
-    out.push_str("(event-loop scheduler, shared trunk, open-loop clients, rack 5 partitioned)\n\n");
+    out.push_str(&format!(
+        "(windowed worker-pool scheduler, shared trunk, open-loop clients, rack 5\n\
+         partitioned; measured on a {}-core host — results byte-identical at every\n\
+         thread count, wall-clock only varies)\n\n",
+        host_cores()
+    ));
     for r in rows {
         let rep = &r.report;
         out.push_str(&format!(
@@ -99,14 +257,28 @@ fn render_text(rows: &[Row]) -> String {
                 s.queue_peak
             ));
         }
-        out.push_str(&format!("  wall clock {:.0}ms\n\n", r.wall_ms));
+        out.push_str(&format!("  wall clock: {}\n\n", render_walls(&r.wall_ms_by_threads)));
     }
+    out.push_str(&format!(
+        "[promotion suffix decode] {} frames / {} records (sealed compact batches)\n  wall clock: {}\n",
+        suffix.frames,
+        suffix.records,
+        render_walls(&suffix.ms_by_threads)
+    ));
     out
 }
 
-fn render_json(rows: &[Row]) -> String {
+fn render_json(rows: &[Row], suffix: &SuffixBench) -> String {
+    let walls_obj = |walls: &[(usize, f64)]| {
+        walls.iter().map(|(t, ms)| format!("\"{t}\": {ms:.1}")).collect::<Vec<_>>().join(", ")
+    };
+    let threads_list = |walls: &[(usize, f64)]| {
+        walls.iter().map(|(t, _)| t.to_string()).collect::<Vec<_>>().join(", ")
+    };
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": 1,\n  \"scenarios\": [\n");
+    out.push_str("{\n  \"schema\": 2,\n");
+    out.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
+    out.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let rep = &r.report;
         out.push_str("    {\n");
@@ -132,10 +304,21 @@ fn render_json(rows: &[Row]) -> String {
             out.push_str(&format!("      \"trunk_busy_ns\": {},\n", s.busy.as_nanos()));
             out.push_str(&format!("      \"trunk_queue_peak_ns\": {},\n", s.queue_peak.as_nanos()));
         }
-        out.push_str(&format!("      \"wall_ms\": {:.0}\n", r.wall_ms));
+        let serial = r.wall_ms_by_threads.first().map_or(0.0, |(_, ms)| *ms);
+        out.push_str(&format!("      \"wall_ms\": {serial:.0},\n"));
+        out.push_str(&format!("      \"threads\": [{}],\n", threads_list(&r.wall_ms_by_threads)));
+        out.push_str(&format!(
+            "      \"wall_ms_by_threads\": {{ {} }}\n",
+            walls_obj(&r.wall_ms_by_threads)
+        ));
         out.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"suffix_decode\": {\n");
+    out.push_str(&format!("    \"frames\": {},\n", suffix.frames));
+    out.push_str(&format!("    \"records\": {},\n", suffix.records));
+    out.push_str(&format!("    \"ms_by_threads\": {{ {} }}\n", walls_obj(&suffix.ms_by_threads)));
+    out.push_str("  }\n}\n");
     out
 }
 
@@ -203,6 +386,34 @@ fn check(rows: &[Row]) -> bool {
                 failed = true;
             }
         }
+        // Wall-clock scaling gate, host-local by construction: on a
+        // machine with real parallelism, scheduling at max threads must
+        // cut at least 20% off the single-threaded wall. Skipped on
+        // small hosts where there is nothing to scale onto, and on
+        // small scenarios whose wall is dominated by fixed costs.
+        if host_cores() >= 4 && rep.pairs >= 128 {
+            let serial = r.wall_ms_by_threads.first().map_or(0.0, |(_, ms)| *ms);
+            let (max_t, parallel) = r.wall_ms_by_threads.last().copied().unwrap_or((1, serial));
+            println!(
+                "[{}] scaling: 1t {serial:.0}ms -> {max_t}t {parallel:.0}ms ({:.2}x)",
+                r.name,
+                serial / parallel.max(0.001)
+            );
+            if parallel > serial * 0.8 {
+                eprintln!(
+                    "FAIL [{}]: {max_t}-thread wall {parallel:.0}ms not 20% under 1-thread {serial:.0}ms",
+                    r.name
+                );
+                failed = true;
+            }
+        } else {
+            println!(
+                "[{}] scaling gate skipped ({} host cores, {} pairs)",
+                r.name,
+                host_cores(),
+                rep.pairs
+            );
+        }
     }
     failed
 }
@@ -225,14 +436,15 @@ fn main() {
         scenarios(smoke_only).into_iter().map(measure).collect()
     };
 
-    print!("{}", render_text(&rows));
+    let suffix = measure_suffix_decode();
+    print!("{}", render_text(&rows, &suffix));
 
     if write && custom_pairs.is_none() {
         let json = repo_path("BENCH_fleet.json");
-        std::fs::write(&json, render_json(&rows)).expect("write BENCH_fleet.json");
+        std::fs::write(&json, render_json(&rows, &suffix)).expect("write BENCH_fleet.json");
         let txt = repo_path("docs/results/fleet.txt");
         std::fs::create_dir_all(txt.parent().expect("has parent")).expect("mkdir results");
-        std::fs::write(&txt, render_text(&rows)).expect("write fleet.txt");
+        std::fs::write(&txt, render_text(&rows, &suffix)).expect("write fleet.txt");
         println!("wrote {} and {}", json.display(), txt.display());
     }
     if do_check {

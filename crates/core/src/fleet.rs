@@ -4,10 +4,12 @@
 //! The paper measures one primary/backup pair on two Sun E5000s. This
 //! module asks the fleet question: what service levels does a *building
 //! full* of such pairs deliver when faults arrive continuously? Each
-//! pair is a [`PairTask`] (the pair-as-value state machine); an
-//! event-loop scheduler steps whichever pair is furthest behind on the
-//! global clock, so hundreds of pairs interleave on one timeline without
-//! threads and fully deterministically.
+//! pair is a [`PairTask`] (the pair-as-value state machine); the
+//! windowed worker pool of [`crate::parallel`] advances every pair to
+//! each global logical-time quantum boundary and merges the shared-trunk
+//! reservations at a barrier, so hundreds of pairs interleave on one
+//! timeline — on one thread or many, byte-identically
+//! ([`FleetConfig::threads`]).
 //!
 //! The moving parts:
 //!
@@ -41,14 +43,12 @@
 use crate::ftjvm::{FtConfig, LockVariant, PairReport, ReplicationMode};
 use crate::group::{GroupConfig, GroupReport, GroupTask};
 use crate::pair::PairTask;
+use crate::parallel::{run_windowed, PoolOptions, PoolStats, WindowTask};
 use crate::runtime::{CheckpointPlan, LagBudget, ReplicaRuntime};
-use ftjvm_netsim::{
-    FailureDetector, FaultPlan, SharedBandwidth, SharedLink, SharedStats, SimTime, WireCodec,
-};
+use ftjvm_netsim::{FailureDetector, FaultPlan, SharedLink, SharedStats, SimTime, WireCodec};
 use ftjvm_vm::{NativeRegistry, Program, VmError};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Local simulated time a pair advances per scheduler turn. Small enough
 /// that pairs interleave finely on the shared trunk, large enough that
@@ -149,6 +149,10 @@ pub struct FleetConfig {
     /// BFT-lite digest vote quorum forwarded to group slots (ignored for
     /// classic pairs).
     pub vote_quorum: Option<u32>,
+    /// Worker threads for the windowed scheduler. The fleet result is
+    /// byte-identical for every value — threads change wall-clock time
+    /// only (see [`crate::parallel`]).
+    pub threads: usize,
 }
 
 impl Default for FleetConfig {
@@ -172,6 +176,7 @@ impl Default for FleetConfig {
             verify: true,
             group_size: None,
             vote_quorum: None,
+            threads: 1,
         }
     }
 }
@@ -387,6 +392,9 @@ pub struct FleetReport {
     pub peak_backup_pending: u64,
     /// Shared-trunk statistics, when a trunk was configured.
     pub shared: Option<SharedStats>,
+    /// Windowed-scheduler diagnostics: worker count, windows merged,
+    /// barrier crossings, per-worker slot ownership.
+    pub pool: PoolStats,
     /// Per-pair outcomes, indexed by pair id.
     pub outcomes: Vec<PairOutcome>,
 }
@@ -438,7 +446,7 @@ enum SlotTask {
     Group(Box<GroupTask>),
 }
 
-impl SlotTask {
+impl WindowTask for SlotTask {
     fn now(&self) -> SimTime {
         match self {
             SlotTask::Pair(t) => t.now(),
@@ -461,40 +469,63 @@ impl SlotTask {
     }
 }
 
-/// One pair's scheduler slot.
-struct PairSlot {
-    plan: PairPlan,
-    task: Option<SlotTask>,
-    outcome: Option<PairOutcome>,
-    report: Option<PairReport>,
-    greport: Option<GroupReport>,
+/// The routing inputs one finished slot contributes to aggregation:
+/// plain data, produced on the slot's owning worker (the reports
+/// themselves hold `Rc` state and never cross threads).
+struct SlotRouting {
+    /// Globalized commit completions `(release ns, pessimistic wait ns)`.
+    done: Vec<(u64, u64)>,
+    /// The slot's final local instant.
+    end: SimTime,
+    /// Largest retained replay suffix any of its primaries held.
+    peak_suffix: u64,
+    /// Largest received-but-unconsumed record count its standby held.
+    peak_pending: u64,
+}
+
+/// One slot's [`Send`] result, carried back from its worker.
+struct SlotResult {
+    outcome: PairOutcome,
+    /// `None` when the slot errored (mirrors the error path of the old
+    /// event loop: errored slots route no requests).
+    routing: Option<SlotRouting>,
 }
 
 /// Runs a whole fleet per `cfg` and aggregates service levels.
 ///
 /// Deterministic: the same configuration always produces the same
-/// report, pair for pair and nanosecond for nanosecond. Pair-level
-/// fatal errors are captured in the pair's outcome (and fail
-/// verification) instead of aborting the fleet.
+/// report, pair for pair and nanosecond for nanosecond — at any
+/// [`FleetConfig::threads`] count. Pair-level fatal errors are captured
+/// in the pair's outcome (and fail verification) instead of aborting
+/// the fleet.
 ///
 /// # Errors
-/// Propagates workload-construction errors (a bug, not a fault).
+/// Propagates scheduler-invariant breaks (a bug, not a fault); workload
+/// and task construction errors surface as per-pair outcomes.
 pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, VmError> {
     let natives = NativeRegistry::with_builtins();
-    let trunk: Option<SharedLink> = cfg.shared_per_byte.map(SharedBandwidth::shared);
-    let mut programs: HashMap<u64, Arc<Program>> = HashMap::new();
+    let programs: Mutex<HashMap<u64, Arc<Program>>> = Mutex::new(HashMap::new());
+    let plans: Vec<PairPlan> = (0..cfg.pairs).map(|id| PairPlan::derive(cfg, id)).collect();
+    let offsets: Vec<SimTime> = plans.iter().map(|p| p.start_offset).collect();
+    let opts = PoolOptions {
+        threads: cfg.threads.max(1),
+        quantum: QUANTUM,
+        trunk_per_byte: cfg.shared_per_byte,
+    };
 
-    // Launch: derive every plan, build every task.
-    let mut slots: Vec<PairSlot> = Vec::with_capacity(cfg.pairs as usize);
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    for pair_id in 0..cfg.pairs {
-        let plan = PairPlan::derive(cfg, pair_id);
-        let program = match programs.get(&plan.requests) {
-            Some(p) => p.clone(),
-            None => {
-                let p = journal_program(plan.requests as i64)?;
-                programs.insert(plan.requests, p.clone());
-                p
+    let build = |pair_id: u32, port: Option<&SharedLink>| -> Result<SlotTask, VmError> {
+        let plan = &plans[pair_id as usize];
+        let program = {
+            let mut cache = programs
+                .lock()
+                .map_err(|_| VmError::Internal("fleet program cache poisoned".into()))?;
+            match cache.get(&plan.requests) {
+                Some(p) => p.clone(),
+                None => {
+                    let p = journal_program(plan.requests as i64)?;
+                    cache.insert(plan.requests, p.clone());
+                    p
+                }
             }
         };
         let mut ft = plan.ft_config(cfg);
@@ -504,68 +535,58 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, VmError> {
             ft.fault = FaultPlan::None;
         }
         let mut rt = ReplicaRuntime::new(program, natives.clone(), ft);
-        if let Some(link) = &trunk {
+        if let Some(link) = port {
             rt.set_shared_bandwidth(link.clone(), plan.start_offset);
         }
-        let built = match cfg.group_size {
+        match cfg.group_size {
             Some(size) => GroupTask::new(rt, plan.group_config(cfg, size))
                 .map(|t| SlotTask::Group(Box::new(t))),
             None => PairTask::checkpointed(rt, plan.checkpoint_plan(cfg))
                 .map(|t| SlotTask::Pair(Box::new(t))),
-        };
-        let slot = match built {
-            Ok(task) => {
-                heap.push(Reverse((plan.start_offset.as_nanos(), pair_id)));
-                PairSlot { plan, task: Some(task), outcome: None, report: None, greport: None }
-            }
-            Err(e) => {
-                let outcome = error_outcome(&plan, &e);
-                PairSlot { plan, task: None, outcome: Some(outcome), report: None, greport: None }
-            }
-        };
-        slots.push(slot);
-    }
+        }
+    };
 
-    // Event loop: always advance the pair furthest behind on the global
-    // clock, one quantum of its local time per turn.
-    while let Some(Reverse((_, pair_id))) = heap.pop() {
-        let slot = &mut slots[pair_id as usize];
-        let Some(task) = slot.task.as_mut() else { continue };
-        let target = task.now() + QUANTUM;
-        match task.step(target) {
-            Ok(()) if task.is_done() => match slot.task.take() {
-                Some(SlotTask::Pair(task)) => {
-                    let (outcome, report) = finish_pair(&slot.plan, cfg, *task);
-                    slot.outcome = Some(outcome);
-                    slot.report = report;
-                }
-                Some(SlotTask::Group(task)) => {
-                    let (outcome, report) = finish_group(&slot.plan, cfg, *task);
-                    slot.outcome = Some(outcome);
-                    slot.greport = report;
-                }
-                // Typed capture of a scheduler invariant break (a done
-                // task must still occupy its slot) — recorded as this
-                // pair's fatal error instead of aborting the fleet.
-                None => {
-                    let e = VmError::Internal(format!(
-                        "fleet pair {pair_id}: completed task vanished from its slot"
-                    ));
-                    slot.outcome = Some(error_outcome(&slot.plan, &e));
-                }
-            },
-            Ok(()) => {
-                let global = slot.plan.start_offset + task.now();
-                heap.push(Reverse((global.as_nanos(), pair_id)));
+    let finish = |pair_id: u32, task: Result<SlotTask, VmError>| -> SlotResult {
+        let plan = &plans[pair_id as usize];
+        match task {
+            Err(e) => SlotResult { outcome: error_outcome(plan, &e), routing: None },
+            Ok(SlotTask::Pair(task)) => {
+                let (outcome, report) = finish_pair(plan, cfg, *task);
+                let routing = report.map(|report| {
+                    let backup_end =
+                        report.backup.as_ref().map(|b| b.acct.now()).unwrap_or(SimTime::ZERO);
+                    SlotRouting {
+                        done: completions(plan, &report),
+                        end: report.primary.acct.now().max(backup_end),
+                        peak_suffix: report.primary_stats.peak_suffix_frames,
+                        peak_pending: report
+                            .backup_stats
+                            .as_ref()
+                            .map_or(0, |bs| bs.peak_backup_pending),
+                    }
+                });
+                SlotResult { outcome, routing }
             }
-            Err(e) => {
-                slot.task = None;
-                slot.outcome = Some(error_outcome(&slot.plan, &e));
+            Ok(SlotTask::Group(task)) => {
+                let (outcome, report) = finish_group(plan, cfg, *task);
+                let routing = report.map(|report| SlotRouting {
+                    done: group_completions(plan, &report),
+                    end: report.final_report.acct.now(),
+                    peak_suffix: report
+                        .reigns
+                        .iter()
+                        .map(|r| r.stats.peak_suffix_frames)
+                        .max()
+                        .unwrap_or(0),
+                    peak_pending: 0,
+                });
+                SlotResult { outcome, routing }
             }
         }
-    }
+    };
 
-    Ok(aggregate(cfg, slots, trunk))
+    let (results, pool, shared) = run_windowed(&opts, &offsets, build, finish)?;
+    Ok(aggregate(cfg, &plans, results, pool, shared))
 }
 
 /// Builds the error outcome for a pair whose run raised a fatal error.
@@ -736,8 +757,10 @@ fn route_pair(
 /// Aggregates pair outcomes, routes requests, and computes fleet SLOs.
 fn aggregate(
     cfg: &FleetConfig,
-    mut slots: Vec<PairSlot>,
-    trunk: Option<SharedLink>,
+    plans: &[PairPlan],
+    mut results: Vec<SlotResult>,
+    pool: PoolStats,
+    shared: Option<SharedStats>,
 ) -> FleetReport {
     let mut latencies: Vec<u64> = Vec::new();
     let mut sweep: Vec<(u64, i64)> = Vec::new();
@@ -746,36 +769,22 @@ fn aggregate(
     let mut peak_suffix = 0u64;
     let mut peak_pending = 0u64;
 
-    for slot in &mut slots {
-        // Either report kind reduces to the same routing inputs: commit
-        // completions, the slot's end instant, and the replay peaks.
-        let (done, end, suffix, pending) = if let Some(report) = slot.report.take() {
-            let done = completions(&slot.plan, &report);
-            let backup_end = report.backup.as_ref().map(|b| b.acct.now()).unwrap_or(SimTime::ZERO);
-            let end = report.primary.acct.now().max(backup_end);
-            let pending = report.backup_stats.as_ref().map_or(0, |bs| bs.peak_backup_pending);
-            (done, end, report.primary_stats.peak_suffix_frames, pending)
-        } else if let Some(report) = slot.greport.take() {
-            let done = group_completions(&slot.plan, &report);
-            let suffix =
-                report.reigns.iter().map(|r| r.stats.peak_suffix_frames).max().unwrap_or(0);
-            (done, report.final_report.acct.now(), suffix, 0)
-        } else {
-            continue;
-        };
-        let (matched, _unserved) = route_pair(cfg, &slot.plan, &done);
-        if let Some(o) = slot.outcome.as_mut() {
-            o.served = matched.len() as u64;
-        }
+    for (plan, result) in plans.iter().zip(results.iter_mut()) {
+        // Both report kinds already reduced to the same routing inputs
+        // on the owning worker: commit completions, the slot's end
+        // instant, and the replay peaks.
+        let Some(routing) = result.routing.as_ref() else { continue };
+        let (matched, _unserved) = route_pair(cfg, plan, &routing.done);
+        result.outcome.served = matched.len() as u64;
         served_total += matched.len() as u64;
         for &(arrival, at, latency) in &matched {
             latencies.push(latency);
             sweep.push((arrival, 1));
             sweep.push((at.max(arrival), -1));
         }
-        makespan = makespan.max(slot.plan.start_offset + end);
-        peak_suffix = peak_suffix.max(suffix);
-        peak_pending = peak_pending.max(pending);
+        makespan = makespan.max(plan.start_offset + routing.end);
+        peak_suffix = peak_suffix.max(routing.peak_suffix);
+        peak_pending = peak_pending.max(routing.peak_pending);
     }
 
     // Backlog high-water mark: arrivals open, completions close;
@@ -795,20 +804,7 @@ fn aggregate(
         SimTime::from_nanos(latencies[((latencies.len() - 1) as u64 * p / 100) as usize])
     };
 
-    // A slot with no outcome is a scheduler invariant break; capture it
-    // as a typed per-pair error instead of panicking the whole fleet.
-    let outcomes: Vec<PairOutcome> = slots
-        .into_iter()
-        .map(|s| {
-            s.outcome.unwrap_or_else(|| {
-                let e = VmError::Internal(format!(
-                    "fleet pair {}: never finalized nor errored",
-                    s.plan.pair_id
-                ));
-                error_outcome(&s.plan, &e)
-            })
-        })
-        .collect();
+    let outcomes: Vec<PairOutcome> = results.into_iter().map(|r| r.outcome).collect();
     let completed = outcomes.iter().filter(|o| o.error.is_none()).count() as u32;
     let failovers_absorbed = outcomes.iter().filter(|o| o.crashed && o.output_ok).count() as u32;
     let lost = outcomes.iter().filter(|o| o.error.is_none() && !o.survived).count() as u32;
@@ -839,7 +835,8 @@ fn aggregate(
         },
         peak_suffix_frames: peak_suffix,
         peak_backup_pending: peak_pending,
-        shared: trunk.map(|t| t.borrow().stats()),
+        shared,
+        pool,
         outcomes,
     }
 }
@@ -889,6 +886,33 @@ mod tests {
             crashed.iter().all(|o| !o.timeline.is_empty()),
             "group failovers must carry a timeline"
         );
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_results() {
+        let base = FleetConfig {
+            pairs: 12,
+            crash_per_mille: 300,
+            kill_per_mille: 150,
+            ..FleetConfig::default()
+        };
+        let r1 = run_fleet(&FleetConfig { threads: 1, ..base.clone() }).expect("fleet runs");
+        for threads in [2, 4] {
+            let rn = run_fleet(&FleetConfig { threads, ..base.clone() }).expect("fleet runs");
+            assert_eq!(r1.served_requests, rn.served_requests, "{threads} threads");
+            assert_eq!(r1.commit_p50, rn.commit_p50, "{threads} threads");
+            assert_eq!(r1.commit_p99, rn.commit_p99, "{threads} threads");
+            assert_eq!(r1.makespan, rn.makespan, "{threads} threads");
+            assert_eq!(r1.backlog_peak, rn.backlog_peak, "{threads} threads");
+            assert_eq!(r1.shared, rn.shared, "{threads} threads");
+            assert_eq!(
+                format!("{:?}", r1.outcomes),
+                format!("{:?}", rn.outcomes),
+                "per-pair outcomes byte-identical at {threads} threads"
+            );
+            assert_eq!(rn.pool.threads, threads.min(base.pairs as usize));
+            assert_eq!(r1.pool.windows, rn.pool.windows, "{threads} threads");
+        }
     }
 
     #[test]

@@ -134,6 +134,12 @@ pub struct FtConfig {
     pub net_fault: NetFaultPlan,
     /// Factory for the side-effect-handler registry (one per replica).
     pub se_factory: fn() -> SeRegistry,
+    /// Worker threads for the promotion path's suffix decode (seal
+    /// verification and stateless record decode fan out; compact batches
+    /// keep their sequential context chain). Replay output is
+    /// byte-identical for every value — this knob trades wall-clock time
+    /// only. Default 1 (fully sequential).
+    pub replay_threads: usize,
 }
 
 impl Default for FtConfig {
@@ -157,6 +163,7 @@ impl Default for FtConfig {
             detector: FailureDetector::default(),
             net_fault: NetFaultPlan::default(),
             se_factory: SeRegistry::with_builtins,
+            replay_threads: 1,
         }
     }
 }

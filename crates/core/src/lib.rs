@@ -59,6 +59,7 @@ pub mod fleet;
 pub mod ftjvm;
 pub mod group;
 pub mod pair;
+pub mod parallel;
 pub mod primary;
 pub mod records;
 pub mod runtime;
@@ -71,8 +72,9 @@ pub use backup::{
 };
 pub use codec::{
     build_batch_frame, build_epoch_frame, build_snapshot_chunk, crc32c, decode_frames,
-    frame_is_epoch_mark, frame_is_snapshot_chunk, open_frame, parse_epoch_frame,
-    parse_snapshot_chunk, seal_frame, FrameError, RecordDecoder, RecordEncoder, SnapshotAssembler,
+    decode_frames_pipelined, frame_is_epoch_mark, frame_is_snapshot_chunk, open_frame,
+    parse_epoch_frame, parse_snapshot_chunk, seal_frame, FrameError, RecordDecoder, RecordEncoder,
+    SnapshotAssembler,
 };
 pub use fleet::{
     run_fleet, split_seed, FleetConfig, FleetReport, PairOutcome, PairPlan, RouterMode,
@@ -83,6 +85,7 @@ pub use group::{
     FailoverRecord, GroupConfig, GroupEvent, GroupMoment, GroupReport, GroupTask, ReignStats,
 };
 pub use pair::{PairEvent, PairTask};
+pub use parallel::{run_windowed, PoolOptions, PoolStats, WindowTask};
 pub use primary::{
     AckPolicy, IntervalPrimary, LockSyncPrimary, LogChannel, PrimaryCore, ReliableLink, SendWindow,
     TsPrimary,

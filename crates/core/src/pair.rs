@@ -882,9 +882,7 @@ impl PairTask {
                 // Snapshot-based recovery: restore, replay the stored
                 // suffix, promote.
                 let mut b = self.rt.build_resumed_backup(&self.world, &blob)?;
-                for frame in suffix {
-                    b.feed_frame(detection_at, frame)?;
-                }
+                b.feed_frames_bulk(detection_at, suffix, self.rt.cfg().replay_threads)?;
                 b.finish_stream();
                 let r = b.run_to_end()?;
                 let recovered = b.recovery_completed_at().unwrap_or_else(|| r.acct.now());

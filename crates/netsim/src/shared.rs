@@ -44,6 +44,25 @@ pub struct SharedStats {
     pub busy: SimTime,
 }
 
+/// One scheduler window's trunk activity on one port: the busy intervals
+/// the port placed plus the statistics delta it accumulated. Plain data,
+/// so it can cross worker-thread boundaries to the merge leader of a
+/// windowed parallel scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct TrunkWindow {
+    /// Raw placed intervals `(start, end)` in ns, in admission order.
+    pub intervals: Vec<(u64, u64)>,
+    /// The statistics delta the port accumulated over the window.
+    pub stats: SharedStats,
+}
+
+impl TrunkWindow {
+    /// True when the window carried no traffic at all.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty() && self.stats.frames == 0
+    }
+}
+
 /// One transmission capacity shared by every attached channel, on the
 /// global fleet timeline.
 #[derive(Debug)]
@@ -53,12 +72,21 @@ pub struct SharedBandwidth {
     /// Busy intervals `start → end` (ns), disjoint and coalesced.
     calendar: BTreeMap<u64, u64>,
     stats: SharedStats,
+    /// When windowed (a parallel scheduler port), the raw intervals placed
+    /// since the last [`SharedBandwidth::sync_window`]. `None` keeps the
+    /// classic always-coupled single-trunk behavior.
+    window_log: Option<Vec<(u64, u64)>>,
 }
 
 impl SharedBandwidth {
     /// Creates an idle trunk with the given per-byte serialization cost.
     pub fn new(per_byte: SimTime) -> Self {
-        SharedBandwidth { per_byte, calendar: BTreeMap::new(), stats: SharedStats::default() }
+        SharedBandwidth {
+            per_byte,
+            calendar: BTreeMap::new(),
+            stats: SharedStats::default(),
+            window_log: None,
+        }
     }
 
     /// Creates a trunk handle shareable between channels.
@@ -85,6 +113,9 @@ impl SharedBandwidth {
                 break;
             }
             start = e;
+        }
+        if let Some(log) = &mut self.window_log {
+            log.push((start, start + tx));
         }
         let mut lo = start;
         let mut hi = start + tx;
@@ -116,6 +147,88 @@ impl SharedBandwidth {
     /// Aggregate trunk statistics.
     pub fn stats(&self) -> SharedStats {
         self.stats
+    }
+
+    /// Read-only view of the busy calendar, for frozen window snapshots.
+    pub fn calendar(&self) -> &BTreeMap<u64, u64> {
+        &self.calendar
+    }
+
+    /// Re-grounds this port on a frozen copy of a master calendar and
+    /// starts a fresh window log: subsequent admissions see the master's
+    /// reservations through the previous window plus only this port's own
+    /// in-window placements. Stats reset to zero so
+    /// [`SharedBandwidth::take_window`] yields a pure delta.
+    pub fn sync_window(&mut self, frozen: &BTreeMap<u64, u64>) {
+        self.calendar.clone_from(frozen);
+        self.stats = SharedStats::default();
+        self.window_log = Some(Vec::new());
+    }
+
+    /// Takes the finished window: the raw intervals this port placed and
+    /// the statistics delta it accumulated since the last sync.
+    pub fn take_window(&mut self) -> TrunkWindow {
+        let intervals = self.window_log.take().unwrap_or_default();
+        let stats = std::mem::take(&mut self.stats);
+        TrunkWindow { intervals, stats }
+    }
+
+    /// Merges one finished port window into this (master) trunk: busy
+    /// intervals union in — overlap-coalescing, because concurrent ports
+    /// may have placed overlapping reservations inside one window — and
+    /// the statistics delta adds on. Interval union and the commutative
+    /// stat folds (sums and a max) make the merged state independent of
+    /// the order windows are applied in.
+    pub fn merge_window(&mut self, w: &TrunkWindow) {
+        for &(lo, hi) in &w.intervals {
+            self.insert_union(lo, hi);
+        }
+        self.stats.frames += w.stats.frames;
+        self.stats.bytes += w.stats.bytes;
+        self.stats.queue_total += w.stats.queue_total;
+        self.stats.queue_peak = self.stats.queue_peak.max(w.stats.queue_peak);
+        self.stats.busy += w.stats.busy;
+    }
+
+    /// Drops calendar intervals ending at or before `horizon`. Safe once
+    /// every port's clock has passed the horizon: admissions only consult
+    /// intervals covering or following their start instant, so a
+    /// reservation wholly in the past can never move a future placement.
+    /// Keeps the master calendar bounded to roughly one window of traffic.
+    pub fn prune_before(&mut self, horizon: SimTime) {
+        let h = horizon.as_nanos();
+        // Disjoint intervals sorted by start have sorted ends too.
+        while let Some((&s, &e)) = self.calendar.iter().next() {
+            if e > h {
+                break;
+            }
+            self.calendar.remove(&s);
+        }
+    }
+
+    /// Inserts `[lo, hi)` as a union: absorbs every existing interval it
+    /// overlaps or abuts, preserving the disjoint-and-coalesced invariant.
+    /// Unlike [`SharedBandwidth::admit`]'s gap placement, overlapping
+    /// input is expected here.
+    fn insert_union(&mut self, mut lo: u64, mut hi: u64) {
+        if hi <= lo {
+            return;
+        }
+        if let Some((&s, &e)) = self.calendar.range(..=lo).next_back() {
+            if e >= lo {
+                self.calendar.remove(&s);
+                lo = s;
+                hi = hi.max(e);
+            }
+        }
+        while let Some((&s, &e)) = self.calendar.range(lo..).next() {
+            if s > hi {
+                break;
+            }
+            self.calendar.remove(&s);
+            hi = hi.max(e);
+        }
+        self.calendar.insert(lo, hi);
     }
 }
 
@@ -174,5 +287,69 @@ mod tests {
         // when the last reservation ends at 6000.
         let d = bw.admit(SimTime::from_nanos(500), 401);
         assert_eq!(d.as_nanos(), (6_000 - 500) + 4_010);
+    }
+
+    #[test]
+    fn union_insert_coalesces_overlaps_and_abutments() {
+        let mut master = SharedBandwidth::new(SimTime::from_nanos(10));
+        let w = TrunkWindow {
+            intervals: vec![(100, 200), (150, 300), (300, 400), (500, 600), (50, 120)],
+            stats: SharedStats::default(),
+        };
+        master.merge_window(&w);
+        let got: Vec<_> = master.calendar().iter().map(|(&s, &e)| (s, e)).collect();
+        assert_eq!(got, vec![(50, 400), (500, 600)]);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        let a = TrunkWindow { intervals: vec![(0, 100), (250, 300)], ..Default::default() };
+        let b = TrunkWindow { intervals: vec![(80, 260), (400, 500)], ..Default::default() };
+        let mut m1 = SharedBandwidth::new(SimTime::from_nanos(10));
+        m1.merge_window(&a);
+        m1.merge_window(&b);
+        let mut m2 = SharedBandwidth::new(SimTime::from_nanos(10));
+        m2.merge_window(&b);
+        m2.merge_window(&a);
+        assert_eq!(m1.calendar(), m2.calendar());
+        let got: Vec<_> = m1.calendar().iter().map(|(&s, &e)| (s, e)).collect();
+        assert_eq!(got, vec![(0, 300), (400, 500)]);
+    }
+
+    #[test]
+    fn windowed_port_sees_frozen_master_plus_own_traffic() {
+        let mut master = SharedBandwidth::new(SimTime::from_nanos(10));
+        master.admit(SimTime::ZERO, 100); // master busy [0, 1000)
+        let mut port = SharedBandwidth::new(SimTime::from_nanos(10));
+        port.sync_window(master.calendar());
+        // The port queues behind the frozen reservation …
+        let d = port.admit(SimTime::from_nanos(500), 50);
+        assert_eq!(d.as_nanos(), 500 + 500);
+        // … and behind its own in-window placement.
+        let d = port.admit(SimTime::from_nanos(1_200), 10);
+        assert_eq!(d.as_nanos(), 300 + 100);
+        let w = port.take_window();
+        assert_eq!(w.intervals, vec![(1_000, 1_500), (1_500, 1_600)]);
+        assert_eq!(w.stats.frames, 2);
+        assert_eq!(w.stats.queue_total.as_nanos(), 800);
+        master.merge_window(&w);
+        let got: Vec<_> = master.calendar().iter().map(|(&s, &e)| (s, e)).collect();
+        assert_eq!(got, vec![(0, 1_600)]);
+        assert_eq!(master.stats().frames, 3);
+    }
+
+    #[test]
+    fn prune_drops_only_fully_past_intervals() {
+        let mut bw = SharedBandwidth::new(SimTime::from_nanos(10));
+        bw.admit(SimTime::ZERO, 100); // [0, 1000)
+        bw.admit(SimTime::from_nanos(2_000), 100); // [2000, 3000)
+        bw.admit(SimTime::from_nanos(5_000), 100); // [5000, 6000)
+        bw.prune_before(SimTime::from_nanos(3_000));
+        let got: Vec<_> = bw.calendar().iter().map(|(&s, &e)| (s, e)).collect();
+        assert_eq!(got, vec![(5_000, 6_000)]);
+        // Placement after the prune is unaffected for any admit at or
+        // past the horizon.
+        let d = bw.admit(SimTime::from_nanos(5_500), 10);
+        assert_eq!(d.as_nanos(), 500 + 100);
     }
 }

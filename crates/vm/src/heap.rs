@@ -202,7 +202,9 @@ impl Heap {
         }
         // Mark phase.
         while let Some(i) = work.pop_front() {
-            let entry = self.slots[i].as_ref().expect("marked slot is live");
+            // Only live slots are enqueued, so a vacant one here would be a
+            // marker bug — skip it rather than abort the whole mutator.
+            let Some(entry) = self.slots[i].as_ref() else { continue };
             let is_soft =
                 matches!(entry, HeapEntry::Obj { class, .. } if *class == builtin::SOFT_REF);
             if is_soft {
@@ -243,13 +245,13 @@ impl Heap {
         let mut finalizable = Vec::new();
         #[allow(clippy::needless_range_loop)] // index drives three parallel arrays
         for i in 0..n {
-            if marked[i] || self.slots[i].is_none() || self.finalizer_done[i] {
+            if marked[i] || self.finalizer_done[i] {
                 continue;
             }
-            let HeapEntry::Obj { class, .. } = self.slots[i].as_ref().expect("checked live") else {
+            let Some(HeapEntry::Obj { class, .. }) = self.slots[i].as_ref() else {
                 continue;
             };
-            if classes[class.0 as usize].finalizer.is_some() {
+            if classes.get(class.0 as usize).is_some_and(|c| c.finalizer.is_some()) {
                 self.finalizer_done[i] = true;
                 finalizable.push(ObjRef::from_index(i));
                 marked[i] = true;
@@ -257,7 +259,7 @@ impl Heap {
             }
         }
         while let Some(i) = work.pop_front() {
-            let entry = self.slots[i].as_ref().expect("marked slot is live");
+            let Some(entry) = self.slots[i].as_ref() else { continue };
             let mut trace = |v: &Value| {
                 if let Value::Ref(r) = v {
                     let j = r.index();
@@ -282,9 +284,17 @@ impl Heap {
                 let Some(HeapEntry::Obj { fields, .. }) = self.slots[i].as_mut() else {
                     continue;
                 };
-                if let Value::Ref(r) = fields[builtin::SOFT_REF_REFERENT_SLOT as usize] {
-                    if !marked[r.index()] {
-                        fields[builtin::SOFT_REF_REFERENT_SLOT as usize] = Value::Null;
+                // A referent pointing outside the tracked heap was never
+                // traced, so it counts as dead — same rule the mark phase's
+                // `j < n` bound applies.
+                let slot = builtin::SOFT_REF_REFERENT_SLOT as usize;
+                let dead = matches!(
+                    fields.get(slot),
+                    Some(Value::Ref(r)) if !marked.get(r.index()).copied().unwrap_or(false)
+                );
+                if dead {
+                    if let Some(f) = fields.get_mut(slot) {
+                        *f = Value::Null;
                         softs_cleared += 1;
                     }
                 }

@@ -14,6 +14,15 @@ use ftjvm::replication::{run_fleet, FleetConfig, RouterMode};
 use ftjvm::workloads::Workload;
 use ftjvm::{FtConfig, FtJvm, GroupConfig, LagBudget, NetFaultPlan, ReplicationMode};
 
+/// Parses a `--threads` operand: a count, or `max` for host parallelism.
+fn parse_threads(s: Option<&String>) -> usize {
+    match s.map(String::as_str) {
+        Some("max") => std::thread::available_parallelism().map_or(1, usize::from),
+        Some(n) => n.parse().unwrap_or_else(|_| usage()),
+        None => usage(),
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: ftjvm-run <workload> [options]\n\
@@ -48,6 +57,9 @@ fn usage() -> ! {
            --vote-quorum <q>     BFT-lite: release outputs only once q digest\n\
                                  votes match (requires --group-size)\n\
            --seed <n>            primary scheduler seed (default 11)\n\
+           --threads <n|max>     worker threads for the promotion path's\n\
+                                 suffix decode (results are byte-identical\n\
+                                 for every value; default 1)\n\
            --net-fault <spec>    arm the lossy link; spec is comma-separated\n\
                                  k=v pairs: drop/dup/corrupt/reorder (probabilities),\n\
                                  jitter=<micros>, drop-at/dup-at/corrupt-at=<i;j;..>\n\
@@ -75,7 +87,10 @@ fn usage() -> ! {
            --interarrival <us>   open-loop request interarrival per pair\n\
            --stagger <us>        start-time stagger between pair ids (default 200)\n\
            --group-size <k>      run every fleet slot as a k-replica group\n\
-           --vote-quorum <q>     digest vote quorum for fleet group slots"
+           --vote-quorum <q>     digest vote quorum for fleet group slots\n\
+           --threads <n|max>     schedule slots across n worker threads; the\n\
+                                 report is byte-identical for every value\n\
+                                 (default 1; max = host parallelism)"
     );
     std::process::exit(2)
 }
@@ -108,6 +123,10 @@ fn fleet_main(args: &[String]) -> ! {
             "--stagger" => cfg.stagger = SimTime::from_micros(num(args, &mut i)),
             "--group-size" => cfg.group_size = Some(num(args, &mut i) as usize),
             "--vote-quorum" => cfg.vote_quorum = Some(num(args, &mut i) as u32),
+            "--threads" => {
+                i += 1;
+                cfg.threads = parse_threads(args.get(i));
+            }
             _ => usage(),
         }
         i += 1;
@@ -155,6 +174,16 @@ fn fleet_main(args: &[String]) -> ! {
             s.frames, s.bytes, s.queue_total, s.queue_peak, s.busy
         );
     }
+    let p = &report.pool;
+    let slots: Vec<String> = p.slots_per_worker.iter().map(u32::to_string).collect();
+    println!(
+        "  pool: {} threads, slots/worker [{}], {} windows, {} barrier waits, {} trunk intervals merged",
+        p.threads,
+        slots.join(" "),
+        p.windows,
+        p.barrier_waits,
+        p.merged_intervals,
+    );
     let ok = report.all_verified();
     if !ok {
         // Any divergent pair is a tool failure: print its failure
@@ -399,6 +428,10 @@ fn main() {
                 i += 1;
                 cfg.primary_seed =
                     args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                cfg.replay_threads = parse_threads(args.get(i));
             }
             "--net-fault" => {
                 i += 1;

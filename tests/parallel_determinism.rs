@@ -1,0 +1,179 @@
+//! Determinism of the parallel execution paths: a fleet scheduled across
+//! N worker threads, a group fleet, and a promotion whose suffix decode
+//! fans out across replay workers must all produce **byte-identical**
+//! results for every thread count — parallelism may only change host
+//! wall-clock time, never a simulated timestamp, counter, or output.
+
+use ftjvm::netsim::{FaultPlan, SimTime, WireCodec};
+use ftjvm::replication::fleet::{run_fleet, FleetConfig, FleetReport, RouterMode};
+use ftjvm::workloads::{self, Workload};
+use ftjvm::{FtConfig, FtJvm, LagBudget, ReplicationMode};
+use proptest::prelude::*;
+
+/// Everything observable about a fleet run except the pool stats (which
+/// legitimately describe the thread layout): scalar counters, latency
+/// percentiles, trunk stats, and the full per-pair outcome list.
+fn digest(r: &FleetReport) -> String {
+    format!(
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {:?} {:?}",
+        r.pairs,
+        r.completed,
+        r.divergent,
+        r.lost,
+        r.failovers_absorbed,
+        r.backups_killed,
+        r.degraded_entries,
+        r.reintegrated,
+        r.served_requests,
+        r.total_requests,
+        r.backlog_peak,
+        r.commit_p50,
+        r.commit_p99,
+        r.commit_max,
+        r.makespan,
+        r.peak_suffix_frames,
+        r.shared,
+        r.outcomes,
+    )
+}
+
+fn run_digest(base: &FleetConfig, threads: usize) -> String {
+    let cfg = FleetConfig { threads, ..base.clone() };
+    let report = run_fleet(&cfg).expect("fleet runs");
+    assert_eq!(report.pool.threads, threads.max(1).min(base.pairs as usize));
+    digest(&report)
+}
+
+/// A pair fleet with every fault class armed, scheduled at 1, 2, 4, and
+/// 8 threads: the reports must match to the last byte.
+#[test]
+fn fleet_reports_are_byte_identical_across_thread_counts() {
+    let base = FleetConfig {
+        pairs: 24,
+        racks: 6,
+        crash_per_mille: 300,
+        kill_per_mille: 200,
+        partition_rack: Some(1),
+        ..FleetConfig::default()
+    };
+    let reference = run_digest(&base, 1);
+    for threads in [2, 4, 8] {
+        assert_eq!(run_digest(&base, threads), reference, "threads={threads}");
+    }
+}
+
+/// Group slots (k-replica reigns with rank-ordered promotion) carry
+/// per-moment timelines; those, too, must be thread-count-invariant.
+#[test]
+fn group_fleet_timelines_are_thread_count_invariant() {
+    let base = FleetConfig {
+        pairs: 6,
+        racks: 3,
+        crash_per_mille: 500,
+        kill_per_mille: 0,
+        group_size: Some(3),
+        ..FleetConfig::default()
+    };
+    let reference = run_digest(&base, 1);
+    for threads in [2, 4] {
+        assert_eq!(run_digest(&base, threads), reference, "threads={threads}");
+    }
+}
+
+/// An uncontended fleet (every pair on its own link) exercises the
+/// no-trunk scheduling path.
+#[test]
+fn fleet_without_shared_trunk_is_thread_count_invariant() {
+    let base = FleetConfig {
+        pairs: 10,
+        racks: 5,
+        crash_per_mille: 250,
+        kill_per_mille: 150,
+        shared_per_byte: None,
+        router: RouterMode::Closed { think: SimTime::from_micros(80) },
+        ..FleetConfig::default()
+    };
+    let reference = run_digest(&base, 1);
+    for threads in [3, 8] {
+        assert_eq!(run_digest(&base, threads), reference, "threads={threads}");
+    }
+}
+
+/// Snapshot-based promotion with the suffix decode fanned out across
+/// replay workers: report, console, stats, and failover latencies all
+/// equal the sequential decode, and both equal the failure-free console.
+#[test]
+fn promotion_is_replay_thread_invariant() {
+    let cases: [(Workload, ReplicationMode); 3] = [
+        (workloads::micro::sync_counter(2, 120), ReplicationMode::ThreadSched),
+        (workloads::micro::file_journal(40), ReplicationMode::LockSync),
+        (workloads::micro::nd_natives(60), ReplicationMode::LockSync),
+    ];
+    for (w, mode) in cases {
+        for codec in [WireCodec::Fixed, WireCodec::Compact] {
+            let base = FtConfig { mode, codec, ..FtConfig::default() };
+            let free = FtJvm::new(w.program.clone(), base.clone())
+                .run_replicated()
+                .expect("failure-free run");
+            let crashed = |replay_threads: usize| {
+                let cfg = FtConfig {
+                    lag_budget: LagBudget::Cold,
+                    checkpoint_interval: Some(2),
+                    fault: FaultPlan::AfterInstructions(
+                        (free.primary.counters.instructions * 3 / 5).max(1),
+                    ),
+                    replay_threads,
+                    ..base.clone()
+                };
+                FtJvm::new(w.program.clone(), cfg).run_with_failure().expect("crashed run")
+            };
+            let seq = crashed(1);
+            assert!(seq.crashed, "{} {codec}: fault must fire", w.name);
+            for threads in [2, 8] {
+                let par = crashed(threads);
+                assert_eq!(par.console(), seq.console(), "{} {codec}", w.name);
+                assert_eq!(par.console(), free.console(), "{} {codec}", w.name);
+                assert_eq!(
+                    par.failover_latency, seq.failover_latency,
+                    "{} {codec} threads={threads}",
+                    w.name
+                );
+                assert_eq!(
+                    par.recovery_replay_time, seq.recovery_replay_time,
+                    "{} {codec} threads={threads}",
+                    w.name
+                );
+                assert_eq!(
+                    format!("{:?}", par.backup_stats),
+                    format!("{:?}", seq.backup_stats),
+                    "{} {codec} threads={threads}",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Random seed × fault mix × thread count: any fleet digest equals
+    /// its single-threaded reference.
+    #[test]
+    fn random_fleets_are_thread_count_invariant(
+        seed in any::<u64>(),
+        crash_pm in 0u32..600,
+        kill_pm in 0u32..400,
+        threads in 2usize..9,
+    ) {
+        let base = FleetConfig {
+            pairs: 6,
+            racks: 3,
+            seed,
+            crash_per_mille: crash_pm,
+            kill_per_mille: kill_pm,
+            ..FleetConfig::default()
+        };
+        prop_assert_eq!(run_digest(&base, threads), run_digest(&base, 1));
+    }
+}
